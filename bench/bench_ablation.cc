@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation harness for the design choices DESIGN.md calls out:
+ * measures each optimization's contribution by disabling it alone
+ * (one-factor-at-a-time) against the full configuration, across a
+ * representative kernel set on M-128, plus the two extensions
+ * (unrolling, time-multiplexing) enabled alone.
+ */
+
+#include "common.hh"
+
+using namespace mesa;
+using namespace mesa::bench;
+
+namespace
+{
+
+uint64_t
+totalCycles(const workloads::Kernel &kernel,
+            const std::function<void(core::MesaParams &)> &tweak)
+{
+    core::MesaParams params;
+    tweak(params);
+    const MesaRun run = runMesa(kernel, params);
+    return run.result.total_cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    const char *names[] = {"nn", "kmeans", "hotspot", "cfd",
+                           "pathfinder", "gaussian"};
+
+    TextTable table(
+        "Ablation: slowdown when disabling one optimization "
+        "(total cycles relative to the full configuration, M-128)");
+    table.header({"benchmark", "-tiling", "-pipelining", "-vector",
+                  "-forward", "-prefetch", "-iterative", "+unroll",
+                  "+timemux"});
+
+    for (const char *name : names) {
+        const auto kernel = workloads::kernelByName(name, {8192});
+        const uint64_t full =
+            totalCycles(kernel, [](core::MesaParams &) {});
+
+        auto rel = [&](const std::function<void(core::MesaParams &)>
+                           &tweak) {
+            const uint64_t cyc = totalCycles(kernel, tweak);
+            return TextTable::num(double(cyc) / double(full));
+        };
+
+        table.row({
+            name,
+            rel([](auto &p) { p.enable_tiling = false; }),
+            rel([](auto &p) { p.enable_pipelining = false; }),
+            rel([](auto &p) { p.enable_vectorization = false; }),
+            rel([](auto &p) { p.enable_forwarding = false; }),
+            rel([](auto &p) { p.enable_prefetch = false; }),
+            rel([](auto &p) { p.iterative_optimization = false; }),
+            rel([](auto &p) { p.enable_unrolling = true; }),
+            rel([](auto &p) {
+                p.enable_time_multiplexing = true;
+                p.accel = accel::AccelParams::m64();
+            }),
+        });
+    }
+    table.print(std::cout);
+
+    std::cout << "\n>1.00 = slower without the optimization (its "
+                 "contribution); the extension columns show total "
+                 "cycles with the extension enabled (time-multiplex "
+                 "runs on the smaller M-64).\n";
+    return 0;
+}

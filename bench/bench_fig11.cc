@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces paper Figure 11: relative performance and energy
+ * efficiency of M-128 and M-512 against the 16-core quad-issue
+ * out-of-order multicore baseline, across the Rodinia-like suite.
+ * Prints one row per benchmark plus the suite averages the paper
+ * reports (1.33x / 1.81x speedup, 1.86x / 1.92x energy efficiency).
+ */
+
+#include "common.hh"
+
+using namespace mesa;
+using namespace mesa::bench;
+
+int
+main()
+{
+    const workloads::SuiteScale scale{16384};
+    const auto suite = workloads::rodiniaSuite(scale);
+
+    TextTable table("Figure 11: performance and energy efficiency vs "
+                    "16-core OoO multicore");
+    table.header({"benchmark", "perf M-128", "perf M-512",
+                  "eff M-128", "eff M-512"});
+
+    std::vector<double> perf128, perf512, eff128, eff512;
+
+    for (const auto &kernel : suite) {
+        const CpuRun base = runMulticoreBaseline(kernel);
+
+        core::MesaParams p128;
+        p128.accel = accel::AccelParams::m128();
+        core::MesaParams p512;
+        p512.accel = accel::AccelParams::m512();
+
+        const MesaRun m128 = runMesa(kernel, p128);
+        const MesaRun m512 = runMesa(kernel, p512);
+
+        const double s128 =
+            double(base.run.cycles) / double(m128.result.total_cycles);
+        const double s512 =
+            double(base.run.cycles) / double(m512.result.total_cycles);
+        const double e128 = base.energy_nj / m128.energy_nj;
+        const double e512 = base.energy_nj / m512.energy_nj;
+
+        perf128.push_back(s128);
+        perf512.push_back(s512);
+        eff128.push_back(e128);
+        eff512.push_back(e512);
+
+        table.row({kernel.name, TextTable::num(s128),
+                   TextTable::num(s512), TextTable::num(e128),
+                   TextTable::num(e512)});
+    }
+
+    table.row({"average", TextTable::num(mean(perf128)),
+               TextTable::num(mean(perf512)),
+               TextTable::num(mean(eff128)),
+               TextTable::num(mean(eff512))});
+    table.print(std::cout);
+
+    std::cout << "\npaper: avg perf 1.33x (M-128), 1.81x (M-512); "
+                 "avg energy eff 1.86x / 1.92x\n";
+    return 0;
+}

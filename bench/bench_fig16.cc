@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces paper Figure 16: average energy (nJ) consumed per loop
+ * iteration as a function of iterations elapsed, for the nn kernel.
+ * The sunk cost of dataflow construction, mapping, and configuration
+ * dominates early and amortizes over time — around 70 iterations in
+ * the paper.
+ */
+
+#include "common.hh"
+
+using namespace mesa;
+using namespace mesa::bench;
+
+int
+main()
+{
+    const auto kernel = workloads::makeNn(4096);
+    core::MesaParams params;
+    params.accel = accel::AccelParams::m128();
+    params.iterative_optimization = false;
+
+    power::PowerModel pm(params.accel);
+
+    TextTable table("Figure 16: nn average energy per iteration (nJ) "
+                    "vs iterations elapsed");
+    table.header({"iterations", "energy/iter (nJ)", "overhead x"});
+
+    double steady = -1.0;
+    std::vector<std::pair<uint64_t, double>> series;
+    for (uint64_t iters :
+         {1u, 2u, 5u, 10u, 20u, 50u, 70u, 100u, 200u, 500u, 2000u}) {
+        mem::MainMemory memory;
+        kernel.init_data(memory);
+        cpu::loadProgram(memory, kernel.program);
+        core::MesaController mesa(params, memory);
+
+        riscv::Emulator emu(memory);
+        emu.reset(kernel.program.base_pc);
+        kernel.fullRange()(emu.state());
+        auto os = mesa.offloadLoop(kernel.loopBody(), emu.state(),
+                                   kernel.parallel, iters);
+        if (!os || os->accel_iterations == 0)
+            continue;
+
+        const auto e =
+            pm.accelEnergy(os->accel, os->totalConfigCycles());
+        const double per_iter = e.total() / double(os->accel_iterations);
+        series.emplace_back(os->accel_iterations, per_iter);
+        steady = per_iter; // last (largest) point approximates steady state
+    }
+
+    uint64_t last_iters = 0;
+    for (const auto &[iters, per_iter] : series) {
+        if (iters == last_iters)
+            continue; // tiling rounds iteration counts up
+        last_iters = iters;
+        table.row({std::to_string(iters), TextTable::num(per_iter),
+                   TextTable::num(per_iter / steady)});
+    }
+    table.print(std::cout);
+
+    // Find the amortization point: within 1.5x of steady state.
+    uint64_t amortized_at = 0;
+    for (const auto &[iters, per_iter] : series) {
+        if (per_iter <= 1.5 * steady) {
+            amortized_at = iters;
+            break;
+        }
+    }
+    std::cout << "\nconfiguration cost amortized (within 1.5x of "
+                 "steady state) by ~"
+              << amortized_at
+              << " iterations (paper: ~70 iterations)\n";
+    return 0;
+}

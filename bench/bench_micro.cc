@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark): throughput of the simulator's
+ * hot paths — instruction decode, functional emulation, LDFG
+ * construction, the Algorithm 1 mapping pass, configuration
+ * generation, and the accelerator iteration engine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/system.hh"
+#include "mesa/controller.hh"
+#include "workloads/kernel.hh"
+
+using namespace mesa;
+
+namespace
+{
+
+const workloads::Kernel &
+kernel()
+{
+    static const workloads::Kernel k = workloads::makeKmeans(4096);
+    return k;
+}
+
+void
+BM_Decode(benchmark::State &state)
+{
+    const auto &prog = kernel().program;
+    for (auto _ : state) {
+        for (size_t i = 0; i < prog.words.size(); ++i) {
+            benchmark::DoNotOptimize(riscv::decode(
+                prog.words[i], prog.base_pc + uint32_t(4 * i)));
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(prog.words.size()));
+}
+BENCHMARK(BM_Decode);
+
+void
+BM_Emulate(benchmark::State &state)
+{
+    mem::MainMemory memory;
+    kernel().init_data(memory);
+    cpu::loadProgram(memory, kernel().program);
+    for (auto _ : state) {
+        riscv::Emulator emu(memory);
+        emu.reset(kernel().program.base_pc);
+        kernel().fullRange()(emu.state());
+        emu.run(1'000'000);
+        benchmark::DoNotOptimize(emu.instret());
+        state.SetItemsProcessed(int64_t(emu.instret()));
+    }
+}
+BENCHMARK(BM_Emulate);
+
+void
+BM_LdfgBuild(benchmark::State &state)
+{
+    const auto body = kernel().loopBody();
+    for (auto _ : state) {
+        auto g = dfg::Ldfg::build(body);
+        benchmark::DoNotOptimize(g);
+    }
+}
+BENCHMARK(BM_LdfgBuild);
+
+void
+BM_MapperPass(benchmark::State &state)
+{
+    const auto accel = accel::AccelParams::m128();
+    ic::AccelNocInterconnect ic(accel.rows, accel.cols, 4);
+    core::InstructionMapper mapper(accel, ic);
+    auto g = dfg::Ldfg::build(kernel().loopBody());
+    for (auto _ : state) {
+        auto res = mapper.map(*g);
+        benchmark::DoNotOptimize(res.model_latency);
+    }
+}
+BENCHMARK(BM_MapperPass);
+
+void
+BM_ConfigBuild(benchmark::State &state)
+{
+    const auto accel = accel::AccelParams::m128();
+    ic::AccelNocInterconnect ic(accel.rows, accel.cols, 4);
+    core::InstructionMapper mapper(accel, ic);
+    core::ConfigBlock block(accel);
+    auto g = dfg::Ldfg::build(kernel().loopBody());
+    auto map = mapper.map(*g);
+    core::ConfigOptions opts;
+    opts.tile_factor = 4;
+    for (auto _ : state) {
+        auto cfg = block.build(*g, map.sdfg, opts, 0x1000, 0x2000);
+        benchmark::DoNotOptimize(cfg.config_words);
+    }
+}
+BENCHMARK(BM_ConfigBuild);
+
+void
+BM_AcceleratorRun(benchmark::State &state)
+{
+    core::MesaParams params;
+    params.iterative_optimization = false;
+    for (auto _ : state) {
+        mem::MainMemory memory;
+        kernel().init_data(memory);
+        cpu::loadProgram(memory, kernel().program);
+        core::MesaController mesa(params, memory);
+        riscv::Emulator emu(memory);
+        emu.reset(kernel().program.base_pc);
+        kernel().fullRange()(emu.state());
+        auto os = mesa.offloadLoop(kernel().loopBody(), emu.state(),
+                                   true);
+        benchmark::DoNotOptimize(os->accel_cycles);
+        state.SetItemsProcessed(int64_t(os->accel_iterations));
+    }
+}
+BENCHMARK(BM_AcceleratorRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Design-space sensitivity sweeps (beyond the paper's figures):
+ * memory ports, shared DRAM bandwidth, profiling-epoch length, and
+ * candidate-window geometry, each against total cycles on a
+ * representative kernel pair. Quantifies which knobs the headline
+ * results actually depend on.
+ */
+
+#include "common.hh"
+
+using namespace mesa;
+using namespace mesa::bench;
+
+namespace
+{
+
+uint64_t
+totalCycles(const char *kernel_name,
+            const std::function<void(core::MesaParams &)> &tweak)
+{
+    const auto kernel = workloads::kernelByName(kernel_name, {8192});
+    core::MesaParams params;
+    tweak(params);
+    return runMesa(kernel, params).result.total_cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    const char *fp_kernel = "kmeans";
+    const char *mem_kernel = "bfs";
+
+    {
+        TextTable t("sensitivity: memory ports (total cycles)");
+        t.header({"ports", fp_kernel, mem_kernel});
+        for (unsigned ports : {4u, 8u, 16u, 32u, 64u}) {
+            auto tweak = [&](core::MesaParams &p) {
+                p.accel.mem_ports = ports;
+            };
+            t.row({std::to_string(ports),
+                   std::to_string(totalCycles(fp_kernel, tweak)),
+                   std::to_string(totalCycles(mem_kernel, tweak))});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    {
+        TextTable t("sensitivity: shared DRAM bandwidth "
+                    "(accesses/cycle, total cycles)");
+        t.header({"bw", fp_kernel, mem_kernel});
+        for (double bw : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+            auto tweak = [&](core::MesaParams &p) {
+                p.accel.dram_accesses_per_cycle = bw;
+            };
+            t.row({TextTable::num(bw),
+                   std::to_string(totalCycles(fp_kernel, tweak)),
+                   std::to_string(totalCycles(mem_kernel, tweak))});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    {
+        TextTable t("sensitivity: profiling epoch length (total "
+                    "cycles, iterative optimization on)");
+        t.header({"epoch", fp_kernel});
+        for (uint64_t epoch : {32u, 64u, 128u, 256u, 1024u}) {
+            auto tweak = [&](core::MesaParams &p) {
+                p.profile_epoch_iterations = epoch;
+            };
+            t.row({std::to_string(epoch),
+                   std::to_string(totalCycles(fp_kernel, tweak))});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    {
+        TextTable t("sensitivity: candidate window geometry "
+                    "(32 entries each, total cycles)");
+        t.header({"window", fp_kernel});
+        for (auto [r, c] : {std::pair{2, 16}, {4, 8}, {4, 4}, {8, 4},
+                            {16, 2}}) {
+            auto tweak = [&](core::MesaParams &p) {
+                p.mapper.cand_rows = r;
+                p.mapper.cand_cols = c;
+            };
+            t.row({std::to_string(r) + "x" + std::to_string(c),
+                   std::to_string(totalCycles(fp_kernel, tweak))});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces paper Table 1: hardware area and power breakdown by
+ * component (128-PE configuration, FreePDK15 synthesis constants).
+ */
+
+#include "common.hh"
+
+using namespace mesa;
+using namespace mesa::bench;
+
+namespace
+{
+
+std::string
+fmtArea(double um2)
+{
+    if (um2 >= 1e6)
+        return TextTable::num(um2 / 1e6, 3) + " mm^2";
+    return TextTable::num(um2, 1) + " um^2";
+}
+
+std::string
+fmtPower(double w)
+{
+    if (w >= 0.05)
+        return TextTable::num(w, 2) + " W";
+    return TextTable::num(w * 1e3, 3) + " mW";
+}
+
+void
+printSection(const char *title,
+             const std::vector<power::ComponentRow> &rows)
+{
+    TextTable table(title);
+    table.header({"component", "area", "power"});
+    for (const auto &row : rows) {
+        std::string name;
+        for (int i = 0; i < row.indent; ++i)
+            name += "- ";
+        name += row.name;
+        table.row({name, fmtArea(row.area_um2), fmtPower(row.power_w)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    power::PowerModel pm(accel::AccelParams::m128());
+
+    std::cout << "Table 1: hardware area and power breakdown "
+                 "(M-128, FreePDK15)\n\n";
+    printSection("MESA Extensions", pm.mesaExtensionRows());
+    printSection("CPU Core Additions", pm.cpuAdditionRows());
+    printSection("Spatial Accelerator", pm.acceleratorRows());
+
+    std::cout << "MESA controller total: "
+              << TextTable::num(pm.mesaAreaMm2(), 3)
+              << " mm^2 (paper: 0.502 mm^2, <10% of a core)\n";
+    std::cout << "Accelerator total: "
+              << TextTable::num(pm.acceleratorAreaMm2(), 2)
+              << " mm^2 (paper: 26.56 mm^2)\n";
+    return 0;
+}

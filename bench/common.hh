@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared benchmark-harness plumbing: runs a kernel on the multicore
+ * CPU baseline, the single-core baseline, and a MESA-enabled system,
+ * and converts activity counters to energy through the power model.
+ * Each bench_* binary regenerates one of the paper's tables/figures
+ * (see DESIGN.md's experiment index).
+ */
+
+#ifndef MESA_BENCH_COMMON_HH
+#define MESA_BENCH_COMMON_HH
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "cpu/system.hh"
+#include "mesa/controller.hh"
+#include "power/energy_model.hh"
+#include "util/table.hh"
+#include "workloads/kernel.hh"
+
+namespace mesa::bench
+{
+
+/** A CPU baseline run with its modeled energy. */
+struct CpuRun
+{
+    cpu::RunResult run;
+    double energy_nj = 0.0;
+};
+
+/** A MESA transparent run with its modeled energy. */
+struct MesaRun
+{
+    core::TransparentRunResult result;
+    double energy_nj = 0.0;
+    double cpu_energy_nj = 0.0;
+    double accel_energy_nj = 0.0;
+};
+
+/** Paper §6.1 multicore baseline: 16-core quad-issue OoO. */
+inline CpuRun
+runMulticoreBaseline(const workloads::Kernel &kernel, int cores = 16)
+{
+    mem::MainMemory memory;
+    kernel.init_data(memory);
+    cpu::loadProgram(memory, kernel.program);
+
+    cpu::MulticoreParams params;
+    params.num_cores = cores;
+    // Serial kernels use one core; the rest of the chip idles.
+    const auto threads =
+        kernel.parallel ? kernel.chunks(cores)
+                        : std::vector<cpu::ThreadInit>{kernel.fullRange()};
+    CpuRun out;
+    out.run = cpu::runMulticore(params, memory, kernel.program, threads);
+    power::PowerModel pm(accel::AccelParams::m128());
+    out.energy_nj = pm.cpuEnergyNj(out.run);
+    return out;
+}
+
+/** Single-core out-of-order baseline (Fig. 14). */
+inline CpuRun
+runSingleCoreBaseline(const workloads::Kernel &kernel,
+                      const cpu::CoreParams &core = cpu::defaultCore())
+{
+    mem::MainMemory memory;
+    kernel.init_data(memory);
+    cpu::loadProgram(memory, kernel.program);
+
+    CpuRun out;
+    out.run = cpu::runSingleCore(core, {}, memory, kernel.program,
+                                 kernel.fullRange());
+    power::PowerModel pm(accel::AccelParams::m128());
+    out.energy_nj = pm.cpuEnergyNj(out.run);
+    return out;
+}
+
+/** Full transparent MESA run and its energy breakdown. */
+inline MesaRun
+runMesa(const workloads::Kernel &kernel, const core::MesaParams &params)
+{
+    mem::MainMemory memory;
+    kernel.init_data(memory);
+    core::MesaController mesa(params, memory);
+
+    MesaRun out;
+    out.result = mesa.runTransparent(kernel.program, kernel.fullRange(),
+                                     kernel.parallel);
+
+    power::PowerModel pm(params.accel, params.clock_ghz);
+    out.cpu_energy_nj = pm.cpuEnergyNj(out.result.cpu);
+    for (const auto &os : out.result.offloads) {
+        out.accel_energy_nj +=
+            pm.accelEnergy(os.accel, os.totalConfigCycles() +
+                                         os.reconfig_cycles)
+                .total();
+    }
+    out.energy_nj = out.cpu_energy_nj + out.accel_energy_nj;
+    return out;
+}
+
+/** Geometric mean of positive values. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / double(values.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+} // namespace mesa::bench
+
+#endif // MESA_BENCH_COMMON_HH

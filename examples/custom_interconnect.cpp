@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Backend-agnostic mapping example (paper §3.3): MESA requires only
+ * an operation mask F_op and a point-to-point latency model l(C), so
+ * the same data-driven mapper retargets to arbitrary interconnects.
+ * Maps one kernel onto four different backends — the paper's
+ * NoC-augmented grid, a plain mesh, the hierarchical row interconnect
+ * of Fig. 4 Example 1, and a user-defined column-bus fabric — and
+ * compares the modeled iteration latencies and placements.
+ *
+ * Build & run:  ./build/examples/custom_interconnect
+ */
+
+#include <iostream>
+
+#include "interconnect/custom.hh"
+#include "mesa/mapper.hh"
+#include "util/table.hh"
+#include "workloads/kernel.hh"
+
+using namespace mesa;
+
+namespace
+{
+
+struct Backend
+{
+    const char *name;
+    const ic::Interconnect *interconnect;
+};
+
+} // namespace
+
+int
+main()
+{
+    const auto kernel = workloads::makeHotspot(1024);
+    auto ldfg = dfg::Ldfg::build(kernel.loopBody());
+    if (!ldfg) {
+        std::cerr << "LDFG build failed\n";
+        return 1;
+    }
+
+    auto accel_params = accel::AccelParams::m128();
+
+    ic::AccelNocInterconnect noc(accel_params.rows, accel_params.cols,
+                                 accel_params.noc_slice_width);
+    ic::MeshInterconnect mesh;
+    ic::HierRowInterconnect hier(3);
+    ic::ColumnBusInterconnect colbus(4);
+    // A fully custom latency callback: wormhole-like diagonal fabric.
+    ic::CustomInterconnect diag(
+        "diagonal", [](ic::Coord a, ic::Coord b) {
+            const int dr = std::abs(a.r - b.r);
+            const int dc = std::abs(a.c - b.c);
+            return uint32_t(1 + std::max(dr, dc)); // diagonal moves free
+        });
+
+    const Backend backends[] = {
+        {"accel-noc (paper Fig. 9)", &noc},
+        {"mesh (Manhattan)", &mesh},
+        {"hier-row (Fig. 4 Ex. 1)", &hier},
+        {"column-bus (custom)", &colbus},
+        {"diagonal (custom lambda)", &diag},
+    };
+
+    TextTable table("hotspot mapped onto five backends (same F_op, "
+                    "different l(C))");
+    table.header({"backend", "model latency", "imap cycles",
+                  "unmapped", "bounding box"});
+
+    for (const Backend &backend : backends) {
+        core::InstructionMapper mapper(accel_params,
+                                       *backend.interconnect);
+        const core::MapResult res = mapper.map(*ldfg);
+
+        int max_r = 0, max_c = 0;
+        for (size_t i = 0; i < ldfg->size(); ++i) {
+            const auto pos = res.sdfg.coordOf(int(i));
+            if (pos.valid()) {
+                max_r = std::max(max_r, pos.r);
+                max_c = std::max(max_c, pos.c);
+            }
+        }
+        table.row({backend.name, TextTable::num(res.model_latency, 1),
+                   std::to_string(res.mapping_cycles),
+                   std::to_string(res.unmapped.size()),
+                   std::to_string(max_r + 1) + "x" +
+                       std::to_string(max_c + 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe mapper never touches backend internals: each "
+                 "placement decision only queries l(C) for candidate "
+                 "positions, so any latency-modelable interconnect "
+                 "works (paper: 'generally backend-agnostic').\n";
+    std::cout << "Note how the column-bus backend pulls dependent "
+                 "chains into single columns, while the row backend "
+                 "lays them out across rows.\n";
+    return 0;
+}

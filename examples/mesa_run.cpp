@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Command-line driver: run any suite kernel on a MESA-enabled system
+ * and print a full offload report. The knobs mirror MesaParams.
+ *
+ *   ./build/examples/mesa_run --kernel nn --accel M-128
+ *   ./build/examples/mesa_run --kernel srad --accel M-64 --timemux
+ *   ./build/examples/mesa_run --kernel kmeans --no-tiling --scale 8192
+ *   ./build/examples/mesa_run --list
+ */
+
+#include <cstring>
+
+#include "util/json.hh"
+#include <iostream>
+
+#include "common.hh"
+
+using namespace mesa;
+using namespace mesa::bench;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "mesa_run — transparent loop offloading demo\n"
+        "  --kernel <name>     suite kernel to run (default nn)\n"
+        "  --accel <cfg>       M-64 | M-128 | M-512 (default M-128)\n"
+        "  --scale <n>         iteration count (default 8192)\n"
+        "  --no-tiling         disable SDFG duplication\n"
+        "  --no-pipelining     disable iteration overlap\n"
+        "  --no-iterative      disable runtime re-optimization\n"
+        "  --unroll            enable the unrolling extension\n"
+        "  --timemux           enable PE time-multiplexing\n"
+        "  --json              machine-readable output\n"
+        "  --list              list available kernels\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string kernel_name = "nn";
+    std::string accel_name = "M-128";
+    uint64_t scale = 8192;
+    bool json = false;
+    core::MesaParams params;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--kernel") {
+            kernel_name = next();
+        } else if (arg == "--accel") {
+            accel_name = next();
+        } else if (arg == "--scale") {
+            scale = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--no-tiling") {
+            params.enable_tiling = false;
+        } else if (arg == "--no-pipelining") {
+            params.enable_pipelining = false;
+        } else if (arg == "--no-iterative") {
+            params.iterative_optimization = false;
+        } else if (arg == "--unroll") {
+            params.enable_unrolling = true;
+        } else if (arg == "--timemux") {
+            params.enable_time_multiplexing = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list") {
+            for (const auto &k : workloads::rodiniaSuite({64}))
+                std::cout << k.name << "\n";
+            return 0;
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    if (accel_name == "M-64")
+        params.accel = accel::AccelParams::m64();
+    else if (accel_name == "M-512")
+        params.accel = accel::AccelParams::m512();
+    else
+        params.accel = accel::AccelParams::m128();
+
+    const auto kernel = workloads::kernelByName(kernel_name, {scale});
+    if (!json) {
+        std::cout << "kernel " << kernel.name << " ("
+                  << kernel.iterations << " iterations, "
+                  << (kernel.parallel ? "omp-parallel" : "serial")
+                  << ") on " << params.accel.name << "\n\n";
+    }
+
+    const CpuRun multi = runMulticoreBaseline(kernel);
+    const CpuRun single = runSingleCoreBaseline(kernel);
+    const MesaRun run = runMesa(kernel, params);
+
+    if (json) {
+        JsonWriter w;
+        w.beginObject()
+            .field("kernel", kernel.name)
+            .field("accel", params.accel.name)
+            .field("iterations", kernel.iterations)
+            .field("parallel", kernel.parallel)
+            .field("single_core_cycles", single.run.cycles)
+            .field("multicore_cycles", multi.run.cycles)
+            .field("multicore_energy_nj", multi.energy_nj)
+            .field("mesa_cycles", run.result.total_cycles)
+            .field("mesa_energy_nj", run.energy_nj)
+            .field("speedup_vs_multicore",
+                   double(multi.run.cycles) /
+                       double(run.result.total_cycles))
+            .key("offloads")
+            .beginArray();
+        for (const auto &os : run.result.offloads) {
+            w.beginObject()
+                .field("region_start", uint64_t(os.region_start))
+                .field("config_cycles", os.totalConfigCycles())
+                .field("tiles", os.tile_factor)
+                .field("pipelined", os.pipelined)
+                .field("reconfigurations", os.reconfigurations)
+                .field("accel_iterations", os.accel_iterations)
+                .field("accel_cycles", os.accel_cycles)
+                .field("loads", os.accel.loads)
+                .field("stores", os.accel.stores)
+                .field("dram_accesses", os.accel.dram_accesses)
+                .end();
+        }
+        w.end().end();
+        std::cout << w.str() << "\n";
+        return 0;
+    }
+
+    std::cout << "single core : " << single.run.cycles << " cycles\n";
+    std::cout << "16-core CPU : " << multi.run.cycles << " cycles, "
+              << TextTable::num(multi.energy_nj / 1000.0, 2) << " uJ\n";
+    std::cout << "MESA        : " << run.result.total_cycles
+              << " cycles, "
+              << TextTable::num(run.energy_nj / 1000.0, 2) << " uJ\n";
+    std::cout << "speedup     : "
+              << TextTable::num(double(multi.run.cycles) /
+                                double(run.result.total_cycles))
+              << "x vs multicore, "
+              << TextTable::num(double(single.run.cycles) /
+                                double(run.result.total_cycles))
+              << "x vs single core\n";
+    std::cout << "energy eff  : "
+              << TextTable::num(multi.energy_nj / run.energy_nj)
+              << "x vs multicore\n\n";
+
+    if (run.result.offloads.empty()) {
+        std::cout << "loop was NOT offloaded; rejections:\n";
+        for (const auto &r : run.result.rejections) {
+            std::cout << "  pc 0x" << std::hex << r.loop.start
+                      << std::dec << ": "
+                      << cpu::rejectReasonName(r.reason) << "\n";
+        }
+        return 0;
+    }
+    for (const auto &os : run.result.offloads) {
+        std::cout << "offload @0x" << std::hex << os.region_start
+                  << std::dec << ": config "
+                  << os.totalConfigCycles() << " cyc ("
+                  << TextTable::num(os.totalConfigCycles() / 2.0, 0)
+                  << " ns), tiles " << os.tile_factor
+                  << (os.pipelined ? ", pipelined" : "") << ", "
+                  << os.reconfigurations << " reconfigs, "
+                  << os.accel_iterations << " iters in "
+                  << os.accel_cycles << " cyc ("
+                  << TextTable::num(double(os.accel_cycles) /
+                                        double(os.accel_iterations),
+                                    3)
+                  << " cyc/iter)\n";
+        std::cout << "  memory: " << os.accel.loads << " loads, "
+                  << os.accel.stores << " stores, "
+                  << os.accel.store_load_forwards << " forwards, "
+                  << os.accel.dram_accesses << " DRAM fills\n";
+        std::cout << "  array : " << os.accel.pes_used << "/"
+                  << os.accel.pes_total << " PEs configured ("
+                  << TextTable::num(100.0 * double(os.accel.pes_used) /
+                                        double(os.accel.pes_total),
+                                    1)
+                  << "% utilization)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,451 @@
+#include "accel/accelerator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "riscv/alu.hh"
+#include "util/logging.hh"
+
+namespace mesa::accel
+{
+
+using dfg::NodeId;
+using dfg::NoNode;
+using ic::Coord;
+using riscv::Op;
+using riscv::OpClass;
+
+Accelerator::Accelerator(const AccelParams &params,
+                         mem::MainMemory &memory,
+                         const mem::HierarchyParams &mem_params)
+    : params_(params), memory_(memory), hierarchy_(mem_params),
+      ports_(params.ideal_memory ? 4096u : params.mem_ports),
+      ic_(std::make_unique<ic::AccelNocInterconnect>(
+          params.rows, params.cols, params.noc_slice_width))
+{
+}
+
+void
+Accelerator::configure(const AcceleratorConfig &config)
+{
+    for (size_t i = 0; i < config.slots.size(); ++i) {
+        MESA_ASSERT(config.slots[i].node == NodeId(i),
+                    "Accelerator::configure: slots must be in program "
+                    "order with node == index");
+    }
+    if (config.slots.empty())
+        fatal("Accelerator::configure: empty configuration");
+    if (!config.slots.back().inst.isBranch())
+        fatal("Accelerator::configure: last slot must be the loop's "
+              "backward branch");
+
+    config_ = config;
+
+    instances_.clear();
+    instances_.resize(config_.instances.size());
+    for (auto &inst : instances_) {
+        inst.lsu = std::make_unique<mem::LoadStoreUnit>(memory_,
+                                                        hierarchy_, ports_);
+    }
+    pe_free_.assign(instances_.size(), {});
+    resetCounters();
+}
+
+void
+Accelerator::resetCounters()
+{
+    const size_t n = config_.slots.size();
+    node_latency_.assign(n, Average{});
+    edge_latency1_.assign(n, Average{});
+    edge_latency2_.assign(n, Average{});
+}
+
+double
+Accelerator::measuredNodeLatency(NodeId id) const
+{
+    if (id < 0 || size_t(id) >= node_latency_.size())
+        return -1.0;
+    const Average &avg = node_latency_[size_t(id)];
+    return avg.count() ? avg.mean() : -1.0;
+}
+
+double
+Accelerator::measuredEdgeLatency(NodeId id, int operand) const
+{
+    const auto &vec = operand == 0 ? edge_latency1_ : edge_latency2_;
+    if (id < 0 || size_t(id) >= vec.size())
+        return -1.0;
+    return vec[size_t(id)].count() ? vec[size_t(id)].mean() : -1.0;
+}
+
+namespace
+{
+
+/** Read a unified register from the architectural state. */
+uint32_t
+readUnified(const riscv::ArchState &state, int reg)
+{
+    return reg < riscv::NumIntRegs
+               ? state.x[size_t(reg)]
+               : state.f[size_t(reg - riscv::NumIntRegs)];
+}
+
+/** Write a unified register to the architectural state. */
+void
+writeUnified(riscv::ArchState &state, int reg, uint32_t value)
+{
+    if (reg == 0)
+        return;
+    if (reg < riscv::NumIntRegs)
+        state.x[size_t(reg)] = value;
+    else
+        state.f[size_t(reg - riscv::NumIntRegs)] = value;
+}
+
+} // namespace
+
+bool
+Accelerator::runIteration(Instance &inst, AccelRunResult &result)
+{
+    const size_t n = config_.slots.size();
+    const uint64_t iter_start = inst.next_floor;
+    const size_t inst_index = size_t(&inst - instances_.data());
+    auto &pe_free = pe_free_[inst_index];
+
+    std::vector<uint32_t> out(n, 0);
+    std::vector<uint64_t> done(n, iter_start);
+    std::vector<bool> taken(n, false);
+    std::map<int, uint64_t> group_done;
+
+    // Data transfer from a producer PE to this slot's PE, including
+    // NoC bus contention; samples the edge latency counter.
+    auto arrival = [&](NodeId src, const PeSlot &slot,
+                       int operand) -> uint64_t {
+        const Coord from = config_.slots[size_t(src)].pos;
+        const uint64_t t0 = done[size_t(src)];
+        // Unmapped endpoints use the secondary data-forwarding bus
+        // (paper §3.3: mapping failures revert to a slower fallback).
+        if (!from.valid() || !slot.pos.valid()) {
+            const uint64_t arr =
+                t0 + uint64_t(params_.fallback_bus_latency);
+            if (operand == 0)
+                edge_latency1_[size_t(slot.node)].sample(double(arr - t0));
+            else if (operand == 1)
+                edge_latency2_[size_t(slot.node)].sample(double(arr - t0));
+            return arr;
+        }
+        const uint32_t base = ic_->latency(from, slot.pos);
+        const int bus = ic_->busId(from, slot.pos);
+        uint64_t start = t0;
+        if (bus >= 0) {
+            uint64_t &free = inst.bus_free[bus];
+            start = std::max(t0, free);
+            free = start + 1;
+            ++result.noc_transfers;
+        } else {
+            ++result.local_transfers;
+        }
+        const uint64_t arr = start + base;
+        if (operand == 0)
+            edge_latency1_[size_t(slot.node)].sample(double(arr - t0));
+        else if (operand == 1)
+            edge_latency2_[size_t(slot.node)].sample(double(arr - t0));
+        return arr;
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+        const PeSlot &slot = config_.slots[i];
+        const Op op = slot.inst.op;
+
+        // Guards: the control network disables skipped PEs.
+        bool active = true;
+        uint64_t guard_arr = iter_start;
+        for (NodeId g : slot.guards) {
+            if (taken[size_t(g)])
+                active = false;
+            guard_arr = std::max(guard_arr, arrival(g, slot, 2));
+        }
+
+        if (!active) {
+            // Disabled PE: forward the old destination value (hidden
+            // dependency) so downstream consumers see it.
+            uint32_t old_val = 0;
+            uint64_t old_avail = iter_start;
+            if (slot.prev_dest_writer != NoNode) {
+                old_val = out[size_t(slot.prev_dest_writer)];
+                old_avail = arrival(slot.prev_dest_writer, slot, 2);
+            } else if (slot.prev_dest_live_in >= 0) {
+                old_val = inst.regs[size_t(slot.prev_dest_live_in)];
+                old_avail = std::max(
+                    iter_start,
+                    inst.reg_avail[size_t(slot.prev_dest_live_in)]);
+            }
+            out[i] = old_val;
+            done[i] = std::max(guard_arr, old_avail);
+            ++result.disabled_ops;
+            continue;
+        }
+
+        // Operand values and arrival cycles.
+        auto operand = [&](NodeId src, int live_in,
+                           int idx) -> std::pair<uint32_t, uint64_t> {
+            if (src != NoNode)
+                return {out[size_t(src)], arrival(src, slot, idx)};
+            if (live_in >= 0) {
+                return {inst.regs[size_t(live_in)],
+                        std::max(iter_start,
+                                 inst.reg_avail[size_t(live_in)])};
+            }
+            return {0u, iter_start};
+        };
+        const auto [v1, a1] = operand(slot.src1, slot.live_in1, 0);
+        const auto [v2, a2] = operand(slot.src2, slot.live_in2, 1);
+
+        uint64_t ready = std::max({a1, a2, guard_arr, iter_start});
+        // The PE executes one instruction per iteration; pipelined
+        // iterations (and time-multiplexed co-residents) reuse it
+        // after the issue interval.
+        const int pe_key = slot.pos.valid()
+                               ? slot.pos.r * config_.cols + slot.pos.c
+                               : -int(i) - 1;
+        uint64_t &pe_next = pe_free[pe_key];
+        ready = std::max(ready, pe_next);
+
+        int32_t imm = slot.inst.imm;
+        if (auto it = config_.imm_overrides.find(slot.node);
+            it != config_.imm_overrides.end()) {
+            imm = it->second;
+        }
+
+        switch (slot.inst.cls()) {
+          case OpClass::Branch:
+            taken[i] = riscv::branchEval(op, v1, v2);
+            done[i] = ready + uint64_t(slot.op_latency);
+            break;
+
+          case OpClass::Load: {
+            const uint32_t addr = v1 + uint32_t(imm);
+            ++result.loads;
+            if (slot.forward_from_store != NoNode) {
+                // Static store->load forwarding edge (paper §4.2):
+                // one broadcast cycle after the store's data is ready.
+                const size_t st = size_t(slot.forward_from_store);
+                out[i] = out[st];
+                done[i] = std::max(ready, done[st] + 1);
+                ++result.store_load_forwards;
+            } else if (slot.vector_group >= 0 && !slot.vector_leader &&
+                       group_done.count(slot.vector_group)) {
+                // Vectorized member: the leader's wide access covers
+                // this element; no extra port use.
+                out[i] = inst.lsu->peek(unsigned(i), addr, op);
+                done[i] =
+                    std::max(ready, group_done[slot.vector_group]);
+            } else {
+                const mem::LoadResult lr =
+                    inst.lsu->load(unsigned(i), addr, op, ready);
+                out[i] = lr.value;
+                done[i] = lr.done_cycle;
+                if (lr.forwarded)
+                    ++result.store_load_forwards;
+                if (lr.invalidated)
+                    ++result.load_invalidations;
+                if (slot.vector_group >= 0 && slot.vector_leader)
+                    group_done[slot.vector_group] = lr.done_cycle;
+            }
+            if (slot.prefetch) {
+                hierarchy_.prefetch(addr +
+                                    uint32_t(slot.prefetch_stride));
+            }
+            break;
+          }
+
+          case OpClass::Store: {
+            const uint32_t addr = v1 + uint32_t(imm);
+            inst.lsu->store(unsigned(i), addr, v2, op, ready);
+            out[i] = v2; // visible to static forwarding consumers
+            done[i] = ready + uint64_t(slot.op_latency);
+            ++result.stores;
+            break;
+          }
+
+          default:
+            out[i] = riscv::aluEval(op, v1, v2, imm, slot.inst.pc);
+            done[i] = ready + uint64_t(slot.op_latency);
+            break;
+        }
+
+        node_latency_[i].sample(double(done[i] - ready));
+        // Pipelined PE: a new iteration's operation can issue after
+        // the issue interval, not only after full completion.
+        pe_next = ready + params_.pe_issue_interval;
+        // Activity accounting: a PE is busy for its operation's
+        // service time; time a load spends waiting on the memory
+        // system is LS-entry time, not PE switching activity.
+        const OpClass cls = slot.inst.cls();
+        const uint64_t busy =
+            cls == OpClass::Load ? 2 : uint64_t(slot.op_latency);
+        result.pe_busy_cycles += busy;
+        if (cls == OpClass::FpAlu || cls == OpClass::FpMul ||
+            cls == OpClass::FpDiv) {
+            result.fp_busy_cycles += busy;
+        }
+    }
+
+    // In-order store commit ends the iteration.
+    const uint64_t commit = inst.lsu->commitStores();
+    uint64_t end = commit;
+    for (size_t i = 0; i < n; ++i)
+        end = std::max(end, done[i]);
+
+    // Latch live-outs for the next iteration.
+    for (const auto &[reg, writer] : config_.live_outs) {
+        inst.regs[size_t(reg)] = out[size_t(writer)];
+        inst.reg_avail[size_t(reg)] = done[size_t(writer)];
+    }
+
+    ++inst.iterations;
+    inst.last_end = std::max(inst.last_end, end);
+    inst.next_floor = config_.pipelined ? iter_start + 1 : end;
+    return taken[n - 1];
+}
+
+AccelRunResult
+Accelerator::run(riscv::ArchState &state, uint64_t max_iterations)
+{
+    if (!configured())
+        fatal("Accelerator::run: not configured");
+
+    AccelRunResult result;
+    const uint64_t dram_before = hierarchy_.dramAccesses();
+    result.pes_used = config_.slots.size() * instances_.size();
+    result.pes_total = params_.capacity();
+
+    // Each run starts a fresh cycle timeline; forget port bookings
+    // from previous profiling epochs.
+    ports_.reset();
+
+    // Latch live-in registers (control transfer from CPU, paper §5.1).
+    for (size_t k = 0; k < instances_.size(); ++k) {
+        Instance &inst = instances_[k];
+        inst.regs.fill(0);
+        inst.reg_avail.fill(0);
+        for (int reg : config_.live_ins)
+            inst.regs[size_t(reg)] = readUnified(state, reg);
+        for (const auto &[reg, offset] :
+             config_.instances[k].reg_offsets) {
+            inst.regs[size_t(reg)] += uint32_t(offset);
+        }
+        inst.bus_free.clear();
+        inst.next_floor = 0;
+        inst.last_end = 0;
+        inst.iterations = 0;
+        inst.done = false;
+        pe_free_[k].clear();
+    }
+
+    // An instance whose staggered start already fails the loop
+    // condition must execute zero iterations: evaluate the closing
+    // branch on the latched registers (the value its sources would
+    // carry from the notional previous iteration).
+    const PeSlot &closing = config_.slots.back();
+    auto entryOperand = [&](const Instance &inst, NodeId src,
+                            int live_in) -> uint32_t {
+        if (src != NoNode) {
+            const int dest =
+                config_.slots[size_t(src)].inst.unifiedDest();
+            return dest >= 0 ? inst.regs[size_t(dest)] : 0;
+        }
+        return live_in >= 0 ? inst.regs[size_t(live_in)] : 0;
+    };
+    for (auto &inst : instances_) {
+        const uint32_t v1 =
+            entryOperand(inst, closing.src1, closing.live_in1);
+        const uint32_t v2 =
+            entryOperand(inst, closing.src2, closing.live_in2);
+        if (!riscv::branchEval(closing.inst.op, v1, v2))
+            inst.done = true;
+    }
+
+    // Round-robin full rounds across tile instances; stopping only at
+    // round boundaries keeps the executed-iteration set a prefix of
+    // the sequential order (see DESIGN.md).
+    bool all_done = false;
+    while (!all_done && result.iterations < max_iterations) {
+        all_done = true;
+        for (auto &inst : instances_) {
+            if (inst.done)
+                continue;
+            const bool cont = runIteration(inst, result);
+            ++result.iterations;
+            if (!cont)
+                inst.done = true;
+            else
+                all_done = false;
+        }
+    }
+    result.completed = all_done;
+
+    // Write back architectural state (control transfer to CPU).
+    // Induction registers merge across instances by taking the value
+    // closest to the sequential exit value; other live-outs come from
+    // the instance that executed the globally last iteration in
+    // sequential order (instance k runs iterations k, k+T, ...), so
+    // temporaries match a sequential execution exactly.
+    size_t rep = 0;
+    int64_t last_index = -1;
+    const int64_t stride = int64_t(instances_.size());
+    for (size_t k = 0; k < instances_.size(); ++k) {
+        if (instances_[k].iterations == 0)
+            continue;
+        const int64_t last =
+            int64_t(k) +
+            (int64_t(instances_[k].iterations) - 1) * stride;
+        if (last > last_index) {
+            last_index = last;
+            rep = k;
+        }
+    }
+
+    for (const auto &[reg, writer] : config_.live_outs) {
+        (void)writer;
+        const dfg::InductionReg *ind = nullptr;
+        for (const auto &cand : config_.inductions)
+            if (cand.unified_reg == reg)
+                ind = &cand;
+        uint32_t value;
+        if (ind && instances_.size() > 1) {
+            int32_t best = int32_t(instances_[0].regs[size_t(reg)]);
+            for (size_t k = 1; k < instances_.size(); ++k) {
+                const int32_t v =
+                    int32_t(instances_[k].regs[size_t(reg)]);
+                best = ind->step > 0 ? std::min(best, v)
+                                     : std::max(best, v);
+            }
+            value = uint32_t(best);
+        } else {
+            value = instances_[rep].regs[size_t(reg)];
+        }
+        writeUnified(state, reg, value);
+    }
+    if (result.completed) {
+        state.pc = config_.resume_pc ? config_.resume_pc
+                                     : config_.region_end;
+    } else {
+        state.pc = config_.region_start;
+    }
+
+    for (const auto &inst : instances_)
+        result.cycles = std::max(result.cycles, inst.last_end);
+    result.dram_accesses = hierarchy_.dramAccesses() - dram_before;
+    // DRAM bandwidth floor: the accelerator shares the same memory
+    // channels the CPU baseline contends on.
+    if (!params_.ideal_memory && result.dram_accesses > 0) {
+        const uint64_t floor = uint64_t(
+            std::ceil(double(result.dram_accesses) /
+                      params_.dram_accesses_per_cycle));
+        result.cycles = std::max(result.cycles, floor);
+    }
+    return result;
+}
+
+} // namespace mesa::accel

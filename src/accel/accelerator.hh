@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Cycle-level model of the custom spatial accelerator (paper §5.2):
+ * a grid of PEs joined by direct neighbor links and a half-ring NoC,
+ * load/store entries sharing memory ports, a control network
+ * asserting per-PE enable signals (predicated forward branches), and
+ * per-PE latency counters that feed MESA's performance model.
+ *
+ * Execution follows the configured dataflow: each PE holds one
+ * instruction (or, with the time-multiplexing extension, a few that
+ * share its issue slots); an operation starts when its inputs arrive
+ * and its guards allow it. Iterations either run back-to-back or
+ * overlap (loop pipelining); tiled instances of the same SDFG run
+ * concurrently, sharing memory ports (paper Fig. 6).
+ */
+
+#ifndef MESA_ACCEL_ACCELERATOR_HH
+#define MESA_ACCEL_ACCELERATOR_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "accel/config_types.hh"
+#include "accel/params.hh"
+#include "mem/cache.hh"
+#include "mem/lsq.hh"
+#include "mem/memory.hh"
+#include "riscv/emulator.hh"
+#include "util/stats.hh"
+
+namespace mesa::accel
+{
+
+/** Aggregate outcome and activity of one accelerated run. */
+struct AccelRunResult
+{
+    uint64_t cycles = 0;      ///< Wall-clock cycles of the whole run.
+    uint64_t iterations = 0;  ///< Total loop iterations (all tiles).
+    bool completed = false;   ///< Loop exited via its branch condition.
+
+    // Activity counters for the energy model (clock-gated PEs do not
+    // accumulate busy cycles).
+    uint64_t pe_busy_cycles = 0;
+    uint64_t fp_busy_cycles = 0;
+    uint64_t disabled_ops = 0; ///< Predicated-off executions.
+    uint64_t noc_transfers = 0;
+    uint64_t local_transfers = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t store_load_forwards = 0;
+    uint64_t load_invalidations = 0;
+    uint64_t dram_accesses = 0;
+
+    /** Configured (powered) PEs vs the whole array: unused tiles are
+     *  power-gated, so leakage scales with the active region. */
+    uint64_t pes_used = 0;
+    uint64_t pes_total = 0;
+
+    double
+    avgIterationCycles() const
+    {
+        return iterations ? double(cycles) / double(iterations) : 0.0;
+    }
+};
+
+/** The accelerator device. Configure once per region, then run. */
+class Accelerator
+{
+  public:
+    Accelerator(const AccelParams &params, mem::MainMemory &memory,
+                const mem::HierarchyParams &mem_params = {});
+
+    /** Install a configuration (T3); clears all run state. */
+    void configure(const AcceleratorConfig &config);
+
+    bool configured() const { return !config_.slots.empty(); }
+    const AcceleratorConfig &config() const { return config_; }
+
+    /**
+     * Execute the configured loop starting from the CPU's
+     * architectural state. Live-ins are latched from @p state; on
+     * completion live-outs and the exit pc are written back.
+     *
+     * @param max_iterations stop early after this many total
+     *        iterations (the controller uses this for profiling
+     *        epochs between re-optimizations)
+     */
+    AccelRunResult run(riscv::ArchState &state,
+                       uint64_t max_iterations = ~uint64_t(0));
+
+    const AccelParams &params() const { return params_; }
+    const ic::Interconnect &interconnect() const { return *ic_; }
+    mem::MemHierarchy &hierarchy() { return hierarchy_; }
+
+    /** Measured average execution latency of a node (PE counters). */
+    double measuredNodeLatency(dfg::NodeId id) const;
+
+    /** Measured average transfer latency into node id, operand 0/1. */
+    double measuredEdgeLatency(dfg::NodeId id, int operand) const;
+
+    /** Reset the latency counters (new profiling epoch). */
+    void resetCounters();
+
+  private:
+    struct Instance
+    {
+        std::array<uint32_t, riscv::NumUnifiedRegs> regs{};
+        std::array<uint64_t, riscv::NumUnifiedRegs> reg_avail{};
+        std::unique_ptr<mem::LoadStoreUnit> lsu;
+        std::map<int, uint64_t> bus_free;
+        uint64_t next_floor = 0;
+        uint64_t last_end = 0;
+        uint64_t iterations = 0;
+        bool done = false;
+    };
+
+    /** One iteration of one instance; returns loop-continue. */
+    bool runIteration(Instance &inst, AccelRunResult &result);
+
+    const AccelParams params_;
+    mem::MainMemory &memory_;
+    mem::MemHierarchy hierarchy_;
+    mem::PortPool ports_;
+    std::unique_ptr<ic::Interconnect> ic_;
+
+    AcceleratorConfig config_;
+    std::vector<Instance> instances_;
+
+    /** Per-PE busy tracking keyed by physical position (pipelining
+     *  resource constraint; time-multiplexed nodes share a key). */
+    std::vector<std::map<int, uint64_t>> pe_free_; // [instance][pos]
+
+    // Performance counters (paper §5.2): per-node and per-edge.
+    std::vector<Average> node_latency_;
+    std::vector<Average> edge_latency1_;
+    std::vector<Average> edge_latency2_;
+};
+
+} // namespace mesa::accel
+
+#endif // MESA_ACCEL_ACCELERATOR_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The accelerator configuration produced by MESA's ConfigBlock (T3
+ * Decode): the "bitstream" abstraction carrying per-PE operation and
+ * routing assignments, live-in/live-out wiring, predication guards,
+ * memory-optimization annotations, and loop-level (tiling/pipelining)
+ * directives.
+ */
+
+#ifndef MESA_ACCEL_CONFIG_TYPES_HH
+#define MESA_ACCEL_CONFIG_TYPES_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dfg/analysis.hh"
+#include "dfg/ldfg.hh"
+#include "interconnect/interconnect.hh"
+#include "riscv/instruction.hh"
+
+namespace mesa::accel
+{
+
+/** Configuration of one PE slot (one mapped instruction). */
+struct PeSlot
+{
+    dfg::NodeId node = dfg::NoNode; ///< LDFG index (program order).
+    riscv::Instruction inst;
+    ic::Coord pos;                  ///< Virtual = physical coordinate.
+
+    // Operand routing (mirrors the LDFG edges).
+    dfg::NodeId src1 = dfg::NoNode;
+    dfg::NodeId src2 = dfg::NoNode;
+    int live_in1 = -1;
+    int live_in2 = -1;
+
+    // Predication wiring.
+    std::vector<dfg::NodeId> guards;
+    dfg::NodeId prev_dest_writer = dfg::NoNode;
+    int prev_dest_live_in = -1;
+
+    double op_latency = 1.0;
+
+    // --- Memory optimization annotations (paper §4.2) ---
+    /** Static store->load forwarding: serve from this store node. */
+    dfg::NodeId forward_from_store = dfg::NoNode;
+    /** Vectorized load group id (-1 = none); leader pays the access. */
+    int vector_group = -1;
+    bool vector_leader = false;
+    /** Prefetch next iteration's line at addr + stride. */
+    bool prefetch = false;
+    int32_t prefetch_stride = 0;
+
+    bool isGuarded() const { return !guards.empty(); }
+};
+
+/** One tiled instance of the (virtual) SDFG (paper Fig. 6). */
+struct TileInstance
+{
+    ic::Coord origin{0, 0}; ///< Physical offset of this tile.
+    /**
+     * Offsets added to latched live-in registers (staggered
+     * induction starts: instance k starts at base + k * step).
+     */
+    std::map<int, int32_t> reg_offsets;
+};
+
+/** The full accelerator configuration for one code region. */
+struct AcceleratorConfig
+{
+    uint32_t region_start = 0; ///< Loop body pc range.
+    uint32_t region_end = 0;
+
+    /** pc the CPU resumes at when the loop completes (defaults to
+     *  region_end; unrolled loops resume at the closing branch so the
+     *  CPU runs the remaining tail iterations). */
+    uint32_t resume_pc = 0;
+
+    int rows = 0; ///< Virtual grid dimensions used by the placement.
+    int cols = 0;
+
+    /** Per-node slots in program order. */
+    std::vector<PeSlot> slots;
+
+    /** Live-in unified registers to latch from the CPU at offload. */
+    std::set<int> live_ins;
+
+    /** Live-outs: unified register -> final writer node. */
+    std::map<int, dfg::NodeId> live_outs;
+
+    /** Induction registers (for tiling stagger + write-back rules). */
+    std::vector<dfg::InductionReg> inductions;
+
+    /** Immediate overrides (scaled induction steps under tiling). */
+    std::map<dfg::NodeId, int32_t> imm_overrides;
+
+    /** Tiled instances; size 1 when tiling is off. */
+    std::vector<TileInstance> instances{TileInstance{}};
+
+    /** Overlap successive iterations (loop pipelining). */
+    bool pipelined = false;
+
+    /** Time-multiplexing factor: instructions per PE (extension; 1 =
+     *  pure spatial mapping as in the paper). */
+    int time_multiplex = 1;
+
+    /** Size of the configuration bitstream in 32-bit words. */
+    size_t config_words = 0;
+
+    /** Modeled per-iteration latency at build time (cache reuse). */
+    double model_latency = 0.0;
+
+    size_t size() const { return slots.size(); }
+    int tileCount() const { return int(instances.size()); }
+};
+
+} // namespace mesa::accel
+
+#endif // MESA_ACCEL_CONFIG_TYPES_HH

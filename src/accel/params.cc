@@ -1,0 +1,97 @@
+#include "accel/params.hh"
+
+#include "util/logging.hh"
+
+namespace mesa::accel
+{
+
+using riscv::OpClass;
+
+bool
+AccelParams::supportsOp(ic::Coord pos, OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::FpAlu:
+      case OpClass::FpMul:
+      case OpClass::FpDiv: {
+        if (!fp_slices)
+            return false;
+        // FP slices striped in alternating columns (half of all PEs
+        // carry FP logic); FP dataflow chains then run vertically
+        // over the single-cycle local links with integer/memory
+        // columns interleaved beside them.
+        return pos.c % 2 == 0;
+      }
+      case OpClass::Nop:
+      case OpClass::System:
+        return false;
+      default:
+        // Integer ALU/mul/div, memory address generation, branches:
+        // every PE.
+        return true;
+    }
+}
+
+Matrix<uint8_t>
+AccelParams::opMask(OpClass cls) const
+{
+    Matrix<uint8_t> m(size_t(rows), size_t(cols), 0);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            m(size_t(r), size_t(c)) = supportsOp({r, c}, cls) ? 1 : 0;
+    return m;
+}
+
+AccelParams
+AccelParams::m64()
+{
+    AccelParams p;
+    p.name = "M-64";
+    p.rows = 16;
+    p.cols = 4;
+    p.mem_ports = 8;
+    return p;
+}
+
+AccelParams
+AccelParams::m128()
+{
+    AccelParams p;
+    p.name = "M-128";
+    p.rows = 16;
+    p.cols = 8;
+    p.mem_ports = 16;
+    return p;
+}
+
+AccelParams
+AccelParams::m512()
+{
+    AccelParams p;
+    p.name = "M-512";
+    p.rows = 64;
+    p.cols = 8;
+    p.mem_ports = 32;
+    return p;
+}
+
+AccelParams
+AccelParams::withPeCount(int pes)
+{
+    AccelParams p;
+    if (pes < 4)
+        fatal("AccelParams::withPeCount: need at least 4 PEs");
+    // Keep 4-8 columns like the paper's configurations, preferring
+    // tall grids (tiles stack vertically).
+    const int cols = pes >= 128 ? 8 : 4;
+    if (pes % cols != 0)
+        fatal("AccelParams::withPeCount: ", pes,
+              " not divisible into ", cols, " columns");
+    p.rows = pes / cols;
+    p.cols = cols;
+    p.name = "M-" + std::to_string(pes);
+    p.mem_ports = unsigned(std::max(2, pes / 8));
+    return p;
+}
+
+} // namespace mesa::accel

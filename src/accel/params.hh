@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Parameters of the custom parameterizable spatial accelerator (paper
+ * §5.2): PE grid geometry, FP-slice placement, memory ports, NoC
+ * slice width, and the standard M-64 / M-128 / M-512 configurations
+ * used throughout the evaluation.
+ */
+
+#ifndef MESA_ACCEL_PARAMS_HH
+#define MESA_ACCEL_PARAMS_HH
+
+#include <string>
+
+#include "dfg/ldfg.hh"
+#include "interconnect/interconnect.hh"
+#include "riscv/isa.hh"
+#include "util/matrix.hh"
+
+namespace mesa::accel
+{
+
+/** Geometry and timing of one accelerator backend. */
+struct AccelParams
+{
+    std::string name = "M-128";
+    int rows = 16;
+    int cols = 8;
+
+    /**
+     * Shared memory ports serving all load/store entries. The paper's
+     * LS subsystem (9.62mm^2 of entries + buffers for M-128) sustains
+     * many accesses per cycle across its banks.
+     */
+    unsigned mem_ports = 16;
+
+    /**
+     * Cycles between successive issues to the same PE (pipelined
+     * functional units; 1 = fully pipelined, like the CPU's FUs).
+     */
+    unsigned pe_issue_interval = 1;
+
+    /** Infinite memory ports ("ideal memory" of Fig. 15). */
+    bool ideal_memory = false;
+
+    /** Shared DRAM bandwidth (accesses per cycle), same channels the
+     *  CPU baseline contends on. Ignored under ideal_memory. */
+    double dram_accesses_per_cycle = 1.0;
+
+    /**
+     * FP-capable PEs are arranged in 2x2 FP slices tiled in a
+     * checkerboard over 2x2 blocks (half of all PEs, paper §5.2).
+     * false disables FP entirely (integer-only backend).
+     */
+    bool fp_slices = true;
+
+    /** Routing logic at every noc_slice_width PEs (paper Fig. 9). */
+    int noc_slice_width = 4;
+
+    /** Secondary data-forwarding bus for unmapped instructions. */
+    double fallback_bus_latency = 8.0;
+
+    /** PE operation latencies (same classes as the CPU model). */
+    dfg::OpLatencyConfig op_latency;
+
+    /** Configuration-bitstream write bandwidth, words per cycle. */
+    unsigned config_words_per_cycle = 1;
+
+    size_t capacity() const { return size_t(rows) * size_t(cols); }
+
+    /** Does the PE at pos support the operation class? */
+    bool supportsOp(ic::Coord pos, riscv::OpClass cls) const;
+
+    /** F_op mask for an operation class (1 = supported). */
+    Matrix<uint8_t> opMask(riscv::OpClass cls) const;
+
+    /** Standard configurations from the paper's evaluation. */
+    static AccelParams m64();   ///< 16x4, 64 PEs
+    static AccelParams m128();  ///< 16x8, 128 PEs
+    static AccelParams m512();  ///< 64x8, 512 PEs
+
+    /** Arbitrary PE count with the default aspect ratio (Fig. 15). */
+    static AccelParams withPeCount(int pes);
+};
+
+} // namespace mesa::accel
+
+#endif // MESA_ACCEL_PARAMS_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * DynaSpAM-substitute baseline (paper §2, §6.2, Fig. 14): dynamic
+ * mapping of program traces onto a fixed 1D feed-forward CGRA inside
+ * the core pipeline, driven by out-of-order instruction schedules.
+ * The 1D fabric forwards values only downstream with cheap
+ * single-cycle hops, maps a limited trace window, and shares the
+ * core's memory ports.
+ */
+
+#ifndef MESA_BASELINE_DYNASPAM_HH
+#define MESA_BASELINE_DYNASPAM_HH
+
+#include <cstdint>
+
+#include "dfg/ldfg.hh"
+
+namespace mesa::baseline
+{
+
+/** Fabric parameters (DynaSpAM paper's CCA-like configuration). */
+struct DynaSpamParams
+{
+    /** Functional units per fabric row (issue slots per cycle). */
+    unsigned row_width = 4;
+
+    /** Fabric depth: rows of the feed-forward array. */
+    unsigned depth = 8;
+
+    /** Largest trace (instructions) mappable onto the fabric. */
+    size_t max_trace = 64;
+
+    /** Memory ports shared with the core. */
+    unsigned mem_ports = 2;
+
+    /**
+     * Average memory access time for in-pipeline accesses; the
+     * fabric shares the core's memory system, so callers should pass
+     * the AMAT measured on the baseline run.
+     */
+    double mem_latency = 4.0;
+
+    /** Outstanding misses the core's LSQ sustains (MLP). */
+    unsigned mlp = 8;
+
+    /** Cost of a value crossing one fabric row. */
+    double hop_latency = 0.0;
+};
+
+/** Per-loop mapping outcome. */
+struct DynaSpamResult
+{
+    bool qualified = false;   ///< Trace fits and maps to the fabric.
+    double per_iter_cycles = 0.0;
+
+    uint64_t
+    cyclesFor(uint64_t iterations) const
+    {
+        return uint64_t(per_iter_cycles * double(iterations));
+    }
+};
+
+/** The 1D feed-forward trace mapper. */
+class DynaSpamMapper
+{
+  public:
+    explicit DynaSpamMapper(const DynaSpamParams &params = {})
+        : params_(params)
+    {}
+
+    /** Map a loop body; per-iteration throughput in steady state. */
+    DynaSpamResult map(const dfg::Ldfg &ldfg) const;
+
+  private:
+    DynaSpamParams params_;
+};
+
+} // namespace mesa::baseline
+
+#endif // MESA_BASELINE_DYNASPAM_HH

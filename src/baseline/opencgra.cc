@@ -1,0 +1,109 @@
+#include "baseline/opencgra.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mesa::baseline
+{
+
+using dfg::Ldfg;
+using dfg::NodeId;
+using dfg::NoNode;
+using riscv::OpClass;
+
+CgraSchedule
+OpenCgraScheduler::schedule(const Ldfg &ldfg) const
+{
+    CgraSchedule s;
+
+    // --- ResMII: operations competing for time-multiplexed PEs. ---
+    // FP ops can only run on FP-capable PEs (half the array when FP
+    // slices are enabled).
+    const double pes =
+        double(accel_.capacity()) * params_.pe_utilization;
+    const double fp_pes = accel_.fp_slices ? pes / 2.0 : 0.0;
+
+    size_t fp_ops = 0;
+    for (const auto &node : ldfg.nodes()) {
+        const OpClass cls = node.inst.cls();
+        if (cls == OpClass::FpAlu || cls == OpClass::FpMul ||
+            cls == OpClass::FpDiv) {
+            ++fp_ops;
+        }
+    }
+    double res = double(ldfg.size()) / pes;
+    if (fp_ops > 0 && fp_pes > 0)
+        res = std::max(res, double(fp_ops) / fp_pes);
+    s.res_mii = std::max(1u, unsigned(std::ceil(res)));
+
+    // --- RecMII: loop-carried recurrences. For each register that is
+    // both live-in and written, the cycle closes with distance 1, so
+    // RecMII >= latency of the path from the live-in's first use to
+    // the register's final writer. ---
+    auto node_lat = [&](const dfg::LdfgNode &node) {
+        if (node.inst.isLoad())
+            return params_.mem_latency;
+        return node.op_latency;
+    };
+
+    // Longest path ending at each node that started at a node reading
+    // a loop-carried live-in.
+    const auto &live_ins = ldfg.liveIns();
+    std::vector<double> carried(ldfg.size(), -1.0);
+    double rec = 1.0;
+    for (const auto &node : ldfg.nodes()) {
+        double best = -1.0;
+        const bool reads_carried =
+            (node.live_in1 >= 0 &&
+             ldfg.writtenRegs().count(node.live_in1)) ||
+            (node.live_in2 >= 0 &&
+             ldfg.writtenRegs().count(node.live_in2));
+        if (reads_carried)
+            best = 0.0;
+        auto consider = [&](NodeId src) {
+            if (src == NoNode || carried[size_t(src)] < 0.0)
+                return;
+            best = std::max(best, carried[size_t(src)] +
+                                      params_.avg_transfer_latency);
+        };
+        consider(node.src1);
+        consider(node.src2);
+        if (best < 0.0)
+            continue;
+        carried[size_t(node.id)] = best + node_lat(node);
+
+        // Does this node close a recurrence (final writer of a
+        // carried register)?
+        const int dest = node.inst.unifiedDest();
+        if (dest >= 0 && live_ins.count(dest) &&
+            ldfg.finalRename().lookup(dest) == node.id) {
+            rec = std::max(rec, carried[size_t(node.id)]);
+        }
+    }
+    s.rec_mii = std::max(1u, unsigned(std::ceil(rec)));
+
+    s.ii = std::max(s.res_mii, s.rec_mii);
+
+    // Schedule length: dataflow critical path with compiler-grade
+    // transfer latencies.
+    std::vector<double> completion(ldfg.size(), 0.0);
+    double total = 0.0;
+    for (const auto &node : ldfg.nodes()) {
+        double arrival = 0.0;
+        auto consider = [&](NodeId src) {
+            if (src == NoNode)
+                return;
+            arrival = std::max(arrival, completion[size_t(src)] +
+                                            params_.avg_transfer_latency);
+        };
+        consider(node.src1);
+        consider(node.src2);
+        completion[size_t(node.id)] = arrival + node_lat(node);
+        total = std::max(total, completion[size_t(node.id)]);
+    }
+    s.schedule_length = total;
+    return s;
+}
+
+} // namespace mesa::baseline

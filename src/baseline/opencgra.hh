@@ -1,0 +1,76 @@
+/**
+ * @file
+ * OpenCGRA-substitute baseline (paper §6.2, Fig. 12): a classical
+ * ahead-of-time modulo scheduler for a time-multiplexed CGRA of the
+ * same PE count. Computes the initiation interval II = max(ResMII,
+ * RecMII) and the schedule length; steady-state per-iteration cycles
+ * equal II. This is the compiler-quality schedule MESA's one-shot
+ * spatial map is compared against.
+ */
+
+#ifndef MESA_BASELINE_OPENCGRA_HH
+#define MESA_BASELINE_OPENCGRA_HH
+
+#include <cstdint>
+
+#include "accel/params.hh"
+#include "dfg/ldfg.hh"
+
+namespace mesa::baseline
+{
+
+/** Modulo-scheduler knobs. */
+struct CgraParams
+{
+    /** Average compiler-achieved transfer latency between PEs. */
+    double avg_transfer_latency = 1.0;
+
+    /** Modeled memory latency for scheduled loads (compiler
+     *  prefetching keeps accesses near the L1). */
+    double mem_latency = 6.0;
+
+    /** Fraction of PEs usable per cycle after routing constraints. */
+    double pe_utilization = 0.85;
+};
+
+/** Result of modulo-scheduling one loop body. */
+struct CgraSchedule
+{
+    unsigned res_mii = 1;   ///< Resource-constrained minimum II.
+    unsigned rec_mii = 1;   ///< Recurrence-constrained minimum II.
+    unsigned ii = 1;        ///< Achieved initiation interval.
+    double schedule_length = 0.0; ///< First-iteration latency.
+
+    /** Steady-state per-iteration cycles (software pipelined). */
+    double perIterationCycles() const { return double(ii); }
+
+    uint64_t
+    cyclesFor(uint64_t iterations) const
+    {
+        if (iterations == 0)
+            return 0;
+        return uint64_t(schedule_length) +
+               uint64_t(double(iterations - 1) * ii);
+    }
+};
+
+/** The modulo scheduler. */
+class OpenCgraScheduler
+{
+  public:
+    OpenCgraScheduler(const accel::AccelParams &accel,
+                      const CgraParams &params = {})
+        : accel_(accel), params_(params)
+    {}
+
+    /** Schedule a loop body's LDFG. */
+    CgraSchedule schedule(const dfg::Ldfg &ldfg) const;
+
+  private:
+    const accel::AccelParams &accel_;
+    CgraParams params_;
+};
+
+} // namespace mesa::baseline
+
+#endif // MESA_BASELINE_OPENCGRA_HH

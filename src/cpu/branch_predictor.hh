@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Simple bimodal (2-bit saturating counter) branch predictor used by
+ * the OoO core timing model to charge mispredict penalties.
+ */
+
+#ifndef MESA_CPU_BRANCH_PREDICTOR_HH
+#define MESA_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mesa::cpu
+{
+
+/** Bimodal predictor: one 2-bit counter per (hashed) branch pc. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(size_t entries = 4096)
+        : table_(entries, 1) // weakly not-taken
+    {}
+
+    bool
+    predict(uint32_t pc) const
+    {
+        return table_[index(pc)] >= 2;
+    }
+
+    /** Update with the resolved outcome; returns true on mispredict. */
+    bool
+    update(uint32_t pc, bool taken)
+    {
+        const bool mispredicted = predict(pc) != taken;
+        uint8_t &ctr = table_[index(pc)];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        ++lookups_;
+        if (mispredicted)
+            ++mispredicts_;
+        return mispredicted;
+    }
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+    double
+    mispredictRate() const
+    {
+        return lookups_ ? double(mispredicts_) / double(lookups_) : 0.0;
+    }
+
+  private:
+    size_t index(uint32_t pc) const { return (pc >> 2) % table_.size(); }
+
+    std::vector<uint8_t> table_;
+    uint64_t lookups_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+/**
+ * Gshare predictor: 2-bit counters indexed by pc XOR a global branch
+ * history register. Captures correlated/patterned branches the
+ * bimodal table cannot (optional upgrade for the core model).
+ */
+class GsharePredictor
+{
+  public:
+    explicit GsharePredictor(size_t entries = 4096,
+                             unsigned history_bits = 12)
+        : table_(entries, 1),
+          history_mask_((1u << history_bits) - 1)
+    {}
+
+    bool
+    predict(uint32_t pc) const
+    {
+        return table_[index(pc)] >= 2;
+    }
+
+    /** Update with the resolved outcome; returns true on mispredict. */
+    bool
+    update(uint32_t pc, bool taken)
+    {
+        const bool mispredicted = predict(pc) != taken;
+        uint8_t &ctr = table_[index(pc)];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+        ++lookups_;
+        if (mispredicted)
+            ++mispredicts_;
+        return mispredicted;
+    }
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+    double
+    mispredictRate() const
+    {
+        return lookups_ ? double(mispredicts_) / double(lookups_) : 0.0;
+    }
+
+  private:
+    size_t
+    index(uint32_t pc) const
+    {
+        return ((pc >> 2) ^ history_) % table_.size();
+    }
+
+    std::vector<uint8_t> table_;
+    uint32_t history_ = 0;
+    uint32_t history_mask_;
+    uint64_t lookups_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+} // namespace mesa::cpu
+
+#endif // MESA_CPU_BRANCH_PREDICTOR_HH

@@ -1,0 +1,36 @@
+#include "cpu/lsd.hh"
+
+namespace mesa::cpu
+{
+
+void
+LoopStreamDetector::observe(const riscv::TraceEntry &entry)
+{
+    const riscv::Instruction &inst = entry.inst;
+
+    // Escaping the candidate body resets confirmation.
+    if (candidate_.valid() && !candidate_.contains(inst.pc)) {
+        candidate_ = LoopInfo{};
+    }
+
+    if (!inst.isBackwardBranch() || !entry.branch_taken)
+        return;
+    ++backward_branches_;
+
+    const uint32_t start = inst.targetPc();
+    const uint32_t end = inst.pc + 4;
+    const size_t body = size_t(end - start) / 4;
+    if (body == 0 || body > max_body_)
+        return; // fails C1: cannot fit the accelerator
+
+    if (candidate_.start == start && candidate_.end == end) {
+        ++candidate_.iterations_seen;
+    } else {
+        candidate_.start = start;
+        candidate_.end = end;
+        candidate_.body_instructions = body;
+        candidate_.iterations_seen = 1;
+    }
+}
+
+} // namespace mesa::cpu

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Loop-stream detector (paper §4.1, criterion C1). Watches the
+ * committed PC stream for backward branches whose bodies fit within
+ * the accelerator's instruction capacity and confirms candidates by
+ * observing consecutive full iterations.
+ */
+
+#ifndef MESA_CPU_LSD_HH
+#define MESA_CPU_LSD_HH
+
+#include <cstdint>
+
+#include "riscv/emulator.hh"
+
+namespace mesa::cpu
+{
+
+/** A detected loop: the half-open pc range [start, end). */
+struct LoopInfo
+{
+    uint32_t start = 0;       ///< pc of the first body instruction.
+    uint32_t end = 0;         ///< pc just past the backward branch.
+    size_t body_instructions = 0;
+    uint64_t iterations_seen = 0;
+
+    bool valid() const { return end > start; }
+    uint32_t branchPc() const { return end - 4; }
+
+    bool
+    contains(uint32_t pc) const
+    {
+        return pc >= start && pc < end;
+    }
+};
+
+/**
+ * Detects loops from explicit backward branches in the commit stream.
+ * A candidate is confirmed once the same backward branch is taken
+ * twice in a row with no intervening escape from the body range.
+ */
+class LoopStreamDetector
+{
+  public:
+    /**
+     * @param max_body maximum body size in instructions (C1: must fit
+     *        the accelerator; larger loops are never candidates)
+     */
+    explicit LoopStreamDetector(size_t max_body = 512)
+        : max_body_(max_body)
+    {}
+
+    void observe(const riscv::TraceEntry &entry);
+
+    /** A confirmed loop: taken twice consecutively, size within C1. */
+    bool confirmed() const { return candidate_.iterations_seen >= 2; }
+
+    const LoopInfo &candidate() const { return candidate_; }
+
+    void reset() { candidate_ = LoopInfo{}; }
+
+    uint64_t backwardBranchesSeen() const { return backward_branches_; }
+
+  private:
+    size_t max_body_;
+    LoopInfo candidate_;
+    uint64_t backward_branches_ = 0;
+};
+
+} // namespace mesa::cpu
+
+#endif // MESA_CPU_LSD_HH

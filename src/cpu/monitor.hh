@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Region monitor (paper §4.1): the non-intrusive instruction
+ * monitoring logic at the core's decode stage that evaluates the
+ * three acceleration criteria —
+ *   C1 valid loop detection (via the loop-stream detector),
+ *   C2 control check (no unsupported instructions),
+ *   C3 instruction mix and expected-iteration heuristics —
+ * and captures the region into the trace cache.
+ */
+
+#ifndef MESA_CPU_MONITOR_HH
+#define MESA_CPU_MONITOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cpu/lsd.hh"
+#include "cpu/trace_cache.hh"
+#include "riscv/emulator.hh"
+
+namespace mesa::cpu
+{
+
+/** Tunables of the acceleration-viability decision. */
+struct MonitorParams
+{
+    /** Accelerator instruction capacity (C1 bound). */
+    size_t max_instructions = 128;
+
+    /**
+     * Minimum estimated remaining iterations: the paper's evaluation
+     * shows 50-100 iterations are needed to amortize configuration.
+     */
+    uint64_t min_expected_iterations = 50;
+
+    /** C3: minimum fraction of compute (non-memory, non-control). */
+    double min_compute_frac = 0.15;
+
+    /** C3: maximum fraction of memory instructions. */
+    double max_mem_frac = 0.7;
+};
+
+/** Why a loop was rejected for acceleration. */
+enum class RejectReason
+{
+    None = 0,
+    TooLarge,           ///< C1: body exceeds accelerator capacity.
+    UnsupportedInstr,   ///< C2: system/indirect/inner-loop instruction.
+    EarlyExit,          ///< C2: control left the body mid-iteration.
+    PoorMix,            ///< C3: unfavorable instruction mix.
+    FewIterations       ///< C3: expected iterations below threshold.
+};
+
+const char *rejectReasonName(RejectReason reason);
+
+/** Outcome of monitoring one loop region. */
+struct MonitorDecision
+{
+    bool qualified = false;
+    RejectReason reason = RejectReason::None;
+    LoopInfo loop;
+    uint64_t est_remaining_iterations = 0;
+    double compute_frac = 0.0;
+    double mem_frac = 0.0;
+    double control_frac = 0.0;
+};
+
+/**
+ * Drives C1->C2->C3 over the committed instruction stream and fills
+ * the trace cache. Feed every TraceEntry via observe(); poll
+ * decision() for a verdict. After a rejection, call rearm() to watch
+ * for the next loop.
+ */
+class RegionMonitor
+{
+  public:
+    explicit RegionMonitor(const MonitorParams &params = {});
+
+    void observe(const riscv::TraceEntry &entry);
+
+    /** Verdict, if one has been reached. */
+    const std::optional<MonitorDecision> &decision() const
+    {
+        return decision_;
+    }
+
+    /** The captured region body (valid once qualified). */
+    TraceCache &traceCache() { return trace_cache_; }
+
+    /** Forget the current candidate and verdict; resume watching. */
+    void rearm();
+
+    /** Never consider this region again (e.g., after mapping failed). */
+    void blacklist(uint32_t start);
+
+    const MonitorParams &params() const { return params_; }
+
+  private:
+    void startChecking();
+    void finishIteration(const riscv::TraceEntry &branch_entry);
+    void reject(RejectReason reason);
+
+    MonitorParams params_;
+    LoopStreamDetector lsd_;
+    TraceCache trace_cache_;
+    std::optional<MonitorDecision> decision_;
+
+    enum class State { Watching, Checking } state_ = State::Watching;
+    LoopInfo loop_;
+
+    // C2/C3 tallies for the current pass.
+    bool c2_violation_ = false;
+    uint64_t tally_compute_ = 0;
+    uint64_t tally_mem_ = 0;
+    uint64_t tally_control_ = 0;
+    uint64_t passes_ = 0;
+
+    // Branch-condition trip estimation: consecutive operand samples
+    // at the closing branch.
+    bool have_prev_branch_vals_ = false;
+    uint32_t prev_src1_ = 0;
+    uint32_t prev_src2_ = 0;
+    std::optional<uint64_t> est_remaining_;
+
+    std::vector<uint32_t> blacklist_;
+};
+
+} // namespace mesa::cpu
+
+#endif // MESA_CPU_MONITOR_HH

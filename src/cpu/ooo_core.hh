@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dependency-dataflow timing model of an out-of-order core. Consumes
+ * the committed dynamic instruction stream from the functional
+ * emulator and computes cycle counts under dispatch-width, ROB,
+ * functional-unit, memory-hierarchy, and branch-mispredict
+ * constraints. This is the gem5-substitute baseline core (DESIGN.md
+ * "Substitutions").
+ */
+
+#ifndef MESA_CPU_OOO_CORE_HH
+#define MESA_CPU_OOO_CORE_HH
+
+#include <array>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/branch_predictor.hh"
+#include "cpu/params.hh"
+#include "mem/cache.hh"
+#include "riscv/emulator.hh"
+#include "util/slot_pool.hh"
+
+namespace mesa::cpu
+{
+
+/** Per-run statistics of the core model. */
+struct CoreStats
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t fp_ops = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0.0;
+    }
+};
+
+/**
+ * The OoO core timing model. Feed committed instructions via
+ * consume(); read the final cycle count with finish().
+ *
+ * Model summary: instruction i dispatches at most issue_width per
+ * cycle, no earlier than when its ROB slot frees (in-order commit of
+ * the instruction rob_size older). It issues when its sources are
+ * ready and a functional unit of its class is free, executes for the
+ * class latency (loads: the memory hierarchy's per-access latency),
+ * and commits in order at most issue_width per cycle. A mispredicted
+ * branch stalls dispatch of younger instructions until it resolves
+ * plus the front-end refill penalty.
+ */
+class OooCore
+{
+  public:
+    OooCore(const CoreParams &params, mem::MemHierarchy &mem);
+
+    /** Account one committed instruction. */
+    void consume(const riscv::TraceEntry &entry);
+
+    /** Drain the pipeline; returns total cycles. */
+    uint64_t finish();
+
+    const CoreStats &stats() const { return stats_; }
+    uint64_t cycles() const { return stats_.cycles; }
+    const BranchPredictor &predictor() const { return predictor_; }
+
+    /** Reset all pipeline and stat state (memory hierarchy untouched). */
+    void reset();
+
+  private:
+    uint64_t acquireFu(riscv::OpClass cls, uint64_t ready);
+
+    const CoreParams params_;
+    mem::MemHierarchy &mem_;
+    BranchPredictor predictor_;
+    GsharePredictor gshare_;
+
+    /** Completion cycle of the current producer of each unified reg. */
+    std::array<uint64_t, riscv::NumUnifiedRegs> reg_ready_{};
+
+    /** Commit cycles of the last rob_size instructions (slot reuse). */
+    std::deque<uint64_t> rob_commits_;
+
+    /** Per-FU-class per-cycle issue capacity. */
+    std::vector<SlotPool> fu_pools_;
+
+    /** Store completion by address for store->load forwarding. */
+    std::unordered_map<uint32_t, uint64_t> store_ready_;
+
+    uint64_t dispatch_cycle_ = 0;
+    unsigned dispatched_this_cycle_ = 0;
+    uint64_t fetch_stall_until_ = 0;
+    uint64_t last_commit_ = 0;
+    unsigned committed_this_cycle_ = 0;
+    uint64_t last_commit_cycle_ = 0;
+
+    CoreStats stats_;
+};
+
+} // namespace mesa::cpu
+
+#endif // MESA_CPU_OOO_CORE_HH

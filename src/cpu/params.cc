@@ -1,0 +1,44 @@
+#include "cpu/params.hh"
+
+namespace mesa::cpu
+{
+
+unsigned
+FuPool::count(riscv::OpClass cls) const
+{
+    using riscv::OpClass;
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Jump:
+        return int_alu;
+      case OpClass::IntMul: return int_mul;
+      case OpClass::IntDiv: return int_div;
+      case OpClass::FpAlu: return fp_alu;
+      case OpClass::FpMul: return fp_mul;
+      case OpClass::FpDiv: return fp_div;
+      case OpClass::Load: return load_ports;
+      case OpClass::Store: return store_ports;
+      default: return int_alu;
+    }
+}
+
+CoreParams
+defaultCore()
+{
+    return CoreParams{};
+}
+
+CoreParams
+dynaspamBaselineCore()
+{
+    // The DynaSpAM paper's gem5 parameters: 4-wide OoO core with a
+    // 168-entry ROB (Haswell-like window).
+    CoreParams p;
+    p.issue_width = 4;
+    p.rob_size = 168;
+    p.mispredict_penalty = 14;
+    return p;
+}
+
+} // namespace mesa::cpu

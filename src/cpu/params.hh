@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Configuration parameters for the out-of-order CPU core timing model
+ * (the gem5/BOOM-like baseline of the paper's evaluation, §6.1:
+ * 16-core quad-issue out-of-order RISC-V CPU).
+ */
+
+#ifndef MESA_CPU_PARAMS_HH
+#define MESA_CPU_PARAMS_HH
+
+#include <cstdint>
+
+#include "dfg/ldfg.hh"
+
+namespace mesa::cpu
+{
+
+/** Functional-unit pool sizes for one core. */
+struct FuPool
+{
+    unsigned int_alu = 4;
+    unsigned int_mul = 2;
+    unsigned int_div = 1;
+    unsigned fp_alu = 2;
+    unsigned fp_mul = 2;
+    unsigned fp_div = 1;
+    unsigned load_ports = 2;
+    unsigned store_ports = 1;
+
+    unsigned count(riscv::OpClass cls) const;
+};
+
+/** Core-wide microarchitecture parameters. */
+struct CoreParams
+{
+    unsigned issue_width = 4;        ///< Dispatch/issue/commit width.
+    unsigned rob_size = 192;
+    unsigned mispredict_penalty = 12;
+
+    /**
+     * Front-end redirect bubble on correctly predicted *taken*
+     * branches (fetch discontinuity): cycles before younger
+     * instructions can dispatch.
+     */
+    unsigned taken_branch_bubble = 2;
+
+    /** Use the history-based gshare predictor instead of bimodal. */
+    bool use_gshare = false;
+
+    FuPool fus;
+    dfg::OpLatencyConfig op_latency; ///< Execution latency per class.
+};
+
+/** Single-core parameters matching the DynaSpAM comparison setup. */
+CoreParams dynaspamBaselineCore();
+
+/** Default quad-issue BOOM-like core. */
+CoreParams defaultCore();
+
+} // namespace mesa::cpu
+
+#endif // MESA_CPU_PARAMS_HH

@@ -1,0 +1,64 @@
+#include "cpu/trace_cache.hh"
+
+#include "util/logging.hh"
+
+namespace mesa::cpu
+{
+
+void
+TraceCache::setRegion(uint32_t start, uint32_t end)
+{
+    if (end < start || (end - start) % 4 != 0)
+        fatal("TraceCache: malformed region [", start, ", ", end, ")");
+    const size_t n = size_t(end - start) / 4;
+    if (n > capacity_)
+        fatal("TraceCache: region of ", n, " instructions exceeds ",
+              "capacity ", capacity_);
+    start_ = start;
+    end_ = end;
+    words_.assign(n, 0);
+    valid_.assign(n, false);
+    valid_count_ = 0;
+}
+
+void
+TraceCache::fill(uint32_t pc, uint32_t word)
+{
+    if (pc < start_ || pc >= end_)
+        return;
+    const size_t idx = size_t(pc - start_) / 4;
+    if (!valid_[idx]) {
+        words_[idx] = word;
+        valid_[idx] = true;
+        ++valid_count_;
+        ++fills_;
+    }
+}
+
+size_t
+TraceCache::backfill(const mem::MainMemory &memory)
+{
+    size_t fetched = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        if (!valid_[i]) {
+            words_[i] = memory.read32(start_ + uint32_t(4 * i));
+            valid_[i] = true;
+            ++valid_count_;
+            ++fetched;
+        }
+    }
+    return fetched;
+}
+
+std::vector<riscv::Instruction>
+TraceCache::body() const
+{
+    MESA_ASSERT(complete(), "TraceCache::body: region not fully captured");
+    std::vector<riscv::Instruction> out;
+    out.reserve(words_.size());
+    for (size_t i = 0; i < words_.size(); ++i)
+        out.push_back(riscv::decode(words_[i], start_ + uint32_t(4 * i)));
+    return out;
+}
+
+} // namespace mesa::cpu

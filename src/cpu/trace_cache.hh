@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace cache (paper §4.1): a small instruction store near the
+ * I-cache holding only the instructions of the code region targeted
+ * for acceleration. MESA builds the LDFG from here without
+ * interfering with regular fetch.
+ */
+
+#ifndef MESA_CPU_TRACE_CACHE_HH
+#define MESA_CPU_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory.hh"
+#include "riscv/encoding.hh"
+#include "riscv/instruction.hh"
+#include "util/stats.hh"
+
+namespace mesa::cpu
+{
+
+/**
+ * Capacity-bounded store of the region's instruction words, indexed
+ * by (pc - start) / 4, with per-slot valid bits. Filled
+ * opportunistically from the fetch/commit stream; missing slots can
+ * be backfilled from memory (modeling the fetch-stage stall the paper
+ * describes for stragglers).
+ */
+class TraceCache
+{
+  public:
+    /** @param capacity maximum instructions (= accelerator capacity). */
+    explicit TraceCache(size_t capacity = 512) : capacity_(capacity) {}
+
+    /** Bind the cache to a region; clears previous contents. */
+    void setRegion(uint32_t start, uint32_t end);
+
+    /** Offer an instruction word seen at pc (no-op outside region). */
+    void fill(uint32_t pc, uint32_t word);
+
+    /** All slots captured? */
+    bool complete() const { return valid_count_ == words_.size(); }
+
+    /** Fraction of region instructions captured. */
+    double
+    fillRatio() const
+    {
+        return words_.empty()
+                   ? 0.0
+                   : double(valid_count_) / double(words_.size());
+    }
+
+    /**
+     * Backfill missing slots by reading memory directly (the CPU
+     * fetch-stall path). Returns the number of slots fetched.
+     */
+    size_t backfill(const mem::MainMemory &memory);
+
+    /** Decode the whole captured body in program order. */
+    std::vector<riscv::Instruction> body() const;
+
+    size_t capacity() const { return capacity_; }
+    size_t regionInstructions() const { return words_.size(); }
+    uint32_t start() const { return start_; }
+    uint32_t end() const { return end_; }
+    uint64_t fills() const { return fills_.value(); }
+
+  private:
+    size_t capacity_;
+    uint32_t start_ = 0;
+    uint32_t end_ = 0;
+    std::vector<uint32_t> words_;
+    std::vector<bool> valid_;
+    size_t valid_count_ = 0;
+    Counter fills_{"fills"};
+};
+
+} // namespace mesa::cpu
+
+#endif // MESA_CPU_TRACE_CACHE_HH

@@ -1,0 +1,232 @@
+#include "dfg/analysis.hh"
+
+#include <algorithm>
+
+namespace mesa::dfg
+{
+
+using riscv::Op;
+
+int32_t
+VectorGroup::stride() const
+{
+    if (offsets.size() < 2)
+        return 0;
+    std::vector<int32_t> sorted = offsets;
+    std::sort(sorted.begin(), sorted.end());
+    const int32_t s = sorted[1] - sorted[0];
+    for (size_t i = 2; i < sorted.size(); ++i)
+        if (sorted[i] - sorted[i - 1] != s)
+            return 0;
+    return s;
+}
+
+std::vector<InductionReg>
+findInductionRegs(const Ldfg &ldfg)
+{
+    // Count writers per unified register and remember the last one.
+    std::map<int, std::vector<NodeId>> writers;
+    for (const auto &node : ldfg.nodes()) {
+        const int d = node.inst.unifiedDest();
+        if (d >= 0)
+            writers[d].push_back(node.id);
+    }
+
+    std::vector<InductionReg> out;
+    for (const auto &[r, ws] : writers) {
+        if (ws.size() != 1)
+            continue;
+        const LdfgNode &node = ldfg.node(ws.front());
+        // Must be r = r + imm where the source r is the live-in value
+        // (src renames to the live-in, not to another node), and it
+        // must not be guarded (conditionally-updated regs are not
+        // affine induction).
+        if (node.inst.op != Op::Addi || node.isGuarded())
+            continue;
+        if (node.live_in1 != r)
+            continue;
+        out.push_back({r, node.id, node.inst.imm});
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Key identifying a base-address source: producer node or live-in. */
+struct BaseKey
+{
+    NodeId producer;
+    int live_in;
+
+    bool
+    operator<(const BaseKey &o) const
+    {
+        return std::tie(producer, live_in) <
+               std::tie(o.producer, o.live_in);
+    }
+};
+
+} // namespace
+
+std::vector<VectorGroup>
+findVectorGroups(const Ldfg &ldfg)
+{
+    std::map<BaseKey, VectorGroup> groups;
+    for (const auto &node : ldfg.nodes()) {
+        if (!node.inst.isLoad())
+            continue;
+        BaseKey key{node.src1, node.live_in1};
+        auto &group = groups[key];
+        group.base_producer = node.src1;
+        group.base_reg = node.live_in1;
+        group.loads.push_back(node.id);
+        group.offsets.push_back(node.inst.imm);
+    }
+    std::vector<VectorGroup> out;
+    for (auto &[key, group] : groups) {
+        (void)key;
+        if (group.loads.size() >= 2)
+            out.push_back(std::move(group));
+    }
+    return out;
+}
+
+std::vector<NodeId>
+findPrefetchableLoads(const Ldfg &ldfg)
+{
+    const auto inductions = findInductionRegs(ldfg);
+    std::set<int> ind_regs;
+    std::set<NodeId> ind_nodes;
+    for (const auto &ind : inductions) {
+        ind_regs.insert(ind.unified_reg);
+        ind_nodes.insert(ind.update_node);
+    }
+
+    std::vector<NodeId> out;
+    for (const auto &node : ldfg.nodes()) {
+        if (!node.inst.isLoad())
+            continue;
+        // Base is a live-in induction register, or the induction
+        // update node itself: the next iteration's address is
+        // current + stride, so it can be prefetched one ahead.
+        const bool from_live_in =
+            node.src1 == NoNode && ind_regs.count(node.live_in1) > 0;
+        const bool from_update =
+            node.src1 != NoNode && ind_nodes.count(node.src1) > 0;
+        if (from_live_in || from_update)
+            out.push_back(node.id);
+    }
+    return out;
+}
+
+std::vector<ForwardPair>
+findForwardPairs(const Ldfg &ldfg)
+{
+    std::vector<ForwardPair> out;
+    for (const auto &load : ldfg.nodes()) {
+        if (!load.inst.isLoad())
+            continue;
+        // Find the youngest older store with identical base source
+        // and offset and matching width (word-sized only).
+        if (load.inst.op != Op::Lw && load.inst.op != Op::Flw)
+            continue;
+        NodeId best = NoNode;
+        for (const auto &store : ldfg.nodes()) {
+            if (store.id >= load.id || !store.inst.isStore())
+                continue;
+            if (store.inst.op != Op::Sw && store.inst.op != Op::Fsw)
+                continue;
+            const bool same_base = store.src1 == load.src1 &&
+                                   store.live_in1 == load.live_in1;
+            if (same_base && store.inst.imm == load.inst.imm)
+                best = store.id;
+        }
+        if (best != NoNode)
+            out.push_back({best, load.id});
+    }
+    return out;
+}
+
+std::vector<NodeId>
+findUnknownAddressStores(const Ldfg &ldfg)
+{
+    // Affine values: derived only from live-in registers and other
+    // affine nodes through address-arithmetic ops. Loads (and
+    // anything downstream of them) are data-dependent.
+    std::vector<bool> affine(ldfg.size(), false);
+    auto src_affine = [&](NodeId src, int live_in) {
+        if (src != NoNode)
+            return bool(affine[size_t(src)]);
+        (void)live_in;
+        return true; // live-in registers are iteration constants
+    };
+    for (const auto &node : ldfg.nodes()) {
+        switch (node.inst.op) {
+          case Op::Addi:
+          case Op::Add:
+          case Op::Sub:
+          case Op::Slli:
+          case Op::Lui:
+          case Op::Auipc:
+            affine[size_t(node.id)] =
+                src_affine(node.src1, node.live_in1) &&
+                src_affine(node.src2, node.live_in2) &&
+                !node.isGuarded();
+            break;
+          default:
+            affine[size_t(node.id)] = false;
+            break;
+        }
+    }
+
+    std::vector<NodeId> out;
+    for (const auto &node : ldfg.nodes()) {
+        if (!node.inst.isStore())
+            continue;
+        const bool known = node.src1 == NoNode
+                               ? true // live-in base register
+                               : bool(affine[size_t(node.src1)]);
+        if (!known)
+            out.push_back(node.id);
+    }
+    return out;
+}
+
+std::optional<LoopBranchInfo>
+analyzeLoopBranch(const Ldfg &ldfg)
+{
+    if (ldfg.size() == 0)
+        return std::nullopt;
+    const LdfgNode &br = ldfg.node(ldfg.backBranch());
+    if (!br.inst.isBranch())
+        return std::nullopt;
+
+    LoopBranchInfo info;
+    info.branch = br.id;
+
+    const auto inductions = findInductionRegs(ldfg);
+    auto match_induction = [&](NodeId src, int live_in)
+        -> std::optional<InductionReg> {
+        for (const auto &ind : inductions) {
+            if (src != NoNode && src == ind.update_node)
+                return ind;
+            if (src == NoNode && live_in == ind.unified_reg)
+                return ind;
+        }
+        return std::nullopt;
+    };
+
+    auto i1 = match_induction(br.src1, br.live_in1);
+    auto i2 = match_induction(br.src2, br.live_in2);
+    if (i1) {
+        info.induction = i1;
+        info.bound_reg = br.live_in2;
+    } else if (i2) {
+        info.induction = i2;
+        info.bound_reg = br.live_in1;
+    }
+    return info;
+}
+
+} // namespace mesa::dfg

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Static analyses over the LDFG used by MESA's memory optimizations
+ * (paper §4.2): induction-register detection, vectorizable load
+ * groups, speculative prefetch candidates, and static store->load
+ * forwarding pairs; plus trip-count estimation support for the
+ * instruction-mix criterion (C3).
+ */
+
+#ifndef MESA_DFG_ANALYSIS_HH
+#define MESA_DFG_ANALYSIS_HH
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "dfg/ldfg.hh"
+
+namespace mesa::dfg
+{
+
+/** An induction register: r = r + step once per iteration. */
+struct InductionReg
+{
+    int unified_reg = -1;
+    NodeId update_node = NoNode;
+    int32_t step = 0;
+};
+
+/** Loads sharing one (unchanged) base register: vectorizable. */
+struct VectorGroup
+{
+    int base_reg = -1;        ///< Unified live-in base register.
+    NodeId base_producer = NoNode; ///< Or a common producer node.
+    std::vector<NodeId> loads;
+    std::vector<int32_t> offsets;
+
+    /** Stride between consecutive offsets, 0 if irregular. */
+    int32_t stride() const;
+};
+
+/** A static store->load forwarding pair (same base reg + offset). */
+struct ForwardPair
+{
+    NodeId store = NoNode;
+    NodeId load = NoNode;
+};
+
+/**
+ * Find induction registers: live-in registers whose only in-body
+ * writer is an addi of a constant onto themselves.
+ */
+std::vector<InductionReg> findInductionRegs(const Ldfg &ldfg);
+
+/**
+ * Group loads by their base-address source (live-in register or
+ * producing node, tracked via the rename table during the LDFG
+ * build). Groups with >= 2 loads and regular stride are vectorizable.
+ */
+std::vector<VectorGroup> findVectorGroups(const Ldfg &ldfg);
+
+/**
+ * Loads whose base register depends only on induction registers can
+ * be speculatively prefetched an iteration ahead. Returns such loads.
+ */
+std::vector<NodeId> findPrefetchableLoads(const Ldfg &ldfg);
+
+/**
+ * Extraneous store->load pairs with identical base register and
+ * offset become direct forwarding edges.
+ */
+std::vector<ForwardPair> findForwardPairs(const Ldfg &ldfg);
+
+/**
+ * Description of the loop's closing branch, for trip-count estimation
+ * against live register values (used by monitor criterion C3).
+ */
+struct LoopBranchInfo
+{
+    NodeId branch = NoNode;
+    /** Induction register compared, if the comparison involves one. */
+    std::optional<InductionReg> induction;
+    /** The other comparison operand as a live-in register, if any. */
+    int bound_reg = -1;
+};
+
+std::optional<LoopBranchInfo> analyzeLoopBranch(const Ldfg &ldfg);
+
+/**
+ * Stores whose effective address is not an affine function of
+ * live-in/induction registers (e.g., computed from loaded data).
+ * Such stores cannot be statically disambiguated, so loop-level
+ * reordering optimizations (tiling, deep pipelining) must be
+ * conservative around them (paper §4.2 memory disambiguation).
+ */
+std::vector<NodeId> findUnknownAddressStores(const Ldfg &ldfg);
+
+} // namespace mesa::dfg
+
+#endif // MESA_DFG_ANALYSIS_HH

@@ -1,0 +1,115 @@
+#include "dfg/latency.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mesa::dfg
+{
+
+double
+LatencyModel::transferFrom(NodeId src, Coord dst_pos) const
+{
+    const Coord src_pos = sdfg_.coordOf(src);
+    if (!src_pos.valid() || !dst_pos.valid())
+        return fallback_;
+    return double(ic_.latency(src_pos, dst_pos));
+}
+
+double
+LatencyModel::edgeLatency(NodeId from, NodeId to, int operand) const
+{
+    const LdfgNode &node = ldfg_.node(to);
+    const double measured =
+        operand == 0 ? node.edge_lat1 : node.edge_lat2;
+    if (measured >= 0.0)
+        return measured;
+    return transferFrom(from, sdfg_.coordOf(to));
+}
+
+LatencyResult
+LatencyModel::evaluate() const
+{
+    LatencyResult res;
+    const size_t n = ldfg_.size();
+    res.completion.assign(n, 0.0);
+
+    // Program order is a topological order: every edge goes from a
+    // lower to a higher node id.
+    std::vector<NodeId> critical_pred(n, NoNode);
+    for (size_t i = 0; i < n; ++i) {
+        const LdfgNode &node = ldfg_.node(NodeId(i));
+        double arrival = 0.0; // live-ins available at cycle 0
+        NodeId argmax = NoNode;
+
+        auto consider = [&](NodeId src, int operand) {
+            if (src == NoNode)
+                return;
+            const double a = res.completion[size_t(src)] +
+                             edgeLatency(src, NodeId(i), operand);
+            if (a > arrival) {
+                arrival = a;
+                argmax = src;
+            }
+        };
+        consider(node.src1, 0);
+        consider(node.src2, 1);
+        // Predication: guards deliver the enable decision over the
+        // control network; the old-value hidden dependency must also
+        // arrive before the PE can forward it.
+        for (NodeId guard : node.guards)
+            consider(guard, 2);
+        if (node.isGuarded())
+            consider(node.prev_dest_writer, 2);
+
+        res.completion[i] = arrival + node.op_latency;
+        critical_pred[i] = argmax;
+        if (res.completion[i] > res.total)
+            res.total = res.completion[i];
+    }
+
+    // Backtrack the critical path from the max-completion node.
+    NodeId sink = NoNode;
+    double best = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+        if (res.completion[i] > best) {
+            best = res.completion[i];
+            sink = NodeId(i);
+        }
+    }
+    for (NodeId cur = sink; cur != NoNode;
+         cur = critical_pred[size_t(cur)]) {
+        res.critical_path.push_back(cur);
+    }
+    std::reverse(res.critical_path.begin(), res.critical_path.end());
+    return res;
+}
+
+double
+LatencyModel::expectedLatencyAt(NodeId id, Coord pos,
+                                const std::vector<double> &completion) const
+{
+    const LdfgNode &node = ldfg_.node(id);
+    double arrival = 0.0;
+
+    auto consider = [&](NodeId src) {
+        if (src == NoNode)
+            return;
+        MESA_ASSERT(size_t(src) < completion.size(),
+                    "expectedLatencyAt: predecessor not yet evaluated");
+        const Coord sp = sdfg_.coordOf(src);
+        const double xfer =
+            sp.valid() ? double(ic_.latency(sp, pos)) : fallback_;
+        arrival = std::max(arrival, completion[size_t(src)] + xfer);
+    };
+    consider(node.src1);
+    consider(node.src2);
+    for (NodeId guard : node.guards)
+        consider(guard);
+    if (node.isGuarded())
+        consider(node.prev_dest_writer);
+
+    return arrival + node.op_latency;
+}
+
+} // namespace mesa::dfg

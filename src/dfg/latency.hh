@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The DFG-based performance model (paper §3.1): nodes weighted by
+ * operation latency, edges weighted by data-transfer latency.
+ * Evaluates Eq. 1/2 over the whole graph to obtain per-instruction
+ * completion cycles, total iteration latency, and the critical path.
+ */
+
+#ifndef MESA_DFG_LATENCY_HH
+#define MESA_DFG_LATENCY_HH
+
+#include <vector>
+
+#include "dfg/ldfg.hh"
+#include "dfg/sdfg.hh"
+#include "interconnect/interconnect.hh"
+
+namespace mesa::dfg
+{
+
+/** Result of evaluating the latency model over a (partial) placement. */
+struct LatencyResult
+{
+    /** Completion cycle L_i per node (Eq. 1). */
+    std::vector<double> completion;
+
+    /** Latency of the whole sequence: max over all L_i. */
+    double total = 0.0;
+
+    /** Nodes on the critical path, source to sink. */
+    std::vector<NodeId> critical_path;
+};
+
+/**
+ * Evaluates the weighted-DFG latency model. Edge weights prefer the
+ * measured per-edge latencies stored in the LDFG (runtime feedback);
+ * unmeasured edges fall back to the interconnect's point-to-point
+ * model over the current placement. Edges involving an unplaced node
+ * cost the fallback-bus latency.
+ */
+class LatencyModel
+{
+  public:
+    /**
+     * @param fallback_bus_latency cost of edges through the secondary
+     *        data-forwarding bus used for unmapped instructions
+     */
+    LatencyModel(const Ldfg &ldfg, const Sdfg &sdfg,
+                 const ic::Interconnect &interconnect,
+                 double fallback_bus_latency = 8.0)
+        : ldfg_(ldfg), sdfg_(sdfg), ic_(interconnect),
+          fallback_(fallback_bus_latency)
+    {}
+
+    /** Transfer latency for the edge (from -> to), model or measured. */
+    double edgeLatency(NodeId from, NodeId to, int operand) const;
+
+    /** Full evaluation: completion per node, total, critical path. */
+    LatencyResult evaluate() const;
+
+    /**
+     * Expected completion cycle of node @p id if it were placed at
+     * @p pos, given the predecessors' completion cycles in
+     * @p completion (the mapper's inner cost, Algorithm 1 lines 10-12).
+     */
+    double expectedLatencyAt(NodeId id, Coord pos,
+                             const std::vector<double> &completion) const;
+
+  private:
+    double transferFrom(NodeId src, Coord dst_pos) const;
+
+    const Ldfg &ldfg_;
+    const Sdfg &sdfg_;
+    const ic::Interconnect &ic_;
+    double fallback_;
+};
+
+} // namespace mesa::dfg
+
+#endif // MESA_DFG_LATENCY_HH

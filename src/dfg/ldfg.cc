@@ -1,0 +1,206 @@
+#include "dfg/ldfg.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace mesa::dfg
+{
+
+using riscv::Op;
+using riscv::OpClass;
+
+double
+OpLatencyConfig::cycles(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu: return int_alu;
+      case OpClass::IntMul: return int_mul;
+      case OpClass::IntDiv: return int_div;
+      case OpClass::FpAlu: return fp_alu;
+      case OpClass::FpMul: return fp_mul;
+      case OpClass::FpDiv: return fp_div;
+      case OpClass::Load: return load;
+      case OpClass::Store: return store;
+      case OpClass::Branch: return branch;
+      case OpClass::Jump: return jump;
+      default: return 1.0;
+    }
+}
+
+const char *
+buildErrorName(BuildError err)
+{
+    switch (err) {
+      case BuildError::None: return "none";
+      case BuildError::InnerLoop: return "inner-loop";
+      case BuildError::UnsupportedOp: return "unsupported-op";
+      case BuildError::ExitBranch: return "exit-branch";
+      case BuildError::IndirectJump: return "indirect-jump";
+      case BuildError::TooManyInstructions: return "too-many-instructions";
+      default: return "???";
+    }
+}
+
+std::optional<Ldfg>
+Ldfg::build(const std::vector<riscv::Instruction> &body,
+            const OpLatencyConfig &lat_cfg, size_t max_nodes,
+            BuildError *error)
+{
+    auto fail = [&](BuildError e) -> std::optional<Ldfg> {
+        if (error)
+            *error = e;
+        return std::nullopt;
+    };
+    if (error)
+        *error = BuildError::None;
+
+    if (body.empty())
+        return fail(BuildError::UnsupportedOp);
+    if (max_nodes > 0 && body.size() > max_nodes)
+        return fail(BuildError::TooManyInstructions);
+
+    const uint32_t body_start = body.front().pc;
+    const uint32_t body_end = body.back().pc + 4;
+
+    Ldfg g;
+    g.nodes_.reserve(body.size());
+
+    // Active forward-branch guards: (branch node, resolve pc).
+    std::vector<std::pair<NodeId, uint32_t>> guard_stack;
+
+    for (size_t idx = 0; idx < body.size(); ++idx) {
+        const riscv::Instruction &inst = body[idx];
+        const NodeId id = NodeId(idx);
+        const bool is_last = idx + 1 == body.size();
+
+        if (inst.op == Op::Invalid || inst.isSystem())
+            return fail(BuildError::UnsupportedOp);
+        // The DFG model supports up to two predecessors per node
+        // (paper Sec. 3.1); R4-type fused ops disqualify the loop.
+        if (inst.numSources() > 2)
+            return fail(BuildError::UnsupportedOp);
+        if (inst.op == Op::Jalr)
+            return fail(BuildError::IndirectJump);
+        if (inst.isBackwardBranch() && !is_last)
+            return fail(BuildError::InnerLoop);
+        if (is_last && !inst.isBackwardBranch())
+            return fail(BuildError::UnsupportedOp);
+        if (inst.isBranch() && inst.imm > 0) {
+            const uint32_t target = inst.targetPc();
+            // A forward branch must resolve inside the body (a branch
+            // to exactly body_end just skips the loop tail and is
+            // treated as an exit, which MESA does not accelerate).
+            if (target >= body_end)
+                return fail(BuildError::ExitBranch);
+        }
+        // Jumps cannot be predicated/mapped: loops must close with a
+        // conditional backward branch, and inner jal/jalr disqualify.
+        if (inst.op == Op::Jal)
+            return fail(BuildError::UnsupportedOp);
+
+        // Retire guards whose join point has been reached.
+        while (!guard_stack.empty() &&
+               guard_stack.back().second <= inst.pc) {
+            guard_stack.pop_back();
+        }
+
+        LdfgNode node;
+        node.inst = inst;
+        node.id = id;
+        node.op_latency = lat_cfg.cycles(inst.cls());
+
+        // Rename sources: producer node if written earlier in the
+        // body, else a loop live-in register.
+        for (int n = 0; n < 2; ++n) {
+            const int src = inst.unifiedSrc(n);
+            if (src < 0)
+                continue;
+            const NodeId producer = g.rename_.lookup(src);
+            if (n == 0) {
+                node.src1 = producer;
+                if (producer == NoNode)
+                    node.live_in1 = src;
+            } else {
+                node.src2 = producer;
+                if (producer == NoNode)
+                    node.live_in2 = src;
+            }
+            if (producer == NoNode)
+                g.live_ins_.insert(src);
+            else
+                g.nodes_[size_t(producer)].consumers.push_back(id);
+        }
+
+        // Guards: all still-active forward branches skip this node.
+        for (const auto &[branch, resolve_pc] : guard_stack) {
+            (void)resolve_pc;
+            node.guards.push_back(branch);
+            g.nodes_[size_t(branch)].consumers.push_back(id);
+        }
+
+        // Rename destination; remember the previous producer for the
+        // predication hidden dependency.
+        const int dest = inst.unifiedDest();
+        if (dest >= 0) {
+            node.prev_dest_writer = g.rename_.lookup(dest);
+            if (node.prev_dest_writer == NoNode && node.isGuarded()) {
+                node.prev_dest_live_in = dest;
+                g.live_ins_.insert(dest);
+            }
+            if (node.prev_dest_writer != NoNode && node.isGuarded()) {
+                g.nodes_[size_t(node.prev_dest_writer)]
+                    .consumers.push_back(id);
+            }
+            g.rename_.update(dest, id);
+            g.written_.insert(dest);
+        }
+
+        g.nodes_.push_back(std::move(node));
+
+        // Open a guard scope for forward branches.
+        if (inst.isBranch() && inst.imm > 0)
+            guard_stack.emplace_back(id, inst.targetPc());
+    }
+
+    (void)body_start;
+    return g;
+}
+
+size_t
+Ldfg::countClass(OpClass cls) const
+{
+    size_t n = 0;
+    for (const auto &node : nodes_)
+        if (node.inst.cls() == cls)
+            ++n;
+    return n;
+}
+
+std::string
+Ldfg::toString() const
+{
+    std::ostringstream os;
+    for (const auto &node : nodes_) {
+        os << "i" << node.id << ": " << node.inst.toString();
+        os << "  [";
+        if (node.src1 != NoNode)
+            os << "s1=i" << node.src1;
+        else if (node.live_in1 >= 0)
+            os << "s1=r" << node.live_in1;
+        if (node.src2 != NoNode)
+            os << " s2=i" << node.src2;
+        else if (node.live_in2 >= 0)
+            os << " s2=r" << node.live_in2;
+        if (!node.guards.empty()) {
+            os << " guards={";
+            for (NodeId gid : node.guards)
+                os << "i" << gid << " ";
+            os << "}";
+        }
+        os << " w=" << node.op_latency << "]\n";
+    }
+    return os.str();
+}
+
+} // namespace mesa::dfg

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Spatial Dataflow Graph (SDFG): the coordinate-indexed, planar view
+ * of the same graph held by the LDFG (paper §3.2/§3.3). The SDFG is
+ * the placement matrix F plus the binary free matrix F_free; building
+ * an optimal SDFG from the LDFG is the goal of instruction mapping
+ * (T2), and the SDFG is what the configuration step (T3) walks.
+ */
+
+#ifndef MESA_DFG_SDFG_HH
+#define MESA_DFG_SDFG_HH
+
+#include <vector>
+
+#include "dfg/ldfg.hh"
+#include "interconnect/interconnect.hh"
+#include "util/matrix.hh"
+
+namespace mesa::dfg
+{
+
+using ic::Coord;
+
+/** The placement of LDFG nodes onto a virtual PE grid. */
+class Sdfg
+{
+  public:
+    Sdfg() = default;
+
+    Sdfg(int rows, int cols)
+        : grid_(size_t(rows), size_t(cols), NoNode)
+    {}
+
+    int rows() const { return int(grid_.rows()); }
+    int cols() const { return int(grid_.cols()); }
+
+    /**
+     * Place a node at a coordinate.
+     * @return false if the position is occupied or out of range.
+     */
+    bool
+    place(NodeId id, Coord pos)
+    {
+        if (!inRange(pos) || grid_(size_t(pos.r), size_t(pos.c)) != NoNode)
+            return false;
+        grid_(size_t(pos.r), size_t(pos.c)) = id;
+        if (size_t(id) >= coord_of_.size())
+            coord_of_.resize(size_t(id) + 1, Coord{});
+        coord_of_[size_t(id)] = pos;
+        ++placed_;
+        return true;
+    }
+
+    /** Remove a node from the grid (iterative remapping). */
+    void
+    remove(NodeId id)
+    {
+        const Coord pos = coordOf(id);
+        if (!pos.valid())
+            return;
+        grid_(size_t(pos.r), size_t(pos.c)) = NoNode;
+        coord_of_[size_t(id)] = Coord{};
+        --placed_;
+    }
+
+    /** Node at a coordinate, or NoNode. */
+    NodeId
+    at(Coord pos) const
+    {
+        if (!inRange(pos))
+            return NoNode;
+        return grid_(size_t(pos.r), size_t(pos.c));
+    }
+
+    /** Placement of a node; invalid coord if unplaced. */
+    Coord
+    coordOf(NodeId id) const
+    {
+        if (id < 0 || size_t(id) >= coord_of_.size())
+            return Coord{};
+        return coord_of_[size_t(id)];
+    }
+
+    bool isPlaced(NodeId id) const { return coordOf(id).valid(); }
+
+    bool
+    inRange(Coord pos) const
+    {
+        return pos.r >= 0 && pos.r < rows() && pos.c >= 0 &&
+               pos.c < cols();
+    }
+
+    bool
+    isFree(Coord pos) const
+    {
+        return inRange(pos) &&
+               grid_(size_t(pos.r), size_t(pos.c)) == NoNode;
+    }
+
+    size_t placedCount() const { return placed_; }
+    size_t capacity() const { return grid_.size(); }
+
+    /** Number of free positions among the 8-neighborhood of pos. */
+    int
+    freeNeighbors(Coord pos) const
+    {
+        int n = 0;
+        for (int dr = -1; dr <= 1; ++dr)
+            for (int dc = -1; dc <= 1; ++dc)
+                if ((dr || dc) && isFree({pos.r + dr, pos.c + dc}))
+                    ++n;
+        return n;
+    }
+
+    /** F_free as a binary matrix (1 = free). */
+    Matrix<uint8_t>
+    freeMatrix() const
+    {
+        Matrix<uint8_t> m(grid_.rows(), grid_.cols(), 1);
+        for (size_t r = 0; r < grid_.rows(); ++r)
+            for (size_t c = 0; c < grid_.cols(); ++c)
+                if (grid_(r, c) != NoNode)
+                    m(r, c) = 0;
+        return m;
+    }
+
+    void
+    clear()
+    {
+        grid_.fill(NoNode);
+        coord_of_.clear();
+        placed_ = 0;
+    }
+
+  private:
+    Matrix<NodeId> grid_;
+    std::vector<Coord> coord_of_;
+    size_t placed_ = 0;
+};
+
+} // namespace mesa::dfg
+
+#endif // MESA_DFG_SDFG_HH

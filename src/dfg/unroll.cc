@@ -1,0 +1,147 @@
+#include "dfg/unroll.hh"
+
+#include <set>
+
+#include "dfg/analysis.hh"
+#include "dfg/ldfg.hh"
+
+namespace mesa::dfg
+{
+
+using riscv::Instruction;
+using riscv::Op;
+
+std::optional<UnrollResult>
+unrollBody(const std::vector<Instruction> &body, int factor)
+{
+    if (factor < 2 || body.empty())
+        return std::nullopt;
+
+    auto ldfg = Ldfg::build(body);
+    if (!ldfg)
+        return std::nullopt;
+
+    // No forward branches: predication does not replicate cleanly.
+    for (const auto &node : ldfg->nodes()) {
+        if (node.isGuarded())
+            return std::nullopt;
+        if (node.inst.isBranch() && node.id != ldfg->backBranch())
+            return std::nullopt;
+    }
+
+    // The closing branch must be blt/bltu of an induction register
+    // with positive step against a live-in bound.
+    const auto branch_info = analyzeLoopBranch(*ldfg);
+    if (!branch_info || !branch_info->induction ||
+        branch_info->bound_reg < 0) {
+        return std::nullopt;
+    }
+    const auto &branch = ldfg->node(ldfg->backBranch());
+    if (branch.inst.op != Op::Blt && branch.inst.op != Op::Bltu)
+        return std::nullopt;
+    if (branch_info->induction->step <= 0)
+        return std::nullopt;
+
+    const auto inductions = findInductionRegs(*ldfg);
+    std::map<int, int32_t> step_of; // unified reg -> step
+    std::set<NodeId> update_nodes;
+    for (const auto &ind : inductions) {
+        step_of[ind.unified_reg] = ind.step;
+        update_nodes.insert(ind.update_node);
+    }
+
+    // The bound register gets tightened at latch time, so nothing
+    // except the closing branch may read it.
+    for (const auto &node : ldfg->nodes()) {
+        if (node.id == ldfg->backBranch())
+            continue;
+        if (node.live_in1 == branch_info->bound_reg ||
+            node.live_in2 == branch_info->bound_reg) {
+            return std::nullopt;
+        }
+    }
+
+    // Induction registers may only feed memory bases, their own
+    // update, and the closing branch.
+    for (const auto &node : ldfg->nodes()) {
+        for (int operand = 0; operand < 2; ++operand) {
+            const int reg =
+                operand == 0 ? node.live_in1 : node.live_in2;
+            if (reg < 0 || !step_of.count(reg))
+                continue;
+            const bool is_mem_base =
+                node.inst.isMem() && operand == 0;
+            const bool is_update = update_nodes.count(node.id) > 0;
+            const bool is_branch = node.id == ldfg->backBranch();
+            if (!is_mem_base && !is_update && !is_branch)
+                return std::nullopt;
+        }
+        // Reading the post-update value is only legal for the branch.
+        for (NodeId src : {node.src1, node.src2}) {
+            if (src != NoNode && update_nodes.count(src) &&
+                node.id != ldfg->backBranch()) {
+                return std::nullopt;
+            }
+        }
+    }
+
+    // Offset range check: copy k shifts memory offsets by k*step.
+    for (const auto &node : ldfg->nodes()) {
+        if (!node.inst.isMem() || node.live_in1 < 0)
+            continue;
+        auto it = step_of.find(node.live_in1);
+        if (it == step_of.end())
+            continue; // base is not an induction: offsets unchanged
+        const int64_t worst =
+            int64_t(node.inst.imm) +
+            int64_t(factor - 1) * int64_t(it->second);
+        if (worst > 2047 || worst < -2048)
+            return std::nullopt;
+    }
+
+    // --- Emit the replicated body -----------------------------------
+    UnrollResult out;
+    out.factor = factor;
+    uint32_t pc = body.front().pc;
+    auto emit = [&](Instruction inst) {
+        inst.pc = pc;
+        pc += 4;
+        out.body.push_back(inst);
+    };
+
+    for (int k = 0; k < factor; ++k) {
+        for (const auto &node : ldfg->nodes()) {
+            if (update_nodes.count(node.id) ||
+                node.id == ldfg->backBranch()) {
+                continue;
+            }
+            Instruction inst = node.inst;
+            if (inst.isMem() && node.live_in1 >= 0) {
+                auto it = step_of.find(node.live_in1);
+                if (it != step_of.end())
+                    inst.imm += k * it->second;
+            }
+            emit(inst);
+        }
+    }
+    // Induction updates once per unrolled pass, scaled by the factor.
+    for (const auto &node : ldfg->nodes()) {
+        if (!update_nodes.count(node.id))
+            continue;
+        Instruction inst = node.inst;
+        inst.imm *= factor;
+        emit(inst);
+    }
+    // The closing branch, retargeted to the new body start.
+    Instruction br = branch.inst;
+    br.imm = int32_t(body.front().pc) - int32_t(pc);
+    emit(br);
+
+    // Tighten the bound so the accelerator stops with the tail
+    // (0..factor-1 original iterations) left for the CPU.
+    out.live_in_adjustments[branch_info->bound_reg] =
+        -(factor - 1) * branch_info->induction->step;
+    return out;
+}
+
+} // namespace mesa::dfg

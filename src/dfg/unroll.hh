@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Runtime loop unrolling (extension; the paper leaves unrolling to
+ * ahead-of-time compilers). The transform replicates a loop body f
+ * times, adjusting memory offsets along induction registers and
+ * scaling the induction updates, so one accelerated "iteration"
+ * covers f original iterations. The closing branch compares against
+ * a bound tightened by (f-1)*step, so the accelerator stops while at
+ * least 0..f-1 original iterations remain; the CPU resumes at the
+ * loop's branch and runs the tail sequentially.
+ */
+
+#ifndef MESA_DFG_UNROLL_HH
+#define MESA_DFG_UNROLL_HH
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "riscv/instruction.hh"
+
+namespace mesa::dfg
+{
+
+/** An unrolled loop body plus the live-in adjustments it needs. */
+struct UnrollResult
+{
+    /** The replicated body (fresh pc numbering from the original
+     *  start; the code never lives in instruction memory). */
+    std::vector<riscv::Instruction> body;
+
+    int factor = 1;
+
+    /**
+     * Offsets to add to latched live-in registers: the loop bound is
+     * tightened by -(factor-1)*step so the accelerator never
+     * overshoots; the CPU finishes the remaining iterations.
+     */
+    std::map<int, int32_t> live_in_adjustments;
+};
+
+/**
+ * Unroll a loop body by @p factor. Succeeds only when the transform
+ * is provably safe:
+ *  - the body has no forward branches (no predication to replicate),
+ *  - the closing branch is blt/bltu of an induction register (with
+ *    positive step) against a live-in bound,
+ *  - induction registers are used only as memory base registers, by
+ *    their own update, and by the closing branch,
+ *  - all adjusted memory offsets stay within the 12-bit immediate.
+ *
+ * @return the unrolled body, or nullopt if any condition fails
+ */
+std::optional<UnrollResult> unrollBody(
+    const std::vector<riscv::Instruction> &body, int factor);
+
+} // namespace mesa::dfg
+
+#endif // MESA_DFG_UNROLL_HH

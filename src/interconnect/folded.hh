@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Folded interconnect for time-multiplexed mapping (extension; the
+ * paper notes MESA's "current lack of support for time-multiplexing
+ * PEs" as the limiter for small arrays). The mapper sees a virtual
+ * grid of rows x tm_factor; each virtual row folds onto physical row
+ * (r mod rows), so two instructions may share one PE in different
+ * phases. Transfer latencies are those of the physical positions.
+ */
+
+#ifndef MESA_INTERCONNECT_FOLDED_HH
+#define MESA_INTERCONNECT_FOLDED_HH
+
+#include "interconnect/interconnect.hh"
+
+namespace mesa::ic
+{
+
+/** Wraps a physical interconnect; folds virtual rows onto it. */
+class FoldedInterconnect : public Interconnect
+{
+  public:
+    /**
+     * @param inner physical interconnect
+     * @param physical_rows rows of the real grid; virtual coordinates
+     *        fold as r mod physical_rows
+     */
+    FoldedInterconnect(const Interconnect &inner, int physical_rows)
+        : inner_(inner), rows_(physical_rows)
+    {}
+
+    uint32_t
+    latency(Coord from, Coord to) const override
+    {
+        return inner_.latency(fold(from), fold(to));
+    }
+
+    int
+    busId(Coord from, Coord to) const override
+    {
+        return inner_.busId(fold(from), fold(to));
+    }
+
+    const char *name() const override { return "folded"; }
+
+    Coord
+    fold(Coord pos) const
+    {
+        return Coord{pos.r % rows_, pos.c};
+    }
+
+  private:
+    const Interconnect &inner_;
+    int rows_;
+};
+
+} // namespace mesa::ic
+
+#endif // MESA_INTERCONNECT_FOLDED_HH

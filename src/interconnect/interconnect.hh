@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Abstract point-to-point interconnect latency model. MESA is
+ * backend-agnostic (paper §3.3): the only contract the mapper needs
+ * is a function giving the data-transfer latency between two PE
+ * coordinates, plus an optional shared-bus identifier so the
+ * accelerator engine can model contention on NoC segments.
+ */
+
+#ifndef MESA_INTERCONNECT_INTERCONNECT_HH
+#define MESA_INTERCONNECT_INTERCONNECT_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace mesa::ic
+{
+
+/** A PE coordinate: row-major position in the accelerator grid. */
+struct Coord
+{
+    int r = -1;
+    int c = -1;
+
+    bool operator==(const Coord &o) const { return r == o.r && c == o.c; }
+    bool valid() const { return r >= 0 && c >= 0; }
+};
+
+/** Manhattan distance between two coordinates. */
+inline int
+manhattan(Coord a, Coord b)
+{
+    return std::abs(a.r - b.r) + std::abs(a.c - b.c);
+}
+
+/**
+ * Interface for backend interconnect latency models. Implementations
+ * must be fast: the mapper evaluates latency() for every candidate
+ * position of every instruction.
+ */
+class Interconnect
+{
+  public:
+    virtual ~Interconnect() = default;
+
+    /** Data-transfer latency in cycles from PE @p from to PE @p to. */
+    virtual uint32_t latency(Coord from, Coord to) const = 0;
+
+    /**
+     * Identifier of the shared bus segment a transfer occupies, or -1
+     * if the transfer uses uncontended point-to-point links. The
+     * accelerator engine serializes concurrent transfers with the
+     * same bus id.
+     */
+    virtual int busId(Coord from, Coord to) const
+    {
+        (void)from;
+        (void)to;
+        return -1;
+    }
+
+    virtual const char *name() const = 0;
+};
+
+/** Plain 2D mesh: latency equals Manhattan distance (paper Fig. 4 Ex. 2). */
+class MeshInterconnect : public Interconnect
+{
+  public:
+    uint32_t
+    latency(Coord from, Coord to) const override
+    {
+        const int d = manhattan(from, to);
+        return d == 0 ? 1 : uint32_t(d);
+    }
+
+    const char *name() const override { return "mesh"; }
+};
+
+/**
+ * Hierarchical row-slice interconnect (paper Fig. 4 Ex. 1):
+ * single-cycle within a row, fixed cross-row latency.
+ */
+class HierRowInterconnect : public Interconnect
+{
+  public:
+    explicit HierRowInterconnect(uint32_t cross_row_latency = 3)
+        : cross_row_(cross_row_latency)
+    {}
+
+    uint32_t
+    latency(Coord from, Coord to) const override
+    {
+        return from.r == to.r ? 1 : cross_row_;
+    }
+
+    int
+    busId(Coord from, Coord to) const override
+    {
+        // Cross-row transfers share the destination row's bus.
+        return from.r == to.r ? -1 : to.r;
+    }
+
+    const char *name() const override { return "hier-row"; }
+
+  private:
+    uint32_t cross_row_;
+};
+
+/**
+ * The custom test accelerator's interconnect (paper §5.2, Fig. 9):
+ * direct single-cycle links to immediate neighbors (gray), plus a
+ * lightweight half-ring NoC with routing logic at every @p slice_width
+ * PEs (blue) for distant transfers. NoC transfers pay inject + eject
+ * plus per-slice horizontal hops and per-row vertical hops, and they
+ * contend on the destination row's bus segment.
+ */
+class AccelNocInterconnect : public Interconnect
+{
+  public:
+    AccelNocInterconnect(int rows, int cols, int slice_width = 4)
+        : rows_(rows), cols_(cols), slice_width_(slice_width)
+    {}
+
+    uint32_t
+    latency(Coord from, Coord to) const override
+    {
+        const int dr = std::abs(from.r - to.r);
+        const int dc = std::abs(from.c - to.c);
+        const int d = dr + dc;
+        if (d <= 3) {
+            // Direct local links; multi-hop transfers route through
+            // intermediate PEs' forwarding paths at one cycle per hop.
+            return d == 0 ? 1 : uint32_t(d);
+        }
+        // NoC: 1 inject + 1 eject + horizontal slice hops + vertical
+        // row hops. The half-ring wraps, so horizontal distance is the
+        // shorter way around.
+        const int hslices =
+            (std::min(dc, cols_ - dc) + slice_width_ - 1) / slice_width_;
+        return uint32_t(2 + hslices + dr);
+    }
+
+    int
+    busId(Coord from, Coord to) const override
+    {
+        const int dr = std::abs(from.r - to.r);
+        const int dc = std::abs(from.c - to.c);
+        if (dr + dc <= 3)
+            return -1;
+        // Routing logic sits at every slice (4 PEs), so transfers to
+        // different destination slices occupy different ring stops.
+        return to.r * 64 + to.c / slice_width_;
+    }
+
+    const char *name() const override { return "accel-noc"; }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    int sliceWidth() const { return slice_width_; }
+
+  private:
+    int rows_;
+    int cols_;
+    int slice_width_;
+};
+
+} // namespace mesa::ic
+
+#endif // MESA_INTERCONNECT_INTERCONNECT_HH

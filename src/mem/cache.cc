@@ -1,0 +1,135 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace mesa::mem
+{
+
+Cache::Cache(std::string name, const CacheParams &params)
+    : name_(std::move(name)), params_(params)
+{
+    if (params_.line_bytes == 0 ||
+        (params_.line_bytes & (params_.line_bytes - 1)) != 0) {
+        fatal("cache ", name_, ": line size must be a power of two");
+    }
+    if (params_.assoc == 0)
+        fatal("cache ", name_, ": associativity must be nonzero");
+    const size_t lines = params_.size_bytes / params_.line_bytes;
+    if (lines == 0 || lines % params_.assoc != 0)
+        fatal("cache ", name_, ": size/assoc/line geometry invalid");
+    num_sets_ = lines / params_.assoc;
+    line_shift_ = std::countr_zero(params_.line_bytes);
+    sets_.assign(num_sets_, std::vector<Line>(params_.assoc));
+}
+
+size_t
+Cache::setIndex(uint32_t addr) const
+{
+    return (addr >> line_shift_) % num_sets_;
+}
+
+uint32_t
+Cache::tagOf(uint32_t addr) const
+{
+    return (addr >> line_shift_) / uint32_t(num_sets_);
+}
+
+bool
+Cache::access(uint32_t addr, bool write)
+{
+    auto &set = sets_[setIndex(addr)];
+    const uint32_t tag = tagOf(addr);
+    ++access_clock_;
+
+    for (auto &line : set) {
+        if (line.valid && line.tag == tag) {
+            line.lru = access_clock_;
+            line.dirty = line.dirty || write;
+            ++hits_;
+            return true;
+        }
+    }
+
+    // Miss: allocate, evicting the LRU way.
+    ++misses_;
+    Line *victim = &set[0];
+    for (auto &line : set) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty)
+        ++writebacks_;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lru = access_clock_;
+    return false;
+}
+
+bool
+Cache::probe(uint32_t addr) const
+{
+    const auto &set = sets_[setIndex(addr)];
+    const uint32_t tag = tagOf(addr);
+    for (const auto &line : set)
+        if (line.valid && line.tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &set : sets_)
+        for (auto &line : set)
+            line = Line{};
+}
+
+MemHierarchy::MemHierarchy(const HierarchyParams &params)
+    : params_(params), l1_("l1", params.l1), l2_("l2", params.l2)
+{
+}
+
+MemHierarchy::MemHierarchy(const HierarchyParams &params, Cache *shared_l2)
+    : params_(params), l1_("l1", params.l1), l2_("l2-unused", params.l2),
+      shared_l2_(shared_l2)
+{
+}
+
+uint32_t
+MemHierarchy::accessLatency(uint32_t addr, bool write)
+{
+    Cache &level2 = l2();
+    uint32_t latency = l1_.hitLatency();
+    if (!l1_.access(addr, write)) {
+        latency += level2.hitLatency();
+        if (!level2.access(addr, write)) {
+            latency += params_.dram_latency;
+            ++dram_accesses_;
+        }
+        // A demand miss optionally triggers a next-line prefetch
+        // (hides the latency of forward streaming accesses).
+        if (params_.next_line_prefetch)
+            prefetch(addr + uint32_t(params_.l1.line_bytes));
+    }
+    amat_.sample(latency);
+    return latency;
+}
+
+void
+MemHierarchy::prefetch(uint32_t addr)
+{
+    Cache &level2 = l2();
+    if (!l1_.access(addr, false)) {
+        if (!level2.access(addr, false))
+            ++dram_accesses_;
+    }
+}
+
+} // namespace mesa::mem

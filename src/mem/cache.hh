@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and a two-level
+ * hierarchy (per-core L1, shared L2, DRAM) that returns per-access
+ * latency. Per-instruction AMAT counters feed MESA's DFG node weights
+ * for memory operations (paper §3.1, §4.2).
+ */
+
+#ifndef MESA_MEM_CACHE_HH
+#define MESA_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace mesa::mem
+{
+
+/** Geometry and timing parameters for one cache level. */
+struct CacheParams
+{
+    size_t size_bytes = 64 * 1024;
+    size_t assoc = 4;
+    size_t line_bytes = 64;
+    uint32_t hit_latency = 2;  ///< Cycles to serve a hit at this level.
+};
+
+/**
+ * One level of set-associative cache with true-LRU replacement.
+ * Models tags only (data lives in MainMemory); write-allocate,
+ * write-back policy.
+ */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheParams &params);
+
+    /**
+     * Look up an address, allocating the line on miss.
+     * @return true on hit.
+     */
+    bool access(uint32_t addr, bool write);
+
+    /** Probe without modifying state (no allocation, no LRU update). */
+    bool probe(uint32_t addr) const;
+
+    /** Invalidate every line (e.g., on offload boundary flushes). */
+    void flush();
+
+    uint32_t hitLatency() const { return params_.hit_latency; }
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
+    uint64_t writebacks() const { return writebacks_.value(); }
+
+    double
+    missRate() const
+    {
+        const uint64_t total = hits() + misses();
+        return total ? double(misses()) / double(total) : 0.0;
+    }
+
+    const std::string &name() const { return name_; }
+    size_t numSets() const { return num_sets_; }
+
+  private:
+    struct Line
+    {
+        uint32_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lru = 0;  ///< Larger = more recently used.
+    };
+
+    size_t setIndex(uint32_t addr) const;
+    uint32_t tagOf(uint32_t addr) const;
+
+    std::string name_;
+    CacheParams params_;
+    size_t num_sets_;
+    unsigned line_shift_;
+    std::vector<std::vector<Line>> sets_;
+    uint64_t access_clock_ = 0;
+
+    Counter hits_{"hits"};
+    Counter misses_{"misses"};
+    Counter writebacks_{"writebacks"};
+};
+
+/** Parameters for the full memory hierarchy. */
+struct HierarchyParams
+{
+    CacheParams l1{64 * 1024, 4, 64, 2};           // paper: 64KB L1
+    CacheParams l2{8 * 1024 * 1024, 8, 64, 18};    // paper: unified 8MB L2
+    uint32_t dram_latency = 120;                   ///< Cycles to DRAM.
+
+    /** Next-line prefetch into L1 on every demand miss. */
+    bool next_line_prefetch = false;
+};
+
+/**
+ * Two-level cache hierarchy + DRAM. accessLatency() walks L1 -> L2 ->
+ * DRAM and returns the total cycles for this access; an Average tracks
+ * the running AMAT that MESA samples as measured load latency.
+ */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const HierarchyParams &params = {});
+
+    /**
+     * Construct with an externally owned, shared L2 (multicore: each
+     * core keeps a private L1 but all cores contend in one L2).
+     */
+    MemHierarchy(const HierarchyParams &params, Cache *shared_l2);
+
+    /** Access an address; returns total latency in cycles. */
+    uint32_t accessLatency(uint32_t addr, bool write);
+
+    /**
+     * Warm the hierarchy for a predicted future access (speculative
+     * prefetch an iteration ahead, paper §4.2). Does not perturb the
+     * AMAT statistic; DRAM traffic is still counted.
+     */
+    void prefetch(uint32_t addr);
+
+    /** Running average memory access time over all accesses. */
+    double amat() const { return amat_.mean(); }
+
+    uint64_t accesses() const { return amat_.count(); }
+    Cache &l1() { return l1_; }
+    Cache &l2() { return shared_l2_ ? *shared_l2_ : l2_; }
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return shared_l2_ ? *shared_l2_ : l2_; }
+    uint32_t dramLatency() const { return params_.dram_latency; }
+
+    /** Accesses that went all the way to DRAM (L2 misses seen here). */
+    uint64_t dramAccesses() const { return dram_accesses_; }
+
+    void
+    resetStats()
+    {
+        amat_.reset();
+        dram_accesses_ = 0;
+    }
+
+  private:
+    HierarchyParams params_;
+    Cache l1_;
+    Cache l2_;
+    Cache *shared_l2_ = nullptr;
+    Average amat_;
+    uint64_t dram_accesses_ = 0;
+};
+
+} // namespace mesa::mem
+
+#endif // MESA_MEM_CACHE_HH

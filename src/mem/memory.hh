@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Flat sparse byte-addressable main memory backing both the CPU
+ * emulator and the accelerator's load/store entries. Pages are
+ * allocated lazily so large address spaces cost nothing until touched.
+ */
+
+#ifndef MESA_MEM_MEMORY_HH
+#define MESA_MEM_MEMORY_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace mesa::mem
+{
+
+/** Sparse paged physical memory with little-endian accessors. */
+class MainMemory
+{
+  public:
+    static constexpr uint32_t PageShift = 12;
+    static constexpr uint32_t PageSize = 1u << PageShift;
+
+    uint8_t
+    read8(uint32_t addr) const
+    {
+        const Page *p = findPage(addr);
+        return p ? (*p)[addr & (PageSize - 1)] : 0;
+    }
+
+    void
+    write8(uint32_t addr, uint8_t v)
+    {
+        page(addr)[addr & (PageSize - 1)] = v;
+    }
+
+    uint16_t
+    read16(uint32_t addr) const
+    {
+        return uint16_t(read8(addr)) | (uint16_t(read8(addr + 1)) << 8);
+    }
+
+    void
+    write16(uint32_t addr, uint16_t v)
+    {
+        write8(addr, uint8_t(v));
+        write8(addr + 1, uint8_t(v >> 8));
+    }
+
+    uint32_t
+    read32(uint32_t addr) const
+    {
+        // Fast path for aligned access within one page.
+        if ((addr & 3) == 0) {
+            const Page *p = findPage(addr);
+            if (!p)
+                return 0;
+            uint32_t v;
+            std::memcpy(&v, p->data() + (addr & (PageSize - 1)), 4);
+            return v;
+        }
+        return uint32_t(read16(addr)) | (uint32_t(read16(addr + 2)) << 16);
+    }
+
+    void
+    write32(uint32_t addr, uint32_t v)
+    {
+        if ((addr & 3) == 0) {
+            std::memcpy(page(addr).data() + (addr & (PageSize - 1)), &v, 4);
+            return;
+        }
+        write16(addr, uint16_t(v));
+        write16(addr + 2, uint16_t(v >> 16));
+    }
+
+    float
+    readFloat(uint32_t addr) const
+    {
+        return std::bit_cast<float>(read32(addr));
+    }
+
+    void
+    writeFloat(uint32_t addr, float v)
+    {
+        write32(addr, std::bit_cast<uint32_t>(v));
+    }
+
+    /** Copy a block of bytes into memory (program/data loading). */
+    void
+    writeBlock(uint32_t addr, const void *src, size_t len)
+    {
+        const auto *bytes = static_cast<const uint8_t *>(src);
+        for (size_t i = 0; i < len; ++i)
+            write8(addr + uint32_t(i), bytes[i]);
+    }
+
+    /** Number of resident (touched) pages. */
+    size_t residentPages() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+    /**
+     * Deep snapshot for golden-model comparisons: returns a copy of all
+     * resident pages keyed by page number.
+     */
+    std::unordered_map<uint32_t, std::vector<uint8_t>>
+    snapshot() const
+    {
+        std::unordered_map<uint32_t, std::vector<uint8_t>> s;
+        for (const auto &[pn, pg] : pages_)
+            s.emplace(pn, std::vector<uint8_t>(pg->begin(), pg->end()));
+        return s;
+    }
+
+  private:
+    using Page = std::array<uint8_t, PageSize>;
+
+    Page &
+    page(uint32_t addr)
+    {
+        const uint32_t pn = addr >> PageShift;
+        auto it = pages_.find(pn);
+        if (it == pages_.end()) {
+            auto p = std::make_unique<Page>();
+            p->fill(0);
+            it = pages_.emplace(pn, std::move(p)).first;
+        }
+        return *it->second;
+    }
+
+    const Page *
+    findPage(uint32_t addr) const
+    {
+        auto it = pages_.find(addr >> PageShift);
+        return it == pages_.end() ? nullptr : it->second.get();
+    }
+
+    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace mesa::mem
+
+#endif // MESA_MEM_MEMORY_HH

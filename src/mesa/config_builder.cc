@@ -1,0 +1,211 @@
+#include "mesa/config_builder.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mesa::core
+{
+
+using accel::AcceleratorConfig;
+using accel::PeSlot;
+using accel::TileInstance;
+using dfg::Ldfg;
+using dfg::NodeId;
+using dfg::NoNode;
+using dfg::Sdfg;
+
+namespace
+{
+
+/** Bounding box of the placement. Column stride rounds up to the
+ *  FP-column-stripe period (2) so duplicated instances land on PEs
+ *  with identical operation support; rows carry no FP pattern, so
+ *  the row stride is exact. Returns {stride_rows, stride_cols}. */
+std::pair<int, int>
+tileStride(const Sdfg &sdfg)
+{
+    int max_row = -1;
+    int max_col = -1;
+    for (int r = 0; r < sdfg.rows(); ++r) {
+        for (int c = 0; c < sdfg.cols(); ++c) {
+            if (sdfg.at({r, c}) != NoNode) {
+                max_row = std::max(max_row, r);
+                max_col = std::max(max_col, c);
+            }
+        }
+    }
+    if (max_row < 0)
+        return {sdfg.rows(), sdfg.cols()};
+    return {max_row + 1, ((max_col + 2) / 2) * 2};
+}
+
+} // namespace
+
+int
+ConfigBlock::maxTileFactor(const Sdfg &sdfg,
+                           const accel::AccelParams &accel)
+{
+    // 2D duplication (paper Fig. 6): instances stack in both grid
+    // dimensions at the FP-slice-aligned bounding-box stride.
+    const auto [sr, sc] = tileStride(sdfg);
+    const int tiles_r = std::max(1, accel.rows / sr);
+    const int tiles_c = std::max(1, accel.cols / sc);
+    return std::max(1, tiles_r * tiles_c);
+}
+
+AcceleratorConfig
+ConfigBlock::build(const Ldfg &ldfg, const Sdfg &sdfg,
+                   const ConfigOptions &options, uint32_t region_start,
+                   uint32_t region_end) const
+{
+    AcceleratorConfig cfg;
+    cfg.region_start = region_start;
+    cfg.region_end = region_end;
+    cfg.resume_pc = options.resume_pc;
+    cfg.time_multiplex = std::max(1, options.time_multiplex);
+    // Virtual rows fold onto the physical grid (extension).
+    cfg.rows = sdfg.rows() / cfg.time_multiplex;
+    cfg.cols = sdfg.cols();
+    cfg.pipelined = options.pipelined;
+
+    // --- Per-node slots (program order) ---
+    cfg.slots.reserve(ldfg.size());
+    for (const auto &node : ldfg.nodes()) {
+        PeSlot slot;
+        slot.node = node.id;
+        slot.inst = node.inst;
+        slot.pos = sdfg.coordOf(node.id);
+        if (slot.pos.valid() && cfg.time_multiplex > 1)
+            slot.pos.r %= cfg.rows;
+        slot.src1 = node.src1;
+        slot.src2 = node.src2;
+        slot.live_in1 = node.live_in1;
+        slot.live_in2 = node.live_in2;
+        slot.guards = node.guards;
+        slot.prev_dest_writer = node.prev_dest_writer;
+        slot.prev_dest_live_in = node.prev_dest_live_in;
+        slot.op_latency = node.op_latency;
+        cfg.slots.push_back(std::move(slot));
+    }
+
+    // --- Live-in / live-out wiring ---
+    cfg.live_ins = ldfg.liveIns();
+    for (int reg : ldfg.writtenRegs()) {
+        const NodeId writer = ldfg.finalRename().lookup(reg);
+        if (writer != NoNode)
+            cfg.live_outs[reg] = writer;
+    }
+
+    cfg.inductions = dfg::findInductionRegs(ldfg);
+
+    // --- Static store->load forwarding (guard-free pairs only) ---
+    if (options.enable_forwarding) {
+        for (const auto &pair : dfg::findForwardPairs(ldfg)) {
+            const auto &store = ldfg.node(pair.store);
+            const auto &load = ldfg.node(pair.load);
+            if (store.isGuarded() || load.isGuarded())
+                continue;
+            cfg.slots[size_t(pair.load)].forward_from_store = pair.store;
+        }
+    }
+
+    // --- Vectorization of same-base load groups ---
+    if (options.enable_vectorization) {
+        int group_id = 0;
+        for (const auto &group : dfg::findVectorGroups(ldfg)) {
+            const int32_t stride = group.stride();
+            const auto minmax = std::minmax_element(
+                group.offsets.begin(), group.offsets.end());
+            // Contiguous words within one 64B line vectorize.
+            if (stride == 0 ||
+                *minmax.second - *minmax.first >= 64)
+                continue;
+            const NodeId leader =
+                *std::min_element(group.loads.begin(), group.loads.end());
+            for (NodeId load : group.loads) {
+                // Forwarded loads never touch memory; skip them.
+                if (cfg.slots[size_t(load)].forward_from_store != NoNode)
+                    continue;
+                cfg.slots[size_t(load)].vector_group = group_id;
+                cfg.slots[size_t(load)].vector_leader = load == leader;
+            }
+            ++group_id;
+        }
+    }
+
+    // --- Speculative prefetch for induction-based loads ---
+    if (options.enable_prefetch) {
+        for (NodeId load : dfg::findPrefetchableLoads(ldfg)) {
+            const auto &node = ldfg.node(load);
+            int32_t stride = 0;
+            if (node.src1 != NoNode) {
+                stride = ldfg.node(node.src1).inst.imm;
+            } else {
+                for (const auto &ind : cfg.inductions)
+                    if (ind.unified_reg == node.live_in1)
+                        stride = ind.step;
+            }
+            if (stride != 0) {
+                cfg.slots[size_t(load)].prefetch = true;
+                cfg.slots[size_t(load)].prefetch_stride = stride;
+            }
+        }
+    }
+
+    // --- Spatial tiling (paper Fig. 6) ---
+    // Time-multiplexed mappings are capacity-bound already: no tiling.
+    int tiles = cfg.time_multiplex > 1 ? 1
+                                       : std::max(1, options.tile_factor);
+    if (tiles > 1) {
+        if (cfg.inductions.empty()) {
+            warn("ConfigBlock: tiling requested but no induction "
+                 "register found; disabling tiling");
+            tiles = 1;
+        }
+        tiles = std::min(tiles, maxTileFactor(sdfg, accel_));
+    }
+    cfg.instances.clear();
+    const auto [stride_r, stride_c] = tileStride(sdfg);
+    const int tiles_c = std::max(1, accel_.cols / stride_c);
+    for (int k = 0; k < tiles; ++k) {
+        TileInstance inst;
+        inst.origin = {(k / tiles_c) * stride_r,
+                       (k % tiles_c) * stride_c};
+        if (tiles > 1) {
+            for (const auto &ind : cfg.inductions)
+                inst.reg_offsets[ind.unified_reg] = k * ind.step;
+        }
+        for (const auto &[reg, offset] : options.live_in_adjustments)
+            inst.reg_offsets[reg] += offset;
+        cfg.instances.push_back(std::move(inst));
+    }
+    if (tiles > 1) {
+        // Each instance strides by tiles * step.
+        for (const auto &ind : cfg.inductions)
+            cfg.imm_overrides[ind.update_node] = ind.step * tiles;
+    }
+
+    // --- Bitstream size (config-time model) ---
+    // Four words per slot (operation, immediate, routing, predication
+    // masks), one per dataflow edge (switch programming), one per
+    // live-in latch, four per tile instance, plus a fixed header.
+    size_t edges = 0;
+    for (const auto &node : ldfg.nodes()) {
+        edges += size_t(node.src1 != NoNode) +
+                 size_t(node.src2 != NoNode) + node.guards.size();
+    }
+    cfg.config_words = 4 * cfg.slots.size() + edges +
+                       cfg.live_ins.size() +
+                       4 * cfg.instances.size() + 8;
+    return cfg;
+}
+
+uint64_t
+ConfigBlock::configCycles(const AcceleratorConfig &config) const
+{
+    const unsigned bw = std::max(1u, accel_.config_words_per_cycle);
+    return (config.config_words + bw - 1) / bw;
+}
+
+} // namespace mesa::core

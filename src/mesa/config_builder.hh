@@ -1,0 +1,88 @@
+/**
+ * @file
+ * MESA's ConfigBlock (T3 Decode): lowers an optimized SDFG to an
+ * accelerator configuration bitstream, applying the memory
+ * optimizations of paper §4.2 (static store->load forwarding,
+ * vectorization, speculative prefetch) and the loop-level
+ * optimizations of §4.3 (spatial tiling by SDFG duplication,
+ * pipelining) for parallel-annotated loops.
+ */
+
+#ifndef MESA_MESA_CONFIG_BUILDER_HH
+#define MESA_MESA_CONFIG_BUILDER_HH
+
+#include "accel/config_types.hh"
+#include "accel/params.hh"
+#include "dfg/analysis.hh"
+#include "dfg/ldfg.hh"
+#include "dfg/sdfg.hh"
+
+namespace mesa::core
+{
+
+/** Per-region configuration options. */
+struct ConfigOptions
+{
+    bool enable_forwarding = true;
+    bool enable_vectorization = true;
+    bool enable_prefetch = true;
+
+    /** Number of tiled SDFG instances (1 = no tiling). */
+    int tile_factor = 1;
+
+    /** Overlap successive iterations on one instance. */
+    bool pipelined = false;
+
+    /**
+     * Time-multiplexing factor (extension): the SDFG was mapped on a
+     * virtual grid of time_multiplex x rows; virtual rows fold onto
+     * physical rows, so up to this many instructions share one PE.
+     */
+    int time_multiplex = 1;
+
+    /** Offsets applied to latched live-ins of every instance (the
+     *  unroll extension tightens the loop bound this way). */
+    std::map<int, int32_t> live_in_adjustments;
+
+    /** Override for the completion pc (0 = region_end). */
+    uint32_t resume_pc = 0;
+};
+
+/** Lowers (LDFG, SDFG) to an AcceleratorConfig. */
+class ConfigBlock
+{
+  public:
+    explicit ConfigBlock(const accel::AccelParams &accel)
+        : accel_(accel)
+    {}
+
+    /**
+     * Build the configuration.
+     *
+     * @param region_start loop body start pc
+     * @param region_end pc one past the closing branch
+     */
+    accel::AcceleratorConfig build(const dfg::Ldfg &ldfg,
+                                   const dfg::Sdfg &sdfg,
+                                   const ConfigOptions &options,
+                                   uint32_t region_start,
+                                   uint32_t region_end) const;
+
+    /** Cycles to stream the bitstream into the accelerator. */
+    uint64_t configCycles(const accel::AcceleratorConfig &config) const;
+
+    /**
+     * Largest tile factor the grid supports for this placement:
+     * instances stack vertically at a stride rounded to the FP-slice
+     * period so operation compatibility is preserved.
+     */
+    static int maxTileFactor(const dfg::Sdfg &sdfg,
+                             const accel::AccelParams &accel);
+
+  private:
+    const accel::AccelParams &accel_;
+};
+
+} // namespace mesa::core
+
+#endif // MESA_MESA_CONFIG_BUILDER_HH

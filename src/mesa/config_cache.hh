@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Configuration cache (paper §4.3): MESA stores configurations for
+ * loops it has already mapped so a re-encountered region (e.g., the
+ * hot loop of an outer iteration) skips the encode/map/configure
+ * pipeline entirely.
+ */
+
+#ifndef MESA_MESA_CONFIG_CACHE_HH
+#define MESA_MESA_CONFIG_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <utility>
+
+#include "accel/config_types.hh"
+#include "util/stats.hh"
+
+namespace mesa::core
+{
+
+/** Small fully-associative LRU cache of region configurations. */
+class ConfigCache
+{
+  public:
+    explicit ConfigCache(size_t capacity = 8) : capacity_(capacity) {}
+
+    /** Find a configuration for the region starting at this pc. */
+    const accel::AcceleratorConfig *
+    lookup(uint32_t region_start)
+    {
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->first == region_start) {
+                entries_.splice(entries_.begin(), entries_, it);
+                ++hits_;
+                return &entries_.front().second;
+            }
+        }
+        ++misses_;
+        return nullptr;
+    }
+
+    /** Insert (or replace) the configuration for its region. */
+    void
+    insert(accel::AcceleratorConfig config)
+    {
+        const uint32_t key = config.region_start;
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->first == key) {
+                it->second = std::move(config);
+                entries_.splice(entries_.begin(), entries_, it);
+                return;
+            }
+        }
+        entries_.emplace_front(key, std::move(config));
+        if (entries_.size() > capacity_)
+            entries_.pop_back();
+    }
+
+    /** Drop a region (e.g., after its mapping proved invalid). */
+    void
+    invalidate(uint32_t region_start)
+    {
+        entries_.remove_if([&](const auto &e) {
+            return e.first == region_start;
+        });
+    }
+
+    size_t size() const { return entries_.size(); }
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
+
+  private:
+    size_t capacity_;
+    std::list<std::pair<uint32_t, accel::AcceleratorConfig>> entries_;
+    Counter hits_{"hits"};
+    Counter misses_{"misses"};
+};
+
+} // namespace mesa::core
+
+#endif // MESA_MESA_CONFIG_CACHE_HH

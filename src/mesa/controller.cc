@@ -1,0 +1,506 @@
+#include "mesa/controller.hh"
+
+#include <algorithm>
+
+#include "dfg/unroll.hh"
+#include "util/debug.hh"
+#include "interconnect/folded.hh"
+#include "util/logging.hh"
+
+namespace mesa::core
+{
+
+using accel::AccelRunResult;
+using cpu::RegionMonitor;
+using dfg::Ldfg;
+using riscv::Instruction;
+using riscv::TraceEntry;
+
+namespace
+{
+
+/** Accumulate one epoch's accelerator counters. */
+void
+accumulate(AccelRunResult &total, const AccelRunResult &epoch)
+{
+    total.cycles += epoch.cycles;
+    total.iterations += epoch.iterations;
+    total.completed = epoch.completed;
+    total.pe_busy_cycles += epoch.pe_busy_cycles;
+    total.fp_busy_cycles += epoch.fp_busy_cycles;
+    total.disabled_ops += epoch.disabled_ops;
+    total.noc_transfers += epoch.noc_transfers;
+    total.local_transfers += epoch.local_transfers;
+    total.loads += epoch.loads;
+    total.stores += epoch.stores;
+    total.store_load_forwards += epoch.store_load_forwards;
+    total.load_invalidations += epoch.load_invalidations;
+    total.dram_accesses += epoch.dram_accesses;
+    total.pes_used = std::max(total.pes_used, epoch.pes_used);
+    total.pes_total = epoch.pes_total;
+}
+
+} // namespace
+
+StatGroup
+TransparentRunResult::toStats(const std::string &name) const
+{
+    StatGroup g(name);
+    g.set("total_cycles", double(total_cycles));
+    g.set("cpu.cycles", double(cpu_cycles));
+    g.set("cpu.instructions", double(cpu_instructions));
+    g.set("cpu.mispredicts", double(cpu.mispredicts));
+    g.set("cpu.dram_accesses", double(cpu.dram_accesses));
+    g.set("accel.cycles", double(accel_cycles));
+    g.set("offloads", double(offloads.size()));
+    g.set("rejections", double(rejections.size()));
+    g.set("accel.iterations", double(acceleratedIterations()));
+    for (size_t i = 0; i < offloads.size(); ++i) {
+        const auto &o = offloads[i];
+        const std::string p = "offload" + std::to_string(i) + ".";
+        g.set(p + "config_cycles", double(o.totalConfigCycles()));
+        g.set(p + "reconfig_cycles", double(o.reconfig_cycles));
+        g.set(p + "reconfigurations", double(o.reconfigurations));
+        g.set(p + "tiles", double(o.tile_factor));
+        g.set(p + "iterations", double(o.accel_iterations));
+        g.set(p + "cycles", double(o.accel_cycles));
+        g.set(p + "loads", double(o.accel.loads));
+        g.set(p + "stores", double(o.accel.stores));
+        g.set(p + "forwards", double(o.accel.store_load_forwards));
+        g.set(p + "invalidations",
+              double(o.accel.load_invalidations));
+        g.set(p + "noc_transfers", double(o.accel.noc_transfers));
+        g.set(p + "dram_accesses", double(o.accel.dram_accesses));
+        g.set(p + "disabled_ops", double(o.accel.disabled_ops));
+        g.set(p + "model_latency", o.model_latency);
+    }
+    return g;
+}
+
+MesaController::MesaController(const MesaParams &params,
+                               mem::MainMemory &memory)
+    : params_(params), memory_(memory),
+      accel_(params.accel, memory, params.accel_mem),
+      mapper_(accel_.params(), accel_.interconnect(), params.mapper),
+      config_block_(accel_.params())
+{
+    // C1's size bound is the accelerator's instruction capacity
+    // (times the fold factor when time-multiplexing is enabled).
+    const size_t effective =
+        params_.accel.capacity() *
+        (params_.enable_time_multiplexing
+             ? size_t(std::max(1, params_.max_time_multiplex))
+             : 1);
+    params_.monitor.max_instructions =
+        std::min(params_.monitor.max_instructions, effective);
+}
+
+std::optional<MesaController::Prepared>
+MesaController::prepare(const std::vector<Instruction> &body,
+                        bool parallel_hint, uint32_t region_start,
+                        uint32_t region_end)
+{
+    const size_t capacity = params_.accel.capacity();
+    const int max_tm =
+        params_.enable_time_multiplexing
+            ? std::max(1, params_.max_time_multiplex)
+            : 1;
+
+    // Unrolling (extension): replicate small bodies so one pass
+    // covers several original iterations; the CPU resumes at the
+    // closing branch and runs the tail sequentially.
+    std::vector<Instruction> working = body;
+    std::map<int, int32_t> live_in_adjustments;
+    uint32_t resume_pc = 0;
+    if (params_.enable_unrolling && body.size() <= capacity) {
+        for (int f = std::max(2, params_.unroll_factor); f >= 2;
+             f /= 2) {
+            // Unrolling competes with tiling for PEs: only replicate
+            // bodies small enough that the grid keeps tiling headroom.
+            if (body.size() * size_t(f) > capacity / 4)
+                continue;
+            if (auto unrolled = dfg::unrollBody(body, f)) {
+                working = std::move(unrolled->body);
+                live_in_adjustments =
+                    std::move(unrolled->live_in_adjustments);
+                resume_pc = region_end - 4; // the closing branch
+                break;
+            }
+        }
+    }
+
+    dfg::BuildError err = dfg::BuildError::None;
+    auto ldfg = Ldfg::build(working, params_.accel.op_latency,
+                            capacity * size_t(max_tm), &err);
+    if (!ldfg)
+        return std::nullopt;
+
+    Prepared prep;
+    prep.ldfg = std::move(*ldfg);
+    // The frontend renames one instruction per cycle while building
+    // the LDFG from the trace cache.
+    prep.encode_cycles = working.size();
+
+    // Oversized bodies fold onto a virtual grid (extension): up to
+    // time_multiplex instructions share each PE.
+    const int tm = int((working.size() + capacity - 1) / capacity);
+    if (tm > 1) {
+        accel::AccelParams virt = params_.accel;
+        virt.rows *= tm;
+        ic::FoldedInterconnect folded(accel_.interconnect(),
+                                      params_.accel.rows);
+        InstructionMapper vmapper(virt, folded, params_.mapper);
+        prep.map = vmapper.map(prep.ldfg);
+        prep.options.time_multiplex = tm;
+    } else {
+        prep.map = mapper_.map(prep.ldfg);
+    }
+    const double unmapped_frac =
+        double(prep.map.unmapped.size()) / double(prep.ldfg.size());
+    if (unmapped_frac > params_.max_unmapped_frac)
+        return std::nullopt;
+
+    prep.options.enable_forwarding = params_.enable_forwarding;
+    prep.options.enable_vectorization = params_.enable_vectorization;
+    prep.options.enable_prefetch = params_.enable_prefetch;
+    // Stores with data-dependent addresses cannot be statically
+    // disambiguated across tile instances (cross-instance aliasing
+    // has no invalidation path), so such loops are not tiled. Within
+    // one instance the LS entries speculate and invalidate (paper
+    // Fig. 5), so pipelining remains safe.
+    const bool unknown_stores =
+        !dfg::findUnknownAddressStores(prep.ldfg).empty();
+
+    // Register-carried recurrences (a live-in that the body rewrites
+    // and that is not an affine induction, e.g. a running reduction)
+    // are visible to MESA in its own rename table; such loops are
+    // never tiled even when the OpenMP hint claims parallelism.
+    const auto inductions = dfg::findInductionRegs(prep.ldfg);
+    bool reg_carried = false;
+    for (int reg : prep.ldfg.writtenRegs()) {
+        if (!prep.ldfg.liveIns().count(reg))
+            continue;
+        bool is_induction = false;
+        for (const auto &ind : inductions)
+            is_induction = is_induction || ind.unified_reg == reg;
+        if (!is_induction)
+            reg_carried = true;
+    }
+
+    prep.max_tiles =
+        (tm == 1 && parallel_hint && params_.enable_tiling &&
+         !unknown_stores && !reg_carried)
+            ? ConfigBlock::maxTileFactor(prep.map.sdfg, params_.accel)
+            : 1;
+    // The first configuration tiles conservatively (half the grid's
+    // ceiling): without runtime information, over-committing the
+    // array risks memory-port thrash. Iterative optimization scales
+    // the tiling up from profiled epochs (paper: "we opt instead to
+    // continuously iterate to close in on the optimum").
+    prep.options.tile_factor = std::max(1, (prep.max_tiles + 1) / 2);
+    // Pipelining is safe for any loop: the dataflow engine enforces
+    // loop-carried register dependences, so a serial reduction simply
+    // pipelines around its recurrence.
+    prep.options.pipelined = params_.enable_pipelining;
+    prep.options.live_in_adjustments = live_in_adjustments;
+    prep.options.resume_pc = resume_pc;
+
+    prep.config = config_block_.build(prep.ldfg, prep.map.sdfg,
+                                      prep.options, region_start,
+                                      region_end);
+    prep.config.model_latency = prep.map.model_latency;
+    DTRACE("controller",
+           "prepared region 0x" << std::hex << region_start << std::dec
+                                << ": " << prep.ldfg.size()
+                                << " nodes, tiles "
+                                << prep.options.tile_factor << "/"
+                                << prep.max_tiles << ", tm "
+                                << prep.options.time_multiplex
+                                << ", model "
+                                << prep.map.model_latency);
+    return prep;
+}
+
+void
+MesaController::runWithOptimization(Prepared &prep,
+                                    riscv::ArchState &state,
+                                    uint64_t max_iterations,
+                                    OffloadStats &os)
+{
+    accel_.configure(prep.config);
+    os.model_latency = prep.config.model_latency;
+    os.tile_factor = prep.config.tileCount();
+    os.pipelined = prep.config.pipelined;
+
+    IterativeOptimizer optimizer(mapper_);
+    uint64_t remaining = max_iterations;
+    int attempts = 0;
+
+    while (remaining > 0) {
+        const bool may_optimize = params_.iterative_optimization &&
+                                  attempts < params_.max_reconfigs;
+        const uint64_t epoch =
+            may_optimize
+                ? std::min(remaining, params_.profile_epoch_iterations)
+                : remaining;
+
+        AccelRunResult res = accel_.run(state, epoch);
+        DTRACE("controller", "epoch: " << res.iterations
+                                       << " iterations in "
+                                       << res.cycles << " cycles"
+                                       << (res.completed ? " (done)"
+                                                         : ""));
+        accumulate(os.accel, res);
+        os.accel_cycles += res.cycles;
+        os.accel_iterations += res.iterations;
+        remaining -= std::min(remaining, res.iterations);
+        if (res.completed)
+            break;
+        if (!may_optimize)
+            continue;
+
+        ++attempts;
+        IterativeOptimizer::applyFeedback(prep.ldfg, accel_);
+
+        // Loop-level feedback first: if the profiled epoch left grid
+        // capacity unused, scale the tiling up (the conservative
+        // first configuration closes in on the optimum iteratively).
+        if (prep.options.tile_factor < prep.max_tiles) {
+            prep.options.tile_factor = std::min(
+                prep.max_tiles, prep.options.tile_factor * 2);
+            prep.config = config_block_.build(
+                prep.ldfg, prep.map.sdfg, prep.options,
+                os.region_start, os.region_end);
+            prep.config.model_latency = os.model_latency;
+            accel_.configure(prep.config);
+            config_cache_.insert(prep.config);
+            ++os.reconfigurations;
+            // With a shadow plane the bitstream streams during the
+            // previous epoch; only the swap stalls the array.
+            os.reconfig_cycles +=
+                params_.shadow_config
+                    ? 1
+                    : config_block_.configCycles(prep.config);
+            os.tile_factor = prep.config.tileCount();
+            continue;
+        }
+
+        // Otherwise attempt a data-driven remap from measured node
+        // and edge latencies.
+        const OptimizeOutcome outcome =
+            optimizer.optimize(prep.ldfg, os.model_latency);
+        if (outcome.remapped) {
+            prep.map = outcome.map;
+            prep.config = config_block_.build(
+                prep.ldfg, prep.map.sdfg, prep.options,
+                os.region_start, os.region_end);
+            prep.config.model_latency = outcome.new_model_latency;
+            accel_.configure(prep.config);
+            config_cache_.insert(prep.config);
+            ++os.reconfigurations;
+            // Mapping runs on MESA concurrently with execution; the
+            // charged cost is the bitstream write (or the shadow
+            // swap) plus any mapping time not hidden by the epoch.
+            const uint64_t stream_cost =
+                params_.shadow_config
+                    ? 1
+                    : config_block_.configCycles(prep.config);
+            os.reconfig_cycles +=
+                prep.map.mapping_cycles + stream_cost;
+            os.model_latency = outcome.new_model_latency;
+        }
+    }
+}
+
+std::optional<OffloadStats>
+MesaController::offloadLoop(const std::vector<Instruction> &body,
+                            riscv::ArchState &state, bool parallel_hint,
+                            uint64_t max_iterations)
+{
+    if (body.empty())
+        return std::nullopt;
+    const uint32_t region_start = body.front().pc;
+    const uint32_t region_end = body.back().pc + 4;
+
+    OffloadStats os;
+    os.region_start = region_start;
+    os.region_end = region_end;
+
+    Prepared prep;
+    if (const auto *cached = config_cache_.lookup(region_start)) {
+        // Re-encountered region: reuse the stored configuration; only
+        // the bitstream write is paid again.
+        os.config_cache_hit = true;
+        auto fresh = prepare(body, parallel_hint, region_start,
+                             region_end);
+        if (!fresh)
+            return std::nullopt;
+        prep = std::move(*fresh);
+        prep.config = *cached;
+        os.config_cycles = config_block_.configCycles(prep.config);
+        os.unmapped = prep.map.unmapped.size();
+    } else {
+        auto fresh = prepare(body, parallel_hint, region_start,
+                             region_end);
+        if (!fresh)
+            return std::nullopt;
+        prep = std::move(*fresh);
+        os.encode_cycles = prep.encode_cycles;
+        os.mapping_cycles = prep.map.mapping_cycles;
+        os.config_cycles = config_block_.configCycles(prep.config);
+        os.unmapped = prep.map.unmapped.size();
+        config_cache_.insert(prep.config);
+    }
+
+    runWithOptimization(prep, state, max_iterations, os);
+    return os;
+}
+
+TransparentRunResult
+MesaController::runTransparent(const riscv::Program &program,
+                               const cpu::ThreadInit &init,
+                               bool parallel_hint)
+{
+    TransparentRunResult result;
+
+    cpu::loadProgram(memory_, program);
+    mem::MemHierarchy cpu_mem(params_.cpu_mem);
+    cpu::OooCore core(params_.host_core, cpu_mem);
+    RegionMonitor monitor(params_.monitor);
+
+    riscv::Emulator emu(memory_);
+    emu.reset(program.base_pc);
+    if (init)
+        init(emu.state());
+
+    struct Ctx
+    {
+        uint64_t prev_branch_cycles = 0;
+        uint64_t last_iter_cost = 0;
+        TraceEntry last_entry;
+    } ctx;
+
+    emu.setObserver([&](const TraceEntry &entry) {
+        core.consume(entry);
+        monitor.observe(entry);
+        ctx.last_entry = entry;
+        if (entry.inst.isBackwardBranch() && entry.branch_taken) {
+            const uint64_t now = core.cycles();
+            ctx.last_iter_cost = now - ctx.prev_branch_cycles;
+            ctx.prev_branch_cycles = now;
+        }
+    });
+
+    uint64_t steps = 0;
+    while (!emu.halted() && steps < params_.max_steps) {
+        emu.step();
+        ++steps;
+
+        const auto &decision = monitor.decision();
+        if (!decision)
+            continue;
+        if (!decision->qualified) {
+            result.rejections.push_back(*decision);
+            monitor.rearm();
+            continue;
+        }
+
+        // --- Qualified: state.pc is at the loop entry. ---
+        const cpu::LoopInfo loop = decision->loop;
+        monitor.traceCache().backfill(memory_);
+        const std::vector<Instruction> body = monitor.traceCache().body();
+
+        OffloadStats os;
+        os.region_start = loop.start;
+        os.region_end = loop.end;
+
+        Prepared prep;
+        bool prepared = false;
+        if (const auto *cached = config_cache_.lookup(loop.start)) {
+            auto fresh = prepare(body, parallel_hint, loop.start,
+                                 loop.end);
+            if (fresh) {
+                prep = std::move(*fresh);
+                prep.config = *cached;
+                os.config_cache_hit = true;
+                os.config_cycles =
+                    config_block_.configCycles(prep.config);
+                os.unmapped = prep.map.unmapped.size();
+                prepared = true;
+            }
+        } else if (auto fresh = prepare(body, parallel_hint, loop.start,
+                                        loop.end)) {
+            prep = std::move(*fresh);
+            os.encode_cycles = prep.encode_cycles;
+            os.mapping_cycles = prep.map.mapping_cycles;
+            os.config_cycles = config_block_.configCycles(prep.config);
+            os.unmapped = prep.map.unmapped.size();
+            config_cache_.insert(prep.config);
+            prepared = true;
+        }
+        if (!prepared) {
+            // Structural failure: never consider this region again.
+            monitor.blacklist(loop.start);
+            monitor.rearm();
+            continue;
+        }
+
+        // --- CPU executes iterations while MESA configures. ---
+        const uint64_t iter_cost = std::max<uint64_t>(
+            1, ctx.last_iter_cost);
+        const uint64_t overlap_iters =
+            (os.totalConfigCycles() + iter_cost - 1) / iter_cost;
+        os.cpu_overlap_iterations = overlap_iters;
+
+        bool exited_early = false;
+        for (uint64_t k = 0; k < overlap_iters && !exited_early; ++k) {
+            // Run until the next closing-branch commit.
+            while (!emu.halted()) {
+                if (!loop.contains(emu.state().pc)) {
+                    exited_early = true;
+                    break;
+                }
+                emu.step();
+                ++steps;
+                const auto &te = ctx.last_entry;
+                if (te.inst.pc == loop.branchPc()) {
+                    if (!te.branch_taken)
+                        exited_early = true;
+                    break;
+                }
+            }
+            if (emu.halted())
+                exited_early = true;
+        }
+        if (exited_early) {
+            // The loop ended before configuration completed; nothing
+            // to offload this time.
+            monitor.rearm();
+            continue;
+        }
+
+        // --- Offload: transfer architectural state, run, return. ---
+        runWithOptimization(prep, emu.state(), ~uint64_t(0), os);
+        result.offloads.push_back(os);
+        monitor.rearm();
+    }
+
+    result.cpu_cycles = core.finish();
+    result.cpu_instructions = core.stats().instructions;
+    result.cpu.cycles = result.cpu_cycles;
+    result.cpu.instructions = core.stats().instructions;
+    result.cpu.mispredicts = core.stats().mispredicts;
+    result.cpu.loads = core.stats().loads;
+    result.cpu.stores = core.stats().stores;
+    result.cpu.fp_ops = core.stats().fp_ops;
+    result.cpu.dram_accesses = cpu_mem.dramAccesses();
+    result.cpu.threads = 1;
+    for (const auto &os : result.offloads)
+        result.accel_cycles += os.accel_cycles + os.reconfig_cycles;
+    result.total_cycles = result.cpu_cycles + result.accel_cycles;
+    result.final_state = emu.state();
+    result.halted = emu.halted();
+    return result;
+}
+
+} // namespace mesa::core

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The MESA controller top (paper Fig. 7): monitors CPU execution for
+ * acceleration opportunities (F1), translates qualified loop regions
+ * to latency-weighted DFGs and maps them onto the spatial accelerator
+ * (F2), and iteratively re-optimizes the configuration from runtime
+ * performance counters (F3). runTransparent() gives the end-to-end
+ * flow of paper §5.1: the CPU keeps executing while MESA encodes,
+ * maps, and configures; control transfers at the next loop entry and
+ * returns to the CPU (with architectural state) at loop exit.
+ */
+
+#ifndef MESA_MESA_CONTROLLER_HH
+#define MESA_MESA_CONTROLLER_HH
+
+#include <optional>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "cpu/monitor.hh"
+#include "cpu/system.hh"
+#include "mesa/config_builder.hh"
+#include "mesa/config_cache.hh"
+#include "mesa/mapper.hh"
+#include "mesa/optimizer.hh"
+#include "util/stats.hh"
+
+namespace mesa::core
+{
+
+/** Full configuration of a MESA-enabled system. */
+struct MesaParams
+{
+    accel::AccelParams accel = accel::AccelParams::m128();
+    MapperParams mapper;
+    cpu::MonitorParams monitor;
+    cpu::CoreParams host_core;        ///< CPU core MESA attaches to.
+    mem::HierarchyParams cpu_mem;
+    mem::HierarchyParams accel_mem;
+
+    // Optimization switches.
+    bool enable_tiling = true;
+    bool enable_pipelining = true;
+    bool enable_vectorization = true;
+    bool enable_forwarding = true;
+    bool enable_prefetch = true;
+    bool iterative_optimization = true;
+
+    /**
+     * Extension: allow loops larger than the PE count by folding the
+     * mapping onto a virtual grid (up to max_time_multiplex
+     * instructions share a PE). Off by default — the paper's MESA is
+     * purely spatial and rejects such loops at C1.
+     */
+    bool enable_time_multiplexing = false;
+    int max_time_multiplex = 4;
+
+    /**
+     * Extension: runtime loop unrolling for small bodies (the paper
+     * leaves unrolling to AOT compilers). The accelerated loop covers
+     * unroll_factor original iterations per pass; the CPU runs the
+     * tail. Off by default.
+     */
+    bool enable_unrolling = false;
+    int unroll_factor = 4;
+
+    /**
+     * Extension: double-buffered configuration plane. The next
+     * bitstream streams into the shadow plane while the accelerator
+     * keeps executing; a reconfiguration then costs a single-cycle
+     * swap instead of stalling for the bitstream write.
+     */
+    bool shadow_config = false;
+
+    /** Iterations profiled between optimization attempts. */
+    uint64_t profile_epoch_iterations = 128;
+    int max_reconfigs = 2;
+
+    /** Mapping failures tolerated before the region is abandoned. */
+    double max_unmapped_frac = 0.25;
+
+    /** Clock (GHz), for reporting config latency in wall time. */
+    double clock_ghz = 2.0;
+
+    uint64_t max_steps = 200'000'000;
+};
+
+/** Per-offload statistics. */
+struct OffloadStats
+{
+    uint32_t region_start = 0;
+    uint32_t region_end = 0;
+
+    uint64_t encode_cycles = 0;   ///< LDFG build (rename) time.
+    uint64_t mapping_cycles = 0;  ///< imap FSM time (Fig. 8).
+    uint64_t config_cycles = 0;   ///< Bitstream streaming time.
+    uint64_t totalConfigCycles() const
+    {
+        return encode_cycles + mapping_cycles + config_cycles;
+    }
+
+    bool config_cache_hit = false;
+    int tile_factor = 1;
+    bool pipelined = false;
+    size_t unmapped = 0;
+    double model_latency = 0.0;   ///< Modeled cycles per iteration.
+
+    uint64_t cpu_overlap_iterations = 0; ///< Run on CPU during config.
+    int reconfigurations = 0;
+    uint64_t reconfig_cycles = 0;
+
+    uint64_t accel_cycles = 0;
+    uint64_t accel_iterations = 0;
+    accel::AccelRunResult accel; ///< Aggregated accelerator counters.
+};
+
+/** End-to-end outcome of a transparent run. */
+struct TransparentRunResult
+{
+    uint64_t total_cycles = 0; ///< CPU + reconfig + accelerator.
+    uint64_t cpu_cycles = 0;
+    uint64_t cpu_instructions = 0;
+    uint64_t accel_cycles = 0;
+    cpu::RunResult cpu; ///< Full CPU-side stats (energy model input).
+    std::vector<OffloadStats> offloads;
+    std::vector<cpu::MonitorDecision> rejections;
+    riscv::ArchState final_state;
+    bool halted = false;
+
+    uint64_t
+    acceleratedIterations() const
+    {
+        uint64_t n = 0;
+        for (const auto &o : offloads)
+            n += o.accel_iterations;
+        return n;
+    }
+
+    /** Flatten the run into a dumpable gem5-style stat group. */
+    StatGroup toStats(const std::string &name = "mesa") const;
+};
+
+/** The MESA hardware controller. */
+class MesaController
+{
+  public:
+    MesaController(const MesaParams &params, mem::MainMemory &memory);
+
+    /**
+     * Execute a program transparently: run on the host CPU model,
+     * monitor for loops, offload qualified regions to the spatial
+     * accelerator, resume the CPU at loop exit. The program must halt
+     * via ecall/ebreak.
+     *
+     * @param parallel_hint the region's loop is OpenMP-annotated
+     *        (omp parallel / omp simd), enabling tiling/pipelining
+     */
+    TransparentRunResult runTransparent(const riscv::Program &program,
+                                        const cpu::ThreadInit &init,
+                                        bool parallel_hint = false);
+
+    /**
+     * Lower-level entry: encode, map, configure, and run an already-
+     * extracted loop body from the given architectural state. Used by
+     * tests, benches, and the examples.
+     *
+     * @return stats, or nullopt if the body cannot be encoded/mapped
+     */
+    std::optional<OffloadStats> offloadLoop(
+        const std::vector<riscv::Instruction> &body,
+        riscv::ArchState &state, bool parallel_hint,
+        uint64_t max_iterations = ~uint64_t(0));
+
+    accel::Accelerator &accelerator() { return accel_; }
+    const MesaParams &params() const { return params_; }
+    ConfigCache &configCache() { return config_cache_; }
+
+    /** Convert accelerator cycles to nanoseconds at the MESA clock. */
+    double
+    cyclesToNs(uint64_t cycles) const
+    {
+        return double(cycles) / params_.clock_ghz;
+    }
+
+  private:
+    /** Encode+map+build for a body; nullopt on failure. */
+    struct Prepared
+    {
+        dfg::Ldfg ldfg;
+        MapResult map;
+        accel::AcceleratorConfig config;
+        ConfigOptions options;
+        uint64_t encode_cycles = 0;
+        int max_tiles = 1; ///< Grid-supported tile factor ceiling.
+    };
+    std::optional<Prepared> prepare(
+        const std::vector<riscv::Instruction> &body, bool parallel_hint,
+        uint32_t region_start, uint32_t region_end);
+
+    /** Run the configured region with iterative optimization. */
+    void runWithOptimization(Prepared &prep, riscv::ArchState &state,
+                             uint64_t max_iterations, OffloadStats &os);
+
+    MesaParams params_;
+    mem::MainMemory &memory_;
+    accel::Accelerator accel_;
+    InstructionMapper mapper_;
+    ConfigBlock config_block_;
+    ConfigCache config_cache_;
+};
+
+} // namespace mesa::core
+
+#endif // MESA_MESA_CONTROLLER_HH

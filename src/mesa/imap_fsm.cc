@@ -1,0 +1,62 @@
+#include "mesa/imap_fsm.hh"
+
+#include <bit>
+
+namespace mesa::core
+{
+
+const char *
+imapStateName(ImapState state)
+{
+    switch (state) {
+      case ImapState::Idle: return "idle";
+      case ImapState::Fetch: return "fetch";
+      case ImapState::Rename: return "rename";
+      case ImapState::CandGen: return "cand-gen";
+      case ImapState::Filter: return "filter";
+      case ImapState::Reduce: return "reduce";
+      case ImapState::Writeback: return "writeback";
+      case ImapState::Done: return "done";
+      default: return "???";
+    }
+}
+
+uint32_t
+ImapFsm::mapInstruction(unsigned candidates, unsigned rescans)
+{
+    ImapTraceEntry e;
+    e.instruction = int(trace_.size());
+
+    auto charge = [&](ImapState s, uint32_t cycles) {
+        e.stage_cycles[size_t(s)] = cycles;
+        e.total += cycles;
+    };
+
+    charge(ImapState::Fetch, 1);
+    charge(ImapState::Rename, 1);
+    charge(ImapState::CandGen, 1);
+    charge(ImapState::Filter, 1);
+
+    // Reduction: the latency of each candidate is computed in
+    // parallel per row, then a comparator tree selects the minimum;
+    // depth is log2 of the candidate count. Fallback rescans repeat
+    // the pass over a wider window.
+    const unsigned cand = candidates == 0 ? 1 : candidates;
+    const uint32_t depth = uint32_t(std::bit_width(cand));
+    charge(ImapState::Reduce, depth * (1 + rescans));
+
+    charge(ImapState::Writeback, 1);
+
+    total_cycles_ += e.total;
+    trace_.push_back(e);
+    return e.total;
+}
+
+void
+ImapFsm::reset()
+{
+    total_cycles_ = 0;
+    trace_.clear();
+}
+
+} // namespace mesa::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Timing model of MESA's instruction-mapping state machine (paper
+ * Fig. 8). Each LDFG instruction passes through the imap stages; the
+ * reduction stage's cycle count depends on the candidate-matrix
+ * dimensions, all other stages are constant. The FSM loops until all
+ * instructions are mapped, yielding the hardware mapping latency that
+ * dominates MESA's sub-microsecond configuration time (Table 2).
+ */
+
+#ifndef MESA_MESA_IMAP_FSM_HH
+#define MESA_MESA_IMAP_FSM_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mesa::core
+{
+
+/** The imap FSM states, one per Algorithm 1 task (paper Fig. 8). */
+enum class ImapState : uint8_t
+{
+    Idle = 0,
+    Fetch,      ///< Read the next instruction from the LDFG.
+    Rename,     ///< Look up s1/s2 producers (Alg. 1 lines 2-3).
+    CandGen,    ///< Generate the candidate matrix (line 4).
+    Filter,     ///< Mask by F_free and F_op (line 5).
+    Reduce,     ///< Latency evaluation + min reduction (lines 8-18).
+    Writeback,  ///< Commit the placement to the SDFG (line 19).
+    Done,
+    NumStates
+};
+
+const char *imapStateName(ImapState state);
+
+/** Per-instruction stage-cycle record (for the Fig. 8 bench). */
+struct ImapTraceEntry
+{
+    int instruction = 0;
+    std::array<uint32_t, size_t(ImapState::NumStates)> stage_cycles{};
+    uint32_t total = 0;
+};
+
+/**
+ * Cycle-accounting FSM. The mapper drives one mapInstruction() call
+ * per LDFG node; reduction cycles scale with the candidate count
+ * (a log2-depth comparator tree processing one candidate row per
+ * cycle), and a full-grid rescan (fallback search) adds extra
+ * reduction passes.
+ */
+class ImapFsm
+{
+  public:
+    ImapFsm() = default;
+
+    /**
+     * Account the mapping of one instruction.
+     *
+     * @param candidates number of candidate positions evaluated
+     * @param rescans extra full-window passes (fallback searches)
+     * @return cycles consumed for this instruction
+     */
+    uint32_t mapInstruction(unsigned candidates, unsigned rescans = 0);
+
+    /** Total cycles consumed since construction/reset. */
+    uint64_t totalCycles() const { return total_cycles_; }
+
+    /** Number of instructions mapped. */
+    uint64_t instructionsMapped() const { return trace_.size(); }
+
+    const std::vector<ImapTraceEntry> &trace() const { return trace_; }
+
+    void reset();
+
+  private:
+    uint64_t total_cycles_ = 0;
+    std::vector<ImapTraceEntry> trace_;
+};
+
+} // namespace mesa::core
+
+#endif // MESA_MESA_IMAP_FSM_HH

@@ -1,0 +1,47 @@
+#include "mesa/optimizer.hh"
+
+namespace mesa::core
+{
+
+void
+IterativeOptimizer::applyFeedback(dfg::Ldfg &ldfg,
+                                  const accel::Accelerator &accel)
+{
+    for (size_t i = 0; i < ldfg.size(); ++i) {
+        dfg::LdfgNode &node = ldfg.node(dfg::NodeId(i));
+        const double op = accel.measuredNodeLatency(node.id);
+        if (op >= 0.0)
+            node.op_latency = op;
+        // Stored edge measurements refine the standing performance
+        // model; the mapper itself evaluates candidate positions with
+        // the interconnect model (measurements are placement-bound).
+        node.edge_lat1 = accel.measuredEdgeLatency(node.id, 0);
+        node.edge_lat2 = accel.measuredEdgeLatency(node.id, 1);
+    }
+}
+
+OptimizeOutcome
+IterativeOptimizer::optimize(dfg::Ldfg &ldfg,
+                             double current_model_latency) const
+{
+    OptimizeOutcome out;
+    out.old_model_latency = current_model_latency;
+
+    MapResult remap = mapper_.map(ldfg);
+    out.new_model_latency = remap.model_latency;
+
+    if (remap.model_latency <
+        current_model_latency * (1.0 - threshold_)) {
+        out.remapped = true;
+        out.map = std::move(remap);
+        // Measured edge latencies belong to the old placement; the
+        // new one starts from the interconnect model again.
+        for (size_t i = 0; i < ldfg.size(); ++i) {
+            ldfg.node(dfg::NodeId(i)).edge_lat1 = -1.0;
+            ldfg.node(dfg::NodeId(i)).edge_lat2 = -1.0;
+        }
+    }
+    return out;
+}
+
+} // namespace mesa::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Iterative optimization (paper F3, §1): MESA continuously refines
+ * its DFG performance model with the accelerator's latency counters
+ * and re-runs the mapping algorithm; if the data-driven remap beats
+ * the current configuration's modeled latency by a margin worth a
+ * reconfiguration, the accelerator is reprogrammed.
+ */
+
+#ifndef MESA_MESA_OPTIMIZER_HH
+#define MESA_MESA_OPTIMIZER_HH
+
+#include "accel/accelerator.hh"
+#include "dfg/ldfg.hh"
+#include "mesa/mapper.hh"
+
+namespace mesa::core
+{
+
+/** Outcome of one optimization attempt. */
+struct OptimizeOutcome
+{
+    bool remapped = false;
+    double old_model_latency = 0.0;
+    double new_model_latency = 0.0;
+    MapResult map; ///< The new mapping, valid when remapped.
+};
+
+/** Feedback-driven remapper. */
+class IterativeOptimizer
+{
+  public:
+    /**
+     * @param improvement_threshold minimum fractional model-latency
+     *        gain that justifies paying a reconfiguration
+     */
+    explicit IterativeOptimizer(const InstructionMapper &mapper,
+                                double improvement_threshold = 0.02)
+        : mapper_(mapper), threshold_(improvement_threshold)
+    {}
+
+    /**
+     * Refresh the LDFG's node weights (and stored edge measurements)
+     * from the accelerator's performance counters. Load nodes pick up
+     * their measured per-entry AMAT; other nodes their observed
+     * execution latency.
+     */
+    static void applyFeedback(dfg::Ldfg &ldfg,
+                              const accel::Accelerator &accel);
+
+    /**
+     * Attempt a remap of the (feedback-refreshed) LDFG against the
+     * current mapping's modeled latency.
+     */
+    OptimizeOutcome optimize(dfg::Ldfg &ldfg,
+                             double current_model_latency) const;
+
+  private:
+    const InstructionMapper &mapper_;
+    double threshold_;
+};
+
+} // namespace mesa::core
+
+#endif // MESA_MESA_OPTIMIZER_HH

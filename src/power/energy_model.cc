@@ -1,0 +1,185 @@
+#include "power/energy_model.hh"
+
+namespace mesa::power
+{
+
+namespace
+{
+
+// Paper Table 1 constants (FreePDK15 synthesis, 128-PE reference).
+constexpr double MesaTopAreaUm2 = 502000.0;
+constexpr double MesaTopPowerW = 0.36;
+constexpr double ArchModelAreaUm2 = 375000.0;
+constexpr double ArchModelPowerW = 0.27;
+constexpr double RenameAreaUm2 = 11417.5;
+constexpr double RenamePowerW = 0.006161;
+constexpr double LdfgAreaUm2 = 148483.6;
+constexpr double LdfgPowerW = 0.09;
+constexpr double ConvertAreaUm2 = 601.4;
+constexpr double ConvertPowerW = 0.000465;
+constexpr double MappingAreaUm2 = 208432.9;
+constexpr double MappingPowerW = 0.13;
+constexpr double LatOptAreaUm2 = 4060.4;
+constexpr double LatOptPowerW = 0.003302;
+constexpr double SdfgAreaUm2 = 201171.0;
+constexpr double SdfgPowerW = 0.12;
+constexpr double ConfigBlockAreaUm2 = 101357.9;
+constexpr double ConfigBlockPowerW = 0.07;
+
+constexpr double TraceCacheAreaUm2 = 27124.5;
+constexpr double TraceCachePowerW = 0.015455;
+constexpr double CtrlIfaceAreaUm2 = 3590.1;
+constexpr double CtrlIfacePowerW = 0.003219;
+
+// Accelerator (128-PE reference configuration).
+constexpr double AccelTopAreaMm2 = 26.56;
+constexpr double AccelTopPowerW = 11.65;
+constexpr double PeArrayAreaMm2 = 14.95;
+constexpr double PeArrayPowerW = 4.08;
+constexpr double FpSliceAreaUm2 = 821889.1; // 2x2 slice
+constexpr double FpSlicePowerW = 0.213107;
+constexpr double IntPeAreaUm2 = 124374.9;
+constexpr double IntPePowerW = 0.032159;
+constexpr double NocAreaMm2 = 1.18;
+constexpr double NocPowerW = 0.52;
+constexpr double LsBuffersAreaMm2 = 9.62;
+constexpr double LsBuffersPowerW = 6.77;
+
+constexpr int ReferencePes = 128;
+
+} // namespace
+
+PowerModel::PowerModel(const accel::AccelParams &accel, double clock_ghz)
+    : accel_(accel), clock_ghz_(clock_ghz)
+{
+}
+
+std::vector<ComponentRow>
+PowerModel::mesaExtensionRows() const
+{
+    return {
+        {"MESA Top", MesaTopAreaUm2, MesaTopPowerW, 0},
+        {"MESA ArchModel", ArchModelAreaUm2, ArchModelPowerW, 1},
+        {"Instr. RenameTable", RenameAreaUm2, RenamePowerW, 2},
+        {"LDFG", LdfgAreaUm2, LdfgPowerW, 2},
+        {"Instr. Convert", ConvertAreaUm2, ConvertPowerW, 2},
+        {"Instr. Mapping", MappingAreaUm2, MappingPowerW, 2},
+        {"Latency Optimizer", LatOptAreaUm2, LatOptPowerW, 3},
+        {"SDFG", SdfgAreaUm2, SdfgPowerW, 3},
+        {"MESA ConfigBlock", ConfigBlockAreaUm2, ConfigBlockPowerW, 1},
+    };
+}
+
+std::vector<ComponentRow>
+PowerModel::cpuAdditionRows() const
+{
+    return {
+        {"Trace Cache", TraceCacheAreaUm2, TraceCachePowerW, 0},
+        {"Add'l Control / Interface", CtrlIfaceAreaUm2, CtrlIfacePowerW,
+         0},
+    };
+}
+
+std::vector<ComponentRow>
+PowerModel::acceleratorRows() const
+{
+    const double scale =
+        double(accel_.capacity()) / double(ReferencePes);
+    return {
+        {"Accelerator Top", AccelTopAreaMm2 * 1e6 * scale,
+         AccelTopPowerW * scale, 0},
+        {"PE Array", PeArrayAreaMm2 * 1e6 * scale, PeArrayPowerW * scale,
+         1},
+        {"FP Slice (2x2)", FpSliceAreaUm2, FpSlicePowerW, 2},
+        {"Integer PE", IntPeAreaUm2, IntPePowerW, 2},
+        {"NoC / Interconnect", NocAreaMm2 * 1e6 * scale,
+         NocPowerW * scale, 1},
+        {"LS Entries + Buffers", LsBuffersAreaMm2 * 1e6 * scale,
+         LsBuffersPowerW * scale, 1},
+    };
+}
+
+double
+PowerModel::acceleratorAreaMm2() const
+{
+    return AccelTopAreaMm2 * double(accel_.capacity()) /
+           double(ReferencePes);
+}
+
+double
+PowerModel::mesaAreaMm2() const
+{
+    return MesaTopAreaUm2 / 1e6;
+}
+
+double
+PowerModel::accelStaticW() const
+{
+    const double scale =
+        double(accel_.capacity()) / double(ReferencePes);
+    return 0.04 * AccelTopPowerW * scale;
+}
+
+EnergyBreakdown
+PowerModel::accelEnergy(const accel::AccelRunResult &run,
+                        uint64_t config_cycles) const
+{
+    EnergyBreakdown e;
+    const auto &ev = events_;
+
+    // Compute: busy PE cycles; clock-gated PEs contribute nothing.
+    const double int_busy =
+        double(run.pe_busy_cycles - run.fp_busy_cycles);
+    e.compute_nj = (int_busy * ev.int_op_pj +
+                    double(run.fp_busy_cycles) * ev.fp_op_pj +
+                    double(run.cycles) * double(run.pes_used) *
+                        ev.pe_clock_pj) *
+                   1e-3;
+
+    // Memory: LS entry activity + hierarchy traffic. L1/L2 splits
+    // come from the access counts implied by the DRAM counter.
+    const double accesses = double(run.loads + run.stores);
+    const double dram = double(run.dram_accesses);
+    e.memory_nj = (accesses * (ev.ls_entry_pj + ev.l1_access_pj) +
+                   dram * (ev.l2_access_pj + ev.dram_access_pj)) *
+                  1e-3;
+
+    e.noc_nj = (double(run.noc_transfers) * ev.noc_hop_pj +
+                double(run.local_transfers) * ev.local_hop_pj) *
+               1e-3;
+
+    // Control: per-iteration sequencing plus MESA controller activity
+    // during configuration (MESA Top at full power for those cycles).
+    const double config_ns = double(config_cycles) / clock_ghz_;
+    e.control_nj = double(run.iterations) * ev.control_pj_per_iter *
+                       1e-3 +
+                   config_ns * MesaTopPowerW;
+
+    // Leakage: unused tiles are power-gated, so static power scales
+    // with the configured fraction of the array (plus an always-on
+    // floor for the NoC spine and LS banks).
+    const double used_frac =
+        run.pes_total
+            ? double(run.pes_used) / double(run.pes_total)
+            : 1.0;
+    const double run_ns = double(run.cycles) / clock_ghz_;
+    e.static_nj = run_ns * accelStaticW() * (0.15 + 0.85 * used_frac);
+    return e;
+}
+
+double
+PowerModel::cpuEnergyNj(const cpu::RunResult &run) const
+{
+    const auto &ev = events_;
+    double nj = double(run.instructions) * ev.cpu_epi_pj * 1e-3;
+    nj += double(run.fp_ops) * ev.cpu_fp_extra_pj * 1e-3;
+    nj += double(run.loads + run.stores) * ev.cpu_mem_extra_pj * 1e-3;
+    nj += double(run.mispredicts) * ev.cpu_mispredict_pj * 1e-3;
+    nj += double(run.dram_accesses) * ev.dram_access_pj * 1e-3;
+    // Static power accrues per active core over the run's wall time.
+    const double ns = double(run.cycles) / clock_ghz_;
+    nj += ns * ev.cpu_static_w * double(run.threads);
+    return nj;
+}
+
+} // namespace mesa::power

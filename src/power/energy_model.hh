@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Area and power model seeded with the paper's FreePDK15 synthesis
+ * results (Table 1) plus CACTI/McPAT-style estimates for memories and
+ * the baseline CPU. Dynamic energy is activity-based: disabled
+ * FPUs/ALUs are clock-gated and contribute no dynamic power (paper
+ * §6.1); energy accumulates from the fraction of active components
+ * per cycle.
+ */
+
+#ifndef MESA_POWER_ENERGY_MODEL_HH
+#define MESA_POWER_ENERGY_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "accel/params.hh"
+#include "cpu/system.hh"
+
+namespace mesa::power
+{
+
+/** One row of the Table 1 breakdown. */
+struct ComponentRow
+{
+    std::string name;
+    double area_um2 = 0.0;
+    double power_w = 0.0; ///< Peak (fully active) power.
+    int indent = 0;       ///< Hierarchy level for printing.
+};
+
+/** Energy of one accelerated run, split by subsystem (Fig. 13). */
+struct EnergyBreakdown
+{
+    double compute_nj = 0.0; ///< PE ALU/FPU activity.
+    double memory_nj = 0.0;  ///< LS entries, caches, DRAM.
+    double noc_nj = 0.0;     ///< Interconnect transfers.
+    double control_nj = 0.0; ///< MESA controller + control network.
+    double static_nj = 0.0;  ///< Leakage over the run.
+
+    double
+    total() const
+    {
+        return compute_nj + memory_nj + noc_nj + control_nj + static_nj;
+    }
+};
+
+/**
+ * The power/area model for one accelerator configuration plus the
+ * MESA controller and CPU-side additions.
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const accel::AccelParams &accel,
+                        double clock_ghz = 2.0);
+
+    // --- Table 1 reproduction ---
+    std::vector<ComponentRow> mesaExtensionRows() const;
+    std::vector<ComponentRow> cpuAdditionRows() const;
+    std::vector<ComponentRow> acceleratorRows() const;
+
+    /** Total accelerator area in mm^2 (scales with PE count). */
+    double acceleratorAreaMm2() const;
+
+    /** MESA controller area in mm^2. */
+    double mesaAreaMm2() const;
+
+    // --- Energy accounting ---
+    /**
+     * Energy of an accelerated run from its activity counters,
+     * including @p config_cycles of MESA controller activity.
+     */
+    EnergyBreakdown accelEnergy(const accel::AccelRunResult &run,
+                                uint64_t config_cycles) const;
+
+    /** Energy (nJ) of a CPU run (per-core McPAT-style model). */
+    double cpuEnergyNj(const cpu::RunResult &run) const;
+
+    double clockGhz() const { return clock_ghz_; }
+
+    // Per-event energies (pJ), exposed for tests/ablation.
+    struct EventEnergies
+    {
+        double int_op_pj = 22.0;    ///< Int PE incl. buffers/control.
+        double fp_op_pj = 70.0;     ///< FP slice per-PE share.
+        double pe_clock_pj = 0.3;   ///< Per configured-PE cycle (clock
+                                    ///< tree of non-gated PEs).
+        double noc_hop_pj = 4.0;
+        double local_hop_pj = 0.6;
+        double ls_entry_pj = 12.0;
+        double l1_access_pj = 22.0;
+        double l2_access_pj = 140.0;
+        double dram_access_pj = 2200.0;
+        double control_pj_per_iter = 150.0;
+
+        // CPU-side (McPAT-flavored, per event).
+        double cpu_epi_pj = 130.0;       ///< Frontend+rename+ROB etc.
+        double cpu_fp_extra_pj = 60.0;
+        double cpu_mem_extra_pj = 80.0;
+        double cpu_mispredict_pj = 150.0;
+        double cpu_static_w = 0.38;      ///< Per-core leakage+clock.
+    };
+    const EventEnergies &events() const { return events_; }
+
+  private:
+    accel::AccelParams accel_;
+    double clock_ghz_;
+    EventEnergies events_;
+
+    /** Leakage power of the accelerator (W), ~8% of peak. */
+    double accelStaticW() const;
+};
+
+} // namespace mesa::power
+
+#endif // MESA_POWER_ENERGY_MODEL_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Pure functional semantics of RV32IMF compute operations, shared by
+ * the emulator and the accelerator's PE model so that golden-model
+ * equivalence holds by construction.
+ */
+
+#ifndef MESA_RISCV_ALU_HH
+#define MESA_RISCV_ALU_HH
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "riscv/isa.hh"
+#include "util/logging.hh"
+
+namespace mesa::riscv
+{
+
+/**
+ * Evaluate a non-memory, non-control operation.
+ *
+ * @param a raw bits of operand 1 (integer or float)
+ * @param b raw bits of operand 2
+ * @param imm immediate field
+ * @param pc instruction address (for auipc)
+ * @return raw bits of the result
+ */
+inline uint32_t
+aluEval(Op op, uint32_t a, uint32_t b, int32_t imm, uint32_t pc)
+{
+    const int32_t sa = int32_t(a);
+    const int32_t sb = int32_t(b);
+    const float fa = std::bit_cast<float>(a);
+    const float fb = std::bit_cast<float>(b);
+    auto fbits = [](float v) { return std::bit_cast<uint32_t>(v); };
+
+    switch (op) {
+      case Op::Lui: return uint32_t(imm);
+      case Op::Auipc: return pc + uint32_t(imm);
+
+      case Op::Addi: return a + uint32_t(imm);
+      case Op::Slti: return sa < imm ? 1 : 0;
+      case Op::Sltiu: return a < uint32_t(imm) ? 1 : 0;
+      case Op::Xori: return a ^ uint32_t(imm);
+      case Op::Ori: return a | uint32_t(imm);
+      case Op::Andi: return a & uint32_t(imm);
+      case Op::Slli: return a << (imm & 0x1F);
+      case Op::Srli: return a >> (imm & 0x1F);
+      case Op::Srai: return uint32_t(sa >> (imm & 0x1F));
+
+      case Op::Add: return a + b;
+      case Op::Sub: return a - b;
+      case Op::Sll: return a << (b & 0x1F);
+      case Op::Slt: return sa < sb ? 1 : 0;
+      case Op::Sltu: return a < b ? 1 : 0;
+      case Op::Xor: return a ^ b;
+      case Op::Srl: return a >> (b & 0x1F);
+      case Op::Sra: return uint32_t(sa >> (b & 0x1F));
+      case Op::Or: return a | b;
+      case Op::And: return a & b;
+
+      case Op::Mul: return uint32_t(sa * sb);
+      case Op::Mulh:
+        return uint32_t((int64_t(sa) * int64_t(sb)) >> 32);
+      case Op::Mulhsu:
+        return uint32_t((int64_t(sa) * uint64_t(b)) >> 32);
+      case Op::Mulhu:
+        return uint32_t((uint64_t(a) * uint64_t(b)) >> 32);
+      case Op::Div:
+        if (b == 0)
+            return uint32_t(-1);
+        if (a == 0x80000000u && b == uint32_t(-1))
+            return a;
+        return uint32_t(sa / sb);
+      case Op::Divu: return b == 0 ? uint32_t(-1) : a / b;
+      case Op::Rem:
+        if (b == 0)
+            return a;
+        if (a == 0x80000000u && b == uint32_t(-1))
+            return 0;
+        return uint32_t(sa % sb);
+      case Op::Remu: return b == 0 ? a : a % b;
+
+      case Op::FaddS: return fbits(fa + fb);
+      case Op::FsubS: return fbits(fa - fb);
+      case Op::FmulS: return fbits(fa * fb);
+      case Op::FdivS: return fbits(fa / fb);
+      case Op::FsqrtS: return fbits(std::sqrt(fa));
+      case Op::FminS: return fbits(std::fmin(fa, fb));
+      case Op::FmaxS: return fbits(std::fmax(fa, fb));
+      case Op::FsgnjS: return (a & 0x7FFFFFFFu) | (b & 0x80000000u);
+      case Op::FsgnjnS: return (a & 0x7FFFFFFFu) | (~b & 0x80000000u);
+      case Op::FsgnjxS: return a ^ (b & 0x80000000u);
+      case Op::FmvXW:
+      case Op::FmvWX:
+        return a;
+      case Op::FcvtSW: return fbits(float(sa));
+      case Op::FcvtSWu: return fbits(float(a));
+      case Op::FcvtWS: return uint32_t(int32_t(fa));
+      case Op::FcvtWuS: return uint32_t(fa);
+      case Op::FeqS: return fa == fb ? 1 : 0;
+      case Op::FltS: return fa < fb ? 1 : 0;
+      case Op::FleS: return fa <= fb ? 1 : 0;
+
+      default:
+        panic("aluEval: op ", opName(op), " is not an ALU operation");
+    }
+}
+
+/** Evaluate a branch condition on raw integer operand bits. */
+inline bool
+branchEval(Op op, uint32_t a, uint32_t b)
+{
+    const int32_t sa = int32_t(a);
+    const int32_t sb = int32_t(b);
+    switch (op) {
+      case Op::Beq: return a == b;
+      case Op::Bne: return a != b;
+      case Op::Blt: return sa < sb;
+      case Op::Bge: return sa >= sb;
+      case Op::Bltu: return a < b;
+      case Op::Bgeu: return a >= b;
+      default:
+        panic("branchEval: op ", opName(op), " is not a branch");
+    }
+}
+
+} // namespace mesa::riscv
+
+#endif // MESA_RISCV_ALU_HH

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Programmatic RV32IMF assembler with label support. Workload kernels
+ * are written against this API and assembled to real machine words,
+ * which the emulator and MESA's binary translation path then decode.
+ */
+
+#ifndef MESA_RISCV_ASSEMBLER_HH
+#define MESA_RISCV_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "riscv/instruction.hh"
+
+namespace mesa::riscv
+{
+
+/** An assembled program: machine words at a base address. */
+struct Program
+{
+    uint32_t base_pc = 0;
+    std::vector<uint32_t> words;
+    std::map<std::string, uint32_t> labels;
+
+    uint32_t endPc() const { return base_pc + 4 * uint32_t(words.size()); }
+
+    uint32_t labelPc(const std::string &name) const;
+
+    /** Decode all words back to instructions (for inspection/tests). */
+    std::vector<Instruction> decodeAll() const;
+};
+
+/**
+ * Two-pass assembler: instructions are recorded with optional label
+ * references; assemble() resolves labels to pc-relative immediates and
+ * encodes machine words.
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(uint32_t base_pc = 0x1000) : base_pc_(base_pc) {}
+
+    /** Define a label at the current position. */
+    void label(const std::string &name);
+
+    // --- RV32I ---
+    void lui(uint8_t rd, int32_t imm20);
+    void auipc(uint8_t rd, int32_t imm20);
+    void jal(uint8_t rd, const std::string &target);
+    void jalr(uint8_t rd, uint8_t rs1, int32_t imm);
+
+    void beq(uint8_t rs1, uint8_t rs2, const std::string &target);
+    void bne(uint8_t rs1, uint8_t rs2, const std::string &target);
+    void blt(uint8_t rs1, uint8_t rs2, const std::string &target);
+    void bge(uint8_t rs1, uint8_t rs2, const std::string &target);
+    void bltu(uint8_t rs1, uint8_t rs2, const std::string &target);
+    void bgeu(uint8_t rs1, uint8_t rs2, const std::string &target);
+
+    void lb(uint8_t rd, int32_t off, uint8_t rs1);
+    void lh(uint8_t rd, int32_t off, uint8_t rs1);
+    void lw(uint8_t rd, int32_t off, uint8_t rs1);
+    void lbu(uint8_t rd, int32_t off, uint8_t rs1);
+    void lhu(uint8_t rd, int32_t off, uint8_t rs1);
+    void sb(uint8_t rs2, int32_t off, uint8_t rs1);
+    void sh(uint8_t rs2, int32_t off, uint8_t rs1);
+    void sw(uint8_t rs2, int32_t off, uint8_t rs1);
+
+    void addi(uint8_t rd, uint8_t rs1, int32_t imm);
+    void slti(uint8_t rd, uint8_t rs1, int32_t imm);
+    void sltiu(uint8_t rd, uint8_t rs1, int32_t imm);
+    void xori(uint8_t rd, uint8_t rs1, int32_t imm);
+    void ori(uint8_t rd, uint8_t rs1, int32_t imm);
+    void andi(uint8_t rd, uint8_t rs1, int32_t imm);
+    void slli(uint8_t rd, uint8_t rs1, int32_t shamt);
+    void srli(uint8_t rd, uint8_t rs1, int32_t shamt);
+    void srai(uint8_t rd, uint8_t rs1, int32_t shamt);
+
+    void add(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void sub(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void sll(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void slt(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void sltu(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void xor_(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void srl(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void sra(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void or_(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void and_(uint8_t rd, uint8_t rs1, uint8_t rs2);
+
+    void fence();
+    void ecall();
+    void ebreak();
+
+    // --- RV32M ---
+    void mul(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void mulh(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void mulhsu(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void mulhu(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void div(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void divu(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void rem(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void remu(uint8_t rd, uint8_t rs1, uint8_t rs2);
+
+    // --- RV32F ---
+    void flw(uint8_t frd, int32_t off, uint8_t rs1);
+    void fsw(uint8_t frs2, int32_t off, uint8_t rs1);
+    void fadd_s(uint8_t frd, uint8_t frs1, uint8_t frs2);
+    void fsub_s(uint8_t frd, uint8_t frs1, uint8_t frs2);
+    void fmul_s(uint8_t frd, uint8_t frs1, uint8_t frs2);
+    void fdiv_s(uint8_t frd, uint8_t frs1, uint8_t frs2);
+    void fsqrt_s(uint8_t frd, uint8_t frs1);
+    void fmin_s(uint8_t frd, uint8_t frs1, uint8_t frs2);
+    void fmax_s(uint8_t frd, uint8_t frs1, uint8_t frs2);
+    void fsgnj_s(uint8_t frd, uint8_t frs1, uint8_t frs2);
+    void fmv_x_w(uint8_t rd, uint8_t frs1);
+    void fmv_w_x(uint8_t frd, uint8_t rs1);
+    void fcvt_s_w(uint8_t frd, uint8_t rs1);
+    void fcvt_w_s(uint8_t rd, uint8_t frs1);
+    void fmadd_s(uint8_t frd, uint8_t frs1, uint8_t frs2, uint8_t frs3);
+    void fmsub_s(uint8_t frd, uint8_t frs1, uint8_t frs2, uint8_t frs3);
+    void fnmadd_s(uint8_t frd, uint8_t frs1, uint8_t frs2,
+                  uint8_t frs3);
+    void fnmsub_s(uint8_t frd, uint8_t frs1, uint8_t frs2,
+                  uint8_t frs3);
+    void feq_s(uint8_t rd, uint8_t frs1, uint8_t frs2);
+    void flt_s(uint8_t rd, uint8_t frs1, uint8_t frs2);
+    void fle_s(uint8_t rd, uint8_t frs1, uint8_t frs2);
+
+    // --- Pseudo-instructions ---
+    /** Load a 32-bit constant (expands to lui+addi or addi). */
+    void li(uint8_t rd, int32_t value);
+    void mv(uint8_t rd, uint8_t rs1) { addi(rd, rs1, 0); }
+    void nop() { addi(0, 0, 0); }
+    void j(const std::string &target) { jal(0, target); }
+
+    /** Current pc of the next emitted instruction. */
+    uint32_t here() const;
+
+    /** Number of instructions emitted so far. */
+    size_t size() const { return entries_.size(); }
+
+    /** Resolve labels and produce machine words. */
+    Program assemble() const;
+
+  private:
+    struct Entry
+    {
+        Instruction inst;
+        std::string label_ref; ///< Unresolved branch/jump target.
+    };
+
+    void emit(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2, int32_t imm,
+              const std::string &label_ref = "");
+
+    uint32_t base_pc_;
+    std::vector<Entry> entries_;
+    std::map<std::string, uint32_t> labels_; ///< name -> instr index
+};
+
+} // namespace mesa::riscv
+
+#endif // MESA_RISCV_ASSEMBLER_HH

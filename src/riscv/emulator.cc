@@ -1,0 +1,163 @@
+#include "riscv/emulator.hh"
+
+#include "riscv/alu.hh"
+#include "riscv/encoding.hh"
+#include "util/logging.hh"
+
+namespace mesa::riscv
+{
+
+void
+Emulator::reset(uint32_t pc)
+{
+    state_ = ArchState{};
+    state_.pc = pc;
+    halted_ = false;
+    instret_ = 0;
+}
+
+bool
+Emulator::step()
+{
+    if (halted_)
+        return false;
+    const uint32_t word = mem_.read32(state_.pc);
+    const Instruction inst = decode(word, state_.pc);
+    if (inst.op == Op::Invalid || inst.op == Op::Ecall ||
+        inst.op == Op::Ebreak) {
+        halted_ = true;
+        return false;
+    }
+    execute(inst);
+    ++instret_;
+    return !halted_;
+}
+
+uint64_t
+Emulator::run(uint64_t max_steps)
+{
+    uint64_t n = 0;
+    while (n < max_steps && !halted_) {
+        if (!step())
+            break;
+        ++n;
+    }
+    return instret_;
+}
+
+uint64_t
+Emulator::runWhileInRegion(uint32_t lo, uint32_t hi, uint64_t max_steps)
+{
+    uint64_t n = 0;
+    while (n < max_steps && !halted_ && state_.pc >= lo && state_.pc < hi) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+void
+Emulator::execute(const Instruction &in)
+{
+    auto &x = state_.x;
+    auto &f = state_.f;
+    const uint32_t pc = state_.pc;
+    uint32_t next_pc = pc + 4;
+
+    TraceEntry te;
+    te.inst = in;
+
+    const bool fp_src = fpSources(in.op);
+    const uint32_t a =
+        (fp_src && !in.isMem()) ? f[in.rs1] : x[in.rs1];
+    const uint32_t b = fp_src ? f[in.rs2] : x[in.rs2];
+    te.src1_val = a;
+    te.src2_val = b;
+
+    auto writeResult = [&](uint32_t v) {
+        if (fpDest(in.op))
+            f[in.rd] = v;
+        else if (in.rd != 0)
+            x[in.rd] = v;
+        te.result = v;
+    };
+
+    switch (in.cls()) {
+      case OpClass::Jump:
+        writeResult(pc + 4);
+        if (in.op == Op::Jal)
+            next_pc = pc + uint32_t(in.imm);
+        else
+            next_pc = (x[in.rs1] + uint32_t(in.imm)) & ~1u;
+        te.branch_taken = true;
+        break;
+
+      case OpClass::Branch:
+        te.branch_taken = branchEval(in.op, a, b);
+        if (te.branch_taken)
+            next_pc = pc + uint32_t(in.imm);
+        break;
+
+      case OpClass::Load: {
+        const uint32_t addr = x[in.rs1] + uint32_t(in.imm);
+        te.mem_addr = addr;
+        uint32_t v = 0;
+        switch (in.op) {
+          case Op::Lb: v = uint32_t(int32_t(int8_t(mem_.read8(addr)))); break;
+          case Op::Lbu: v = mem_.read8(addr); break;
+          case Op::Lh: v = uint32_t(int32_t(int16_t(mem_.read16(addr)))); break;
+          case Op::Lhu: v = mem_.read16(addr); break;
+          case Op::Lw:
+          case Op::Flw: v = mem_.read32(addr); break;
+          default: panic("Emulator: bad load op");
+        }
+        writeResult(v);
+        break;
+      }
+
+      case OpClass::Store: {
+        const uint32_t addr = x[in.rs1] + uint32_t(in.imm);
+        te.mem_addr = addr;
+        const uint32_t v = in.op == Op::Fsw ? f[in.rs2] : x[in.rs2];
+        switch (in.op) {
+          case Op::Sb: mem_.write8(addr, uint8_t(v)); break;
+          case Op::Sh: mem_.write16(addr, uint16_t(v)); break;
+          case Op::Sw:
+          case Op::Fsw: mem_.write32(addr, v); break;
+          default: panic("Emulator: bad store op");
+        }
+        break;
+      }
+
+      case OpClass::System:
+        break; // fence is a no-op in this memory model
+
+      default:
+        if (in.numSources() == 3) {
+            // R4-type fused multiply-add family.
+            const float fa = std::bit_cast<float>(a);
+            const float fb = std::bit_cast<float>(b);
+            const float fc = std::bit_cast<float>(f[in.rs3]);
+            float r = 0.0f;
+            switch (in.op) {
+              case Op::FmaddS: r = fa * fb + fc; break;
+              case Op::FmsubS: r = fa * fb - fc; break;
+              case Op::FnmsubS: r = -(fa * fb) + fc; break;
+              case Op::FnmaddS: r = -(fa * fb) - fc; break;
+              default: panic("Emulator: bad fused op");
+            }
+            writeResult(std::bit_cast<uint32_t>(r));
+            break;
+        }
+        writeResult(aluEval(in.op, a, b, in.imm, pc));
+        break;
+    }
+
+    te.next_pc = next_pc;
+    state_.pc = next_pc;
+
+    if (observer_)
+        observer_(te);
+}
+
+} // namespace mesa::riscv

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Functional RV32IMF emulator. Serves three roles: the golden
+ * reference model for accelerator-equivalence tests, the architectural
+ * executor for non-accelerated code, and the dynamic-trace source for
+ * the CPU timing model and MESA's runtime monitors.
+ */
+
+#ifndef MESA_RISCV_EMULATOR_HH
+#define MESA_RISCV_EMULATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "mem/memory.hh"
+#include "riscv/instruction.hh"
+
+namespace mesa::riscv
+{
+
+/** Full architectural state: pc + integer and FP register files. */
+struct ArchState
+{
+    uint32_t pc = 0;
+    std::array<uint32_t, NumIntRegs> x{};
+    std::array<uint32_t, NumFpRegs> f{}; ///< FP regs as raw bits.
+
+    bool
+    operator==(const ArchState &other) const
+    {
+        return pc == other.pc && x == other.x && f == other.f;
+    }
+};
+
+/** One dynamic-trace event, delivered to the observer after commit. */
+struct TraceEntry
+{
+    Instruction inst;
+    uint32_t mem_addr = 0;   ///< Effective address (memory ops).
+    uint32_t result = 0;     ///< Value written to rd (raw bits).
+    uint32_t src1_val = 0;   ///< Value of operand 1 (raw bits).
+    uint32_t src2_val = 0;   ///< Value of operand 2 (raw bits).
+    bool branch_taken = false;
+    uint32_t next_pc = 0;
+};
+
+/**
+ * Single-stepping functional emulator over MainMemory. ECALL and
+ * EBREAK halt execution (treated as the program's exit).
+ */
+class Emulator
+{
+  public:
+    using Observer = std::function<void(const TraceEntry &)>;
+
+    explicit Emulator(mem::MainMemory &mem) : mem_(mem) {}
+
+    /** Reset registers and set the program counter. */
+    void reset(uint32_t pc);
+
+    ArchState &state() { return state_; }
+    const ArchState &state() const { return state_; }
+
+    uint32_t &x(int i) { return state_.x[size_t(i)]; }
+    uint32_t x(int i) const { return state_.x[size_t(i)]; }
+    uint32_t &fbits(int i) { return state_.f[size_t(i)]; }
+    float fval(int i) const { return std::bit_cast<float>(state_.f[size_t(i)]); }
+    void setF(int i, float v) { state_.f[size_t(i)] = std::bit_cast<uint32_t>(v); }
+
+    /** Install an observer that sees every committed instruction. */
+    void setObserver(Observer obs) { observer_ = std::move(obs); }
+
+    /**
+     * Execute one instruction.
+     * @return false if the emulator halted (ecall/ebreak/invalid).
+     */
+    bool step();
+
+    /**
+     * Run until halt or max_steps instructions.
+     * @return number of instructions executed.
+     */
+    uint64_t run(uint64_t max_steps);
+
+    /**
+     * Run until pc leaves the half-open range [lo, hi) or until halt
+     * or max_steps. Used to execute exactly the instructions of a loop
+     * region.
+     */
+    uint64_t runWhileInRegion(uint32_t lo, uint32_t hi, uint64_t max_steps);
+
+    bool halted() const { return halted_; }
+    uint64_t instret() const { return instret_; }
+    mem::MainMemory &memory() { return mem_; }
+
+  private:
+    void execute(const Instruction &inst);
+
+    mem::MainMemory &mem_;
+    ArchState state_;
+    bool halted_ = false;
+    uint64_t instret_ = 0;
+    Observer observer_;
+};
+
+} // namespace mesa::riscv
+
+#endif // MESA_RISCV_EMULATOR_HH

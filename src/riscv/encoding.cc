@@ -1,0 +1,384 @@
+#include "riscv/encoding.hh"
+
+#include "util/logging.hh"
+
+namespace mesa::riscv
+{
+
+namespace
+{
+
+// Base opcodes (bits [6:0]).
+constexpr uint32_t OpcLui = 0x37;
+constexpr uint32_t OpcAuipc = 0x17;
+constexpr uint32_t OpcJal = 0x6F;
+constexpr uint32_t OpcJalr = 0x67;
+constexpr uint32_t OpcBranch = 0x63;
+constexpr uint32_t OpcLoad = 0x03;
+constexpr uint32_t OpcStore = 0x23;
+constexpr uint32_t OpcOpImm = 0x13;
+constexpr uint32_t OpcOp = 0x33;
+constexpr uint32_t OpcMiscMem = 0x0F;
+constexpr uint32_t OpcSystem = 0x73;
+constexpr uint32_t OpcLoadFp = 0x07;
+constexpr uint32_t OpcStoreFp = 0x27;
+constexpr uint32_t OpcOpFp = 0x53;
+constexpr uint32_t OpcFmadd = 0x43;
+constexpr uint32_t OpcFmsub = 0x47;
+constexpr uint32_t OpcFnmsub = 0x4B;
+constexpr uint32_t OpcFnmadd = 0x4F;
+
+uint32_t
+rType(uint32_t funct7, uint8_t rs2, uint8_t rs1, uint32_t funct3,
+      uint8_t rd, uint32_t opcode)
+{
+    return (funct7 << 25) | (uint32_t(rs2) << 20) | (uint32_t(rs1) << 15) |
+           (funct3 << 12) | (uint32_t(rd) << 7) | opcode;
+}
+
+uint32_t
+r4Type(uint8_t rs3, uint8_t rs2, uint8_t rs1, uint8_t rd,
+       uint32_t opcode)
+{
+    return (uint32_t(rs3) << 27) | (uint32_t(rs2) << 20) |
+           (uint32_t(rs1) << 15) | (uint32_t(rd) << 7) | opcode;
+}
+
+uint32_t
+iType(int32_t imm, uint8_t rs1, uint32_t funct3, uint8_t rd,
+      uint32_t opcode)
+{
+    return (uint32_t(imm & 0xFFF) << 20) | (uint32_t(rs1) << 15) |
+           (funct3 << 12) | (uint32_t(rd) << 7) | opcode;
+}
+
+uint32_t
+sType(int32_t imm, uint8_t rs2, uint8_t rs1, uint32_t funct3,
+      uint32_t opcode)
+{
+    uint32_t u = uint32_t(imm);
+    return (((u >> 5) & 0x7F) << 25) | (uint32_t(rs2) << 20) |
+           (uint32_t(rs1) << 15) | (funct3 << 12) | ((u & 0x1F) << 7) |
+           opcode;
+}
+
+uint32_t
+bType(int32_t imm, uint8_t rs2, uint8_t rs1, uint32_t funct3,
+      uint32_t opcode)
+{
+    uint32_t u = uint32_t(imm);
+    uint32_t w = 0;
+    w |= ((u >> 12) & 0x1) << 31;
+    w |= ((u >> 5) & 0x3F) << 25;
+    w |= uint32_t(rs2) << 20;
+    w |= uint32_t(rs1) << 15;
+    w |= funct3 << 12;
+    w |= ((u >> 1) & 0xF) << 8;
+    w |= ((u >> 11) & 0x1) << 7;
+    w |= opcode;
+    return w;
+}
+
+uint32_t
+uType(int32_t imm, uint8_t rd, uint32_t opcode)
+{
+    return (uint32_t(imm) & 0xFFFFF000u) | (uint32_t(rd) << 7) | opcode;
+}
+
+uint32_t
+jType(int32_t imm, uint8_t rd, uint32_t opcode)
+{
+    uint32_t u = uint32_t(imm);
+    uint32_t w = 0;
+    w |= ((u >> 20) & 0x1) << 31;
+    w |= ((u >> 1) & 0x3FF) << 21;
+    w |= ((u >> 11) & 0x1) << 20;
+    w |= ((u >> 12) & 0xFF) << 12;
+    w |= uint32_t(rd) << 7;
+    w |= opcode;
+    return w;
+}
+
+int32_t
+signExtend(uint32_t v, int bits)
+{
+    uint32_t mask = 1u << (bits - 1);
+    return int32_t((v ^ mask) - mask);
+}
+
+} // namespace
+
+uint32_t
+encode(const Instruction &in)
+{
+    switch (in.op) {
+      case Op::Lui: return uType(in.imm, in.rd, OpcLui);
+      case Op::Auipc: return uType(in.imm, in.rd, OpcAuipc);
+      case Op::Jal: return jType(in.imm, in.rd, OpcJal);
+      case Op::Jalr: return iType(in.imm, in.rs1, 0, in.rd, OpcJalr);
+      case Op::Beq: return bType(in.imm, in.rs2, in.rs1, 0, OpcBranch);
+      case Op::Bne: return bType(in.imm, in.rs2, in.rs1, 1, OpcBranch);
+      case Op::Blt: return bType(in.imm, in.rs2, in.rs1, 4, OpcBranch);
+      case Op::Bge: return bType(in.imm, in.rs2, in.rs1, 5, OpcBranch);
+      case Op::Bltu: return bType(in.imm, in.rs2, in.rs1, 6, OpcBranch);
+      case Op::Bgeu: return bType(in.imm, in.rs2, in.rs1, 7, OpcBranch);
+      case Op::Lb: return iType(in.imm, in.rs1, 0, in.rd, OpcLoad);
+      case Op::Lh: return iType(in.imm, in.rs1, 1, in.rd, OpcLoad);
+      case Op::Lw: return iType(in.imm, in.rs1, 2, in.rd, OpcLoad);
+      case Op::Lbu: return iType(in.imm, in.rs1, 4, in.rd, OpcLoad);
+      case Op::Lhu: return iType(in.imm, in.rs1, 5, in.rd, OpcLoad);
+      case Op::Flw: return iType(in.imm, in.rs1, 2, in.rd, OpcLoadFp);
+      case Op::Sb: return sType(in.imm, in.rs2, in.rs1, 0, OpcStore);
+      case Op::Sh: return sType(in.imm, in.rs2, in.rs1, 1, OpcStore);
+      case Op::Sw: return sType(in.imm, in.rs2, in.rs1, 2, OpcStore);
+      case Op::Fsw: return sType(in.imm, in.rs2, in.rs1, 2, OpcStoreFp);
+      case Op::Addi: return iType(in.imm, in.rs1, 0, in.rd, OpcOpImm);
+      case Op::Slti: return iType(in.imm, in.rs1, 2, in.rd, OpcOpImm);
+      case Op::Sltiu: return iType(in.imm, in.rs1, 3, in.rd, OpcOpImm);
+      case Op::Xori: return iType(in.imm, in.rs1, 4, in.rd, OpcOpImm);
+      case Op::Ori: return iType(in.imm, in.rs1, 6, in.rd, OpcOpImm);
+      case Op::Andi: return iType(in.imm, in.rs1, 7, in.rd, OpcOpImm);
+      case Op::Slli:
+        return rType(0x00, in.imm & 0x1F, in.rs1, 1, in.rd, OpcOpImm);
+      case Op::Srli:
+        return rType(0x00, in.imm & 0x1F, in.rs1, 5, in.rd, OpcOpImm);
+      case Op::Srai:
+        return rType(0x20, in.imm & 0x1F, in.rs1, 5, in.rd, OpcOpImm);
+      case Op::Add: return rType(0x00, in.rs2, in.rs1, 0, in.rd, OpcOp);
+      case Op::Sub: return rType(0x20, in.rs2, in.rs1, 0, in.rd, OpcOp);
+      case Op::Sll: return rType(0x00, in.rs2, in.rs1, 1, in.rd, OpcOp);
+      case Op::Slt: return rType(0x00, in.rs2, in.rs1, 2, in.rd, OpcOp);
+      case Op::Sltu: return rType(0x00, in.rs2, in.rs1, 3, in.rd, OpcOp);
+      case Op::Xor: return rType(0x00, in.rs2, in.rs1, 4, in.rd, OpcOp);
+      case Op::Srl: return rType(0x00, in.rs2, in.rs1, 5, in.rd, OpcOp);
+      case Op::Sra: return rType(0x20, in.rs2, in.rs1, 5, in.rd, OpcOp);
+      case Op::Or: return rType(0x00, in.rs2, in.rs1, 6, in.rd, OpcOp);
+      case Op::And: return rType(0x00, in.rs2, in.rs1, 7, in.rd, OpcOp);
+      case Op::Mul: return rType(0x01, in.rs2, in.rs1, 0, in.rd, OpcOp);
+      case Op::Mulh: return rType(0x01, in.rs2, in.rs1, 1, in.rd, OpcOp);
+      case Op::Mulhsu: return rType(0x01, in.rs2, in.rs1, 2, in.rd, OpcOp);
+      case Op::Mulhu: return rType(0x01, in.rs2, in.rs1, 3, in.rd, OpcOp);
+      case Op::Div: return rType(0x01, in.rs2, in.rs1, 4, in.rd, OpcOp);
+      case Op::Divu: return rType(0x01, in.rs2, in.rs1, 5, in.rd, OpcOp);
+      case Op::Rem: return rType(0x01, in.rs2, in.rs1, 6, in.rd, OpcOp);
+      case Op::Remu: return rType(0x01, in.rs2, in.rs1, 7, in.rd, OpcOp);
+      case Op::Fence: return iType(0, 0, 0, 0, OpcMiscMem);
+      case Op::Ecall: return iType(0, 0, 0, 0, OpcSystem);
+      case Op::Ebreak: return iType(1, 0, 0, 0, OpcSystem);
+      case Op::FaddS:
+        return rType(0x00, in.rs2, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FsubS:
+        return rType(0x04, in.rs2, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FmulS:
+        return rType(0x08, in.rs2, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FdivS:
+        return rType(0x0C, in.rs2, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FsqrtS:
+        return rType(0x2C, 0, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FsgnjS:
+        return rType(0x10, in.rs2, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FsgnjnS:
+        return rType(0x10, in.rs2, in.rs1, 1, in.rd, OpcOpFp);
+      case Op::FsgnjxS:
+        return rType(0x10, in.rs2, in.rs1, 2, in.rd, OpcOpFp);
+      case Op::FminS:
+        return rType(0x14, in.rs2, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FmaxS:
+        return rType(0x14, in.rs2, in.rs1, 1, in.rd, OpcOpFp);
+      case Op::FcvtWS:
+        return rType(0x60, 0, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FcvtWuS:
+        return rType(0x60, 1, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FcvtSW:
+        return rType(0x68, 0, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FcvtSWu:
+        return rType(0x68, 1, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FmvXW:
+        return rType(0x70, 0, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FmvWX:
+        return rType(0x78, 0, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FeqS:
+        return rType(0x50, in.rs2, in.rs1, 2, in.rd, OpcOpFp);
+      case Op::FltS:
+        return rType(0x50, in.rs2, in.rs1, 1, in.rd, OpcOpFp);
+      case Op::FleS:
+        return rType(0x50, in.rs2, in.rs1, 0, in.rd, OpcOpFp);
+      case Op::FmaddS:
+        return r4Type(in.rs3, in.rs2, in.rs1, in.rd, OpcFmadd);
+      case Op::FmsubS:
+        return r4Type(in.rs3, in.rs2, in.rs1, in.rd, OpcFmsub);
+      case Op::FnmsubS:
+        return r4Type(in.rs3, in.rs2, in.rs1, in.rd, OpcFnmsub);
+      case Op::FnmaddS:
+        return r4Type(in.rs3, in.rs2, in.rs1, in.rd, OpcFnmadd);
+      default:
+        panic("encode: unsupported op ", opName(in.op));
+    }
+}
+
+Instruction
+decode(uint32_t w, uint32_t pc)
+{
+    Instruction in;
+    in.raw = w;
+    in.pc = pc;
+
+    const uint32_t opcode = w & 0x7F;
+    const uint8_t rd = (w >> 7) & 0x1F;
+    const uint32_t funct3 = (w >> 12) & 0x7;
+    const uint8_t rs1 = (w >> 15) & 0x1F;
+    const uint8_t rs2 = (w >> 20) & 0x1F;
+    const uint32_t funct7 = (w >> 25) & 0x7F;
+
+    in.rd = rd;
+    in.rs1 = rs1;
+    in.rs2 = rs2;
+
+    auto iImm = [&] { return signExtend(w >> 20, 12); };
+    auto sImm = [&] {
+        return signExtend(((w >> 25) << 5) | ((w >> 7) & 0x1F), 12);
+    };
+    auto bImm = [&] {
+        uint32_t v = (((w >> 31) & 0x1) << 12) | (((w >> 7) & 0x1) << 11) |
+                     (((w >> 25) & 0x3F) << 5) | (((w >> 8) & 0xF) << 1);
+        return signExtend(v, 13);
+    };
+    auto jImm = [&] {
+        uint32_t v = (((w >> 31) & 0x1) << 20) |
+                     (((w >> 12) & 0xFF) << 12) |
+                     (((w >> 20) & 0x1) << 11) | (((w >> 21) & 0x3FF) << 1);
+        return signExtend(v, 21);
+    };
+
+    switch (opcode) {
+      case OpcLui:
+        in.op = Op::Lui;
+        in.imm = int32_t(w & 0xFFFFF000u);
+        break;
+      case OpcAuipc:
+        in.op = Op::Auipc;
+        in.imm = int32_t(w & 0xFFFFF000u);
+        break;
+      case OpcJal:
+        in.op = Op::Jal;
+        in.imm = jImm();
+        break;
+      case OpcJalr:
+        in.op = Op::Jalr;
+        in.imm = iImm();
+        break;
+      case OpcBranch: {
+        static constexpr Op branch_map[8] = {Op::Beq, Op::Bne, Op::Invalid,
+                                             Op::Invalid, Op::Blt, Op::Bge,
+                                             Op::Bltu, Op::Bgeu};
+        in.op = branch_map[funct3];
+        in.imm = bImm();
+        break;
+      }
+      case OpcLoad: {
+        static constexpr Op load_map[8] = {Op::Lb, Op::Lh, Op::Lw,
+                                           Op::Invalid, Op::Lbu, Op::Lhu,
+                                           Op::Invalid, Op::Invalid};
+        in.op = load_map[funct3];
+        in.imm = iImm();
+        break;
+      }
+      case OpcLoadFp:
+        in.op = (funct3 == 2) ? Op::Flw : Op::Invalid;
+        in.imm = iImm();
+        break;
+      case OpcStore: {
+        static constexpr Op store_map[8] = {
+            Op::Sb, Op::Sh, Op::Sw, Op::Invalid,
+            Op::Invalid, Op::Invalid, Op::Invalid, Op::Invalid};
+        in.op = store_map[funct3];
+        in.imm = sImm();
+        break;
+      }
+      case OpcStoreFp:
+        in.op = (funct3 == 2) ? Op::Fsw : Op::Invalid;
+        in.imm = sImm();
+        break;
+      case OpcOpImm:
+        switch (funct3) {
+          case 0: in.op = Op::Addi; in.imm = iImm(); break;
+          case 1: in.op = Op::Slli; in.imm = rs2; break;
+          case 2: in.op = Op::Slti; in.imm = iImm(); break;
+          case 3: in.op = Op::Sltiu; in.imm = iImm(); break;
+          case 4: in.op = Op::Xori; in.imm = iImm(); break;
+          case 5:
+            in.op = (funct7 == 0x20) ? Op::Srai : Op::Srli;
+            in.imm = rs2;
+            break;
+          case 6: in.op = Op::Ori; in.imm = iImm(); break;
+          case 7: in.op = Op::Andi; in.imm = iImm(); break;
+        }
+        break;
+      case OpcOp:
+        if (funct7 == 0x01) {
+            static constexpr Op m_map[8] = {Op::Mul, Op::Mulh, Op::Mulhsu,
+                                            Op::Mulhu, Op::Div, Op::Divu,
+                                            Op::Rem, Op::Remu};
+            in.op = m_map[funct3];
+        } else {
+            switch (funct3) {
+              case 0: in.op = (funct7 == 0x20) ? Op::Sub : Op::Add; break;
+              case 1: in.op = Op::Sll; break;
+              case 2: in.op = Op::Slt; break;
+              case 3: in.op = Op::Sltu; break;
+              case 4: in.op = Op::Xor; break;
+              case 5: in.op = (funct7 == 0x20) ? Op::Sra : Op::Srl; break;
+              case 6: in.op = Op::Or; break;
+              case 7: in.op = Op::And; break;
+            }
+        }
+        break;
+      case OpcMiscMem:
+        in.op = Op::Fence;
+        break;
+      case OpcSystem:
+        in.op = ((w >> 20) & 0xFFF) == 1 ? Op::Ebreak : Op::Ecall;
+        break;
+      case OpcFmadd:
+      case OpcFmsub:
+      case OpcFnmsub:
+      case OpcFnmadd:
+        in.op = opcode == OpcFmadd    ? Op::FmaddS
+                : opcode == OpcFmsub  ? Op::FmsubS
+                : opcode == OpcFnmsub ? Op::FnmsubS
+                                      : Op::FnmaddS;
+        in.rs3 = uint8_t((w >> 27) & 0x1F);
+        break;
+      case OpcOpFp:
+        switch (funct7) {
+          case 0x00: in.op = Op::FaddS; break;
+          case 0x04: in.op = Op::FsubS; break;
+          case 0x08: in.op = Op::FmulS; break;
+          case 0x0C: in.op = Op::FdivS; break;
+          case 0x2C: in.op = Op::FsqrtS; break;
+          case 0x10:
+            in.op = funct3 == 0 ? Op::FsgnjS
+                  : funct3 == 1 ? Op::FsgnjnS
+                                : Op::FsgnjxS;
+            break;
+          case 0x14: in.op = funct3 == 0 ? Op::FminS : Op::FmaxS; break;
+          case 0x60: in.op = rs2 == 0 ? Op::FcvtWS : Op::FcvtWuS; break;
+          case 0x68: in.op = rs2 == 0 ? Op::FcvtSW : Op::FcvtSWu; break;
+          case 0x70: in.op = Op::FmvXW; break;
+          case 0x78: in.op = Op::FmvWX; break;
+          case 0x50:
+            in.op = funct3 == 2 ? Op::FeqS
+                  : funct3 == 1 ? Op::FltS
+                                : Op::FleS;
+            break;
+          default: in.op = Op::Invalid; break;
+        }
+        break;
+      default:
+        in.op = Op::Invalid;
+        break;
+    }
+    return in;
+}
+
+} // namespace mesa::riscv

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * RV32IMF binary instruction encoding and decoding. The assembler
+ * emits real 32-bit RISC-V machine words and all downstream consumers
+ * (emulator, trace cache, MESA's LDFG builder) decode them again, so
+ * the pipeline exercises a genuine binary-translation path.
+ */
+
+#ifndef MESA_RISCV_ENCODING_HH
+#define MESA_RISCV_ENCODING_HH
+
+#include <cstdint>
+
+#include "riscv/instruction.hh"
+
+namespace mesa::riscv
+{
+
+/** Encode a decoded instruction back to its 32-bit machine word. */
+uint32_t encode(const Instruction &inst);
+
+/**
+ * Decode a 32-bit machine word fetched from address pc. Unrecognized
+ * encodings yield Op::Invalid (treated as unsupported by MESA's
+ * control check C2).
+ */
+Instruction decode(uint32_t word, uint32_t pc);
+
+} // namespace mesa::riscv
+
+#endif // MESA_RISCV_ENCODING_HH

@@ -1,0 +1,53 @@
+#include "riscv/instruction.hh"
+
+#include <sstream>
+
+namespace mesa::riscv
+{
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opName(op);
+    const char *ipfx = "x";
+    const char *fpfx = "f";
+    const char *dpfx = fpDest(op) ? fpfx : ipfx;
+    const char *spfx = fpSources(op) ? fpfx : ipfx;
+    switch (cls()) {
+      case OpClass::Load:
+        os << " " << dpfx << int(rd) << ", " << imm << "(x" << int(rs1)
+           << ")";
+        break;
+      case OpClass::Store:
+        os << " " << (op == Op::Fsw ? fpfx : ipfx) << int(rs2) << ", "
+           << imm << "(x" << int(rs1) << ")";
+        break;
+      case OpClass::Branch:
+        os << " x" << int(rs1) << ", x" << int(rs2) << ", " << imm;
+        break;
+      case OpClass::Jump:
+        if (op == Op::Jal)
+            os << " x" << int(rd) << ", " << imm;
+        else
+            os << " x" << int(rd) << ", " << imm << "(x" << int(rs1) << ")";
+        break;
+      case OpClass::System:
+        break;
+      default:
+        os << " " << dpfx << int(rd);
+        if (numSources() >= 1)
+            os << ", " << spfx << int(rs1);
+        if (numSources() >= 2)
+            os << ", " << spfx << int(rs2);
+        else if (op != Op::Lui && op != Op::Auipc && numSources() == 1 &&
+                 !fpSources(op))
+            os << ", " << imm;
+        if (op == Op::Lui || op == Op::Auipc)
+            os << ", " << imm;
+        break;
+    }
+    return os.str();
+}
+
+} // namespace mesa::riscv

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * RISC-V RV32IM(F) operation definitions: the canonical operation
+ * enumeration, functional-unit operation classes, and predicates used
+ * across the decoder, emulator, DFG builder, and accelerator model.
+ */
+
+#ifndef MESA_RISCV_ISA_HH
+#define MESA_RISCV_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mesa::riscv
+{
+
+/** Canonical operation identifiers for the supported RV32IMF subset. */
+enum class Op : uint8_t
+{
+    Invalid = 0,
+    // RV32I upper-immediate / jumps
+    Lui, Auipc, Jal, Jalr,
+    // Branches
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    // Loads / stores
+    Lb, Lh, Lw, Lbu, Lhu, Sb, Sh, Sw,
+    // Integer immediate ALU
+    Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai,
+    // Integer register ALU
+    Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+    // System
+    Fence, Ecall, Ebreak,
+    // RV32M
+    Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu,
+    // RV32F loads/stores
+    Flw, Fsw,
+    // RV32F compute
+    FaddS, FsubS, FmulS, FdivS, FsqrtS, FminS, FmaxS,
+    FsgnjS, FsgnjnS, FsgnjxS,
+    FmvXW, FmvWX, FcvtSW, FcvtSWu, FcvtWS, FcvtWuS,
+    FeqS, FltS, FleS,
+    // RV32F fused multiply-add (R4-type, three source operands; more
+    // predecessors than MESA's two-input DFG model supports, so C2
+    // disqualifies loops containing them)
+    FmaddS, FmsubS, FnmaddS, FnmsubS,
+    NumOps
+};
+
+/** Functional-unit classes; each PE/FU supports a subset of these. */
+enum class OpClass : uint8_t
+{
+    Nop = 0,
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    Load,
+    Store,
+    Branch,
+    Jump,
+    System,
+    NumClasses
+};
+
+/** Map an operation to the functional-unit class that executes it. */
+OpClass opClass(Op op);
+
+/** Human-readable mnemonic for an operation. */
+const char *opName(Op op);
+
+/** Human-readable name for an operation class. */
+const char *opClassName(OpClass cls);
+
+/** True if the op reads/writes the FP register file for rd. */
+bool fpDest(Op op);
+
+/** True if the op reads FP registers as sources. */
+bool fpSources(Op op);
+
+/** Number of register source operands (0, 1, or 2). */
+int numSources(Op op);
+
+/** True if the op writes a destination register. */
+bool writesDest(Op op);
+
+inline bool
+isLoad(Op op)
+{
+    return opClass(op) == OpClass::Load;
+}
+
+inline bool
+isStore(Op op)
+{
+    return opClass(op) == OpClass::Store;
+}
+
+inline bool
+isBranch(Op op)
+{
+    return opClass(op) == OpClass::Branch;
+}
+
+inline bool
+isJump(Op op)
+{
+    return opClass(op) == OpClass::Jump;
+}
+
+inline bool
+isMem(Op op)
+{
+    return isLoad(op) || isStore(op);
+}
+
+inline bool
+isSystem(Op op)
+{
+    return opClass(op) == OpClass::System;
+}
+
+inline bool
+isControl(Op op)
+{
+    return isBranch(op) || isJump(op);
+}
+
+/**
+ * Register identifiers. Integer registers are 0..31 (x0..x31); FP
+ * registers are folded into a unified 0..63 space as 32..63 by the
+ * DFG rename stage.
+ */
+constexpr int NumIntRegs = 32;
+constexpr int NumFpRegs = 32;
+constexpr int NumUnifiedRegs = NumIntRegs + NumFpRegs;
+
+/** ABI register aliases used by the assembler and disassembly. */
+namespace reg
+{
+constexpr uint8_t zero = 0, ra = 1, sp = 2, gp = 3, tp = 4;
+constexpr uint8_t t0 = 5, t1 = 6, t2 = 7;
+constexpr uint8_t s0 = 8, s1 = 9;
+constexpr uint8_t a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15,
+                  a6 = 16, a7 = 17;
+constexpr uint8_t s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23,
+                  s8 = 24, s9 = 25, s10 = 26, s11 = 27;
+constexpr uint8_t t3 = 28, t4 = 29, t5 = 30, t6 = 31;
+// FP registers (raw 0..31 indices into the FP file).
+constexpr uint8_t ft0 = 0, ft1 = 1, ft2 = 2, ft3 = 3, ft4 = 4, ft5 = 5,
+                  ft6 = 6, ft7 = 7;
+constexpr uint8_t fs0 = 8, fs1 = 9;
+constexpr uint8_t fa0 = 10, fa1 = 11, fa2 = 12, fa3 = 13, fa4 = 14,
+                  fa5 = 15, fa6 = 16, fa7 = 17;
+} // namespace reg
+
+} // namespace mesa::riscv
+
+#endif // MESA_RISCV_ISA_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Category-based debug tracing, in the spirit of gem5's debug flags.
+ * Enable categories programmatically (Debug::enable("mapper")) or via
+ * the MESA_DEBUG environment variable (comma-separated list, or "all").
+ * Disabled categories cost one hash lookup per DTRACE site.
+ */
+
+#ifndef MESA_UTIL_DEBUG_HH
+#define MESA_UTIL_DEBUG_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace mesa
+{
+
+/** Global debug-category registry. */
+class Debug
+{
+  public:
+    /** Enable one category (or "all"). */
+    static void enable(const std::string &category)
+    {
+        instance().categories_.insert(category);
+    }
+
+    /** Disable one category. */
+    static void disable(const std::string &category)
+    {
+        instance().categories_.erase(category);
+    }
+
+    /** Disable everything. */
+    static void clear() { instance().categories_.clear(); }
+
+    /** Is a category active? */
+    static bool
+    enabled(const std::string &category)
+    {
+        const auto &cats = instance().categories_;
+        return cats.count("all") > 0 || cats.count(category) > 0;
+    }
+
+    /** Redirect trace output (tests capture it here). */
+    static void
+    setStream(std::ostream *os)
+    {
+        instance().stream_ = os;
+    }
+
+    static std::ostream &
+    stream()
+    {
+        return *instance().stream_;
+    }
+
+  private:
+    Debug()
+    {
+        if (const char *env = std::getenv("MESA_DEBUG")) {
+            std::istringstream in(env);
+            std::string cat;
+            while (std::getline(in, cat, ','))
+                if (!cat.empty())
+                    categories_.insert(cat);
+        }
+    }
+
+    static Debug &
+    instance()
+    {
+        static Debug d;
+        return d;
+    }
+
+    std::set<std::string> categories_;
+    std::ostream *stream_ = &std::cerr;
+};
+
+/** Trace a message under a category: DTRACE("mapper", "placed i" << i). */
+#define DTRACE(category, expr)                                           \
+    do {                                                                  \
+        if (::mesa::Debug::enabled(category)) {                           \
+            ::mesa::Debug::stream()                                       \
+                << category << ": " << expr << "\n";                      \
+        }                                                                 \
+    } while (0)
+
+} // namespace mesa
+
+#endif // MESA_UTIL_DEBUG_HH

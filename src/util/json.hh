@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Minimal JSON writer for machine-readable reports (CLI --json,
+ * bench post-processing). Supports objects, arrays, numbers, bools,
+ * and escaped strings; no parsing, no dependencies.
+ */
+
+#ifndef MESA_UTIL_JSON_HH
+#define MESA_UTIL_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mesa
+{
+
+/**
+ * Streaming JSON writer with explicit begin/end nesting. Keys are
+ * only valid inside objects; values only inside arrays or after a
+ * key. Misuse is caught by the validity checks in str().
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &
+    beginObject()
+    {
+        comma();
+        os_ << "{";
+        stack_.push_back('}');
+        first_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        comma();
+        os_ << "[";
+        stack_.push_back(']');
+        first_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    end()
+    {
+        if (!stack_.empty()) {
+            os_ << stack_.back();
+            stack_.pop_back();
+        }
+        first_ = false;
+        return *this;
+    }
+
+    JsonWriter &
+    key(const std::string &name)
+    {
+        comma();
+        os_ << quote(name) << ":";
+        pending_key_ = true;
+        return *this;
+    }
+
+    JsonWriter &value(const std::string &v) { return raw(quote(v)); }
+    JsonWriter &value(const char *v) { return raw(quote(v)); }
+    JsonWriter &value(bool v) { return raw(v ? "true" : "false"); }
+
+    JsonWriter &
+    value(double v)
+    {
+        if (!std::isfinite(v))
+            return raw("null");
+        std::ostringstream tmp;
+        tmp << v;
+        return raw(tmp.str());
+    }
+
+    JsonWriter &value(uint64_t v) { return raw(std::to_string(v)); }
+    JsonWriter &value(int64_t v) { return raw(std::to_string(v)); }
+    JsonWriter &value(int v) { return raw(std::to_string(v)); }
+    JsonWriter &value(unsigned v) { return raw(std::to_string(v)); }
+
+    /** key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** Finished document (all scopes must be closed). */
+    std::string
+    str() const
+    {
+        return os_.str() + std::string(stack_.rbegin(), stack_.rend());
+    }
+
+    bool balanced() const { return stack_.empty(); }
+
+  private:
+    void
+    comma()
+    {
+        if (pending_key_) {
+            pending_key_ = false;
+            return;
+        }
+        if (!first_ && !stack_.empty())
+            os_ << ",";
+        first_ = false;
+    }
+
+    JsonWriter &
+    raw(const std::string &text)
+    {
+        if (pending_key_)
+            pending_key_ = false;
+        else
+            comma();
+        os_ << text;
+        return *this;
+    }
+
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            switch (c) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n"; break;
+              case '\t': out += "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+            }
+        }
+        return out + "\"";
+    }
+
+    std::ostringstream os_;
+    std::vector<char> stack_;
+    bool first_ = true;
+    bool pending_key_ = false;
+};
+
+} // namespace mesa
+
+#endif // MESA_UTIL_JSON_HH

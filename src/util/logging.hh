@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Logging and error-reporting primitives, modeled after gem5's
+ * base/logging.hh conventions: panic() for internal invariant
+ * violations, fatal() for user/configuration errors, warn()/inform()
+ * for status messages that never stop the simulation.
+ */
+
+#ifndef MESA_UTIL_LOGGING_HH
+#define MESA_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mesa
+{
+
+/** Exception thrown by panic(): a simulator bug (broken invariant). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal(): a user error (bad configuration). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+inline void
+formatTo(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Args>
+void
+formatTo(std::ostringstream &os, const T &first, const Args &...rest)
+{
+    os << first;
+    formatTo(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatMessage(const Args &...args)
+{
+    std::ostringstream os;
+    formatTo(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal error that should never happen regardless of user
+ * input. Throws PanicError so tests can assert on broken invariants.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError("panic: " + detail::formatMessage(args...));
+}
+
+/**
+ * Report an unrecoverable error caused by the user (bad configuration,
+ * invalid arguments). Throws FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError("fatal: " + detail::formatMessage(args...));
+}
+
+/** Warn about functionality that might not behave as expected. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::cerr << "warn: " << detail::formatMessage(args...) << "\n";
+}
+
+/** Print a normal informational status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::cout << "info: " << detail::formatMessage(args...) << "\n";
+}
+
+/** Panic if the condition does not hold. */
+#define MESA_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::mesa::panic("assertion '", #cond, "' failed at ", __FILE__,   \
+                          ":", __LINE__, " ", ##__VA_ARGS__);               \
+        }                                                                   \
+    } while (0)
+
+} // namespace mesa
+
+#endif // MESA_UTIL_LOGGING_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Small dense row-major 2D matrix used for the mapper's placement
+ * matrix F, the binary free matrix F_free, and per-operation masking
+ * matrices F_op (paper §3.3).
+ */
+
+#ifndef MESA_UTIL_MATRIX_HH
+#define MESA_UTIL_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace mesa
+{
+
+/** Row-major dense matrix with bounds-checked element access. */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    Matrix(size_t rows, size_t cols, T init = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, init)
+    {}
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+
+    T &
+    at(size_t r, size_t c)
+    {
+        MESA_ASSERT(r < rows_ && c < cols_, "matrix index (", r, ",", c,
+                    ") out of range (", rows_, "x", cols_, ")");
+        return data_[r * cols_ + c];
+    }
+
+    const T &
+    at(size_t r, size_t c) const
+    {
+        MESA_ASSERT(r < rows_ && c < cols_, "matrix index (", r, ",", c,
+                    ") out of range (", rows_, "x", cols_, ")");
+        return data_[r * cols_ + c];
+    }
+
+    /** Unchecked access for hot paths. */
+    T &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    const T &
+    operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    void fill(const T &v) { std::fill(data_.begin(), data_.end(), v); }
+
+    /** Count elements equal to v. */
+    size_t
+    count(const T &v) const
+    {
+        size_t n = 0;
+        for (const auto &x : data_)
+            if (x == v)
+                ++n;
+        return n;
+    }
+
+    bool
+    operator==(const Matrix &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               data_ == other.data_;
+    }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+} // namespace mesa
+
+#endif // MESA_UTIL_MATRIX_HH

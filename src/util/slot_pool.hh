@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-cycle capacity pool: models a resource with N identical slots
+ * per cycle (memory ports, functional units). Unlike a next-free-time
+ * vector, booking a far-future cycle never blocks earlier idle
+ * cycles, so bursty late-ready requests don't falsely starve
+ * early-ready ones.
+ */
+
+#ifndef MESA_UTIL_SLOT_POOL_HH
+#define MESA_UTIL_SLOT_POOL_HH
+
+#include <cstdint>
+#include <map>
+
+namespace mesa
+{
+
+/** A resource with fixed per-cycle capacity. */
+class SlotPool
+{
+  public:
+    explicit SlotPool(unsigned capacity) : capacity_(capacity) {}
+
+    /**
+     * Book one slot at the first cycle >= ready with spare capacity.
+     * @return the booked cycle.
+     */
+    uint64_t
+    acquire(uint64_t ready)
+    {
+        uint64_t cycle = ready;
+        auto it = used_.lower_bound(cycle);
+        while (it != used_.end() && it->first == cycle &&
+               it->second >= capacity_) {
+            ++cycle;
+            ++it;
+        }
+        ++used_[cycle];
+        maybePrune(ready);
+        return cycle;
+    }
+
+    unsigned capacity() const { return capacity_; }
+
+    void reset() { used_.clear(); }
+
+  private:
+    void
+    maybePrune(uint64_t ready)
+    {
+        // Requests are approximately monotone; bookkeeping far behind
+        // the current horizon can be dropped. The guard band keeps
+        // occasional out-of-order requests accurate.
+        if (used_.size() < 65536)
+            return;
+        const uint64_t floor = ready > 16384 ? ready - 16384 : 0;
+        used_.erase(used_.begin(), used_.lower_bound(floor));
+    }
+
+    unsigned capacity_;
+    std::map<uint64_t, unsigned> used_;
+};
+
+} // namespace mesa
+
+#endif // MESA_UTIL_SLOT_POOL_HH

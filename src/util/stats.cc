@@ -1,0 +1,17 @@
+#include "util/stats.hh"
+
+#include <iomanip>
+
+namespace mesa
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[key, value] : values_) {
+        os << name_ << "." << key << " " << std::setprecision(6) << value
+           << "\n";
+    }
+}
+
+} // namespace mesa

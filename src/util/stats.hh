@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, averages, and
+ * histograms grouped under a StatGroup, in the spirit of gem5's stats
+ * framework but sized for this simulator.
+ */
+
+#ifndef MESA_UTIL_STATS_HH
+#define MESA_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mesa
+{
+
+/** A named monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(uint64_t n) { value_ += n; return *this; }
+
+    uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::string name_;
+    uint64_t value_ = 0;
+};
+
+/** Running average of samples (used for measured latencies, AMAT). */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    void reset() { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram for latency distributions. */
+class Histogram
+{
+  public:
+    /**
+     * @param num_buckets number of equal-width buckets
+     * @param bucket_width width of each bucket; samples beyond the last
+     *                     bucket accumulate in an overflow bucket
+     */
+    explicit Histogram(size_t num_buckets = 16, double bucket_width = 4.0)
+        : buckets_(num_buckets, 0), width_(bucket_width)
+    {}
+
+    void
+    sample(double v)
+    {
+        ++samples_;
+        sum_ += v;
+        if (v > max_) max_ = v;
+        size_t idx = static_cast<size_t>(v / width_);
+        if (idx >= buckets_.size())
+            ++overflow_;
+        else
+            ++buckets_[idx];
+    }
+
+    uint64_t samples() const { return samples_; }
+    double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+    double max() const { return max_; }
+    uint64_t overflow() const { return overflow_; }
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        overflow_ = 0;
+        samples_ = 0;
+        sum_ = 0.0;
+        max_ = 0.0;
+    }
+
+  private:
+    std::vector<uint64_t> buckets_;
+    double width_;
+    uint64_t overflow_ = 0;
+    uint64_t samples_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named collection of scalar statistics that can be dumped in one
+ * shot. Components register values keyed by dotted names.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void set(const std::string &key, double v) { values_[key] = v; }
+    void add(const std::string &key, double v) { values_[key] += v; }
+
+    double
+    get(const std::string &key) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? 0.0 : it->second;
+    }
+
+    bool has(const std::string &key) const { return values_.count(key) > 0; }
+    const std::map<std::string, double> &values() const { return values_; }
+    const std::string &name() const { return name_; }
+
+    /** Dump all stats as "group.key value" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, double> values_;
+};
+
+} // namespace mesa
+
+#endif // MESA_UTIL_STATS_HH

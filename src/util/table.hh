@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit the
+ * rows/series of the paper's tables and figures.
+ */
+
+#ifndef MESA_UTIL_TABLE_HH
+#define MESA_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mesa
+{
+
+/**
+ * Accumulates rows of string cells and prints them with aligned
+ * columns. Numeric helpers format doubles with fixed precision.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; cell count may differ from the header. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Print the table with aligned columns and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mesa
+
+#endif // MESA_UTIL_TABLE_HH

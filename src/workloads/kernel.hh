@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Workload kernel abstraction: a RISC-V program with one hot loop,
+ * its dataset initializer, and iteration-range register setup. The
+ * suite mirrors the Rodinia benchmarks' hot loops (paper §6): same
+ * operation mix, memory pattern, and parallelizability; assembled to
+ * real RV32IMF machine code by the in-repo assembler.
+ */
+
+#ifndef MESA_WORKLOADS_KERNEL_HH
+#define MESA_WORKLOADS_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/system.hh"
+#include "mem/memory.hh"
+#include "riscv/assembler.hh"
+
+namespace mesa::workloads
+{
+
+/** A benchmark kernel. */
+struct Kernel
+{
+    std::string name;
+    riscv::Program program;
+
+    /** The hot loop's pc range [loop_start, loop_end). */
+    uint32_t loop_start = 0;
+    uint32_t loop_end = 0;
+
+    /** OpenMP-annotated (omp parallel / omp simd) in the original. */
+    bool parallel = false;
+
+    /** Uses floating point. */
+    bool fp = false;
+
+    /**
+     * Expected to qualify for MESA acceleration (b+tree's inner loop
+     * walk, for example, never does).
+     */
+    bool mesa_supported = true;
+
+    /** Total hot-loop iterations at the chosen scale. */
+    uint64_t iterations = 0;
+
+    /** Initialize the shared dataset in memory. */
+    std::function<void(mem::MainMemory &)> init_data;
+
+    /** Set up registers to execute iteration range [begin, end). */
+    std::function<void(riscv::ArchState &, uint64_t, uint64_t)>
+        init_range;
+
+    /** ThreadInit covering the full iteration space. */
+    cpu::ThreadInit
+    fullRange() const
+    {
+        auto setup = init_range;
+        const uint64_t n = iterations;
+        return [setup, n](riscv::ArchState &state) {
+            setup(state, 0, n);
+        };
+    }
+
+    /** Split the iteration space into n contiguous chunks. */
+    std::vector<cpu::ThreadInit>
+    chunks(int n) const
+    {
+        std::vector<cpu::ThreadInit> out;
+        const uint64_t per = (iterations + uint64_t(n) - 1) / uint64_t(n);
+        for (int t = 0; t < n; ++t) {
+            const uint64_t begin = uint64_t(t) * per;
+            const uint64_t end = std::min(iterations, begin + per);
+            if (begin >= end)
+                break;
+            auto setup = init_range;
+            out.push_back([setup, begin, end](riscv::ArchState &state) {
+                setup(state, begin, end);
+            });
+        }
+        return out;
+    }
+
+    /** Decode the hot-loop body (program order). */
+    std::vector<riscv::Instruction>
+    loopBody() const
+    {
+        std::vector<riscv::Instruction> body;
+        const auto all = program.decodeAll();
+        for (const auto &inst : all)
+            if (inst.pc >= loop_start && inst.pc < loop_end)
+                body.push_back(inst);
+        return body;
+    }
+};
+
+/** Suite scaling knobs (kept small enough for fast simulation). */
+struct SuiteScale
+{
+    uint64_t n = 2048; ///< Default iteration count per kernel.
+};
+
+// Individual kernel builders (see rodinia.cc for loop shapes).
+Kernel makeNn(uint64_t n);
+Kernel makeKmeans(uint64_t n);
+Kernel makeHotspot(uint64_t n);
+Kernel makeCfd(uint64_t n);
+Kernel makeBackprop(uint64_t n);
+Kernel makeBfs(uint64_t n);
+Kernel makeSrad(uint64_t n);
+Kernel makeLud(uint64_t n);
+Kernel makePathfinder(uint64_t n);
+Kernel makeBtree(uint64_t n);
+Kernel makeStreamcluster(uint64_t n);
+Kernel makeLavaMd(uint64_t n);
+Kernel makeGaussian(uint64_t n);
+Kernel makeHeartwall(uint64_t n);
+Kernel makeLeukocyte(uint64_t n);
+Kernel makeHotspot3d(uint64_t n);
+
+/** The full suite at the given scale. */
+std::vector<Kernel> rodiniaSuite(const SuiteScale &scale = {});
+
+/** Look up one kernel by name (fatal if unknown). */
+Kernel kernelByName(const std::string &name,
+                    const SuiteScale &scale = {});
+
+} // namespace mesa::workloads
+
+#endif // MESA_WORKLOADS_KERNEL_HH

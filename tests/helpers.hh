@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared test utilities: golden-model reference runs and manual
+ * offload plumbing used by the accelerator and controller tests.
+ */
+
+#ifndef MESA_TESTS_HELPERS_HH
+#define MESA_TESTS_HELPERS_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/system.hh"
+#include "mesa/controller.hh"
+#include "riscv/emulator.hh"
+#include "workloads/kernel.hh"
+
+namespace mesa::test
+{
+
+/** Outcome of a full functional run. */
+struct GoldenResult
+{
+    riscv::ArchState state;
+    std::unordered_map<uint32_t, std::vector<uint8_t>> memory;
+    uint64_t instructions = 0;
+};
+
+/** Run a kernel start-to-halt on the functional emulator. */
+inline GoldenResult
+runReference(const workloads::Kernel &kernel,
+             uint64_t max_steps = 50'000'000)
+{
+    mem::MainMemory memory;
+    kernel.init_data(memory);
+    cpu::loadProgram(memory, kernel.program);
+
+    riscv::Emulator emu(memory);
+    emu.reset(kernel.program.base_pc);
+    kernel.fullRange()(emu.state());
+    emu.run(max_steps);
+
+    GoldenResult res;
+    res.state = emu.state();
+    res.memory = memory.snapshot();
+    res.instructions = emu.instret();
+    return res;
+}
+
+/**
+ * Step the emulator until it reaches the hot loop's entry point
+ * (executes any pre-loop setup code, e.g. bfs's outer-level
+ * preamble).
+ */
+inline void
+advanceToLoop(riscv::Emulator &emu, const workloads::Kernel &kernel,
+              uint64_t max_steps = 1'000'000)
+{
+    uint64_t steps = 0;
+    while (!emu.halted() && emu.state().pc != kernel.loop_start &&
+           steps < max_steps) {
+        emu.step();
+        ++steps;
+    }
+}
+
+/**
+ * Run a kernel with the loop offloaded through MesaController, then
+ * resume the emulator to program completion.
+ */
+struct OffloadRun
+{
+    riscv::ArchState state;
+    std::unordered_map<uint32_t, std::vector<uint8_t>> memory;
+    std::optional<core::OffloadStats> stats;
+};
+
+inline OffloadRun
+runWithOffload(const workloads::Kernel &kernel,
+               const core::MesaParams &params,
+               uint64_t max_steps = 50'000'000)
+{
+    mem::MainMemory memory;
+    kernel.init_data(memory);
+    cpu::loadProgram(memory, kernel.program);
+
+    core::MesaController mesa(params, memory);
+
+    riscv::Emulator emu(memory);
+    emu.reset(kernel.program.base_pc);
+    kernel.fullRange()(emu.state());
+    advanceToLoop(emu, kernel);
+
+    OffloadRun run;
+    run.stats = mesa.offloadLoop(kernel.loopBody(), emu.state(),
+                                 kernel.parallel);
+    // Resume the CPU from the state the accelerator wrote back.
+    emu.run(max_steps);
+
+    run.state = emu.state();
+    run.memory = memory.snapshot();
+    return run;
+}
+
+/** Compare two memory snapshots for exact equality. */
+inline ::testing::AssertionResult
+sameMemory(const std::unordered_map<uint32_t, std::vector<uint8_t>> &a,
+           const std::unordered_map<uint32_t, std::vector<uint8_t>> &b)
+{
+    for (const auto &[page, data] : a) {
+        auto it = b.find(page);
+        if (it == b.end()) {
+            // A page of all zeroes matches an absent page.
+            bool all_zero = true;
+            for (uint8_t byte : data)
+                all_zero = all_zero && byte == 0;
+            if (all_zero)
+                continue;
+            return ::testing::AssertionFailure()
+                   << "page 0x" << std::hex << (page << 12)
+                   << " present only on one side";
+        }
+        if (data != it->second) {
+            size_t off = 0;
+            while (off < data.size() && data[off] == it->second[off])
+                ++off;
+            return ::testing::AssertionFailure()
+                   << "page 0x" << std::hex << (page << 12)
+                   << " differs at offset 0x" << off;
+        }
+    }
+    for (const auto &[page, data] : b) {
+        if (a.count(page))
+            continue;
+        bool all_zero = true;
+        for (uint8_t byte : data)
+            all_zero = all_zero && byte == 0;
+        if (!all_zero) {
+            return ::testing::AssertionFailure()
+                   << "page 0x" << std::hex << (page << 12)
+                   << " present only on right side";
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+} // namespace mesa::test
+
+#endif // MESA_TESTS_HELPERS_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Ablation tests for the design choices DESIGN.md calls out: each
+ * optimization must (a) preserve golden-model equivalence and (b)
+ * move performance in the documented direction on a kernel that
+ * exercises it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+namespace
+{
+
+using namespace mesa;
+using namespace mesa::test;
+using core::MesaParams;
+using workloads::Kernel;
+using workloads::kernelByName;
+
+/** Accel cycles for a kernel under the given parameter tweak. */
+uint64_t
+cyclesWith(const Kernel &kernel,
+           const std::function<void(MesaParams &)> &tweak)
+{
+    MesaParams params;
+    params.iterative_optimization = false;
+    tweak(params);
+    const OffloadRun run = runWithOffload(kernel, params);
+    EXPECT_TRUE(run.stats.has_value());
+    return run.stats ? run.stats->accel_cycles : 0;
+}
+
+TEST(Ablation, TilingContribution)
+{
+    const Kernel kernel = kernelByName("nn", {2048});
+    const uint64_t with = cyclesWith(kernel, [](MesaParams &) {});
+    const uint64_t without = cyclesWith(
+        kernel, [](MesaParams &p) { p.enable_tiling = false; });
+    EXPECT_LT(double(with), 0.8 * double(without))
+        << "tiling should speed a parallel kernel substantially";
+}
+
+TEST(Ablation, PipeliningContribution)
+{
+    const Kernel kernel = kernelByName("cfd", {2048});
+    const uint64_t with = cyclesWith(kernel, [](MesaParams &) {});
+    const uint64_t without = cyclesWith(
+        kernel, [](MesaParams &p) { p.enable_pipelining = false; });
+    // Without iteration overlap, every iteration pays the full
+    // dataflow critical path.
+    EXPECT_LT(4 * with, without)
+        << "pipelining should hide the iteration latency";
+}
+
+TEST(Ablation, PrefetchContribution)
+{
+    // lud streams a column with a 256-byte stride: every load misses
+    // without prefetch, and the next-iteration prefetch converts the
+    // misses to hits.
+    const Kernel kernel = kernelByName("lud", {4096});
+    const uint64_t with = cyclesWith(kernel, [](MesaParams &) {});
+    const uint64_t without = cyclesWith(
+        kernel, [](MesaParams &p) { p.enable_prefetch = false; });
+    EXPECT_LE(with, without);
+}
+
+TEST(Ablation, ForwardingPreservesResults)
+{
+    // gaussian has a load->store pair on a[]; forwarding changes
+    // timing only.
+    const Kernel kernel = kernelByName("gaussian", {1024});
+    MesaParams with;
+    with.iterative_optimization = false;
+    MesaParams without = with;
+    without.enable_forwarding = false;
+    const OffloadRun a = runWithOffload(kernel, with);
+    const OffloadRun b = runWithOffload(kernel, without);
+    ASSERT_TRUE(a.stats && b.stats);
+    EXPECT_TRUE(sameMemory(a.memory, b.memory));
+}
+
+TEST(Ablation, ConservativeFirstTilingThenScaleUp)
+{
+    // With iterative optimization the controller starts at half the
+    // tile ceiling and scales up from profiled epochs; the final
+    // configuration must reach a higher tile factor than the first.
+    const Kernel kernel = kernelByName("nn", {4096});
+    MesaParams params;
+    params.iterative_optimization = true;
+    params.profile_epoch_iterations = 64;
+    const OffloadRun run = runWithOffload(kernel, params);
+    ASSERT_TRUE(run.stats.has_value());
+    EXPECT_GT(run.stats->reconfigurations, 0)
+        << "feedback should retile at least once";
+    EXPECT_GT(run.stats->tile_factor, 1);
+}
+
+TEST(Ablation, WindowShapeAffectsPackingNotCorrectness)
+{
+    const Kernel kernel = kernelByName("kmeans", {1024});
+    const GoldenResult want = runReference(kernel);
+    for (auto [r, c] : {std::pair{2, 16}, {4, 8}, {4, 4}, {8, 4},
+                        {16, 2}}) {
+        MesaParams params;
+        params.iterative_optimization = false;
+        params.mapper.cand_rows = r;
+        params.mapper.cand_cols = c;
+        const OffloadRun run = runWithOffload(kernel, params);
+        ASSERT_TRUE(run.stats.has_value()) << r << "x" << c;
+        EXPECT_TRUE(sameMemory(run.memory, want.memory))
+            << "window " << r << "x" << c;
+    }
+}
+
+TEST(Ablation, FallbackBusLatencyMatters)
+{
+    // Force unmapped instructions by removing FP support from every
+    // PE: kmeans' FP ops have no compatible position and revert to
+    // the secondary bus. A slower bus must slow execution, never
+    // change results.
+    const Kernel kernel = kernelByName("kmeans", {512});
+    const GoldenResult want = runReference(kernel);
+
+    auto run_with_bus = [&](double bus_latency) {
+        MesaParams params;
+        params.iterative_optimization = false;
+        params.accel.fp_slices = false;
+        params.mapper.fallback_bus_latency = bus_latency;
+        params.accel.fallback_bus_latency = bus_latency;
+        params.max_unmapped_frac = 1.0; // accept partial mappings
+        return runWithOffload(kernel, params);
+    };
+    const OffloadRun fast = run_with_bus(4.0);
+    const OffloadRun slow = run_with_bus(32.0);
+    ASSERT_TRUE(fast.stats && slow.stats);
+    EXPECT_GT(fast.stats->unmapped + slow.stats->unmapped, 0u)
+        << "expected fallback-bus traffic on a 2x4 grid";
+    EXPECT_LE(fast.stats->accel_cycles, slow.stats->accel_cycles);
+    EXPECT_TRUE(sameMemory(fast.memory, want.memory));
+    EXPECT_TRUE(sameMemory(slow.memory, want.memory));
+}
+
+TEST(Ablation, MemoryPortScalingMonotone)
+{
+    const Kernel kernel = kernelByName("hotspot", {2048});
+    uint64_t prev = ~uint64_t(0);
+    for (unsigned ports : {2u, 4u, 8u, 16u, 64u}) {
+        const uint64_t cyc = cyclesWith(kernel, [&](MesaParams &p) {
+            p.accel.mem_ports = ports;
+        });
+        EXPECT_LE(cyc, prev) << ports << " ports";
+        prev = cyc;
+    }
+}
+
+TEST(Ablation, UnknownStoresDisableTiling)
+{
+    // bfs's visited[] store has a data-dependent address: tiling must
+    // stay off even with the parallel hint.
+    const Kernel kernel = kernelByName("bfs", {2048});
+    MesaParams params;
+    params.iterative_optimization = false;
+    const OffloadRun run = runWithOffload(kernel, params);
+    ASSERT_TRUE(run.stats.has_value());
+    EXPECT_EQ(run.stats->tile_factor, 1)
+        << "non-disambiguable stores must not tile";
+}
+
+} // namespace

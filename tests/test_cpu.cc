@@ -1,0 +1,435 @@
+/**
+ * @file
+ * CPU-side tests: OoO core timing model sanity, branch predictor,
+ * loop-stream detector (C1), trace cache, and the C1-C3 region
+ * monitor including the branch-condition trip estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_predictor.hh"
+#include "cpu/lsd.hh"
+#include "cpu/monitor.hh"
+#include "cpu/system.hh"
+#include "cpu/trace_cache.hh"
+#include "riscv/assembler.hh"
+#include "util/logging.hh"
+#include "workloads/kernel.hh"
+
+namespace
+{
+
+using namespace mesa;
+using namespace mesa::cpu;
+using namespace mesa::riscv;
+using namespace mesa::riscv::reg;
+
+// ---------------------------------------------------------------------
+// OoO core timing model.
+// ---------------------------------------------------------------------
+
+TEST(OooCore, IpcWithinPhysicalBounds)
+{
+    // An independent-op stream should reach near issue-width IPC; a
+    // serial dependency chain should be near 1/latency.
+    Assembler par;
+    par.li(a0, 0);
+    par.li(t0, 1000);
+    par.label("loop");
+    par.addi(a1, zero, 1);
+    par.addi(a2, zero, 2);
+    par.addi(a3, zero, 3);
+    par.addi(a4, zero, 4);
+    par.addi(a5, zero, 5);
+    par.addi(a6, zero, 6);
+    par.addi(a0, a0, 1);
+    par.blt(a0, t0, "loop");
+    par.ecall();
+
+    mem::MainMemory m1;
+    const Program p1 = par.assemble();
+    loadProgram(m1, p1);
+    const RunResult r1 =
+        runSingleCore(defaultCore(), {}, m1, p1, nullptr);
+    EXPECT_GT(r1.ipc(), 2.0);
+    EXPECT_LE(r1.ipc(), 4.0 + 1e-9);
+
+    Assembler ser;
+    ser.li(a0, 0);
+    ser.li(t0, 1000);
+    ser.label("loop");
+    ser.mul(a1, a1, a1); // serial 3-cycle chain
+    ser.mul(a1, a1, a1);
+    ser.mul(a1, a1, a1);
+    ser.mul(a1, a1, a1);
+    ser.addi(a0, a0, 1);
+    ser.blt(a0, t0, "loop");
+    ser.ecall();
+
+    mem::MainMemory m2;
+    const Program p2 = ser.assemble();
+    loadProgram(m2, p2);
+    const RunResult r2 =
+        runSingleCore(defaultCore(), {}, m2, p2, nullptr);
+    EXPECT_LT(r2.ipc(), r1.ipc());
+    // 6 instructions per iteration, ~12 cycles of mul chain.
+    EXPECT_LT(r2.ipc(), 1.0);
+}
+
+TEST(OooCore, MispredictsSlowExecution)
+{
+    // Data-dependent unpredictable branches vs a fixed pattern.
+    Assembler as;
+    as.li(a0, 0);
+    as.li(t0, 2000);
+    as.li(t2, 0x1234567);
+    as.label("loop");
+    // Pseudo-random bit: t2 = t2 * 1103515245 + 12345 (low bit used)
+    as.li(t3, 1103515);
+    as.mul(t2, t2, t3);
+    as.addi(t2, t2, 12345);
+    as.andi(t4, t2, 1);
+    as.beq(t4, zero, "skip");
+    as.addi(a1, a1, 1);
+    as.label("skip");
+    as.addi(a0, a0, 1);
+    as.blt(a0, t0, "loop");
+    as.ecall();
+
+    mem::MainMemory m;
+    const Program p = as.assemble();
+    loadProgram(m, p);
+    const RunResult r = runSingleCore(defaultCore(), {}, m, p, nullptr);
+    EXPECT_GT(r.mispredicts, 400u) << "random branch should mispredict";
+}
+
+TEST(OooCore, MemoryLatencyVisible)
+{
+    // Pointer-chase (serial loads) vs streaming loads.
+    Assembler chase;
+    chase.li(a0, 0x100000);
+    chase.li(t0, 500);
+    chase.li(t1, 0);
+    chase.label("loop");
+    chase.lw(a0, 0, a0); // serial dependent loads
+    chase.addi(t1, t1, 1);
+    chase.blt(t1, t0, "loop");
+    chase.ecall();
+
+    mem::MainMemory m;
+    // Build a pointer chain striding 4KB (forces misses).
+    for (uint32_t i = 0; i < 600; ++i)
+        m.write32(0x100000 + i * 4096, 0x100000 + (i + 1) * 4096);
+    const Program p = chase.assemble();
+    loadProgram(m, p);
+    const RunResult r = runSingleCore(defaultCore(), {}, m, p, nullptr);
+    // Each iteration pays at least an L2 access.
+    EXPECT_GT(double(r.cycles) / 500.0, 10.0);
+}
+
+TEST(BranchPredictor, GshareLearnsPatternsBimodalCannot)
+{
+    // A strict alternating pattern defeats a bimodal counter but is
+    // trivially captured by one bit of history.
+    BranchPredictor bimodal(256);
+    GsharePredictor gshare(256, 8);
+    int bimodal_miss = 0, gshare_miss = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool taken = (i % 2) == 0;
+        bimodal_miss += bimodal.update(0x4000, taken) ? 1 : 0;
+        gshare_miss += gshare.update(0x4000, taken) ? 1 : 0;
+    }
+    EXPECT_GT(bimodal_miss, 600) << "bimodal should thrash";
+    EXPECT_LT(gshare_miss, 100) << "gshare should lock on";
+}
+
+TEST(BranchPredictor, GshareSpeedsPatternedLoops)
+{
+    // A loop with a perfectly alternating data-dependent branch.
+    Assembler as;
+    as.li(a0, 0);
+    as.li(t0, 4000);
+    as.label("loop");
+    as.andi(t1, a0, 1);
+    as.beq(t1, zero, "skip");
+    as.addi(a1, a1, 1);
+    as.label("skip");
+    as.addi(a0, a0, 1);
+    as.blt(a0, t0, "loop");
+    as.ecall();
+
+    const Program p = as.assemble();
+    mem::MainMemory m1, m2;
+    loadProgram(m1, p);
+    loadProgram(m2, p);
+    CoreParams bimodal = defaultCore();
+    CoreParams gshare = defaultCore();
+    gshare.use_gshare = true;
+    const RunResult rb = runSingleCore(bimodal, {}, m1, p, nullptr);
+    const RunResult rg = runSingleCore(gshare, {}, m2, p, nullptr);
+    EXPECT_LT(rg.mispredicts, rb.mispredicts / 4);
+    EXPECT_LT(rg.cycles, rb.cycles);
+}
+
+TEST(BranchPredictor, LearnsBias)
+{
+    BranchPredictor bp(64);
+    int mispredicts = 0;
+    for (int i = 0; i < 100; ++i)
+        mispredicts += bp.update(0x1000, true) ? 1 : 0;
+    EXPECT_LE(mispredicts, 2);
+    EXPECT_TRUE(bp.predict(0x1000));
+    EXPECT_GT(bp.lookups(), 0u);
+}
+
+TEST(Multicore, ParallelSpeedup)
+{
+    const auto kernel = workloads::makeNn(4096);
+    mem::MainMemory m;
+    kernel.init_data(m);
+    loadProgram(m, kernel.program);
+
+    const RunResult single = runSingleCore(defaultCore(), {}, m,
+                                           kernel.program,
+                                           kernel.fullRange());
+
+    MulticoreParams mp;
+    mem::MainMemory m2;
+    kernel.init_data(m2);
+    loadProgram(m2, kernel.program);
+    const RunResult multi = runMulticore(mp, m2, kernel.program,
+                                         kernel.chunks(16));
+
+    EXPECT_LT(multi.cycles, single.cycles);
+    EXPECT_GT(double(single.cycles) / double(multi.cycles), 3.0)
+        << "16 cores should speed up a parallel kernel considerably";
+    EXPECT_EQ(multi.threads, 16);
+}
+
+// ---------------------------------------------------------------------
+// Loop-stream detector.
+// ---------------------------------------------------------------------
+
+TEST(Lsd, DetectsAndConfirmsLoop)
+{
+    const auto kernel = workloads::makeGaussian(64);
+    mem::MainMemory m;
+    kernel.init_data(m);
+    loadProgram(m, kernel.program);
+
+    Emulator emu(m);
+    emu.reset(kernel.program.base_pc);
+    kernel.fullRange()(emu.state());
+
+    LoopStreamDetector lsd(512);
+    emu.setObserver([&](const TraceEntry &te) { lsd.observe(te); });
+    emu.run(1'000'000);
+
+    EXPECT_TRUE(lsd.confirmed());
+    EXPECT_EQ(lsd.candidate().start, kernel.loop_start);
+    EXPECT_EQ(lsd.candidate().end, kernel.loop_end);
+    EXPECT_EQ(lsd.candidate().body_instructions,
+              size_t(kernel.loop_end - kernel.loop_start) / 4);
+}
+
+TEST(Lsd, RejectsOversizedLoop)
+{
+    const auto kernel = workloads::makeSrad(256); // ~78-instr body
+    mem::MainMemory m;
+    kernel.init_data(m);
+    loadProgram(m, kernel.program);
+
+    Emulator emu(m);
+    emu.reset(kernel.program.base_pc);
+    kernel.fullRange()(emu.state());
+
+    LoopStreamDetector lsd(64); // M-64-sized capacity
+    emu.setObserver([&](const TraceEntry &te) { lsd.observe(te); });
+    emu.run(1'000'000);
+    EXPECT_FALSE(lsd.confirmed());
+}
+
+// ---------------------------------------------------------------------
+// Trace cache.
+// ---------------------------------------------------------------------
+
+TEST(TraceCache, FillAndBackfill)
+{
+    TraceCache tc(16);
+    tc.setRegion(0x1000, 0x1020); // 8 instructions
+    EXPECT_FALSE(tc.complete());
+    tc.fill(0x1000, 111);
+    tc.fill(0x1004, 222);
+    tc.fill(0x1000, 999); // duplicate fill ignored
+    EXPECT_DOUBLE_EQ(tc.fillRatio(), 2.0 / 8.0);
+    tc.fill(0x2000, 5); // outside region: ignored
+
+    mem::MainMemory m;
+    for (int i = 0; i < 8; ++i)
+        m.write32(0x1000 + 4 * i, mesa::riscv::encode([&] {
+                      Instruction in;
+                      in.op = Op::Addi;
+                      in.rd = 5;
+                      in.rs1 = 5;
+                      in.imm = i;
+                      return in;
+                  }()));
+    const size_t fetched = tc.backfill(m);
+    EXPECT_EQ(fetched, 6u);
+    EXPECT_TRUE(tc.complete());
+
+    const auto body = tc.body();
+    ASSERT_EQ(body.size(), 8u);
+    EXPECT_EQ(body[2].op, Op::Addi);
+    EXPECT_EQ(body[2].imm, 2);
+    EXPECT_EQ(body[2].pc, 0x1008u);
+}
+
+TEST(TraceCache, RejectsOversizedRegion)
+{
+    TraceCache tc(4);
+    EXPECT_THROW(tc.setRegion(0x1000, 0x1000 + 4 * 8),
+                 mesa::FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Region monitor (C1-C3).
+// ---------------------------------------------------------------------
+
+MonitorParams
+lenientParams()
+{
+    MonitorParams p;
+    p.max_instructions = 128;
+    p.min_expected_iterations = 50;
+    return p;
+}
+
+std::optional<MonitorDecision>
+monitorKernel(const workloads::Kernel &kernel, const MonitorParams &mp,
+              uint64_t max_steps = 2'000'000)
+{
+    mem::MainMemory m;
+    kernel.init_data(m);
+    loadProgram(m, kernel.program);
+
+    Emulator emu(m);
+    emu.reset(kernel.program.base_pc);
+    kernel.fullRange()(emu.state());
+
+    RegionMonitor monitor(mp);
+    std::optional<MonitorDecision> decision;
+    emu.setObserver([&](const TraceEntry &te) {
+        monitor.observe(te);
+        if (!decision && monitor.decision())
+            decision = monitor.decision();
+    });
+    uint64_t steps = 0;
+    while (!emu.halted() && steps < max_steps && !decision) {
+        emu.step();
+        ++steps;
+    }
+    return decision;
+}
+
+TEST(Monitor, QualifiesComputeLoop)
+{
+    const auto kernel = workloads::makeNn(2048);
+    const auto decision = monitorKernel(kernel, lenientParams());
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_TRUE(decision->qualified)
+        << rejectReasonName(decision->reason);
+    EXPECT_EQ(decision->loop.start, kernel.loop_start);
+    // ~2045 iterations remain at qualification time; the estimate
+    // must be in the right ballpark.
+    EXPECT_GT(decision->est_remaining_iterations, 1000u);
+    EXPECT_LT(decision->est_remaining_iterations, 2049u);
+    EXPECT_GT(decision->compute_frac, 0.3);
+}
+
+TEST(Monitor, RejectsShortTripLoop)
+{
+    const auto kernel = workloads::makeNn(20); // only 20 iterations
+    const auto decision = monitorKernel(kernel, lenientParams());
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_FALSE(decision->qualified);
+    EXPECT_EQ(decision->reason, RejectReason::FewIterations);
+}
+
+TEST(Monitor, RejectsInnerLoopKernel)
+{
+    const auto kernel = workloads::makeBtree(512);
+    const auto decision = monitorKernel(kernel, lenientParams());
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_FALSE(decision->qualified);
+    // The inner scan loop either escapes mid-check or carries an
+    // exit branch: both are C2-class rejections.
+    EXPECT_TRUE(decision->reason == RejectReason::EarlyExit ||
+                decision->reason == RejectReason::UnsupportedInstr)
+        << rejectReasonName(decision->reason);
+}
+
+TEST(Monitor, RejectsOversizedLoopC1)
+{
+    const auto kernel = workloads::makeSrad(1024);
+    MonitorParams mp = lenientParams();
+    mp.max_instructions = 64; // M-64 capacity
+    const auto decision = monitorKernel(kernel, mp);
+    ASSERT_TRUE(decision.has_value());
+    EXPECT_FALSE(decision->qualified);
+    EXPECT_EQ(decision->reason, RejectReason::TooLarge);
+}
+
+TEST(Monitor, CapturesBodyIntoTraceCache)
+{
+    const auto kernel = workloads::makeHotspot(1024);
+    mem::MainMemory m;
+    kernel.init_data(m);
+    loadProgram(m, kernel.program);
+
+    Emulator emu(m);
+    emu.reset(kernel.program.base_pc);
+    kernel.fullRange()(emu.state());
+
+    RegionMonitor monitor(lenientParams());
+    emu.setObserver(
+        [&](const TraceEntry &te) { monitor.observe(te); });
+    uint64_t steps = 0;
+    while (!emu.halted() && steps < 1'000'000) {
+        emu.step();
+        ++steps;
+        if (monitor.decision() && monitor.decision()->qualified)
+            break;
+    }
+    ASSERT_TRUE(monitor.decision() && monitor.decision()->qualified);
+    EXPECT_TRUE(monitor.traceCache().complete());
+    const auto body = monitor.traceCache().body();
+    EXPECT_EQ(body.size(),
+              size_t(kernel.loop_end - kernel.loop_start) / 4);
+    EXPECT_EQ(body.front().pc, kernel.loop_start);
+}
+
+TEST(Monitor, BlacklistSkipsRegion)
+{
+    const auto kernel = workloads::makeNn(2048);
+    mem::MainMemory m;
+    kernel.init_data(m);
+    loadProgram(m, kernel.program);
+
+    Emulator emu(m);
+    emu.reset(kernel.program.base_pc);
+    kernel.fullRange()(emu.state());
+
+    RegionMonitor monitor(lenientParams());
+    monitor.blacklist(kernel.loop_start);
+    emu.setObserver(
+        [&](const TraceEntry &te) { monitor.observe(te); });
+    uint64_t steps = 0;
+    while (!emu.halted() && steps < 500'000) {
+        emu.step();
+        ++steps;
+    }
+    EXPECT_FALSE(monitor.decision().has_value());
+}
+
+} // namespace

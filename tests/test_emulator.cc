@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Functional emulator tests: arithmetic semantics, control flow,
+ * memory accesses, FP operations, and trace observation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "cpu/system.hh"
+#include "riscv/assembler.hh"
+#include "riscv/emulator.hh"
+
+namespace
+{
+
+using namespace mesa;
+using namespace mesa::riscv;
+using namespace mesa::riscv::reg;
+
+/** Assemble, load, and run a program; return the emulator. */
+struct Harness
+{
+    mem::MainMemory memory;
+    Emulator emu{memory};
+
+    void
+    run(const Assembler &as,
+        const std::function<void(ArchState &)> &init = nullptr,
+        uint64_t max_steps = 100000)
+    {
+        const Program prog = as.assemble();
+        cpu::loadProgram(memory, prog);
+        emu.reset(prog.base_pc);
+        if (init)
+            init(emu.state());
+        emu.run(max_steps);
+    }
+};
+
+TEST(Emulator, BasicArithmetic)
+{
+    Assembler as;
+    as.li(a0, 20);
+    as.li(a1, 22);
+    as.add(a2, a0, a1);
+    as.sub(a3, a0, a1);
+    as.mul(a4, a0, a1);
+    as.ecall();
+
+    Harness h;
+    h.run(as);
+    EXPECT_EQ(h.emu.x(a2), 42u);
+    EXPECT_EQ(int32_t(h.emu.x(a3)), -2);
+    EXPECT_EQ(h.emu.x(a4), 440u);
+}
+
+TEST(Emulator, LiLargeConstants)
+{
+    Assembler as;
+    as.li(a0, 0x12345678);
+    as.li(a1, -123456);
+    as.li(a2, 2047);
+    as.li(a3, -2048);
+    as.ecall();
+
+    Harness h;
+    h.run(as);
+    EXPECT_EQ(h.emu.x(a0), 0x12345678u);
+    EXPECT_EQ(int32_t(h.emu.x(a1)), -123456);
+    EXPECT_EQ(h.emu.x(a2), 2047u);
+    EXPECT_EQ(int32_t(h.emu.x(a3)), -2048);
+}
+
+TEST(Emulator, DivisionEdgeCases)
+{
+    Assembler as;
+    as.li(a0, -8);
+    as.li(a1, 0);
+    as.div(a2, a0, a1);  // div by zero -> -1
+    as.rem(a3, a0, a1);  // rem by zero -> dividend
+    as.li(a4, 3);
+    as.div(a5, a0, a4);  // -8 / 3 = -2 (trunc)
+    as.rem(a6, a0, a4);  // -8 % 3 = -2
+    as.ecall();
+
+    Harness h;
+    h.run(as);
+    EXPECT_EQ(h.emu.x(a2), uint32_t(-1));
+    EXPECT_EQ(int32_t(h.emu.x(a3)), -8);
+    EXPECT_EQ(int32_t(h.emu.x(a5)), -2);
+    EXPECT_EQ(int32_t(h.emu.x(a6)), -2);
+}
+
+TEST(Emulator, LoopSum)
+{
+    // sum = 0; for (i = 0; i < 10; ++i) sum += i;
+    Assembler as;
+    as.li(a0, 0);  // sum
+    as.li(a1, 0);  // i
+    as.li(a2, 10); // bound
+    as.label("loop");
+    as.add(a0, a0, a1);
+    as.addi(a1, a1, 1);
+    as.blt(a1, a2, "loop");
+    as.ecall();
+
+    Harness h;
+    h.run(as);
+    EXPECT_EQ(h.emu.x(a0), 45u);
+    EXPECT_EQ(h.emu.x(a1), 10u);
+}
+
+TEST(Emulator, MemoryAccessWidths)
+{
+    Assembler as;
+    as.li(a0, 0x2000);
+    as.li(a1, -2);            // 0xFFFFFFFE
+    as.sw(a1, 0, a0);
+    as.lb(a2, 0, a0);         // sign-extended byte
+    as.lbu(a3, 0, a0);        // zero-extended byte
+    as.lh(a4, 0, a0);
+    as.lhu(a5, 0, a0);
+    as.lw(a6, 0, a0);
+    as.ecall();
+
+    Harness h;
+    h.run(as);
+    EXPECT_EQ(int32_t(h.emu.x(a2)), -2);
+    EXPECT_EQ(h.emu.x(a3), 0xFEu);
+    EXPECT_EQ(int32_t(h.emu.x(a4)), -2);
+    EXPECT_EQ(h.emu.x(a5), 0xFFFEu);
+    EXPECT_EQ(h.emu.x(a6), 0xFFFFFFFEu);
+}
+
+TEST(Emulator, FloatingPoint)
+{
+    Assembler as;
+    as.li(a0, 0x2000);
+    as.flw(ft0, 0, a0);
+    as.flw(ft1, 4, a0);
+    as.fadd_s(ft2, ft0, ft1);
+    as.fmul_s(ft3, ft0, ft1);
+    as.fsub_s(ft4, ft0, ft1);
+    as.fdiv_s(ft5, ft0, ft1);
+    as.fsqrt_s(ft6, ft0);
+    as.fsw(ft2, 8, a0);
+    as.ecall();
+
+    Harness h;
+    h.memory.writeFloat(0x2000, 9.0f);
+    h.memory.writeFloat(0x2004, 2.0f);
+    h.run(as);
+    EXPECT_FLOAT_EQ(h.emu.fval(ft2), 11.0f);
+    EXPECT_FLOAT_EQ(h.emu.fval(ft3), 18.0f);
+    EXPECT_FLOAT_EQ(h.emu.fval(ft4), 7.0f);
+    EXPECT_FLOAT_EQ(h.emu.fval(ft5), 4.5f);
+    EXPECT_FLOAT_EQ(h.emu.fval(ft6), 3.0f);
+    EXPECT_FLOAT_EQ(h.memory.readFloat(0x2008), 11.0f);
+}
+
+TEST(Emulator, FpCompareAndConvert)
+{
+    Assembler as;
+    as.li(a0, 7);
+    as.fcvt_s_w(ft0, a0);
+    as.fcvt_w_s(a1, ft0);
+    as.li(a2, 3);
+    as.fcvt_s_w(ft1, a2);
+    as.flt_s(a3, ft1, ft0); // 3 < 7 -> 1
+    as.fle_s(a4, ft0, ft1); // 7 <= 3 -> 0
+    as.feq_s(a5, ft0, ft0); // 7 == 7 -> 1
+    as.ecall();
+
+    Harness h;
+    h.run(as);
+    EXPECT_EQ(h.emu.x(a1), 7u);
+    EXPECT_EQ(h.emu.x(a3), 1u);
+    EXPECT_EQ(h.emu.x(a4), 0u);
+    EXPECT_EQ(h.emu.x(a5), 1u);
+}
+
+TEST(Emulator, ForwardBranchSkips)
+{
+    Assembler as;
+    as.li(a0, 1);
+    as.li(a1, 5);
+    as.beq(a0, a0, "skip"); // always taken
+    as.li(a1, 99);          // skipped
+    as.label("skip");
+    as.addi(a1, a1, 1);
+    as.ecall();
+
+    Harness h;
+    h.run(as);
+    EXPECT_EQ(h.emu.x(a1), 6u);
+}
+
+TEST(Emulator, ObserverSeesCommittedStream)
+{
+    Assembler as;
+    as.li(a0, 0);
+    as.label("loop");
+    as.addi(a0, a0, 1);
+    as.slti(a1, a0, 3);
+    as.bne(a1, zero, "loop");
+    as.ecall();
+
+    Harness h;
+    uint64_t count = 0;
+    uint64_t branches_taken = 0;
+    h.emu.setObserver([&](const TraceEntry &te) {
+        ++count;
+        if (te.inst.isBranch() && te.branch_taken)
+            ++branches_taken;
+    });
+    h.run(as);
+    EXPECT_EQ(h.emu.x(a0), 3u);
+    EXPECT_EQ(branches_taken, 2u);
+    EXPECT_EQ(count, h.emu.instret());
+}
+
+TEST(Emulator, HaltsOnEcallAndInvalid)
+{
+    Assembler as;
+    as.li(a0, 1);
+    as.ecall();
+    Harness h;
+    h.run(as);
+    EXPECT_TRUE(h.emu.halted());
+
+    // Executing from empty memory halts immediately (invalid word).
+    mem::MainMemory m2;
+    Emulator e2(m2);
+    e2.reset(0x9000);
+    EXPECT_FALSE(e2.step());
+    EXPECT_TRUE(e2.halted());
+}
+
+TEST(Emulator, RunWhileInRegion)
+{
+    Assembler as;
+    as.li(a0, 0);          // pc 0x1000
+    as.label("loop");      // 0x1004
+    as.addi(a0, a0, 1);
+    as.slti(a1, a0, 100);
+    as.bne(a1, zero, "loop");
+    as.ecall();
+
+    Harness h;
+    const Program prog = as.assemble();
+    cpu::loadProgram(h.memory, prog);
+    h.emu.reset(prog.base_pc);
+    h.emu.step(); // execute li
+    const uint32_t lo = prog.labelPc("loop");
+    const uint32_t hi = lo + 3 * 4;
+    h.emu.runWhileInRegion(lo, hi, 1000000);
+    // Leaves the region only when the loop exits.
+    EXPECT_EQ(h.emu.x(a0), 100u);
+    EXPECT_FALSE(h.emu.halted());
+}
+
+} // namespace

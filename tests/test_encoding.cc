@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Encoder/decoder unit tests: round-trip through real RV32IMF machine
+ * words, immediate sign handling, and field extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "riscv/encoding.hh"
+
+namespace
+{
+
+using namespace mesa::riscv;
+
+Instruction
+make(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2, int32_t imm,
+     uint32_t pc = 0x1000)
+{
+    Instruction in;
+    in.op = op;
+    in.rd = rd;
+    in.rs1 = rs1;
+    in.rs2 = rs2;
+    in.imm = imm;
+    in.pc = pc;
+    return in;
+}
+
+void
+expectRoundTrip(const Instruction &in)
+{
+    const uint32_t word = encode(in);
+    const Instruction out = decode(word, in.pc);
+    EXPECT_EQ(out.op, in.op) << opName(in.op);
+    if (writesDest(in.op)) {
+        EXPECT_EQ(out.rd, in.rd) << opName(in.op);
+    }
+    if (numSources(in.op) >= 1) {
+        EXPECT_EQ(out.rs1, in.rs1) << opName(in.op);
+    }
+    if (numSources(in.op) >= 2 && opClass(in.op) != OpClass::Load) {
+        EXPECT_EQ(out.rs2, in.rs2) << opName(in.op);
+    }
+}
+
+TEST(Encoding, RTypeRoundTrip)
+{
+    for (Op op : {Op::Add, Op::Sub, Op::Sll, Op::Slt, Op::Sltu, Op::Xor,
+                  Op::Srl, Op::Sra, Op::Or, Op::And, Op::Mul, Op::Mulh,
+                  Op::Mulhsu, Op::Mulhu, Op::Div, Op::Divu, Op::Rem,
+                  Op::Remu}) {
+        expectRoundTrip(make(op, 5, 6, 7, 0));
+        expectRoundTrip(make(op, 31, 1, 31, 0));
+    }
+}
+
+TEST(Encoding, ITypeImmediates)
+{
+    for (int32_t imm : {0, 1, -1, 2047, -2048, 100, -77}) {
+        Instruction in = make(Op::Addi, 10, 11, 0, imm);
+        const Instruction out = decode(encode(in), in.pc);
+        EXPECT_EQ(out.imm, imm);
+        EXPECT_EQ(out.op, Op::Addi);
+    }
+}
+
+TEST(Encoding, ShiftImmediates)
+{
+    for (int32_t sh : {0, 1, 15, 31}) {
+        for (Op op : {Op::Slli, Op::Srli, Op::Srai}) {
+            Instruction in = make(op, 3, 4, 0, sh);
+            const Instruction out = decode(encode(in), in.pc);
+            EXPECT_EQ(out.op, op);
+            EXPECT_EQ(out.imm, sh);
+        }
+    }
+}
+
+TEST(Encoding, LoadStoreOffsets)
+{
+    for (int32_t off : {0, 4, -4, 2044, -2048, 124}) {
+        Instruction ld = make(Op::Lw, 8, 9, 0, off);
+        EXPECT_EQ(decode(encode(ld), 0).imm, off);
+        Instruction st = make(Op::Sw, 0, 9, 8, off);
+        const Instruction out = decode(encode(st), 0);
+        EXPECT_EQ(out.imm, off);
+        EXPECT_EQ(out.rs1, 9);
+        EXPECT_EQ(out.rs2, 8);
+    }
+}
+
+TEST(Encoding, BranchOffsets)
+{
+    for (int32_t off : {4, -4, 8, -512, 1024, -4096, 4094 & ~1}) {
+        for (Op op : {Op::Beq, Op::Bne, Op::Blt, Op::Bge, Op::Bltu,
+                      Op::Bgeu}) {
+            Instruction in = make(op, 0, 5, 6, off & ~1);
+            const Instruction out = decode(encode(in), in.pc);
+            EXPECT_EQ(out.op, op);
+            EXPECT_EQ(out.imm, off & ~1);
+        }
+    }
+}
+
+TEST(Encoding, JalOffset)
+{
+    for (int32_t off : {4, -4, 2048, -2048, 1 << 19}) {
+        Instruction in = make(Op::Jal, 1, 0, 0, off);
+        const Instruction out = decode(encode(in), in.pc);
+        EXPECT_EQ(out.op, Op::Jal);
+        EXPECT_EQ(out.imm, off);
+    }
+}
+
+TEST(Encoding, LuiAuipc)
+{
+    Instruction lui = make(Op::Lui, 7, 0, 0, int32_t(0xABCDE000));
+    EXPECT_EQ(decode(encode(lui), 0).imm, int32_t(0xABCDE000));
+    Instruction auipc = make(Op::Auipc, 7, 0, 0, 0x12345000);
+    EXPECT_EQ(decode(encode(auipc), 0).op, Op::Auipc);
+}
+
+TEST(Encoding, FpRoundTrip)
+{
+    for (Op op : {Op::FaddS, Op::FsubS, Op::FmulS, Op::FdivS, Op::FminS,
+                  Op::FmaxS, Op::FsgnjS, Op::FsgnjnS, Op::FsgnjxS,
+                  Op::FeqS, Op::FltS, Op::FleS}) {
+        expectRoundTrip(make(op, 2, 3, 4, 0));
+    }
+    expectRoundTrip(make(Op::FsqrtS, 2, 3, 0, 0));
+    expectRoundTrip(make(Op::FmvXW, 2, 3, 0, 0));
+    expectRoundTrip(make(Op::FmvWX, 2, 3, 0, 0));
+    expectRoundTrip(make(Op::FcvtSW, 2, 3, 0, 0));
+    expectRoundTrip(make(Op::FcvtWS, 2, 3, 0, 0));
+    expectRoundTrip(make(Op::Flw, 2, 3, 0, 16));
+    expectRoundTrip(make(Op::Fsw, 0, 3, 2, 16));
+}
+
+TEST(Encoding, SystemOps)
+{
+    EXPECT_EQ(decode(encode(make(Op::Ecall, 0, 0, 0, 0)), 0).op,
+              Op::Ecall);
+    EXPECT_EQ(decode(encode(make(Op::Ebreak, 0, 0, 0, 0)), 0).op,
+              Op::Ebreak);
+    EXPECT_EQ(decode(encode(make(Op::Fence, 0, 0, 0, 0)), 0).op,
+              Op::Fence);
+}
+
+TEST(Encoding, InvalidWordDecodesToInvalid)
+{
+    EXPECT_EQ(decode(0x00000000u, 0).op, Op::Invalid);
+    EXPECT_EQ(decode(0xFFFFFFFFu, 0).op, Op::Invalid);
+}
+
+TEST(Encoding, BackwardBranchPredicate)
+{
+    Instruction in = make(Op::Bne, 0, 5, 6, -16, 0x2000);
+    const Instruction out = decode(encode(in), 0x2000);
+    EXPECT_TRUE(out.isBackwardBranch());
+    EXPECT_EQ(out.targetPc(), 0x2000u - 16u);
+
+    Instruction fwd = make(Op::Beq, 0, 5, 6, 8, 0x2000);
+    EXPECT_FALSE(decode(encode(fwd), 0x2000).isBackwardBranch());
+}
+
+TEST(Encoding, UnifiedRegisters)
+{
+    // FP ops fold their registers into 32..63.
+    Instruction fadd = make(Op::FaddS, 2, 3, 4, 0);
+    EXPECT_EQ(fadd.unifiedDest(), 32 + 2);
+    EXPECT_EQ(fadd.unifiedSrc(0), 32 + 3);
+    EXPECT_EQ(fadd.unifiedSrc(1), 32 + 4);
+
+    // Loads take an integer base even when the dest is FP.
+    Instruction flw = make(Op::Flw, 2, 9, 0, 0);
+    EXPECT_EQ(flw.unifiedDest(), 32 + 2);
+    EXPECT_EQ(flw.unifiedSrc(0), 9);
+
+    // x0 is never a dependency.
+    Instruction addi = make(Op::Addi, 5, 0, 0, 1);
+    EXPECT_EQ(addi.unifiedSrc(0), -1);
+    Instruction nop = make(Op::Addi, 0, 0, 0, 0);
+    EXPECT_EQ(nop.unifiedDest(), -1);
+}
+
+} // namespace

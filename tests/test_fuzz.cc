@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Whole-pipeline fuzzing: randomly generated loop bodies (integer and
+ * FP dataflow, loads/stores with overlapping addresses, predicated
+ * regions, random loop-carried temporaries) are offloaded through the
+ * full encode -> map -> configure -> execute stack and compared
+ * bit-for-bit against the functional emulator. The controller is
+ * always given the parallel hint, so the fuzzer also attacks the
+ * tiling-safety analysis: a loop with a carried recurrence that gets
+ * tiled anyway shows up as a mismatch here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hh"
+#include "riscv/assembler.hh"
+
+namespace
+{
+
+using namespace mesa;
+using namespace mesa::test;
+using namespace mesa::riscv::reg;
+using riscv::Assembler;
+
+constexpr uint32_t ArrIn = 0x00100000;
+constexpr uint32_t ArrOut = 0x00200000;
+
+struct GeneratedLoop
+{
+    workloads::Kernel kernel;
+    int int_ops = 0;
+    int fp_ops = 0;
+    int loads = 0;
+    int stores = 0;
+    int branches = 0;
+};
+
+/** Generate a random but well-formed loop body. */
+GeneratedLoop
+generate(uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    auto pick = [&](int lo, int hi) {
+        return int(std::uniform_int_distribution<int>(lo, hi)(rng));
+    };
+
+    GeneratedLoop gen;
+    Assembler as;
+
+    // Register pools. a0/a1 are pointer inductions, a2 the bound;
+    // a3..a5 and fa0..fa2 are constant live-ins.
+    std::vector<uint8_t> int_regs = {t0, t1, t2, t3, t4, s2, s3};
+    std::vector<uint8_t> fp_regs = {ft0, ft1, ft2, ft3, ft4, ft5};
+    std::vector<uint8_t> int_ready = {a3, a4, a5};
+    std::vector<uint8_t> fp_ready = {fa0, fa1, fa2};
+
+    as.label("loop");
+    const int body_ops = pick(6, 22);
+    int until_join = 0; // inside a predicated region when > 0
+    int label_id = 0;
+
+    for (int i = 0; i < body_ops; ++i) {
+        if (until_join > 0 && --until_join == 0)
+            as.label("join" + std::to_string(label_id));
+
+        const int kind = pick(0, 9);
+        if (kind <= 3) {
+            // Integer ALU op with random initialized sources.
+            const uint8_t rd =
+                int_regs[size_t(pick(0, int(int_regs.size()) - 1))];
+            const uint8_t rs1 =
+                int_ready[size_t(pick(0, int(int_ready.size()) - 1))];
+            const uint8_t rs2 =
+                int_ready[size_t(pick(0, int(int_ready.size()) - 1))];
+            switch (pick(0, 6)) {
+              case 0: as.add(rd, rs1, rs2); break;
+              case 1: as.sub(rd, rs1, rs2); break;
+              case 2: as.xor_(rd, rs1, rs2); break;
+              case 3: as.and_(rd, rs1, rs2); break;
+              case 4: as.or_(rd, rs1, rs2); break;
+              case 5: as.mul(rd, rs1, rs2); break;
+              case 6: as.slt(rd, rs1, rs2); break;
+            }
+            int_ready.push_back(rd);
+            ++gen.int_ops;
+        } else if (kind <= 5) {
+            // FP op.
+            const uint8_t rd =
+                fp_regs[size_t(pick(0, int(fp_regs.size()) - 1))];
+            const uint8_t rs1 =
+                fp_ready[size_t(pick(0, int(fp_ready.size()) - 1))];
+            const uint8_t rs2 =
+                fp_ready[size_t(pick(0, int(fp_ready.size()) - 1))];
+            switch (pick(0, 3)) {
+              case 0: as.fadd_s(rd, rs1, rs2); break;
+              case 1: as.fsub_s(rd, rs1, rs2); break;
+              case 2: as.fmul_s(rd, rs1, rs2); break;
+              case 3: as.fmin_s(rd, rs1, rs2); break;
+            }
+            fp_ready.push_back(rd);
+            ++gen.fp_ops;
+        } else if (kind == 6) {
+            // Load from the input stream.
+            const uint8_t rd =
+                int_regs[size_t(pick(0, int(int_regs.size()) - 1))];
+            as.lw(rd, 4 * pick(0, 3), a0);
+            int_ready.push_back(rd);
+            ++gen.loads;
+        } else if (kind == 7) {
+            // FP load.
+            const uint8_t rd =
+                fp_regs[size_t(pick(0, int(fp_regs.size()) - 1))];
+            as.flw(rd, 4 * pick(0, 3), a0);
+            fp_ready.push_back(rd);
+            ++gen.fp_ops;
+            ++gen.loads;
+        } else if (kind == 8) {
+            // Store a computed value to the output stream.
+            const uint8_t rs =
+                int_ready[size_t(pick(0, int(int_ready.size()) - 1))];
+            if (rs >= 32) // never happens for int pool, guard anyway
+                continue;
+            as.sw(rs, 4 * pick(0, 3), a1);
+            ++gen.stores;
+        } else if (until_join == 0 && i + 2 < body_ops) {
+            // Open a predicated region guarding the next 1..3 ops.
+            const uint8_t rs =
+                int_ready[size_t(pick(0, int(int_ready.size()) - 1))];
+            ++label_id;
+            if (pick(0, 1))
+                as.beq(rs, zero, "join" + std::to_string(label_id));
+            else
+                as.bne(rs, zero, "join" + std::to_string(label_id));
+            until_join = pick(1, 3);
+            ++gen.branches;
+        }
+    }
+    if (until_join > 0)
+        as.label("join" + std::to_string(label_id));
+
+    // Always store something so the loop has an observable effect.
+    as.sw(int_ready.back() < 32 ? int_ready.back() : a3, 12, a1);
+    as.fsw(fp_ready.back(), 16, a1);
+    as.addi(a0, a0, 4);
+    as.addi(a1, a1, pick(1, 5) * 4);
+    as.blt(a0, a2, "loop");
+    as.label("exit");
+    as.ecall();
+
+    auto &k = gen.kernel;
+    k.name = "fuzz-" + std::to_string(seed);
+    k.parallel = true; // the controller must decide tiling safety
+    k.iterations = 96;
+    k.program = as.assemble();
+    k.loop_start = k.program.labelPc("loop");
+    k.loop_end = k.program.labelPc("exit");
+    k.init_data = [seed](mem::MainMemory &m) {
+        std::mt19937 r(seed ^ 0x5A5A5A5A);
+        for (uint32_t i = 0; i < 4096; i += 4)
+            m.write32(ArrIn + i, uint32_t(r()));
+    };
+    const uint32_t out_step = [&] {
+        // Recover the a1 step from the assembled body (penultimate
+        // addi before the branch).
+        const auto body = k.loopBody();
+        return uint32_t(body[body.size() - 2].imm);
+    }();
+    k.init_range = [seed, out_step](riscv::ArchState &st, uint64_t b,
+                                    uint64_t e) {
+        std::mt19937 r(seed ^ 0x33CC33CC);
+        st.x[a0] = ArrIn + uint32_t(4 * b);
+        st.x[a1] = ArrOut + uint32_t(out_step * b);
+        st.x[a2] = ArrIn + uint32_t(4 * e);
+        st.x[a3] = uint32_t(r());
+        st.x[a4] = uint32_t(r());
+        st.x[a5] = uint32_t(r() % 7); // small value: branches vary
+        st.f[fa0] = uint32_t(r());
+        st.f[fa1] = uint32_t(r());
+        st.f[fa2] = std::bit_cast<uint32_t>(1.5f);
+        // Temporaries start live: loop-carried uses read these.
+        for (uint8_t reg : {t0, t1, t2, t3, t4, s2, s3})
+            st.x[reg] = uint32_t(r());
+        for (uint8_t reg : {ft0, ft1, ft2, ft3, ft4, ft5})
+            st.f[reg] = uint32_t(r());
+    };
+    return gen;
+}
+
+class PipelineFuzz
+    : public ::testing::TestWithParam<std::tuple<uint32_t, int>>
+{
+  protected:
+    /** Configuration axis: default / small-folded / unrolled. */
+    static core::MesaParams
+    configFor(int axis)
+    {
+        core::MesaParams params;
+        switch (axis) {
+          case 1:
+            // Tiny folded array: every body time-multiplexes.
+            params.accel.rows = 4;
+            params.accel.cols = 4;
+            params.accel.mem_ports = 8;
+            params.enable_time_multiplexing = true;
+            params.max_time_multiplex = 4;
+            break;
+          case 2:
+            params.enable_unrolling = true;
+            break;
+          default:
+            break;
+        }
+        return params;
+    }
+};
+
+TEST_P(PipelineFuzz, RandomLoopMatchesEmulatorExactly)
+{
+    const auto [seed, axis] = GetParam();
+    const GeneratedLoop gen = generate(seed);
+    const auto &kernel = gen.kernel;
+
+    const GoldenResult want = runReference(kernel);
+
+    const OffloadRun run = runWithOffload(kernel, configFor(axis));
+    if (!run.stats.has_value())
+        GTEST_SKIP() << "body did not map (acceptable)";
+
+    EXPECT_TRUE(sameMemory(run.memory, want.memory))
+        << "seed " << seed << " axis " << axis << " ops i"
+        << gen.int_ops << " f" << gen.fp_ops << " l" << gen.loads
+        << " s" << gen.stores << " b" << gen.branches << " tiles "
+        << run.stats->tile_factor;
+    EXPECT_EQ(run.state, want.state)
+        << "seed " << seed << " axis " << axis;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PipelineFuzz,
+    ::testing::Combine(::testing::Range(1u, 101u),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto &info) {
+        return "s" + std::to_string(std::get<0>(info.param)) + "_cfg" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace

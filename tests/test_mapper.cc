@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Instruction-mapper tests (Algorithm 1): placement validity, F_op
+ * compatibility, local latency optimality within the candidate
+ * window, tie-breaking, fallback handling, and imap FSM accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/params.hh"
+#include "dfg/latency.hh"
+#include "mesa/mapper.hh"
+#include "riscv/assembler.hh"
+#include "workloads/kernel.hh"
+
+namespace
+{
+
+using namespace mesa;
+using namespace mesa::core;
+using namespace mesa::dfg;
+using namespace mesa::riscv;
+using namespace mesa::riscv::reg;
+
+std::vector<Instruction>
+loopBody(const Assembler &as)
+{
+    const Program prog = as.assemble();
+    const uint32_t lo = prog.labelPc("loop");
+    std::vector<Instruction> body;
+    for (const auto &inst : prog.decodeAll())
+        if (inst.pc >= lo && inst.op != Op::Ecall)
+            body.push_back(inst);
+    return body;
+}
+
+Ldfg
+buildOrDie(const std::vector<Instruction> &body)
+{
+    BuildError err;
+    auto g = Ldfg::build(body, {}, 0, &err);
+    EXPECT_TRUE(g.has_value()) << buildErrorName(err);
+    return std::move(*g);
+}
+
+class MapperFixture : public ::testing::Test
+{
+  protected:
+    accel::AccelParams accel_ = accel::AccelParams::m128();
+    ic::AccelNocInterconnect ic_{accel_.rows, accel_.cols, 4};
+    InstructionMapper mapper_{accel_, ic_};
+};
+
+TEST_F(MapperFixture, EveryNodeGetsAValidExclusivePosition)
+{
+    const auto kernel = workloads::makeNn(128);
+    const Ldfg g = buildOrDie(kernel.loopBody());
+    const MapResult res = mapper_.map(g);
+
+    EXPECT_TRUE(res.fullyMapped());
+    std::set<std::pair<int, int>> used;
+    for (size_t i = 0; i < g.size(); ++i) {
+        const ic::Coord pos = res.sdfg.coordOf(NodeId(i));
+        ASSERT_TRUE(pos.valid()) << "node " << i;
+        // No time-multiplexing: exactly one instruction per PE.
+        EXPECT_TRUE(used.insert({pos.r, pos.c}).second);
+        // F_op: the PE must support the operation class.
+        EXPECT_TRUE(accel_.supportsOp(pos, g.node(NodeId(i)).inst.cls()));
+    }
+}
+
+TEST_F(MapperFixture, FpOpsLandOnFpSlices)
+{
+    Assembler as;
+    as.label("loop");
+    as.fadd_s(ft0, fa0, fa1);
+    as.fmul_s(ft1, ft0, fa2);
+    as.fdiv_s(ft2, ft1, fa3);
+    as.addi(a0, a0, 1);
+    as.blt(a0, a1, "loop");
+    const Ldfg g = buildOrDie(loopBody(as));
+    const MapResult res = mapper_.map(g);
+
+    for (size_t i = 0; i < 3; ++i) {
+        const ic::Coord pos = res.sdfg.coordOf(NodeId(i));
+        EXPECT_EQ(pos.c % 2, 0) << "FP op not on an FP slice";
+    }
+}
+
+TEST_F(MapperFixture, PlacementIsLocallyLatencyMinimal)
+{
+    // Verify Algorithm 1's invariant: the chosen position minimizes
+    // the node's expected latency over all free, compatible positions
+    // of the full grid whenever the window covered them (we check
+    // against the window by re-deriving candidates).
+    const auto kernel = workloads::makeHotspot(128);
+    const Ldfg g = buildOrDie(kernel.loopBody());
+    const MapResult res = mapper_.map(g);
+
+    // Recompute: for each node, unplace it and confirm no *window*
+    // position beats its modeled completion. We approximate by
+    // checking its completion equals the model evaluation.
+    LatencyModel model(g, res.sdfg, ic_, mapper_.params().fallback_bus_latency);
+    const LatencyResult eval = model.evaluate();
+    for (size_t i = 0; i < g.size(); ++i) {
+        EXPECT_NEAR(eval.completion[i], res.completion[i], 1e-9)
+            << "node " << i
+            << ": incremental completion disagrees with full model";
+    }
+}
+
+TEST_F(MapperFixture, ProducersPlacedNearConsumers)
+{
+    // The mapper should keep dependent chains close: the average
+    // hop distance on dependence edges must beat random placement.
+    const auto kernel = workloads::makeCfd(128);
+    const Ldfg g = buildOrDie(kernel.loopBody());
+    const MapResult res = mapper_.map(g);
+
+    double total_dist = 0;
+    int edges = 0;
+    for (const auto &node : g.nodes()) {
+        for (NodeId src : {node.src1, node.src2}) {
+            if (src == NoNode)
+                continue;
+            total_dist += ic::manhattan(res.sdfg.coordOf(src),
+                                        res.sdfg.coordOf(node.id));
+            ++edges;
+        }
+    }
+    ASSERT_GT(edges, 0);
+    EXPECT_LT(total_dist / edges, 4.0)
+        << "dependent instructions scattered too far";
+}
+
+TEST_F(MapperFixture, GridFullFallsBackToBus)
+{
+    // A 2x2 integer-only grid cannot hold 6 instructions.
+    accel::AccelParams tiny;
+    tiny.rows = 2;
+    tiny.cols = 2;
+    tiny.fp_slices = false;
+    ic::AccelNocInterconnect tic(2, 2, 4);
+    MapperParams mp;
+    mp.cand_rows = 2;
+    mp.cand_cols = 2;
+    InstructionMapper mapper(tiny, tic, mp);
+
+    Assembler as;
+    as.label("loop");
+    as.add(t0, a0, a1);
+    as.add(t1, t0, a1);
+    as.add(t2, t1, a1);
+    as.add(t3, t2, a1);
+    as.addi(a0, a0, 1);
+    as.blt(a0, a2, "loop");
+    const Ldfg g = buildOrDie(loopBody(as));
+    const MapResult res = mapper.map(g);
+
+    EXPECT_EQ(res.unmapped.size(), 2u);
+    EXPECT_EQ(res.sdfg.placedCount(), 4u);
+    // Unmapped nodes still get completion estimates (fallback bus).
+    for (NodeId id : res.unmapped)
+        EXPECT_GT(res.completion[size_t(id)], 0.0);
+}
+
+TEST_F(MapperFixture, ImapFsmCyclesScaleWithBodySize)
+{
+    const auto small = workloads::makeGaussian(128);
+    const auto large = workloads::makeSrad(512);
+    const MapResult rs = mapper_.map(buildOrDie(small.loopBody()));
+    const MapResult rl = mapper_.map(buildOrDie(large.loopBody()));
+    EXPECT_GT(rl.mapping_cycles, rs.mapping_cycles);
+    // Hardware mapping stays in the 10^2..10^4 cycle range (Table 2).
+    EXPECT_LT(rl.mapping_cycles, 10000u);
+    EXPECT_GE(rs.mapping_cycles, 7u * 8u); // >= stages x instructions
+}
+
+TEST_F(MapperFixture, DataDrivenRemapReactsToWeights)
+{
+    // Raising a load's measured latency (memory bottleneck) must not
+    // worsen the model: the remap is allowed to change placement, and
+    // the model latency must track the higher node weight.
+    const auto kernel = workloads::makeKmeans(128);
+    Ldfg g = buildOrDie(kernel.loopBody());
+    const MapResult before = mapper_.map(g);
+
+    for (auto &node : const_cast<std::vector<LdfgNode> &>(g.nodes())) {
+        (void)node;
+    }
+    // Pretend profiling found load 0 very slow.
+    g.node(0).op_latency = 40.0;
+    const MapResult after = mapper_.map(g);
+    EXPECT_GE(after.model_latency, before.model_latency);
+    EXPECT_TRUE(after.fullyMapped());
+}
+
+TEST(ImapFsm, StageAccounting)
+{
+    core::ImapFsm fsm;
+    const uint32_t c1 = fsm.mapInstruction(32, 0);
+    const uint32_t c2 = fsm.mapInstruction(32, 1);
+    EXPECT_GT(c2, c1); // a rescan pass costs extra reduction cycles
+    EXPECT_EQ(fsm.instructionsMapped(), 2u);
+    EXPECT_EQ(fsm.totalCycles(), uint64_t(c1) + c2);
+
+    const auto &trace = fsm.trace();
+    ASSERT_EQ(trace.size(), 2u);
+    // Constant stages are one cycle each (Fig. 8).
+    EXPECT_EQ(trace[0].stage_cycles[size_t(core::ImapState::Fetch)], 1u);
+    EXPECT_EQ(trace[0].stage_cycles[size_t(core::ImapState::Rename)],
+              1u);
+    EXPECT_EQ(
+        trace[0].stage_cycles[size_t(core::ImapState::Writeback)], 1u);
+    // Reduction depends on candidate count.
+    EXPECT_GT(trace[0].stage_cycles[size_t(core::ImapState::Reduce)],
+              1u);
+}
+
+} // namespace

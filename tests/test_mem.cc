@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Memory-system tests: main memory, set-associative caches, the
+ * two-level hierarchy with AMAT counters, and the accelerator-side
+ * load/store unit (ordering, forwarding, invalidation, ports).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/lsq.hh"
+#include "mem/memory.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace mesa;
+using namespace mesa::mem;
+using riscv::Op;
+
+TEST(MainMemory, ReadWriteWidths)
+{
+    MainMemory m;
+    m.write32(0x1000, 0xDEADBEEF);
+    EXPECT_EQ(m.read32(0x1000), 0xDEADBEEFu);
+    EXPECT_EQ(m.read16(0x1000), 0xBEEFu);
+    EXPECT_EQ(m.read16(0x1002), 0xDEADu);
+    EXPECT_EQ(m.read8(0x1003), 0xDEu);
+
+    m.write8(0x1001, 0x42);
+    EXPECT_EQ(m.read32(0x1000), 0xDEAD42EFu);
+
+    // Unaligned access.
+    m.write32(0x2002, 0x11223344);
+    EXPECT_EQ(m.read32(0x2002), 0x11223344u);
+
+    // Cross-page access.
+    m.write32(0x2FFE, 0xAABBCCDD);
+    EXPECT_EQ(m.read32(0x2FFE), 0xAABBCCDDu);
+
+    // Untouched memory reads zero.
+    EXPECT_EQ(m.read32(0x999000), 0u);
+}
+
+TEST(MainMemory, FloatAccessAndSnapshot)
+{
+    MainMemory m;
+    m.writeFloat(0x3000, 3.25f);
+    EXPECT_FLOAT_EQ(m.readFloat(0x3000), 3.25f);
+
+    auto snap = m.snapshot();
+    EXPECT_EQ(snap.size(), m.residentPages());
+    m.writeFloat(0x3000, 9.5f);
+    // Snapshot is a deep copy.
+    MainMemory m2;
+    EXPECT_FLOAT_EQ(m.readFloat(0x3000), 9.5f);
+    const auto &page = snap.at(0x3000 >> 12);
+    float old;
+    std::memcpy(&old, page.data(), 4);
+    EXPECT_FLOAT_EQ(old, 3.25f);
+}
+
+TEST(Cache, HitsAndMisses)
+{
+    CacheParams p{1024, 2, 64, 1};
+    Cache c("t", p);
+    EXPECT_FALSE(c.access(0x0, false)); // cold miss
+    EXPECT_TRUE(c.access(0x0, false));
+    EXPECT_TRUE(c.access(0x3C, false)); // same line
+    EXPECT_FALSE(c.access(0x40, false));
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64B lines, 2 sets -> way capacity 2 per set.
+    CacheParams p{256, 2, 64, 1};
+    Cache c("t", p);
+    ASSERT_EQ(c.numSets(), 2u);
+    // Three lines mapping to set 0: 0x000, 0x080, 0x100.
+    c.access(0x000, false);
+    c.access(0x080, false);
+    c.access(0x000, false); // touch 0x000 -> 0x080 becomes LRU
+    c.access(0x100, false); // evicts 0x080
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x080));
+    EXPECT_TRUE(c.probe(0x100));
+}
+
+TEST(Cache, DirtyWritebacks)
+{
+    CacheParams p{128, 1, 64, 1}; // direct-mapped, 2 sets
+    Cache c("t", p);
+    c.access(0x000, true);  // dirty
+    c.access(0x080, false); // evicts dirty 0x000 -> writeback
+    EXPECT_EQ(c.writebacks(), 1u);
+    c.access(0x100, false); // evicts clean 0x080 -> no writeback
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, BadGeometryRejected)
+{
+    EXPECT_THROW((Cache("t", CacheParams{100, 3, 48, 1})),
+                 mesa::FatalError);
+    EXPECT_THROW((Cache("t", CacheParams{1024, 0, 64, 1})),
+                 mesa::FatalError);
+}
+
+TEST(Hierarchy, LatencyComposition)
+{
+    HierarchyParams p;
+    p.l1 = {1024, 2, 64, 2};
+    p.l2 = {16384, 4, 64, 10};
+    p.dram_latency = 100;
+    MemHierarchy h(p);
+
+    // Cold: L1 miss + L2 miss + DRAM.
+    EXPECT_EQ(h.accessLatency(0x0, false), 2u + 10u + 100u);
+    // Warm: L1 hit.
+    EXPECT_EQ(h.accessLatency(0x0, false), 2u);
+    EXPECT_EQ(h.dramAccesses(), 1u);
+    EXPECT_GT(h.amat(), 0.0);
+}
+
+TEST(Hierarchy, SharedL2)
+{
+    HierarchyParams p;
+    Cache shared("l2", p.l2);
+    MemHierarchy a(p, &shared);
+    MemHierarchy b(p, &shared);
+
+    a.accessLatency(0x5000, false); // a warms the shared L2
+    // b misses its own L1 but hits the shared L2.
+    const uint32_t lat = b.accessLatency(0x5000, false);
+    EXPECT_EQ(lat, p.l1.hit_latency + p.l2.hit_latency);
+    EXPECT_EQ(b.dramAccesses(), 0u);
+}
+
+TEST(Hierarchy, NextLinePrefetcherHelpsStreams)
+{
+    HierarchyParams with;
+    with.next_line_prefetch = true;
+    HierarchyParams without;
+    MemHierarchy hp(with), hn(without);
+
+    uint64_t cyc_with = 0, cyc_without = 0;
+    for (uint32_t i = 0; i < 4096; i += 4) {
+        cyc_with += hp.accessLatency(0x40000 + i, false);
+        cyc_without += hn.accessLatency(0x40000 + i, false);
+    }
+    EXPECT_LT(cyc_with, cyc_without)
+        << "forward stream should hit prefetched lines";
+    // The prefetcher fetches each next line exactly once: DRAM
+    // traffic must not blow up.
+    EXPECT_LE(hp.dramAccesses(), hn.dramAccesses() + 2);
+}
+
+TEST(Hierarchy, PrefetchWarmsWithoutAmatNoise)
+{
+    HierarchyParams p;
+    MemHierarchy h(p);
+    h.prefetch(0x8000);
+    EXPECT_EQ(h.accesses(), 0u); // AMAT untouched
+    EXPECT_EQ(h.accessLatency(0x8000, false), p.l1.hit_latency);
+}
+
+// ---------------------------------------------------------------------
+// Load/store unit.
+// ---------------------------------------------------------------------
+
+struct LsuFixture : ::testing::Test
+{
+    MainMemory memory;
+    MemHierarchy hierarchy;
+    PortPool ports{2};
+    LoadStoreUnit lsu{memory, hierarchy, ports};
+};
+
+TEST_F(LsuFixture, StoreLoadForwardingSameIteration)
+{
+    lsu.beginIteration();
+    lsu.store(1, 0x1000, 42, Op::Sw, 10);
+    const LoadResult r = lsu.load(2, 0x1000, Op::Lw, 5);
+    EXPECT_TRUE(r.forwarded);
+    EXPECT_EQ(r.value, 42u);
+    // Forwarded one broadcast cycle after the store data (cycle 10).
+    EXPECT_EQ(r.done_cycle, 11u);
+    EXPECT_TRUE(r.invalidated); // load was ready before the store
+    EXPECT_EQ(lsu.forwards(), 1u);
+}
+
+TEST_F(LsuFixture, OlderLoadDoesNotForwardFromYoungerStore)
+{
+    lsu.beginIteration();
+    lsu.store(5, 0x1000, 42, Op::Sw, 0);
+    const LoadResult r = lsu.load(3, 0x1000, Op::Lw, 0);
+    EXPECT_FALSE(r.forwarded);
+    EXPECT_EQ(r.value, 0u); // memory value, not the younger store's
+}
+
+TEST_F(LsuFixture, CommitInProgramOrder)
+{
+    lsu.beginIteration();
+    // Two stores to the same address, issued out of order.
+    lsu.store(7, 0x2000, 7, Op::Sw, 50);
+    lsu.store(3, 0x2000, 3, Op::Sw, 90); // older but later-ready
+    lsu.commitStores();
+    // Program order: seq 3 then seq 7 -> final value is 7.
+    EXPECT_EQ(memory.read32(0x2000), 7u);
+}
+
+TEST_F(LsuFixture, PeekAppliesOlderStores)
+{
+    lsu.beginIteration();
+    memory.write32(0x3000, 0x11111111);
+    lsu.store(2, 0x3000, 0xAABBCCDD, Op::Sw, 0);
+    lsu.store(4, 0x3001, 0xEE, Op::Sb, 0);
+    EXPECT_EQ(lsu.peek(3, 0x3000, Op::Lw), 0xAABBCCDDu);
+    EXPECT_EQ(lsu.peek(5, 0x3000, Op::Lw), 0xAABBEEDDu);
+    EXPECT_EQ(lsu.peek(1, 0x3000, Op::Lw), 0x11111111u);
+}
+
+TEST_F(LsuFixture, PartialWidthOverlapInvalidates)
+{
+    lsu.beginIteration();
+    lsu.store(1, 0x4000, 0xFF, Op::Sb, 20);
+    const LoadResult r = lsu.load(2, 0x4000, Op::Lw, 0);
+    EXPECT_FALSE(r.forwarded);
+    EXPECT_TRUE(r.invalidated);
+    EXPECT_EQ(r.value & 0xFFu, 0xFFu);
+    EXPECT_GE(r.done_cycle, 20u);
+}
+
+TEST_F(LsuFixture, PortContentionSerializes)
+{
+    lsu.beginIteration();
+    // Four loads all ready at cycle 0 with 2 ports: issue cycles must
+    // spread (0, 0, 1, 1).
+    uint64_t max_done = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        const LoadResult r =
+            lsu.load(i, 0x5000 + 64 * i, Op::Lw, 0);
+        max_done = std::max(max_done, r.done_cycle);
+    }
+    // A single access takes hierarchy latency L; with serialization
+    // the last one finishes at >= 1 + L.
+    MemHierarchy fresh;
+    const uint32_t single = fresh.accessLatency(0x9000, false);
+    EXPECT_GE(max_done, 1u + single);
+}
+
+TEST_F(LsuFixture, AmatCountersPerEntry)
+{
+    lsu.beginIteration();
+    lsu.load(0, 0x6000, Op::Lw, 0);
+    lsu.load(0, 0x6000, Op::Lw, 100); // second, now a cache hit
+    EXPECT_GT(lsu.entryAmat(0), 0.0);
+    EXPECT_GT(lsu.overallAmat(), 0.0);
+    lsu.resetStats();
+    EXPECT_EQ(lsu.loads(), 0u);
+    EXPECT_EQ(lsu.entryAmat(0), 0.0);
+}
+
+TEST(PortPool, IdealWhenHuge)
+{
+    PortPool pool(64);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(pool.acquire(0), 0u);
+    EXPECT_EQ(pool.acquire(0), 1u);
+    pool.reset();
+    EXPECT_EQ(pool.acquire(0), 0u);
+}
+
+} // namespace

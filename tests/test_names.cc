@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Name/metadata completeness: every enum value has a distinct,
+ * non-placeholder name; op classifications are internally consistent
+ * across the predicate helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cpu/monitor.hh"
+#include "dfg/ldfg.hh"
+#include "mesa/imap_fsm.hh"
+#include "riscv/isa.hh"
+
+namespace
+{
+
+using namespace mesa;
+using namespace mesa::riscv;
+
+TEST(Names, EveryOpHasAUniqueName)
+{
+    std::set<std::string> seen;
+    for (int i = 1; i < int(Op::NumOps); ++i) {
+        const std::string name = opName(Op(i));
+        EXPECT_NE(name, "???") << "op " << i;
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate name " << name;
+    }
+}
+
+TEST(Names, EveryOpClassifies)
+{
+    for (int i = 1; i < int(Op::NumOps); ++i) {
+        const Op op = Op(i);
+        const OpClass cls = opClass(op);
+        EXPECT_NE(std::string(opClassName(cls)), "???");
+        // Predicate consistency.
+        EXPECT_EQ(isMem(op), isLoad(op) || isStore(op));
+        EXPECT_EQ(isControl(op), isBranch(op) || isJump(op));
+        if (isStore(op) || isBranch(op)) {
+            EXPECT_FALSE(writesDest(op)) << opName(op);
+        }
+        if (fpDest(op)) {
+            EXPECT_TRUE(writesDest(op)) << opName(op);
+        }
+        EXPECT_GE(numSources(op), 0);
+        EXPECT_LE(numSources(op), 3);
+    }
+}
+
+TEST(Names, RejectAndErrorStringsComplete)
+{
+    using cpu::RejectReason;
+    for (auto r : {RejectReason::None, RejectReason::TooLarge,
+                   RejectReason::UnsupportedInstr,
+                   RejectReason::EarlyExit, RejectReason::PoorMix,
+                   RejectReason::FewIterations}) {
+        EXPECT_NE(std::string(cpu::rejectReasonName(r)), "???");
+    }
+    using dfg::BuildError;
+    for (auto e : {BuildError::None, BuildError::InnerLoop,
+                   BuildError::UnsupportedOp, BuildError::ExitBranch,
+                   BuildError::IndirectJump,
+                   BuildError::TooManyInstructions}) {
+        EXPECT_NE(std::string(dfg::buildErrorName(e)), "???");
+    }
+    using core::ImapState;
+    for (int s = 0; s < int(ImapState::NumStates); ++s)
+        EXPECT_NE(std::string(core::imapStateName(ImapState(s))),
+                  "???");
+}
+
+TEST(Names, OpLatencyConfigCoversAllClasses)
+{
+    const dfg::OpLatencyConfig cfg;
+    for (int c = 1; c < int(OpClass::NumClasses); ++c)
+        EXPECT_GT(cfg.cycles(OpClass(c)), 0.0)
+            << opClassName(OpClass(c));
+}
+
+} // namespace

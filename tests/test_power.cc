@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Power/area model tests: Table 1 hierarchy consistency, PE-count
+ * scaling, activity-based energy accounting (clock gating), and the
+ * CPU energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+
+namespace
+{
+
+using namespace mesa;
+using namespace mesa::power;
+
+TEST(PowerModel, Table1HierarchySums)
+{
+    PowerModel pm(accel::AccelParams::m128());
+
+    const auto mesa_rows = pm.mesaExtensionRows();
+    ASSERT_FALSE(mesa_rows.empty());
+    // MESA Top ~ 0.502 mm^2 / 0.36 W as synthesized.
+    EXPECT_NEAR(mesa_rows.front().area_um2, 502000.0, 1.0);
+    EXPECT_NEAR(mesa_rows.front().power_w, 0.36, 1e-6);
+
+    // ArchModel + ConfigBlock roughly compose MESA Top.
+    double arch = 0, cfg = 0;
+    for (const auto &row : mesa_rows) {
+        if (row.name == "MESA ArchModel")
+            arch = row.area_um2;
+        if (row.name == "MESA ConfigBlock")
+            cfg = row.area_um2;
+    }
+    EXPECT_NEAR(arch + cfg, mesa_rows.front().area_um2, 0.1 * 502000);
+
+    // CPU additions are tiny (<0.05 mm^2 total).
+    double add_area = 0;
+    for (const auto &row : pm.cpuAdditionRows())
+        add_area += row.area_um2;
+    EXPECT_LT(add_area, 50000.0);
+}
+
+TEST(PowerModel, AcceleratorAreaScalesWithPeCount)
+{
+    PowerModel p128(accel::AccelParams::m128());
+    PowerModel p512(accel::AccelParams::m512());
+    PowerModel p64(accel::AccelParams::m64());
+
+    EXPECT_NEAR(p128.acceleratorAreaMm2(), 26.56, 0.01);
+    EXPECT_NEAR(p512.acceleratorAreaMm2(), 4 * 26.56, 0.1);
+    EXPECT_NEAR(p64.acceleratorAreaMm2(), 26.56 / 2, 0.1);
+    // MESA controller is well under 10% of a core (~6mm^2 at 28nm).
+    EXPECT_LT(p128.mesaAreaMm2(), 0.6);
+}
+
+TEST(PowerModel, EnergyScalesWithActivity)
+{
+    PowerModel pm(accel::AccelParams::m128());
+    accel::AccelRunResult quiet;
+    quiet.cycles = 1000;
+    quiet.iterations = 10;
+    quiet.pe_busy_cycles = 100;
+    quiet.loads = 10;
+    quiet.stores = 5;
+
+    accel::AccelRunResult busy = quiet;
+    busy.pe_busy_cycles = 10000;
+    busy.fp_busy_cycles = 5000;
+    busy.loads = 1000;
+    busy.dram_accesses = 100;
+    busy.noc_transfers = 2000;
+
+    const EnergyBreakdown eq = pm.accelEnergy(quiet, 0);
+    const EnergyBreakdown eb = pm.accelEnergy(busy, 0);
+    EXPECT_GT(eb.compute_nj, eq.compute_nj);
+    EXPECT_GT(eb.memory_nj, eq.memory_nj);
+    EXPECT_GT(eb.noc_nj, eq.noc_nj);
+    EXPECT_GT(eb.total(), eq.total());
+    // Same wall-clock -> same static energy (clock gating only cuts
+    // dynamic power).
+    EXPECT_DOUBLE_EQ(eb.static_nj, eq.static_nj);
+}
+
+TEST(PowerModel, ConfigCyclesChargeControlEnergy)
+{
+    PowerModel pm(accel::AccelParams::m128());
+    accel::AccelRunResult run;
+    run.cycles = 1000;
+    run.iterations = 100;
+    const double without = pm.accelEnergy(run, 0).control_nj;
+    const double with = pm.accelEnergy(run, 2000).control_nj;
+    EXPECT_GT(with, without);
+}
+
+TEST(PowerModel, CpuEnergyComposition)
+{
+    PowerModel pm(accel::AccelParams::m128());
+    cpu::RunResult r;
+    r.cycles = 100000;
+    r.instructions = 200000;
+    r.loads = 30000;
+    r.stores = 10000;
+    r.fp_ops = 50000;
+    r.threads = 1;
+    const double single = pm.cpuEnergyNj(r);
+    EXPECT_GT(single, 0.0);
+
+    // 16 threads at the same cycle count burn ~16x static power.
+    cpu::RunResult r16 = r;
+    r16.threads = 16;
+    EXPECT_GT(pm.cpuEnergyNj(r16), single);
+
+    // More instructions, more energy.
+    cpu::RunResult r2 = r;
+    r2.instructions *= 2;
+    EXPECT_GT(pm.cpuEnergyNj(r2), single);
+}
+
+} // namespace

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Cross-cutting execution scenarios beyond the Rodinia suite: nested
+ * predication, decreasing (negative-stride) inductions with tiling,
+ * iteration counts that don't divide the tile factor, and programs
+ * with multiple hot regions offloaded in one transparent run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "riscv/assembler.hh"
+
+namespace
+{
+
+using namespace mesa;
+using namespace mesa::test;
+using namespace mesa::riscv::reg;
+using core::MesaParams;
+using riscv::Assembler;
+
+constexpr uint32_t ArrA = 0x00100000;
+constexpr uint32_t ArrB = 0x00200000;
+
+/** Build a Kernel from an assembler + setup lambdas. */
+workloads::Kernel
+makeKernel(const Assembler &as, uint64_t iterations, bool parallel,
+           std::function<void(mem::MainMemory &)> init_data,
+           std::function<void(riscv::ArchState &, uint64_t, uint64_t)>
+               init_range)
+{
+    workloads::Kernel k;
+    k.name = "scenario";
+    k.parallel = parallel;
+    k.iterations = iterations;
+    k.program = as.assemble();
+    k.loop_start = k.program.labelPc("loop");
+    k.loop_end = k.program.labelPc("exit");
+    k.init_data = std::move(init_data);
+    k.init_range = std::move(init_range);
+    return k;
+}
+
+// ---------------------------------------------------------------------
+// Nested predication: an if inside an if, both mapped as guards.
+// ---------------------------------------------------------------------
+
+workloads::Kernel
+nestedIfKernel(uint64_t n)
+{
+    Assembler as;
+    as.label("loop");
+    as.lw(t0, 0, a0);
+    as.bne(t0, zero, "skip_all");  // outer guard
+    as.lw(t1, 4, a0);
+    as.beq(t1, zero, "skip_inner"); // inner guard (nested)
+    as.addi(t2, t2, 1);             // under both guards
+    as.sw(t2, 0, a1);
+    as.label("skip_inner");
+    as.addi(t3, t3, 2);             // under the outer guard only
+    as.sw(t3, 4, a1);
+    as.label("skip_all");
+    as.addi(a0, a0, 8);
+    as.addi(a1, a1, 8);
+    as.blt(a0, a3, "loop");
+    as.label("exit");
+    as.ecall();
+
+    return makeKernel(
+        as, n, /*parallel=*/false,
+        [n](mem::MainMemory &m) {
+            uint32_t s = 31;
+            for (uint64_t i = 0; i < 2 * n; ++i) {
+                s = s * 1664525u + 1013904223u;
+                m.write32(ArrA + uint32_t(4 * i), (s >> 20) % 3);
+            }
+        },
+        [](riscv::ArchState &st, uint64_t b, uint64_t e) {
+            st.x[a0] = ArrA + uint32_t(8 * b);
+            st.x[a1] = ArrB + uint32_t(8 * b);
+            st.x[a3] = ArrA + uint32_t(8 * e);
+            st.x[t2] = 0;
+            st.x[t3] = 0;
+        });
+}
+
+TEST(Scenarios, NestedPredicationGuardsNest)
+{
+    const auto kernel = nestedIfKernel(64);
+    auto ldfg = dfg::Ldfg::build(kernel.loopBody());
+    ASSERT_TRUE(ldfg.has_value());
+    // The innermost block carries two guards, the middle one carries
+    // one, the join region none.
+    int two_guards = 0, one_guard = 0;
+    for (const auto &node : ldfg->nodes()) {
+        if (node.guards.size() == 2)
+            ++two_guards;
+        else if (node.guards.size() == 1)
+            ++one_guard;
+    }
+    EXPECT_EQ(two_guards, 2); // addi t2 + sw t2
+    EXPECT_EQ(one_guard, 4);  // lw t1 + inner branch + addi t3 + sw t3
+}
+
+TEST(Scenarios, NestedPredicationGolden)
+{
+    const auto kernel = nestedIfKernel(512);
+    const GoldenResult want = runReference(kernel);
+
+    MesaParams params;
+    params.iterative_optimization = false;
+    const OffloadRun run = runWithOffload(kernel, params);
+    ASSERT_TRUE(run.stats.has_value());
+    EXPECT_GT(run.stats->accel.disabled_ops, 0u);
+    EXPECT_TRUE(sameMemory(run.memory, want.memory));
+    EXPECT_EQ(run.state, want.state);
+}
+
+// ---------------------------------------------------------------------
+// Decreasing induction (negative stride) with tiling.
+// ---------------------------------------------------------------------
+
+workloads::Kernel
+reverseCopyKernel(uint64_t n)
+{
+    Assembler as;
+    as.label("loop");
+    as.lw(t0, -4, a0);
+    as.addi(t0, t0, 100);
+    as.sw(t0, -4, a1);
+    as.addi(a0, a0, -4);
+    as.addi(a1, a1, -4);
+    as.blt(a2, a0, "loop"); // continue while bound < cursor
+    as.label("exit");
+    as.ecall();
+
+    return makeKernel(
+        as, n, /*parallel=*/true,
+        [n](mem::MainMemory &m) {
+            for (uint64_t i = 0; i < n; ++i)
+                m.write32(ArrA + uint32_t(4 * i), uint32_t(7 * i + 1));
+        },
+        [](riscv::ArchState &st, uint64_t b, uint64_t e) {
+            // Iterate from the high end downward over [b, e).
+            st.x[a0] = ArrA + uint32_t(4 * e);
+            st.x[a1] = ArrB + uint32_t(4 * e);
+            st.x[a2] = ArrA + uint32_t(4 * b);
+        });
+}
+
+TEST(Scenarios, NegativeStrideInductionDetected)
+{
+    const auto kernel = reverseCopyKernel(64);
+    auto ldfg = dfg::Ldfg::build(kernel.loopBody());
+    ASSERT_TRUE(ldfg.has_value());
+    const auto inductions = dfg::findInductionRegs(*ldfg);
+    ASSERT_EQ(inductions.size(), 2u);
+    EXPECT_EQ(inductions[0].step, -4);
+}
+
+TEST(Scenarios, NegativeStrideTiledGolden)
+{
+    const auto kernel = reverseCopyKernel(1024);
+    const GoldenResult want = runReference(kernel);
+
+    MesaParams params;
+    params.iterative_optimization = false;
+    const OffloadRun run = runWithOffload(kernel, params);
+    ASSERT_TRUE(run.stats.has_value());
+    EXPECT_GT(run.stats->tile_factor, 1)
+        << "a 7-instruction body should tile";
+    EXPECT_TRUE(sameMemory(run.memory, want.memory));
+    // Decreasing induction merges by max (closest to sequential exit).
+    EXPECT_EQ(run.state.x[a0], want.state.x[a0]);
+    EXPECT_EQ(run.state.x[a1], want.state.x[a1]);
+}
+
+// ---------------------------------------------------------------------
+// Trip counts that do not divide the tile factor.
+// ---------------------------------------------------------------------
+
+TEST(Scenarios, OddTripCountsAcrossTileFactors)
+{
+    for (uint64_t trip : {509u, 510u, 511u, 513u, 515u}) {
+        const auto kernel = workloads::makeNn(trip);
+        const GoldenResult want = runReference(kernel);
+        MesaParams params;
+        params.iterative_optimization = false;
+        const OffloadRun run = runWithOffload(kernel, params);
+        ASSERT_TRUE(run.stats.has_value()) << trip;
+        EXPECT_EQ(run.stats->accel_iterations, trip) << trip;
+        EXPECT_TRUE(sameMemory(run.memory, want.memory)) << trip;
+        EXPECT_EQ(run.state, want.state) << trip;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Narrow (byte/halfword) memory accesses through the accelerator LSU,
+// including a same-address byte store -> byte load in one iteration
+// (the partial-width forwarding/invalidation path).
+// ---------------------------------------------------------------------
+
+workloads::Kernel
+thresholdKernel(uint64_t n)
+{
+    Assembler as;
+    as.label("loop");
+    as.lbu(t0, 0, a0);          // 8-bit pixel
+    as.addi(t2, zero, 255);
+    as.sltiu(t1, t0, 128);
+    as.beq(t1, zero, "keep");   // keep 255 for bright pixels
+    as.addi(t2, zero, 0);       // dark -> 0 (predicated)
+    as.label("keep");
+    as.sb(t2, 0, a1);           // byte store
+    as.lbu(t4, 0, a1);          // read it back (store->load, byte)
+    as.add(t5, t5, t4);         // running sum (loop-carried)
+    as.lh(t3, 0, a2);           // signed halfword load
+    as.srai(t3, t3, 1);
+    as.sh(t3, 0, a3);           // halfword store
+    as.addi(a0, a0, 1);         // byte-stride induction
+    as.addi(a1, a1, 1);
+    as.addi(a2, a2, 2);
+    as.addi(a3, a3, 2);
+    as.blt(a0, a4, "loop");
+    as.label("exit");
+    as.ecall();
+
+    return makeKernel(
+        as, n, /*parallel=*/false, // t5 reduction
+        [n](mem::MainMemory &m) {
+            uint32_t s = 55;
+            for (uint64_t i = 0; i < n; ++i) {
+                s = s * 1664525u + 1013904223u;
+                m.write8(ArrA + uint32_t(i), uint8_t(s >> 13));
+                m.write16(ArrB + uint32_t(2 * i), uint16_t(s >> 9));
+            }
+        },
+        [](riscv::ArchState &st, uint64_t b, uint64_t e) {
+            st.x[a0] = ArrA + uint32_t(b);
+            st.x[a1] = ArrA + 0x80000 + uint32_t(b);
+            st.x[a2] = ArrB + uint32_t(2 * b);
+            st.x[a3] = ArrB + 0x80000 + uint32_t(2 * b);
+            st.x[a4] = ArrA + uint32_t(e);
+            st.x[t5] = 0;
+        });
+}
+
+TEST(Scenarios, NarrowAccessGolden)
+{
+    const auto kernel = thresholdKernel(1024);
+    const GoldenResult want = runReference(kernel);
+
+    MesaParams params;
+    params.iterative_optimization = false;
+    const OffloadRun run = runWithOffload(kernel, params);
+    ASSERT_TRUE(run.stats.has_value());
+    EXPECT_TRUE(sameMemory(run.memory, want.memory));
+    EXPECT_EQ(run.state, want.state)
+        << "byte/halfword paths must be exact (incl. the running sum "
+           "through the store->load pair)";
+}
+
+TEST(Scenarios, NarrowAccessEveryOptimizationCombo)
+{
+    const auto kernel = thresholdKernel(256);
+    const GoldenResult want = runReference(kernel);
+    for (int mask = 0; mask < 8; ++mask) {
+        MesaParams params;
+        params.iterative_optimization = false;
+        params.enable_vectorization = mask & 1;
+        params.enable_forwarding = mask & 2;
+        params.enable_prefetch = mask & 4;
+        const OffloadRun run = runWithOffload(kernel, params);
+        ASSERT_TRUE(run.stats.has_value()) << mask;
+        EXPECT_TRUE(sameMemory(run.memory, want.memory)) << mask;
+        EXPECT_EQ(run.state, want.state) << mask;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Two hot regions in one program, offloaded in one transparent run.
+// ---------------------------------------------------------------------
+
+TEST(Scenarios, TwoPhaseProgramOffloadsBothRegions)
+{
+    // Phase 1: integer scale+bias over ArrA; phase 2: prefix-style
+    // FP accumulate over the result into ArrB.
+    constexpr uint32_t N = 3000;
+    Assembler as;
+    as.label("loop1");
+    as.lw(t0, 0, a0);
+    as.slli(t0, t0, 1);
+    as.addi(t0, t0, 3);
+    as.sw(t0, 0, a1);
+    as.addi(a0, a0, 4);
+    as.addi(a1, a1, 4);
+    as.blt(a0, a2, "loop1");
+    // Reset cursors for phase 2.
+    as.li(a0, int32_t(ArrB));
+    as.li(a1, int32_t(ArrB + 4 * N));
+    as.label("loop2");
+    as.lw(t0, 0, a0);
+    as.fcvt_s_w(ft0, t0);
+    as.fmul_s(ft0, ft0, fa0);
+    as.fadd_s(ft1, ft1, ft0); // running FP sum (serial)
+    as.addi(a0, a0, 4);
+    as.blt(a0, a1, "loop2");
+    as.label("exit");
+    as.fsw(ft1, 0, a3);
+    as.ecall();
+    const riscv::Program prog = as.assemble();
+
+    auto init_data = [&](mem::MainMemory &m) {
+        for (uint32_t i = 0; i < N; ++i)
+            m.write32(ArrA + 4 * i, i % 97);
+    };
+    auto init_regs = [&](riscv::ArchState &st) {
+        st.x[a0] = ArrA;
+        st.x[a1] = ArrB;
+        st.x[a2] = ArrA + 4 * N;
+        st.x[a3] = ArrB + 4 * N + 64;
+        st.f[fa0] = std::bit_cast<uint32_t>(0.125f);
+        st.f[ft1] = 0;
+    };
+
+    // Reference.
+    mem::MainMemory ref_mem;
+    init_data(ref_mem);
+    cpu::loadProgram(ref_mem, prog);
+    riscv::Emulator ref(ref_mem);
+    ref.reset(prog.base_pc);
+    init_regs(ref.state());
+    ref.run(10'000'000);
+
+    // Transparent MESA run.
+    mem::MainMemory memory;
+    init_data(memory);
+    MesaParams params;
+    core::MesaController mesa(params, memory);
+    const auto res =
+        mesa.runTransparent(prog, init_regs, /*parallel_hint=*/true);
+
+    EXPECT_TRUE(res.halted);
+    ASSERT_EQ(res.offloads.size(), 2u)
+        << "both hot loops must be detected and offloaded";
+    EXPECT_EQ(res.offloads[0].region_start, prog.labelPc("loop1"));
+    EXPECT_EQ(res.offloads[1].region_start, prog.labelPc("loop2"));
+    EXPECT_TRUE(sameMemory(memory.snapshot(), ref_mem.snapshot()));
+    EXPECT_EQ(res.final_state, ref.state());
+}
+
+} // namespace

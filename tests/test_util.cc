@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Utility-layer tests: SlotPool per-cycle capacity semantics, stats
+ * primitives, the matrix helper, the text table printer, and the
+ * logging error types.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/debug.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/matrix.hh"
+#include "util/slot_pool.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace mesa;
+
+// ---------------------------------------------------------------------
+// SlotPool: the per-cycle capacity model.
+// ---------------------------------------------------------------------
+
+TEST(SlotPool, CapacityPerCycle)
+{
+    SlotPool pool(2);
+    EXPECT_EQ(pool.acquire(10), 10u);
+    EXPECT_EQ(pool.acquire(10), 10u);
+    EXPECT_EQ(pool.acquire(10), 11u); // third request spills over
+    EXPECT_EQ(pool.acquire(10), 11u);
+    EXPECT_EQ(pool.acquire(10), 12u);
+}
+
+TEST(SlotPool, FutureBookingDoesNotStarveEarlierCycles)
+{
+    // The bug class this type exists to prevent: a far-future booking
+    // must leave earlier cycles available.
+    SlotPool pool(1);
+    EXPECT_EQ(pool.acquire(1000), 1000u);
+    EXPECT_EQ(pool.acquire(5), 5u);
+    EXPECT_EQ(pool.acquire(5), 6u);
+    EXPECT_EQ(pool.acquire(999), 999u);
+    EXPECT_EQ(pool.acquire(999), 1001u); // 1000 already taken
+}
+
+TEST(SlotPool, ResetClearsBookings)
+{
+    SlotPool pool(1);
+    pool.acquire(0);
+    EXPECT_EQ(pool.acquire(0), 1u);
+    pool.reset();
+    EXPECT_EQ(pool.acquire(0), 0u);
+}
+
+TEST(SlotPool, DenseBurstDrains)
+{
+    SlotPool pool(4);
+    uint64_t max_cycle = 0;
+    for (int i = 0; i < 100; ++i)
+        max_cycle = std::max(max_cycle, pool.acquire(0));
+    // 100 requests at 4/cycle need exactly 25 cycles.
+    EXPECT_EQ(max_cycle, 24u);
+}
+
+// ---------------------------------------------------------------------
+// Stats.
+// ---------------------------------------------------------------------
+
+TEST(Stats, CounterAndAverage)
+{
+    Counter c("c");
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+
+    Average avg;
+    EXPECT_DOUBLE_EQ(avg.mean(), 0.0);
+    avg.sample(2.0);
+    avg.sample(4.0);
+    EXPECT_DOUBLE_EQ(avg.mean(), 3.0);
+    EXPECT_EQ(avg.count(), 2u);
+    avg.reset();
+    EXPECT_EQ(avg.count(), 0u);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow)
+{
+    Histogram h(4, 10.0); // buckets [0,10) [10,20) [20,30) [30,40)
+    h.sample(5);
+    h.sample(15);
+    h.sample(15);
+    h.sample(100); // overflow
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+}
+
+TEST(Stats, StatGroupDump)
+{
+    StatGroup g("core0");
+    g.set("ipc", 2.5);
+    g.add("ipc", 0.5);
+    g.set("cycles", 100);
+    EXPECT_DOUBLE_EQ(g.get("ipc"), 3.0);
+    EXPECT_TRUE(g.has("cycles"));
+    EXPECT_FALSE(g.has("nope"));
+    EXPECT_DOUBLE_EQ(g.get("nope"), 0.0);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("core0.ipc 3"), std::string::npos);
+    EXPECT_NE(os.str().find("core0.cycles 100"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Matrix.
+// ---------------------------------------------------------------------
+
+TEST(Matrix, AccessAndBounds)
+{
+    Matrix<int> m(3, 4, 7);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.at(2, 3), 7);
+    m.at(1, 2) = 42;
+    EXPECT_EQ(m(1, 2), 42);
+    EXPECT_EQ(m.count(7), 11u);
+    EXPECT_THROW(m.at(3, 0), PanicError);
+    EXPECT_THROW(m.at(0, 4), PanicError);
+
+    Matrix<int> same(3, 4, 7);
+    same(1, 2) = 42;
+    EXPECT_TRUE(m == same);
+    m.fill(0);
+    EXPECT_EQ(m.count(0), 12u);
+}
+
+// ---------------------------------------------------------------------
+// TextTable.
+// ---------------------------------------------------------------------
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t("demo");
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer-name", "22"});
+    EXPECT_EQ(t.rows(), 2u);
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Header columns align: "value" starts at the same offset in both
+    // data rows (the longer name widens the first column everywhere).
+    const auto line_start = out.find("x ");
+    ASSERT_NE(line_start, std::string::npos);
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------------
+// JsonWriter.
+// ---------------------------------------------------------------------
+
+TEST(JsonWriter, ObjectsArraysAndEscaping)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("name", "mesa \"quoted\"")
+        .field("pes", 128)
+        .field("speedup", 1.5)
+        .field("ok", true)
+        .key("series")
+        .beginArray()
+        .value(uint64_t(1))
+        .value(uint64_t(2))
+        .value(uint64_t(3))
+        .end()
+        .key("nested")
+        .beginObject()
+        .field("x", 7)
+        .end()
+        .end();
+    EXPECT_TRUE(w.balanced());
+    const std::string out = w.str();
+    EXPECT_EQ(out,
+              "{\"name\":\"mesa \\\"quoted\\\"\",\"pes\":128,"
+              "\"speedup\":1.5,\"ok\":true,"
+              "\"series\":[1,2,3],\"nested\":{\"x\":7}}");
+}
+
+TEST(JsonWriter, AutoClosesUnbalancedScopes)
+{
+    JsonWriter w;
+    w.beginObject().key("a").beginArray().value(1);
+    EXPECT_FALSE(w.balanced());
+    EXPECT_EQ(w.str(), "{\"a\":[1]}");
+}
+
+TEST(JsonWriter, ControlCharactersEscaped)
+{
+    JsonWriter w;
+    w.beginObject().field("s", std::string("a\nb\tc")).end();
+    EXPECT_EQ(w.str(), "{\"s\":\"a\\nb\\tc\"}");
+}
+
+// ---------------------------------------------------------------------
+// Debug tracing.
+// ---------------------------------------------------------------------
+
+TEST(DebugTrace, CategoriesGateOutput)
+{
+    std::ostringstream sink;
+    Debug::setStream(&sink);
+    Debug::clear();
+
+    DTRACE("mapper", "hidden " << 1);
+    EXPECT_TRUE(sink.str().empty());
+
+    Debug::enable("mapper");
+    DTRACE("mapper", "visible " << 2);
+    DTRACE("engine", "still hidden");
+    EXPECT_NE(sink.str().find("mapper: visible 2"), std::string::npos);
+    EXPECT_EQ(sink.str().find("engine"), std::string::npos);
+
+    Debug::enable("all");
+    DTRACE("engine", "now visible");
+    EXPECT_NE(sink.str().find("engine: now visible"),
+              std::string::npos);
+
+    Debug::clear();
+    Debug::setStream(&std::cerr);
+}
+
+// ---------------------------------------------------------------------
+// Logging.
+// ---------------------------------------------------------------------
+
+TEST(Logging, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(panic("broken ", 42), PanicError);
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    try {
+        panic("value=", 7, " end");
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=7 end"),
+                  std::string::npos);
+    }
+    // MESA_ASSERT passes on true, throws with context on false.
+    MESA_ASSERT(1 + 1 == 2);
+    EXPECT_THROW(MESA_ASSERT(false, "context"), PanicError);
+}
+
+} // namespace
