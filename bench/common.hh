@@ -77,13 +77,26 @@ runSingleCoreBaseline(const workloads::Kernel &kernel,
     return out;
 }
 
-/** Full transparent MESA run and its energy breakdown. */
+/**
+ * Full transparent MESA run and its energy breakdown.
+ *
+ * @param stats optional registry the controller keeps live counters
+ *        in ("mesa.*", "accel.*", "accel.mem.*") during the run
+ * @param snapshot_iterations record a registry snapshot every N
+ *        accelerated iterations (0 disables)
+ */
 inline MesaRun
-runMesa(const workloads::Kernel &kernel, const core::MesaParams &params)
+runMesa(const workloads::Kernel &kernel, const core::MesaParams &params,
+        StatsRegistry *stats = nullptr, uint64_t snapshot_iterations = 0)
 {
     mem::MainMemory memory;
     kernel.init_data(memory);
     core::MesaController mesa(params, memory);
+    if (stats) {
+        mesa.attachStats(stats, snapshot_iterations);
+        mesa.accelerator().hierarchy().registerStats(*stats,
+                                                     "accel.mem.");
+    }
 
     MesaRun out;
     out.result = mesa.runTransparent(kernel.program, kernel.fullRange(),
@@ -98,6 +111,12 @@ runMesa(const workloads::Kernel &kernel, const core::MesaParams &params)
                 .total();
     }
     out.energy_nj = out.cpu_energy_nj + out.accel_energy_nj;
+    // The controller (and the hierarchy whose counters were linked
+    // above) dies with this scope; keep the registry self-contained.
+    if (stats) {
+        mesa.attachStats(nullptr);
+        stats->materialize();
+    }
     return out;
 }
 

@@ -10,8 +10,11 @@
  */
 
 #include <cstring>
+#include <fstream>
 
 #include "util/json.hh"
+#include "util/logging.hh"
+#include "util/trace.hh"
 #include <iostream>
 
 #include "common.hh"
@@ -36,6 +39,10 @@ usage()
         "  --unroll            enable the unrolling extension\n"
         "  --timemux           enable PE time-multiplexing\n"
         "  --json              machine-readable output\n"
+        "  --trace-out <file>  write a Chrome trace-event timeline of\n"
+        "                      the MESA run (load in Perfetto)\n"
+        "  --stats-json <file> write the full stats registry as JSON\n"
+        "  --stats-every <n>   snapshot stats every n accel iterations\n"
         "  --list              list available kernels\n";
 }
 
@@ -46,7 +53,10 @@ main(int argc, char **argv)
 {
     std::string kernel_name = "nn";
     std::string accel_name = "M-128";
+    std::string trace_out;
+    std::string stats_json;
     uint64_t scale = 8192;
+    uint64_t stats_every = 0;
     bool json = false;
     core::MesaParams params;
 
@@ -77,6 +87,12 @@ main(int argc, char **argv)
             params.enable_time_multiplexing = true;
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--stats-json") {
+            stats_json = next();
+        } else if (arg == "--stats-every") {
+            stats_every = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--list") {
             for (const auto &k : workloads::rodiniaSuite({64}))
                 std::cout << k.name << "\n";
@@ -104,7 +120,48 @@ main(int argc, char **argv)
 
     const CpuRun multi = runMulticoreBaseline(kernel);
     const CpuRun single = runSingleCoreBaseline(kernel);
-    const MesaRun run = runMesa(kernel, params);
+
+    // Tracing covers only the MESA run (the baselines above would
+    // otherwise interleave events with an unrelated time base).
+    StatsRegistry stats;
+    const bool want_stats = !stats_json.empty() || stats_every > 0;
+    if (!trace_out.empty()) {
+        Tracer::global().clear();
+        Tracer::global().enable();
+    }
+    const MesaRun run = runMesa(kernel, params,
+                                want_stats ? &stats : nullptr,
+                                stats_every);
+    if (!trace_out.empty()) {
+        Tracer &tracer = Tracer::global();
+        tracer.enable(false);
+        std::ofstream f(trace_out);
+        if (!f)
+            fatal("cannot open trace output file ", trace_out);
+        tracer.exportJson(f);
+        if (!json) {
+            std::cout << "trace: " << tracer.eventCount()
+                      << " events on " << tracer.tracks().size()
+                      << " tracks -> " << trace_out;
+            if (tracer.droppedEvents() > 0)
+                std::cout << " (" << tracer.droppedEvents()
+                          << " dropped)";
+            std::cout << "\n";
+        }
+    }
+    if (!stats_json.empty()) {
+        run.result.registerInto(stats, "run.");
+        JsonWriter w;
+        stats.toJson(w);
+        std::ofstream f(stats_json);
+        if (!f)
+            fatal("cannot open stats output file ", stats_json);
+        f << w.str() << "\n";
+        if (!json)
+            std::cout << "stats: " << stats.size() << " entries, "
+                      << stats.snapshotCount() << " snapshots -> "
+                      << stats_json << "\n";
+    }
 
     if (json) {
         JsonWriter w;

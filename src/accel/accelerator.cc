@@ -5,6 +5,7 @@
 
 #include "riscv/alu.hh"
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace mesa::accel
 {
@@ -436,6 +437,20 @@ Accelerator::run(riscv::ArchState &state, uint64_t max_iterations)
 
     for (const auto &inst : instances_)
         result.cycles = std::max(result.cycles, inst.last_end);
+    if (Tracer::active()) {
+        // One span per tile instance on the accelerator's local
+        // timeline (the controller anchors the base at the epoch
+        // start).
+        Tracer &tracer = Tracer::global();
+        for (size_t k = 0; k < instances_.size(); ++k) {
+            const Instance &inst = instances_[k];
+            if (inst.iterations == 0)
+                continue;
+            tracer.spanLocal("accel", "tile" + std::to_string(k), 0,
+                             inst.last_end,
+                             {{"iterations", inst.iterations}});
+        }
+    }
     result.dram_accesses = hierarchy_.dramAccesses() - dram_before;
     // DRAM bandwidth floor: the accelerator shares the same memory
     // channels the CPU baseline contends on.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/debug.hh"
+#include "util/trace.hh"
 #include <cstdlib>
 
 namespace mesa::cpu
@@ -79,6 +80,11 @@ RegionMonitor::reject(RejectReason reason)
     decision_ = d;
     state_ = State::Watching;
     lsd_.reset();
+    if (Tracer::active())
+        Tracer::global().instant(
+            "cpu0", "loop-rejected", Tracer::global().now(),
+            {{"pc", uint64_t(loop_.start)},
+             {"reason", rejectReasonName(reason)}});
 }
 
 void
@@ -151,6 +157,14 @@ RegionMonitor::finishIteration(const TraceEntry &branch_entry)
                                 << ", est " << d.est_remaining_iterations
                                 << " iterations remaining");
     decision_ = d;
+    if (Tracer::active())
+        Tracer::global().instant(
+            "cpu0",
+            d.qualified ? "loop-qualified" : "loop-rejected",
+            Tracer::global().now(),
+            {{"pc", uint64_t(loop_.start)},
+             {"reason", rejectReasonName(d.reason)},
+             {"est_iterations", d.est_remaining_iterations}});
     if (!d.qualified) {
         state_ = State::Watching;
         lsd_.reset();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace mesa::cpu
 {
@@ -97,6 +98,13 @@ OooCore::consume(const TraceEntry &entry)
         } else {
             latency = mem_.accessLatency(entry.mem_addr, false);
             complete = issue + latency;
+            if (latency >= mem_.dramLatency() && Tracer::active()) {
+                // DRAM-bound load on the CPU's local cycle timeline.
+                Tracer::global().instantLocal(
+                    "mem", "cpu-dram", issue,
+                    {{"addr", uint64_t(entry.mem_addr)},
+                     {"latency", latency}});
+            }
         }
     } else if (inst.isStore()) {
         ++stats_.stores;

@@ -123,6 +123,21 @@ MemHierarchy::accessLatency(uint32_t addr, bool write)
 }
 
 void
+MemHierarchy::registerStats(StatsRegistry &registry,
+                            const std::string &prefix) const
+{
+    auto linkCache = [&](const Cache &c, const std::string &p) {
+        registry.linkCounter(p + "hits", c.hitCounter());
+        registry.linkCounter(p + "misses", c.missCounter());
+        registry.linkCounter(p + "writebacks", c.writebackCounter());
+    };
+    linkCache(l1(), prefix + "l1.");
+    linkCache(l2(), prefix + "l2.");
+    registry.linkCounter(prefix + "dram_accesses", dram_accesses_);
+    registry.linkAverage(prefix + "amat", amat_);
+}
+
+void
 MemHierarchy::prefetch(uint32_t addr)
 {
     Cache &level2 = l2();

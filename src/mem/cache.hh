@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/stats.hh"
+#include "util/stats_registry.hh"
 
 namespace mesa::mem
 {
@@ -53,6 +54,11 @@ class Cache
     uint64_t hits() const { return hits_.value(); }
     uint64_t misses() const { return misses_.value(); }
     uint64_t writebacks() const { return writebacks_.value(); }
+
+    /** Live counters, for linking into a StatsRegistry. */
+    const Counter &hitCounter() const { return hits_; }
+    const Counter &missCounter() const { return misses_; }
+    const Counter &writebackCounter() const { return writebacks_; }
 
     double
     missRate() const
@@ -136,13 +142,21 @@ class MemHierarchy
     uint32_t dramLatency() const { return params_.dram_latency; }
 
     /** Accesses that went all the way to DRAM (L2 misses seen here). */
-    uint64_t dramAccesses() const { return dram_accesses_; }
+    uint64_t dramAccesses() const { return dram_accesses_.value(); }
+
+    /**
+     * Link the hierarchy's live counters (L1/L2 hits, misses,
+     * writebacks, DRAM accesses, AMAT) into @p registry under
+     * @p prefix (e.g. "accel.mem.").
+     */
+    void registerStats(StatsRegistry &registry,
+                       const std::string &prefix) const;
 
     void
     resetStats()
     {
         amat_.reset();
-        dram_accesses_ = 0;
+        dram_accesses_.reset();
     }
 
   private:
@@ -151,7 +165,7 @@ class MemHierarchy
     Cache l2_;
     Cache *shared_l2_ = nullptr;
     Average amat_;
-    uint64_t dram_accesses_ = 0;
+    Counter dram_accesses_{"dram_accesses"};
 };
 
 } // namespace mesa::mem

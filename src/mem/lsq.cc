@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace mesa::mem
 {
@@ -124,6 +125,12 @@ LoadStoreUnit::load(unsigned seq, uint32_t addr, Op op,
     const uint32_t value = peek(seq, addr, op);
     const uint64_t issue = ports_.acquire(ready_cycle);
     const uint32_t latency = hierarchy_.accessLatency(addr, false);
+    if (latency >= hierarchy_.dramLatency() && Tracer::active()) {
+        // DRAM-bound access on the accelerator's local timeline.
+        Tracer::global().instantLocal(
+            "mem", "accel-dram", issue,
+            {{"addr", uint64_t(addr)}, {"latency", uint64_t(latency)}});
+    }
     result.value = value;
     result.done_cycle = issue + latency;
     entry_amat_[seq].sample(double(result.done_cycle - ready_cycle));

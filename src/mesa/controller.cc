@@ -6,6 +6,7 @@
 #include "util/debug.hh"
 #include "interconnect/folded.hh"
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace mesa::core
 {
@@ -42,39 +43,148 @@ accumulate(AccelRunResult &total, const AccelRunResult &epoch)
 
 } // namespace
 
+void
+TransparentRunResult::registerInto(StatsRegistry &registry,
+                                   const std::string &prefix) const
+{
+    auto set = [&](const std::string &key, double v) {
+        registry.scalar(prefix + key, v);
+    };
+    set("total_cycles", double(total_cycles));
+    set("cpu.cycles", double(cpu_cycles));
+    set("cpu.instructions", double(cpu_instructions));
+    set("cpu.mispredicts", double(cpu.mispredicts));
+    set("cpu.dram_accesses", double(cpu.dram_accesses));
+    set("accel.cycles", double(accel_cycles));
+    set("offloads", double(offloads.size()));
+    set("rejections", double(rejections.size()));
+    set("accel.iterations", double(acceleratedIterations()));
+    for (size_t i = 0; i < offloads.size(); ++i) {
+        const auto &o = offloads[i];
+        const std::string p =
+            prefix + "offload" + std::to_string(i) + ".";
+        registry.scalar(p + "config_cycles",
+                        double(o.totalConfigCycles()));
+        registry.scalar(p + "encode_cycles", double(o.encode_cycles));
+        registry.scalar(p + "mapping_cycles", double(o.mapping_cycles));
+        registry.scalar(p + "stream_cycles", double(o.config_cycles));
+        registry.scalar(p + "cache_hit", o.config_cache_hit ? 1.0 : 0.0);
+        registry.scalar(p + "cpu_overlap_iterations",
+                        double(o.cpu_overlap_iterations));
+        registry.scalar(p + "reconfig_cycles",
+                        double(o.reconfig_cycles));
+        registry.scalar(p + "reconfigurations",
+                        double(o.reconfigurations));
+        registry.scalar(p + "tiles", double(o.tile_factor));
+        registry.scalar(p + "pipelined", o.pipelined ? 1.0 : 0.0);
+        registry.scalar(p + "unmapped", double(o.unmapped));
+        registry.scalar(p + "iterations", double(o.accel_iterations));
+        registry.scalar(p + "cycles", double(o.accel_cycles));
+        registry.scalar(p + "loads", double(o.accel.loads));
+        registry.scalar(p + "stores", double(o.accel.stores));
+        registry.scalar(p + "forwards",
+                        double(o.accel.store_load_forwards));
+        registry.scalar(p + "invalidations",
+                        double(o.accel.load_invalidations));
+        registry.scalar(p + "noc_transfers",
+                        double(o.accel.noc_transfers));
+        registry.scalar(p + "dram_accesses",
+                        double(o.accel.dram_accesses));
+        registry.scalar(p + "disabled_ops",
+                        double(o.accel.disabled_ops));
+        registry.scalar(p + "pes_used", double(o.accel.pes_used));
+        registry.scalar(p + "model_latency", o.model_latency);
+    }
+}
+
 StatGroup
 TransparentRunResult::toStats(const std::string &name) const
 {
+    // One flattening walk, shared with --stats-json: register into a
+    // scratch registry, then copy the scalar views into the group.
+    StatsRegistry registry;
+    registerInto(registry);
     StatGroup g(name);
-    g.set("total_cycles", double(total_cycles));
-    g.set("cpu.cycles", double(cpu_cycles));
-    g.set("cpu.instructions", double(cpu_instructions));
-    g.set("cpu.mispredicts", double(cpu.mispredicts));
-    g.set("cpu.dram_accesses", double(cpu.dram_accesses));
-    g.set("accel.cycles", double(accel_cycles));
-    g.set("offloads", double(offloads.size()));
-    g.set("rejections", double(rejections.size()));
-    g.set("accel.iterations", double(acceleratedIterations()));
-    for (size_t i = 0; i < offloads.size(); ++i) {
-        const auto &o = offloads[i];
-        const std::string p = "offload" + std::to_string(i) + ".";
-        g.set(p + "config_cycles", double(o.totalConfigCycles()));
-        g.set(p + "reconfig_cycles", double(o.reconfig_cycles));
-        g.set(p + "reconfigurations", double(o.reconfigurations));
-        g.set(p + "tiles", double(o.tile_factor));
-        g.set(p + "iterations", double(o.accel_iterations));
-        g.set(p + "cycles", double(o.accel_cycles));
-        g.set(p + "loads", double(o.accel.loads));
-        g.set(p + "stores", double(o.accel.stores));
-        g.set(p + "forwards", double(o.accel.store_load_forwards));
-        g.set(p + "invalidations",
-              double(o.accel.load_invalidations));
-        g.set(p + "noc_transfers", double(o.accel.noc_transfers));
-        g.set(p + "dram_accesses", double(o.accel.dram_accesses));
-        g.set(p + "disabled_ops", double(o.accel.disabled_ops));
-        g.set(p + "model_latency", o.model_latency);
-    }
+    for (const auto &[key, value] : registry.flatValues())
+        g.set(key, value);
     return g;
+}
+
+void
+MesaController::attachStats(StatsRegistry *registry,
+                            uint64_t snapshot_iterations)
+{
+    stats_ = registry;
+    snapshot_iterations_ = snapshot_iterations;
+    snapshot_accum_ = 0;
+    live_ = LiveStats{};
+    if (!stats_)
+        return;
+    live_.offloads = &stats_->counter("mesa.offloads");
+    live_.rejections = &stats_->counter("mesa.rejections");
+    live_.cache_hits = &stats_->counter("mesa.config_cache.hits");
+    live_.cache_misses = &stats_->counter("mesa.config_cache.misses");
+    live_.encode_cycles = &stats_->counter("mesa.phase.encode_cycles");
+    live_.mapping_cycles = &stats_->counter("mesa.phase.mapping_cycles");
+    live_.config_cycles = &stats_->counter("mesa.phase.config_cycles");
+    live_.imap_instructions = &stats_->counter("mesa.imap.instructions");
+    live_.reconfig_count = &stats_->counter("mesa.reconfig.count");
+    live_.reconfig_cycles = &stats_->counter("mesa.reconfig.cycles");
+    live_.optimizer_attempts =
+        &stats_->counter("mesa.optimizer.attempts");
+    live_.optimizer_remaps = &stats_->counter("mesa.optimizer.remaps");
+    live_.epochs = &stats_->counter("mesa.epochs");
+    live_.accel_cycles = &stats_->counter("accel.cycles");
+    live_.accel_iterations = &stats_->counter("accel.iterations");
+    live_.epoch_cycles =
+        &stats_->histogram("mesa.epoch.cycles", 32, 256.0);
+    live_.epoch_cycles_per_iter =
+        &stats_->average("mesa.epoch.cycles_per_iter");
+}
+
+uint64_t
+MesaController::tracePreparePhases(const Prepared &prep,
+                                   const OffloadStats &os, uint64_t t0)
+{
+    if (stats_) {
+        *live_.encode_cycles += os.encode_cycles;
+        *live_.mapping_cycles += os.mapping_cycles;
+        *live_.config_cycles += os.config_cycles;
+        *live_.imap_instructions += prep.map.imap_trace.size();
+        if (os.config_cache_hit)
+            ++*live_.cache_hits;
+        else
+            ++*live_.cache_misses;
+    }
+    if (!Tracer::active())
+        return t0 + os.totalConfigCycles();
+
+    // The three spans' durations are exactly the OffloadStats phase
+    // fields, so the mesa.ctrl track totals reconcile with the stats.
+    Tracer &tracer = Tracer::global();
+    uint64_t t = t0;
+    if (os.encode_cycles > 0) {
+        tracer.span("mesa.ctrl", "encode", t, os.encode_cycles,
+                    {{"nodes", uint64_t(prep.ldfg.size())},
+                     {"pc", uint64_t(os.region_start)}});
+        t += os.encode_cycles;
+    }
+    if (os.mapping_cycles > 0) {
+        tracer.span(
+            "mesa.ctrl", "map", t, os.mapping_cycles,
+            {{"instructions", uint64_t(prep.map.imap_trace.size())},
+             {"unmapped", uint64_t(prep.map.unmapped.size())},
+             {"model_latency", prep.map.model_latency}});
+        emitImapTrace(tracer, "mesa.imap", prep.map.imap_trace, t);
+        t += os.mapping_cycles;
+    }
+    if (os.config_cycles > 0) {
+        tracer.span("mesa.ctrl", "config-stream", t, os.config_cycles,
+                    {{"cache_hit", os.config_cache_hit ? 1 : 0},
+                     {"tiles", prep.options.tile_factor}});
+        t += os.config_cycles;
+    }
+    return t;
 }
 
 MesaController::MesaController(const MesaParams &params,
@@ -236,6 +346,13 @@ MesaController::runWithOptimization(Prepared &prep,
     uint64_t remaining = max_iterations;
     int attempts = 0;
 
+    // Timeline cursor: epochs and reconfigurations lay out back-to-
+    // back on the absolute timeline starting from the current instant.
+    Tracer &tracer = Tracer::global();
+    const uint64_t entry_base = tracer.base();
+    const uint64_t offload_start = tracer.now();
+    uint64_t cursor = offload_start;
+
     while (remaining > 0) {
         const bool may_optimize = params_.iterative_optimization &&
                                   attempts < params_.max_reconfigs;
@@ -244,6 +361,10 @@ MesaController::runWithOptimization(Prepared &prep,
                 ? std::min(remaining, params_.profile_epoch_iterations)
                 : remaining;
 
+        // The accelerator (and its LS-entry DRAM instants) emits on a
+        // local 0-based timeline; anchor it at the cursor.
+        if (Tracer::active())
+            tracer.setBase(cursor);
         AccelRunResult res = accel_.run(state, epoch);
         DTRACE("controller", "epoch: " << res.iterations
                                        << " iterations in "
@@ -254,12 +375,37 @@ MesaController::runWithOptimization(Prepared &prep,
         os.accel_cycles += res.cycles;
         os.accel_iterations += res.iterations;
         remaining -= std::min(remaining, res.iterations);
+        if (stats_) {
+            ++*live_.epochs;
+            *live_.accel_cycles += res.cycles;
+            *live_.accel_iterations += res.iterations;
+            live_.epoch_cycles->sample(double(res.cycles));
+            if (res.iterations > 0)
+                live_.epoch_cycles_per_iter->sample(
+                    double(res.cycles) / double(res.iterations));
+            snapshot_accum_ += res.iterations;
+            if (snapshot_iterations_ > 0 &&
+                snapshot_accum_ >= snapshot_iterations_) {
+                stats_->snapshot(
+                    "iter" +
+                    std::to_string(live_.accel_iterations->value()));
+                snapshot_accum_ = 0;
+            }
+        }
+        if (Tracer::active())
+            tracer.span("accel", "epoch", cursor, res.cycles,
+                        {{"iterations", res.iterations},
+                         {"tiles", os.tile_factor},
+                         {"pes_used", uint64_t(res.pes_used)}});
+        cursor += res.cycles;
         if (res.completed)
             break;
         if (!may_optimize)
             continue;
 
         ++attempts;
+        if (stats_)
+            ++*live_.optimizer_attempts;
         IterativeOptimizer::applyFeedback(prep.ldfg, accel_);
 
         // Loop-level feedback first: if the profiled epoch left grid
@@ -277,11 +423,24 @@ MesaController::runWithOptimization(Prepared &prep,
             ++os.reconfigurations;
             // With a shadow plane the bitstream streams during the
             // previous epoch; only the swap stalls the array.
-            os.reconfig_cycles +=
+            const uint64_t cost =
                 params_.shadow_config
                     ? 1
                     : config_block_.configCycles(prep.config);
+            os.reconfig_cycles += cost;
             os.tile_factor = prep.config.tileCount();
+            if (stats_) {
+                ++*live_.reconfig_count;
+                *live_.reconfig_cycles += cost;
+            }
+            if (Tracer::active())
+                tracer.span("mesa.ctrl",
+                            params_.shadow_config ? "shadow-swap"
+                                                  : "reconfig",
+                            cursor, cost,
+                            {{"tiles", os.tile_factor},
+                             {"reason", "tile-scale"}});
+            cursor += cost;
             continue;
         }
 
@@ -289,6 +448,12 @@ MesaController::runWithOptimization(Prepared &prep,
         // and edge latencies.
         const OptimizeOutcome outcome =
             optimizer.optimize(prep.ldfg, os.model_latency);
+        if (Tracer::active())
+            tracer.instant(
+                "mesa.ctrl", "optimize-attempt", cursor,
+                {{"old_model_latency", outcome.old_model_latency},
+                 {"new_model_latency", outcome.new_model_latency},
+                 {"remapped", outcome.remapped ? 1 : 0}});
         if (outcome.remapped) {
             prep.map = outcome.map;
             prep.config = config_block_.build(
@@ -305,11 +470,34 @@ MesaController::runWithOptimization(Prepared &prep,
                 params_.shadow_config
                     ? 1
                     : config_block_.configCycles(prep.config);
-            os.reconfig_cycles +=
+            const uint64_t cost =
                 prep.map.mapping_cycles + stream_cost;
+            os.reconfig_cycles += cost;
             os.model_latency = outcome.new_model_latency;
+            if (stats_) {
+                ++*live_.reconfig_count;
+                ++*live_.optimizer_remaps;
+                *live_.reconfig_cycles += cost;
+                *live_.mapping_cycles += prep.map.mapping_cycles;
+                *live_.imap_instructions += prep.map.imap_trace.size();
+            }
+            if (Tracer::active()) {
+                tracer.span(
+                    "mesa.ctrl", "remap", cursor, cost,
+                    {{"model_latency", outcome.new_model_latency},
+                     {"mapping_cycles", prep.map.mapping_cycles},
+                     {"stream_cycles", stream_cost}});
+                emitImapTrace(tracer, "mesa.imap", prep.map.imap_trace,
+                              cursor);
+            }
+            cursor += cost;
         }
     }
+
+    // Shift the time base past the offload so the caller's timeline
+    // (base + its own published cycle) resumes after the last epoch.
+    if (Tracer::active())
+        tracer.setBase(entry_base + (cursor - offload_start));
 }
 
 std::optional<OffloadStats>
@@ -352,6 +540,16 @@ MesaController::offloadLoop(const std::vector<Instruction> &body,
         config_cache_.insert(prep.config);
     }
 
+    // In the lower-level entry there is no CPU to overlap with: the
+    // configuration phases occupy the timeline before the first epoch.
+    Tracer &tracer = Tracer::global();
+    const uint64_t t0 = tracer.now();
+    const uint64_t t1 = tracePreparePhases(prep, os, t0);
+    if (Tracer::active())
+        tracer.setBase(tracer.base() + (t1 - t0));
+    if (stats_)
+        ++*live_.offloads;
+
     runWithOptimization(prep, state, max_iterations, os);
     return os;
 }
@@ -382,6 +580,10 @@ MesaController::runTransparent(const riscv::Program &program,
 
     emu.setObserver([&](const TraceEntry &entry) {
         core.consume(entry);
+        // Publish the committed CPU cycle so passive observers (the
+        // monitor's decision instants) can stamp events with now().
+        if (Tracer::active())
+            Tracer::global().setCycle(core.cycles());
         monitor.observe(entry);
         ctx.last_entry = entry;
         if (entry.inst.isBackwardBranch() && entry.branch_taken) {
@@ -391,6 +593,8 @@ MesaController::runTransparent(const riscv::Program &program,
         }
     });
 
+    Tracer &tracer = Tracer::global();
+    uint64_t cpu_seg_start = tracer.now();
     uint64_t steps = 0;
     while (!emu.halted() && steps < params_.max_steps) {
         emu.step();
@@ -400,6 +604,8 @@ MesaController::runTransparent(const riscv::Program &program,
         if (!decision)
             continue;
         if (!decision->qualified) {
+            if (stats_)
+                ++*live_.rejections;
             result.rejections.push_back(*decision);
             monitor.rearm();
             continue;
@@ -445,6 +651,12 @@ MesaController::runTransparent(const riscv::Program &program,
             continue;
         }
 
+        // MESA's configuration phases run concurrently with the CPU:
+        // lay them on the controller tracks starting at the decision
+        // instant, without advancing the CPU's time base.
+        const uint64_t decision_cycle = tracer.now();
+        tracePreparePhases(prep, os, decision_cycle);
+
         // --- CPU executes iterations while MESA configures. ---
         const uint64_t iter_cost = std::max<uint64_t>(
             1, ctx.last_iter_cost);
@@ -480,12 +692,38 @@ MesaController::runTransparent(const riscv::Program &program,
         }
 
         // --- Offload: transfer architectural state, run, return. ---
+        if (Tracer::active()) {
+            // Close the CPU execution segment at the handoff point
+            // and mark the configuration overlap window.
+            const uint64_t handoff = tracer.now();
+            if (handoff > cpu_seg_start)
+                tracer.span("cpu0", "execute", cpu_seg_start,
+                            handoff - cpu_seg_start);
+            if (handoff > decision_cycle)
+                tracer.span("cpu0", "config-overlap", decision_cycle,
+                            handoff - decision_cycle,
+                            {{"iterations", overlap_iters},
+                             {"config_cycles",
+                              os.totalConfigCycles()}});
+        }
+        if (stats_)
+            ++*live_.offloads;
         runWithOptimization(prep, emu.state(), ~uint64_t(0), os);
+        cpu_seg_start = tracer.now();
         result.offloads.push_back(os);
         monitor.rearm();
     }
 
     result.cpu_cycles = core.finish();
+    if (Tracer::active()) {
+        // Close the trailing CPU segment with the drained pipeline's
+        // final cycle count.
+        const uint64_t end = tracer.base() + result.cpu_cycles;
+        tracer.setCycle(result.cpu_cycles);
+        if (end > cpu_seg_start)
+            tracer.span("cpu0", "execute", cpu_seg_start,
+                        end - cpu_seg_start);
+    }
     result.cpu_instructions = core.stats().instructions;
     result.cpu.cycles = result.cpu_cycles;
     result.cpu.instructions = core.stats().instructions;

@@ -24,6 +24,7 @@
 #include "mesa/mapper.hh"
 #include "mesa/optimizer.hh"
 #include "util/stats.hh"
+#include "util/stats_registry.hh"
 
 namespace mesa::core
 {
@@ -138,6 +139,14 @@ struct TransparentRunResult
 
     /** Flatten the run into a dumpable gem5-style stat group. */
     StatGroup toStats(const std::string &name = "mesa") const;
+
+    /**
+     * Register every run statistic into a stats registry under
+     * @p prefix (e.g. "run."): the single flattening walk that
+     * toStats, --stats-json, and tests all share.
+     */
+    void registerInto(StatsRegistry &registry,
+                      const std::string &prefix = "") const;
 };
 
 /** The MESA hardware controller. */
@@ -175,6 +184,20 @@ class MesaController
     const MesaParams &params() const { return params_; }
     ConfigCache &configCache() { return config_cache_; }
 
+    /**
+     * Attach a stats registry: the controller registers its live
+     * counters (phase cycles, cache hits, epochs, reconfigs,
+     * optimizer outcomes) under "mesa.*"/"accel.*" and keeps them
+     * current while running. Optional; pass nullptr to detach. The
+     * registry must outlive the controller's runs.
+     *
+     * @param snapshot_iterations record a registry snapshot every
+     *        N accelerated iterations (0 disables; epochs still
+     *        bound the granularity, see profile_epoch_iterations)
+     */
+    void attachStats(StatsRegistry *registry,
+                     uint64_t snapshot_iterations = 0);
+
     /** Convert accelerator cycles to nanoseconds at the MESA clock. */
     double
     cyclesToNs(uint64_t cycles) const
@@ -201,12 +224,48 @@ class MesaController
     void runWithOptimization(Prepared &prep, riscv::ArchState &state,
                              uint64_t max_iterations, OffloadStats &os);
 
+    /**
+     * Emit the controller-phase timeline spans (encode, per-
+     * instruction imap, config streaming) for a prepared offload,
+     * starting at absolute cycle @p t0. Also feeds the live phase
+     * counters. Returns t0 + totalConfigCycles().
+     */
+    uint64_t tracePreparePhases(const Prepared &prep,
+                                const OffloadStats &os, uint64_t t0);
+
+    /** Live stats registered into the attached registry. */
+    struct LiveStats
+    {
+        Counter *offloads = nullptr;
+        Counter *rejections = nullptr;
+        Counter *cache_hits = nullptr;
+        Counter *cache_misses = nullptr;
+        Counter *encode_cycles = nullptr;
+        Counter *mapping_cycles = nullptr;
+        Counter *config_cycles = nullptr;
+        Counter *imap_instructions = nullptr;
+        Counter *reconfig_count = nullptr;
+        Counter *reconfig_cycles = nullptr;
+        Counter *optimizer_attempts = nullptr;
+        Counter *optimizer_remaps = nullptr;
+        Counter *epochs = nullptr;
+        Counter *accel_cycles = nullptr;
+        Counter *accel_iterations = nullptr;
+        Histogram *epoch_cycles = nullptr;
+        Average *epoch_cycles_per_iter = nullptr;
+    };
+
     MesaParams params_;
     mem::MainMemory &memory_;
     accel::Accelerator accel_;
     InstructionMapper mapper_;
     ConfigBlock config_block_;
     ConfigCache config_cache_;
+
+    StatsRegistry *stats_ = nullptr;
+    LiveStats live_;
+    uint64_t snapshot_iterations_ = 0;
+    uint64_t snapshot_accum_ = 0; ///< Iterations since last snapshot.
 };
 
 } // namespace mesa::core

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "util/trace.hh"
+
 namespace mesa::core
 {
 
@@ -57,6 +59,23 @@ ImapFsm::reset()
 {
     total_cycles_ = 0;
     trace_.clear();
+}
+
+uint64_t
+emitImapTrace(Tracer &tracer, const std::string &track,
+              const std::vector<ImapTraceEntry> &trace,
+              uint64_t base_cycle)
+{
+    uint64_t t = base_cycle;
+    for (const auto &e : trace) {
+        tracer.span(
+            track, "imap i" + std::to_string(e.instruction), t, e.total,
+            {{"reduce_cycles",
+              uint64_t(e.stage_cycles[size_t(ImapState::Reduce)])},
+             {"total_cycles", uint64_t(e.total)}});
+        t += e.total;
+    }
+    return t;
 }
 
 } // namespace mesa::core

@@ -16,6 +16,11 @@
 #include <string>
 #include <vector>
 
+namespace mesa
+{
+class Tracer;
+}
+
 namespace mesa::core
 {
 
@@ -78,6 +83,18 @@ class ImapFsm
     uint64_t total_cycles_ = 0;
     std::vector<ImapTraceEntry> trace_;
 };
+
+/**
+ * Lay a recorded imap pass on a tracer track: one span per mapped
+ * instruction (duration = its total stage cycles, reduce cycles and
+ * candidate depth as args), packed back-to-back from @p base_cycle —
+ * the FSM maps strictly sequentially, so the packing is exact.
+ *
+ * @return the cycle one past the last span (base + total cycles)
+ */
+uint64_t emitImapTrace(Tracer &tracer, const std::string &track,
+                       const std::vector<ImapTraceEntry> &trace,
+                       uint64_t base_cycle);
 
 } // namespace mesa::core
 

@@ -180,6 +180,7 @@ InstructionMapper::map(const Ldfg &ldfg) const
     }
 
     res.mapping_cycles = fsm.totalCycles();
+    res.imap_trace = fsm.trace();
     res.model_latency =
         *std::max_element(res.completion.begin(), res.completion.end());
     return res;

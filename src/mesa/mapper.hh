@@ -60,6 +60,9 @@ struct MapResult
     /** imap FSM cycles consumed by the mapping pass (Fig. 8). */
     uint64_t mapping_cycles = 0;
 
+    /** Per-instruction imap stage records (timeline tracing, Fig. 8). */
+    std::vector<ImapTraceEntry> imap_trace;
+
     bool fullyMapped() const { return unmapped.empty(); }
 };
 

@@ -6,6 +6,13 @@ namespace mesa
 {
 
 void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[key, value] : other.values())
+        add(key, value);
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
     for (const auto &[key, value] : values_) {

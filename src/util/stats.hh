@@ -8,11 +8,14 @@
 #ifndef MESA_UTIL_STATS_HH
 #define MESA_UTIL_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/logging.hh"
 
 namespace mesa
 {
@@ -64,19 +67,40 @@ class Histogram
     /**
      * @param num_buckets number of equal-width buckets
      * @param bucket_width width of each bucket; samples beyond the last
-     *                     bucket accumulate in an overflow bucket
+     *                     bucket accumulate in an overflow bucket, and
+     *                     negative samples in an underflow bucket
      */
     explicit Histogram(size_t num_buckets = 16, double bucket_width = 4.0)
         : buckets_(num_buckets, 0), width_(bucket_width)
-    {}
+    {
+        // Constructed in-line by many components, so validate here
+        // (a zero/negative width would fold every sample into bucket
+        // 0 or, worse, index with a huge negative-division result).
+        if (!(bucket_width > 0.0))
+            fatal("Histogram: bucket_width must be positive, got ",
+                  bucket_width);
+        if (num_buckets == 0)
+            fatal("Histogram: need at least one bucket");
+    }
 
     void
     sample(double v)
     {
         ++samples_;
         sum_ += v;
-        if (v > max_) max_ = v;
-        size_t idx = static_cast<size_t>(v / width_);
+        if (samples_ == 1) {
+            min_ = max_ = v;
+        } else {
+            if (v < min_) min_ = v;
+            if (v > max_) max_ = v;
+        }
+        // A negative sample must not cast to size_t (it would wrap to
+        // a huge index and silently land in overflow).
+        if (v < 0.0) {
+            ++underflow_;
+            return;
+        }
+        const size_t idx = static_cast<size_t>(v / width_);
         if (idx >= buckets_.size())
             ++overflow_;
         else
@@ -85,26 +109,34 @@ class Histogram
 
     uint64_t samples() const { return samples_; }
     double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
-    double max() const { return max_; }
+    /** True minimum/maximum of all samples; 0 before any sample. */
+    double min() const { return samples_ ? min_ : 0.0; }
+    double max() const { return samples_ ? max_ : 0.0; }
+    uint64_t underflow() const { return underflow_; }
     uint64_t overflow() const { return overflow_; }
+    double bucketWidth() const { return width_; }
     const std::vector<uint64_t> &buckets() const { return buckets_; }
 
     void
     reset()
     {
         std::fill(buckets_.begin(), buckets_.end(), 0);
+        underflow_ = 0;
         overflow_ = 0;
         samples_ = 0;
         sum_ = 0.0;
+        min_ = 0.0;
         max_ = 0.0;
     }
 
   private:
     std::vector<uint64_t> buckets_;
     double width_;
+    uint64_t underflow_ = 0;
     uint64_t overflow_ = 0;
     uint64_t samples_ = 0;
     double sum_ = 0.0;
+    double min_ = 0.0;
     double max_ = 0.0;
 };
 
@@ -118,7 +150,21 @@ class StatGroup
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
     void set(const std::string &key, double v) { values_[key] = v; }
-    void add(const std::string &key, double v) { values_[key] += v; }
+
+    /** Add to a key, treating a missing key as an explicit 0.0. */
+    void
+    add(const std::string &key, double v)
+    {
+        auto [it, inserted] = values_.try_emplace(key, 0.0);
+        it->second += v;
+    }
+
+    /**
+     * Fold another group into this one, adding values key-by-key
+     * (missing keys start at 0.0). Lets multi-offload runs accumulate
+     * per-offload groups without manual loops.
+     */
+    void merge(const StatGroup &other);
 
     double
     get(const std::string &key) const

@@ -1,0 +1,323 @@
+#include "util/stats_registry.hh"
+
+#include <iomanip>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace mesa
+{
+
+void
+StatsRegistry::checkInsertable(const std::string &path) const
+{
+    if (path.empty() || path.front() == '.' || path.back() == '.' ||
+        path.find("..") != std::string::npos) {
+        panic("StatsRegistry: malformed path '", path, "'");
+    }
+    if (entries_.count(path))
+        panic("StatsRegistry: duplicate path '", path, "'");
+    // A leaf may not also be an interior node of the dotted tree:
+    // reject any registered path that extends this one...
+    auto it = entries_.lower_bound(path + ".");
+    if (it != entries_.end() && it->first.compare(0, path.size() + 1,
+                                                  path + ".") == 0) {
+        panic("StatsRegistry: path '", path,
+              "' is a prefix of registered '", it->first, "'");
+    }
+    // ...and any ancestor of this one that is already a leaf.
+    for (size_t dot = path.find('.'); dot != std::string::npos;
+         dot = path.find('.', dot + 1)) {
+        const std::string ancestor = path.substr(0, dot);
+        if (entries_.count(ancestor)) {
+            panic("StatsRegistry: registered path '", ancestor,
+                  "' is a prefix of '", path, "'");
+        }
+    }
+}
+
+StatsRegistry::Entry &
+StatsRegistry::insert(const std::string &path, Entry e)
+{
+    checkInsertable(path);
+    return entries_.emplace(path, std::move(e)).first->second;
+}
+
+Counter &
+StatsRegistry::counter(const std::string &path)
+{
+    auto owned = std::make_shared<Counter>(path);
+    Entry e;
+    e.kind = Kind::CounterStat;
+    e.counter = owned.get();
+    e.owned = owned;
+    insert(path, std::move(e));
+    return *owned;
+}
+
+Average &
+StatsRegistry::average(const std::string &path)
+{
+    auto owned = std::make_shared<Average>();
+    Entry e;
+    e.kind = Kind::AverageStat;
+    e.average = owned.get();
+    e.owned = owned;
+    insert(path, std::move(e));
+    return *owned;
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &path, size_t num_buckets,
+                         double bucket_width)
+{
+    auto owned = std::make_shared<Histogram>(num_buckets, bucket_width);
+    Entry e;
+    e.kind = Kind::HistogramStat;
+    e.histogram = owned.get();
+    e.owned = owned;
+    insert(path, std::move(e));
+    return *owned;
+}
+
+void
+StatsRegistry::linkCounter(const std::string &path, const Counter &c)
+{
+    Entry e;
+    e.kind = Kind::CounterStat;
+    e.counter = &c;
+    insert(path, std::move(e));
+}
+
+void
+StatsRegistry::linkAverage(const std::string &path, const Average &a)
+{
+    Entry e;
+    e.kind = Kind::AverageStat;
+    e.average = &a;
+    insert(path, std::move(e));
+}
+
+void
+StatsRegistry::linkHistogram(const std::string &path, const Histogram &h)
+{
+    Entry e;
+    e.kind = Kind::HistogramStat;
+    e.histogram = &h;
+    insert(path, std::move(e));
+}
+
+void
+StatsRegistry::scalar(const std::string &path, double value)
+{
+    auto it = entries_.find(path);
+    if (it != entries_.end()) {
+        if (it->second.kind != Kind::Scalar)
+            panic("StatsRegistry: duplicate path '", path, "'");
+        it->second.scalar = value;
+        return;
+    }
+    Entry e;
+    e.kind = Kind::Scalar;
+    e.scalar = value;
+    insert(path, std::move(e));
+}
+
+bool
+StatsRegistry::has(const std::string &path) const
+{
+    return entries_.count(path) > 0;
+}
+
+double
+StatsRegistry::scalarView(const Entry &e)
+{
+    switch (e.kind) {
+      case Kind::CounterStat: return double(e.counter->value());
+      case Kind::AverageStat: return e.average->mean();
+      case Kind::HistogramStat: return e.histogram->mean();
+      case Kind::Scalar: return e.scalar;
+    }
+    return 0.0;
+}
+
+double
+StatsRegistry::value(const std::string &path) const
+{
+    auto it = entries_.find(path);
+    return it == entries_.end() ? 0.0 : scalarView(it->second);
+}
+
+std::map<std::string, double>
+StatsRegistry::flatValues() const
+{
+    std::map<std::string, double> out;
+    for (const auto &[path, e] : entries_)
+        out[path] = scalarView(e);
+    return out;
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[path, e] : entries_) {
+        os << std::setprecision(6);
+        switch (e.kind) {
+          case Kind::HistogramStat: {
+            const Histogram &h = *e.histogram;
+            os << path << ".samples " << h.samples() << "\n";
+            os << path << ".mean " << h.mean() << "\n";
+            os << path << ".min " << h.min() << "\n";
+            os << path << ".max " << h.max() << "\n";
+            os << path << ".underflow " << h.underflow() << "\n";
+            os << path << ".overflow " << h.overflow() << "\n";
+            break;
+          }
+          case Kind::CounterStat:
+            os << path << " " << e.counter->value() << "\n";
+            break;
+          default:
+            os << path << " " << scalarView(e) << "\n";
+            break;
+        }
+    }
+}
+
+void
+StatsRegistry::toJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("stats").beginObject();
+
+    // The map is lexicographically sorted, so a stack of open dotted
+    // prefixes renders the tree in one pass: close scopes down to the
+    // common prefix, open scopes for the new segments, emit the leaf.
+    std::vector<std::string> open; // currently open segment names
+    auto segments = [](const std::string &path) {
+        std::vector<std::string> segs;
+        size_t start = 0;
+        for (size_t dot = path.find('.'); dot != std::string::npos;
+             dot = path.find('.', start)) {
+            segs.push_back(path.substr(start, dot - start));
+            start = dot + 1;
+        }
+        segs.push_back(path.substr(start));
+        return segs;
+    };
+
+    for (const auto &[path, e] : entries_) {
+        const auto segs = segments(path);
+        size_t common = 0;
+        while (common < open.size() && common + 1 < segs.size() &&
+               open[common] == segs[common]) {
+            ++common;
+        }
+        while (open.size() > common) {
+            w.end();
+            open.pop_back();
+        }
+        for (size_t i = common; i + 1 < segs.size(); ++i) {
+            w.key(segs[i]).beginObject();
+            open.push_back(segs[i]);
+        }
+
+        w.key(segs.back());
+        switch (e.kind) {
+          case Kind::CounterStat:
+            w.value(e.counter->value());
+            break;
+          case Kind::AverageStat:
+            w.beginObject()
+                .field("mean", e.average->mean())
+                .field("count", e.average->count())
+                .end();
+            break;
+          case Kind::HistogramStat: {
+            const Histogram &h = *e.histogram;
+            w.beginObject()
+                .field("samples", h.samples())
+                .field("mean", h.mean())
+                .field("min", h.min())
+                .field("max", h.max())
+                .field("underflow", h.underflow())
+                .field("overflow", h.overflow())
+                .field("bucket_width", h.bucketWidth())
+                .key("buckets")
+                .beginArray();
+            for (uint64_t b : h.buckets())
+                w.value(b);
+            w.end().end();
+            break;
+          }
+          case Kind::Scalar:
+            w.value(e.scalar);
+            break;
+        }
+    }
+    while (!open.empty()) {
+        w.end();
+        open.pop_back();
+    }
+    w.end(); // stats
+
+    w.key("snapshots").beginArray();
+    for (const auto &snap : snapshots_) {
+        w.beginObject().field("label", snap.label).key("values")
+            .beginObject();
+        for (const auto &[path, v] : snap.values)
+            w.field(path, v);
+        w.end().end();
+    }
+    w.end(); // snapshots
+
+    w.end(); // root object
+}
+
+void
+StatsRegistry::materialize()
+{
+    for (auto &[path, e] : entries_) {
+        if (e.owned || e.kind == Kind::Scalar)
+            continue;
+        switch (e.kind) {
+          case Kind::CounterStat: {
+            auto copy = std::make_shared<Counter>(*e.counter);
+            e.counter = copy.get();
+            e.owned = std::move(copy);
+            break;
+          }
+          case Kind::AverageStat: {
+            auto copy = std::make_shared<Average>(*e.average);
+            e.average = copy.get();
+            e.owned = std::move(copy);
+            break;
+          }
+          case Kind::HistogramStat: {
+            auto copy = std::make_shared<Histogram>(*e.histogram);
+            e.histogram = copy.get();
+            e.owned = std::move(copy);
+            break;
+          }
+          case Kind::Scalar:
+            break;
+        }
+    }
+}
+
+void
+StatsRegistry::snapshot(const std::string &label)
+{
+    Snapshot s;
+    s.label = label;
+    s.values = flatValues();
+    snapshots_.push_back(std::move(s));
+}
+
+void
+StatsRegistry::clear()
+{
+    entries_.clear();
+    snapshots_.clear();
+}
+
+} // namespace mesa

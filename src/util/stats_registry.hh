@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Hierarchical statistics registry: components register Counter /
+ * Average / Histogram objects (or plain scalar results) under dotted
+ * paths like "cpu0.rob.stalls" or "mesa.mapper.imap_iters", and the
+ * registry renders them all in one walk — gem5-style text via dump()
+ * or nested JSON via toJson(). Live stats can be registered by
+ * reference (link*) so hot-path components keep bumping their own
+ * counters with no indirection; registry-owned stats (counter() /
+ * average() / histogram()) cover components without their own storage.
+ *
+ * Duplicate paths, and paths that would make a leaf both a value and
+ * an object in the JSON tree (one registered path being a dotted
+ * prefix of another), are rejected with panic().
+ */
+
+#ifndef MESA_UTIL_STATS_REGISTRY_HH
+#define MESA_UTIL_STATS_REGISTRY_HH
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace mesa
+{
+
+class JsonWriter;
+
+/** The registry. Not copyable (linked stats reference live objects). */
+class StatsRegistry
+{
+  public:
+    StatsRegistry() = default;
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    // ----- registry-owned stats (create and return a reference) -----
+    Counter &counter(const std::string &path);
+    Average &average(const std::string &path);
+    Histogram &histogram(const std::string &path, size_t num_buckets = 16,
+                         double bucket_width = 4.0);
+
+    // ----- externally owned stats, registered by reference -----
+    void linkCounter(const std::string &path, const Counter &c);
+    void linkAverage(const std::string &path, const Average &a);
+    void linkHistogram(const std::string &path, const Histogram &h);
+
+    /**
+     * Register (or update) a plain scalar value. Re-setting an
+     * existing scalar path overwrites it; colliding with a non-scalar
+     * registration panics like any other duplicate.
+     */
+    void scalar(const std::string &path, double value);
+
+    bool has(const std::string &path) const;
+    size_t size() const { return entries_.size(); }
+
+    /**
+     * Scalar view of one stat: a counter's value, an average's mean,
+     * a histogram's mean, or the scalar itself. 0.0 when absent.
+     */
+    double value(const std::string &path) const;
+
+    /** Every stat flattened to its scalar view, keyed by path. */
+    std::map<std::string, double> flatValues() const;
+
+    /** Dump "path value" lines (histograms expand to summary rows). */
+    void dump(std::ostream &os) const;
+
+    /**
+     * Emit the whole registry as one JSON object: a "stats" tree
+     * nested by dotted-path segments (histograms render as objects
+     * with buckets) and a "snapshots" array of labeled epoch records.
+     */
+    void toJson(JsonWriter &w) const;
+
+    /** Record a labeled snapshot of every stat's scalar view. */
+    void snapshot(const std::string &label);
+    size_t snapshotCount() const { return snapshots_.size(); }
+
+    /**
+     * Copy every externally linked stat into registry-owned storage,
+     * so the registry stays valid after the linked components are
+     * destroyed. Call when the measured system is torn down but the
+     * registry is rendered later.
+     */
+    void materialize();
+
+    /** Drop all registrations and snapshots. */
+    void clear();
+
+  private:
+    enum class Kind { CounterStat, AverageStat, HistogramStat, Scalar };
+
+    struct Entry
+    {
+        Kind kind = Kind::Scalar;
+        const Counter *counter = nullptr;
+        const Average *average = nullptr;
+        const Histogram *histogram = nullptr;
+        double scalar = 0.0;
+        // Owning storage for registry-created stats; the const
+        // pointers above alias it so rendering is uniform.
+        std::shared_ptr<void> owned;
+    };
+
+    struct Snapshot
+    {
+        std::string label;
+        std::map<std::string, double> values;
+    };
+
+    /** Validate the path and panic on duplicates/prefix conflicts. */
+    void checkInsertable(const std::string &path) const;
+    Entry &insert(const std::string &path, Entry e);
+    static double scalarView(const Entry &e);
+
+    std::map<std::string, Entry> entries_;
+    std::vector<Snapshot> snapshots_;
+};
+
+} // namespace mesa
+
+#endif // MESA_UTIL_STATS_REGISTRY_HH

@@ -1,0 +1,134 @@
+#include "util/trace.hh"
+
+#include "util/json.hh"
+
+namespace mesa
+{
+
+Tracer &
+Tracer::global()
+{
+    static Tracer t;
+    return t;
+}
+
+uint16_t
+Tracer::trackId(const std::string &track)
+{
+    for (size_t i = 0; i < tracks_.size(); ++i)
+        if (tracks_[i] == track)
+            return uint16_t(i);
+    tracks_.push_back(track);
+    return uint16_t(tracks_.size() - 1);
+}
+
+void
+Tracer::span(const std::string &track, const std::string &name,
+             uint64_t start, uint64_t duration,
+             std::initializer_list<TraceArg> args)
+{
+    if (!enabled_)
+        return;
+    if (events_.size() >= max_events_) {
+        ++dropped_;
+        return;
+    }
+    TraceEvent e;
+    e.track = trackId(track);
+    e.name = name;
+    e.start = start;
+    e.duration = duration;
+    e.args.assign(args.begin(), args.end());
+    events_.push_back(std::move(e));
+}
+
+void
+Tracer::instant(const std::string &track, const std::string &name,
+                uint64_t at, std::initializer_list<TraceArg> args)
+{
+    if (!enabled_)
+        return;
+    if (events_.size() >= max_events_) {
+        ++dropped_;
+        return;
+    }
+    TraceEvent e;
+    e.track = trackId(track);
+    e.instant = true;
+    e.name = name;
+    e.start = at;
+    e.args.assign(args.begin(), args.end());
+    events_.push_back(std::move(e));
+}
+
+void
+Tracer::exportJson(std::ostream &os) const
+{
+    // Chrome trace-event "JSON Array Format": every record carries
+    // pid/tid; tracks map to tids of one shared pid, named through
+    // thread_name metadata events. Timestamps are simulated cycles
+    // (the viewer displays them as microseconds; only ratios matter).
+    JsonWriter w;
+    w.beginArray();
+    for (size_t i = 0; i < tracks_.size(); ++i) {
+        w.beginObject()
+            .field("name", "thread_name")
+            .field("ph", "M")
+            .field("pid", 0)
+            .field("tid", uint64_t(i))
+            .key("args")
+            .beginObject()
+            .field("name", tracks_[i])
+            .end()
+            .end();
+        // Keep the viewer's track order equal to registration order.
+        w.beginObject()
+            .field("name", "thread_sort_index")
+            .field("ph", "M")
+            .field("pid", 0)
+            .field("tid", uint64_t(i))
+            .key("args")
+            .beginObject()
+            .field("sort_index", uint64_t(i))
+            .end()
+            .end();
+    }
+    for (const auto &e : events_) {
+        w.beginObject()
+            .field("name", e.name)
+            .field("cat", "mesa")
+            .field("ph", e.instant ? "i" : "X")
+            .field("ts", e.start)
+            .field("pid", 0)
+            .field("tid", uint64_t(e.track));
+        if (e.instant)
+            w.field("s", "t"); // thread-scoped instant
+        else
+            w.field("dur", e.duration);
+        if (!e.args.empty()) {
+            w.key("args").beginObject();
+            for (const auto &a : e.args) {
+                if (a.is_num)
+                    w.field(a.key, a.num);
+                else
+                    w.field(a.key, a.str);
+            }
+            w.end();
+        }
+        w.end();
+    }
+    w.end();
+    os << w.str();
+}
+
+void
+Tracer::clear()
+{
+    base_ = 0;
+    cycle_ = 0;
+    dropped_ = 0;
+    tracks_.clear();
+    events_.clear();
+}
+
+} // namespace mesa

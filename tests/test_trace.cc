@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Tests for the cycle-timeline event tracer and the hierarchical
+ * stats registry: emission gating, time-base arithmetic, Chrome
+ * trace-event JSON export (validated with a tiny JSON parser), and
+ * the registry's path rules, rendering, and snapshots.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mesa/imap_fsm.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/stats_registry.hh"
+#include "util/trace.hh"
+
+namespace
+{
+
+using namespace mesa;
+
+// ---------------------------------------------------------------------
+// Minimal JSON validity checker: enough of a recursive-descent parser
+// to confirm the exported trace is well-formed and to count the
+// top-level array elements. Not a general parser — test-only.
+// ---------------------------------------------------------------------
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool
+    validArray(size_t *num_elements = nullptr)
+    {
+        skipWs();
+        size_t n = 0;
+        if (!array(&n))
+            return false;
+        skipWs();
+        if (num_elements)
+            *num_elements = n;
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array(nullptr);
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array(size_t *count)
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        size_t n = 0;
+        while (true) {
+            if (!value())
+                return false;
+            ++n;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                if (count)
+                    *count = n;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\')
+                ++pos_; // skip the escaped character
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        const size_t len = std::string(lit).size();
+        if (s_.compare(pos_, len, lit) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+// The tracer is a process-global singleton: every test starts from a
+// clean, disabled state and restores it on exit.
+class TracerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Tracer::global().enable(false);
+        Tracer::global().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        Tracer::global().enable(false);
+        Tracer::global().clear();
+        Tracer::global().setMaxEvents(4'000'000);
+    }
+};
+
+// ---------------------------------------------------------------------
+// Tracer.
+// ---------------------------------------------------------------------
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing)
+{
+    Tracer &t = Tracer::global();
+    ASSERT_FALSE(Tracer::active());
+    t.span("cpu0", "execute", 0, 100);
+    t.instant("cpu0", "event", 50);
+    t.spanLocal("accel", "tile0", 0, 10);
+    EXPECT_EQ(t.eventCount(), 0u);
+    EXPECT_TRUE(t.tracks().empty());
+    EXPECT_EQ(t.droppedEvents(), 0u);
+}
+
+TEST_F(TracerTest, SpansNestOnOneTrack)
+{
+    Tracer &t = Tracer::global();
+    t.enable();
+    // An outer phase span with two sub-spans inside its interval, the
+    // way the controller lays encode/map inside an offload.
+    t.span("mesa.ctrl", "offload", 100, 50);
+    t.span("mesa.ctrl", "encode", 100, 20);
+    t.span("mesa.ctrl", "map", 120, 30);
+    ASSERT_EQ(t.eventCount(), 3u);
+    ASSERT_EQ(t.tracks().size(), 1u);
+    EXPECT_EQ(t.tracks()[0], "mesa.ctrl");
+
+    const auto &ev = t.events();
+    // All on the same track, and the children stay inside the parent.
+    EXPECT_EQ(ev[0].track, ev[1].track);
+    EXPECT_EQ(ev[1].track, ev[2].track);
+    EXPECT_GE(ev[1].start, ev[0].start);
+    EXPECT_LE(ev[1].start + ev[1].duration,
+              ev[0].start + ev[0].duration);
+    EXPECT_GE(ev[2].start, ev[1].start + ev[1].duration);
+    EXPECT_LE(ev[2].start + ev[2].duration,
+              ev[0].start + ev[0].duration);
+}
+
+TEST_F(TracerTest, TimeBaseShiftsLocalEmission)
+{
+    Tracer &t = Tracer::global();
+    t.enable();
+    t.setBase(1000);
+    t.setCycle(25);
+    EXPECT_EQ(t.now(), 1025u);
+
+    t.spanLocal("accel", "tile0", 10, 5);
+    t.instantLocal("mem", "accel-dram", 2);
+    ASSERT_EQ(t.eventCount(), 2u);
+    EXPECT_EQ(t.events()[0].start, 1010u);
+    EXPECT_EQ(t.events()[1].start, 1002u);
+    EXPECT_TRUE(t.events()[1].instant);
+
+    // Absolute emission ignores the base.
+    t.span("cpu0", "execute", 7, 3);
+    EXPECT_EQ(t.events()[2].start, 7u);
+}
+
+TEST_F(TracerTest, EventCapCountsDrops)
+{
+    Tracer &t = Tracer::global();
+    t.enable();
+    t.setMaxEvents(2);
+    t.instant("a", "x", 0);
+    t.instant("a", "y", 1);
+    t.instant("a", "z", 2);
+    EXPECT_EQ(t.eventCount(), 2u);
+    EXPECT_EQ(t.droppedEvents(), 1u);
+}
+
+TEST_F(TracerTest, ExportedJsonIsAValidChromeTraceArray)
+{
+    Tracer &t = Tracer::global();
+    t.enable();
+    t.span("cpu0", "execute", 0, 40,
+           {{"instructions", uint64_t(12)}, {"kind", "loop"}});
+    t.instant("cpu0", "loop-qualified", 40, {{"pc", uint64_t(0x1000)}});
+    t.span("accel", "epoch", 40, 100, {{"iterations", uint64_t(64)}});
+
+    std::ostringstream os;
+    t.exportJson(os);
+    const std::string text = os.str();
+
+    size_t elements = 0;
+    JsonChecker checker(text);
+    EXPECT_TRUE(checker.validArray(&elements)) << text;
+    // 2 tracks x 2 metadata records + 3 events.
+    EXPECT_EQ(elements, 7u);
+
+    // The Chrome trace-event essentials are present.
+    EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(text.find("\"dur\":40"), std::string::npos);
+    EXPECT_NE(text.find("\"iterations\":64"), std::string::npos);
+}
+
+TEST_F(TracerTest, ClearForgetsEventsAndBase)
+{
+    Tracer &t = Tracer::global();
+    t.enable();
+    t.setBase(500);
+    t.span("a", "s", 0, 1);
+    t.clear();
+    EXPECT_EQ(t.eventCount(), 0u);
+    EXPECT_TRUE(t.tracks().empty());
+    EXPECT_EQ(t.now(), 0u);
+    // clear() keeps the tracer enabled (it resets data, not config).
+    EXPECT_TRUE(Tracer::active());
+}
+
+TEST_F(TracerTest, EmitImapTracePacksSpansBackToBack)
+{
+    using namespace mesa::core;
+    ImapFsm fsm;
+    fsm.mapInstruction(4);
+    fsm.mapInstruction(1);
+    fsm.mapInstruction(9, 1);
+
+    Tracer &t = Tracer::global();
+    t.enable();
+    const uint64_t end =
+        emitImapTrace(t, "mesa.imap", fsm.trace(), 200);
+    EXPECT_EQ(end, 200 + fsm.totalCycles());
+    ASSERT_EQ(t.eventCount(), 3u);
+    // Spans tile the interval with no gaps or overlap.
+    uint64_t cursor = 200;
+    for (const auto &e : t.events()) {
+        EXPECT_EQ(e.start, cursor);
+        cursor += e.duration;
+    }
+    EXPECT_EQ(cursor, end);
+}
+
+// ---------------------------------------------------------------------
+// StatsRegistry.
+// ---------------------------------------------------------------------
+
+TEST(StatsRegistry, OwnedAndLinkedStats)
+{
+    StatsRegistry reg;
+    Counter &c = reg.counter("mesa.offloads");
+    c += 3;
+    Average &a = reg.average("mesa.epoch.cycles_per_iter");
+    a.sample(2.0);
+    a.sample(4.0);
+
+    Counter live("hits");
+    live += 7;
+    reg.linkCounter("mem.l1.hits", live);
+    ++live; // live stats stay live after registration
+
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_TRUE(reg.has("mesa.offloads"));
+    EXPECT_FALSE(reg.has("mesa.nope"));
+    EXPECT_DOUBLE_EQ(reg.value("mesa.offloads"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.value("mesa.epoch.cycles_per_iter"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.value("mem.l1.hits"), 8.0);
+    EXPECT_DOUBLE_EQ(reg.value("absent"), 0.0);
+}
+
+TEST(StatsRegistry, DuplicateAndPrefixPathsPanic)
+{
+    StatsRegistry reg;
+    reg.counter("cpu.cycles");
+    EXPECT_THROW(reg.counter("cpu.cycles"), PanicError);
+    EXPECT_THROW(reg.average("cpu.cycles"), PanicError);
+    // A leaf cannot also be an interior JSON node, in either order.
+    EXPECT_THROW(reg.counter("cpu.cycles.retired"), PanicError);
+    EXPECT_THROW(reg.counter("cpu"), PanicError);
+    // Malformed paths.
+    EXPECT_THROW(reg.counter(""), PanicError);
+    EXPECT_THROW(reg.counter(".x"), PanicError);
+    EXPECT_THROW(reg.counter("x."), PanicError);
+    EXPECT_THROW(reg.counter("a..b"), PanicError);
+    // Scalars may be re-set but not collide with other kinds.
+    reg.scalar("run.speedup", 2.0);
+    reg.scalar("run.speedup", 3.0);
+    EXPECT_DOUBLE_EQ(reg.value("run.speedup"), 3.0);
+    EXPECT_THROW(reg.scalar("cpu.cycles", 1.0), PanicError);
+}
+
+TEST(StatsRegistry, DumpAndJsonRenderTheTree)
+{
+    StatsRegistry reg;
+    reg.counter("mesa.offloads") += 2;
+    reg.scalar("run.total_cycles", 1234);
+    Histogram &h = reg.histogram("mesa.epoch.cycles", 4, 10.0);
+    h.sample(5.0);
+    h.sample(35.0);
+
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("mesa.offloads 2"), std::string::npos);
+    EXPECT_NE(text.find("run.total_cycles 1234"), std::string::npos);
+    EXPECT_NE(text.find("mesa.epoch.cycles.samples 2"),
+              std::string::npos);
+
+    JsonWriter w;
+    reg.toJson(w);
+    EXPECT_TRUE(w.balanced());
+    const std::string json = w.str();
+    // Dotted paths nest: mesa -> epoch -> cycles object.
+    EXPECT_NE(json.find("\"mesa\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"offloads\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\":[1,0,0,1]"), std::string::npos);
+    EXPECT_NE(json.find("\"total_cycles\":1234"), std::string::npos);
+    EXPECT_NE(json.find("\"snapshots\":[]"), std::string::npos);
+}
+
+TEST(StatsRegistry, SnapshotsCaptureScalarViews)
+{
+    StatsRegistry reg;
+    Counter &c = reg.counter("accel.iterations");
+    c += 10;
+    reg.snapshot("iter10");
+    c += 10;
+    reg.snapshot("iter20");
+    EXPECT_EQ(reg.snapshotCount(), 2u);
+
+    JsonWriter w;
+    reg.toJson(w);
+    const std::string json = w.str();
+    EXPECT_NE(json.find("\"label\":\"iter10\""), std::string::npos);
+    EXPECT_NE(json.find("\"accel.iterations\":10"), std::string::npos);
+    EXPECT_NE(json.find("\"accel.iterations\":20"), std::string::npos);
+}
+
+TEST(StatsRegistry, MaterializeDetachesLinkedStats)
+{
+    StatsRegistry reg;
+    {
+        Counter live("hits");
+        live += 5;
+        reg.linkCounter("mem.hits", live);
+        reg.materialize();
+        live += 100; // no longer visible: the registry owns a copy
+    } // linked object destroyed; registry must stay valid
+    EXPECT_DOUBLE_EQ(reg.value("mem.hits"), 5.0);
+}
+
+TEST(StatsRegistry, ClearEmptiesEverything)
+{
+    StatsRegistry reg;
+    reg.counter("a.b");
+    reg.snapshot("s");
+    reg.clear();
+    EXPECT_EQ(reg.size(), 0u);
+    EXPECT_EQ(reg.snapshotCount(), 0u);
+    // Paths are reusable after clear().
+    reg.counter("a.b");
+    EXPECT_TRUE(reg.has("a.b"));
+}
+
+} // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "util/debug.hh"
@@ -104,6 +105,62 @@ TEST(Stats, HistogramBucketsAndOverflow)
     EXPECT_DOUBLE_EQ(h.max(), 100.0);
     h.reset();
     EXPECT_EQ(h.samples(), 0u);
+}
+
+TEST(Stats, HistogramNegativeSamplesUnderflow)
+{
+    // The bug class this guards: a negative sample cast to size_t
+    // wrapped to a huge index and silently landed in overflow.
+    Histogram h(4, 10.0);
+    h.sample(-5.0);
+    h.sample(-1000.0);
+    h.sample(3.0);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.underflow(), 2u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_DOUBLE_EQ(h.min(), -1000.0);
+    EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(Stats, HistogramTracksTrueMinMax)
+{
+    Histogram h(4, 10.0);
+    // Before any sample, min/max read 0 (not stale extremes).
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    // All-negative samples: max must not stay at a default of 0.
+    h.sample(-3.0);
+    h.sample(-7.0);
+    EXPECT_DOUBLE_EQ(h.min(), -7.0);
+    EXPECT_DOUBLE_EQ(h.max(), -3.0);
+    h.reset();
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Stats, HistogramRejectsBadGeometry)
+{
+    EXPECT_THROW(Histogram(4, 0.0), FatalError);
+    EXPECT_THROW(Histogram(4, -1.0), FatalError);
+    EXPECT_THROW(Histogram(0, 4.0), FatalError);
+    EXPECT_DOUBLE_EQ(Histogram(4, 2.5).bucketWidth(), 2.5);
+}
+
+TEST(Stats, StatGroupMerge)
+{
+    StatGroup a("run");
+    a.set("cycles", 100);
+    a.set("loads", 5);
+    StatGroup b("epoch");
+    b.set("cycles", 50);
+    b.set("stores", 3);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("cycles"), 150.0);
+    EXPECT_DOUBLE_EQ(a.get("loads"), 5.0);
+    EXPECT_DOUBLE_EQ(a.get("stores"), 3.0); // missing key starts at 0
+    EXPECT_EQ(a.name(), "run");             // name is unaffected
 }
 
 TEST(Stats, StatGroupDump)
@@ -215,6 +272,56 @@ TEST(JsonWriter, ControlCharactersEscaped)
     JsonWriter w;
     w.beginObject().field("s", std::string("a\nb\tc")).end();
     EXPECT_EQ(w.str(), "{\"s\":\"a\\nb\\tc\"}");
+}
+
+TEST(JsonWriter, BackslashAndRawControlBytesEscaped)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("path", std::string("C:\\tmp\\x"))
+        .field("ctl", std::string("a\x01"
+                                  "b"))
+        .end();
+    EXPECT_EQ(w.str(),
+              "{\"path\":\"C:\\\\tmp\\\\x\",\"ctl\":\"a\\u0001b\"}");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("nan", std::numeric_limits<double>::quiet_NaN())
+        .field("inf", std::numeric_limits<double>::infinity())
+        .field("ninf", -std::numeric_limits<double>::infinity())
+        .field("ok", 1.5)
+        .end();
+    EXPECT_EQ(w.str(),
+              "{\"nan\":null,\"inf\":null,\"ninf\":null,\"ok\":1.5}");
+}
+
+TEST(JsonWriter, StrClosesDeeplyNestedScopes)
+{
+    JsonWriter w;
+    w.beginObject().key("a").beginObject().key("b").beginArray().value(
+        1);
+    EXPECT_FALSE(w.balanced());
+    // str() appends the pending closers without mutating the writer.
+    EXPECT_EQ(w.str(), "{\"a\":{\"b\":[1]}}");
+    EXPECT_EQ(w.str(), "{\"a\":{\"b\":[1]}}");
+    w.end().end().end();
+    EXPECT_TRUE(w.balanced());
+}
+
+TEST(JsonWriter, EmptyContainersAndSiblingCommas)
+{
+    JsonWriter w;
+    w.beginObject()
+        .key("empty_obj").beginObject().end()
+        .key("empty_arr").beginArray().end()
+        .field("after", 1)
+        .end();
+    EXPECT_EQ(w.str(),
+              "{\"empty_obj\":{},\"empty_arr\":[],\"after\":1}");
 }
 
 // ---------------------------------------------------------------------
