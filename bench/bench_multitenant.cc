@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Multi-tenant scheduling benchmark: N CPU threads each offload a
+ * chunk of one kernel's iteration space to a shared accelerator, and
+ * the spatially partitioned schedule is compared against serializing
+ * the same tenants through the full array one at a time (the
+ * single-tenant baseline every prior bench models).
+ *
+ * Tiling is disabled on BOTH sides: with it on, the serialized
+ * full-array run tiles each tenant ~ways times wider, which cancels
+ * the concurrency advantage and measures the tiler, not the
+ * scheduler. Partitioning wins exactly when tenants are small-region
+ * (they cannot use the whole array), which is the regime this bench
+ * isolates.
+ *
+ *   ./build/bench/bench_multitenant --tenants 4 --policy rr
+ *   ./build/bench/bench_multitenant --smoke      # CI gate: >= 1.2x
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sched/multicore.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/trace.hh"
+#include "workloads/kernel.hh"
+
+using namespace mesa;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "bench_multitenant — shared-accelerator scheduling\n"
+        "  --kernel <name>     suite kernel (default nn)\n"
+        "  --tenants <n>       offloading CPU threads (default 4)\n"
+        "  --ways <n>          spatial partitions (default = tenants)\n"
+        "  --policy <p>        round-robin | priority |\n"
+        "                      shortest-remaining (default round-robin)\n"
+        "  --epoch <n>         preemption slice iterations (default 256)\n"
+        "  --scale <n>         total iterations (default 8192)\n"
+        "  --shadow-config     single-cycle context switches\n"
+        "  --smoke             assert >= 1.2x over serialized; exit 1\n"
+        "                      otherwise\n"
+        "  --json              machine-readable output\n"
+        "  --trace-out <file>  Chrome trace of the partitioned run\n"
+        "  --stats-json <file> scheduler stats registry as JSON\n";
+}
+
+sched::SharedRunResult
+run(const sched::SchedParams &base, const workloads::Kernel &kernel,
+    int tenants, int ways, uint64_t epoch)
+{
+    sched::SharedRunParams params;
+    params.sched = base;
+    params.sched.spatial_ways = ways;
+    params.sched.epoch_iterations = epoch;
+    mem::MainMemory memory;
+    return sched::runShared(params, memory, kernel, tenants);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string kernel_name = "nn";
+    std::string trace_out;
+    std::string stats_json;
+    int tenants = 4;
+    int ways = 0;
+    uint64_t epoch = 256;
+    uint64_t scale = 8192;
+    bool smoke = false;
+    bool json = false;
+    sched::SchedParams base;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--kernel") {
+            kernel_name = next();
+        } else if (arg == "--tenants") {
+            tenants = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--ways") {
+            ways = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--policy") {
+            const std::string name = next();
+            auto p = sched::policyByName(name);
+            if (!p) {
+                std::cerr << "unknown policy " << name << "\n";
+                return 1;
+            }
+            base.policy = *p;
+        } else if (arg == "--epoch") {
+            epoch = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--scale") {
+            scale = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--shadow-config") {
+            base.shadow_config = true;
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--stats-json") {
+            stats_json = next();
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+    if (tenants < 1)
+        tenants = 1;
+
+    const auto kernel =
+        workloads::kernelByName(kernel_name, {scale});
+
+    base.accel = accel::AccelParams::m128();
+    base.enable_tiling = false; // isolate scheduling (file comment)
+    if (ways <= 0)
+        ways = std::min(tenants,
+                        sched::maxWays(base.accel,
+                                       kernel.loopBody().size()));
+
+    // Serialized baseline: one way, no preemption — each tenant runs
+    // to completion on the full array before the next configures.
+    const auto serial = run(base, kernel, tenants, 1, 0);
+
+    // Partitioned + time-multiplexed run (traced when requested).
+    if (!trace_out.empty()) {
+        Tracer::global().clear();
+        Tracer::global().enable();
+    }
+    const auto part = run(base, kernel, tenants, ways, epoch);
+    if (!trace_out.empty()) {
+        Tracer &tracer = Tracer::global();
+        tracer.enable(false);
+        std::ofstream f(trace_out);
+        if (!f)
+            fatal("cannot open trace output file ", trace_out);
+        tracer.exportJson(f);
+    }
+    if (!stats_json.empty()) {
+        StatsRegistry stats;
+        part.sched.registerInto(stats);
+        JsonWriter w;
+        stats.toJson(w);
+        std::ofstream f(stats_json);
+        if (!f)
+            fatal("cannot open stats output file ", stats_json);
+        f << w.str() << "\n";
+    }
+
+    const double ratio =
+        part.makespan_cycles
+            ? double(serial.makespan_cycles) /
+                  double(part.makespan_cycles)
+            : 0.0;
+
+    if (json) {
+        JsonWriter w;
+        w.beginObject()
+            .field("kernel", kernel.name)
+            .field("tenants", tenants)
+            .field("ways", part.sched.ways)
+            .field("policy", sched::policyName(base.policy))
+            .field("epoch_iterations", epoch)
+            .field("serialized_cycles", serial.makespan_cycles)
+            .field("partitioned_cycles", part.makespan_cycles)
+            .field("throughput_ratio", ratio)
+            .field("occupancy", part.sched.occupancy)
+            .field("fairness_jain", part.sched.fairnessJain())
+            .field("switches", part.sched.total_switches)
+            .field("switch_cycles", part.sched.total_switch_cycles)
+            .field("all_completed", part.all_completed)
+            .end();
+        std::cout << w.str() << "\n";
+    } else {
+        std::cout << "kernel " << kernel.name << ": " << tenants
+                  << " tenants, " << part.sched.ways << " ways, "
+                  << sched::policyName(base.policy) << ", epoch "
+                  << epoch << " (tiling off on both sides)\n\n";
+
+        TextTable table("Per-tenant schedule (partitioned run)");
+        table.header({"tenant", "iters", "wait", "run", "switches",
+                      "turnaround"});
+        for (const auto &t : part.sched.tenants) {
+            table.row({std::to_string(t.tenant),
+                       std::to_string(t.iterations),
+                       std::to_string(t.wait_cycles),
+                       std::to_string(t.run_cycles),
+                       std::to_string(t.switches),
+                       std::to_string(t.turnaroundCycles())});
+        }
+        table.print(std::cout);
+
+        std::cout << "\nserialized  : " << serial.makespan_cycles
+                  << " cycles (1 way, run-to-completion)\n"
+                  << "partitioned : " << part.makespan_cycles
+                  << " cycles (" << part.sched.ways << " ways, "
+                  << TextTable::num(100.0 * part.sched.occupancy, 1)
+                  << "% occupancy, Jain "
+                  << TextTable::num(part.sched.fairnessJain())
+                  << ")\n"
+                  << "throughput  : " << TextTable::num(ratio)
+                  << "x aggregate vs serialized\n";
+        if (!part.all_completed)
+            std::cout << "WARNING: not every tenant completed\n";
+    }
+
+    if (smoke) {
+        const bool ok = part.all_completed && ratio >= 1.2;
+        std::cout << "\nsmoke: " << (ok ? "PASS" : "FAIL") << " ("
+                  << TextTable::num(ratio) << "x, need >= 1.2x)\n";
+        return ok ? 0 : 1;
+    }
+    return 0;
+}

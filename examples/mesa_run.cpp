@@ -12,6 +12,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "sched/multicore.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
@@ -38,6 +39,12 @@ usage()
         "  --no-iterative      disable runtime re-optimization\n"
         "  --unroll            enable the unrolling extension\n"
         "  --timemux           enable PE time-multiplexing\n"
+        "  --tenants <n>       split the iteration space across n\n"
+        "                      threads sharing one scheduled device\n"
+        "  --sched-policy <p>  round-robin | priority |\n"
+        "                      shortest-remaining (with --tenants)\n"
+        "  --sched-ways <n>    spatial partitions (default = tenants)\n"
+        "  --sched-epoch <n>   preemption slice iterations (default 256)\n"
         "  --json              machine-readable output\n"
         "  --trace-out <file>  write a Chrome trace-event timeline of\n"
         "                      the MESA run (load in Perfetto)\n"
@@ -59,6 +66,9 @@ main(int argc, char **argv)
     uint64_t stats_every = 0;
     bool json = false;
     core::MesaParams params;
+    int tenants = 1;
+    int sched_ways = 0; // 0 = auto (min(tenants, maxWays))
+    sched::SchedParams sched_params;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -85,6 +95,19 @@ main(int argc, char **argv)
             params.enable_unrolling = true;
         } else if (arg == "--timemux") {
             params.enable_time_multiplexing = true;
+        } else if (arg == "--tenants") {
+            tenants = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--sched-policy") {
+            const std::string name = next();
+            auto p = sched::policyByName(name);
+            if (!p)
+                fatal("unknown scheduling policy ", name);
+            sched_params.policy = *p;
+        } else if (arg == "--sched-ways") {
+            sched_ways = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--sched-epoch") {
+            sched_params.epoch_iterations =
+                std::strtoull(next(), nullptr, 10);
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--trace-out") {
@@ -111,6 +134,90 @@ main(int argc, char **argv)
         params.accel = accel::AccelParams::m128();
 
     const auto kernel = workloads::kernelByName(kernel_name, {scale});
+
+    // Multi-tenant path: N threads share one scheduled accelerator
+    // (spatial partitioning + time-multiplexing, see src/sched/).
+    if (tenants > 1) {
+        sched_params.accel = params.accel;
+        sched_params.enable_tiling = params.enable_tiling;
+        sched_params.enable_pipelining = params.enable_pipelining;
+        sched_params.spatial_ways =
+            sched_ways > 0
+                ? sched_ways
+                : std::min(tenants,
+                           sched::maxWays(params.accel,
+                                          kernel.loopBody().size()));
+        sched::SharedRunParams sp;
+        sp.sched = sched_params;
+
+        if (!trace_out.empty()) {
+            Tracer::global().clear();
+            Tracer::global().enable();
+        }
+        mem::MainMemory memory;
+        const auto shared =
+            sched::runShared(sp, memory, kernel, tenants);
+        if (!trace_out.empty()) {
+            Tracer &tracer = Tracer::global();
+            tracer.enable(false);
+            std::ofstream f(trace_out);
+            if (!f)
+                fatal("cannot open trace output file ", trace_out);
+            tracer.exportJson(f);
+        }
+        if (!stats_json.empty()) {
+            StatsRegistry stats;
+            shared.sched.registerInto(stats);
+            JsonWriter w;
+            stats.toJson(w);
+            std::ofstream f(stats_json);
+            if (!f)
+                fatal("cannot open stats output file ", stats_json);
+            f << w.str() << "\n";
+        }
+
+        if (json) {
+            JsonWriter w;
+            w.beginObject()
+                .field("kernel", kernel.name)
+                .field("tenants", tenants)
+                .field("ways", shared.sched.ways)
+                .field("policy",
+                       sched::policyName(sp.sched.policy))
+                .field("makespan_cycles", shared.makespan_cycles)
+                .field("iterations", shared.total_iterations)
+                .field("occupancy", shared.sched.occupancy)
+                .field("fairness_jain", shared.sched.fairnessJain())
+                .field("switches", shared.sched.total_switches)
+                .field("all_completed", shared.all_completed)
+                .end();
+            std::cout << w.str() << "\n";
+            return 0;
+        }
+        std::cout << "kernel " << kernel.name << ": " << tenants
+                  << " tenants on " << params.accel.name << ", "
+                  << shared.sched.ways << " ways, "
+                  << sched::policyName(sp.sched.policy) << "\n";
+        std::cout << "makespan    : " << shared.makespan_cycles
+                  << " cycles ("
+                  << TextTable::num(100.0 * shared.sched.occupancy, 1)
+                  << "% occupancy, Jain "
+                  << TextTable::num(shared.sched.fairnessJain())
+                  << ", imbalance "
+                  << TextTable::num(shared.imbalance()) << ")\n";
+        for (const auto &t : shared.sched.tenants) {
+            std::cout << "  tenant " << t.tenant << ": "
+                      << t.iterations << " iters, wait "
+                      << t.wait_cycles << ", run " << t.run_cycles
+                      << ", " << t.switches << " switches, "
+                      << t.slices << " slices"
+                      << (t.completed ? "" : " (INCOMPLETE)")
+                      << "\n";
+        }
+        if (!shared.all_completed)
+            std::cout << "WARNING: not every tenant completed\n";
+        return 0;
+    }
     if (!json) {
         std::cout << "kernel " << kernel.name << " ("
                   << kernel.iterations << " iterations, "

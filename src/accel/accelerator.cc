@@ -16,6 +16,26 @@ using ic::Coord;
 using riscv::Op;
 using riscv::OpClass;
 
+void
+AccelRunResult::accumulate(const AccelRunResult &epoch)
+{
+    cycles += epoch.cycles;
+    iterations += epoch.iterations;
+    completed = epoch.completed;
+    pe_busy_cycles += epoch.pe_busy_cycles;
+    fp_busy_cycles += epoch.fp_busy_cycles;
+    disabled_ops += epoch.disabled_ops;
+    noc_transfers += epoch.noc_transfers;
+    local_transfers += epoch.local_transfers;
+    loads += epoch.loads;
+    stores += epoch.stores;
+    store_load_forwards += epoch.store_load_forwards;
+    load_invalidations += epoch.load_invalidations;
+    dram_accesses += epoch.dram_accesses;
+    pes_used = std::max(pes_used, epoch.pes_used);
+    pes_total = epoch.pes_total;
+}
+
 Accelerator::Accelerator(const AccelParams &params,
                          mem::MainMemory &memory,
                          const mem::HierarchyParams &mem_params)
@@ -446,8 +466,8 @@ Accelerator::run(riscv::ArchState &state, uint64_t max_iterations)
             const Instance &inst = instances_[k];
             if (inst.iterations == 0)
                 continue;
-            tracer.spanLocal("accel", "tile" + std::to_string(k), 0,
-                             inst.last_end,
+            tracer.spanLocal(trace_track_, "tile" + std::to_string(k),
+                             0, inst.last_end,
                              {{"iterations", inst.iterations}});
         }
     }

@@ -19,6 +19,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "accel/config_types.hh"
@@ -62,6 +63,9 @@ struct AccelRunResult
     {
         return iterations ? double(cycles) / double(iterations) : 0.0;
     }
+
+    /** Fold one epoch's counters into this aggregate. */
+    void accumulate(const AccelRunResult &epoch);
 };
 
 /** The accelerator device. Configure once per region, then run. */
@@ -92,6 +96,17 @@ class Accelerator
     const AccelParams &params() const { return params_; }
     const ic::Interconnect &interconnect() const { return *ic_; }
     mem::MemHierarchy &hierarchy() { return hierarchy_; }
+
+    /**
+     * Timeline track this device emits its tile spans on. A scheduler
+     * running several sub-array partitions concurrently gives each
+     * its own track so their slices do not interleave on "accel".
+     */
+    void setTraceTrack(std::string track)
+    {
+        trace_track_ = std::move(track);
+    }
+    const std::string &traceTrack() const { return trace_track_; }
 
     /** Measured average execution latency of a node (PE counters). */
     double measuredNodeLatency(dfg::NodeId id) const;
@@ -126,6 +141,7 @@ class Accelerator
 
     AcceleratorConfig config_;
     std::vector<Instance> instances_;
+    std::string trace_track_ = "accel";
 
     /** Per-PE busy tracking keyed by physical position (pipelining
      *  resource constraint; time-multiplexed nodes share a key). */

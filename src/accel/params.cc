@@ -1,5 +1,7 @@
 #include "accel/params.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace mesa::accel
@@ -72,6 +74,25 @@ AccelParams::m512()
     p.rows = 64;
     p.cols = 8;
     p.mem_ports = 32;
+    return p;
+}
+
+AccelParams
+AccelParams::subArray(int origin_row, int sub_rows) const
+{
+    if (origin_row < 0 || sub_rows < 1 || origin_row + sub_rows > rows)
+        fatal("AccelParams::subArray: rows [", origin_row, ", ",
+              origin_row + sub_rows, ") outside grid of ", rows,
+              " rows");
+    AccelParams p = *this;
+    p.name = name + "/r" + std::to_string(origin_row) + "+" +
+             std::to_string(sub_rows);
+    p.rows = sub_rows;
+    const double share = double(sub_rows) / double(rows);
+    p.mem_ports =
+        std::max(1u, unsigned(double(mem_ports) * share + 0.5));
+    p.dram_accesses_per_cycle =
+        std::max(0.125, dram_accesses_per_cycle * share);
     return p;
 }
 

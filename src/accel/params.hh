@@ -80,6 +80,15 @@ struct AccelParams
 
     /** Arbitrary PE count with the default aspect ratio (Fig. 15). */
     static AccelParams withPeCount(int pes);
+
+    /**
+     * Sub-array view for spatial partitioning (the multi-tenant
+     * scheduler): rows [origin_row, origin_row + sub_rows) of this
+     * grid, all columns. Memory ports and DRAM bandwidth scale with
+     * the partition's share of the array; the FP striping is
+     * column-based, so any row band keeps the full operation mix.
+     */
+    AccelParams subArray(int origin_row, int sub_rows) const;
 };
 
 } // namespace mesa::accel

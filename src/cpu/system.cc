@@ -35,6 +35,7 @@ runSingleCore(const CoreParams &core_params,
 
     RunResult res;
     res.cycles = core.finish();
+    res.core_cycles = {res.cycles};
     res.instructions = core.stats().instructions;
     res.dram_accesses = hierarchy.dramAccesses();
     res.mispredicts = core.stats().mispredicts;
@@ -72,7 +73,9 @@ runMulticore(const MulticoreParams &params, mem::MainMemory &memory,
         });
         emu.run(max_steps);
 
-        max_core_cycles = std::max(max_core_cycles, core.finish());
+        const uint64_t cycles = core.finish();
+        res.core_cycles.push_back(cycles);
+        max_core_cycles = std::max(max_core_cycles, cycles);
         res.instructions += core.stats().instructions;
         res.dram_accesses += hierarchy.dramAccesses();
         res.mispredicts += core.stats().mispredicts;

@@ -9,6 +9,7 @@
 #ifndef MESA_CPU_SYSTEM_HH
 #define MESA_CPU_SYSTEM_HH
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
@@ -48,10 +49,31 @@ struct RunResult
     int threads = 1;
     double amat = 0.0; ///< Average memory access time observed.
 
+    /** Per-core cycle breakdown (index = thread). The wall-clock max
+     *  hides load imbalance; schedulers and fairness benches need the
+     *  full distribution. Empty only in hand-built results. */
+    std::vector<uint64_t> core_cycles;
+
     double
     ipc() const
     {
         return cycles ? double(instructions) / double(cycles) : 0.0;
+    }
+
+    /** Imbalance ratio: slowest core over mean core time (1 = even). */
+    double
+    imbalance() const
+    {
+        if (core_cycles.empty())
+            return 1.0;
+        uint64_t sum = 0, worst = 0;
+        for (uint64_t c : core_cycles) {
+            sum += c;
+            worst = std::max(worst, c);
+        }
+        const double mean =
+            double(sum) / double(core_cycles.size());
+        return mean > 0.0 ? double(worst) / mean : 1.0;
     }
 };
 

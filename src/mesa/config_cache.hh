@@ -3,7 +3,9 @@
  * Configuration cache (paper §4.3): MESA stores configurations for
  * loops it has already mapped so a re-encountered region (e.g., the
  * hot loop of an outer iteration) skips the encode/map/configure
- * pipeline entirely.
+ * pipeline entirely. Lookup and insert go through a keyed index
+ * (region start pc -> entry); a separate recency list keeps the LRU
+ * eviction order.
  */
 
 #ifndef MESA_MESA_CONFIG_CACHE_HH
@@ -11,10 +13,12 @@
 
 #include <cstdint>
 #include <list>
+#include <unordered_map>
 #include <utility>
 
 #include "accel/config_types.hh"
 #include "util/stats.hh"
+#include "util/stats_registry.hh"
 
 namespace mesa::core
 {
@@ -29,52 +33,73 @@ class ConfigCache
     const accel::AcceleratorConfig *
     lookup(uint32_t region_start)
     {
-        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-            if (it->first == region_start) {
-                entries_.splice(entries_.begin(), entries_, it);
-                ++hits_;
-                return &entries_.front().second;
-            }
+        auto idx = index_.find(region_start);
+        if (idx == index_.end()) {
+            ++misses_;
+            return nullptr;
         }
-        ++misses_;
-        return nullptr;
+        entries_.splice(entries_.begin(), entries_, idx->second);
+        idx->second = entries_.begin();
+        ++hits_;
+        return &entries_.front().second;
     }
 
-    /** Insert (or replace) the configuration for its region. */
+    /** Insert (or replace in place) the configuration for its region. */
     void
     insert(accel::AcceleratorConfig config)
     {
         const uint32_t key = config.region_start;
-        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-            if (it->first == key) {
-                it->second = std::move(config);
-                entries_.splice(entries_.begin(), entries_, it);
-                return;
-            }
+        if (auto idx = index_.find(key); idx != index_.end()) {
+            idx->second->second = std::move(config);
+            entries_.splice(entries_.begin(), entries_, idx->second);
+            idx->second = entries_.begin();
+            return;
         }
         entries_.emplace_front(key, std::move(config));
-        if (entries_.size() > capacity_)
+        index_[key] = entries_.begin();
+        if (entries_.size() > capacity_) {
+            index_.erase(entries_.back().first);
             entries_.pop_back();
+            ++evictions_;
+        }
     }
 
     /** Drop a region (e.g., after its mapping proved invalid). */
     void
     invalidate(uint32_t region_start)
     {
-        entries_.remove_if([&](const auto &e) {
-            return e.first == region_start;
-        });
+        auto idx = index_.find(region_start);
+        if (idx == index_.end())
+            return;
+        entries_.erase(idx->second);
+        index_.erase(idx);
+    }
+
+    /** Link the live hit/miss/eviction counters under @p prefix. */
+    void
+    registerStats(StatsRegistry &registry,
+                  const std::string &prefix) const
+    {
+        registry.linkCounter(prefix + "hits", hits_);
+        registry.linkCounter(prefix + "misses", misses_);
+        registry.linkCounter(prefix + "evictions", evictions_);
     }
 
     size_t size() const { return entries_.size(); }
     uint64_t hits() const { return hits_.value(); }
     uint64_t misses() const { return misses_.value(); }
+    uint64_t evictions() const { return evictions_.value(); }
 
   private:
+    using EntryList =
+        std::list<std::pair<uint32_t, accel::AcceleratorConfig>>;
+
     size_t capacity_;
-    std::list<std::pair<uint32_t, accel::AcceleratorConfig>> entries_;
+    EntryList entries_; ///< MRU first; back is the eviction victim.
+    std::unordered_map<uint32_t, EntryList::iterator> index_;
     Counter hits_{"hits"};
     Counter misses_{"misses"};
+    Counter evictions_{"evictions"};
 };
 
 } // namespace mesa::core

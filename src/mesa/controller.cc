@@ -17,32 +17,6 @@ using dfg::Ldfg;
 using riscv::Instruction;
 using riscv::TraceEntry;
 
-namespace
-{
-
-/** Accumulate one epoch's accelerator counters. */
-void
-accumulate(AccelRunResult &total, const AccelRunResult &epoch)
-{
-    total.cycles += epoch.cycles;
-    total.iterations += epoch.iterations;
-    total.completed = epoch.completed;
-    total.pe_busy_cycles += epoch.pe_busy_cycles;
-    total.fp_busy_cycles += epoch.fp_busy_cycles;
-    total.disabled_ops += epoch.disabled_ops;
-    total.noc_transfers += epoch.noc_transfers;
-    total.local_transfers += epoch.local_transfers;
-    total.loads += epoch.loads;
-    total.stores += epoch.stores;
-    total.store_load_forwards += epoch.store_load_forwards;
-    total.load_invalidations += epoch.load_invalidations;
-    total.dram_accesses += epoch.dram_accesses;
-    total.pes_used = std::max(total.pes_used, epoch.pes_used);
-    total.pes_total = epoch.pes_total;
-}
-
-} // namespace
-
 void
 TransparentRunResult::registerInto(StatsRegistry &registry,
                                    const std::string &prefix) const
@@ -75,6 +49,10 @@ TransparentRunResult::registerInto(StatsRegistry &registry,
                         double(o.reconfig_cycles));
         registry.scalar(p + "reconfigurations",
                         double(o.reconfigurations));
+        registry.scalar(p + "sched_wait_cycles",
+                        double(o.sched_wait_cycles));
+        registry.scalar(p + "sched_switches",
+                        double(o.sched_switches));
         registry.scalar(p + "tiles", double(o.tile_factor));
         registry.scalar(p + "pipelined", o.pipelined ? 1.0 : 0.0);
         registry.scalar(p + "unmapped", double(o.unmapped));
@@ -122,8 +100,7 @@ MesaController::attachStats(StatsRegistry *registry,
         return;
     live_.offloads = &stats_->counter("mesa.offloads");
     live_.rejections = &stats_->counter("mesa.rejections");
-    live_.cache_hits = &stats_->counter("mesa.config_cache.hits");
-    live_.cache_misses = &stats_->counter("mesa.config_cache.misses");
+    config_cache_.registerStats(*stats_, "mesa.config_cache.");
     live_.encode_cycles = &stats_->counter("mesa.phase.encode_cycles");
     live_.mapping_cycles = &stats_->counter("mesa.phase.mapping_cycles");
     live_.config_cycles = &stats_->counter("mesa.phase.config_cycles");
@@ -151,10 +128,6 @@ MesaController::tracePreparePhases(const Prepared &prep,
         *live_.mapping_cycles += os.mapping_cycles;
         *live_.config_cycles += os.config_cycles;
         *live_.imap_instructions += prep.map.imap_trace.size();
-        if (os.config_cache_hit)
-            ++*live_.cache_hits;
-        else
-            ++*live_.cache_misses;
     }
     if (!Tracer::active())
         return t0 + os.totalConfigCycles();
@@ -371,7 +344,7 @@ MesaController::runWithOptimization(Prepared &prep,
                                        << res.cycles << " cycles"
                                        << (res.completed ? " (done)"
                                                          : ""));
-        accumulate(os.accel, res);
+        os.accel.accumulate(res);
         os.accel_cycles += res.cycles;
         os.accel_iterations += res.iterations;
         remaining -= std::min(remaining, res.iterations);
@@ -507,6 +480,21 @@ MesaController::offloadLoop(const std::vector<Instruction> &body,
 {
     if (body.empty())
         return std::nullopt;
+    if (arbiter_) {
+        // Multi-tenant mode: enqueue with the shared arbiter instead
+        // of running inline on the private accelerator.
+        OffloadRequest req;
+        req.tenant = tenant_id_;
+        req.priority = tenant_priority_;
+        req.body = body;
+        req.state = &state;
+        req.parallel_hint = parallel_hint;
+        req.max_iterations = max_iterations;
+        auto served = arbiter_->serve(req);
+        if (served && stats_)
+            ++*live_.offloads;
+        return served;
+    }
     const uint32_t region_start = body.front().pc;
     const uint32_t region_end = body.back().pc + 4;
 
@@ -615,6 +603,34 @@ MesaController::runTransparent(const riscv::Program &program,
         const cpu::LoopInfo loop = decision->loop;
         monitor.traceCache().backfill(memory_);
         const std::vector<Instruction> body = monitor.traceCache().body();
+
+        if (arbiter_) {
+            // Multi-tenant mode: the shared arbiter owns the device;
+            // enqueue the region and resume the CPU when it returns.
+            OffloadRequest req;
+            req.tenant = tenant_id_;
+            req.priority = tenant_priority_;
+            req.body = body;
+            req.state = &emu.state();
+            req.parallel_hint = parallel_hint;
+            if (Tracer::active()) {
+                const uint64_t handoff = tracer.now();
+                if (handoff > cpu_seg_start)
+                    tracer.span("cpu0", "execute", cpu_seg_start,
+                                handoff - cpu_seg_start);
+            }
+            auto served = arbiter_->serve(req);
+            if (served) {
+                if (stats_)
+                    ++*live_.offloads;
+                result.offloads.push_back(*served);
+            } else {
+                monitor.blacklist(loop.start);
+            }
+            cpu_seg_start = tracer.now();
+            monitor.rearm();
+            continue;
+        }
 
         OffloadStats os;
         os.region_start = loop.start;

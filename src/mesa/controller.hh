@@ -110,9 +110,47 @@ struct OffloadStats
     int reconfigurations = 0;
     uint64_t reconfig_cycles = 0;
 
+    /** Set when the region was served by a shared offload arbiter:
+     *  cycles spent queued behind other tenants, and the number of
+     *  times the scheduler (re)configured a partition for it. */
+    uint64_t sched_wait_cycles = 0;
+    uint64_t sched_switches = 0;
+
     uint64_t accel_cycles = 0;
     uint64_t accel_iterations = 0;
     accel::AccelRunResult accel; ///< Aggregated accelerator counters.
+};
+
+/** One tenant's offload request, as routed to an external arbiter. */
+struct OffloadRequest
+{
+    int tenant = 0;
+    int priority = 0;
+    std::vector<riscv::Instruction> body;
+    riscv::ArchState *state = nullptr; ///< Live CPU state to hand off.
+    bool parallel_hint = false;
+    uint64_t max_iterations = ~uint64_t(0);
+};
+
+/**
+ * A shared accelerator arbiter (the mesa_sched subsystem implements
+ * this). When one is attached to a controller, qualified regions are
+ * enqueued with the arbiter — which may time-slice them against other
+ * tenants' pending requests on a spatially partitioned array —
+ * instead of running inline on the controller's private accelerator.
+ */
+class OffloadArbiter
+{
+  public:
+    virtual ~OffloadArbiter() = default;
+
+    /**
+     * Enqueue the request and drive the shared device until this
+     * tenant's region completes (other pending tenants may progress
+     * too). nullopt if the region cannot be mapped on a partition.
+     */
+    virtual std::optional<OffloadStats>
+    serve(const OffloadRequest &request) = 0;
 };
 
 /** End-to-end outcome of a transparent run. */
@@ -198,6 +236,23 @@ class MesaController
     void attachStats(StatsRegistry *registry,
                      uint64_t snapshot_iterations = 0);
 
+    /**
+     * Attach a shared offload arbiter: qualified regions enqueue with
+     * it (tagged with this controller's tenant id and priority)
+     * instead of running inline. Pass nullptr to detach and return to
+     * single-tenant inline execution. The arbiter must outlive the
+     * controller's runs.
+     */
+    void
+    setOffloadArbiter(OffloadArbiter *arbiter, int tenant = 0,
+                      int priority = 0)
+    {
+        arbiter_ = arbiter;
+        tenant_id_ = tenant;
+        tenant_priority_ = priority;
+    }
+    OffloadArbiter *offloadArbiter() const { return arbiter_; }
+
     /** Convert accelerator cycles to nanoseconds at the MESA clock. */
     double
     cyclesToNs(uint64_t cycles) const
@@ -238,8 +293,6 @@ class MesaController
     {
         Counter *offloads = nullptr;
         Counter *rejections = nullptr;
-        Counter *cache_hits = nullptr;
-        Counter *cache_misses = nullptr;
         Counter *encode_cycles = nullptr;
         Counter *mapping_cycles = nullptr;
         Counter *config_cycles = nullptr;
@@ -266,6 +319,10 @@ class MesaController
     LiveStats live_;
     uint64_t snapshot_iterations_ = 0;
     uint64_t snapshot_accum_ = 0; ///< Iterations since last snapshot.
+
+    OffloadArbiter *arbiter_ = nullptr;
+    int tenant_id_ = 0;
+    int tenant_priority_ = 0;
 };
 
 } // namespace mesa::core

@@ -1,0 +1,101 @@
+#include "sched/multicore.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "cpu/system.hh"
+#include "riscv/emulator.hh"
+#include "util/logging.hh"
+
+namespace mesa::sched
+{
+
+double
+SharedRunResult::imbalance() const
+{
+    if (core_cycles.empty())
+        return 1.0;
+    uint64_t sum = 0, worst = 0;
+    for (uint64_t c : core_cycles) {
+        sum += c;
+        worst = std::max(worst, c);
+    }
+    const double mean = double(sum) / double(core_cycles.size());
+    return mean > 0.0 ? double(worst) / mean : 1.0;
+}
+
+SharedRunResult
+runShared(const SharedRunParams &params, mem::MainMemory &memory,
+          const workloads::Kernel &kernel, int tenants)
+{
+    SharedRunResult out;
+
+    kernel.init_data(memory);
+    cpu::loadProgram(memory, kernel.program);
+
+    MultiTenantScheduler scheduler(params.sched, memory);
+    const auto body = kernel.loopBody();
+    const auto chunks = kernel.chunks(std::max(1, tenants));
+
+    // Functional contexts must outlive runAll(): the scheduler holds
+    // ArchState pointers in its context table.
+    std::vector<std::unique_ptr<riscv::Emulator>> emus;
+    std::vector<int> ids;
+    for (size_t t = 0; t < chunks.size(); ++t) {
+        auto emu = std::make_unique<riscv::Emulator>(memory);
+        emu->reset(kernel.program.base_pc);
+        chunks[t](emu->state());
+
+        // Execute any pre-loop setup functionally.
+        uint64_t guard = 0;
+        while (!emu->halted() &&
+               emu->state().pc != kernel.loop_start &&
+               guard++ < params.max_preamble_steps) {
+            emu->step();
+        }
+        if (emu->halted() || emu->state().pc != kernel.loop_start) {
+            warn("runShared: thread ", t,
+                 " never reached the loop entry; skipping");
+            continue;
+        }
+
+        const int prio = t < params.priorities.size()
+                             ? params.priorities[t]
+                             : 0;
+        const int id = scheduler.submit(body, emu->state(),
+                                        kernel.parallel,
+                                        ~uint64_t(0), prio);
+        if (id < 0) {
+            warn("runShared: thread ", t, " refused (", body.size(),
+                 " instructions vs partition capacity ",
+                 scheduler.partitionCapacity(),
+                 " — fewer ways fit larger regions)");
+            continue;
+        }
+        ids.push_back(id);
+        emus.push_back(std::move(emu));
+    }
+
+    out.sched = scheduler.runAll();
+    out.makespan_cycles = out.sched.makespan_cycles;
+    out.total_iterations = out.sched.total_iterations;
+
+    // Resume every thread from its written-back state (loop exit pc
+    // when the device completed the loop) and let it run to halt.
+    bool all = !ids.empty();
+    for (size_t t = 0; t < ids.size(); ++t) {
+        const TenantStats &stats =
+            out.sched.tenants[size_t(ids[t])];
+        out.core_cycles.push_back(stats.turnaroundCycles());
+        uint64_t guard = 0;
+        while (!emus[t]->halted() &&
+               guard++ < params.max_resume_steps) {
+            emus[t]->step();
+        }
+        all = all && stats.completed && emus[t]->halted();
+    }
+    out.all_completed = all;
+    return out;
+}
+
+} // namespace mesa::sched

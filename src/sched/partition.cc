@@ -1,0 +1,29 @@
+#include "sched/partition.hh"
+
+#include <algorithm>
+
+namespace mesa::sched
+{
+
+std::vector<PartitionGeometry>
+planPartitions(const accel::AccelParams &accel, int ways)
+{
+    const int w = std::clamp(ways, 1, accel.rows);
+    const int band = accel.rows / w;
+    std::vector<PartitionGeometry> parts;
+    parts.reserve(size_t(w));
+    for (int k = 0; k < w; ++k)
+        parts.push_back({k * band, band, accel.cols});
+    return parts;
+}
+
+int
+maxWays(const accel::AccelParams &accel, size_t min_capacity)
+{
+    const size_t rows_needed = std::max<size_t>(
+        1, (min_capacity + size_t(accel.cols) - 1) /
+               size_t(accel.cols));
+    return std::max(1, accel.rows / int(rows_needed));
+}
+
+} // namespace mesa::sched

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Spatial partition planning for the multi-tenant scheduler: the PE
+ * grid splits into equal horizontal bands (all columns, a contiguous
+ * row range each) so small regions from different tenants execute
+ * concurrently. Bands are uniform — a configuration mapped for one
+ * partition's geometry runs on any of them, which is what lets the
+ * scheduler migrate a preempted tenant to whichever partition frees
+ * up first. The FP capability striping is column-based (accel
+ * params), so every band keeps the full operation mix.
+ */
+
+#ifndef MESA_SCHED_PARTITION_HH
+#define MESA_SCHED_PARTITION_HH
+
+#include <vector>
+
+#include "accel/params.hh"
+
+namespace mesa::sched
+{
+
+/** One rectangular sub-array of the PE grid. */
+struct PartitionGeometry
+{
+    int origin_row = 0; ///< First grid row of this band.
+    int rows = 0;
+    int cols = 0;
+
+    size_t capacity() const { return size_t(rows) * size_t(cols); }
+    int endRow() const { return origin_row + rows; }
+
+    bool
+    overlaps(const PartitionGeometry &other) const
+    {
+        return origin_row < other.endRow() &&
+               other.origin_row < endRow();
+    }
+};
+
+/**
+ * Split the grid into @p ways equal bands. ways is clamped to
+ * [1, rows]; when rows % ways != 0 the remainder rows at the bottom
+ * of the grid stay power-gated (uniformity beats a ragged last band
+ * — see file comment).
+ */
+std::vector<PartitionGeometry>
+planPartitions(const accel::AccelParams &accel, int ways);
+
+/**
+ * Largest uniform way count whose bands still hold @p min_capacity
+ * instructions each (at least 1).
+ */
+int maxWays(const accel::AccelParams &accel, size_t min_capacity);
+
+} // namespace mesa::sched
+
+#endif // MESA_SCHED_PARTITION_HH

@@ -1,0 +1,462 @@
+#include "sched/scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dfg/ldfg.hh"
+#include "util/logging.hh"
+#include "util/trace.hh"
+
+namespace mesa::sched
+{
+
+using accel::AccelRunResult;
+using core::ConfigOptions;
+
+const char *
+policyName(Policy policy)
+{
+    switch (policy) {
+      case Policy::RoundRobin:
+        return "round-robin";
+      case Policy::Priority:
+        return "priority";
+      case Policy::ShortestRemaining:
+        return "shortest-remaining";
+    }
+    return "?";
+}
+
+std::optional<Policy>
+policyByName(const std::string &name)
+{
+    if (name == "round-robin" || name == "rr")
+        return Policy::RoundRobin;
+    if (name == "priority" || name == "prio")
+        return Policy::Priority;
+    if (name == "shortest-remaining" || name == "srj" || name == "sjf")
+        return Policy::ShortestRemaining;
+    return std::nullopt;
+}
+
+double
+ScheduleResult::fairnessJain() const
+{
+    double sum = 0.0, sq = 0.0;
+    size_t n = 0;
+    for (const auto &t : tenants) {
+        const double x = double(t.run_cycles);
+        sum += x;
+        sq += x * x;
+        ++n;
+    }
+    if (n == 0 || sq == 0.0)
+        return 1.0;
+    return (sum * sum) / (double(n) * sq);
+}
+
+void
+ScheduleResult::registerInto(StatsRegistry &registry,
+                             const std::string &prefix) const
+{
+    auto set = [&](const std::string &key, double v) {
+        registry.scalar(prefix + key, v);
+    };
+    set("ways", double(ways));
+    set("makespan_cycles", double(makespan_cycles));
+    set("busy_cycles", double(busy_cycles));
+    set("occupancy", occupancy);
+    set("switches", double(total_switches));
+    set("switch_cycles", double(total_switch_cycles));
+    set("iterations", double(total_iterations));
+    set("dram_accesses", double(dram_accesses));
+    set("throughput_iter_per_kcycle", throughputIterPerKcycle());
+    set("fairness_jain", fairnessJain());
+    set("tenant_count", double(tenants.size()));
+    for (const auto &t : tenants) {
+        // Relative to @p prefix: set() prepends it.
+        const std::string p =
+            "tenant" + std::to_string(t.tenant) + ".";
+        set(p + "priority", double(t.priority));
+        set(p + "wait_cycles", double(t.wait_cycles));
+        set(p + "run_cycles", double(t.run_cycles));
+        set(p + "switch_cycles", double(t.switch_cycles));
+        set(p + "switches", double(t.switches));
+        set(p + "slices", double(t.slices));
+        set(p + "iterations", double(t.iterations));
+        set(p + "first_run_cycle", double(t.first_run_cycle));
+        set(p + "turnaround_cycles", double(t.turnaroundCycles()));
+        set(p + "completed", t.completed ? 1.0 : 0.0);
+    }
+}
+
+MultiTenantScheduler::MultiTenantScheduler(const SchedParams &params,
+                                           mem::MainMemory &memory)
+    : params_(params), memory_(memory),
+      geometry_(planPartitions(params.accel, params.spatial_ways)),
+      part_params_(params.accel.subArray(0, geometry_.front().rows))
+{
+    part_ic_ = std::make_unique<ic::AccelNocInterconnect>(
+        part_params_.rows, part_params_.cols,
+        part_params_.noc_slice_width);
+    mapper_ = std::make_unique<core::InstructionMapper>(
+        part_params_, *part_ic_, params_.mapper);
+    config_block_ = std::make_unique<core::ConfigBlock>(part_params_);
+
+    partitions_.reserve(geometry_.size());
+    for (size_t k = 0; k < geometry_.size(); ++k) {
+        Partition p;
+        p.geometry = geometry_[k];
+        p.accel = std::make_unique<accel::Accelerator>(
+            params_.accel.subArray(geometry_[k].origin_row,
+                                   geometry_[k].rows),
+            memory_, params_.accel_mem);
+        p.accel->setTraceTrack("sched.p" + std::to_string(k) +
+                               ".accel");
+        partitions_.push_back(std::move(p));
+    }
+}
+
+int
+MultiTenantScheduler::submit(
+    const std::vector<riscv::Instruction> &body,
+    riscv::ArchState &state, bool parallel_hint,
+    uint64_t max_iterations, int priority)
+{
+    if (body.empty())
+        return -1;
+
+    dfg::BuildError err = dfg::BuildError::None;
+    auto ldfg = dfg::Ldfg::build(body, params_.accel.op_latency,
+                                 part_params_.capacity(), &err);
+    if (!ldfg)
+        return -1;
+    core::MapResult map = mapper_->map(*ldfg);
+    if (double(map.unmapped.size()) / double(ldfg->size()) >
+        params_.max_unmapped_frac)
+        return -1;
+
+    const uint32_t region_start = body.front().pc;
+    const uint32_t region_end = body.back().pc + 4;
+
+    ConfigOptions options;
+    options.enable_forwarding = params_.enable_forwarding;
+    options.enable_vectorization = params_.enable_vectorization;
+    options.enable_prefetch = params_.enable_prefetch;
+    options.pipelined = params_.enable_pipelining;
+    options.tile_factor =
+        (parallel_hint && params_.enable_tiling)
+            ? std::max(1, core::ConfigBlock::maxTileFactor(
+                              map.sdfg, part_params_))
+            : 1;
+
+    Tenant t;
+    t.config = config_block_->build(*ldfg, map.sdfg, options,
+                                    region_start, region_end);
+    t.config.model_latency = map.model_latency;
+    t.state = &state;
+    t.remaining = max_iterations;
+    t.stream_cycles = config_block_->configCycles(t.config);
+    t.encode_cycles = body.size();
+    t.mapping_cycles = map.mapping_cycles;
+    t.parallel_hint = parallel_hint;
+
+    uint64_t now = partitions_.front().clock;
+    for (const auto &p : partitions_)
+        now = std::min(now, p.clock);
+
+    const int id = int(tenants_.size());
+    t.stats.tenant = id;
+    t.stats.priority = priority;
+    t.stats.region_start = region_start;
+    t.stats.submit_cycle = now;
+    t.runnable_at = now;
+    t.busy_until = now;
+    tenants_.push_back(std::move(t));
+    return id;
+}
+
+bool
+MultiTenantScheduler::anyPending() const
+{
+    for (const auto &t : tenants_)
+        if (!t.done)
+            return true;
+    return false;
+}
+
+int
+MultiTenantScheduler::pickNext(uint64_t now)
+{
+    const size_t n = tenants_.size();
+    auto runnable = [&](size_t i) {
+        return !tenants_[i].done && tenants_[i].busy_until <= now;
+    };
+
+    switch (params_.policy) {
+      case Policy::RoundRobin:
+        for (size_t k = 0; k < n; ++k) {
+            const size_t i = (rr_next_ + k) % n;
+            if (runnable(i)) {
+                rr_next_ = (i + 1) % n;
+                return int(i);
+            }
+        }
+        return -1;
+
+      case Policy::Priority: {
+        int best = -1;
+        for (size_t i = 0; i < n; ++i) {
+            if (!runnable(i))
+                continue;
+            if (best < 0 || tenants_[i].stats.priority >
+                                tenants_[size_t(best)].stats.priority)
+                best = int(i);
+        }
+        return best;
+      }
+
+      case Policy::ShortestRemaining: {
+        int best = -1;
+        for (size_t i = 0; i < n; ++i) {
+            if (!runnable(i))
+                continue;
+            if (best < 0 || tenants_[i].remaining <
+                                tenants_[size_t(best)].remaining)
+                best = int(i);
+        }
+        return best;
+      }
+    }
+    return -1;
+}
+
+ScheduleResult
+MultiTenantScheduler::runAll()
+{
+    ScheduleResult result;
+    result.ways = ways();
+    if (!anyPending()) {
+        for (const auto &t : tenants_)
+            result.tenants.push_back(t.stats);
+        return result;
+    }
+
+    Tracer &tracer = Tracer::global();
+    const uint64_t trace_entry_base =
+        Tracer::active() ? tracer.base() : 0;
+    const uint64_t trace_t0 = Tracer::active() ? tracer.now() : 0;
+
+    uint64_t batch_start = partitions_.front().clock;
+    for (const auto &p : partitions_)
+        batch_start = std::min(batch_start, p.clock);
+    uint64_t batch_end = batch_start;
+    const uint64_t dram_before = [&] {
+        uint64_t total = 0;
+        for (const auto &p : partitions_)
+            total += p.accel->hierarchy().dramAccesses();
+        return total;
+    }();
+
+    while (anyPending()) {
+        // The partition that frees up first arbitrates next.
+        size_t pk = 0;
+        for (size_t k = 1; k < partitions_.size(); ++k)
+            if (partitions_[k].clock < partitions_[pk].clock)
+                pk = k;
+        Partition *p = &partitions_[pk];
+
+        const int t = pickNext(p->clock);
+        if (t < 0) {
+            // Every pending tenant is mid-slice on another way:
+            // idle this partition to the earliest release.
+            uint64_t next = ~uint64_t(0);
+            for (const auto &tn : tenants_)
+                if (!tn.done)
+                    next = std::min(next, tn.busy_until);
+            p->clock = std::max(p->clock, next);
+            continue;
+        }
+        Tenant &T = tenants_[size_t(t)];
+
+        // Residency affinity: if the picked tenant's config is still
+        // installed on another way that is free at the same instant,
+        // run there and skip the reconfiguration stream.
+        if (partitions_[pk].resident != t) {
+            for (size_t k = 0; k < partitions_.size(); ++k) {
+                if (partitions_[k].resident == t &&
+                    partitions_[k].clock <= p->clock) {
+                    pk = k;
+                    p = &partitions_[pk];
+                    break;
+                }
+            }
+        }
+
+        const uint64_t start = p->clock;
+        T.stats.wait_cycles += start - std::min(start, T.runnable_at);
+        if (!T.started) {
+            T.started = true;
+            T.stats.first_run_cycle = start;
+        }
+
+        // Context switch: stream the tenant's saved configuration
+        // into this partition's plane (or swap the shadow plane).
+        uint64_t switch_cost = 0;
+        const bool switched = p->resident != t;
+        if (switched) {
+            switch_cost = params_.shadow_config ? 1 : T.stream_cycles;
+            p->accel->configure(T.config);
+            p->resident = t;
+            ++T.stats.switches;
+            T.stats.switch_cycles += switch_cost;
+            ++result.total_switches;
+            result.total_switch_cycles += switch_cost;
+        }
+        const uint64_t run_start = start + switch_cost;
+
+        // An unchallenged pick can never be preempted at an epoch
+        // boundary (priority is static, shortest-remaining only gets
+        // shorter, round-robin with one tenant has nobody to rotate
+        // to), so it runs to completion instead of paying the
+        // pipeline refill at every slice.
+        bool unchallenged = true;
+        for (size_t j = 0; j < tenants_.size(); ++j) {
+            if (int(j) == t || tenants_[j].done)
+                continue;
+            const Tenant &J = tenants_[j];
+            switch (params_.policy) {
+              case Policy::RoundRobin:
+                unchallenged = false;
+                break;
+              case Policy::Priority:
+                if (J.stats.priority > T.stats.priority ||
+                    (J.stats.priority == T.stats.priority &&
+                     int(j) < t))
+                    unchallenged = false;
+                break;
+              case Policy::ShortestRemaining:
+                if (J.remaining < T.remaining ||
+                    (J.remaining == T.remaining && int(j) < t))
+                    unchallenged = false;
+                break;
+            }
+            if (!unchallenged)
+                break;
+        }
+
+        const uint64_t slice =
+            unchallenged || params_.epoch_iterations == 0
+                ? T.remaining
+                : std::min(T.remaining, params_.epoch_iterations);
+
+        // Anchor the accelerator's local timeline at the slice start.
+        if (Tracer::active())
+            tracer.setBase(trace_t0 + (run_start - batch_start));
+        AccelRunResult res = p->accel->run(*T.state, slice);
+
+        T.stats.accel.accumulate(res);
+        T.stats.run_cycles += res.cycles;
+        T.stats.iterations += res.iterations;
+        ++T.stats.slices;
+        T.remaining -= std::min(T.remaining, res.iterations);
+
+        p->clock = run_start + res.cycles;
+        p->busy += switch_cost + res.cycles;
+        result.busy_cycles += switch_cost + res.cycles;
+        result.total_iterations += res.iterations;
+        T.busy_until = p->clock;
+        T.runnable_at = p->clock;
+        batch_end = std::max(batch_end, p->clock);
+
+        if (res.completed || T.remaining == 0 ||
+            res.iterations == 0) {
+            T.done = true;
+            T.stats.completed = res.completed;
+            T.stats.finish_cycle = p->clock;
+        }
+
+        result.timeline.push_back({int(pk), t, start,
+                                   switch_cost + res.cycles,
+                                   res.iterations, switched});
+
+        if (Tracer::active()) {
+            const std::string ptrack =
+                "sched.p" + std::to_string(pk);
+            const uint64_t tstart = trace_t0 + (start - batch_start);
+            if (switched)
+                tracer.span(ptrack, "config-switch", tstart,
+                            switch_cost,
+                            {{"tenant", t},
+                             {"stream_cycles", switch_cost}});
+            tracer.span(ptrack, "tenant" + std::to_string(t),
+                        tstart + switch_cost, res.cycles,
+                        {{"iterations", res.iterations},
+                         {"remaining", T.remaining}});
+            tracer.span("sched.tenant" + std::to_string(t), "run",
+                        tstart + switch_cost, res.cycles,
+                        {{"partition", int(pk)},
+                         {"iterations", res.iterations}});
+        }
+    }
+
+    result.makespan_cycles = batch_end - batch_start;
+    // Shared DRAM bandwidth floor: every partition's fills contend on
+    // the same channels the full-array device would use.
+    uint64_t dram_after = 0;
+    for (const auto &p : partitions_)
+        dram_after += p.accel->hierarchy().dramAccesses();
+    result.dram_accesses = dram_after - dram_before;
+    if (!params_.accel.ideal_memory && result.dram_accesses > 0) {
+        const uint64_t floor = uint64_t(
+            std::ceil(double(result.dram_accesses) /
+                      params_.accel.dram_accesses_per_cycle));
+        result.makespan_cycles =
+            std::max(result.makespan_cycles, floor);
+    }
+    result.occupancy =
+        result.makespan_cycles
+            ? double(result.busy_cycles) /
+                  (double(ways()) * double(result.makespan_cycles))
+            : 0.0;
+    for (const auto &t : tenants_)
+        result.tenants.push_back(t.stats);
+
+    if (Tracer::active())
+        tracer.setBase(trace_entry_base + result.makespan_cycles);
+    if (stats_)
+        result.registerInto(*stats_);
+    return result;
+}
+
+std::optional<core::OffloadStats>
+MultiTenantScheduler::serve(const core::OffloadRequest &request)
+{
+    if (!request.state || request.body.empty())
+        return std::nullopt;
+    const int id =
+        submit(request.body, *request.state, request.parallel_hint,
+               request.max_iterations, request.priority);
+    if (id < 0)
+        return std::nullopt;
+    runAll();
+
+    const Tenant &T = tenants_[size_t(id)];
+    core::OffloadStats os;
+    os.region_start = request.body.front().pc;
+    os.region_end = request.body.back().pc + 4;
+    os.encode_cycles = T.encode_cycles;
+    os.mapping_cycles = T.mapping_cycles;
+    os.config_cycles = T.stream_cycles;
+    os.tile_factor = T.config.tileCount();
+    os.pipelined = T.config.pipelined;
+    os.model_latency = T.config.model_latency;
+    os.sched_wait_cycles = T.stats.wait_cycles;
+    os.sched_switches = T.stats.switches;
+    os.accel_cycles = T.stats.run_cycles;
+    os.accel_iterations = T.stats.iterations;
+    os.accel = T.stats.accel;
+    return os;
+}
+
+} // namespace mesa::sched

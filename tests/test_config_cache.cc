@@ -1,0 +1,116 @@
+/**
+ * @file
+ * ConfigCache unit tests: keyed-index LRU ordering, replace-in-place
+ * recency, invalidation, eviction counting, and the stats-registry
+ * wiring. Complements the two smoke tests in test_config.cc with the
+ * ordering-sensitive cases the keyed index must preserve.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mesa/config_cache.hh"
+#include "util/stats_registry.hh"
+
+using namespace mesa;
+using core::ConfigCache;
+
+namespace
+{
+
+accel::AcceleratorConfig
+cfg(uint32_t start, uint64_t words = 1)
+{
+    accel::AcceleratorConfig c;
+    c.region_start = start;
+    c.region_end = start + 0x40;
+    c.config_words = words;
+    return c;
+}
+
+} // namespace
+
+TEST(ConfigCacheDetail, EvictionFollowsLruOrderExactly)
+{
+    ConfigCache cache(3);
+    cache.insert(cfg(0x100));
+    cache.insert(cfg(0x200));
+    cache.insert(cfg(0x300));
+    // Recency now 0x300 > 0x200 > 0x100. Touch 0x100: LRU is 0x200.
+    EXPECT_NE(cache.lookup(0x100), nullptr);
+    cache.insert(cfg(0x400)); // evicts 0x200
+    EXPECT_EQ(cache.lookup(0x200), nullptr);
+    EXPECT_NE(cache.lookup(0x300), nullptr);
+    // Recency 0x300 > 0x400 > 0x100. Next eviction takes 0x100.
+    cache.insert(cfg(0x500));
+    EXPECT_EQ(cache.lookup(0x100), nullptr);
+    EXPECT_EQ(cache.evictions(), 2u);
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ConfigCacheDetail, ReplaceInPlaceMovesToMruWithoutEviction)
+{
+    ConfigCache cache(2);
+    cache.insert(cfg(0x100, 1));
+    cache.insert(cfg(0x200, 1));
+    // Re-inserting 0x100 updates the entry and makes it MRU.
+    cache.insert(cfg(0x100, 42));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    const auto *hit = cache.lookup(0x100);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->config_words, 42u);
+    // 0x200 is LRU now, so the next insert drops it, not 0x100.
+    cache.insert(cfg(0x300, 1));
+    EXPECT_EQ(cache.lookup(0x200), nullptr);
+    EXPECT_NE(cache.lookup(0x100), nullptr);
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ConfigCacheDetail, InvalidateMiddleEntryKeepsOrdering)
+{
+    ConfigCache cache(3);
+    cache.insert(cfg(0x100));
+    cache.insert(cfg(0x200));
+    cache.insert(cfg(0x300));
+    cache.invalidate(0x200);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.lookup(0x200), nullptr);
+    // Invalidation is not an eviction.
+    EXPECT_EQ(cache.evictions(), 0u);
+    // Room for one more without evicting.
+    cache.insert(cfg(0x400));
+    EXPECT_EQ(cache.evictions(), 0u);
+    cache.insert(cfg(0x500)); // now over capacity: 0x100 is LRU
+    EXPECT_EQ(cache.lookup(0x100), nullptr);
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ConfigCacheDetail, InvalidateUnknownKeyIsANoOp)
+{
+    ConfigCache cache(2);
+    cache.insert(cfg(0x100));
+    cache.invalidate(0x999);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_NE(cache.lookup(0x100), nullptr);
+}
+
+TEST(ConfigCacheDetail, CountersFlowIntoStatsRegistry)
+{
+    ConfigCache cache(2);
+    StatsRegistry stats;
+    cache.registerStats(stats, "mesa.config_cache.");
+
+    cache.lookup(0x100);       // miss
+    cache.insert(cfg(0x100));
+    cache.lookup(0x100);       // hit
+    cache.insert(cfg(0x200));
+    cache.insert(cfg(0x300));  // evicts 0x100
+
+    // Linked by reference: the registry sees live values.
+    EXPECT_EQ(stats.value("mesa.config_cache.hits"), 1.0);
+    EXPECT_EQ(stats.value("mesa.config_cache.misses"), 1.0);
+    EXPECT_EQ(stats.value("mesa.config_cache.evictions"), 1.0);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.evictions(), 1u);
+}
