@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Static lint over MESA's translation pipeline: run every suite
+ * kernel's hot loop through encode -> map -> configure and hand the
+ * three artifacts to the src/verify passes, printing a diagnostics
+ * table (or a JSON report for CI). A clean exit (0) means no
+ * error-severity finding anywhere; any error exits 1.
+ *
+ *   ./build/examples/mesa_lint                      # whole suite
+ *   ./build/examples/mesa_lint --kernel srad --json
+ *   ./build/examples/mesa_lint --accel M-64 --timemux
+ *   ./build/examples/mesa_lint --rules              # rule catalog
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dfg/analysis.hh"
+#include "interconnect/folded.hh"
+#include "mesa/config_builder.hh"
+#include "mesa/mapper.hh"
+#include "util/json.hh"
+#include "util/table.hh"
+#include "verify/verifier.hh"
+#include "workloads/kernel.hh"
+
+using namespace mesa;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "mesa_lint — static verifier for the MESA translation "
+        "pipeline\n"
+        "  --kernel <name>  lint one suite kernel (default: all)\n"
+        "  --accel <cfg>    M-64 | M-128 | M-512 (default M-128)\n"
+        "  --scale <n>      iteration count knob (default 64)\n"
+        "  --timemux        allow folding oversized bodies (x4)\n"
+        "  --werror         exit 1 on warnings too\n"
+        "  --json           machine-readable report\n"
+        "  --rules          print the rule catalog and exit\n"
+        "  --list           list available kernels\n";
+}
+
+/** One kernel's lint outcome. */
+struct LintResult
+{
+    std::string kernel;
+    size_t nodes = 0;
+    size_t unmapped = 0;
+    int tiles = 1;
+    int time_multiplex = 1;
+    bool skipped = false;
+    std::string skip_reason;
+    verify::Report report;
+};
+
+LintResult
+lintKernel(const workloads::Kernel &kernel,
+           const accel::AccelParams &accel, bool allow_timemux)
+{
+    LintResult out;
+    out.kernel = kernel.name;
+
+    const auto body = kernel.loopBody();
+    if (body.empty()) {
+        out.skipped = true;
+        out.skip_reason = "no hot-loop body";
+        return out;
+    }
+    const size_t capacity = accel.capacity();
+    const int max_tm = allow_timemux ? 4 : 1;
+
+    dfg::BuildError err = dfg::BuildError::None;
+    auto ldfg = dfg::Ldfg::build(body, accel.op_latency,
+                                 capacity * size_t(max_tm), &err);
+    if (!ldfg) {
+        // Not encodable is not a lint failure: the monitor would have
+        // rejected the region (C1/C2) before the pipeline ever ran.
+        out.skipped = true;
+        out.skip_reason =
+            std::string("not encodable: ") + dfg::buildErrorName(err);
+        return out;
+    }
+    out.nodes = ldfg->size();
+
+    // Mirror MesaController::prepare: map on the physical grid, or on
+    // a virtual fold of it when the body exceeds the PE count.
+    ic::AccelNocInterconnect noc(accel.rows, accel.cols,
+                                 accel.noc_slice_width);
+    const int tm = int((ldfg->size() + capacity - 1) / capacity);
+    core::MapResult map;
+    core::ConfigOptions options;
+    if (tm > 1) {
+        accel::AccelParams virt = accel;
+        virt.rows *= tm;
+        ic::FoldedInterconnect folded(noc, accel.rows);
+        core::InstructionMapper mapper(virt, folded, {});
+        map = mapper.map(*ldfg);
+        options.time_multiplex = tm;
+    } else {
+        core::InstructionMapper mapper(accel, noc, {});
+        map = mapper.map(*ldfg);
+    }
+    out.unmapped = map.unmapped.size();
+    out.time_multiplex = tm;
+
+    // Tiling under the same legality conditions the controller uses.
+    const bool unknown_stores =
+        !dfg::findUnknownAddressStores(*ldfg).empty();
+    const auto inductions = dfg::findInductionRegs(*ldfg);
+    bool reg_carried = false;
+    for (int reg : ldfg->writtenRegs()) {
+        if (!ldfg->liveIns().count(reg))
+            continue;
+        bool is_induction = false;
+        for (const auto &ind : inductions)
+            is_induction = is_induction || ind.unified_reg == reg;
+        if (!is_induction)
+            reg_carried = true;
+    }
+    options.pipelined = true;
+    options.tile_factor =
+        (tm == 1 && kernel.parallel && !unknown_stores && !reg_carried)
+            ? std::max(1, core::ConfigBlock::maxTileFactor(map.sdfg,
+                                                           accel))
+            : 1;
+
+    core::ConfigBlock config_block(accel);
+    const uint32_t region_start = body.front().pc;
+    const uint32_t region_end = body.back().pc + 4;
+    accel::AcceleratorConfig config = config_block.build(
+        *ldfg, map.sdfg, options, region_start, region_end);
+    out.tiles = config.tileCount();
+
+    if (tm > 1) {
+        ic::FoldedInterconnect folded(noc, accel.rows);
+        out.report = verify::verifyPipeline(*ldfg, map.sdfg,
+                                            map.unmapped, config,
+                                            accel, folded);
+    } else {
+        out.report = verify::verifyPipeline(*ldfg, map.sdfg,
+                                            map.unmapped, config,
+                                            accel, noc);
+    }
+    return out;
+}
+
+void
+printRuleCatalog()
+{
+    TextTable table;
+    table.header({"rule", "severity", "pass", "summary"});
+    for (const auto &rule : verify::ruleCatalog())
+        table.row({rule.id, verify::severityName(rule.severity),
+                   rule.pass, rule.summary});
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string kernel_name;
+    std::string accel_name = "M-128";
+    uint64_t scale = 64;
+    bool allow_timemux = false;
+    bool werror = false;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--kernel") {
+            kernel_name = next();
+        } else if (arg == "--accel") {
+            accel_name = next();
+        } else if (arg == "--scale") {
+            scale = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--timemux") {
+            allow_timemux = true;
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--rules") {
+            printRuleCatalog();
+            return 0;
+        } else if (arg == "--list") {
+            for (const auto &k : workloads::rodiniaSuite({64}))
+                std::cout << k.name << "\n";
+            return 0;
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    accel::AccelParams accel;
+    if (accel_name == "M-64")
+        accel = accel::AccelParams::m64();
+    else if (accel_name == "M-512")
+        accel = accel::AccelParams::m512();
+    else
+        accel = accel::AccelParams::m128();
+
+    std::vector<workloads::Kernel> kernels;
+    if (kernel_name.empty())
+        kernels = workloads::rodiniaSuite({scale});
+    else
+        kernels.push_back(workloads::kernelByName(kernel_name,
+                                                  {scale}));
+
+    std::vector<LintResult> results;
+    size_t errors = 0, warnings = 0, notes = 0;
+    for (const auto &kernel : kernels) {
+        results.push_back(lintKernel(kernel, accel, allow_timemux));
+        const auto &r = results.back();
+        errors += r.report.errorCount();
+        warnings += r.report.warnCount();
+        notes += r.report.noteCount();
+    }
+    const bool failed = errors > 0 || (werror && warnings > 0);
+
+    if (json) {
+        JsonWriter w;
+        w.beginObject()
+            .field("accel", accel.name)
+            .field("errors", uint64_t(errors))
+            .field("warnings", uint64_t(warnings))
+            .field("notes", uint64_t(notes))
+            .field("ok", !failed)
+            .key("kernels")
+            .beginArray();
+        for (const auto &r : results) {
+            w.beginObject()
+                .field("kernel", r.kernel)
+                .field("skipped", r.skipped);
+            if (r.skipped) {
+                w.field("reason", r.skip_reason);
+            } else {
+                w.field("nodes", uint64_t(r.nodes))
+                    .field("unmapped", uint64_t(r.unmapped))
+                    .field("tiles", r.tiles)
+                    .field("time_multiplex", r.time_multiplex);
+                w.key("report");
+                r.report.toJson(w);
+            }
+            w.end();
+        }
+        w.end().end();
+        std::cout << w.str() << "\n";
+        return failed ? 1 : 0;
+    }
+
+    TextTable table;
+    table.header({"kernel", "nodes", "unmapped", "tiles", "result"});
+    for (const auto &r : results) {
+        if (r.skipped) {
+            table.row({r.kernel, "-", "-", "-",
+                       "skipped (" + r.skip_reason + ")"});
+            continue;
+        }
+        table.row({r.kernel, std::to_string(r.nodes),
+                   std::to_string(r.unmapped),
+                   std::to_string(r.tiles), r.report.summary()});
+    }
+    table.print(std::cout);
+
+    for (const auto &r : results) {
+        if (r.report.empty())
+            continue;
+        std::cout << "\n" << r.kernel << ":\n";
+        r.report.printTable(std::cout);
+    }
+    std::cout << "\n"
+              << (failed ? "FAIL" : "OK") << ": " << errors
+              << " errors, " << warnings << " warnings, " << notes
+              << " notes across " << results.size() << " kernels\n";
+    return failed ? 1 : 0;
+}

@@ -39,6 +39,8 @@ usage()
         "  --no-iterative      disable runtime re-optimization\n"
         "  --unroll            enable the unrolling extension\n"
         "  --timemux           enable PE time-multiplexing\n"
+        "  --verify            statically verify every prepared\n"
+        "                      config before offload (mesa.verify.*)\n"
         "  --tenants <n>       split the iteration space across n\n"
         "                      threads sharing one scheduled device\n"
         "  --sched-policy <p>  round-robin | priority |\n"
@@ -95,6 +97,8 @@ main(int argc, char **argv)
             params.enable_unrolling = true;
         } else if (arg == "--timemux") {
             params.enable_time_multiplexing = true;
+        } else if (arg == "--verify") {
+            params.verify_before_offload = true;
         } else if (arg == "--tenants") {
             tenants = int(std::strtol(next(), nullptr, 10));
         } else if (arg == "--sched-policy") {
@@ -231,7 +235,8 @@ main(int argc, char **argv)
     // Tracing covers only the MESA run (the baselines above would
     // otherwise interleave events with an unrelated time base).
     StatsRegistry stats;
-    const bool want_stats = !stats_json.empty() || stats_every > 0;
+    const bool want_stats = !stats_json.empty() || stats_every > 0 ||
+                            params.verify_before_offload;
     if (!trace_out.empty()) {
         Tracer::global().clear();
         Tracer::global().enable();
@@ -276,7 +281,16 @@ main(int argc, char **argv)
             .field("kernel", kernel.name)
             .field("accel", params.accel.name)
             .field("iterations", kernel.iterations)
-            .field("parallel", kernel.parallel)
+            .field("parallel", kernel.parallel);
+        if (params.verify_before_offload) {
+            w.field("verify_configs_checked",
+                    uint64_t(stats.value("mesa.verify.configs_checked")))
+                .field("verify_violations",
+                       uint64_t(stats.value("mesa.verify.violations")))
+                .field("verify_fallbacks",
+                       uint64_t(stats.value("mesa.verify.fallbacks")));
+        }
+        w
             .field("single_core_cycles", single.run.cycles)
             .field("multicore_cycles", multi.run.cycles)
             .field("multicore_energy_nj", multi.energy_nj)
@@ -321,7 +335,18 @@ main(int argc, char **argv)
               << "x vs single core\n";
     std::cout << "energy eff  : "
               << TextTable::num(multi.energy_nj / run.energy_nj)
-              << "x vs multicore\n\n";
+              << "x vs multicore\n";
+    if (params.verify_before_offload) {
+        std::cout << "verify      : "
+                  << uint64_t(
+                         stats.value("mesa.verify.configs_checked"))
+                  << " configs checked, "
+                  << uint64_t(stats.value("mesa.verify.violations"))
+                  << " violations, "
+                  << uint64_t(stats.value("mesa.verify.fallbacks"))
+                  << " CPU fallbacks\n";
+    }
+    std::cout << "\n";
 
     if (run.result.offloads.empty()) {
         std::cout << "loop was NOT offloaded; rejections:\n";

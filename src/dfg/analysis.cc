@@ -196,7 +196,7 @@ findUnknownAddressStores(const Ldfg &ldfg)
 std::optional<LoopBranchInfo>
 analyzeLoopBranch(const Ldfg &ldfg)
 {
-    if (ldfg.size() == 0)
+    if (ldfg.empty())
         return std::nullopt;
     const LdfgNode &br = ldfg.node(ldfg.backBranch());
     if (!br.inst.isBranch())

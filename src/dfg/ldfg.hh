@@ -147,6 +147,7 @@ class Ldfg
         BuildError *error = nullptr);
 
     size_t size() const { return nodes_.size(); }
+    bool empty() const { return nodes_.empty(); }
     const LdfgNode &node(NodeId id) const { return nodes_[size_t(id)]; }
     LdfgNode &node(NodeId id) { return nodes_[size_t(id)]; }
     const std::vector<LdfgNode> &nodes() const { return nodes_; }

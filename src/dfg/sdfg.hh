@@ -51,6 +51,24 @@ class Sdfg
         return true;
     }
 
+    /**
+     * Write a placement without the occupancy/range checks. Exists so
+     * the verifier's negative tests can corrupt a mapping on purpose;
+     * the mapper must use place().
+     */
+    void
+    placeUnchecked(NodeId id, Coord pos)
+    {
+        if (inRange(pos))
+            grid_(size_t(pos.r), size_t(pos.c)) = id;
+        if (id >= 0) {
+            if (size_t(id) >= coord_of_.size())
+                coord_of_.resize(size_t(id) + 1, Coord{});
+            coord_of_[size_t(id)] = pos;
+        }
+        ++placed_;
+    }
+
     /** Remove a node from the grid (iterative remapping). */
     void
     remove(NodeId id)

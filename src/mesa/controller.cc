@@ -7,6 +7,7 @@
 #include "interconnect/folded.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
+#include "verify/verifier.hh"
 
 namespace mesa::core
 {
@@ -96,6 +97,7 @@ MesaController::attachStats(StatsRegistry *registry,
     snapshot_iterations_ = snapshot_iterations;
     snapshot_accum_ = 0;
     live_ = LiveStats{};
+    verify_rule_counters_.clear();
     if (!stats_)
         return;
     live_.offloads = &stats_->counter("mesa.offloads");
@@ -117,6 +119,64 @@ MesaController::attachStats(StatsRegistry *registry,
         &stats_->histogram("mesa.epoch.cycles", 32, 256.0);
     live_.epoch_cycles_per_iter =
         &stats_->average("mesa.epoch.cycles_per_iter");
+    if (params_.verify_before_offload) {
+        live_.verify_checked =
+            &stats_->counter("mesa.verify.configs_checked");
+        live_.verify_violations =
+            &stats_->counter("mesa.verify.violations");
+        live_.verify_fallbacks =
+            &stats_->counter("mesa.verify.fallbacks");
+    }
+}
+
+Counter &
+MesaController::verifyRuleCounter(const std::string &rule)
+{
+    auto it = verify_rule_counters_.find(rule);
+    if (it == verify_rule_counters_.end()) {
+        Counter &c = stats_->counter("mesa.verify.rule." + rule);
+        it = verify_rule_counters_.emplace(rule, &c).first;
+    }
+    return *it->second;
+}
+
+bool
+MesaController::verifyPrepared(const Prepared &prep)
+{
+    // Pass 2 on the grid the mapper actually used: the physical array,
+    // or a virtual fold of it when the region is time-multiplexed.
+    verify::Report report;
+    if (prep.options.time_multiplex > 1) {
+        ic::FoldedInterconnect folded(accel_.interconnect(),
+                                      params_.accel.rows);
+        report = verify::verifyMapping(prep.ldfg, prep.map.sdfg,
+                                       prep.map.unmapped, params_.accel,
+                                       folded);
+    } else {
+        report = verify::verifyMapping(prep.ldfg, prep.map.sdfg,
+                                       prep.map.unmapped, params_.accel,
+                                       accel_.interconnect());
+    }
+    // Pass 3: config round-trip against the source LDFG.
+    report.merge(verify::verifyConfig(prep.ldfg, prep.config,
+                                      params_.accel));
+
+    const bool clean = report.clean();
+    if (stats_) {
+        ++*live_.verify_checked;
+        *live_.verify_violations += report.errorCount();
+        if (!clean)
+            ++*live_.verify_fallbacks;
+        for (const auto &[rule, count] : report.countsByRule())
+            verifyRuleCounter(rule) += count;
+    }
+    if (!clean) {
+        DTRACE("controller",
+               "verify gate rejected region 0x"
+                   << std::hex << prep.config.region_start << std::dec
+                   << ": " << report.summary());
+    }
+    return clean;
 }
 
 uint64_t
@@ -292,6 +352,8 @@ MesaController::prepare(const std::vector<Instruction> &body,
                                       prep.options, region_start,
                                       region_end);
     prep.config.model_latency = prep.map.model_latency;
+    if (params_.verify_before_offload && !verifyPrepared(prep))
+        return std::nullopt;
     DTRACE("controller",
            "prepared region 0x" << std::hex << region_start << std::dec
                                 << ": " << prep.ldfg.size()

@@ -13,7 +13,9 @@
 #ifndef MESA_MESA_CONTROLLER_HH
 #define MESA_MESA_CONTROLLER_HH
 
+#include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "accel/accelerator.hh"
@@ -72,6 +74,18 @@ struct MesaParams
      * swap instead of stalling for the bitstream write.
      */
     bool shadow_config = false;
+
+    /**
+     * Run the static verifier (src/verify) over every freshly
+     * prepared region: mapping legality plus config round-trip
+     * against the source LDFG. Error-severity findings veto the
+     * offload (the region falls back to CPU execution and is
+     * blacklisted like any structural failure); findings land under
+     * "mesa.verify.*" in the attached stats registry. Off by default
+     * — the real controller would bake these invariants into the
+     * pipeline, the knob models a self-checking deployment.
+     */
+    bool verify_before_offload = false;
 
     /** Iterations profiled between optimization attempts. */
     uint64_t profile_epoch_iterations = 128;
@@ -275,6 +289,13 @@ class MesaController
         const std::vector<riscv::Instruction> &body, bool parallel_hint,
         uint32_t region_start, uint32_t region_end);
 
+    /**
+     * Run the verify-before-offload gate over a prepared region
+     * (passes 2+3 of the static verifier) and feed the verify.*
+     * counters. @return true when the region may be offloaded.
+     */
+    bool verifyPrepared(const Prepared &prep);
+
     /** Run the configured region with iterative optimization. */
     void runWithOptimization(Prepared &prep, riscv::ArchState &state,
                              uint64_t max_iterations, OffloadStats &os);
@@ -306,7 +327,13 @@ class MesaController
         Counter *accel_iterations = nullptr;
         Histogram *epoch_cycles = nullptr;
         Average *epoch_cycles_per_iter = nullptr;
+        Counter *verify_checked = nullptr;
+        Counter *verify_violations = nullptr;
+        Counter *verify_fallbacks = nullptr;
     };
+
+    /** Per-rule verify counters, created on first finding. */
+    Counter &verifyRuleCounter(const std::string &rule);
 
     MesaParams params_;
     mem::MainMemory &memory_;
@@ -317,6 +344,7 @@ class MesaController
 
     StatsRegistry *stats_ = nullptr;
     LiveStats live_;
+    std::map<std::string, Counter *> verify_rule_counters_;
     uint64_t snapshot_iterations_ = 0;
     uint64_t snapshot_accum_ = 0; ///< Iterations since last snapshot.
 

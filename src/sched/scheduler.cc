@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "dfg/ldfg.hh"
+#include "util/debug.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
+#include "verify/verifier.hh"
 
 namespace mesa::sched
 {
@@ -73,6 +75,8 @@ ScheduleResult::registerInto(StatsRegistry &registry,
     set("throughput_iter_per_kcycle", throughputIterPerKcycle());
     set("fairness_jain", fairnessJain());
     set("tenant_count", double(tenants.size()));
+    set("verify.configs_checked", double(verify_checked));
+    set("verify.rejects", double(verify_rejects));
     for (const auto &t : tenants) {
         // Relative to @p prefix: set() prepends it.
         const std::string p =
@@ -154,6 +158,23 @@ MultiTenantScheduler::submit(
     t.config = config_block_->build(*ldfg, map.sdfg, options,
                                     region_start, region_end);
     t.config.model_latency = map.model_latency;
+
+    if (params_.verify_before_offload) {
+        // Legality check against the partition geometry before the
+        // context can ever land on a sub-array.
+        ++verify_checked_;
+        verify::Report report = verify::verifyMapping(
+            *ldfg, map.sdfg, map.unmapped, part_params_, *part_ic_);
+        report.merge(
+            verify::verifyConfig(*ldfg, t.config, part_params_));
+        if (!report.clean()) {
+            ++verify_rejects_;
+            DTRACE("sched", "verify gate refused region 0x"
+                                << std::hex << region_start << std::dec
+                                << ": " << report.summary());
+            return -1;
+        }
+    }
     t.state = &state;
     t.remaining = max_iterations;
     t.stream_cycles = config_block_->configCycles(t.config);
@@ -236,6 +257,8 @@ MultiTenantScheduler::runAll()
 {
     ScheduleResult result;
     result.ways = ways();
+    result.verify_checked = verify_checked_;
+    result.verify_rejects = verify_rejects_;
     if (!anyPending()) {
         for (const auto &t : tenants_)
             result.tenants.push_back(t.stats);

@@ -76,6 +76,15 @@ struct SchedParams
     /** Mapping failures tolerated before a request is refused. */
     double max_unmapped_frac = 0.25;
 
+    /**
+     * Statically verify every tenant's sub-array mapping and saved
+     * configuration at submit time (passes 2+3 of src/verify, against
+     * the partition geometry). A region with error-severity findings
+     * is refused (-1) before it ever lands on a way — the Mestra-style
+     * legality check for virtualized sub-array contexts.
+     */
+    bool verify_before_offload = false;
+
     double clock_ghz = 2.0;
 };
 
@@ -138,6 +147,10 @@ struct ScheduleResult
     uint64_t total_switch_cycles = 0;
     uint64_t total_iterations = 0;
     uint64_t dram_accesses = 0;
+
+    /** Submit-time verify gate outcomes (verify_before_offload). */
+    uint64_t verify_checked = 0;
+    uint64_t verify_rejects = 0;
 
     std::vector<TenantStats> tenants;
     std::vector<ScheduleSlice> timeline;
@@ -254,6 +267,9 @@ class MultiTenantScheduler final : public core::OffloadArbiter
     std::vector<Partition> partitions_;
     std::vector<Tenant> tenants_; ///< The context table.
     size_t rr_next_ = 0;
+
+    uint64_t verify_checked_ = 0;
+    uint64_t verify_rejects_ = 0;
 
     StatsRegistry *stats_ = nullptr;
 };

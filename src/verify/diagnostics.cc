@@ -1,0 +1,108 @@
+#include "verify/diagnostics.hh"
+
+#include "util/json.hh"
+#include "util/table.hh"
+
+namespace mesa::verify
+{
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warn: return "warn";
+      case Severity::Error: return "error";
+      default: return "???";
+    }
+}
+
+size_t
+Report::count(Severity severity) const
+{
+    size_t n = 0;
+    for (const auto &d : diags_)
+        if (d.severity == severity)
+            ++n;
+    return n;
+}
+
+bool
+Report::hasRule(const std::string &rule) const
+{
+    for (const auto &d : diags_)
+        if (d.rule == rule)
+            return true;
+    return false;
+}
+
+std::map<std::string, size_t>
+Report::countsByRule() const
+{
+    std::map<std::string, size_t> counts;
+    for (const auto &d : diags_)
+        ++counts[d.rule];
+    return counts;
+}
+
+void
+Report::merge(const Report &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(),
+                  other.diags_.end());
+}
+
+void
+Report::toJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .field("errors", uint64_t(errorCount()))
+        .field("warnings", uint64_t(warnCount()))
+        .field("notes", uint64_t(noteCount()))
+        .key("diagnostics")
+        .beginArray();
+    for (const auto &d : diags_) {
+        w.beginObject()
+            .field("rule", d.rule)
+            .field("severity", severityName(d.severity))
+            .field("where", d.where)
+            .field("message", d.message)
+            .end();
+    }
+    w.end().end();
+}
+
+void
+Report::printTable(std::ostream &os, Severity min) const
+{
+    TextTable table;
+    table.header({"severity", "rule", "where", "message"});
+    for (const auto &d : diags_) {
+        if (d.severity < min)
+            continue;
+        table.row({severityName(d.severity), d.rule, d.where,
+                   d.message});
+    }
+    if (table.rows() > 0)
+        table.print(os);
+}
+
+std::string
+Report::summary() const
+{
+    const size_t e = errorCount();
+    const size_t w = warnCount();
+    const size_t n = noteCount();
+    auto plural = [](size_t k, const char *word) {
+        return std::to_string(k) + " " + word + (k == 1 ? "" : "s");
+    };
+    if (e + w + n == 0)
+        return "clean";
+    std::string out = plural(e, "error");
+    out += ", " + plural(w, "warning");
+    if (n > 0)
+        out += ", " + plural(n, "note");
+    return out;
+}
+
+} // namespace mesa::verify

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Diagnostics engine for the translation-pipeline static verifier:
+ * a diagnostic is (rule id, severity, location, message); a report
+ * collects them, counts by severity/rule, renders a plain-text table
+ * (mesa_lint) or JSON (mesa_lint --json, CI), and merges across
+ * passes. The severity policy is the contract the controller's
+ * verify-before-offload gate enforces: `error` findings veto the
+ * offload (the region falls back to the CPU), `warn` findings are
+ * reported but do not block, `note` findings are informational.
+ */
+
+#ifndef MESA_VERIFY_DIAGNOSTICS_HH
+#define MESA_VERIFY_DIAGNOSTICS_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mesa
+{
+class JsonWriter;
+}
+
+namespace mesa::verify
+{
+
+/** Finding severity, ordered by increasing weight. */
+enum class Severity
+{
+    Note,
+    Warn,
+    Error
+};
+
+const char *severityName(Severity severity);
+
+/** One verifier finding. */
+struct Diagnostic
+{
+    std::string rule;  ///< Rule id, e.g. "map.duplicate-pe".
+    Severity severity = Severity::Note;
+    std::string where; ///< Location, e.g. "node 5 (add)" or "pe (3,2)".
+    std::string message;
+};
+
+/** A collection of findings from one or more verification passes. */
+class Report
+{
+  public:
+    void
+    add(Severity severity, std::string rule, std::string where,
+        std::string message)
+    {
+        diags_.push_back({std::move(rule), severity, std::move(where),
+                          std::move(message)});
+    }
+
+    void
+    error(std::string rule, std::string where, std::string message)
+    {
+        add(Severity::Error, std::move(rule), std::move(where),
+            std::move(message));
+    }
+
+    void
+    warn(std::string rule, std::string where, std::string message)
+    {
+        add(Severity::Warn, std::move(rule), std::move(where),
+            std::move(message));
+    }
+
+    void
+    note(std::string rule, std::string where, std::string message)
+    {
+        add(Severity::Note, std::move(rule), std::move(where),
+            std::move(message));
+    }
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+    size_t size() const { return diags_.size(); }
+    bool empty() const { return diags_.empty(); }
+
+    size_t count(Severity severity) const;
+    size_t errorCount() const { return count(Severity::Error); }
+    size_t warnCount() const { return count(Severity::Warn); }
+    size_t noteCount() const { return count(Severity::Note); }
+
+    /** No error-severity findings (the offload-gate pass criterion). */
+    bool clean() const { return errorCount() == 0; }
+
+    bool hasRule(const std::string &rule) const;
+
+    /** Findings per rule id (for the verify.rule.* counters). */
+    std::map<std::string, size_t> countsByRule() const;
+
+    /** Append another pass's findings. */
+    void merge(const Report &other);
+
+    /**
+     * Emit as a JSON object: severity counts plus the full
+     * diagnostics array.
+     */
+    void toJson(JsonWriter &w) const;
+
+    /** Aligned text table of every finding at/above @p min. */
+    void printTable(std::ostream &os,
+                    Severity min = Severity::Note) const;
+
+    /** One-line severity summary, e.g. "2 errors, 1 warning". */
+    std::string summary() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace mesa::verify
+
+#endif // MESA_VERIFY_DIAGNOSTICS_HH

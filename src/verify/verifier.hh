@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Static verifier over MESA's translation pipeline (T1-T3): proves
+ * invariants over the three artifacts the hardware pipeline hands
+ * from stage to stage. Pass 1 checks LDFG well-formedness against a
+ * rename-table replay of the encoded body; pass 2 checks that a
+ * placement is legal for the accelerator geometry and realizable on
+ * the active interconnect; pass 3 decodes an AcceleratorConfig back
+ * into a dataflow skeleton and checks edge-for-edge equivalence with
+ * the source LDFG. Used offline by the mesa_lint CLI, online by the
+ * controller's verify-before-offload gate, and directly by tests.
+ *
+ * The layer depends only on dfg/accel/interconnect types so both the
+ * controller (mesa_core) and the scheduler (mesa_sched) can call it
+ * without a library cycle.
+ */
+
+#ifndef MESA_VERIFY_VERIFIER_HH
+#define MESA_VERIFY_VERIFIER_HH
+
+#include <vector>
+
+#include "accel/config_types.hh"
+#include "accel/params.hh"
+#include "dfg/ldfg.hh"
+#include "dfg/sdfg.hh"
+#include "interconnect/interconnect.hh"
+#include "verify/diagnostics.hh"
+
+namespace mesa::verify
+{
+
+/** Verifier thresholds (warn-level rules only). */
+struct VerifyOptions
+{
+    /**
+     * Fallback-bus usage above this fraction of the graph is flagged
+     * (map.fallback-threshold). The controller's own abandon limit is
+     * MesaParams::max_unmapped_frac; the verifier warns earlier.
+     */
+    double fallback_warn_frac = 0.125;
+
+    /**
+     * Operand routes costing more than this many cycles on the
+     * active interconnect are flagged (map.long-route).
+     */
+    uint32_t max_edge_latency = 16;
+
+    /**
+     * Node latencies this many times above/below the static class
+     * default are noted (dfg.latency-skew); measured refresh drifts
+     * are expected, gross skew usually means a corrupted annotation.
+     */
+    double latency_skew_factor = 16.0;
+};
+
+/** One rule of the catalog (docs, mesa_lint --rules). */
+struct RuleInfo
+{
+    const char *id;
+    Severity severity;
+    const char *pass;    ///< "dfg", "map", or "cfg".
+    const char *summary;
+};
+
+/** Every rule the three passes can emit, in catalog order. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/**
+ * Pass 1 — DFG well-formedness: dataflow edges acyclic modulo the
+ * loop-carried back-edge (every edge references an earlier node),
+ * producer edges consistent with a rename-table replay of the body,
+ * guard edges only from still-active forward branches, consumer lists
+ * symmetric with the edges, latency annotations positive.
+ */
+Report verifyLdfg(const dfg::Ldfg &ldfg,
+                  const dfg::OpLatencyConfig &lat_cfg = {},
+                  const VerifyOptions &opts = {});
+
+/**
+ * Pass 2 — mapping legality: every placement within the grid, at most
+ * one node per PE slot, placement table and occupancy grid in
+ * agreement, the unmapped list exactly the unplaced nodes, operation
+ * classes supported by their PEs (FP stripe), operand routes
+ * realizable on @p ic within the latency threshold, and fallback-bus
+ * pressure under the warn threshold. @p sdfg may sit on a virtual
+ * grid whose rows are a multiple of @p accel.rows (time-multiplexing
+ * folds virtual rows onto physical ones).
+ */
+Report verifyMapping(const dfg::Ldfg &ldfg, const dfg::Sdfg &sdfg,
+                     const std::vector<dfg::NodeId> &unmapped,
+                     const accel::AccelParams &accel,
+                     const ic::Interconnect &ic,
+                     const VerifyOptions &opts = {});
+
+/**
+ * Pass 3 — config round-trip: decode @p config back into a dataflow
+ * skeleton and check edge-for-edge equivalence with @p ldfg (operand
+ * and live-in wiring, guard sets, predication hidden deps), live-in/
+ * live-out sets against the final rename state, memory-optimization
+ * annotations referencing valid nodes, slot positions within the
+ * configured grid with at most time_multiplex sharers, and tile
+ * instances structurally identical and disjoint on the physical grid.
+ */
+Report verifyConfig(const dfg::Ldfg &ldfg,
+                    const accel::AcceleratorConfig &config,
+                    const accel::AccelParams &accel,
+                    const VerifyOptions &opts = {});
+
+/** All applicable passes merged into one report. */
+Report verifyPipeline(const dfg::Ldfg &ldfg, const dfg::Sdfg &sdfg,
+                      const std::vector<dfg::NodeId> &unmapped,
+                      const accel::AcceleratorConfig &config,
+                      const accel::AccelParams &accel,
+                      const ic::Interconnect &ic,
+                      const VerifyOptions &opts = {});
+
+} // namespace mesa::verify
+
+#endif // MESA_VERIFY_VERIFIER_HH

@@ -189,9 +189,9 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{"nn", uint64_t(255)},
                       std::tuple{"lud", uint64_t(253)},
                       std::tuple{"backprop", uint64_t(130)}),
-    [](const auto &info) {
-        return std::string(std::get<0>(info.param)) + "_" +
-               std::to_string(std::get<1>(info.param));
+    [](const auto &param_info) {
+        return std::string(std::get<0>(param_info.param)) + "_" +
+               std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(Unroll, ImprovesSmallLoopThroughput)

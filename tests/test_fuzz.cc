@@ -13,9 +13,16 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <sstream>
 
+#include "dfg/analysis.hh"
+#include "dfg/unroll.hh"
 #include "helpers.hh"
+#include "interconnect/folded.hh"
+#include "mesa/config_builder.hh"
+#include "mesa/mapper.hh"
 #include "riscv/assembler.hh"
+#include "verify/verifier.hh"
 
 namespace
 {
@@ -242,9 +249,134 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, PipelineFuzz,
     ::testing::Combine(::testing::Range(1u, 101u),
                        ::testing::Values(0, 1, 2)),
-    [](const auto &info) {
-        return "s" + std::to_string(std::get<0>(info.param)) + "_cfg" +
-               std::to_string(std::get<1>(info.param));
+    [](const auto &param_info) {
+        return "s" + std::to_string(std::get<0>(param_info.param)) + "_cfg" +
+               std::to_string(std::get<1>(param_info.param));
+    });
+
+/**
+ * Pipeline soundness fuzzing: every random body the pipeline accepts
+ * must produce artifacts the static verifier (src/verify) finds no
+ * error in — the translation invariants hold for arbitrary inputs,
+ * not just the suite kernels. Same deterministic seeds and the same
+ * three configuration axes as the end-to-end fuzz above, but no
+ * execution: encode -> map -> configure only, so the suite stays
+ * cheap enough to widen.
+ */
+class VerifierFuzz
+    : public ::testing::TestWithParam<std::tuple<uint32_t, int>>
+{
+  protected:
+    static std::string
+    render(const verify::Report &report)
+    {
+        std::ostringstream os;
+        report.printTable(os);
+        return os.str();
+    }
+};
+
+TEST_P(VerifierFuzz, AcceptedBodiesVerifyWithZeroErrors)
+{
+    const auto [seed, axis] = GetParam();
+    const GeneratedLoop gen = generate(seed);
+    std::vector<riscv::Instruction> body = gen.kernel.loopBody();
+
+    accel::AccelParams accel = accel::AccelParams::m128();
+    int max_tm = 1;
+    if (axis == 1) {
+        // Tiny folded array: every body time-multiplexes.
+        accel.rows = 4;
+        accel.cols = 4;
+        max_tm = 4;
+    } else if (axis == 2) {
+        if (auto unrolled = dfg::unrollBody(body, 2))
+            body = std::move(unrolled->body);
+    }
+
+    const size_t capacity = accel.capacity();
+    auto ldfg = dfg::Ldfg::build(body, accel.op_latency,
+                                 capacity * size_t(max_tm));
+    if (!ldfg)
+        GTEST_SKIP() << "body not encodable (acceptable)";
+
+    // Pass 1 holds for every graph the encoder emits.
+    const verify::Report dfg_report =
+        verify::verifyLdfg(*ldfg, accel.op_latency);
+    ASSERT_EQ(dfg_report.errorCount(), 0u)
+        << "seed " << seed << " axis " << axis << "\n"
+        << render(dfg_report);
+
+    ic::AccelNocInterconnect noc(accel.rows, accel.cols,
+                                 accel.noc_slice_width);
+    const int tm = int((ldfg->size() + capacity - 1) / capacity);
+    if (tm > max_tm)
+        GTEST_SKIP() << "body exceeds the fold budget (acceptable)";
+
+    core::MapResult map;
+    core::ConfigOptions options;
+    if (tm > 1) {
+        accel::AccelParams virt = accel;
+        virt.rows *= tm;
+        ic::FoldedInterconnect folded(noc, accel.rows);
+        core::InstructionMapper mapper(virt, folded, {});
+        map = mapper.map(*ldfg);
+        options.time_multiplex = tm;
+    } else {
+        core::InstructionMapper mapper(accel, noc, {});
+        map = mapper.map(*ldfg);
+    }
+
+    // Tiling under the controller's legality conditions; pipelining
+    // always on, so the annotation-heavy paths get exercised.
+    const bool unknown_stores =
+        !dfg::findUnknownAddressStores(*ldfg).empty();
+    const auto inductions = dfg::findInductionRegs(*ldfg);
+    bool reg_carried = false;
+    for (int reg : ldfg->writtenRegs()) {
+        if (!ldfg->liveIns().count(reg))
+            continue;
+        bool is_induction = false;
+        for (const auto &ind : inductions)
+            is_induction = is_induction || ind.unified_reg == reg;
+        if (!is_induction)
+            reg_carried = true;
+    }
+    options.pipelined = true;
+    options.tile_factor =
+        (tm == 1 && !unknown_stores && !reg_carried)
+            ? std::max(1, core::ConfigBlock::maxTileFactor(map.sdfg,
+                                                           accel))
+            : 1;
+
+    core::ConfigBlock config_block(accel);
+    const accel::AcceleratorConfig config = config_block.build(
+        *ldfg, map.sdfg, options, body.front().pc,
+        body.back().pc + 4);
+
+    verify::Report report;
+    if (tm > 1) {
+        ic::FoldedInterconnect folded(noc, accel.rows);
+        report = verify::verifyPipeline(*ldfg, map.sdfg, map.unmapped,
+                                        config, accel, folded);
+    } else {
+        report = verify::verifyPipeline(*ldfg, map.sdfg, map.unmapped,
+                                        config, accel, noc);
+    }
+    EXPECT_EQ(report.errorCount(), 0u)
+        << "seed " << seed << " axis " << axis << " nodes "
+        << ldfg->size() << " tm " << tm << " tiles "
+        << config.tileCount() << "\n"
+        << render(report);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, VerifierFuzz,
+    ::testing::Combine(::testing::Range(1u, 151u),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto &param_info) {
+        return "s" + std::to_string(std::get<0>(param_info.param)) + "_cfg" +
+               std::to_string(std::get<1>(param_info.param));
     });
 
 } // namespace

@@ -70,10 +70,10 @@ INSTANTIATE_TEST_SUITE_P(
                           "streamcluster", "lavaMD", "gaussian",
                           "heartwall", "leukocyte", "hotspot3D"),
         ::testing::Values("M-64", "M-128", "M-512")),
-    [](const auto &info) {
-        std::string name = std::get<0>(info.param);
+    [](const auto &param_info) {
+        std::string name = std::get<0>(param_info.param);
         name += "_";
-        name += std::get<1>(info.param);
+        name += std::get<1>(param_info.param);
         for (auto &c : name)
             if (!isalnum(static_cast<unsigned char>(c)))
                 c = '_';

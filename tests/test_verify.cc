@@ -1,0 +1,576 @@
+/**
+ * @file
+ * Negative tests for the static verifier (src/verify): hand-corrupt
+ * each of the pipeline's three artifacts — the LDFG, the mapping, the
+ * accelerator configuration — and assert that the matching rule (and
+ * only error-severity rules) fires. The positive case (the intact
+ * pipeline is clean) anchors every corruption against the same
+ * baseline, so a test failing "clean" means the corruption helper
+ * broke, not the verifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "interconnect/interconnect.hh"
+#include "mesa/config_builder.hh"
+#include "mesa/mapper.hh"
+#include "riscv/assembler.hh"
+#include "util/json.hh"
+#include "verify/verifier.hh"
+
+namespace
+{
+
+using namespace mesa;
+using namespace mesa::riscv::reg;
+using riscv::Assembler;
+
+std::string
+render(const verify::Report &report)
+{
+    std::ostringstream os;
+    report.printTable(os);
+    return os.str();
+}
+
+/**
+ * One intact trip through the pipeline for a small loop exercising a
+ * guard (forward branch), a guarded first-write, FP, and memory ops:
+ *
+ *   loop: lw   t0, 0(a0)
+ *         bne  t0, zero, join
+ *         add  t1, a3, a4      # guarded; t1 first written here
+ *   join: add  t2, t0, a3
+ *         fadd.s ft0, fa0, fa1
+ *         sw   t2, 0(a1)
+ *         addi a0, a0, 4
+ *         blt  a0, a2, loop
+ */
+struct Pipeline
+{
+    accel::AccelParams accel = accel::AccelParams::m64();
+    ic::AccelNocInterconnect noc{accel.rows, accel.cols,
+                                 accel.noc_slice_width};
+    std::vector<riscv::Instruction> body;
+    dfg::Ldfg ldfg;
+    core::MapResult map;
+    accel::AcceleratorConfig config;
+
+    Pipeline()
+    {
+        Assembler as;
+        as.label("loop");
+        as.lw(t0, 0, a0);
+        as.bne(t0, zero, "join");
+        as.add(t1, a3, a4);
+        as.label("join");
+        as.add(t2, t0, a3);
+        as.fadd_s(ft0, fa0, fa1);
+        as.sw(t2, 0, a1);
+        as.addi(a0, a0, 4);
+        as.blt(a0, a2, "loop");
+        as.label("exit");
+        as.ecall();
+        const auto program = as.assemble();
+        const uint32_t start = program.labelPc("loop");
+        const uint32_t end = program.labelPc("exit");
+        for (const auto &inst : program.decodeAll())
+            if (inst.pc >= start && inst.pc < end)
+                body.push_back(inst);
+
+        ldfg = *dfg::Ldfg::build(body, accel.op_latency,
+                                 accel.capacity());
+        core::InstructionMapper mapper(accel, noc, {});
+        map = mapper.map(ldfg);
+        core::ConfigOptions options;
+        options.pipelined = true;
+        core::ConfigBlock config_block(accel);
+        config = config_block.build(ldfg, map.sdfg, options, start,
+                                    end);
+    }
+
+    verify::Report dfgReport() const
+    {
+        return verify::verifyLdfg(ldfg, accel.op_latency);
+    }
+    verify::Report mapReport() const
+    {
+        return verify::verifyMapping(ldfg, map.sdfg, map.unmapped,
+                                     accel, noc);
+    }
+    verify::Report cfgReport() const
+    {
+        return verify::verifyConfig(ldfg, config, accel);
+    }
+
+    /** Node id of the first node satisfying @p pred. */
+    template <typename Pred>
+    dfg::NodeId
+    find(Pred pred) const
+    {
+        for (size_t i = 0; i < ldfg.size(); ++i)
+            if (pred(ldfg.node(dfg::NodeId(i))))
+                return dfg::NodeId(i);
+        return dfg::NoNode;
+    }
+};
+
+TEST(Verify, IntactPipelineIsClean)
+{
+    Pipeline p;
+    ASSERT_EQ(p.map.unmapped.size(), 0u);
+    verify::Report report = p.dfgReport();
+    report.merge(p.mapReport());
+    report.merge(p.cfgReport());
+    EXPECT_EQ(report.errorCount(), 0u) << render(report);
+}
+
+TEST(Verify, RuleCatalogCoversAllPasses)
+{
+    size_t dfg_rules = 0, map_rules = 0, cfg_rules = 0;
+    for (const auto &rule : verify::ruleCatalog()) {
+        if (std::string(rule.pass) == "dfg")
+            ++dfg_rules;
+        else if (std::string(rule.pass) == "map")
+            ++map_rules;
+        else if (std::string(rule.pass) == "cfg")
+            ++cfg_rules;
+    }
+    EXPECT_GE(dfg_rules, 5u);
+    EXPECT_GE(map_rules, 5u);
+    EXPECT_GE(cfg_rules, 10u);
+}
+
+// --------------------------------------------------------------------
+// Pass 1: corrupt the LDFG.
+// --------------------------------------------------------------------
+
+TEST(VerifyDfg, NodeIdMismatchFires)
+{
+    Pipeline p;
+    p.ldfg.node(2).id = 5;
+    const auto report = p.dfgReport();
+    EXPECT_TRUE(report.hasRule("dfg.node-id")) << render(report);
+    EXPECT_GT(report.errorCount(), 0u);
+}
+
+TEST(VerifyDfg, ForwardEdgeFires)
+{
+    Pipeline p;
+    // src1 referencing a later node breaks acyclicity.
+    const dfg::NodeId consumer = p.find([](const dfg::LdfgNode &n) {
+        return n.src1 != dfg::NoNode;
+    });
+    ASSERT_NE(consumer, dfg::NoNode);
+    p.ldfg.node(consumer).src1 = dfg::NodeId(p.ldfg.size()) - 1;
+    const auto report = p.dfgReport();
+    EXPECT_TRUE(report.hasRule("dfg.edge-order")) << render(report);
+}
+
+TEST(VerifyDfg, RenameDisagreementFires)
+{
+    Pipeline p;
+    // "add t2, t0, a3": rewire its t0 operand away from the load.
+    const dfg::NodeId consumer = p.find([](const dfg::LdfgNode &n) {
+        return n.src1 != dfg::NoNode;
+    });
+    ASSERT_NE(consumer, dfg::NoNode);
+    p.ldfg.node(consumer).src1 = dfg::NoNode;
+    p.ldfg.node(consumer).live_in1 = 99;
+    const auto report = p.dfgReport();
+    EXPECT_TRUE(report.hasRule("dfg.rename")) << render(report);
+}
+
+TEST(VerifyDfg, GuardFromNonBranchFires)
+{
+    Pipeline p;
+    const dfg::NodeId guarded = p.find([](const dfg::LdfgNode &n) {
+        return n.isGuarded();
+    });
+    ASSERT_NE(guarded, dfg::NoNode);
+    // Node 0 is the load, not a forward branch.
+    p.ldfg.node(guarded).guards = {0};
+    const auto report = p.dfgReport();
+    EXPECT_TRUE(report.hasRule("dfg.guard-branch")) << render(report);
+}
+
+TEST(VerifyDfg, DroppedGuardFires)
+{
+    Pipeline p;
+    const dfg::NodeId guarded = p.find([](const dfg::LdfgNode &n) {
+        return n.isGuarded();
+    });
+    ASSERT_NE(guarded, dfg::NoNode);
+    p.ldfg.node(guarded).guards.clear();
+    const auto report = p.dfgReport();
+    EXPECT_TRUE(report.hasRule("dfg.guard-set")) << render(report);
+}
+
+TEST(VerifyDfg, MissingConsumerEntryFires)
+{
+    Pipeline p;
+    const dfg::NodeId producer = p.find([](const dfg::LdfgNode &n) {
+        return !n.consumers.empty();
+    });
+    ASSERT_NE(producer, dfg::NoNode);
+    p.ldfg.node(producer).consumers.clear();
+    const auto report = p.dfgReport();
+    EXPECT_TRUE(report.hasRule("dfg.consumer")) << render(report);
+}
+
+TEST(VerifyDfg, NonPositiveLatencyFires)
+{
+    Pipeline p;
+    p.ldfg.node(2).op_latency = 0.0;
+    const auto report = p.dfgReport();
+    EXPECT_TRUE(report.hasRule("dfg.latency")) << render(report);
+}
+
+TEST(VerifyDfg, GrossLatencySkewNotes)
+{
+    Pipeline p;
+    p.ldfg.node(2).op_latency = 5000.0;
+    const auto report = p.dfgReport();
+    EXPECT_TRUE(report.hasRule("dfg.latency-skew")) << render(report);
+    // A note, not an error: the gate would still pass this region.
+    EXPECT_EQ(report.errorCount(), 0u);
+}
+
+// --------------------------------------------------------------------
+// Pass 2: corrupt the mapping.
+// --------------------------------------------------------------------
+
+TEST(VerifyMap, DuplicatePeFires)
+{
+    Pipeline p;
+    // Stack node 0 onto node 1's PE.
+    p.map.sdfg.placeUnchecked(0, p.map.sdfg.coordOf(1));
+    const auto report = p.mapReport();
+    EXPECT_TRUE(report.hasRule("map.duplicate-pe")) << render(report);
+}
+
+TEST(VerifyMap, OutOfBoundsCoordFires)
+{
+    Pipeline p;
+    p.map.sdfg.placeUnchecked(0, {p.accel.rows + 3, 0});
+    const auto report = p.mapReport();
+    EXPECT_TRUE(report.hasRule("map.out-of-bounds")) << render(report);
+}
+
+TEST(VerifyMap, GridTableDisagreementFires)
+{
+    Pipeline p;
+    // Point node 0's placement at node 1's cell, then remove node 1:
+    // the cell empties while node 0's table entry still claims it.
+    const ic::Coord cell = p.map.sdfg.coordOf(1);
+    p.map.sdfg.placeUnchecked(0, cell);
+    p.map.sdfg.remove(1);
+    auto unmapped = p.map.unmapped;
+    unmapped.push_back(1);
+    const auto report = verify::verifyMapping(
+        p.ldfg, p.map.sdfg, unmapped, p.accel, p.noc);
+    EXPECT_TRUE(report.hasRule("map.grid-mismatch")) << render(report);
+}
+
+TEST(VerifyMap, UnplacedNodeNotListedFires)
+{
+    Pipeline p;
+    p.map.sdfg.remove(2);
+    const auto report = p.mapReport();
+    EXPECT_TRUE(report.hasRule("map.unplaced")) << render(report);
+}
+
+TEST(VerifyMap, PlacedNodeListedUnmappedFires)
+{
+    Pipeline p;
+    auto unmapped = p.map.unmapped;
+    unmapped.push_back(2); // node 2 is placed
+    const auto report = verify::verifyMapping(
+        p.ldfg, p.map.sdfg, unmapped, p.accel, p.noc);
+    EXPECT_TRUE(report.hasRule("map.unmapped-list")) << render(report);
+}
+
+TEST(VerifyMap, FpOnIntegerColumnFires)
+{
+    Pipeline p;
+    const dfg::NodeId fp = p.find([](const dfg::LdfgNode &n) {
+        return n.inst.cls() == riscv::OpClass::FpAlu;
+    });
+    ASSERT_NE(fp, dfg::NoNode);
+    // FP support is striped over even columns; column 1 has none.
+    p.map.sdfg.remove(fp);
+    ic::Coord odd{-1, -1};
+    for (int r = 0; r < p.accel.rows && !odd.valid(); ++r)
+        if (p.map.sdfg.isFree({r, 1}))
+            odd = {r, 1};
+    ASSERT_TRUE(odd.valid());
+    p.map.sdfg.placeUnchecked(fp, odd);
+    const auto report = p.mapReport();
+    EXPECT_TRUE(report.hasRule("map.op-support")) << render(report);
+}
+
+TEST(VerifyMap, FallbackPressureWarns)
+{
+    Pipeline p;
+    auto unmapped = p.map.unmapped;
+    // Push a third of the graph onto the fallback bus.
+    for (dfg::NodeId id = 0; id < dfg::NodeId(p.ldfg.size() / 3) + 1;
+         ++id) {
+        p.map.sdfg.remove(id);
+        unmapped.push_back(id);
+    }
+    const auto report = verify::verifyMapping(
+        p.ldfg, p.map.sdfg, unmapped, p.accel, p.noc);
+    EXPECT_TRUE(report.hasRule("map.fallback-threshold"))
+        << render(report);
+    EXPECT_EQ(report.errorCount(), 0u) << render(report);
+}
+
+// --------------------------------------------------------------------
+// Pass 3: corrupt the configuration.
+// --------------------------------------------------------------------
+
+TEST(VerifyCfg, DanglingSrcNodeFires)
+{
+    Pipeline p;
+    const dfg::NodeId consumer = p.find([](const dfg::LdfgNode &n) {
+        return n.src1 != dfg::NoNode;
+    });
+    ASSERT_NE(consumer, dfg::NoNode);
+    p.config.slots[size_t(consumer)].src1 =
+        dfg::NodeId(p.config.slots.size()) + 7;
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.src-dangling")) << render(report);
+}
+
+TEST(VerifyCfg, BrokenGuardRefFires)
+{
+    Pipeline p;
+    const dfg::NodeId guarded = p.find([](const dfg::LdfgNode &n) {
+        return n.isGuarded();
+    });
+    ASSERT_NE(guarded, dfg::NoNode);
+    // The load (node 0) is not a forward branch.
+    p.config.slots[size_t(guarded)].guards = {0};
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.guard-ref")) << render(report);
+}
+
+TEST(VerifyCfg, GuardSetMismatchFires)
+{
+    Pipeline p;
+    const dfg::NodeId guarded = p.find([](const dfg::LdfgNode &n) {
+        return n.isGuarded();
+    });
+    ASSERT_NE(guarded, dfg::NoNode);
+    p.config.slots[size_t(guarded)].guards.clear();
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.guard-mismatch")) << render(report);
+}
+
+TEST(VerifyCfg, EdgeRewireFires)
+{
+    Pipeline p;
+    const dfg::NodeId consumer = p.find([](const dfg::LdfgNode &n) {
+        return n.src1 != dfg::NoNode;
+    });
+    ASSERT_NE(consumer, dfg::NoNode);
+    p.config.slots[size_t(consumer)].src1 = dfg::NoNode;
+    p.config.slots[size_t(consumer)].live_in1 = 17;
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.edge-mismatch")) << render(report);
+}
+
+TEST(VerifyCfg, SlotOrderViolationFires)
+{
+    Pipeline p;
+    std::swap(p.config.slots[1], p.config.slots[2]);
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.slot-order")) << render(report);
+}
+
+TEST(VerifyCfg, MissingSlotFires)
+{
+    Pipeline p;
+    p.config.slots.pop_back();
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.slot-count")) << render(report);
+}
+
+TEST(VerifyCfg, InstructionSubstitutionFires)
+{
+    Pipeline p;
+    p.config.slots[2].inst = p.config.slots[0].inst;
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.inst-mismatch")) << render(report);
+}
+
+TEST(VerifyCfg, DroppedLiveInFires)
+{
+    Pipeline p;
+    ASSERT_FALSE(p.config.live_ins.empty());
+    p.config.live_ins.erase(p.config.live_ins.begin());
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.live-ins")) << render(report);
+}
+
+TEST(VerifyCfg, WrongLiveOutWriterFires)
+{
+    Pipeline p;
+    ASSERT_FALSE(p.config.live_outs.empty());
+    // The closing backward branch writes no register at all.
+    p.config.live_outs.begin()->second =
+        dfg::NodeId(p.config.slots.size()) - 1;
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.live-outs")) << render(report);
+}
+
+TEST(VerifyCfg, ForwardFromNonStoreFires)
+{
+    Pipeline p;
+    const dfg::NodeId load = p.find([](const dfg::LdfgNode &n) {
+        return n.inst.isLoad();
+    });
+    ASSERT_NE(load, dfg::NoNode);
+    // Forward-annotate the load... from itself (not an earlier store).
+    p.config.slots[size_t(load)].forward_from_store = load;
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.forward-ref")) << render(report);
+}
+
+TEST(VerifyCfg, LeaderlessVectorGroupFires)
+{
+    Pipeline p;
+    const dfg::NodeId load = p.find([](const dfg::LdfgNode &n) {
+        return n.inst.isLoad();
+    });
+    ASSERT_NE(load, dfg::NoNode);
+    p.config.slots[size_t(load)].vector_group = 0;
+    p.config.slots[size_t(load)].vector_leader = false;
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.vector-group")) << render(report);
+}
+
+TEST(VerifyCfg, ZeroStridePrefetchWarns)
+{
+    Pipeline p;
+    const dfg::NodeId load = p.find([](const dfg::LdfgNode &n) {
+        return n.inst.isLoad();
+    });
+    ASSERT_NE(load, dfg::NoNode);
+    p.config.slots[size_t(load)].prefetch = true;
+    p.config.slots[size_t(load)].prefetch_stride = 0;
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.prefetch")) << render(report);
+    EXPECT_EQ(report.errorCount(), 0u) << render(report);
+}
+
+TEST(VerifyCfg, SlotOutsideGridFires)
+{
+    Pipeline p;
+    p.config.slots[2].pos = {p.config.rows + 2, 0};
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.slot-bounds")) << render(report);
+}
+
+TEST(VerifyCfg, PeOvercommitFires)
+{
+    Pipeline p;
+    // Two slots on one PE with time_multiplex == 1.
+    p.config.slots[2].pos = p.config.slots[3].pos;
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.pe-overcommit")) << render(report);
+}
+
+TEST(VerifyCfg, TileOutsideGridFires)
+{
+    Pipeline p;
+    ASSERT_FALSE(p.config.instances.empty());
+    p.config.instances[0].origin = {p.accel.rows, 0};
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.tile-bounds")) << render(report);
+}
+
+TEST(VerifyCfg, OverlappingTilesFire)
+{
+    Pipeline p;
+    // A second instance at the same origin overlaps the first.
+    p.config.instances.push_back(p.config.instances.front());
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.tile-overlap")) << render(report);
+}
+
+TEST(VerifyCfg, UnknownTileRegOffsetWarns)
+{
+    Pipeline p;
+    p.config.instances[0].reg_offsets[63] = 16; // not a live-in
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.tile-regs")) << render(report);
+    EXPECT_EQ(report.errorCount(), 0u) << render(report);
+}
+
+TEST(VerifyCfg, BogusInductionUpdateFires)
+{
+    Pipeline p;
+    dfg::InductionReg ind;
+    ind.unified_reg = 10; // a0
+    ind.update_node = 0;  // the load does not write a0
+    ind.step = 4;
+    p.config.inductions.push_back(ind);
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.induction-ref")) << render(report);
+}
+
+TEST(VerifyCfg, DanglingImmOverrideFires)
+{
+    Pipeline p;
+    p.config.imm_overrides[dfg::NodeId(p.config.slots.size()) + 3] = 8;
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.imm-override-ref"))
+        << render(report);
+}
+
+TEST(VerifyCfg, DegenerateGridFires)
+{
+    Pipeline p;
+    p.config.rows = 0;
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.grid-shape")) << render(report);
+}
+
+TEST(VerifyCfg, EmptyRegionRangeWarns)
+{
+    Pipeline p;
+    p.config.region_end = p.config.region_start;
+    const auto report = p.cfgReport();
+    EXPECT_TRUE(report.hasRule("cfg.region")) << render(report);
+}
+
+// --------------------------------------------------------------------
+// Report plumbing.
+// --------------------------------------------------------------------
+
+TEST(VerifyReport, JsonAndCountsRoundTrip)
+{
+    Pipeline p;
+    p.ldfg.node(2).op_latency = 0.0;
+    p.map.sdfg.placeUnchecked(0, p.map.sdfg.coordOf(1));
+    verify::Report report = p.dfgReport();
+    report.merge(p.mapReport());
+    EXPECT_GE(report.errorCount(), 2u);
+    EXPECT_FALSE(report.clean());
+
+    const auto counts = report.countsByRule();
+    EXPECT_GE(counts.at("dfg.latency"), 1u);
+    EXPECT_GE(counts.at("map.duplicate-pe"), 1u);
+
+    JsonWriter w;
+    report.toJson(w);
+    const std::string json = w.str();
+    EXPECT_NE(json.find("\"dfg.latency\""), std::string::npos);
+    EXPECT_NE(json.find("\"errors\":"), std::string::npos);
+}
+
+} // namespace

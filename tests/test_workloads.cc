@@ -84,8 +84,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "bfs", "srad", "lud", "pathfinder", "b+tree",
                       "streamcluster", "lavaMD", "gaussian",
                       "heartwall", "leukocyte", "hotspot3D"),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string> &param_info) {
+        std::string name = param_info.param;
         for (auto &c : name)
             if (!isalnum(static_cast<unsigned char>(c)))
                 c = '_';
