@@ -25,6 +25,7 @@
 #include "sched/multicore.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "util/table.hh"
 #include "util/trace.hh"
 #include "workloads/kernel.hh"
@@ -46,6 +47,8 @@ usage()
         "                      shortest-remaining (default round-robin)\n"
         "  --epoch <n>         preemption slice iterations (default 256)\n"
         "  --scale <n>         total iterations (default 8192)\n"
+        "  --seed <n>          seeded per-tenant priorities\n"
+        "                      (default 0 = all equal)\n"
         "  --shadow-config     single-cycle context switches\n"
         "  --smoke             assert >= 1.2x over serialized; exit 1\n"
         "                      otherwise\n"
@@ -56,12 +59,14 @@ usage()
 
 sched::SharedRunResult
 run(const sched::SchedParams &base, const workloads::Kernel &kernel,
-    int tenants, int ways, uint64_t epoch)
+    int tenants, int ways, uint64_t epoch,
+    const std::vector<int> &priorities)
 {
     sched::SharedRunParams params;
     params.sched = base;
     params.sched.spatial_ways = ways;
     params.sched.epoch_iterations = epoch;
+    params.priorities = priorities;
     mem::MainMemory memory;
     return sched::runShared(params, memory, kernel, tenants);
 }
@@ -78,6 +83,7 @@ main(int argc, char **argv)
     int ways = 0;
     uint64_t epoch = 256;
     uint64_t scale = 8192;
+    uint64_t seed = 0;
     bool smoke = false;
     bool json = false;
     sched::SchedParams base;
@@ -109,6 +115,8 @@ main(int argc, char **argv)
             epoch = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--scale") {
             scale = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--shadow-config") {
             base.shadow_config = true;
         } else if (arg == "--smoke") {
@@ -137,16 +145,27 @@ main(int argc, char **argv)
                         sched::maxWays(base.accel,
                                        kernel.loopBody().size()));
 
+    // Seeded priorities: same seed, same tenant ordering pressure in
+    // both the serialized baseline and the partitioned run. Zero (the
+    // default) keeps every tenant equal.
+    std::vector<int> priorities;
+    if (seed != 0) {
+        SplitMix64 rng(seed);
+        for (int t = 0; t < tenants; ++t)
+            priorities.push_back(int(rng.below(uint64_t(tenants))));
+    }
+
     // Serialized baseline: one way, no preemption — each tenant runs
     // to completion on the full array before the next configures.
-    const auto serial = run(base, kernel, tenants, 1, 0);
+    const auto serial = run(base, kernel, tenants, 1, 0, priorities);
 
     // Partitioned + time-multiplexed run (traced when requested).
     if (!trace_out.empty()) {
         Tracer::global().clear();
         Tracer::global().enable();
     }
-    const auto part = run(base, kernel, tenants, ways, epoch);
+    const auto part =
+        run(base, kernel, tenants, ways, epoch, priorities);
     if (!trace_out.empty()) {
         Tracer &tracer = Tracer::global();
         tracer.enable(false);

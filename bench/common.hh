@@ -84,14 +84,19 @@ runSingleCoreBaseline(const workloads::Kernel &kernel,
  *        in ("mesa.*", "accel.*", "accel.mem.*") during the run
  * @param snapshot_iterations record a registry snapshot every N
  *        accelerated iterations (0 disables)
+ * @param faults optional hardware-defect plane installed in the
+ *        accelerator before the run (seeded injection, CLI --faults)
  */
 inline MesaRun
 runMesa(const workloads::Kernel &kernel, const core::MesaParams &params,
-        StatsRegistry *stats = nullptr, uint64_t snapshot_iterations = 0)
+        StatsRegistry *stats = nullptr, uint64_t snapshot_iterations = 0,
+        const accel::FaultPlane *faults = nullptr)
 {
     mem::MainMemory memory;
     kernel.init_data(memory);
     core::MesaController mesa(params, memory);
+    if (faults && !faults->empty())
+        mesa.accelerator().injectFaults(*faults);
     if (stats) {
         mesa.attachStats(stats, snapshot_iterations);
         mesa.accelerator().hierarchy().registerStats(*stats,

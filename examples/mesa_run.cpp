@@ -12,6 +12,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "fault/injector.hh"
 #include "sched/multicore.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -41,6 +42,14 @@ usage()
         "  --timemux           enable PE time-multiplexing\n"
         "  --verify            statically verify every prepared\n"
         "                      config before offload (mesa.verify.*)\n"
+        "  --fault-tolerance   guard offloads: CRC gate, watchdog,\n"
+        "                      checkpoint/rollback, quarantine\n"
+        "  --checked           fault tolerance plus golden-model\n"
+        "                      comparison after every offload\n"
+        "  --faults <n>        inject n seeded transient datapath\n"
+        "                      SEUs into the fabric before the run\n"
+        "  --seed <n>          RNG seed for fault injection\n"
+        "                      (default 1)\n"
         "  --tenants <n>       split the iteration space across n\n"
         "                      threads sharing one scheduled device\n"
         "  --sched-policy <p>  round-robin | priority |\n"
@@ -66,6 +75,8 @@ main(int argc, char **argv)
     std::string stats_json;
     uint64_t scale = 8192;
     uint64_t stats_every = 0;
+    uint64_t seed = 1;
+    uint64_t inject_faults = 0;
     bool json = false;
     core::MesaParams params;
     int tenants = 1;
@@ -99,6 +110,15 @@ main(int argc, char **argv)
             params.enable_time_multiplexing = true;
         } else if (arg == "--verify") {
             params.verify_before_offload = true;
+        } else if (arg == "--fault-tolerance") {
+            params.fault.enabled = true;
+        } else if (arg == "--checked") {
+            params.fault.enabled = true;
+            params.fault.checked_mode = true;
+        } else if (arg == "--faults") {
+            inject_faults = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--tenants") {
             tenants = int(std::strtol(next(), nullptr, 10));
         } else if (arg == "--sched-policy") {
@@ -232,18 +252,33 @@ main(int argc, char **argv)
     const CpuRun multi = runMulticoreBaseline(kernel);
     const CpuRun single = runSingleCoreBaseline(kernel);
 
+    // Seeded in-situ injection: a deterministic transient-SEU plane
+    // installed before the run (the campaign tool mesa_faultsim is
+    // the heavier hammer; this exercises one run interactively).
+    params.fault.seed = seed;
+    accel::FaultPlane plane;
+    if (inject_faults > 0) {
+        SplitMix64 rng(seed);
+        const size_t slots = kernel.loopBody().size();
+        for (uint64_t f = 0; f < inject_faults; ++f) {
+            plane.transients.push_back(fault::makeTransient(
+                rng, slots, std::max<uint64_t>(kernel.iterations, 1)));
+        }
+    }
+
     // Tracing covers only the MESA run (the baselines above would
     // otherwise interleave events with an unrelated time base).
     StatsRegistry stats;
     const bool want_stats = !stats_json.empty() || stats_every > 0 ||
-                            params.verify_before_offload;
+                            params.verify_before_offload ||
+                            params.fault.enabled;
     if (!trace_out.empty()) {
         Tracer::global().clear();
         Tracer::global().enable();
     }
     const MesaRun run = runMesa(kernel, params,
                                 want_stats ? &stats : nullptr,
-                                stats_every);
+                                stats_every, &plane);
     if (!trace_out.empty()) {
         Tracer &tracer = Tracer::global();
         tracer.enable(false);
@@ -289,6 +324,22 @@ main(int argc, char **argv)
                        uint64_t(stats.value("mesa.verify.violations")))
                 .field("verify_fallbacks",
                        uint64_t(stats.value("mesa.verify.fallbacks")));
+        }
+        if (params.fault.enabled) {
+            w.field("fault_seed", seed)
+                .field("fault_injected", inject_faults)
+                .field("fault_crc_failures",
+                       uint64_t(stats.value("mesa.fault.crc_failures")))
+                .field("fault_watchdog_trips",
+                       uint64_t(
+                           stats.value("mesa.fault.watchdog_trips")))
+                .field("fault_mismatches",
+                       uint64_t(stats.value("mesa.fault.mismatches")))
+                .field("fault_rollbacks",
+                       uint64_t(stats.value("mesa.fault.rollbacks")))
+                .field("fault_quarantined_pes",
+                       uint64_t(
+                           stats.value("mesa.fault.quarantined_pes")));
         }
         w
             .field("single_core_cycles", single.run.cycles)
@@ -345,6 +396,21 @@ main(int argc, char **argv)
                   << " violations, "
                   << uint64_t(stats.value("mesa.verify.fallbacks"))
                   << " CPU fallbacks\n";
+    }
+    if (params.fault.enabled) {
+        std::cout << "fault guard : seed " << seed << ", "
+                  << inject_faults << " injected; "
+                  << uint64_t(stats.value("mesa.fault.crc_failures"))
+                  << " CRC rejects, "
+                  << uint64_t(stats.value("mesa.fault.watchdog_trips"))
+                  << " watchdog trips, "
+                  << uint64_t(stats.value("mesa.fault.mismatches"))
+                  << " golden mismatches, "
+                  << uint64_t(stats.value("mesa.fault.rollbacks"))
+                  << " rollbacks, "
+                  << uint64_t(
+                         stats.value("mesa.fault.quarantined_pes"))
+                  << " PEs quarantined\n";
     }
     std::cout << "\n";
 

@@ -34,6 +34,8 @@ AccelRunResult::accumulate(const AccelRunResult &epoch)
     dram_accesses += epoch.dram_accesses;
     pes_used = std::max(pes_used, epoch.pes_used);
     pes_total = epoch.pes_total;
+    watchdog_tripped = watchdog_tripped || epoch.watchdog_tripped;
+    faults_fired += epoch.faults_fired;
 }
 
 Accelerator::Accelerator(const AccelParams &params,
@@ -79,6 +81,55 @@ Accelerator::resetCounters()
     node_latency_.assign(n, Average{});
     edge_latency1_.assign(n, Average{});
     edge_latency2_.assign(n, Average{});
+}
+
+void
+Accelerator::injectFaults(const FaultPlane &plane)
+{
+    fault_plane_ = plane;
+}
+
+Coord
+Accelerator::physicalPos(Coord pos, size_t inst_index) const
+{
+    if (!pos.valid())
+        return pos;
+    Coord p = pos;
+    // Virtual rows fold onto the physical grid (time-multiplexing);
+    // tiled instances are offset by their origin.
+    if (config_.time_multiplex > 1 && params_.rows > 0)
+        p.r %= params_.rows;
+    if (inst_index < config_.instances.size()) {
+        p.r += config_.instances[inst_index].origin.r;
+        p.c += config_.instances[inst_index].origin.c;
+    }
+    return p;
+}
+
+std::vector<Coord>
+Accelerator::selfTest() const
+{
+    // BIST pushes a known pattern through every PE and link; in the
+    // model, the defect list itself is ground truth, so the scan
+    // reduces to reporting the PEs a pattern would implicate. A dead
+    // link cannot be told apart from its endpoints without a second
+    // routing pass, so both endpoints are retired (conservative).
+    std::vector<Coord> bad;
+    auto addUnique = [&](Coord pos) {
+        if (!pos.valid())
+            return;
+        for (const Coord &c : bad)
+            if (c == pos)
+                return;
+        bad.push_back(pos);
+    };
+    for (const PeStuckFault &f : fault_plane_.stuck_pes)
+        addUnique(f.pos);
+    for (const LinkFault &f : fault_plane_.dead_links) {
+        addUnique(f.from);
+        addUnique(f.to);
+    }
+    return bad;
 }
 
 double
@@ -132,6 +183,10 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
     const uint64_t iter_start = inst.next_floor;
     const size_t inst_index = size_t(&inst - instances_.data());
     auto &pe_free = pe_free_[inst_index];
+    const bool has_faults = !fault_plane_.empty();
+    // Global iteration index within this run (all tiles), the key the
+    // single-event-upset model fires on.
+    const uint64_t global_iter = result.iterations;
 
     std::vector<uint32_t> out(n, 0);
     std::vector<uint64_t> done(n, iter_start);
@@ -219,8 +274,50 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
             }
             return {0u, iter_start};
         };
-        const auto [v1, a1] = operand(slot.src1, slot.live_in1, 0);
-        const auto [v2, a2] = operand(slot.src2, slot.live_in2, 1);
+        auto [v1, a1] = operand(slot.src1, slot.live_in1, 0);
+        auto [v2, a2] = operand(slot.src2, slot.live_in2, 1);
+
+        // Installed hardware defects corrupt the values flowing
+        // through the faulty resources (see fault_plane.hh).
+        uint32_t fault_xor = 0;
+        if (has_faults) {
+            const Coord phys = physicalPos(slot.pos, inst_index);
+            for (const PeStuckFault &f : fault_plane_.stuck_pes)
+                if (phys.valid() && phys == f.pos)
+                    fault_xor ^= f.xor_mask;
+            for (const TransientFault &f : fault_plane_.transients)
+                if (f.slot == i && f.iteration == global_iter)
+                    fault_xor ^= f.xor_mask;
+            auto linkXor = [&](NodeId src) -> uint32_t {
+                if (src == NoNode || !phys.valid())
+                    return 0;
+                const Coord from = physicalPos(
+                    config_.slots[size_t(src)].pos, inst_index);
+                uint32_t x = 0;
+                for (const LinkFault &f : fault_plane_.dead_links)
+                    if (from.valid() && from == f.from && phys == f.to)
+                        x ^= f.xor_mask;
+                return x;
+            };
+            if (const uint32_t x = linkXor(slot.src1)) {
+                v1 ^= x;
+                ++result.faults_fired;
+            }
+            if (const uint32_t x = linkXor(slot.src2)) {
+                v2 ^= x;
+                ++result.faults_fired;
+            }
+            if (fault_xor) {
+                ++result.faults_fired;
+                // A faulty PE corrupts what it produces: the branch
+                // comparison input, the store data, or (below) the
+                // computed result.
+                if (slot.inst.cls() == OpClass::Branch)
+                    v1 ^= fault_xor;
+                else if (slot.inst.cls() == OpClass::Store)
+                    v2 ^= fault_xor;
+            }
+        }
 
         uint64_t ready = std::max({a1, a2, guard_arr, iter_start});
         // The PE executes one instruction per iteration; pipelined
@@ -241,6 +338,21 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
         switch (slot.inst.cls()) {
           case OpClass::Branch:
             taken[i] = riscv::branchEval(op, v1, v2);
+            if (has_faults && i == n - 1 && !taken[i]) {
+                // Stuck control line: the closing branch always reads
+                // taken, so the loop can never exit (induced hang).
+                // Once engaged the line stays stuck — latch it so the
+                // hang persists across epoch restarts too.
+                for (BranchStuckFault &f :
+                     fault_plane_.stuck_branches) {
+                    if (global_iter >= f.from_iteration) {
+                        f.from_iteration = 0;
+                        taken[i] = true;
+                        ++result.faults_fired;
+                        break;
+                    }
+                }
+            }
             done[i] = ready + uint64_t(slot.op_latency);
             break;
 
@@ -295,6 +407,11 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
             break;
         }
 
+        if (fault_xor && slot.inst.cls() != OpClass::Branch &&
+            slot.inst.cls() != OpClass::Store) {
+            out[i] ^= fault_xor;
+        }
+
         node_latency_[i].sample(double(done[i] - ready));
         // Pipelined PE: a new iteration's operation can issue after
         // the issue interval, not only after full completion.
@@ -331,10 +448,19 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
 }
 
 AccelRunResult
-Accelerator::run(riscv::ArchState &state, uint64_t max_iterations)
+Accelerator::run(riscv::ArchState &state, uint64_t max_iterations,
+                 uint64_t cycle_budget)
 {
     if (!configured())
         fatal("Accelerator::run: not configured");
+
+    // Watchdog budget: the hard device cap and the caller's budget,
+    // whichever is tighter (0 means unbounded on either side).
+    uint64_t budget = ~uint64_t(0);
+    if (params_.watchdog_cycles > 0)
+        budget = params_.watchdog_cycles;
+    if (cycle_budget > 0)
+        budget = std::min(budget, cycle_budget);
 
     AccelRunResult result;
     const uint64_t dram_before = hierarchy_.dramAccesses();
@@ -383,7 +509,22 @@ Accelerator::run(riscv::ArchState &state, uint64_t max_iterations)
             entryOperand(inst, closing.src1, closing.live_in1);
         const uint32_t v2 =
             entryOperand(inst, closing.src2, closing.live_in2);
-        if (!riscv::branchEval(closing.inst.op, v1, v2))
+        bool taken = riscv::branchEval(closing.inst.op, v1, v2);
+        if (!taken && !fault_plane_.empty()) {
+            // A stuck control line pins the closing branch to taken
+            // from the very start of the run too — otherwise an
+            // induced hang would be silently cured at the next epoch
+            // boundary, when this fault-free entry check re-runs.
+            for (const BranchStuckFault &f :
+                 fault_plane_.stuck_branches) {
+                if (f.from_iteration == 0) {
+                    taken = true;
+                    ++result.faults_fired;
+                    break;
+                }
+            }
+        }
+        if (!taken)
             inst.done = true;
     }
 
@@ -402,6 +543,18 @@ Accelerator::run(riscv::ArchState &state, uint64_t max_iterations)
                 inst.done = true;
             else
                 all_done = false;
+        }
+        if (!all_done) {
+            // Watchdog: checked at round boundaries only, so a cut
+            // keeps the executed-iteration set a prefix of sequential
+            // order and the partial-progress write-back stays exact.
+            uint64_t elapsed = 0;
+            for (const auto &inst : instances_)
+                elapsed = std::max(elapsed, inst.last_end);
+            if (elapsed >= budget) {
+                result.watchdog_tripped = true;
+                break;
+            }
         }
     }
     result.completed = all_done;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "accel/config_types.hh"
+#include "accel/fault_plane.hh"
 #include "accel/params.hh"
 #include "mem/cache.hh"
 #include "mem/lsq.hh"
@@ -58,6 +59,12 @@ struct AccelRunResult
     uint64_t pes_used = 0;
     uint64_t pes_total = 0;
 
+    /** The watchdog cycle budget cut this run off mid-loop. */
+    bool watchdog_tripped = false;
+
+    /** Installed fault-plane activations that corrupted a value. */
+    uint64_t faults_fired = 0;
+
     double
     avgIterationCycles() const
     {
@@ -89,9 +96,14 @@ class Accelerator
      * @param max_iterations stop early after this many total
      *        iterations (the controller uses this for profiling
      *        epochs between re-optimizations)
+     * @param cycle_budget additional watchdog budget for this run
+     *        (0 = none); the effective cap is the smaller of this and
+     *        params().watchdog_cycles. The fault-tolerant controller
+     *        threads its remaining per-offload budget through here.
      */
     AccelRunResult run(riscv::ArchState &state,
-                       uint64_t max_iterations = ~uint64_t(0));
+                       uint64_t max_iterations = ~uint64_t(0),
+                       uint64_t cycle_budget = 0);
 
     const AccelParams &params() const { return params_; }
     const ic::Interconnect &interconnect() const { return *ic_; }
@@ -107,6 +119,25 @@ class Accelerator
         trace_track_ = std::move(track);
     }
     const std::string &traceTrack() const { return trace_track_; }
+
+    // ----- fault injection (mesa_fault campaigns) -----
+
+    /** Install a set of hardware defects; persists across configure().
+     *  Physical coordinates — virtual slot positions are translated
+     *  (time-multiplex fold, tile origin) before matching. */
+    void injectFaults(const FaultPlane &plane);
+    const FaultPlane &faultPlane() const { return fault_plane_; }
+    void clearFaults() { fault_plane_ = FaultPlane{}; }
+
+    /**
+     * Built-in self test: exercises every PE and link with a known
+     * pattern and reports the physical PEs whose datapath misbehaves
+     * (a dead link implicates both endpoints). Transient upsets and
+     * stuck control lines are, by nature, not reproducible under
+     * BIST and are not reported. The controller feeds the result into
+     * the mapper's blocked set so re-mapping routes around defects.
+     */
+    std::vector<ic::Coord> selfTest() const;
 
     /** Measured average execution latency of a node (PE counters). */
     double measuredNodeLatency(dfg::NodeId id) const;
@@ -133,6 +164,9 @@ class Accelerator
     /** One iteration of one instance; returns loop-continue. */
     bool runIteration(Instance &inst, AccelRunResult &result);
 
+    /** Physical PE a slot executes on for a given tile instance. */
+    ic::Coord physicalPos(ic::Coord pos, size_t inst_index) const;
+
     const AccelParams params_;
     mem::MainMemory &memory_;
     mem::MemHierarchy hierarchy_;
@@ -142,6 +176,7 @@ class Accelerator
     AcceleratorConfig config_;
     std::vector<Instance> instances_;
     std::string trace_track_ = "accel";
+    FaultPlane fault_plane_;
 
     /** Per-PE busy tracking keyed by physical position (pipelining
      *  resource constraint; time-multiplexed nodes share a key). */

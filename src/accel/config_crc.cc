@@ -1,0 +1,106 @@
+#include <bit>
+
+#include "accel/config_types.hh"
+#include "util/crc32.hh"
+
+namespace mesa::accel
+{
+
+namespace
+{
+
+void
+addCoord(Crc32 &c, ic::Coord pos)
+{
+    c.add32(uint32_t(pos.r));
+    c.add32(uint32_t(pos.c));
+}
+
+void
+addInstruction(Crc32 &c, const riscv::Instruction &inst)
+{
+    // The raw encoding covers op/rd/rs*/imm for real instructions;
+    // hash the decoded fields too so synthetic (assembler-built)
+    // instructions with patched fields are fully covered.
+    c.add32(inst.raw);
+    c.add32(inst.pc);
+    c.add32(uint32_t(inst.op));
+    c.add32(uint32_t(inst.rd));
+    c.add32(uint32_t(inst.rs1));
+    c.add32(uint32_t(inst.rs2));
+    c.add32(uint32_t(inst.rs3));
+    c.add32(uint32_t(inst.imm));
+}
+
+} // namespace
+
+uint32_t
+configCrc(const AcceleratorConfig &config)
+{
+    Crc32 c;
+    c.add32(config.region_start);
+    c.add32(config.region_end);
+    c.add32(config.resume_pc);
+    c.add32(uint32_t(config.rows));
+    c.add32(uint32_t(config.cols));
+    c.add32(uint32_t(config.pipelined));
+    c.add32(uint32_t(config.time_multiplex));
+
+    c.add64(config.slots.size());
+    for (const PeSlot &slot : config.slots) {
+        c.add32(uint32_t(slot.node));
+        addInstruction(c, slot.inst);
+        addCoord(c, slot.pos);
+        c.add32(uint32_t(slot.src1));
+        c.add32(uint32_t(slot.src2));
+        c.add32(uint32_t(slot.live_in1));
+        c.add32(uint32_t(slot.live_in2));
+        c.add64(slot.guards.size());
+        for (dfg::NodeId g : slot.guards)
+            c.add32(uint32_t(g));
+        c.add32(uint32_t(slot.prev_dest_writer));
+        c.add32(uint32_t(slot.prev_dest_live_in));
+        c.add64(std::bit_cast<uint64_t>(slot.op_latency));
+        c.add32(uint32_t(slot.forward_from_store));
+        c.add32(uint32_t(slot.vector_group));
+        c.add32(uint32_t(slot.vector_leader));
+        c.add32(uint32_t(slot.prefetch));
+        c.add32(uint32_t(slot.prefetch_stride));
+    }
+
+    c.add64(config.live_ins.size());
+    for (int reg : config.live_ins)
+        c.add32(uint32_t(reg));
+
+    c.add64(config.live_outs.size());
+    for (const auto &[reg, writer] : config.live_outs) {
+        c.add32(uint32_t(reg));
+        c.add32(uint32_t(writer));
+    }
+
+    c.add64(config.inductions.size());
+    for (const auto &ind : config.inductions) {
+        c.add32(uint32_t(ind.unified_reg));
+        c.add32(uint32_t(ind.update_node));
+        c.add32(uint32_t(ind.step));
+    }
+
+    c.add64(config.imm_overrides.size());
+    for (const auto &[node, imm] : config.imm_overrides) {
+        c.add32(uint32_t(node));
+        c.add32(uint32_t(imm));
+    }
+
+    c.add64(config.instances.size());
+    for (const TileInstance &inst : config.instances) {
+        addCoord(c, inst.origin);
+        c.add64(inst.reg_offsets.size());
+        for (const auto &[reg, offset] : inst.reg_offsets) {
+            c.add32(uint32_t(reg));
+            c.add32(uint32_t(offset));
+        }
+    }
+    return c.value();
+}
+
+} // namespace mesa::accel

@@ -112,9 +112,25 @@ struct AcceleratorConfig
     /** Modeled per-iteration latency at build time (cache reuse). */
     double model_latency = 0.0;
 
+    /**
+     * CRC-32 over the semantic payload (see configCrc), stamped by
+     * the ConfigBlock at build time. The controller re-derives it
+     * before streaming so bit upsets in a stored configuration are
+     * detected instead of silently programming the fabric.
+     */
+    uint32_t crc = 0;
+
     size_t size() const { return slots.size(); }
     int tileCount() const { return int(instances.size()); }
 };
+
+/**
+ * CRC-32 of every semantic field of the configuration. Excludes the
+ * crc field itself and the two advisory fields the controller mutates
+ * after build (model_latency, config_words), so re-derivation over a
+ * cached entry stays stable.
+ */
+uint32_t configCrc(const AcceleratorConfig &config);
 
 } // namespace mesa::accel
 

@@ -65,6 +65,16 @@ struct AccelParams
     /** Configuration-bitstream write bandwidth, words per cycle. */
     unsigned config_words_per_cycle = 1;
 
+    /**
+     * Watchdog cycle budget: a hard cap on the device cycles one
+     * run() may consume, independent of any fault-tolerance mode, so
+     * a malformed configuration can never spin the simulator forever.
+     * Checked at tile-round boundaries (the executed-iteration set
+     * stays a prefix of sequential order); a tripped run reports
+     * watchdog_tripped and returns with partial progress. 0 disables.
+     */
+    uint64_t watchdog_cycles = 2'000'000'000;
+
     size_t capacity() const { return size_t(rows) * size_t(cols); }
 
     /** Does the PE at pos support the operation class? */

@@ -1,0 +1,402 @@
+#include "fault/campaign.hh"
+
+#include <iomanip>
+
+#include "cpu/system.hh"
+#include "fault/checkpoint.hh"
+#include "mesa/controller.hh"
+#include "riscv/emulator.hh"
+#include "util/json.hh"
+#include "util/stats_registry.hh"
+
+namespace mesa::fault
+{
+
+namespace
+{
+
+/** Golden reference: the kernel start-to-halt on the emulator. */
+struct Golden
+{
+    riscv::ArchState state;
+    MemSnapshot memory;
+    uint64_t instructions = 0;
+};
+
+Golden
+runGolden(const workloads::Kernel &kernel, uint64_t max_steps)
+{
+    mem::MainMemory memory;
+    kernel.init_data(memory);
+    cpu::loadProgram(memory, kernel.program);
+
+    riscv::Emulator emu(memory);
+    emu.reset(kernel.program.base_pc);
+    kernel.fullRange()(emu.state());
+    emu.run(max_steps);
+
+    Golden g;
+    g.state = emu.state();
+    g.memory = memory.snapshot();
+    g.instructions = emu.instret();
+    return g;
+}
+
+void
+advanceToLoop(riscv::Emulator &emu, const workloads::Kernel &kernel,
+              uint64_t max_steps = 1'000'000)
+{
+    uint64_t steps = 0;
+    while (!emu.halted() && emu.state().pc != kernel.loop_start &&
+           steps < max_steps) {
+        emu.step();
+        ++steps;
+    }
+}
+
+/** Does the installed configuration avoid every quarantined PE? */
+bool
+placementAvoids(const accel::AcceleratorConfig &config,
+                const FaultyPeMap &faulty, int device_rows)
+{
+    for (const auto &slot : config.slots) {
+        ic::Coord base = slot.pos;
+        if (config.time_multiplex > 1)
+            base.r %= device_rows;
+        for (const auto &inst : config.instances) {
+            const ic::Coord phys{base.r + inst.origin.r,
+                                 base.c + inst.origin.c};
+            if (faulty.faulty(phys))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+CampaignResult::totalInjections() const
+{
+    int n = 0;
+    for (const auto &k : kernels)
+        n += k.injections;
+    return n;
+}
+
+int
+CampaignResult::totalDetected() const
+{
+    int n = 0;
+    for (const auto &k : kernels)
+        n += k.detected;
+    return n;
+}
+
+int
+CampaignResult::totalRecovered() const
+{
+    int n = 0;
+    for (const auto &k : kernels)
+        n += k.recovered;
+    return n;
+}
+
+int
+CampaignResult::totalBenign() const
+{
+    int n = 0;
+    for (const auto &k : kernels)
+        n += k.benign;
+    return n;
+}
+
+int
+CampaignResult::totalCorrupted() const
+{
+    int n = 0;
+    for (const auto &k : kernels)
+        n += k.corrupted;
+    return n;
+}
+
+int
+CampaignResult::totalSilent() const
+{
+    int n = 0;
+    for (const auto &k : kernels)
+        n += k.silent;
+    return n;
+}
+
+int
+CampaignResult::totalRemapChecks() const
+{
+    int n = 0;
+    for (const auto &k : kernels)
+        n += k.remap_checks;
+    return n;
+}
+
+int
+CampaignResult::totalRemapClean() const
+{
+    int n = 0;
+    for (const auto &k : kernels)
+        n += k.remap_clean;
+    return n;
+}
+
+std::map<std::string, double>
+CampaignResult::statsSnapshot() const
+{
+    std::map<std::string, double> out;
+    for (const auto &k : kernels) {
+        const std::string p = k.name + ".";
+        out[p + "injections"] = k.injections;
+        out[p + "detected"] = k.detected;
+        out[p + "recovered"] = k.recovered;
+        out[p + "benign"] = k.benign;
+        out[p + "corrupted"] = k.corrupted;
+        out[p + "silent"] = k.silent;
+        out[p + "remap_checks"] = k.remap_checks;
+        out[p + "remap_clean"] = k.remap_clean;
+        for (int i = 0; i < FaultKindCount; ++i)
+            out[p + "kind." + faultKindName(FaultKind(i))] =
+                k.by_kind[i];
+    }
+    out["total.injections"] = totalInjections();
+    out["total.detected"] = totalDetected();
+    out["total.recovered"] = totalRecovered();
+    out["total.benign"] = totalBenign();
+    out["total.corrupted"] = totalCorrupted();
+    out["total.silent"] = totalSilent();
+    return out;
+}
+
+CampaignResult
+runCampaign(const CampaignParams &params)
+{
+    CampaignResult result;
+    result.params = params;
+
+    std::vector<workloads::Kernel> kernels;
+    if (params.kernels.empty()) {
+        kernels = workloads::rodiniaSuite(params.scale);
+    } else {
+        for (const auto &name : params.kernels)
+            kernels.push_back(
+                workloads::kernelByName(name, params.scale));
+    }
+
+    for (size_t ki = 0; ki < kernels.size(); ++ki) {
+        const workloads::Kernel &kernel = kernels[ki];
+        const uint64_t step_bound =
+            4 * kernel.iterations * kernel.program.words.size() +
+            1'000'000;
+        const Golden golden = runGolden(kernel, step_bound);
+        const std::vector<riscv::Instruction> body = kernel.loopBody();
+
+        KernelCampaignResult kr;
+        kr.name = kernel.name;
+        bool any_offload = false;
+
+        for (int j = 0; j < params.injections_per_kernel; ++j) {
+            const FaultKind kind = FaultKind(j % FaultKindCount);
+            // Independent stream per (kernel, injection): the whole
+            // fault plan is a pure function of the campaign seed.
+            SplitMix64 rng = SplitMix64(params.seed)
+                                 .fork(ki + 1)
+                                 .fork(uint64_t(j) + 1);
+
+            mem::MainMemory memory;
+            kernel.init_data(memory);
+            cpu::loadProgram(memory, kernel.program);
+
+            core::MesaParams mp;
+            mp.accel = params.accel;
+            mp.fault.enabled = true;
+            mp.fault.checked_mode = params.checked;
+            mp.fault.watchdog_cycles = params.watchdog_cycles;
+            mp.fault.seed = params.seed;
+            core::MesaController mesa(mp, memory);
+            StatsRegistry reg;
+            mesa.attachStats(&reg);
+
+            riscv::Emulator emu(memory);
+            emu.reset(kernel.program.base_pc);
+            kernel.fullRange()(emu.state());
+            advanceToLoop(emu, kernel);
+
+            accel::FaultPlane plane;
+            switch (kind) {
+              case FaultKind::ConfigBitFlip: {
+                auto fired = std::make_shared<bool>(false);
+                SplitMix64 crng = rng.fork(3);
+                mesa.setConfigCorruptor(
+                    [fired,
+                     crng](accel::AcceleratorConfig &cfg) mutable {
+                        if (*fired)
+                            return;
+                        *fired = true;
+                        corruptConfig(cfg, crng);
+                    });
+                break;
+              }
+              case FaultKind::TransientDatapath:
+                plane.transients.push_back(
+                    makeTransient(rng, body.size(), 64));
+                break;
+              case FaultKind::StuckPe:
+                plane.stuck_pes.push_back(
+                    makeStuckPe(rng, params.accel));
+                break;
+              case FaultKind::DeadLink:
+                plane.dead_links.push_back(
+                    makeDeadLink(rng, params.accel));
+                break;
+              case FaultKind::OffloadHang:
+                plane.stuck_branches.push_back(makeHang(rng));
+                break;
+            }
+            if (!plane.empty())
+                mesa.accelerator().injectFaults(plane);
+
+            auto os =
+                mesa.offloadLoop(body, emu.state(), kernel.parallel);
+            any_offload = any_offload || os.has_value();
+            emu.run(step_bound);
+
+            const bool detected =
+                reg.value("mesa.fault.crc_failures") +
+                    reg.value("mesa.fault.watchdog_trips") +
+                    reg.value("mesa.fault.mismatches") >
+                0.0;
+            const bool match =
+                emu.state() == golden.state &&
+                memorySnapshotsEqual(memory.snapshot(), golden.memory);
+
+            ++kr.injections;
+            ++kr.by_kind[int(kind)];
+            kr.detected += detected ? 1 : 0;
+            if (match && detected)
+                ++kr.recovered;
+            else if (match)
+                ++kr.benign;
+            else if (detected)
+                ++kr.corrupted;
+            else
+                ++kr.silent;
+
+            // Permanent faults: offload the region again on the same
+            // (now degraded) controller and verify the remap avoids
+            // every quarantined PE.
+            const bool permanent = kind == FaultKind::StuckPe ||
+                                   kind == FaultKind::DeadLink;
+            if (permanent && !mesa.faultyPes().empty()) {
+                kernel.init_data(memory);
+                cpu::loadProgram(memory, kernel.program);
+                riscv::Emulator emu2(memory);
+                emu2.reset(kernel.program.base_pc);
+                kernel.fullRange()(emu2.state());
+                advanceToLoop(emu2, kernel);
+                auto os2 = mesa.offloadLoop(body, emu2.state(),
+                                            kernel.parallel);
+                if (os2 && os2->accel_iterations > 0) {
+                    ++kr.remap_checks;
+                    kr.remap_clean +=
+                        placementAvoids(mesa.accelerator().config(),
+                                        mesa.faultyPes(),
+                                        params.accel.rows)
+                            ? 1
+                            : 0;
+                }
+            }
+        }
+        kr.offloadable = any_offload;
+        result.kernels.push_back(std::move(kr));
+    }
+    return result;
+}
+
+void
+printCampaignTable(const CampaignResult &result, std::ostream &os)
+{
+    os << std::left << std::setw(14) << "kernel" << std::right
+       << std::setw(8) << "inject" << std::setw(9) << "detected"
+       << std::setw(10) << "recovered" << std::setw(8) << "benign"
+       << std::setw(10) << "corrupted" << std::setw(8) << "silent"
+       << std::setw(8) << "remap" << "\n";
+    os << std::string(75, '-') << "\n";
+    auto row = [&](const std::string &name, int inj, int det, int rec,
+                   int ben, int cor, int sil, int rchk, int rcln) {
+        os << std::left << std::setw(14) << name << std::right
+           << std::setw(8) << inj << std::setw(9) << det
+           << std::setw(10) << rec << std::setw(8) << ben
+           << std::setw(10) << cor << std::setw(8) << sil
+           << std::setw(5) << rcln << "/" << rchk << "\n";
+    };
+    for (const auto &k : result.kernels)
+        row(k.offloadable ? k.name : k.name + "*", k.injections,
+            k.detected, k.recovered, k.benign, k.corrupted, k.silent,
+            k.remap_checks, k.remap_clean);
+    os << std::string(75, '-') << "\n";
+    row("TOTAL", result.totalInjections(), result.totalDetected(),
+        result.totalRecovered(), result.totalBenign(),
+        result.totalCorrupted(), result.totalSilent(),
+        result.totalRemapChecks(), result.totalRemapClean());
+    os << "(* = region never offloaded: faults land on idle hardware)"
+       << "\n";
+    os << "gate: " << (result.clean() ? "CLEAN" : "DIRTY")
+       << " (silent=" << result.totalSilent()
+       << " corrupted=" << result.totalCorrupted()
+       << " remap=" << result.totalRemapClean() << "/"
+       << result.totalRemapChecks() << ")\n";
+}
+
+void
+writeCampaignJson(const CampaignResult &result, std::ostream &os)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("seed", result.params.seed);
+    w.field("injections_per_kernel",
+            result.params.injections_per_kernel);
+    w.field("checked", result.params.checked);
+    w.field("watchdog_cycles", result.params.watchdog_cycles);
+    w.key("kernels").beginArray();
+    for (const auto &k : result.kernels) {
+        w.beginObject();
+        w.field("name", k.name);
+        w.field("offloadable", k.offloadable);
+        w.field("injections", k.injections);
+        w.field("detected", k.detected);
+        w.field("recovered", k.recovered);
+        w.field("benign", k.benign);
+        w.field("corrupted", k.corrupted);
+        w.field("silent", k.silent);
+        w.field("remap_checks", k.remap_checks);
+        w.field("remap_clean", k.remap_clean);
+        w.key("by_kind").beginObject();
+        for (int i = 0; i < FaultKindCount; ++i)
+            w.field(faultKindName(FaultKind(i)), k.by_kind[i]);
+        w.end();
+        w.end();
+    }
+    w.end();
+    w.key("totals").beginObject();
+    w.field("injections", result.totalInjections());
+    w.field("detected", result.totalDetected());
+    w.field("recovered", result.totalRecovered());
+    w.field("benign", result.totalBenign());
+    w.field("corrupted", result.totalCorrupted());
+    w.field("silent", result.totalSilent());
+    w.field("remap_checks", result.totalRemapChecks());
+    w.field("remap_clean", result.totalRemapClean());
+    w.end();
+    w.field("clean", result.clean());
+    w.end();
+    os << w.str() << "\n";
+}
+
+} // namespace mesa::fault

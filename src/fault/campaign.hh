@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Seeded fault-injection campaigns over the workload suite. One
+ * campaign runs every kernel under repeated injections drawn from a
+ * deterministic RNG, cycling through the five FaultKind models, and
+ * classifies every injection against a pre-computed golden run:
+ *
+ *   recovered — final state matches golden and the controller
+ *               reported a detection (the recovery pipeline worked);
+ *   benign    — matches golden with no detection (the fault landed on
+ *               unused hardware / a masked value);
+ *   corrupted — detection fired but the final state is wrong
+ *               (recovery failed: the bug class CI must catch);
+ *   silent    — wrong state, no detection (silent data corruption —
+ *               the headline number; must be zero in checked mode).
+ *
+ * Permanent faults (stuck PE, dead link) get a second offload of the
+ * same region on the same controller so the remap path is exercised:
+ * the campaign asserts the new placement puts zero nodes on
+ * quarantined PEs (remap_checks / remap_clean).
+ */
+
+#ifndef MESA_FAULT_CAMPAIGN_HH
+#define MESA_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "accel/params.hh"
+#include "fault/injector.hh"
+#include "workloads/kernel.hh"
+
+namespace mesa::fault
+{
+
+/** Campaign configuration. */
+struct CampaignParams
+{
+    uint64_t seed = 1;
+    int injections_per_kernel = 32;
+    workloads::SuiteScale scale{128};
+    /** Kernel names to run; empty = the full suite. */
+    std::vector<std::string> kernels;
+    /** Golden-model checked mode (required for the zero-silent-
+     *  corruption guarantee). */
+    bool checked = true;
+    /** Per-offload fault watchdog budget (cycles). */
+    uint64_t watchdog_cycles = 50'000;
+    accel::AccelParams accel = accel::AccelParams::m128();
+};
+
+/** Per-kernel campaign outcome. */
+struct KernelCampaignResult
+{
+    std::string name;
+    bool offloadable = true; ///< The clean region maps at all.
+    int injections = 0;
+    int detected = 0;
+    int recovered = 0;
+    int benign = 0;
+    int corrupted = 0;
+    int silent = 0;
+    /** Injections per fault kind. */
+    int by_kind[FaultKindCount] = {};
+    /** Permanent-fault remap verification. */
+    int remap_checks = 0;
+    int remap_clean = 0;
+};
+
+/** Whole-campaign outcome. */
+struct CampaignResult
+{
+    CampaignParams params;
+    std::vector<KernelCampaignResult> kernels;
+
+    int totalInjections() const;
+    int totalDetected() const;
+    int totalRecovered() const;
+    int totalBenign() const;
+    int totalCorrupted() const;
+    int totalSilent() const;
+    int totalRemapChecks() const;
+    int totalRemapClean() const;
+
+    /** The CI gate: no silent corruption, no failed recovery, and
+     *  every remap check placed off the quarantined PEs. */
+    bool
+    clean() const
+    {
+        return totalSilent() == 0 && totalCorrupted() == 0 &&
+               totalRemapChecks() == totalRemapClean();
+    }
+
+    /** Flat numeric view of everything (the determinism test compares
+     *  two same-seed campaigns through this). */
+    std::map<std::string, double> statsSnapshot() const;
+};
+
+/** Run the campaign (deterministic for a given params.seed). */
+CampaignResult runCampaign(const CampaignParams &params);
+
+/** Human-readable per-kernel coverage table. */
+void printCampaignTable(const CampaignResult &result, std::ostream &os);
+
+/** Machine-readable report (mesa_faultsim --json). */
+void writeCampaignJson(const CampaignResult &result, std::ostream &os);
+
+} // namespace mesa::fault
+
+#endif // MESA_FAULT_CAMPAIGN_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Architectural + memory checkpoints for offload rollback. The
+ * fault-tolerant controller captures one before transferring control
+ * to the fabric; on a detected fault (CRC, watchdog, golden-model
+ * mismatch) it restores the checkpoint byte-exactly and re-executes
+ * the region on the CPU, so a faulty offload is never observable.
+ */
+
+#ifndef MESA_FAULT_CHECKPOINT_HH
+#define MESA_FAULT_CHECKPOINT_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/memory.hh"
+#include "riscv/emulator.hh"
+
+namespace mesa::fault
+{
+
+using MemSnapshot = std::unordered_map<uint32_t, std::vector<uint8_t>>;
+
+/** One offload checkpoint: registers + pc + all resident pages. */
+struct Checkpoint
+{
+    riscv::ArchState state;
+    MemSnapshot pages;
+
+    static Checkpoint capture(const riscv::ArchState &state,
+                              const mem::MainMemory &memory);
+
+    /** Byte-exact rollback: restores registers, pc, and memory. */
+    void restore(riscv::ArchState &out_state,
+                 mem::MainMemory &memory) const;
+};
+
+/**
+ * Compare two memory snapshots for semantic equality. Pages present
+ * on only one side must be all-zero (untouched pages read as zero, so
+ * a lazily-allocated zero page is equal to an absent one).
+ */
+bool memorySnapshotsEqual(const MemSnapshot &a, const MemSnapshot &b);
+
+} // namespace mesa::fault
+
+#endif // MESA_FAULT_CHECKPOINT_HH

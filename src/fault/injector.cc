@@ -1,0 +1,159 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mesa::fault
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::ConfigBitFlip: return "config-bit-flip";
+      case FaultKind::TransientDatapath: return "transient-datapath";
+      case FaultKind::StuckPe: return "stuck-pe";
+      case FaultKind::DeadLink: return "dead-link";
+      case FaultKind::OffloadHang: return "offload-hang";
+    }
+    return "?";
+}
+
+std::string
+corruptConfig(accel::AcceleratorConfig &config, SplitMix64 &rng)
+{
+    if (config.slots.empty())
+        return "";
+
+    std::ostringstream desc;
+    // Try mutation kinds until one applies (some need a slot with a
+    // particular shape); bounded so a degenerate config terminates.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        const size_t slot_idx = rng.below(config.slots.size());
+        accel::PeSlot &slot = config.slots[slot_idx];
+        switch (rng.below(6)) {
+          case 0: { // Flip one bit of the immediate.
+            const int bit = int(rng.below(32));
+            slot.inst.imm ^= int32_t(uint32_t(1) << bit);
+            desc << "slot " << slot_idx << ": imm bit " << bit
+                 << " flipped";
+            return desc.str();
+          }
+          case 1: { // Swap the operand routes.
+            if (slot.src1 == slot.src2 && slot.live_in1 == slot.live_in2)
+                break;
+            std::swap(slot.src1, slot.src2);
+            std::swap(slot.live_in1, slot.live_in2);
+            desc << "slot " << slot_idx << ": operand routes swapped";
+            return desc.str();
+          }
+          case 2: { // Retarget src1 to a different earlier node.
+            if (slot.src1 == dfg::NoNode || slot_idx < 2)
+                break;
+            const auto wrong =
+                dfg::NodeId(rng.below(slot_idx));
+            if (wrong == slot.src1)
+                break;
+            slot.src1 = wrong;
+            desc << "slot " << slot_idx << ": src1 retargeted to node "
+                 << wrong;
+            return desc.str();
+          }
+          case 3: { // Perturb the placement row.
+            if (config.rows < 2)
+                break;
+            const int new_r =
+                std::clamp(slot.pos.r ^ 1, 0, config.rows - 1);
+            if (new_r == slot.pos.r)
+                break;
+            slot.pos.r = new_r;
+            desc << "slot " << slot_idx << ": row perturbed to "
+                 << new_r;
+            return desc.str();
+          }
+          case 4: { // Retarget one live-out to a different writer.
+            if (config.live_outs.empty())
+                break;
+            auto it = config.live_outs.begin();
+            std::advance(it,
+                         long(rng.below(config.live_outs.size())));
+            const auto wrong =
+                dfg::NodeId(rng.below(config.slots.size()));
+            if (wrong == it->second)
+                break;
+            it->second = wrong;
+            desc << "live-out x" << it->first
+                 << ": writer retargeted to node " << wrong;
+            return desc.str();
+          }
+          case 5: { // Drop one live-in latch.
+            if (config.live_ins.size() < 2)
+                break;
+            auto it = config.live_ins.begin();
+            std::advance(it,
+                         long(rng.below(config.live_ins.size())));
+            const int reg = *it;
+            config.live_ins.erase(it);
+            desc << "live-in x" << reg << " dropped";
+            return desc.str();
+          }
+        }
+    }
+    // Fallback: the immediate flip always applies.
+    accel::PeSlot &slot = config.slots[rng.below(config.slots.size())];
+    slot.inst.imm ^= 1;
+    return "imm bit 0 flipped (fallback)";
+}
+
+accel::PeStuckFault
+makeStuckPe(SplitMix64 &rng, const accel::AccelParams &params)
+{
+    accel::PeStuckFault f;
+    f.pos = {int(rng.below(uint64_t(params.rows))),
+             int(rng.below(uint64_t(params.cols)))};
+    f.xor_mask = rng.mask32();
+    return f;
+}
+
+accel::LinkFault
+makeDeadLink(SplitMix64 &rng, const accel::AccelParams &params)
+{
+    accel::LinkFault f;
+    f.from = {int(rng.below(uint64_t(params.rows))),
+              int(rng.below(uint64_t(params.cols)))};
+    // Neighbor in a random cardinal direction, clamped to the grid
+    // (a clamp onto itself retries toward the opposite side).
+    static constexpr int dr[4] = {1, -1, 0, 0};
+    static constexpr int dc[4] = {0, 0, 1, -1};
+    const size_t d = rng.below(4);
+    int r = std::clamp(f.from.r + dr[d], 0, params.rows - 1);
+    int c = std::clamp(f.from.c + dc[d], 0, params.cols - 1);
+    if (r == f.from.r && c == f.from.c) {
+        r = std::clamp(f.from.r - dr[d], 0, params.rows - 1);
+        c = std::clamp(f.from.c - dc[d], 0, params.cols - 1);
+    }
+    f.to = {r, c};
+    f.xor_mask = rng.mask32();
+    return f;
+}
+
+accel::TransientFault
+makeTransient(SplitMix64 &rng, size_t slot_count,
+              uint64_t max_iteration)
+{
+    accel::TransientFault f;
+    f.slot = slot_count == 0 ? 0 : rng.below(slot_count);
+    f.iteration = rng.below(std::max<uint64_t>(max_iteration, 1));
+    f.xor_mask = rng.mask32();
+    return f;
+}
+
+accel::BranchStuckFault
+makeHang(SplitMix64 &rng)
+{
+    accel::BranchStuckFault f;
+    f.from_iteration = rng.below(32);
+    return f;
+}
+
+} // namespace mesa::fault

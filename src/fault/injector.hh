@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for campaigns. Two families:
+ *
+ *  - Configuration upsets: corruptConfig() applies one structurally
+ *    safe semantic mutation to an AcceleratorConfig (bit-flipped
+ *    immediate, swapped operand route, retargeted live-out, ...) —
+ *    modeling an SEU in the stored bitstream. Every mutation changes
+ *    a field covered by configCrc(), so the controller's CRC gate
+ *    must catch it before the config is streamed.
+ *  - Hardware defects: make*() builders produce FaultPlane entries
+ *    (stuck PEs, dead links, datapath SEUs, induced hangs) from a
+ *    seeded RNG for Accelerator::injectFaults().
+ *
+ * All randomness comes from the caller's SplitMix64, so a campaign
+ * with the same seed injects byte-identical faults.
+ */
+
+#ifndef MESA_FAULT_INJECTOR_HH
+#define MESA_FAULT_INJECTOR_HH
+
+#include <string>
+
+#include "accel/config_types.hh"
+#include "accel/fault_plane.hh"
+#include "accel/params.hh"
+#include "util/rng.hh"
+
+namespace mesa::fault
+{
+
+/** Injection categories a campaign cycles through. */
+enum class FaultKind
+{
+    ConfigBitFlip,     ///< SEU in the stored configuration.
+    TransientDatapath, ///< SEU in one PE result, one iteration.
+    StuckPe,           ///< Permanent stuck-at PE defect.
+    DeadLink,          ///< Permanent dead interconnect link.
+    OffloadHang,       ///< Stuck closing-branch control line.
+};
+
+constexpr int FaultKindCount = 5;
+
+const char *faultKindName(FaultKind kind);
+
+/**
+ * Apply one structurally-safe random mutation to @p config (the
+ * config stays well-formed: node order, slot bounds, and the closing
+ * branch are preserved). Returns a description of the mutation, or
+ * "" if the config has no mutable field (degenerate single-slot
+ * configs). Does NOT restamp config.crc — that is the point.
+ */
+std::string corruptConfig(accel::AcceleratorConfig &config,
+                          SplitMix64 &rng);
+
+/** Random permanent stuck-at PE anywhere in the grid. */
+accel::PeStuckFault makeStuckPe(SplitMix64 &rng,
+                                const accel::AccelParams &params);
+
+/** Random dead link between a PE and one of its grid neighbors. */
+accel::LinkFault makeDeadLink(SplitMix64 &rng,
+                              const accel::AccelParams &params);
+
+/** Random single-iteration SEU in one of @p slot_count slots. */
+accel::TransientFault makeTransient(SplitMix64 &rng, size_t slot_count,
+                                    uint64_t max_iteration = 64);
+
+/** Random induced hang (closing branch stuck taken). */
+accel::BranchStuckFault makeHang(SplitMix64 &rng);
+
+} // namespace mesa::fault
+
+#endif // MESA_FAULT_INJECTOR_HH

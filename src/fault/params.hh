@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fault-tolerance knobs for the MESA controller. Off by default: the
+ * paper's controller assumes a reliable fabric; enabling this models
+ * a self-checking deployment where every offload is guarded by the
+ * detection/recovery pipeline described in ARCHITECTURE.md
+ * ("Reliability").
+ */
+
+#ifndef MESA_FAULT_PARAMS_HH
+#define MESA_FAULT_PARAMS_HH
+
+#include <cstdint>
+
+namespace mesa::fault
+{
+
+/** Controller-side fault tolerance configuration. */
+struct FaultToleranceParams
+{
+    /** Master switch: checkpoint/rollback, CRC gate, quarantine. */
+    bool enabled = false;
+
+    /**
+     * Checked mode: after every completed offload, roll back to the
+     * checkpoint and re-execute the region on the functional emulator
+     * (golden model), comparing architectural state and memory
+     * byte-exactly. A mismatch adopts the golden result — detection
+     * and recovery in one step (DMR in time, not space).
+     */
+    bool checked_mode = false;
+
+    /** Re-derive the config CRC before streaming (detection point 1). */
+    bool crc_check = true;
+
+    /**
+     * Per-offload fabric cycle budget in fault mode, threaded through
+     * every epoch (detection point 2). Independent of the hard device
+     * cap in AccelParams::watchdog_cycles, which applies always.
+     * 0 = only the device cap applies.
+     */
+    uint64_t watchdog_cycles = 2'000'000;
+
+    /** Step bound for golden-model re-execution of one region. */
+    uint64_t max_golden_steps = 50'000'000;
+
+    /**
+     * Run the fabric's BIST after a detected fault to distinguish
+     * permanent defects (quarantine the PEs, remap around them) from
+     * transients (back off the region, retry later).
+     */
+    bool self_test_on_fault = true;
+
+    /** Seed for in-situ injection hooks (CLI --seed). */
+    uint64_t seed = 0;
+};
+
+} // namespace mesa::fault
+
+#endif // MESA_FAULT_PARAMS_HH

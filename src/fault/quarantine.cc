@@ -1,0 +1,83 @@
+#include "fault/quarantine.hh"
+
+#include <algorithm>
+
+namespace mesa::fault
+{
+
+bool
+RegionQuarantine::shouldOffload(uint32_t pc)
+{
+    auto it = entries_.find(pc);
+    if (it == entries_.end())
+        return true;
+    Entry &e = it->second;
+    if (e.skip_left > 0) {
+        --e.skip_left;
+        return false;
+    }
+    return true;
+}
+
+void
+RegionQuarantine::onFault(uint32_t pc)
+{
+    Entry &e = entries_[pc];
+    e.strikes = std::min(e.strikes + 1, MaxStrikes);
+    e.skip_left = uint64_t(1) << (e.strikes - 1);
+    e.successes = 0;
+}
+
+void
+RegionQuarantine::onSuccess(uint32_t pc)
+{
+    auto it = entries_.find(pc);
+    if (it == entries_.end())
+        return;
+    Entry &e = it->second;
+    if (++e.successes < 2)
+        return;
+    e.successes = 0;
+    if (--e.strikes <= 0)
+        entries_.erase(it);
+}
+
+void
+RegionQuarantine::clear(uint32_t pc)
+{
+    entries_.erase(pc);
+}
+
+size_t
+RegionQuarantine::quarantinedCount() const
+{
+    size_t n = 0;
+    for (const auto &[pc, e] : entries_)
+        n += e.skip_left > 0;
+    return n;
+}
+
+int
+RegionQuarantine::strikes(uint32_t pc) const
+{
+    auto it = entries_.find(pc);
+    return it == entries_.end() ? 0 : it->second.strikes;
+}
+
+bool
+FaultyPeMap::add(ic::Coord pos)
+{
+    if (faulty(pos))
+        return false;
+    coords_.push_back(pos);
+    return true;
+}
+
+bool
+FaultyPeMap::faulty(ic::Coord pos) const
+{
+    return std::find(coords_.begin(), coords_.end(), pos) !=
+           coords_.end();
+}
+
+} // namespace mesa::fault

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quarantine bookkeeping for the fault-tolerant controller:
+ *
+ *  - RegionQuarantine: exponential-backoff blacklist keyed by region
+ *    start pc. A region that keeps faulting on the fabric is skipped
+ *    for exponentially many encounters (executing on the CPU instead)
+ *    and rehabilitated after consecutive clean offloads.
+ *  - FaultyPeMap: the persistent set of physically-defective PEs
+ *    discovered by the fabric's self test. Fed into the mapper's free
+ *    matrix so subsequent placements route around dead hardware.
+ */
+
+#ifndef MESA_FAULT_QUARANTINE_HH
+#define MESA_FAULT_QUARANTINE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "interconnect/interconnect.hh"
+
+namespace mesa::fault
+{
+
+/** Exponential-backoff blacklist for repeatedly-faulting regions. */
+class RegionQuarantine
+{
+  public:
+    /**
+     * Ask whether the region starting at @p pc may offload now. Each
+     * call counts as one encounter: while quarantined it consumes one
+     * skip credit and returns false.
+     */
+    bool shouldOffload(uint32_t pc);
+
+    /** Record a detected fault: strike, back off 2^(strikes-1) next
+     *  encounters (capped). */
+    void onFault(uint32_t pc);
+
+    /** Record a clean offload; two in a row forgive one strike. */
+    void onSuccess(uint32_t pc);
+
+    /** Forget the region entirely (e.g., root cause was a permanent
+     *  PE defect that has since been mapped around). */
+    void clear(uint32_t pc);
+
+    /** Regions currently serving a skip sentence. */
+    size_t quarantinedCount() const;
+
+    int strikes(uint32_t pc) const;
+
+  private:
+    struct Entry
+    {
+        int strikes = 0;
+        uint64_t skip_left = 0;
+        int successes = 0;
+    };
+
+    static constexpr int MaxStrikes = 16;
+
+    std::unordered_map<uint32_t, Entry> entries_;
+};
+
+/** Persistent map of PEs retired from service by the self test. */
+class FaultyPeMap
+{
+  public:
+    /** Add a PE (idempotent). Returns true if it was new. */
+    bool add(ic::Coord pos);
+
+    bool faulty(ic::Coord pos) const;
+
+    const std::vector<ic::Coord> &coords() const { return coords_; }
+    size_t size() const { return coords_.size(); }
+    bool empty() const { return coords_.empty(); }
+
+  private:
+    std::vector<ic::Coord> coords_;
+};
+
+} // namespace mesa::fault
+
+#endif // MESA_FAULT_QUARANTINE_HH

@@ -198,6 +198,9 @@ ConfigBlock::build(const Ldfg &ldfg, const Sdfg &sdfg,
     cfg.config_words = 4 * cfg.slots.size() + edges +
                        cfg.live_ins.size() +
                        4 * cfg.instances.size() + 8;
+    // Integrity stamp over the semantic payload; the controller
+    // re-derives it before streaming (fault detection, src/fault).
+    cfg.crc = configCrc(cfg);
     return cfg;
 }
 

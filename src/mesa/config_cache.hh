@@ -64,6 +64,15 @@ class ConfigCache
         }
     }
 
+    /** Drop every entry (e.g., after PEs were quarantined: any cached
+     *  placement may route through the retired resources). */
+    void
+    clear()
+    {
+        entries_.clear();
+        index_.clear();
+    }
+
     /** Drop a region (e.g., after its mapping proved invalid). */
     void
     invalidate(uint32_t region_start)

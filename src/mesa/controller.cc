@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dfg/unroll.hh"
+#include "fault/checkpoint.hh"
 #include "util/debug.hh"
 #include "interconnect/folded.hh"
 #include "util/logging.hh"
@@ -17,6 +18,20 @@ using cpu::RegionMonitor;
 using dfg::Ldfg;
 using riscv::Instruction;
 using riscv::TraceEntry;
+
+const char *
+fallbackReasonName(FallbackReason reason)
+{
+    switch (reason) {
+      case FallbackReason::None: return "none";
+      case FallbackReason::VerifyDirty: return "verify_dirty";
+      case FallbackReason::FaultDetected: return "fault_detected";
+      case FallbackReason::Watchdog: return "watchdog";
+      case FallbackReason::Structural: return "structural";
+      case FallbackReason::Quarantined: return "quarantined";
+    }
+    return "?";
+}
 
 void
 TransparentRunResult::registerInto(StatsRegistry &registry,
@@ -73,6 +88,13 @@ TransparentRunResult::registerInto(StatsRegistry &registry,
                         double(o.accel.disabled_ops));
         registry.scalar(p + "pes_used", double(o.accel.pes_used));
         registry.scalar(p + "model_latency", o.model_latency);
+        registry.scalar(p + "fallback", double(int(o.fallback)));
+        registry.scalar(p + "cpu_reexec_instructions",
+                        double(o.cpu_reexec_instructions));
+        registry.scalar(p + "watchdog_tripped",
+                        o.accel.watchdog_tripped ? 1.0 : 0.0);
+        registry.scalar(p + "faults_fired",
+                        double(o.accel.faults_fired));
     }
 }
 
@@ -127,6 +149,36 @@ MesaController::attachStats(StatsRegistry *registry,
         live_.verify_fallbacks =
             &stats_->counter("mesa.verify.fallbacks");
     }
+    // The unified fallback taxonomy is always registered: structural
+    // and verify fallbacks happen in any mode.
+    for (int r = 1; r < FallbackReasonCount; ++r)
+        live_.fallbacks[r] = &stats_->counter(
+            std::string("mesa.fallback.") +
+            fallbackReasonName(FallbackReason(r)));
+    if (params_.fault.enabled) {
+        live_.fault_crc_failures =
+            &stats_->counter("mesa.fault.crc_failures");
+        live_.fault_watchdog_trips =
+            &stats_->counter("mesa.fault.watchdog_trips");
+        live_.fault_checked_runs =
+            &stats_->counter("mesa.fault.checked_runs");
+        live_.fault_mismatches =
+            &stats_->counter("mesa.fault.mismatches");
+        live_.fault_rollbacks = &stats_->counter("mesa.fault.rollbacks");
+        live_.fault_cpu_reexec =
+            &stats_->counter("mesa.fault.cpu_reexec_instructions");
+        live_.fault_self_tests =
+            &stats_->counter("mesa.fault.self_tests");
+        live_.fault_quarantined_pes =
+            &stats_->counter("mesa.fault.quarantined_pes");
+    }
+}
+
+void
+MesaController::bumpFallback(FallbackReason reason)
+{
+    if (stats_ && live_.fallbacks[int(reason)])
+        ++*live_.fallbacks[int(reason)];
 }
 
 Counter &
@@ -243,6 +295,7 @@ MesaController::prepare(const std::vector<Instruction> &body,
                         bool parallel_hint, uint32_t region_start,
                         uint32_t region_end)
 {
+    last_prepare_fallback_ = FallbackReason::Structural;
     const size_t capacity = params_.accel.capacity();
     const int max_tm =
         params_.enable_time_multiplexing
@@ -251,11 +304,17 @@ MesaController::prepare(const std::vector<Instruction> &body,
 
     // Unrolling (extension): replicate small bodies so one pass
     // covers several original iterations; the CPU resumes at the
-    // closing branch and runs the tail sequentially.
+    // closing branch and runs the tail sequentially. Checked fault
+    // mode disables it: the golden model re-executes the region to
+    // its natural exit, which an unrolled pass (CPU tail pending,
+    // resume_pc inside the region) does not reach.
+    const bool checked_fault_mode =
+        params_.fault.enabled && params_.fault.checked_mode;
     std::vector<Instruction> working = body;
     std::map<int, int32_t> live_in_adjustments;
     uint32_t resume_pc = 0;
-    if (params_.enable_unrolling && body.size() <= capacity) {
+    if (params_.enable_unrolling && !checked_fault_mode &&
+        body.size() <= capacity) {
         for (int f = std::max(2, params_.unroll_factor); f >= 2;
              f /= 2) {
             // Unrolling competes with tiling for PEs: only replicate
@@ -293,6 +352,10 @@ MesaController::prepare(const std::vector<Instruction> &body,
         ic::FoldedInterconnect folded(accel_.interconnect(),
                                       params_.accel.rows);
         InstructionMapper vmapper(virt, folded, params_.mapper);
+        // Retired PEs block every virtual row that folds onto them.
+        if (!faulty_pes_.empty())
+            vmapper.setBlockedPes(faulty_pes_.coords(),
+                                  params_.accel.rows);
         prep.map = vmapper.map(prep.ldfg);
         prep.options.time_multiplex = tm;
     } else {
@@ -330,9 +393,12 @@ MesaController::prepare(const std::vector<Instruction> &body,
             reg_carried = true;
     }
 
+    // A degraded array runs untiled: tile instances execute at
+    // translated physical origins the blocked set cannot see, so only
+    // the base placement is guaranteed to avoid quarantined PEs.
     prep.max_tiles =
         (tm == 1 && parallel_hint && params_.enable_tiling &&
-         !unknown_stores && !reg_carried)
+         faulty_pes_.empty() && !unknown_stores && !reg_carried)
             ? ConfigBlock::maxTileFactor(prep.map.sdfg, params_.accel)
             : 1;
     // The first configuration tiles conservatively (half the grid's
@@ -352,8 +418,10 @@ MesaController::prepare(const std::vector<Instruction> &body,
                                       prep.options, region_start,
                                       region_end);
     prep.config.model_latency = prep.map.model_latency;
-    if (params_.verify_before_offload && !verifyPrepared(prep))
+    if (params_.verify_before_offload && !verifyPrepared(prep)) {
+        last_prepare_fallback_ = FallbackReason::VerifyDirty;
         return std::nullopt;
+    }
     DTRACE("controller",
            "prepared region 0x" << std::hex << region_start << std::dec
                                 << ": " << prep.ldfg.size()
@@ -370,7 +438,8 @@ void
 MesaController::runWithOptimization(Prepared &prep,
                                     riscv::ArchState &state,
                                     uint64_t max_iterations,
-                                    OffloadStats &os)
+                                    OffloadStats &os,
+                                    uint64_t cycle_budget)
 {
     accel_.configure(prep.config);
     os.model_latency = prep.config.model_latency;
@@ -379,6 +448,7 @@ MesaController::runWithOptimization(Prepared &prep,
 
     IterativeOptimizer optimizer(mapper_);
     uint64_t remaining = max_iterations;
+    uint64_t budget_left = cycle_budget; // 0 = only the device cap.
     int attempts = 0;
 
     // Timeline cursor: epochs and reconfigurations lay out back-to-
@@ -400,7 +470,7 @@ MesaController::runWithOptimization(Prepared &prep,
         // local 0-based timeline; anchor it at the cursor.
         if (Tracer::active())
             tracer.setBase(cursor);
-        AccelRunResult res = accel_.run(state, epoch);
+        AccelRunResult res = accel_.run(state, epoch, budget_left);
         DTRACE("controller", "epoch: " << res.iterations
                                        << " iterations in "
                                        << res.cycles << " cycles"
@@ -435,6 +505,19 @@ MesaController::runWithOptimization(Prepared &prep,
         cursor += res.cycles;
         if (res.completed)
             break;
+        // Watchdog trip (device cap or the per-offload fault budget):
+        // stop driving the fabric; the guarded dispatch rolls back.
+        if (res.watchdog_tripped)
+            break;
+        if (cycle_budget) {
+            if (res.cycles >= budget_left) {
+                // Budget spent without a device-side trip (epoch ended
+                // exactly on the boundary): report the trip ourselves.
+                os.accel.watchdog_tripped = true;
+                break;
+            }
+            budget_left -= res.cycles;
+        }
         if (!may_optimize)
             continue;
 
@@ -535,6 +618,178 @@ MesaController::runWithOptimization(Prepared &prep,
         tracer.setBase(entry_base + (cursor - offload_start));
 }
 
+void
+MesaController::cpuReexecute(riscv::ArchState &state, OffloadStats &os)
+{
+    riscv::Emulator cpu(memory_);
+    cpu.reset(state.pc);
+    cpu.state() = state;
+    const uint64_t steps = cpu.runWhileInRegion(
+        os.region_start, os.region_end, params_.fault.max_golden_steps);
+    state = cpu.state();
+    os.cpu_reexec_instructions += steps;
+    if (stats_ && live_.fault_cpu_reexec)
+        *live_.fault_cpu_reexec += steps;
+}
+
+void
+MesaController::onFaultDetected(OffloadStats &os)
+{
+    bumpFallback(os.fallback);
+    quarantine_.onFault(os.region_start);
+    config_cache_.invalidate(os.region_start);
+    if (!params_.fault.self_test_on_fault)
+        return;
+    if (stats_ && live_.fault_self_tests)
+        ++*live_.fault_self_tests;
+    const std::vector<ic::Coord> bad = accel_.selfTest();
+    size_t newly = 0;
+    for (const ic::Coord pos : bad)
+        newly += faulty_pes_.add(pos) ? 1 : 0;
+    if (newly == 0)
+        return;
+    // Permanent defects localized: retire the PEs from the mapper's
+    // free matrix, flush every cached placement (any of them may
+    // route through the dead hardware), and lift the region's
+    // sentence — with the root cause mapped around, the fabric
+    // deserves a fresh chance.
+    mapper_.setBlockedPes(faulty_pes_.coords());
+    config_cache_.clear();
+    quarantine_.clear(os.region_start);
+    if (stats_ && live_.fault_quarantined_pes)
+        *live_.fault_quarantined_pes += newly;
+    DTRACE("controller", "self test retired " << newly << " PE(s), "
+                                              << faulty_pes_.size()
+                                              << " total");
+    if (Tracer::active())
+        Tracer::global().instant(
+            "mesa.fault", "pe-quarantine", Tracer::global().now(),
+            {{"new_pes", uint64_t(newly)},
+             {"total_pes", uint64_t(faulty_pes_.size())}});
+}
+
+void
+MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
+                           uint64_t max_iterations, OffloadStats &os)
+{
+    const fault::FaultToleranceParams &fp = params_.fault;
+    if (!fp.enabled) {
+        runWithOptimization(prep, state, max_iterations, os);
+        if (os.accel.watchdog_tripped) {
+            // Device-level watchdog (always armed): the run was cut
+            // off with partial progress written back; the CPU resumes
+            // the loop from there. Surface the reason even without
+            // fault mode.
+            os.fallback = FallbackReason::Watchdog;
+            bumpFallback(os.fallback);
+        }
+        return;
+    }
+
+    Tracer &tracer = Tracer::global();
+
+    // Campaign hook: model an SEU in the stored bitstream.
+    if (config_corruptor_)
+        config_corruptor_(prep.config);
+
+    // Detection point 1: re-derive the CRC before streaming.
+    if (fp.crc_check &&
+        accel::configCrc(prep.config) != prep.config.crc) {
+        if (stats_ && live_.fault_crc_failures)
+            ++*live_.fault_crc_failures;
+        if (Tracer::active())
+            tracer.instant("mesa.fault", "crc-mismatch", tracer.now(),
+                           {{"pc", uint64_t(os.region_start)},
+                            {"stored", uint64_t(prep.config.crc)}});
+        // The stored bitstream is corrupt, but the encoder-side LDFG
+        // and mapping are intact: rebuild the configuration from them
+        // and replace the poisoned cache entry.
+        config_cache_.invalidate(os.region_start);
+        prep.config = config_block_.build(prep.ldfg, prep.map.sdfg,
+                                          prep.options, os.region_start,
+                                          os.region_end);
+        prep.config.model_latency = prep.map.model_latency;
+        if (accel::configCrc(prep.config) != prep.config.crc) {
+            // The rebuild is corrupt too (encoder-path fault): nothing
+            // trustworthy to stream; execute on the CPU.
+            os.fallback = FallbackReason::FaultDetected;
+            onFaultDetected(os);
+            cpuReexecute(state, os);
+            return;
+        }
+        config_cache_.insert(prep.config);
+    }
+
+    // Checkpoint before handing control to the fabric.
+    const fault::Checkpoint ckpt =
+        fault::Checkpoint::capture(state, memory_);
+
+    runWithOptimization(prep, state, max_iterations, os,
+                        fp.watchdog_cycles);
+
+    bool faulted = false;
+    if (os.accel.watchdog_tripped) {
+        // Detection point 2: the offload hung (stuck control line) or
+        // overran its budget. Roll back and re-execute on the CPU.
+        if (stats_ && live_.fault_watchdog_trips)
+            ++*live_.fault_watchdog_trips;
+        if (stats_ && live_.fault_rollbacks)
+            ++*live_.fault_rollbacks;
+        if (Tracer::active()) {
+            tracer.instant("mesa.fault", "watchdog-trip", tracer.now(),
+                           {{"pc", uint64_t(os.region_start)},
+                            {"cycles", os.accel_cycles}});
+            tracer.instant("mesa.fault", "rollback", tracer.now(),
+                           {{"pc", uint64_t(os.region_start)}});
+        }
+        os.fallback = FallbackReason::Watchdog;
+        ckpt.restore(state, memory_);
+        cpuReexecute(state, os);
+        faulted = true;
+    } else if (fp.checked_mode && os.accel.completed) {
+        // Detection point 3: golden-model comparison (DMR in time).
+        // Only a run that reached the loop exit is comparable — the
+        // golden model executes the region to its natural exit.
+        if (stats_ && live_.fault_checked_runs)
+            ++*live_.fault_checked_runs;
+        const riscv::ArchState accel_state = state;
+        const fault::MemSnapshot accel_pages = memory_.snapshot();
+        ckpt.restore(state, memory_);
+        riscv::Emulator golden(memory_);
+        golden.reset(state.pc);
+        golden.state() = state;
+        const uint64_t steps = golden.runWhileInRegion(
+            os.region_start, os.region_end, fp.max_golden_steps);
+        state = golden.state();
+        os.cpu_reexec_instructions += steps;
+        if (stats_ && live_.fault_cpu_reexec)
+            *live_.fault_cpu_reexec += steps;
+        const bool match =
+            state == accel_state &&
+            fault::memorySnapshotsEqual(memory_.snapshot(),
+                                        accel_pages);
+        if (!match) {
+            // state/memory already hold the golden result: detection
+            // and recovery coincide on this path.
+            if (stats_ && live_.fault_mismatches)
+                ++*live_.fault_mismatches;
+            if (stats_ && live_.fault_rollbacks)
+                ++*live_.fault_rollbacks;
+            if (Tracer::active())
+                tracer.instant("mesa.fault", "golden-mismatch",
+                               tracer.now(),
+                               {{"pc", uint64_t(os.region_start)}});
+            os.fallback = FallbackReason::FaultDetected;
+            faulted = true;
+        }
+    }
+
+    if (faulted)
+        onFaultDetected(os);
+    else
+        quarantine_.onSuccess(os.region_start);
+}
+
 std::optional<OffloadStats>
 MesaController::offloadLoop(const std::vector<Instruction> &body,
                             riscv::ArchState &state, bool parallel_hint,
@@ -564,6 +819,16 @@ MesaController::offloadLoop(const std::vector<Instruction> &body,
     os.region_start = region_start;
     os.region_end = region_end;
 
+    if (params_.fault.enabled &&
+        !quarantine_.shouldOffload(region_start)) {
+        // Serving a backoff sentence: the region executes on the CPU.
+        os.fallback = FallbackReason::Quarantined;
+        bumpFallback(os.fallback);
+        state.pc = region_start;
+        cpuReexecute(state, os);
+        return os;
+    }
+
     Prepared prep;
     if (const auto *cached = config_cache_.lookup(region_start)) {
         // Re-encountered region: reuse the stored configuration; only
@@ -571,8 +836,10 @@ MesaController::offloadLoop(const std::vector<Instruction> &body,
         os.config_cache_hit = true;
         auto fresh = prepare(body, parallel_hint, region_start,
                              region_end);
-        if (!fresh)
+        if (!fresh) {
+            bumpFallback(last_prepare_fallback_);
             return std::nullopt;
+        }
         prep = std::move(*fresh);
         prep.config = *cached;
         os.config_cycles = config_block_.configCycles(prep.config);
@@ -580,8 +847,10 @@ MesaController::offloadLoop(const std::vector<Instruction> &body,
     } else {
         auto fresh = prepare(body, parallel_hint, region_start,
                              region_end);
-        if (!fresh)
+        if (!fresh) {
+            bumpFallback(last_prepare_fallback_);
             return std::nullopt;
+        }
         prep = std::move(*fresh);
         os.encode_cycles = prep.encode_cycles;
         os.mapping_cycles = prep.map.mapping_cycles;
@@ -600,7 +869,7 @@ MesaController::offloadLoop(const std::vector<Instruction> &body,
     if (stats_)
         ++*live_.offloads;
 
-    runWithOptimization(prep, state, max_iterations, os);
+    runGuarded(prep, state, max_iterations, os);
     return os;
 }
 
@@ -666,6 +935,15 @@ MesaController::runTransparent(const riscv::Program &program,
         monitor.traceCache().backfill(memory_);
         const std::vector<Instruction> body = monitor.traceCache().body();
 
+        if (params_.fault.enabled &&
+            !quarantine_.shouldOffload(loop.start)) {
+            // Region serving a backoff sentence: skip the offload and
+            // let the CPU keep executing the loop naturally.
+            bumpFallback(FallbackReason::Quarantined);
+            monitor.rearm();
+            continue;
+        }
+
         if (arbiter_) {
             // Multi-tenant mode: the shared arbiter owns the device;
             // enqueue the region and resume the CPU when it returns.
@@ -724,6 +1002,7 @@ MesaController::runTransparent(const riscv::Program &program,
         }
         if (!prepared) {
             // Structural failure: never consider this region again.
+            bumpFallback(last_prepare_fallback_);
             monitor.blacklist(loop.start);
             monitor.rearm();
             continue;
@@ -786,7 +1065,7 @@ MesaController::runTransparent(const riscv::Program &program,
         }
         if (stats_)
             ++*live_.offloads;
-        runWithOptimization(prep, emu.state(), ~uint64_t(0), os);
+        runGuarded(prep, emu.state(), ~uint64_t(0), os);
         cpu_seg_start = tracer.now();
         result.offloads.push_back(os);
         monitor.rearm();

@@ -13,6 +13,7 @@
 #ifndef MESA_MESA_CONTROLLER_HH
 #define MESA_MESA_CONTROLLER_HH
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -21,6 +22,8 @@
 #include "accel/accelerator.hh"
 #include "cpu/monitor.hh"
 #include "cpu/system.hh"
+#include "fault/params.hh"
+#include "fault/quarantine.hh"
 #include "mesa/config_builder.hh"
 #include "mesa/config_cache.hh"
 #include "mesa/mapper.hh"
@@ -98,7 +101,35 @@ struct MesaParams
     double clock_ghz = 2.0;
 
     uint64_t max_steps = 200'000'000;
+
+    /**
+     * Fault tolerance (the mesa_fault subsystem): config CRC gate,
+     * pre-offload checkpoint + rollback, watchdog budgets, optional
+     * golden-model checked mode, and quarantine of faulting regions
+     * and defective PEs. Off by default.
+     */
+    fault::FaultToleranceParams fault;
 };
+
+/**
+ * Why an offload was abandoned and the region executed on the CPU.
+ * One taxonomy across every bail-out path: the verify gate, the fault
+ * detection pipeline, the watchdog, structural mapping failures, and
+ * the quarantine blacklist.
+ */
+enum class FallbackReason
+{
+    None = 0,       ///< The offload ran (or no offload was attempted).
+    VerifyDirty,    ///< Static verifier vetoed the prepared config.
+    FaultDetected,  ///< CRC mismatch or golden-model divergence.
+    Watchdog,       ///< Cycle budget tripped; rolled back.
+    Structural,     ///< Encode/map failed (unsupported region).
+    Quarantined,    ///< Region serving an exponential-backoff sentence.
+};
+
+constexpr int FallbackReasonCount = 6;
+
+const char *fallbackReasonName(FallbackReason reason);
 
 /** Per-offload statistics. */
 struct OffloadStats
@@ -133,6 +164,12 @@ struct OffloadStats
     uint64_t accel_cycles = 0;
     uint64_t accel_iterations = 0;
     accel::AccelRunResult accel; ///< Aggregated accelerator counters.
+
+    /** Why this region fell back to the CPU (None = it did not). */
+    FallbackReason fallback = FallbackReason::None;
+    /** Instructions the CPU re-executed after a rollback (or executed
+     *  in place of a quarantined offload). */
+    uint64_t cpu_reexec_instructions = 0;
 };
 
 /** One tenant's offload request, as routed to an external arbiter. */
@@ -237,6 +274,28 @@ class MesaController
     ConfigCache &configCache() { return config_cache_; }
 
     /**
+     * Campaign hook (fault mode): called on the prepared configuration
+     * right before the CRC gate, modeling an SEU in the stored
+     * bitstream. The hook mutates the config in place; the controller
+     * must then catch the corruption via the CRC re-derivation.
+     */
+    void
+    setConfigCorruptor(
+        std::function<void(accel::AcceleratorConfig &)> hook)
+    {
+        config_corruptor_ = std::move(hook);
+    }
+
+    /** PEs retired by the self test (fed into the mapper). */
+    const fault::FaultyPeMap &faultyPes() const { return faulty_pes_; }
+
+    /** Region backoff state (fault mode). */
+    const fault::RegionQuarantine &quarantine() const
+    {
+        return quarantine_;
+    }
+
+    /**
      * Attach a stats registry: the controller registers its live
      * counters (phase cycles, cache hits, epochs, reconfigs,
      * optimizer outcomes) under "mesa.*"/"accel.*" and keeps them
@@ -296,9 +355,34 @@ class MesaController
      */
     bool verifyPrepared(const Prepared &prep);
 
-    /** Run the configured region with iterative optimization. */
+    /** Run the configured region with iterative optimization.
+     *  @param cycle_budget per-offload fabric watchdog budget (0 =
+     *         only the device-level cap applies); on a trip the epoch
+     *         loop stops and os.accel.watchdog_tripped is set. */
     void runWithOptimization(Prepared &prep, riscv::ArchState &state,
-                             uint64_t max_iterations, OffloadStats &os);
+                             uint64_t max_iterations, OffloadStats &os,
+                             uint64_t cycle_budget = 0);
+
+    /**
+     * Fault-tolerant offload dispatch: applies the CRC gate, captures
+     * a checkpoint, runs with the watchdog budget, optionally checks
+     * the result against the golden model, and on any detected fault
+     * rolls back + re-executes on the CPU and updates the quarantine
+     * state. Plain runWithOptimization when fault mode is off.
+     */
+    void runGuarded(Prepared &prep, riscv::ArchState &state,
+                    uint64_t max_iterations, OffloadStats &os);
+
+    /** Execute [region_start, region_end) on the functional emulator
+     *  from @p state (the recovery path after a rollback). */
+    void cpuReexecute(riscv::ArchState &state, OffloadStats &os);
+
+    /** Post-detection bookkeeping: fallback stats, quarantine strike,
+     *  cache invalidation, and the self test -> PE retirement path. */
+    void onFaultDetected(OffloadStats &os);
+
+    /** Bump the mesa.fallback.* counter for a reason. */
+    void bumpFallback(FallbackReason reason);
 
     /**
      * Emit the controller-phase timeline spans (encode, per-
@@ -330,6 +414,16 @@ class MesaController
         Counter *verify_checked = nullptr;
         Counter *verify_violations = nullptr;
         Counter *verify_fallbacks = nullptr;
+        /** One fallback counter per FallbackReason (index 0 unused). */
+        Counter *fallbacks[FallbackReasonCount] = {};
+        Counter *fault_crc_failures = nullptr;
+        Counter *fault_watchdog_trips = nullptr;
+        Counter *fault_checked_runs = nullptr;
+        Counter *fault_mismatches = nullptr;
+        Counter *fault_rollbacks = nullptr;
+        Counter *fault_cpu_reexec = nullptr;
+        Counter *fault_self_tests = nullptr;
+        Counter *fault_quarantined_pes = nullptr;
     };
 
     /** Per-rule verify counters, created on first finding. */
@@ -351,6 +445,13 @@ class MesaController
     OffloadArbiter *arbiter_ = nullptr;
     int tenant_id_ = 0;
     int tenant_priority_ = 0;
+
+    // ----- fault tolerance state -----
+    fault::RegionQuarantine quarantine_;
+    fault::FaultyPeMap faulty_pes_;
+    std::function<void(accel::AcceleratorConfig &)> config_corruptor_;
+    /** Why the most recent prepare() returned nullopt. */
+    FallbackReason last_prepare_fallback_ = FallbackReason::Structural;
 };
 
 } // namespace mesa::core

@@ -23,6 +23,27 @@ InstructionMapper::InstructionMapper(const accel::AccelParams &accel,
 {
 }
 
+void
+InstructionMapper::setBlockedPes(const std::vector<Coord> &pes,
+                                 int fold_rows)
+{
+    blocked_ = pes;
+    fold_rows_ = fold_rows;
+}
+
+bool
+InstructionMapper::blocked(Coord pos) const
+{
+    if (blocked_.empty())
+        return false;
+    const Coord phys =
+        fold_rows_ > 0 ? Coord{pos.r % fold_rows_, pos.c} : pos;
+    for (const Coord &b : blocked_)
+        if (phys == b)
+            return true;
+    return false;
+}
+
 Coord
 InstructionMapper::anchor(const Ldfg &ldfg, const Sdfg &sdfg, NodeId id,
                           const std::vector<double> &completion,
@@ -108,8 +129,10 @@ InstructionMapper::map(const Ldfg &ldfg) const
         auto evaluate = [&](int rr, int cc) {
             const Coord pos{rr, cc};
             // C_i = C_free (*) C_op: occupied or incompatible PEs are
-            // filtered out (Algorithm 1 line 5).
-            if (!res.sdfg.isFree(pos) || !accel_.supportsOp(pos, cls))
+            // filtered out (Algorithm 1 line 5); the faulty-PE map
+            // masks quarantined PEs out of F_free.
+            if (!res.sdfg.isFree(pos) || !accel_.supportsOp(pos, cls) ||
+                blocked(pos))
                 return;
             ++candidates;
             const double lat =

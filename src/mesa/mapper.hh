@@ -83,7 +83,24 @@ class InstructionMapper
 
     const MapperParams &params() const { return params_; }
 
+    /**
+     * Exclude physical PEs from the free matrix (persistent faulty-PE
+     * map, src/fault): subsequent map() calls place no node on them.
+     * @param fold_rows when mapping on a virtual (time-multiplexed)
+     *        grid, the physical row count the virtual rows fold onto;
+     *        a virtual position is blocked when its folded physical
+     *        PE is. 0 = positions are physical already.
+     */
+    void setBlockedPes(const std::vector<ic::Coord> &pes,
+                       int fold_rows = 0);
+    const std::vector<ic::Coord> &blockedPes() const
+    {
+        return blocked_;
+    }
+
   private:
+    /** Is this (possibly virtual) position on a blocked PE? */
+    bool blocked(ic::Coord pos) const;
     /** Window anchor: position of the higher-latency predecessor. */
     ic::Coord anchor(const dfg::Ldfg &ldfg, const dfg::Sdfg &sdfg,
                      dfg::NodeId id,
@@ -93,6 +110,8 @@ class InstructionMapper
     const accel::AccelParams &accel_;
     const ic::Interconnect &ic_;
     MapperParams params_;
+    std::vector<ic::Coord> blocked_;
+    int fold_rows_ = 0;
 };
 
 } // namespace mesa::core

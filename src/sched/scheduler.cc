@@ -77,6 +77,7 @@ ScheduleResult::registerInto(StatsRegistry &registry,
     set("tenant_count", double(tenants.size()));
     set("verify.configs_checked", double(verify_checked));
     set("verify.rejects", double(verify_rejects));
+    set("degraded_ways", double(degraded_ways));
     for (const auto &t : tenants) {
         // Relative to @p prefix: set() prepends it.
         const std::string p =
@@ -121,6 +122,29 @@ MultiTenantScheduler::MultiTenantScheduler(const SchedParams &params,
     }
 }
 
+void
+MultiTenantScheduler::quarantinePes(const std::vector<ic::Coord> &pes)
+{
+    for (auto &p : partitions_) {
+        for (const ic::Coord pe : pes) {
+            if (pe.r >= p.geometry.origin_row &&
+                pe.r < p.geometry.origin_row + p.geometry.rows) {
+                p.degraded = true;
+                break;
+            }
+        }
+    }
+}
+
+int
+MultiTenantScheduler::healthyWays() const
+{
+    int n = 0;
+    for (const auto &p : partitions_)
+        n += p.degraded ? 0 : 1;
+    return n;
+}
+
 int
 MultiTenantScheduler::submit(
     const std::vector<riscv::Instruction> &body,
@@ -128,6 +152,8 @@ MultiTenantScheduler::submit(
     uint64_t max_iterations, int priority)
 {
     if (body.empty())
+        return -1;
+    if (healthyWays() == 0)
         return -1;
 
     dfg::BuildError err = dfg::BuildError::None;
@@ -259,6 +285,7 @@ MultiTenantScheduler::runAll()
     result.ways = ways();
     result.verify_checked = verify_checked_;
     result.verify_rejects = verify_rejects_;
+    result.degraded_ways = uint64_t(ways() - healthyWays());
     if (!anyPending()) {
         for (const auto &t : tenants_)
             result.tenants.push_back(t.stats);
@@ -282,11 +309,20 @@ MultiTenantScheduler::runAll()
     }();
 
     while (anyPending()) {
-        // The partition that frees up first arbitrates next.
-        size_t pk = 0;
-        for (size_t k = 1; k < partitions_.size(); ++k)
-            if (partitions_[k].clock < partitions_[pk].clock)
+        // The healthy partition that frees up first arbitrates next.
+        size_t pk = partitions_.size();
+        for (size_t k = 0; k < partitions_.size(); ++k) {
+            if (partitions_[k].degraded)
+                continue;
+            if (pk == partitions_.size() ||
+                partitions_[k].clock < partitions_[pk].clock)
                 pk = k;
+        }
+        if (pk == partitions_.size()) {
+            // Every way is degraded: pending tenants stay incomplete
+            // and the callers fall back to CPU execution.
+            break;
+        }
         Partition *p = &partitions_[pk];
 
         const int t = pickNext(p->clock);
@@ -307,7 +343,8 @@ MultiTenantScheduler::runAll()
         // run there and skip the reconfiguration stream.
         if (partitions_[pk].resident != t) {
             for (size_t k = 0; k < partitions_.size(); ++k) {
-                if (partitions_[k].resident == t &&
+                if (!partitions_[k].degraded &&
+                    partitions_[k].resident == t &&
                     partitions_[k].clock <= p->clock) {
                     pk = k;
                     p = &partitions_[pk];
@@ -465,6 +502,12 @@ MultiTenantScheduler::serve(const core::OffloadRequest &request)
     runAll();
 
     const Tenant &T = tenants_[size_t(id)];
+    if (!T.done) {
+        // The batch drained without serving this tenant (every way
+        // degraded mid-batch): report failure so the controller's CPU
+        // fallback takes over.
+        return std::nullopt;
+    }
     core::OffloadStats os;
     os.region_start = request.body.front().pc;
     os.region_end = request.body.back().pc + 4;

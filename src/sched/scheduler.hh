@@ -152,6 +152,10 @@ struct ScheduleResult
     uint64_t verify_checked = 0;
     uint64_t verify_rejects = 0;
 
+    /** Ways retired from arbitration (quarantined PEs in their row
+     *  band); tenants are steered onto the healthy ways. */
+    uint64_t degraded_ways = 0;
+
     std::vector<TenantStats> tenants;
     std::vector<ScheduleSlice> timeline;
 
@@ -211,6 +215,19 @@ class MultiTenantScheduler final : public core::OffloadArbiter
     /** Registry the schedule results auto-register into ("sched.*"). */
     void attachStats(StatsRegistry *registry) { stats_ = registry; }
 
+    /**
+     * Retire every partition whose row band contains one of these
+     * physical PEs (e.g., the controller's faulty-PE map after a self
+     * test): degraded ways take no further slices, and tenants are
+     * steered onto the remaining healthy ways. With every way
+     * degraded, submit() refuses new work and runAll() leaves pending
+     * tenants incomplete (the callers' CPU fallback takes over).
+     */
+    void quarantinePes(const std::vector<ic::Coord> &pes);
+
+    /** Ways still accepting work. */
+    int healthyWays() const;
+
     const SchedParams &params() const { return params_; }
     int ways() const { return int(partitions_.size()); }
     size_t partitionCapacity() const { return part_params_.capacity(); }
@@ -228,6 +245,7 @@ class MultiTenantScheduler final : public core::OffloadArbiter
         uint64_t clock = 0;   ///< Device cycle this way is free at.
         uint64_t busy = 0;    ///< Run + switch cycles accumulated.
         int resident = -1;    ///< Tenant whose config is installed.
+        bool degraded = false; ///< Quarantined PEs in this row band.
     };
 
     /** Context-table entry: everything needed to preempt/resume. */

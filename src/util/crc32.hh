@@ -1,0 +1,93 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over arbitrary
+ * byte and word streams. Used as the configuration-bitstream integrity
+ * check: the ConfigBlock stamps every AcceleratorConfig with the CRC
+ * of its semantic payload, and the controller re-derives it before
+ * streaming so single- and multi-bit upsets in a stored configuration
+ * are caught before they can reach the fabric.
+ */
+
+#ifndef MESA_UTIL_CRC32_HH
+#define MESA_UTIL_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mesa
+{
+
+namespace detail
+{
+
+constexpr std::array<uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<uint32_t, 256> crc32_table =
+    makeCrc32Table();
+
+} // namespace detail
+
+/** Incremental CRC-32 accumulator. */
+class Crc32
+{
+  public:
+    void
+    addByte(uint8_t b)
+    {
+        crc_ = detail::crc32_table[(crc_ ^ b) & 0xffu] ^ (crc_ >> 8);
+    }
+
+    void
+    addBytes(const void *data, size_t len)
+    {
+        const auto *bytes = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < len; ++i)
+            addByte(bytes[i]);
+    }
+
+    void
+    add32(uint32_t v)
+    {
+        addByte(uint8_t(v));
+        addByte(uint8_t(v >> 8));
+        addByte(uint8_t(v >> 16));
+        addByte(uint8_t(v >> 24));
+    }
+
+    void
+    add64(uint64_t v)
+    {
+        add32(uint32_t(v));
+        add32(uint32_t(v >> 32));
+    }
+
+    uint32_t value() const { return crc_ ^ 0xffffffffu; }
+
+  private:
+    uint32_t crc_ = 0xffffffffu;
+};
+
+/** One-shot CRC-32 of a byte buffer. */
+inline uint32_t
+crc32(const void *data, size_t len)
+{
+    Crc32 c;
+    c.addBytes(data, len);
+    return c.value();
+}
+
+} // namespace mesa
+
+#endif // MESA_UTIL_CRC32_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for seeded fault
+ * campaigns. SplitMix64 (Steele et al.) is used instead of the
+ * standard-library engines/distributions because its output is fully
+ * specified: the same seed produces the same fault plan on every
+ * platform and standard library, which is what makes campaign results
+ * reproducible in CI.
+ */
+
+#ifndef MESA_UTIL_RNG_HH
+#define MESA_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace mesa
+{
+
+/** SplitMix64: tiny, fast, and portable across standard libraries. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed = 0) : state_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound); bound 0 returns 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** Uniform value in [lo, hi]. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return hi > lo ? lo + below(hi - lo + 1) : lo;
+    }
+
+    /** A guaranteed-nonzero 32-bit corruption mask. */
+    uint32_t
+    mask32()
+    {
+        const uint32_t m = uint32_t(next());
+        return m ? m : 1u;
+    }
+
+    /**
+     * Derive an independent stream: mixes the tag through one
+     * SplitMix64 round so campaigns can key sub-streams by (kernel,
+     * injection index) without correlating them.
+     */
+    SplitMix64
+    fork(uint64_t tag) const
+    {
+        SplitMix64 child(state_ ^ (tag * 0x9e3779b97f4a7c15ull));
+        child.next();
+        return child;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace mesa
+
+#endif // MESA_UTIL_RNG_HH

@@ -29,23 +29,49 @@ class SlotPool
     uint64_t
     acquire(uint64_t ready)
     {
-        uint64_t cycle = ready;
-        auto it = used_.lower_bound(cycle);
-        while (it != used_.end() && it->first == cycle &&
-               it->second >= capacity_) {
-            ++cycle;
-            ++it;
-        }
-        ++used_[cycle];
+        const uint64_t cycle = skipFull(ready);
+        unsigned &count = used_[cycle];
+        ++count;
+        // Saturated cycles get a skip link so later requests jump the
+        // whole full span instead of walking it cycle by cycle (a
+        // runaway region held only by the watchdog would otherwise
+        // make the walk quadratic in the booking count).
+        if (count >= capacity_)
+            next_free_[cycle] = cycle + 1;
         maybePrune(ready);
         return cycle;
     }
 
     unsigned capacity() const { return capacity_; }
 
-    void reset() { used_.clear(); }
+    void
+    reset()
+    {
+        used_.clear();
+        next_free_.clear();
+    }
 
   private:
+    /** First cycle >= @p cycle that is not fully booked, following
+     *  skip links with path compression (bookings never release, so
+     *  a link can only become stale in the conservative direction). */
+    uint64_t
+    skipFull(uint64_t cycle)
+    {
+        auto it = next_free_.find(cycle);
+        while (it != next_free_.end()) {
+            const auto chase = next_free_.find(it->second);
+            if (chase == next_free_.end()) {
+                cycle = it->second;
+                break;
+            }
+            it->second = chase->second; // path halving
+            cycle = chase->second;
+            it = next_free_.find(cycle);
+        }
+        return cycle;
+    }
+
     void
     maybePrune(uint64_t ready)
     {
@@ -56,10 +82,14 @@ class SlotPool
             return;
         const uint64_t floor = ready > 16384 ? ready - 16384 : 0;
         used_.erase(used_.begin(), used_.lower_bound(floor));
+        next_free_.erase(next_free_.begin(),
+                         next_free_.lower_bound(floor));
     }
 
     unsigned capacity_;
     std::map<uint64_t, unsigned> used_;
+    /** cycle -> next possibly-free cycle, for fully booked cycles. */
+    std::map<uint64_t, uint64_t> next_free_;
 };
 
 } // namespace mesa
