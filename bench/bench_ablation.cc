@@ -28,8 +28,9 @@ totalCycles(const workloads::Kernel &kernel,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobs(argc, argv);
     const char *names[] = {"nn", "kmeans", "hotspot", "cfd",
                            "pathfinder", "gaussian"};
 
@@ -40,31 +41,38 @@ main()
                   "-forward", "-prefetch", "-iterative", "+unroll",
                   "+timemux"});
 
-    for (const char *name : names) {
-        const auto kernel = workloads::kernelByName(name, {8192});
-        const uint64_t full =
-            totalCycles(kernel, [](core::MesaParams &) {});
+    // Grid: kernel × {full, 8 one-factor variants} — 9 cells per row,
+    // every cell its own sharded system.
+    const std::function<void(core::MesaParams &)> tweaks[] = {
+        [](core::MesaParams &) {},
+        [](core::MesaParams &p) { p.enable_tiling = false; },
+        [](core::MesaParams &p) { p.enable_pipelining = false; },
+        [](core::MesaParams &p) { p.enable_vectorization = false; },
+        [](core::MesaParams &p) { p.enable_forwarding = false; },
+        [](core::MesaParams &p) { p.enable_prefetch = false; },
+        [](core::MesaParams &p) { p.iterative_optimization = false; },
+        [](core::MesaParams &p) { p.enable_unrolling = true; },
+        [](core::MesaParams &p) {
+            p.enable_time_multiplexing = true;
+            p.accel = accel::AccelParams::m64();
+        },
+    };
+    const size_t variants = std::size(tweaks);
 
-        auto rel = [&](const std::function<void(core::MesaParams &)>
-                           &tweak) {
-            const uint64_t cyc = totalCycles(kernel, tweak);
-            return TextTable::num(double(cyc) / double(full));
-        };
-
-        table.row({
-            name,
-            rel([](auto &p) { p.enable_tiling = false; }),
-            rel([](auto &p) { p.enable_pipelining = false; }),
-            rel([](auto &p) { p.enable_vectorization = false; }),
-            rel([](auto &p) { p.enable_forwarding = false; }),
-            rel([](auto &p) { p.enable_prefetch = false; }),
-            rel([](auto &p) { p.iterative_optimization = false; }),
-            rel([](auto &p) { p.enable_unrolling = true; }),
-            rel([](auto &p) {
-                p.enable_time_multiplexing = true;
-                p.accel = accel::AccelParams::m64();
-            }),
+    const auto cells = shardedRows<uint64_t>(
+        std::size(names) * variants, jobs, [&](size_t i) -> uint64_t {
+            const auto kernel = workloads::kernelByName(
+                names[i / variants], {8192});
+            return totalCycles(kernel, tweaks[i % variants]);
         });
+
+    for (size_t k = 0; k < std::size(names); ++k) {
+        const uint64_t full = cells[k * variants];
+        std::vector<std::string> row{names[k]};
+        for (size_t v = 1; v < variants; ++v)
+            row.push_back(TextTable::num(
+                double(cells[k * variants + v]) / double(full)));
+        table.row(row);
     }
     table.print(std::cout);
 

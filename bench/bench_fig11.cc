@@ -13,8 +13,9 @@ using namespace mesa;
 using namespace mesa::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobs(argc, argv);
     const workloads::SuiteScale scale{16384};
     const auto suite = workloads::rodiniaSuite(scale);
 
@@ -25,30 +26,42 @@ main()
 
     std::vector<double> perf128, perf512, eff128, eff512;
 
-    for (const auto &kernel : suite) {
-        const CpuRun base = runMulticoreBaseline(kernel);
+    struct Row
+    {
+        std::string name;
+        double s128 = 0, s512 = 0, e128 = 0, e512 = 0;
+    };
+    // One shard per (kernel, accel config) grid cell; rows come back
+    // in suite order regardless of --jobs.
+    const auto rows = shardedRows<Row>(
+        suite.size() * 2, jobs, [&](size_t i) -> Row {
+            const auto &kernel = suite[i / 2];
+            const bool big = i % 2;
+            const CpuRun base = runMulticoreBaseline(kernel);
+            core::MesaParams p;
+            p.accel = big ? accel::AccelParams::m512()
+                          : accel::AccelParams::m128();
+            const MesaRun m = runMesa(kernel, p);
+            Row r;
+            r.name = kernel.name;
+            (big ? r.s512 : r.s128) =
+                double(base.run.cycles) / double(m.result.total_cycles);
+            (big ? r.e512 : r.e128) = base.energy_nj / m.energy_nj;
+            return r;
+        });
 
-        core::MesaParams p128;
-        p128.accel = accel::AccelParams::m128();
-        core::MesaParams p512;
-        p512.accel = accel::AccelParams::m512();
-
-        const MesaRun m128 = runMesa(kernel, p128);
-        const MesaRun m512 = runMesa(kernel, p512);
-
-        const double s128 =
-            double(base.run.cycles) / double(m128.result.total_cycles);
-        const double s512 =
-            double(base.run.cycles) / double(m512.result.total_cycles);
-        const double e128 = base.energy_nj / m128.energy_nj;
-        const double e512 = base.energy_nj / m512.energy_nj;
+    for (size_t k = 0; k < suite.size(); ++k) {
+        const double s128 = rows[2 * k].s128;
+        const double s512 = rows[2 * k + 1].s512;
+        const double e128 = rows[2 * k].e128;
+        const double e512 = rows[2 * k + 1].e512;
 
         perf128.push_back(s128);
         perf512.push_back(s512);
         eff128.push_back(e128);
         eff512.push_back(e512);
 
-        table.row({kernel.name, TextTable::num(s128),
+        table.row({rows[2 * k].name, TextTable::num(s128),
                    TextTable::num(s512), TextTable::num(e128),
                    TextTable::num(e512)});
     }

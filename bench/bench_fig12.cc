@@ -58,45 +58,58 @@ mesaPerIterCycles(const workloads::Kernel &kernel, bool optimized)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobs(argc, argv);
     // The eight OpenCGRA-compatible benchmarks (paper §6.2).
     const char *names[] = {"nn",       "kmeans",       "hotspot",
                            "cfd",      "gaussian",     "lavaMD",
                            "pathfinder", "streamcluster"};
+    const size_t n = std::size(names);
 
     TextTable table("Figure 12: per-iteration IPC vs OpenCGRA "
                     "(M-128-equivalent backends)");
     table.header({"benchmark", "OpenCGRA", "MESA (no opt)",
                   "MESA (opt)"});
 
-    const auto accel = accel::AccelParams::m128();
-    baseline::OpenCgraScheduler cgra(accel);
-
-    std::vector<double> ratio_noopt, ratio_opt;
-    for (const char *name : names) {
-        const auto kernel = workloads::kernelByName(name, {4096});
+    struct Row
+    {
+        bool ok = false;
+        double ipc_cgra = 0, ipc_noopt = 0, ipc_opt = 0;
+    };
+    const auto rows = shardedRows<Row>(n, jobs, [&](size_t i) -> Row {
+        const auto kernel = workloads::kernelByName(names[i], {4096});
         const auto body = kernel.loopBody();
         const double instrs = double(body.size());
 
         auto ldfg = dfg::Ldfg::build(body);
-        if (!ldfg) {
-            table.row({name, "n/a", "n/a", "n/a"});
-            continue;
-        }
+        if (!ldfg)
+            return {};
+        baseline::OpenCgraScheduler cgra(accel::AccelParams::m128());
         const auto sched = cgra.schedule(*ldfg);
-        const double ipc_cgra = instrs / sched.perIterationCycles();
 
+        Row r;
+        r.ok = true;
+        r.ipc_cgra = instrs / sched.perIterationCycles();
         const double cyc_noopt = mesaPerIterCycles(kernel, false);
         const double cyc_opt = mesaPerIterCycles(kernel, true);
-        const double ipc_noopt = cyc_noopt > 0 ? instrs / cyc_noopt : 0;
-        const double ipc_opt = cyc_opt > 0 ? instrs / cyc_opt : 0;
+        r.ipc_noopt = cyc_noopt > 0 ? instrs / cyc_noopt : 0;
+        r.ipc_opt = cyc_opt > 0 ? instrs / cyc_opt : 0;
+        return r;
+    });
 
-        ratio_noopt.push_back(ipc_noopt / ipc_cgra);
-        ratio_opt.push_back(ipc_opt / ipc_cgra);
-
-        table.row({name, TextTable::num(ipc_cgra),
-                   TextTable::num(ipc_noopt), TextTable::num(ipc_opt)});
+    std::vector<double> ratio_noopt, ratio_opt;
+    for (size_t i = 0; i < n; ++i) {
+        const Row &r = rows[i];
+        if (!r.ok) {
+            table.row({names[i], "n/a", "n/a", "n/a"});
+            continue;
+        }
+        ratio_noopt.push_back(r.ipc_noopt / r.ipc_cgra);
+        ratio_opt.push_back(r.ipc_opt / r.ipc_cgra);
+        table.row({names[i], TextTable::num(r.ipc_cgra),
+                   TextTable::num(r.ipc_noopt),
+                   TextTable::num(r.ipc_opt)});
     }
     table.print(std::cout);
 

@@ -14,8 +14,9 @@ using namespace mesa;
 using namespace mesa::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobs(argc, argv);
     const auto accel = accel::AccelParams::m128();
     power::PowerModel pm(accel);
 
@@ -45,21 +46,35 @@ main()
     area_table.print(std::cout);
 
     // --- Energy fractions averaged over four benchmarks ---
+    const char *names[] = {"nn", "kmeans", "hotspot", "cfd"};
+    const auto per_kernel = shardedRows<power::EnergyBreakdown>(
+        std::size(names), jobs,
+        [&](size_t i) -> power::EnergyBreakdown {
+            const auto kernel =
+                workloads::kernelByName(names[i], {8192});
+            core::MesaParams params;
+            params.accel = accel;
+            const MesaRun run = runMesa(kernel, params);
+            power::EnergyBreakdown acc;
+            for (const auto &os : run.result.offloads) {
+                const auto e =
+                    pm.accelEnergy(os.accel, os.totalConfigCycles() +
+                                                 os.reconfig_cycles);
+                acc.compute_nj += e.compute_nj;
+                acc.memory_nj += e.memory_nj;
+                acc.noc_nj += e.noc_nj;
+                acc.control_nj += e.control_nj;
+                acc.static_nj += e.static_nj;
+            }
+            return acc;
+        });
     power::EnergyBreakdown sum;
-    for (const char *name : {"nn", "kmeans", "hotspot", "cfd"}) {
-        const auto kernel = workloads::kernelByName(name, {8192});
-        core::MesaParams params;
-        params.accel = accel;
-        const MesaRun run = runMesa(kernel, params);
-        for (const auto &os : run.result.offloads) {
-            const auto e = pm.accelEnergy(
-                os.accel, os.totalConfigCycles() + os.reconfig_cycles);
-            sum.compute_nj += e.compute_nj;
-            sum.memory_nj += e.memory_nj;
-            sum.noc_nj += e.noc_nj;
-            sum.control_nj += e.control_nj;
-            sum.static_nj += e.static_nj;
-        }
+    for (const auto &e : per_kernel) {
+        sum.compute_nj += e.compute_nj;
+        sum.memory_nj += e.memory_nj;
+        sum.noc_nj += e.noc_nj;
+        sum.control_nj += e.control_nj;
+        sum.static_nj += e.static_nj;
     }
 
     const double total = sum.total();

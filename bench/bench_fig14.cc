@@ -38,8 +38,9 @@ mesaSpeedup(const workloads::Kernel &kernel, uint64_t base_cycles,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobs(argc, argv);
     // The benchmarks shared with the DynaSpAM evaluation.
     const char *names[] = {"backprop", "bfs",  "hotspot",
                            "kmeans",   "lud",  "nn",
@@ -52,42 +53,54 @@ main()
 
     std::vector<double> s_dyn, s_opt, s_rec;
 
-    for (const char *name : names) {
-        const auto kernel = workloads::kernelByName(name, {16384});
-        const CpuRun base =
-            runSingleCoreBaseline(kernel, cpu::dynaspamBaselineCore());
+    struct Row
+    {
+        double dyn = 1.0, opt = 1.0, rec = 1.0;
+        bool mesa_na = false;
+    };
+    const auto rows = shardedRows<Row>(
+        std::size(names), jobs, [&](size_t i) -> Row {
+            const auto kernel =
+                workloads::kernelByName(names[i], {16384});
+            const CpuRun base = runSingleCoreBaseline(
+                kernel, cpu::dynaspamBaselineCore());
 
-        // DynaSpAM: map the hot loop onto the 1D in-pipeline fabric,
-        // which shares the core's memory system (measured AMAT).
-        baseline::DynaSpamParams dp;
-        dp.mem_latency = std::max(2.0, base.run.amat);
-        baseline::DynaSpamMapper dynaspam(dp);
-        double dyn = 1.0;
-        auto ldfg = dfg::Ldfg::build(kernel.loopBody());
-        if (ldfg) {
-            const auto res = dynaspam.map(*ldfg);
-            if (res.qualified) {
-                const uint64_t accel =
-                    res.cyclesFor(kernel.iterations);
-                if (accel > 0)
-                    dyn = double(base.run.cycles) / double(accel);
+            // DynaSpAM: map the hot loop onto the 1D in-pipeline
+            // fabric, which shares the core's memory system
+            // (measured AMAT).
+            baseline::DynaSpamParams dp;
+            dp.mem_latency = std::max(2.0, base.run.amat);
+            baseline::DynaSpamMapper dynaspam(dp);
+            Row r;
+            auto ldfg = dfg::Ldfg::build(kernel.loopBody());
+            if (ldfg) {
+                const auto res = dynaspam.map(*ldfg);
+                if (res.qualified) {
+                    const uint64_t accel =
+                        res.cyclesFor(kernel.iterations);
+                    if (accel > 0)
+                        r.dyn = double(base.run.cycles) /
+                                double(accel);
+                }
             }
-        }
-        // DynaSpAM cannot beat its own fabric's limits, but it never
-        // loses either (falls back to the core).
-        dyn = std::max(dyn, 1.0);
+            // DynaSpAM cannot beat its own fabric's limits, but it
+            // never loses either (falls back to the core).
+            r.dyn = std::max(r.dyn, 1.0);
 
-        const double opt = mesaSpeedup(kernel, base.run.cycles, false);
-        const double rec = mesaSpeedup(kernel, base.run.cycles, true);
+            r.opt = mesaSpeedup(kernel, base.run.cycles, false);
+            r.rec = mesaSpeedup(kernel, base.run.cycles, true);
+            r.mesa_na = r.opt == 1.0 && !kernel.mesa_supported;
+            return r;
+        });
 
-        s_dyn.push_back(dyn);
-        s_opt.push_back(opt);
-        s_rec.push_back(rec);
-
-        const bool mesa_na = opt == 1.0 && !kernel.mesa_supported;
-        table.row({name, TextTable::num(dyn),
-                   mesa_na ? "n/q" : TextTable::num(opt),
-                   mesa_na ? "n/q" : TextTable::num(rec)});
+    for (size_t i = 0; i < std::size(names); ++i) {
+        const Row &r = rows[i];
+        s_dyn.push_back(r.dyn);
+        s_opt.push_back(r.opt);
+        s_rec.push_back(r.rec);
+        table.row({names[i], TextTable::num(r.dyn),
+                   r.mesa_na ? "n/q" : TextTable::num(r.opt),
+                   r.mesa_na ? "n/q" : TextTable::num(r.rec)});
     }
 
     table.row({"average", TextTable::num(mean(s_dyn)),

@@ -38,10 +38,12 @@ accelCycles(const workloads::Kernel &kernel, int pes, bool ideal_mem)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobs(argc, argv);
     const auto kernel = workloads::makeNn(16384);
     const int pe_counts[] = {16, 32, 64, 128, 256, 512};
+    const size_t n = std::size(pe_counts);
 
     TextTable table("Figure 15: nn performance scaling with PE count "
                     "(throughput relative to 16 PEs)");
@@ -50,9 +52,16 @@ main()
     // All series share the default 16-PE configuration as baseline.
     const uint64_t base = accelCycles(kernel, 16, false);
 
-    for (int pes : pe_counts) {
-        const uint64_t cyc = accelCycles(kernel, pes, false);
-        const uint64_t cyc_ideal = accelCycles(kernel, pes, true);
+    // Grid: PE count × {default, ideal memory}.
+    const auto cells = shardedRows<uint64_t>(
+        n * 2, jobs, [&](size_t i) -> uint64_t {
+            return accelCycles(kernel, pe_counts[i / 2], i % 2 != 0);
+        });
+
+    for (size_t i = 0; i < n; ++i) {
+        const int pes = pe_counts[i];
+        const uint64_t cyc = cells[2 * i];
+        const uint64_t cyc_ideal = cells[2 * i + 1];
         const double rel = cyc ? double(base) / double(cyc) : 0;
         const double rel_ideal =
             cyc_ideal ? double(base) / double(cyc_ideal) : 0;

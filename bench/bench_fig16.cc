@@ -13,8 +13,9 @@ using namespace mesa;
 using namespace mesa::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobs(argc, argv);
     const auto kernel = workloads::makeNn(4096);
     core::MesaParams params;
     params.accel = accel::AccelParams::m128();
@@ -26,28 +27,42 @@ main()
                     "vs iterations elapsed");
     table.header({"iterations", "energy/iter (nJ)", "overhead x"});
 
+    const uint64_t iter_points[] = {1,  2,   5,   10,  20, 50,
+                                    70, 100, 200, 500, 2000};
+    struct Point
+    {
+        bool ok = false;
+        uint64_t iterations = 0;
+        double per_iter = 0;
+    };
+    const auto points = shardedRows<Point>(
+        std::size(iter_points), jobs, [&](size_t i) -> Point {
+            const uint64_t iters = iter_points[i];
+            mem::MainMemory memory;
+            kernel.init_data(memory);
+            cpu::loadProgram(memory, kernel.program);
+            core::MesaController mesa(params, memory);
+
+            riscv::Emulator emu(memory);
+            emu.reset(kernel.program.base_pc);
+            kernel.fullRange()(emu.state());
+            auto os = mesa.offloadLoop(kernel.loopBody(), emu.state(),
+                                       kernel.parallel, iters);
+            if (!os || os->accel_iterations == 0)
+                return {};
+            const auto e =
+                pm.accelEnergy(os->accel, os->totalConfigCycles());
+            return {true, os->accel_iterations,
+                    e.total() / double(os->accel_iterations)};
+        });
+
     double steady = -1.0;
     std::vector<std::pair<uint64_t, double>> series;
-    for (uint64_t iters :
-         {1u, 2u, 5u, 10u, 20u, 50u, 70u, 100u, 200u, 500u, 2000u}) {
-        mem::MainMemory memory;
-        kernel.init_data(memory);
-        cpu::loadProgram(memory, kernel.program);
-        core::MesaController mesa(params, memory);
-
-        riscv::Emulator emu(memory);
-        emu.reset(kernel.program.base_pc);
-        kernel.fullRange()(emu.state());
-        auto os = mesa.offloadLoop(kernel.loopBody(), emu.state(),
-                                   kernel.parallel, iters);
-        if (!os || os->accel_iterations == 0)
+    for (const Point &p : points) {
+        if (!p.ok)
             continue;
-
-        const auto e =
-            pm.accelEnergy(os->accel, os->totalConfigCycles());
-        const double per_iter = e.total() / double(os->accel_iterations);
-        series.emplace_back(os->accel_iterations, per_iter);
-        steady = per_iter; // last (largest) point approximates steady state
+        series.emplace_back(p.iterations, p.per_iter);
+        steady = p.per_iter; // last (largest) point ~ steady state
     }
 
     uint64_t last_iters = 0;

@@ -17,6 +17,7 @@
  *   ./build/bench/bench_multitenant --smoke      # CI gate: >= 1.2x
  */
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,6 +26,7 @@
 #include "sched/multicore.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 #include "util/trace.hh"
@@ -49,6 +51,12 @@ usage()
         "  --scale <n>         total iterations (default 8192)\n"
         "  --seed <n>          seeded per-tenant priorities\n"
         "                      (default 0 = all equal)\n"
+        "  --jobs <n>          worker threads: the serialized\n"
+        "                      baseline and the partitioned run are\n"
+        "                      independent simulations and run\n"
+        "                      concurrently when n > 1 (default =\n"
+        "                      hardware concurrency; forced to 1 when\n"
+        "                      tracing)\n"
         "  --shadow-config     single-cycle context switches\n"
         "  --smoke             assert >= 1.2x over serialized; exit 1\n"
         "                      otherwise\n"
@@ -84,6 +92,7 @@ main(int argc, char **argv)
     uint64_t epoch = 256;
     uint64_t scale = 8192;
     uint64_t seed = 0;
+    int jobs = defaultJobs();
     bool smoke = false;
     bool json = false;
     sched::SchedParams base;
@@ -117,6 +126,8 @@ main(int argc, char **argv)
             scale = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--seed") {
             seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            jobs = resolveJobs(int(std::strtol(next(), nullptr, 10)));
         } else if (arg == "--shadow-config") {
             base.shadow_config = true;
         } else if (arg == "--smoke") {
@@ -155,18 +166,27 @@ main(int argc, char **argv)
             priorities.push_back(int(rng.below(uint64_t(tenants))));
     }
 
-    // Serialized baseline: one way, no preemption — each tenant runs
-    // to completion on the full array before the next configures.
-    const auto serial = run(base, kernel, tenants, 1, 0, priorities);
-
-    // Partitioned + time-multiplexed run (traced when requested).
-    if (!trace_out.empty()) {
+    // Serialized baseline (one way, no preemption — each tenant runs
+    // to completion on the full array before the next configures) and
+    // the partitioned + time-multiplexed run are independent
+    // simulations: with --jobs > 1 and no tracing they execute
+    // concurrently, each on its own memory/scheduler state.
+    sched::SharedRunResult serial, part;
+    if (trace_out.empty()) {
+        parallelForOrdered(2, std::min(jobs, 2), [&](size_t i) {
+            if (i == 0)
+                serial = run(base, kernel, tenants, 1, 0, priorities);
+            else
+                part = run(base, kernel, tenants, ways, epoch,
+                           priorities);
+        });
+    } else {
+        // Traced run: trace events carry no run identity, so both
+        // runs stay serial and only the partitioned one records.
+        serial = run(base, kernel, tenants, 1, 0, priorities);
         Tracer::global().clear();
         Tracer::global().enable();
-    }
-    const auto part =
-        run(base, kernel, tenants, ways, epoch, priorities);
-    if (!trace_out.empty()) {
+        part = run(base, kernel, tenants, ways, epoch, priorities);
         Tracer &tracer = Tracer::global();
         tracer.enable(false);
         std::ofstream f(trace_out);

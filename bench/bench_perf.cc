@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Parallel-engine performance gate. Times the fault campaign and the
+ * benchmark suite harness serially (--jobs 1) and sharded (--jobs N),
+ * verifies the two campaign runs produce byte-identical JSON (the
+ * determinism guarantee), and emits BENCH_parallel.json with wall
+ * seconds, speedup, and the host's hardware concurrency.
+ *
+ *   ./build/bench/bench_perf --jobs 4 --min-speedup 1.5 --json
+ *
+ * --min-speedup applies to the campaign speedup and makes the exit
+ * status a CI gate; without it the run is report-only (a single-core
+ * host cannot demonstrate speedup, so the gate is opt-in).
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "fault/campaign.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+#include "common.hh"
+
+using namespace mesa;
+using namespace mesa::bench;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "bench_perf — deterministic parallel engine benchmark\n"
+        "  --jobs <n>         parallel worker count (default =\n"
+        "                     hardware concurrency)\n"
+        "  --injections <n>   campaign injections per kernel\n"
+        "                     (default 16)\n"
+        "  --scale <n>        campaign workload scale (default 128)\n"
+        "  --min-speedup <x>  exit 1 unless campaign speedup >= x\n"
+        "  --out <file>       JSON report path (default\n"
+        "                     BENCH_parallel.json)\n"
+        "  --json             also print the report to stdout\n";
+}
+
+double
+seconds(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::string
+campaignJson(const fault::CampaignResult &result)
+{
+    std::ostringstream os;
+    fault::writeCampaignJson(result, os);
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int jobs = defaultJobs();
+    int injections = 16;
+    uint64_t scale = 128;
+    double min_speedup = 0.0;
+    std::string out_path = "BENCH_parallel.json";
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            jobs = resolveJobs(int(std::strtol(next(), nullptr, 10)));
+        } else if (arg == "--injections") {
+            injections = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--scale") {
+            scale = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--min-speedup") {
+            min_speedup = std::strtod(next(), nullptr);
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--json") {
+            json = true;
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    // --- Fault campaign: jobs=1 vs jobs=N, same seed. ---
+    fault::CampaignParams cp;
+    cp.seed = 7;
+    cp.injections_per_kernel = injections;
+    cp.scale = workloads::SuiteScale{scale};
+
+    fault::CampaignResult serial_result, parallel_result;
+    cp.jobs = 1;
+    const double campaign_serial_s =
+        seconds([&] { serial_result = fault::runCampaign(cp); });
+    cp.jobs = jobs;
+    const double campaign_parallel_s =
+        seconds([&] { parallel_result = fault::runCampaign(cp); });
+    const double campaign_speedup =
+        campaign_parallel_s > 0
+            ? campaign_serial_s / campaign_parallel_s
+            : 0.0;
+    const bool deterministic =
+        campaignJson(serial_result) == campaignJson(parallel_result);
+
+    // --- Suite harness: every kernel simulated end to end. ---
+    const auto suite = workloads::rodiniaSuite({1024});
+    auto sweep = [&](int run_jobs) {
+        return shardedRows<uint64_t>(
+            suite.size(), run_jobs, [&](size_t i) -> uint64_t {
+                core::MesaParams params;
+                return runMesa(suite[i], params).result.total_cycles;
+            });
+    };
+    std::vector<uint64_t> suite_serial, suite_parallel;
+    const double suite_serial_s =
+        seconds([&] { suite_serial = sweep(1); });
+    const double suite_parallel_s =
+        seconds([&] { suite_parallel = sweep(jobs); });
+    const double suite_speedup =
+        suite_parallel_s > 0 ? suite_serial_s / suite_parallel_s : 0.0;
+    const bool suite_deterministic = suite_serial == suite_parallel;
+
+    JsonWriter w;
+    w.beginObject()
+        .field("jobs", jobs)
+        .field("hardware_concurrency",
+               int(std::thread::hardware_concurrency()))
+        .field("campaign_injections_per_kernel", injections)
+        .field("campaign_serial_seconds", campaign_serial_s)
+        .field("campaign_parallel_seconds", campaign_parallel_s)
+        .field("campaign_speedup", campaign_speedup)
+        .field("campaign_deterministic", deterministic)
+        .field("suite_serial_seconds", suite_serial_s)
+        .field("suite_parallel_seconds", suite_parallel_s)
+        .field("suite_speedup", suite_speedup)
+        .field("suite_deterministic", suite_deterministic)
+        .field("min_speedup", min_speedup)
+        .end();
+
+    std::ofstream f(out_path);
+    if (!f)
+        fatal("cannot open report file ", out_path);
+    f << w.str() << "\n";
+
+    if (json)
+        std::cout << w.str() << "\n";
+    else
+        std::cout << "campaign: " << campaign_serial_s << "s serial, "
+                  << campaign_parallel_s << "s with " << jobs
+                  << " jobs (" << campaign_speedup << "x, "
+                  << (deterministic ? "byte-identical"
+                                    : "NON-DETERMINISTIC")
+                  << ")\n"
+                  << "suite   : " << suite_serial_s << "s serial, "
+                  << suite_parallel_s << "s with " << jobs << " jobs ("
+                  << suite_speedup << "x, "
+                  << (suite_deterministic ? "identical"
+                                          : "NON-DETERMINISTIC")
+                  << ")\n"
+                  << "report  : " << out_path << "\n";
+
+    if (!deterministic || !suite_deterministic) {
+        std::cerr << "FAIL: parallel run diverged from serial\n";
+        return 1;
+    }
+    if (min_speedup > 0 && campaign_speedup < min_speedup) {
+        std::cerr << "FAIL: campaign speedup " << campaign_speedup
+                  << "x below required " << min_speedup << "x\n";
+        return 1;
+    }
+    return 0;
+}

@@ -14,8 +14,9 @@ using namespace mesa;
 using namespace mesa::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int jobs = parseJobs(argc, argv);
     core::MesaParams params;
     params.accel = accel::AccelParams::m128();
 
@@ -26,34 +27,57 @@ main()
     detail.header({"kernel", "encode", "imap", "bitstream", "total",
                    "ns @2GHz"});
 
-    for (const auto &kernel : workloads::rodiniaSuite({4096})) {
-        if (!kernel.mesa_supported)
-            continue;
-        mem::MainMemory memory;
-        kernel.init_data(memory);
-        cpu::loadProgram(memory, kernel.program);
-        core::MesaController mesa(params, memory);
+    const auto suite = workloads::rodiniaSuite({4096});
+    struct Row
+    {
+        bool ok = false;
+        std::string name;
+        uint64_t encode = 0, imap = 0, bitstream = 0, total = 0;
+        double ns = 0;
+    };
+    const auto rows = shardedRows<Row>(
+        suite.size(), jobs, [&](size_t i) -> Row {
+            const auto &kernel = suite[i];
+            if (!kernel.mesa_supported)
+                return {};
+            mem::MainMemory memory;
+            kernel.init_data(memory);
+            cpu::loadProgram(memory, kernel.program);
+            core::MesaController mesa(params, memory);
 
-        riscv::Emulator emu(memory);
-        emu.reset(kernel.program.base_pc);
-        kernel.fullRange()(emu.state());
-        uint64_t guard = 0;
-        while (!emu.halted() &&
-               emu.state().pc != kernel.loop_start && guard++ < 100000)
-            emu.step();
+            riscv::Emulator emu(memory);
+            emu.reset(kernel.program.base_pc);
+            kernel.fullRange()(emu.state());
+            uint64_t guard = 0;
+            while (!emu.halted() &&
+                   emu.state().pc != kernel.loop_start &&
+                   guard++ < 100000)
+                emu.step();
 
-        auto os = mesa.offloadLoop(kernel.loopBody(), emu.state(),
-                                   kernel.parallel, 1);
-        if (!os)
+            auto os = mesa.offloadLoop(kernel.loopBody(), emu.state(),
+                                       kernel.parallel, 1);
+            if (!os)
+                return {};
+            Row r;
+            r.ok = true;
+            r.name = kernel.name;
+            r.encode = os->encode_cycles;
+            r.imap = os->mapping_cycles;
+            r.bitstream = os->config_cycles;
+            r.total = os->totalConfigCycles();
+            r.ns = mesa.cyclesToNs(r.total);
+            return r;
+        });
+
+    for (const Row &r : rows) {
+        if (!r.ok)
             continue;
-        const uint64_t total = os->totalConfigCycles();
-        min_cycles = std::min(min_cycles, total);
-        max_cycles = std::max(max_cycles, total);
-        detail.row({kernel.name, std::to_string(os->encode_cycles),
-                    std::to_string(os->mapping_cycles),
-                    std::to_string(os->config_cycles),
-                    std::to_string(total),
-                    TextTable::num(mesa.cyclesToNs(total), 1)});
+        min_cycles = std::min(min_cycles, r.total);
+        max_cycles = std::max(max_cycles, r.total);
+        detail.row({r.name, std::to_string(r.encode),
+                    std::to_string(r.imap),
+                    std::to_string(r.bitstream),
+                    std::to_string(r.total), TextTable::num(r.ns, 1)});
     }
     detail.print(std::cout);
 

@@ -11,17 +11,82 @@
 #define MESA_BENCH_COMMON_HH
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "cpu/system.hh"
 #include "mesa/controller.hh"
 #include "power/energy_model.hh"
+#include "util/parallel.hh"
 #include "util/table.hh"
 #include "workloads/kernel.hh"
 
 namespace mesa::bench
 {
+
+/**
+ * Everything one worker shard owns while evaluating a (kernel,
+ * config) cell: its private copy of the kernel, the system params,
+ * the backing memory, the MESA controller built on them, and a
+ * per-shard stats registry. Shards built through makeShardContext
+ * share no simulator state, which is the ownership rule that makes
+ * the parallel harness byte-identical to the serial one (see
+ * ARCHITECTURE.md "Parallel execution engine").
+ */
+struct ShardContext
+{
+    workloads::Kernel kernel;
+    core::MesaParams params;
+    mem::MainMemory memory;
+    std::unique_ptr<core::MesaController> mesa;
+    StatsRegistry stats;
+};
+
+/** Build a fully private system for one shard: fresh memory with the
+ *  kernel's data planted, and a controller bound to that memory. */
+inline std::unique_ptr<ShardContext>
+makeShardContext(const workloads::Kernel &kernel,
+                 const core::MesaParams &params)
+{
+    auto ctx = std::make_unique<ShardContext>();
+    ctx->kernel = kernel;
+    ctx->params = params;
+    ctx->kernel.init_data(ctx->memory);
+    ctx->mesa = std::make_unique<core::MesaController>(ctx->params,
+                                                       ctx->memory);
+    return ctx;
+}
+
+/**
+ * Evaluate eval(i) over an n-cell grid (kernel × system config,
+ * flattened however the harness likes) on the shared thread pool,
+ * returning results in index order. Each eval call must build its
+ * own ShardContext; the returned vector is identical at any job
+ * count, so tables, averages, and JSON stay byte-stable.
+ */
+template <class Row>
+std::vector<Row>
+shardedRows(size_t n, int jobs, const std::function<Row(size_t)> &eval)
+{
+    return parallelMapOrdered<Row>(n, jobs, eval);
+}
+
+/**
+ * Shared --jobs flag for the bench binaries: scans argv for
+ * "--jobs N" (consuming nothing — binaries with richer CLIs parse
+ * their own copy too). Default: hardware concurrency.
+ */
+inline int
+parseJobs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--jobs")
+            return resolveJobs(int(std::strtol(argv[i + 1], nullptr,
+                                               10)));
+    return defaultJobs();
+}
 
 /** A CPU baseline run with its modeled energy. */
 struct CpuRun
@@ -92,9 +157,10 @@ runMesa(const workloads::Kernel &kernel, const core::MesaParams &params,
         StatsRegistry *stats = nullptr, uint64_t snapshot_iterations = 0,
         const accel::FaultPlane *faults = nullptr)
 {
-    mem::MainMemory memory;
-    kernel.init_data(memory);
-    core::MesaController mesa(params, memory);
+    // Per-call ShardContext: safe to run from any parallelForOrdered
+    // worker shard.
+    auto ctx = makeShardContext(kernel, params);
+    core::MesaController &mesa = *ctx->mesa;
     if (faults && !faults->empty())
         mesa.accelerator().injectFaults(*faults);
     if (stats) {

@@ -19,6 +19,7 @@
 
 #include "fault/campaign.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 using namespace mesa;
 
@@ -37,6 +38,9 @@ usage()
         "  --accel <cfg>     M-64 | M-128 | M-512 (default M-128)\n"
         "  --no-checked      disable golden-model checked mode\n"
         "  --watchdog <n>    per-offload cycle budget (default 200000)\n"
+        "  --jobs <n>        worker threads for the injection loop\n"
+        "                    (default = hardware concurrency; results\n"
+        "                    are byte-identical at any job count)\n"
         "  --json            machine-readable report\n";
 }
 
@@ -46,6 +50,7 @@ int
 main(int argc, char **argv)
 {
     fault::CampaignParams params;
+    params.jobs = defaultJobs(); // CLI default: use every core
     std::string accel_name = "M-128";
     bool json = false;
 
@@ -75,6 +80,9 @@ main(int argc, char **argv)
             params.checked = true;
         } else if (arg == "--watchdog") {
             params.watchdog_cycles = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            params.jobs =
+                resolveJobs(int(std::strtol(next(), nullptr, 10)));
         } else if (arg == "--json") {
             json = true;
         } else {

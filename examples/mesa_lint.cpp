@@ -22,6 +22,7 @@
 #include "mesa/config_builder.hh"
 #include "mesa/mapper.hh"
 #include "util/json.hh"
+#include "util/parallel.hh"
 #include "util/table.hh"
 #include "verify/verifier.hh"
 #include "workloads/kernel.hh"
@@ -41,6 +42,9 @@ usage()
         "  --accel <cfg>    M-64 | M-128 | M-512 (default M-128)\n"
         "  --scale <n>      iteration count knob (default 64)\n"
         "  --timemux        allow folding oversized bodies (x4)\n"
+        "  --jobs <n>       lint kernels on n worker threads (default\n"
+        "                   = hardware concurrency; output order and\n"
+        "                   bytes are identical at any job count)\n"
         "  --werror         exit 1 on warnings too\n"
         "  --json           machine-readable report\n"
         "  --rules          print the rule catalog and exit\n"
@@ -170,6 +174,7 @@ main(int argc, char **argv)
     std::string kernel_name;
     std::string accel_name = "M-128";
     uint64_t scale = 64;
+    int jobs = defaultJobs();
     bool allow_timemux = false;
     bool werror = false;
     bool json = false;
@@ -191,6 +196,8 @@ main(int argc, char **argv)
             scale = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--timemux") {
             allow_timemux = true;
+        } else if (arg == "--jobs") {
+            jobs = resolveJobs(int(std::strtol(next(), nullptr, 10)));
         } else if (arg == "--werror") {
             werror = true;
         } else if (arg == "--json") {
@@ -223,11 +230,15 @@ main(int argc, char **argv)
         kernels.push_back(workloads::kernelByName(kernel_name,
                                                   {scale}));
 
-    std::vector<LintResult> results;
+    // Suite-wide lint shards by kernel: every lintKernel call builds
+    // its own pipeline state, and results commit in suite order, so
+    // the report is identical at any --jobs value.
+    const std::vector<LintResult> results = parallelMapOrdered<LintResult>(
+        kernels.size(), jobs, [&](size_t i) {
+            return lintKernel(kernels[i], accel, allow_timemux);
+        });
     size_t errors = 0, warnings = 0, notes = 0;
-    for (const auto &kernel : kernels) {
-        results.push_back(lintKernel(kernel, accel, allow_timemux));
-        const auto &r = results.back();
+    for (const auto &r : results) {
         errors += r.report.errorCount();
         warnings += r.report.warnCount();
         notes += r.report.noteCount();

@@ -70,7 +70,22 @@ Accelerator::configure(const AcceleratorConfig &config)
         inst.lsu = std::make_unique<mem::LoadStoreUnit>(memory_,
                                                         hierarchy_, ports_);
     }
-    pe_free_.assign(instances_.size(), {});
+    // Flat per-PE busy table: mapped slots key by virtual position,
+    // unmapped slots get one private key each past pe_invalid_base_.
+    int max_rc = -1;
+    for (const PeSlot &slot : config_.slots)
+        if (slot.pos.valid())
+            max_rc = std::max(max_rc,
+                              slot.pos.r * config_.cols + slot.pos.c);
+    pe_invalid_base_ = size_t(max_rc + 1);
+    pe_free_.assign(instances_.size(),
+                    std::vector<uint64_t>(pe_invalid_base_ +
+                                              config_.slots.size(),
+                                          0));
+    iter_out_.assign(config_.slots.size(), 0);
+    iter_done_.assign(config_.slots.size(), 0);
+    iter_taken_.assign(config_.slots.size(), 0);
+    iter_group_done_.clear();
     resetCounters();
 }
 
@@ -188,10 +203,21 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
     // single-event-upset model fires on.
     const uint64_t global_iter = result.iterations;
 
-    std::vector<uint32_t> out(n, 0);
-    std::vector<uint64_t> done(n, iter_start);
-    std::vector<bool> taken(n, false);
-    std::map<int, uint64_t> group_done;
+    // Reused scratch (sized in configure): no allocation per
+    // iteration in the hot loop.
+    std::vector<uint32_t> &out = iter_out_;
+    std::vector<uint64_t> &done = iter_done_;
+    std::vector<char> &taken = iter_taken_;
+    out.assign(n, 0);
+    done.assign(n, iter_start);
+    taken.assign(n, 0);
+    iter_group_done_.clear();
+    auto groupDone = [&](int group) -> uint64_t * {
+        for (auto &[g, cycle] : iter_group_done_)
+            if (g == group)
+                return &cycle;
+        return nullptr;
+    };
 
     // Data transfer from a producer PE to this slot's PE, including
     // NoC bus contention; samples the edge latency counter.
@@ -323,9 +349,10 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
         // The PE executes one instruction per iteration; pipelined
         // iterations (and time-multiplexed co-residents) reuse it
         // after the issue interval.
-        const int pe_key = slot.pos.valid()
-                               ? slot.pos.r * config_.cols + slot.pos.c
-                               : -int(i) - 1;
+        const size_t pe_key =
+            slot.pos.valid()
+                ? size_t(slot.pos.r * config_.cols + slot.pos.c)
+                : pe_invalid_base_ + i;
         uint64_t &pe_next = pe_free[pe_key];
         ready = std::max(ready, pe_next);
 
@@ -366,13 +393,14 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
                 out[i] = out[st];
                 done[i] = std::max(ready, done[st] + 1);
                 ++result.store_load_forwards;
-            } else if (slot.vector_group >= 0 && !slot.vector_leader &&
-                       group_done.count(slot.vector_group)) {
+            } else if (const uint64_t *gd =
+                           slot.vector_group >= 0 && !slot.vector_leader
+                               ? groupDone(slot.vector_group)
+                               : nullptr) {
                 // Vectorized member: the leader's wide access covers
                 // this element; no extra port use.
                 out[i] = inst.lsu->peek(unsigned(i), addr, op);
-                done[i] =
-                    std::max(ready, group_done[slot.vector_group]);
+                done[i] = std::max(ready, *gd);
             } else {
                 const mem::LoadResult lr =
                     inst.lsu->load(unsigned(i), addr, op, ready);
@@ -382,8 +410,13 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
                     ++result.store_load_forwards;
                 if (lr.invalidated)
                     ++result.load_invalidations;
-                if (slot.vector_group >= 0 && slot.vector_leader)
-                    group_done[slot.vector_group] = lr.done_cycle;
+                if (slot.vector_group >= 0 && slot.vector_leader) {
+                    if (uint64_t *gd = groupDone(slot.vector_group))
+                        *gd = lr.done_cycle;
+                    else
+                        iter_group_done_.emplace_back(
+                            slot.vector_group, lr.done_cycle);
+                }
             }
             if (slot.prefetch) {
                 hierarchy_.prefetch(addr +
@@ -444,7 +477,7 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
     ++inst.iterations;
     inst.last_end = std::max(inst.last_end, end);
     inst.next_floor = config_.pipelined ? iter_start + 1 : end;
-    return taken[n - 1];
+    return taken[n - 1] != 0;
 }
 
 AccelRunResult
@@ -487,7 +520,7 @@ Accelerator::run(riscv::ArchState &state, uint64_t max_iterations,
         inst.last_end = 0;
         inst.iterations = 0;
         inst.done = false;
-        pe_free_[k].clear();
+        std::fill(pe_free_[k].begin(), pe_free_[k].end(), 0);
     }
 
     // An instance whose staggered start already fails the loop

@@ -178,9 +178,19 @@ class Accelerator
     std::string trace_track_ = "accel";
     FaultPlane fault_plane_;
 
-    /** Per-PE busy tracking keyed by physical position (pipelining
-     *  resource constraint; time-multiplexed nodes share a key). */
-    std::vector<std::map<int, uint64_t>> pe_free_; // [instance][pos]
+    /** Per-PE busy tracking keyed by flattened virtual position
+     *  (pipelining resource constraint; time-multiplexed nodes share
+     *  a key). Keys above pe_invalid_base_ are the per-slot fallback
+     *  keys for unmapped nodes. */
+    std::vector<std::vector<uint64_t>> pe_free_; // [instance][key]
+    size_t pe_invalid_base_ = 0;
+
+    // Per-iteration scratch, sized once in configure() and reused so
+    // the per-cycle loop performs no heap allocation.
+    std::vector<uint32_t> iter_out_;
+    std::vector<uint64_t> iter_done_;
+    std::vector<char> iter_taken_;
+    std::vector<std::pair<int, uint64_t>> iter_group_done_;
 
     // Performance counters (paper §5.2): per-node and per-edge.
     std::vector<Average> node_latency_;

@@ -1,5 +1,6 @@
 #include "fault/campaign.hh"
 
+#include <algorithm>
 #include <iomanip>
 
 #include "cpu/system.hh"
@@ -7,6 +8,7 @@
 #include "mesa/controller.hh"
 #include "riscv/emulator.hh"
 #include "util/json.hh"
+#include "util/parallel.hh"
 #include "util/stats_registry.hh"
 
 namespace mesa::fault
@@ -174,6 +176,131 @@ CampaignResult::statsSnapshot() const
     return out;
 }
 
+namespace
+{
+
+/** One injection's classification, produced by a worker shard and
+ *  merged into KernelCampaignResult in index order. */
+struct InjectionOutcome
+{
+    FaultKind kind = FaultKind::ConfigBitFlip;
+    bool offloaded = false;
+    bool detected = false;
+    bool match = false;
+    bool remap_checked = false;
+    bool remap_clean = false;
+};
+
+/**
+ * Run one seeded injection. Every piece of simulator state — memory,
+ * controller, emulator, stats registry — is constructed here, so the
+ * shard touches nothing shared and the outcome is a pure function of
+ * (campaign seed, kernel index, injection index).
+ */
+InjectionOutcome
+runInjection(const CampaignParams &params,
+             const workloads::Kernel &kernel,
+             const std::vector<riscv::Instruction> &body,
+             const Golden &golden, uint64_t step_bound, size_t ki,
+             int j)
+{
+    const FaultKind kind = FaultKind(j % FaultKindCount);
+    // Independent stream per (kernel, injection): the whole
+    // fault plan is a pure function of the campaign seed.
+    SplitMix64 rng = SplitMix64(params.seed)
+                         .fork(ki + 1)
+                         .fork(uint64_t(j) + 1);
+
+    mem::MainMemory memory;
+    kernel.init_data(memory);
+    cpu::loadProgram(memory, kernel.program);
+
+    core::MesaParams mp;
+    mp.accel = params.accel;
+    mp.fault.enabled = true;
+    mp.fault.checked_mode = params.checked;
+    mp.fault.watchdog_cycles = params.watchdog_cycles;
+    mp.fault.seed = params.seed;
+    core::MesaController mesa(mp, memory);
+    StatsRegistry reg;
+    mesa.attachStats(&reg);
+
+    riscv::Emulator emu(memory);
+    emu.reset(kernel.program.base_pc);
+    kernel.fullRange()(emu.state());
+    advanceToLoop(emu, kernel);
+
+    accel::FaultPlane plane;
+    switch (kind) {
+      case FaultKind::ConfigBitFlip: {
+        auto fired = std::make_shared<bool>(false);
+        SplitMix64 crng = rng.fork(3);
+        mesa.setConfigCorruptor(
+            [fired, crng](accel::AcceleratorConfig &cfg) mutable {
+                if (*fired)
+                    return;
+                *fired = true;
+                corruptConfig(cfg, crng);
+            });
+        break;
+      }
+      case FaultKind::TransientDatapath:
+        plane.transients.push_back(
+            makeTransient(rng, body.size(), 64));
+        break;
+      case FaultKind::StuckPe:
+        plane.stuck_pes.push_back(makeStuckPe(rng, params.accel));
+        break;
+      case FaultKind::DeadLink:
+        plane.dead_links.push_back(makeDeadLink(rng, params.accel));
+        break;
+      case FaultKind::OffloadHang:
+        plane.stuck_branches.push_back(makeHang(rng));
+        break;
+    }
+    if (!plane.empty())
+        mesa.accelerator().injectFaults(plane);
+
+    auto os = mesa.offloadLoop(body, emu.state(), kernel.parallel);
+    emu.run(step_bound);
+
+    InjectionOutcome out;
+    out.kind = kind;
+    out.offloaded = os.has_value();
+    out.detected = reg.value("mesa.fault.crc_failures") +
+                       reg.value("mesa.fault.watchdog_trips") +
+                       reg.value("mesa.fault.mismatches") >
+                   0.0;
+    out.match =
+        emu.state() == golden.state &&
+        memorySnapshotsEqual(memory.snapshot(), golden.memory);
+
+    // Permanent faults: offload the region again on the same
+    // (now degraded) controller and verify the remap avoids
+    // every quarantined PE.
+    const bool permanent =
+        kind == FaultKind::StuckPe || kind == FaultKind::DeadLink;
+    if (permanent && !mesa.faultyPes().empty()) {
+        kernel.init_data(memory);
+        cpu::loadProgram(memory, kernel.program);
+        riscv::Emulator emu2(memory);
+        emu2.reset(kernel.program.base_pc);
+        kernel.fullRange()(emu2.state());
+        advanceToLoop(emu2, kernel);
+        auto os2 =
+            mesa.offloadLoop(body, emu2.state(), kernel.parallel);
+        if (os2 && os2->accel_iterations > 0) {
+            out.remap_checked = true;
+            out.remap_clean =
+                placementAvoids(mesa.accelerator().config(),
+                                mesa.faultyPes(), params.accel.rows);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
 CampaignResult
 runCampaign(const CampaignParams &params)
 {
@@ -201,118 +328,36 @@ runCampaign(const CampaignParams &params)
         kr.name = kernel.name;
         bool any_offload = false;
 
-        for (int j = 0; j < params.injections_per_kernel; ++j) {
-            const FaultKind kind = FaultKind(j % FaultKindCount);
-            // Independent stream per (kernel, injection): the whole
-            // fault plan is a pure function of the campaign seed.
-            SplitMix64 rng = SplitMix64(params.seed)
-                                 .fork(ki + 1)
-                                 .fork(uint64_t(j) + 1);
-
-            mem::MainMemory memory;
-            kernel.init_data(memory);
-            cpu::loadProgram(memory, kernel.program);
-
-            core::MesaParams mp;
-            mp.accel = params.accel;
-            mp.fault.enabled = true;
-            mp.fault.checked_mode = params.checked;
-            mp.fault.watchdog_cycles = params.watchdog_cycles;
-            mp.fault.seed = params.seed;
-            core::MesaController mesa(mp, memory);
-            StatsRegistry reg;
-            mesa.attachStats(&reg);
-
-            riscv::Emulator emu(memory);
-            emu.reset(kernel.program.base_pc);
-            kernel.fullRange()(emu.state());
-            advanceToLoop(emu, kernel);
-
-            accel::FaultPlane plane;
-            switch (kind) {
-              case FaultKind::ConfigBitFlip: {
-                auto fired = std::make_shared<bool>(false);
-                SplitMix64 crng = rng.fork(3);
-                mesa.setConfigCorruptor(
-                    [fired,
-                     crng](accel::AcceleratorConfig &cfg) mutable {
-                        if (*fired)
-                            return;
-                        *fired = true;
-                        corruptConfig(cfg, crng);
-                    });
-                break;
-              }
-              case FaultKind::TransientDatapath:
-                plane.transients.push_back(
-                    makeTransient(rng, body.size(), 64));
-                break;
-              case FaultKind::StuckPe:
-                plane.stuck_pes.push_back(
-                    makeStuckPe(rng, params.accel));
-                break;
-              case FaultKind::DeadLink:
-                plane.dead_links.push_back(
-                    makeDeadLink(rng, params.accel));
-                break;
-              case FaultKind::OffloadHang:
-                plane.stuck_branches.push_back(makeHang(rng));
-                break;
-            }
-            if (!plane.empty())
-                mesa.accelerator().injectFaults(plane);
-
-            auto os =
-                mesa.offloadLoop(body, emu.state(), kernel.parallel);
-            any_offload = any_offload || os.has_value();
-            emu.run(step_bound);
-
-            const bool detected =
-                reg.value("mesa.fault.crc_failures") +
-                    reg.value("mesa.fault.watchdog_trips") +
-                    reg.value("mesa.fault.mismatches") >
-                0.0;
-            const bool match =
-                emu.state() == golden.state &&
-                memorySnapshotsEqual(memory.snapshot(), golden.memory);
-
-            ++kr.injections;
-            ++kr.by_kind[int(kind)];
-            kr.detected += detected ? 1 : 0;
-            if (match && detected)
-                ++kr.recovered;
-            else if (match)
-                ++kr.benign;
-            else if (detected)
-                ++kr.corrupted;
-            else
-                ++kr.silent;
-
-            // Permanent faults: offload the region again on the same
-            // (now degraded) controller and verify the remap avoids
-            // every quarantined PE.
-            const bool permanent = kind == FaultKind::StuckPe ||
-                                   kind == FaultKind::DeadLink;
-            if (permanent && !mesa.faultyPes().empty()) {
-                kernel.init_data(memory);
-                cpu::loadProgram(memory, kernel.program);
-                riscv::Emulator emu2(memory);
-                emu2.reset(kernel.program.base_pc);
-                kernel.fullRange()(emu2.state());
-                advanceToLoop(emu2, kernel);
-                auto os2 = mesa.offloadLoop(body, emu2.state(),
-                                            kernel.parallel);
-                if (os2 && os2->accel_iterations > 0) {
-                    ++kr.remap_checks;
-                    kr.remap_clean +=
-                        placementAvoids(mesa.accelerator().config(),
-                                        mesa.faultyPes(),
-                                        params.accel.rows)
-                            ? 1
-                            : 0;
-                }
-            }
-        }
+        // Shard by injection: every shard builds its own memory /
+        // controller / registry in runInjection, and the ordered
+        // commit folds outcomes exactly as the serial loop would.
+        const size_t n = size_t(
+            std::max(0, params.injections_per_kernel));
+        std::vector<InjectionOutcome> outcomes(n);
+        parallelForOrdered(
+            n, params.jobs,
+            [&](size_t j) {
+                outcomes[j] = runInjection(params, kernel, body,
+                                           golden, step_bound, ki,
+                                           int(j));
+            },
+            [&](size_t j) {
+                const InjectionOutcome &o = outcomes[j];
+                any_offload = any_offload || o.offloaded;
+                ++kr.injections;
+                ++kr.by_kind[int(o.kind)];
+                kr.detected += o.detected ? 1 : 0;
+                if (o.match && o.detected)
+                    ++kr.recovered;
+                else if (o.match)
+                    ++kr.benign;
+                else if (o.detected)
+                    ++kr.corrupted;
+                else
+                    ++kr.silent;
+                kr.remap_checks += o.remap_checked ? 1 : 0;
+                kr.remap_clean += o.remap_clean ? 1 : 0;
+            });
         kr.offloadable = any_offload;
         result.kernels.push_back(std::move(kr));
     }

@@ -50,6 +50,14 @@ struct CampaignParams
     /** Per-offload fault watchdog budget (cycles). */
     uint64_t watchdog_cycles = 50'000;
     accel::AccelParams accel = accel::AccelParams::m128();
+    /**
+     * Worker threads for the injection loop (<= 0 = hardware
+     * concurrency). Injections shard within each kernel, each on its
+     * own memory/controller/registry, and merge in index order, so
+     * results — including writeCampaignJson bytes — are identical to
+     * a jobs=1 run for the same seed.
+     */
+    int jobs = 1;
 };
 
 /** Per-kernel campaign outcome. */

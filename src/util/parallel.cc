@@ -1,0 +1,200 @@
+#include "util/parallel.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/trace.hh"
+
+namespace mesa
+{
+
+int
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? int(hw) : 1;
+}
+
+int
+resolveJobs(int jobs)
+{
+    return jobs <= 0 ? defaultJobs() : jobs;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    const size_t k = size_t(std::max(1, threads));
+    workers_.reserve(k);
+    for (size_t i = 0; i < k; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(k);
+    for (size_t i = 0; i < k; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(sleep_m_);
+        stop_.store(true, std::memory_order_relaxed);
+    }
+    sleep_cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    const size_t slot =
+        next_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+    {
+        std::lock_guard<std::mutex> lk(workers_[slot]->m);
+        workers_[slot]->q.push_back(std::move(task));
+    }
+    {
+        // Pair the count bump with the sleep mutex so a worker cannot
+        // check the predicate and doze between our bump and notify.
+        std::lock_guard<std::mutex> lk(sleep_m_);
+        queued_.fetch_add(1, std::memory_order_relaxed);
+    }
+    sleep_cv_.notify_one();
+}
+
+bool
+ThreadPool::tryPop(size_t self, std::function<void()> &out)
+{
+    // Own deque first (front), then steal from siblings (back).
+    {
+        Worker &w = *workers_[self];
+        std::lock_guard<std::mutex> lk(w.m);
+        if (!w.q.empty()) {
+            out = std::move(w.q.front());
+            w.q.pop_front();
+            return true;
+        }
+    }
+    for (size_t off = 1; off < workers_.size(); ++off) {
+        Worker &w = *workers_[(self + off) % workers_.size()];
+        std::lock_guard<std::mutex> lk(w.m);
+        if (!w.q.empty()) {
+            out = std::move(w.q.back());
+            w.q.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(size_t self)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (tryPop(self, task)) {
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(sleep_m_);
+        sleep_cv_.wait(lk, [this] {
+            return stop_.load(std::memory_order_relaxed) ||
+                   queued_.load(std::memory_order_relaxed) > 0;
+        });
+        if (stop_.load(std::memory_order_relaxed) &&
+            queued_.load(std::memory_order_relaxed) == 0) {
+            return;
+        }
+    }
+}
+
+void
+parallelForOrdered(size_t n, int jobs,
+                   const std::function<void(size_t)> &work,
+                   const std::function<void(size_t)> &commit)
+{
+    if (n == 0)
+        return;
+    jobs = resolveJobs(jobs);
+
+    // Serial path: --jobs 1, a single shard, or an active tracer
+    // (events carry no shard identity, so only serial execution keeps
+    // the timeline deterministic). This is byte-for-byte the loop the
+    // parallel path reproduces.
+    if (jobs <= 1 || n == 1 || Tracer::active()) {
+        for (size_t i = 0; i < n; ++i) {
+            work(i);
+            if (commit)
+                commit(i);
+        }
+        return;
+    }
+
+    struct Shared
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        std::vector<char> done;
+        std::vector<char> ran;
+        std::vector<std::exception_ptr> errors;
+        std::atomic<bool> cancelled{false};
+    };
+    Shared sh;
+    sh.done.assign(n, 0);
+    sh.ran.assign(n, 0);
+    sh.errors.assign(n, nullptr);
+
+    {
+        ThreadPool pool(int(std::min<size_t>(size_t(jobs), n)));
+        for (size_t i = 0; i < n; ++i) {
+            pool.submit([i, &sh, &work] {
+                std::exception_ptr err;
+                bool ran = false;
+                if (!sh.cancelled.load(std::memory_order_relaxed)) {
+                    ran = true;
+                    try {
+                        work(i);
+                    } catch (...) {
+                        err = std::current_exception();
+                        sh.cancelled.store(
+                            true, std::memory_order_relaxed);
+                    }
+                }
+                std::lock_guard<std::mutex> lk(sh.m);
+                sh.done[i] = 1;
+                sh.ran[i] = ran ? 1 : 0;
+                sh.errors[i] = err;
+                sh.cv.notify_all();
+            });
+        }
+
+        // Ordered commit: walk the index space, waiting for each
+        // shard in turn; committed output is the serial order exactly.
+        // Stop at the first shard that errored or was skipped by a
+        // cancellation elsewhere — never commit unexecuted work.
+        try {
+            for (size_t i = 0; i < n; ++i) {
+                std::unique_lock<std::mutex> lk(sh.m);
+                sh.cv.wait(lk, [&sh, i] { return sh.done[i] != 0; });
+                if (sh.errors[i] || !sh.ran[i])
+                    break;
+                lk.unlock();
+                if (commit)
+                    commit(i);
+            }
+        } catch (...) {
+            // A throwing commit cancels the rest, waits for the pool
+            // (destructor below), then propagates.
+            sh.cancelled.store(true, std::memory_order_relaxed);
+            throw;
+        }
+        // Pool destructor joins: every worker finished or skipped its
+        // remaining tasks before we inspect the error table.
+    }
+
+    for (size_t i = 0; i < n; ++i)
+        if (sh.errors[i])
+            std::rethrow_exception(sh.errors[i]);
+}
+
+} // namespace mesa

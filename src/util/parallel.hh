@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic parallel execution engine: a work-stealing thread
+ * pool plus the parallelForOrdered() primitive the campaign, bench,
+ * lint, and fuzz outer loops shard on. Shards execute concurrently on
+ * worker threads, but their results are *committed in index order* on
+ * the calling thread, so every table row, stats snapshot, and JSON
+ * byte the serial loop would produce is reproduced exactly at any
+ * --jobs value (see ARCHITECTURE.md "Parallel execution engine").
+ *
+ * Ground rules for callers:
+ *   - work(i) must touch only state owned by shard i (build a fresh
+ *     ShardContext / MainMemory / controller per shard); the only
+ *     cross-shard communication is the committed result.
+ *   - commit(i) runs on the calling thread, strictly in index order.
+ *   - jobs <= 1 runs the plain serial loop, no threads created —
+ *     today's behavior, bit for bit.
+ *   - when the global Tracer is recording, execution auto-downgrades
+ *     to the serial path: trace events carry no shard identity, so
+ *     only a serial run keeps the timeline deterministic.
+ */
+
+#ifndef MESA_UTIL_PARALLEL_HH
+#define MESA_UTIL_PARALLEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mesa
+{
+
+/** Default shard count: the machine's hardware concurrency (>= 1). */
+int defaultJobs();
+
+/** Normalize a --jobs value: <= 0 means "use defaultJobs()". */
+int resolveJobs(int jobs);
+
+/**
+ * A work-stealing thread pool. Submitted tasks land on per-worker
+ * deques round-robin; an idle worker drains its own deque LIFO-free
+ * (front) and steals from the back of its siblings' deques when empty.
+ * The pool is a plain mechanism — determinism comes from
+ * parallelForOrdered()'s ordered commit, never from scheduling.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (clamped to >= 1). */
+    explicit ThreadPool(int threads);
+
+    /** Drains nothing: joins after the queues empty. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threads() const { return int(workers_.size()); }
+
+    /** Enqueue one task; any worker may run (or steal) it. */
+    void submit(std::function<void()> task);
+
+  private:
+    struct Worker
+    {
+        std::mutex m;
+        std::deque<std::function<void()>> q;
+    };
+
+    void workerLoop(size_t self);
+    bool tryPop(size_t self, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+    std::atomic<size_t> next_{0};   ///< Round-robin submission cursor.
+    std::atomic<size_t> queued_{0}; ///< Tasks submitted, not yet started.
+    std::atomic<bool> stop_{false};
+    std::mutex sleep_m_;
+    std::condition_variable sleep_cv_;
+};
+
+/**
+ * Run work(i) for every i in [0, n) on @p jobs workers and invoke
+ * commit(i) on the calling thread in strict index order as the
+ * completed prefix grows. work(i) computes into shard-owned storage;
+ * commit(i) folds shard i into the ordered output (print the row,
+ * merge the counters, append the JSON object).
+ *
+ * An exception thrown by any work(i) (or by commit) cancels every
+ * not-yet-started shard, stops the pool cleanly, and rethrows the
+ * lowest-index exception on the calling thread; commits never run
+ * past the first failed index.
+ *
+ * jobs <= 1 (after resolveJobs) — and any run while the Tracer is
+ * recording — executes the exact serial loop
+ * `for i: work(i); commit(i);` with no pool.
+ */
+void parallelForOrdered(size_t n, int jobs,
+                        const std::function<void(size_t)> &work,
+                        const std::function<void(size_t)> &commit = {});
+
+/**
+ * Map form: collect work(i) into a vector, with the same ordering and
+ * exception guarantees as parallelForOrdered. T must be default-
+ * constructible and movable.
+ */
+template <class T>
+std::vector<T>
+parallelMapOrdered(size_t n, int jobs,
+                   const std::function<T(size_t)> &work)
+{
+    std::vector<T> out(n);
+    parallelForOrdered(n, jobs,
+                       [&](size_t i) { out[i] = work(i); });
+    return out;
+}
+
+} // namespace mesa
+
+#endif // MESA_UTIL_PARALLEL_HH

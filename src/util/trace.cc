@@ -27,8 +27,9 @@ Tracer::span(const std::string &track, const std::string &name,
              uint64_t start, uint64_t duration,
              std::initializer_list<TraceArg> args)
 {
-    if (!enabled_)
+    if (!active())
         return;
+    std::lock_guard<std::mutex> lk(emit_m_);
     if (events_.size() >= max_events_) {
         ++dropped_;
         return;
@@ -46,8 +47,9 @@ void
 Tracer::instant(const std::string &track, const std::string &name,
                 uint64_t at, std::initializer_list<TraceArg> args)
 {
-    if (!enabled_)
+    if (!active())
         return;
+    std::lock_guard<std::mutex> lk(emit_m_);
     if (events_.size() >= max_events_) {
         ++dropped_;
         return;
@@ -124,6 +126,7 @@ Tracer::exportJson(std::ostream &os) const
 void
 Tracer::clear()
 {
+    std::lock_guard<std::mutex> lk(emit_m_);
     base_ = 0;
     cycle_ = 0;
     dropped_ = 0;

@@ -21,8 +21,10 @@
 #ifndef MESA_UTIL_TRACE_HH
 #define MESA_UTIL_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -70,6 +72,16 @@ struct TraceEvent
  * The global event tracer. All emission goes through the singleton;
  * sites must guard with Tracer::active() so a disabled tracer costs
  * one branch and performs zero allocations or writes.
+ *
+ * Thread safety: the singleton is a Meyers static (first use from any
+ * worker thread is race-free), the enabled flag is atomic, and event
+ * emission takes an internal mutex so concurrent emitters never tear
+ * the buffers. Event *order* under concurrent emission is whatever
+ * the lock arbitration yields, which is why parallelForOrdered()
+ * downgrades to its serial path while the tracer records — the
+ * exported timeline must be deterministic (see util/parallel.hh).
+ * Inspection/export accessors are not synchronized: quiesce workers
+ * (join the pool) before exporting.
  */
 class Tracer
 {
@@ -77,9 +89,17 @@ class Tracer
     static Tracer &global();
 
     /** Is tracing enabled? The per-site gate — check before emitting. */
-    static bool active() { return global().enabled_; }
+    static bool
+    active()
+    {
+        return global().enabled_.load(std::memory_order_relaxed);
+    }
 
-    void enable(bool on = true) { enabled_ = on; }
+    void
+    enable(bool on = true)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
 
     // ----- time base (see file comment) -----
     void setBase(uint64_t base) { base_ = base; }
@@ -136,7 +156,8 @@ class Tracer
 
     uint16_t trackId(const std::string &track);
 
-    bool enabled_ = false;
+    std::atomic<bool> enabled_{false};
+    std::mutex emit_m_; ///< Guards events_/tracks_/dropped_ writes.
     uint64_t base_ = 0;
     uint64_t cycle_ = 0;
     uint64_t dropped_ = 0;

@@ -22,6 +22,7 @@
 #include "mesa/config_builder.hh"
 #include "mesa/mapper.hh"
 #include "riscv/assembler.hh"
+#include "util/parallel.hh"
 #include "verify/verifier.hh"
 
 namespace
@@ -261,24 +262,29 @@ INSTANTIATE_TEST_SUITE_P(
  * not just the suite kernels. Same deterministic seeds and the same
  * three configuration axes as the end-to-end fuzz above, but no
  * execution: encode -> map -> configure only, so the suite stays
- * cheap enough to widen.
+ * cheap enough to widen — and cheap enough to shard: the 450
+ * (seed, axis) cases run on the parallel engine, each case entirely
+ * self-contained, with outcomes committed in case order.
  */
-class VerifierFuzz
-    : public ::testing::TestWithParam<std::tuple<uint32_t, int>>
+struct VerifierFuzzOutcome
 {
-  protected:
-    static std::string
-    render(const verify::Report &report)
-    {
-        std::ostringstream os;
-        report.printTable(os);
-        return os.str();
-    }
+    bool skipped = false;
+    std::string skip_reason;
+    std::string error; ///< Empty = verified clean.
 };
 
-TEST_P(VerifierFuzz, AcceptedBodiesVerifyWithZeroErrors)
+std::string
+render(const verify::Report &report)
 {
-    const auto [seed, axis] = GetParam();
+    std::ostringstream os;
+    report.printTable(os);
+    return os.str();
+}
+
+VerifierFuzzOutcome
+verifierFuzzCase(uint32_t seed, int axis)
+{
+    VerifierFuzzOutcome out;
     const GeneratedLoop gen = generate(seed);
     std::vector<riscv::Instruction> body = gen.kernel.loopBody();
 
@@ -297,21 +303,28 @@ TEST_P(VerifierFuzz, AcceptedBodiesVerifyWithZeroErrors)
     const size_t capacity = accel.capacity();
     auto ldfg = dfg::Ldfg::build(body, accel.op_latency,
                                  capacity * size_t(max_tm));
-    if (!ldfg)
-        GTEST_SKIP() << "body not encodable (acceptable)";
+    if (!ldfg) {
+        out.skipped = true;
+        out.skip_reason = "body not encodable (acceptable)";
+        return out;
+    }
 
     // Pass 1 holds for every graph the encoder emits.
     const verify::Report dfg_report =
         verify::verifyLdfg(*ldfg, accel.op_latency);
-    ASSERT_EQ(dfg_report.errorCount(), 0u)
-        << "seed " << seed << " axis " << axis << "\n"
-        << render(dfg_report);
+    if (dfg_report.errorCount() != 0) {
+        out.error = "LDFG verify failed\n" + render(dfg_report);
+        return out;
+    }
 
     ic::AccelNocInterconnect noc(accel.rows, accel.cols,
                                  accel.noc_slice_width);
     const int tm = int((ldfg->size() + capacity - 1) / capacity);
-    if (tm > max_tm)
-        GTEST_SKIP() << "body exceeds the fold budget (acceptable)";
+    if (tm > max_tm) {
+        out.skipped = true;
+        out.skip_reason = "body exceeds the fold budget (acceptable)";
+        return out;
+    }
 
     core::MapResult map;
     core::ConfigOptions options;
@@ -363,20 +376,43 @@ TEST_P(VerifierFuzz, AcceptedBodiesVerifyWithZeroErrors)
         report = verify::verifyPipeline(*ldfg, map.sdfg, map.unmapped,
                                         config, accel, noc);
     }
-    EXPECT_EQ(report.errorCount(), 0u)
-        << "seed " << seed << " axis " << axis << " nodes "
-        << ldfg->size() << " tm " << tm << " tiles "
-        << config.tileCount() << "\n"
-        << render(report);
+    if (report.errorCount() != 0) {
+        std::ostringstream os;
+        os << "pipeline verify failed: nodes " << ldfg->size()
+           << " tm " << tm << " tiles " << config.tileCount() << "\n"
+           << render(report);
+        out.error = os.str();
+    }
+    return out;
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Seeds, VerifierFuzz,
-    ::testing::Combine(::testing::Range(1u, 151u),
-                       ::testing::Values(0, 1, 2)),
-    [](const auto &param_info) {
-        return "s" + std::to_string(std::get<0>(param_info.param)) + "_cfg" +
-               std::to_string(std::get<1>(param_info.param));
-    });
+TEST(VerifierFuzz, AcceptedBodiesVerifyWithZeroErrors)
+{
+    constexpr uint32_t MaxSeed = 150;
+    constexpr int Axes = 3;
+    const size_t n = size_t(MaxSeed) * Axes;
+
+    const auto outcomes = parallelMapOrdered<VerifierFuzzOutcome>(
+        n, defaultJobs(), [&](size_t i) {
+            const uint32_t seed = uint32_t(1 + i / Axes);
+            const int axis = int(i % Axes);
+            return verifierFuzzCase(seed, axis);
+        });
+
+    size_t skipped = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const auto &o = outcomes[i];
+        if (o.skipped) {
+            ++skipped;
+            continue;
+        }
+        EXPECT_TRUE(o.error.empty())
+            << "seed " << (1 + i / Axes) << " axis " << (i % Axes)
+            << ": " << o.error;
+    }
+    // The generator is tuned so most bodies are encodable; a sudden
+    // jump in skips means the fuzzer stopped testing anything.
+    EXPECT_LT(skipped, n / 2) << "fuzzer skipped too many cases";
+}
 
 } // namespace

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The deterministic parallel engine's contract, tested directly:
+ * parallelForOrdered must equal the serial loop (same results, same
+ * commit order) under adversarial shard timings; runCampaign must
+ * produce byte-identical JSON and identical stats snapshots at any
+ * job count; and an exception in one shard must propagate to the
+ * caller with the pool stopped cleanly and no unexecuted work
+ * committed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "util/parallel.hh"
+
+namespace
+{
+
+using namespace mesa;
+
+/** Shards finishing in adversarial (reverse) order: shard 0 is the
+ *  slowest, so every later shard completes before the first commit
+ *  may run. */
+void
+adversarialDelay(size_t i, size_t n)
+{
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(200 * (n - i)));
+}
+
+TEST(ParallelForOrdered, MatchesSerialUnderAdversarialTimings)
+{
+    constexpr size_t N = 64;
+
+    std::vector<uint64_t> serial(N);
+    for (size_t i = 0; i < N; ++i)
+        serial[i] = i * i + 7;
+
+    for (int jobs : {1, 2, 4, 8}) {
+        std::vector<uint64_t> out(N, 0);
+        std::vector<size_t> commit_order;
+        parallelForOrdered(
+            N, jobs,
+            [&](size_t i) {
+                adversarialDelay(i, N);
+                out[i] = i * i + 7;
+            },
+            [&](size_t i) { commit_order.push_back(i); });
+
+        EXPECT_EQ(out, serial) << "jobs " << jobs;
+        ASSERT_EQ(commit_order.size(), N) << "jobs " << jobs;
+        for (size_t i = 0; i < N; ++i)
+            EXPECT_EQ(commit_order[i], i)
+                << "commit out of order at " << i << " with " << jobs
+                << " jobs";
+    }
+}
+
+TEST(ParallelForOrdered, MapOrderedMatchesSerial)
+{
+    constexpr size_t N = 50;
+    const auto serial = parallelMapOrdered<int>(
+        N, 1, [](size_t i) { return int(3 * i + 1); });
+    const auto parallel = parallelMapOrdered<int>(N, 8, [](size_t i) {
+        adversarialDelay(i, N);
+        return int(3 * i + 1);
+    });
+    EXPECT_EQ(parallel, serial);
+}
+
+TEST(ParallelForOrdered, WorkExceptionPropagatesAndStopsCleanly)
+{
+    constexpr size_t N = 32;
+    std::atomic<int> committed{0};
+    std::atomic<int> executed{0};
+
+    auto run = [&](int jobs) {
+        committed = 0;
+        executed = 0;
+        parallelForOrdered(
+            N, jobs,
+            [&](size_t i) {
+                executed.fetch_add(1);
+                if (i == 5)
+                    throw std::runtime_error("shard 5 failed");
+                adversarialDelay(i, N);
+            },
+            [&](size_t i) {
+                // Nothing at or past the failed index may commit.
+                EXPECT_LT(i, size_t(5));
+                committed.fetch_add(1);
+            });
+    };
+
+    for (int jobs : {1, 2, 8}) {
+        EXPECT_THROW(run(jobs), std::runtime_error)
+            << "jobs " << jobs;
+        EXPECT_LE(committed.load(), 5) << "jobs " << jobs;
+        // The pool joined before the throw: no shard is still
+        // running, so the counters are final and in range.
+        EXPECT_LE(executed.load(), int(N)) << "jobs " << jobs;
+    }
+}
+
+TEST(ParallelForOrdered, CommitExceptionPropagates)
+{
+    constexpr size_t N = 16;
+    for (int jobs : {1, 4}) {
+        int commits = 0;
+        EXPECT_THROW(
+            parallelForOrdered(
+                N, jobs, [](size_t) {},
+                [&](size_t i) {
+                    if (i == 3)
+                        throw std::logic_error("commit 3 failed");
+                    ++commits;
+                }),
+            std::logic_error)
+            << "jobs " << jobs;
+        EXPECT_EQ(commits, 3) << "jobs " << jobs;
+    }
+}
+
+/** Small-but-real campaign: a kernel pair, few injections, tiny
+ *  scale, so the whole determinism matrix stays in test budget. */
+fault::CampaignParams
+campaignParams(uint64_t seed, int jobs)
+{
+    fault::CampaignParams params;
+    params.seed = seed;
+    params.injections_per_kernel = 6;
+    params.scale = workloads::SuiteScale{64};
+    params.kernels = {"nn", "kmeans"};
+    params.jobs = jobs;
+    return params;
+}
+
+std::string
+campaignJson(const fault::CampaignResult &result)
+{
+    std::ostringstream os;
+    fault::writeCampaignJson(result, os);
+    return os.str();
+}
+
+TEST(CampaignParallel, SameSeedAnyJobCountByteIdenticalJson)
+{
+    for (uint64_t seed : {1u, 7u, 42u}) {
+        const auto serial =
+            fault::runCampaign(campaignParams(seed, 1));
+        const auto parallel =
+            fault::runCampaign(campaignParams(seed, 8));
+
+        EXPECT_EQ(campaignJson(serial), campaignJson(parallel))
+            << "seed " << seed;
+
+        const auto snap_serial = serial.statsSnapshot();
+        const auto snap_parallel = parallel.statsSnapshot();
+        EXPECT_EQ(snap_serial, snap_parallel) << "seed " << seed;
+    }
+}
+
+TEST(CampaignParallel, JobsFieldDoesNotLeakIntoJson)
+{
+    // The jobs knob is execution policy, not an experiment parameter:
+    // it must never appear in the report, or byte-identity across job
+    // counts is impossible by construction.
+    const auto result = fault::runCampaign(campaignParams(1, 8));
+    const std::string json = campaignJson(result);
+    EXPECT_EQ(json.find("jobs"), std::string::npos);
+}
+
+} // namespace
