@@ -11,6 +11,11 @@
  * --min-speedup applies to the campaign speedup and makes the exit
  * status a CI gate; without it the run is report-only (a single-core
  * host cannot demonstrate speedup, so the gate is opt-in).
+ *
+ * Every run also appends one record (timestamp, git revision, host,
+ * hardware concurrency, and the timing metrics) to the perf history
+ * at BENCH_history.jsonl, so speedup is tracked across commits and
+ * machines instead of overwritten per run; --no-history skips it.
  */
 
 #include <chrono>
@@ -20,6 +25,7 @@
 #include <thread>
 
 #include "fault/campaign.hh"
+#include "prof/history.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -44,6 +50,9 @@ usage()
         "  --min-speedup <x>  exit 1 unless campaign speedup >= x\n"
         "  --out <file>       JSON report path (default\n"
         "                     BENCH_parallel.json)\n"
+        "  --history <file>   perf-history JSONL path (default\n"
+        "                     BENCH_history.jsonl)\n"
+        "  --no-history       skip the history append\n"
         "  --json             also print the report to stdout\n";
 }
 
@@ -74,6 +83,8 @@ main(int argc, char **argv)
     uint64_t scale = 128;
     double min_speedup = 0.0;
     std::string out_path = "BENCH_parallel.json";
+    std::string history_path = "BENCH_history.jsonl";
+    bool no_history = false;
     bool json = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -95,6 +106,10 @@ main(int argc, char **argv)
             min_speedup = std::strtod(next(), nullptr);
         } else if (arg == "--out") {
             out_path = next();
+        } else if (arg == "--history") {
+            history_path = next();
+        } else if (arg == "--no-history") {
+            no_history = true;
         } else if (arg == "--json") {
             json = true;
         } else {
@@ -141,11 +156,29 @@ main(int argc, char **argv)
         suite_parallel_s > 0 ? suite_serial_s / suite_parallel_s : 0.0;
     const bool suite_deterministic = suite_serial == suite_parallel;
 
+    // One environment capture feeds both the report's provenance
+    // block and the history append below.
+    prof::HistoryRecord rec = prof::makeHistoryRecord("bench_perf");
+    rec.metrics = {
+        {"jobs", double(jobs)},
+        {"campaign_serial_seconds", campaign_serial_s},
+        {"campaign_parallel_seconds", campaign_parallel_s},
+        {"campaign_speedup", campaign_speedup},
+        {"suite_serial_seconds", suite_serial_s},
+        {"suite_parallel_seconds", suite_parallel_s},
+        {"suite_speedup", suite_speedup},
+    };
+
     JsonWriter w;
     w.beginObject()
         .field("jobs", jobs)
         .field("hardware_concurrency",
                int(std::thread::hardware_concurrency()))
+        .field("timestamp", rec.timestamp)
+        .field("git_rev", rec.git_rev)
+        .field("host", rec.host)
+        .field("os", rec.os)
+        .field("machine", rec.machine)
         .field("campaign_injections_per_kernel", injections)
         .field("campaign_serial_seconds", campaign_serial_s)
         .field("campaign_parallel_seconds", campaign_parallel_s)
@@ -162,6 +195,9 @@ main(int argc, char **argv)
     if (!f)
         fatal("cannot open report file ", out_path);
     f << w.str() << "\n";
+
+    if (!no_history && !prof::appendHistory(history_path, rec))
+        logWarn("bench", "cannot append history to ", history_path);
 
     if (json)
         std::cout << w.str() << "\n";

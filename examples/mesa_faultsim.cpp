@@ -41,6 +41,7 @@ usage()
         "  --jobs <n>        worker threads for the injection loop\n"
         "                    (default = hardware concurrency; results\n"
         "                    are byte-identical at any job count)\n"
+        "  --log-level <lvl> error | warn | info | debug\n"
         "  --json            machine-readable report\n";
 }
 
@@ -83,6 +84,12 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             params.jobs =
                 resolveJobs(int(std::strtol(next(), nullptr, 10)));
+        } else if (arg == "--log-level") {
+            const std::string name = next();
+            auto level = logLevelByName(name);
+            if (!level)
+                fatal("unknown log level ", name);
+            Logger::global().setLevel(*level);
         } else if (arg == "--json") {
             json = true;
         } else {

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Cycle-attribution profiler CLI: runs suite kernels on a MESA-enabled
+ * system with the prof/ pipeline attached and reports where every
+ * offload cycle went — the taxonomy table, the machine JSON report,
+ * spatial heatmaps, Chrome-trace counter tracks, and a Prometheus
+ * exposition — plus the perf-history append and baseline regression
+ * diff.
+ *
+ *   ./build/examples/mesa_prof --all --jobs 8
+ *   ./build/examples/mesa_prof --kernel srad --heatmap
+ *   ./build/examples/mesa_prof --all --json --out prof.json
+ *   ./build/examples/mesa_prof --all --baseline baselines/mesa_prof_baseline.json
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "prof/history.hh"
+#include "prof/report.hh"
+#include "prof/runner.hh"
+#include "util/json.hh"
+#include "util/json_parse.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+#include "util/stats_registry.hh"
+#include "util/table.hh"
+#include "workloads/kernel.hh"
+
+using namespace mesa;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "mesa_prof — offload cycle-attribution profiler\n"
+        "  --kernel <name>     profile one kernel (repeatable)\n"
+        "  --all               profile the whole suite (default)\n"
+        "  --accel <cfg>       M-64 | M-128 | M-512 (default M-128)\n"
+        "  --scale <n>         iteration count (default 1024)\n"
+        "  --jobs <n>          worker shards (default: hw threads)\n"
+        "  --json              print the JSON report to stdout\n"
+        "  --out <file>        write the JSON report to a file\n"
+        "  --heatmap           ASCII per-PE heatmaps + link table\n"
+        "  --trace-out <file>  Chrome-trace counter tracks\n"
+        "  --metrics-out <file> Prometheus text exposition\n"
+        "  --baseline <file>   diff against a saved JSON report;\n"
+        "                      exit 1 on any metric moving beyond\n"
+        "                      the tolerance\n"
+        "  --tolerance <f>     relative baseline tolerance (0.05)\n"
+        "  --history <file>    perf-history JSONL path\n"
+        "                      (default BENCH_history.jsonl)\n"
+        "  --no-history        skip the history append\n"
+        "  --log-level <lvl>   error | warn | info | debug\n"
+        "  --list              list available kernels\n";
+}
+
+/**
+ * Flatten a saved mesa-prof-1 JSON report into the same key space
+ * flattenProfile() produces, so a baseline diff is an exact
+ * StatsDiff over "kernel.metric" pairs.
+ */
+std::map<std::string, double>
+flattenBaseline(const JsonValue &doc)
+{
+    std::map<std::string, double> flat;
+    auto put = [&flat](const std::string &prefix, const JsonValue &obj) {
+        if (const JsonValue *phases = obj.find("phases");
+            phases && phases->isObject()) {
+            for (const auto &[name, v] : phases->members)
+                flat[prefix + "." + name] = v.asNumber();
+        }
+        if (const JsonValue *t = obj.find("total_offload_cycles"))
+            flat[prefix + ".total_offload_cycles"] = t->asNumber();
+    };
+    if (const JsonValue *kernels = doc.find("kernels");
+        kernels && kernels->isArray()) {
+        for (const JsonValue &k : kernels->items) {
+            const JsonValue *name = k.find("name");
+            if (!name)
+                continue;
+            put(name->asString(), k);
+            if (const JsonValue *ctx = k.find("context"))
+                if (const JsonValue *t = ctx->find("total_cycles"))
+                    flat[name->asString() + ".total_cycles"] =
+                        t->asNumber();
+        }
+    }
+    if (const JsonValue *suite = doc.find("suite"))
+        put("suite", *suite);
+    return flat;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> kernel_names;
+    std::string accel_name = "M-128";
+    std::string out_path, trace_out, metrics_out, baseline_path;
+    std::string history_path = "BENCH_history.jsonl";
+    uint64_t scale = 1024;
+    int jobs = defaultJobs();
+    double tolerance = 0.05;
+    bool json = false;
+    bool heatmap = false;
+    bool all = false;
+    bool no_history = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--kernel") {
+            kernel_names.push_back(next());
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg == "--accel") {
+            accel_name = next();
+        } else if (arg == "--scale") {
+            scale = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            jobs = resolveJobs(int(std::strtol(next(), nullptr, 10)));
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--heatmap") {
+            heatmap = true;
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
+        } else if (arg == "--baseline") {
+            baseline_path = next();
+        } else if (arg == "--tolerance") {
+            tolerance = std::strtod(next(), nullptr);
+        } else if (arg == "--history") {
+            history_path = next();
+        } else if (arg == "--no-history") {
+            no_history = true;
+        } else if (arg == "--log-level") {
+            const std::string name = next();
+            auto level = logLevelByName(name);
+            if (!level)
+                fatal("unknown log level ", name);
+            Logger::global().setLevel(*level);
+        } else if (arg == "--list") {
+            for (const auto &k : workloads::rodiniaSuite({64}))
+                std::cout << k.name << "\n";
+            return 0;
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    core::MesaParams params;
+    if (accel_name == "M-64")
+        params.accel = accel::AccelParams::m64();
+    else if (accel_name == "M-512")
+        params.accel = accel::AccelParams::m512();
+    else
+        params.accel = accel::AccelParams::m128();
+
+    std::vector<workloads::Kernel> kernels;
+    if (all || kernel_names.empty()) {
+        kernels = workloads::rodiniaSuite({scale});
+    } else {
+        for (const auto &name : kernel_names)
+            kernels.push_back(workloads::kernelByName(name, {scale}));
+    }
+
+    const prof::SuiteProfile suite =
+        prof::profileSuite(kernels, params, jobs);
+    const prof::ReportMeta meta{params.accel.name, scale};
+
+    JsonWriter report;
+    prof::writeProfileJson(suite, meta, report);
+
+    if (json) {
+        std::cout << report.str() << "\n";
+    } else {
+        prof::printProfileTable(suite, std::cout);
+        if (heatmap)
+            for (const auto &kp : suite.kernels)
+                prof::printHeatmaps(kp, std::cout);
+    }
+    if (!out_path.empty()) {
+        std::ofstream f(out_path);
+        if (!f)
+            fatal("cannot open report output file ", out_path);
+        f << report.str() << "\n";
+    }
+    if (!trace_out.empty()) {
+        std::ofstream f(trace_out);
+        if (!f)
+            fatal("cannot open trace output file ", trace_out);
+        prof::writeCounterTrace(suite, f);
+    }
+    if (!metrics_out.empty()) {
+        std::ofstream f(metrics_out);
+        if (!f)
+            fatal("cannot open metrics output file ", metrics_out);
+        prof::writePrometheus(suite, meta, f);
+    }
+
+    if (!no_history) {
+        prof::HistoryRecord rec = prof::makeHistoryRecord("mesa_prof");
+        rec.metrics = prof::flattenProfile(suite);
+        if (!prof::appendHistory(history_path, rec))
+            logWarn("prof", "cannot append history to ", history_path);
+    }
+
+    int exit_code = 0;
+    if (!suite.invariant_ok) {
+        std::cerr << "ATTRIBUTION INVARIANT VIOLATED: taxonomy sum != "
+                     "measured offload cycles\n";
+        exit_code = 1;
+    }
+
+    if (!baseline_path.empty()) {
+        std::ifstream f(baseline_path);
+        if (!f)
+            fatal("cannot open baseline file ", baseline_path);
+        std::string text((std::istreambuf_iterator<char>(f)),
+                         std::istreambuf_iterator<char>());
+        auto doc = parseJson(text);
+        if (!doc || !doc->isObject())
+            fatal("baseline is not a JSON object: ", baseline_path);
+
+        const auto before = flattenBaseline(*doc);
+        const auto after = prof::flattenProfile(suite);
+        const StatsDiff diff =
+            diffStatValues(before, after, tolerance);
+        if (diff.empty()) {
+            if (!json)
+                std::cout << "baseline: " << before.size()
+                          << " metrics within "
+                          << TextTable::num(100.0 * tolerance, 1)
+                          << "% of " << baseline_path << "\n";
+        } else {
+            std::cerr << "baseline drift vs " << baseline_path
+                      << " (tolerance "
+                      << TextTable::num(100.0 * tolerance, 1)
+                      << "%):\n";
+            for (const auto &c : diff.changed) {
+                std::cerr << "  " << c.path << ": " << c.before
+                          << " -> " << c.after << " ("
+                          << TextTable::num(100.0 * c.relDelta(), 1)
+                          << "%)\n";
+            }
+            for (const auto &p : diff.added)
+                std::cerr << "  + " << p << " (new metric)\n";
+            for (const auto &p : diff.removed)
+                std::cerr << "  - " << p << " (metric vanished)\n";
+            exit_code = 1;
+        }
+    }
+    return exit_code;
+}

@@ -61,6 +61,7 @@ usage()
         "                      the MESA run (load in Perfetto)\n"
         "  --stats-json <file> write the full stats registry as JSON\n"
         "  --stats-every <n>   snapshot stats every n accel iterations\n"
+        "  --log-level <lvl>   error | warn | info | debug\n"
         "  --list              list available kernels\n";
 }
 
@@ -140,6 +141,12 @@ main(int argc, char **argv)
             stats_json = next();
         } else if (arg == "--stats-every") {
             stats_every = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--log-level") {
+            const std::string name = next();
+            auto level = logLevelByName(name);
+            if (!level)
+                fatal("unknown log level ", name);
+            Logger::global().setLevel(*level);
         } else if (arg == "--list") {
             for (const auto &k : workloads::rodiniaSuite({64}))
                 std::cout << k.name << "\n";

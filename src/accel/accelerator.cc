@@ -86,7 +86,23 @@ Accelerator::configure(const AcceleratorConfig &config)
     iter_done_.assign(config_.slots.size(), 0);
     iter_taken_.assign(config_.slots.size(), 0);
     iter_group_done_.clear();
+    if (prof_)
+        prof_slot_.assign(config_.slots.size(), ProfSlot{});
     resetCounters();
+}
+
+void
+Accelerator::setProfile(prof::AccelProfile *profile)
+{
+    prof_ = profile;
+    if (prof_) {
+        if (prof_->rows() != params_.rows || prof_->cols() != params_.cols)
+            prof_->resize(params_.rows, params_.cols);
+        prof_slot_.assign(config_.slots.size(), ProfSlot{});
+    } else {
+        prof_slot_.clear();
+        prof_slot_.shrink_to_fit();
+    }
 }
 
 void
@@ -212,6 +228,22 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
     done.assign(n, iter_start);
     taken.assign(n, 0);
     iter_group_done_.clear();
+    if (prof_)
+        prof_slot_.assign(n, ProfSlot{});
+
+    // Remember how each slot's inputs arrived (profiling only), so
+    // attributeIteration can walk the critical path backwards. For
+    // the third (guard / forwarded-old-value) input only the
+    // dominating arrival matters.
+    auto recordEdge = [&](NodeId node, int operand, NodeId src,
+                          uint64_t t0, uint64_t arr, bool noc) {
+        ProfSlot &ps = prof_slot_[size_t(node)];
+        const int e = operand < 2 ? operand : 2;
+        if (e == 2 && ps.e[2].used && ps.e[2].arr >= arr)
+            return;
+        ps.e[size_t(e)] = ProfEdge{int32_t(src), t0, arr, noc, true};
+    };
+
     auto groupDone = [&](int group) -> uint64_t * {
         for (auto &[g, cycle] : iter_group_done_)
             if (g == group)
@@ -234,6 +266,10 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
                 edge_latency1_[size_t(slot.node)].sample(double(arr - t0));
             else if (operand == 1)
                 edge_latency2_[size_t(slot.node)].sample(double(arr - t0));
+            if (prof_) {
+                recordEdge(slot.node, operand, src, t0, arr, true);
+                ++prof_->fallback_transfers;
+            }
             return arr;
         }
         const uint32_t base = ic_->latency(from, slot.pos);
@@ -244,6 +280,16 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
             start = std::max(t0, free);
             free = start + 1;
             ++result.noc_transfers;
+            if (prof_) {
+                prof::LinkStats &ls = prof_->links[bus];
+                ++ls.transfers;
+                ls.wait_cycles += start - t0;
+                if (!prof_->link_coords.count(bus)) {
+                    const Coord anchor = ic_->busCoord(bus);
+                    prof_->link_coords.emplace(
+                        bus, std::make_pair(anchor.r, anchor.c));
+                }
+            }
         } else {
             ++result.local_transfers;
         }
@@ -252,6 +298,12 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
             edge_latency1_[size_t(slot.node)].sample(double(arr - t0));
         else if (operand == 1)
             edge_latency2_[size_t(slot.node)].sample(double(arr - t0));
+        if (prof_) {
+            recordEdge(slot.node, operand, src, t0, arr, bus >= 0);
+            const Coord phys = physicalPos(slot.pos, inst_index);
+            if (phys.valid() && prof_->inGrid(phys.r, phys.c))
+                ++prof_->pe_traffic[prof_->index(phys.r, phys.c)];
+        }
         return arr;
     };
 
@@ -285,6 +337,14 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
             out[i] = old_val;
             done[i] = std::max(guard_arr, old_avail);
             ++result.disabled_ops;
+            if (prof_) {
+                // Zero-length service: the slot's completion is set
+                // entirely by its guard / forwarded-value arrivals.
+                ProfSlot &ps = prof_slot_[i];
+                ps.ready = done[i];
+                ps.done = done[i];
+                ps.mem = false;
+            }
             continue;
         }
 
@@ -460,6 +520,19 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
             cls == OpClass::FpDiv) {
             result.fp_busy_cycles += busy;
         }
+        if (prof_) {
+            ProfSlot &ps = prof_slot_[i];
+            ps.ready = ready;
+            ps.done = done[i];
+            ps.mem = cls == OpClass::Load || cls == OpClass::Store;
+            const Coord phys = physicalPos(slot.pos, inst_index);
+            if (phys.valid() && prof_->inGrid(phys.r, phys.c)) {
+                const size_t pidx = prof_->index(phys.r, phys.c);
+                prof_->pe_busy[pidx] += busy;
+                prof_->pe_wait[pidx] += ready - iter_start;
+                ++prof_->pe_ops[pidx];
+            }
+        }
     }
 
     // In-order store commit ends the iteration.
@@ -475,9 +548,80 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
     }
 
     ++inst.iterations;
+    // The iteration's *exposed* wall window is whatever it extends
+    // past this instance's previous critical end: back-to-back
+    // iterations expose [iter_start, end], pipelined ones only their
+    // uncovered tail. The exposed windows tile [0, last_end] exactly.
+    if (prof_ && end > inst.last_end)
+        attributeIteration(inst, inst.last_end, end);
     inst.last_end = std::max(inst.last_end, end);
     inst.next_floor = config_.pipelined ? iter_start + 1 : end;
     return taken[n - 1] != 0;
+}
+
+void
+Accelerator::attributeIteration(Instance &inst, uint64_t lo, uint64_t end)
+{
+    const size_t n = config_.slots.size();
+    uint64_t max_done = 0;
+    size_t critical = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (iter_done_[i] > max_done) {
+            max_done = iter_done_[i];
+            critical = i;
+        }
+    }
+    // Wall time past the last slot completion is the in-order
+    // store-commit drain.
+    if (end > max_done)
+        inst.prof_mem += end - std::max(lo, max_done);
+    if (max_done <= lo)
+        return;
+
+    // Walk the critical path backwards from the latest-finishing
+    // slot. Each step attributes one contiguous segment — the slot's
+    // service time, then the input transfer that released it — and
+    // recurses into the producer, so the segments tile [lo, max_done]
+    // with no gaps or overlaps (the sum invariant).
+    size_t slot = critical;
+    uint64_t t = max_done;
+    size_t steps = 0;
+    const size_t max_steps = 4 * n + 16;
+    while (t > lo) {
+        if (++steps > max_steps) {
+            // Every edge hop costs >= 1 cycle, so the walk shortens t
+            // each step; this cap is a safety net, never expected.
+            inst.prof_compute += t - lo;
+            break;
+        }
+        const ProfSlot &ps = prof_slot_[slot];
+        const uint64_t svc_lo = std::max(lo, ps.ready);
+        if (t > svc_lo)
+            (ps.mem ? inst.prof_mem : inst.prof_compute) += t - svc_lo;
+        if (ps.ready <= lo)
+            break;
+        t = ps.ready;
+        const ProfEdge *edge = nullptr;
+        for (const ProfEdge &e : ps.e) {
+            if (e.used && e.arr == t) {
+                edge = &e;
+                break;
+            }
+        }
+        if (!edge) {
+            // Released by the iteration floor, a live-in register, or
+            // PE issue-slot reuse: fabric occupancy, i.e. compute.
+            inst.prof_compute += t - lo;
+            break;
+        }
+        const uint64_t hop_lo = std::max(lo, edge->t0);
+        if (t > hop_lo)
+            (edge->noc ? inst.prof_noc : inst.prof_compute) += t - hop_lo;
+        if (edge->t0 <= lo)
+            break;
+        t = edge->t0;
+        slot = size_t(edge->src);
+    }
 }
 
 AccelRunResult
@@ -520,6 +664,7 @@ Accelerator::run(riscv::ArchState &state, uint64_t max_iterations,
         inst.last_end = 0;
         inst.iterations = 0;
         inst.done = false;
+        inst.prof_compute = inst.prof_noc = inst.prof_mem = 0;
         std::fill(pe_free_[k].begin(), pe_free_[k].end(), 0);
     }
 
@@ -641,8 +786,13 @@ Accelerator::run(riscv::ArchState &state, uint64_t max_iterations,
         state.pc = config_.region_start;
     }
 
-    for (const auto &inst : instances_)
-        result.cycles = std::max(result.cycles, inst.last_end);
+    size_t critical_inst = 0;
+    for (size_t k = 0; k < instances_.size(); ++k) {
+        if (instances_[k].last_end > result.cycles) {
+            result.cycles = instances_[k].last_end;
+            critical_inst = k;
+        }
+    }
     if (Tracer::active()) {
         // One span per tile instance on the accelerator's local
         // timeline (the controller anchors the base at the epoch
@@ -665,6 +815,19 @@ Accelerator::run(riscv::ArchState &state, uint64_t max_iterations,
             std::ceil(double(result.dram_accesses) /
                       params_.dram_accesses_per_cycle));
         result.cycles = std::max(result.cycles, floor);
+    }
+    if (prof_) {
+        // The run's device cycles equal the critical instance's wall
+        // time, so that instance's window decomposition *is* the
+        // run's attribution; cycles the DRAM bandwidth floor added on
+        // top of the dataflow schedule are memory stall. The three
+        // buckets grow by exactly result.cycles.
+        const Instance &ci = instances_[critical_inst];
+        prof_->compute_cycles += ci.prof_compute;
+        prof_->noc_stall_cycles += ci.prof_noc;
+        prof_->mem_stall_cycles += ci.prof_mem;
+        prof_->mem_stall_cycles += result.cycles - ci.last_end;
+        prof_->port_wait_cycles += ports_.contentionWait();
     }
     return result;
 }

@@ -28,6 +28,7 @@
 #include "mem/cache.hh"
 #include "mem/lsq.hh"
 #include "mem/memory.hh"
+#include "prof/profile.hh"
 #include "riscv/emulator.hh"
 #include "util/stats.hh"
 
@@ -139,6 +140,17 @@ class Accelerator
      */
     std::vector<ic::Coord> selfTest() const;
 
+    /**
+     * Attach (or detach, with nullptr) a cycle-attribution profile.
+     * While attached, every run() decomposes its wall cycles into
+     * compute / NoC-stall / mem-stall — summing exactly to the cycles
+     * it returns — and feeds the spatial per-PE / per-link counters.
+     * Detached profiling is zero-cost beyond one pointer test per
+     * guarded site. The profile is resized to the physical grid.
+     */
+    void setProfile(prof::AccelProfile *profile);
+    prof::AccelProfile *profile() const { return prof_; }
+
     /** Measured average execution latency of a node (PE counters). */
     double measuredNodeLatency(dfg::NodeId id) const;
 
@@ -159,10 +171,47 @@ class Accelerator
         uint64_t last_end = 0;
         uint64_t iterations = 0;
         bool done = false;
+
+        // Per-instance cycle attribution (profiling only): the
+        // exposed wall windows of this instance's iterations, split
+        // compute / NoC stall / mem stall. The critical (slowest)
+        // instance's split is the run's device-cycle attribution.
+        uint64_t prof_compute = 0;
+        uint64_t prof_noc = 0;
+        uint64_t prof_mem = 0;
+    };
+
+    /**
+     * Profiling scratch: how each slot's completion this iteration
+     * was produced, enough to walk the critical path backwards.
+     */
+    struct ProfEdge
+    {
+        int32_t src = -1;  ///< Producer slot index.
+        uint64_t t0 = 0;   ///< Producer completion (segment start).
+        uint64_t arr = 0;  ///< Arrival at the consumer.
+        bool noc = false;  ///< Shared-bus or fallback-bus transfer.
+        bool used = false;
+    };
+
+    struct ProfSlot
+    {
+        uint64_t ready = 0; ///< Service start (== done when disabled).
+        uint64_t done = 0;
+        bool mem = false;   ///< Service segment is memory time.
+        std::array<ProfEdge, 3> e; ///< Operand 0/1, max guard input.
     };
 
     /** One iteration of one instance; returns loop-continue. */
     bool runIteration(Instance &inst, AccelRunResult &result);
+
+    /**
+     * Decompose one iteration's exposed wall window [lo, end) of
+     * @p inst by walking the critical path backwards through the
+     * recorded ProfSlot bindings (see prof/profile.hh for the model).
+     * The attributed segments tile the window exactly.
+     */
+    void attributeIteration(Instance &inst, uint64_t lo, uint64_t end);
 
     /** Physical PE a slot executes on for a given tile instance. */
     ic::Coord physicalPos(ic::Coord pos, size_t inst_index) const;
@@ -177,6 +226,8 @@ class Accelerator
     std::vector<Instance> instances_;
     std::string trace_track_ = "accel";
     FaultPlane fault_plane_;
+    prof::AccelProfile *prof_ = nullptr;
+    std::vector<ProfSlot> prof_slot_; ///< Sized with the config.
 
     /** Per-PE busy tracking keyed by flattened virtual position
      *  (pipelining resource constraint; time-multiplexed nodes share

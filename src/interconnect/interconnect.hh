@@ -60,6 +60,19 @@ class Interconnect
         return -1;
     }
 
+    /**
+     * Grid anchor of a shared-bus segment, for spatial profiling: the
+     * coordinate of the ring stop / row buffer the bus id denotes.
+     * Invalid coordinate when the id is unknown or the backend has no
+     * meaningful placement for it.
+     */
+    virtual Coord
+    busCoord(int bus) const
+    {
+        (void)bus;
+        return {};
+    }
+
     virtual const char *name() const = 0;
 };
 
@@ -99,6 +112,12 @@ class HierRowInterconnect : public Interconnect
     {
         // Cross-row transfers share the destination row's bus.
         return from.r == to.r ? -1 : to.r;
+    }
+
+    Coord
+    busCoord(int bus) const override
+    {
+        return bus >= 0 ? Coord{bus, 0} : Coord{};
     }
 
     const char *name() const override { return "hier-row"; }
@@ -151,6 +170,14 @@ class AccelNocInterconnect : public Interconnect
         // Routing logic sits at every slice (4 PEs), so transfers to
         // different destination slices occupy different ring stops.
         return to.r * 64 + to.c / slice_width_;
+    }
+
+    Coord
+    busCoord(int bus) const override
+    {
+        if (bus < 0)
+            return {};
+        return {bus / 64, (bus % 64) * slice_width_};
     }
 
     const char *name() const override { return "accel-noc"; }

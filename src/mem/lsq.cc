@@ -21,7 +21,9 @@ PortPool::acquire(uint64_t request_cycle)
 {
     // First cycle at or after the request with a free port; each
     // access occupies its port for one cycle.
-    return pool_.acquire(request_cycle);
+    const uint64_t booked = pool_.acquire(request_cycle);
+    wait_cycles_ += booked - request_cycle;
+    return booked;
 }
 
 LoadStoreUnit::LoadStoreUnit(MainMemory &mem, MemHierarchy &hierarchy,

@@ -38,10 +38,24 @@ class PortPool
     uint64_t acquire(uint64_t request_cycle);
 
     unsigned size() const { return pool_.capacity(); }
-    void reset() { pool_.reset(); }
+
+    /**
+     * Cycles accesses spent queued behind busy ports since the last
+     * reset(): sum over acquire() calls of booked - requested. Feeds
+     * the profiler's memory-port contention counter.
+     */
+    uint64_t contentionWait() const { return wait_cycles_; }
+
+    void
+    reset()
+    {
+        pool_.reset();
+        wait_cycles_ = 0;
+    }
 
   private:
     SlotPool pool_;
+    uint64_t wait_cycles_ = 0;
 };
 
 /** Completion record for one load. */

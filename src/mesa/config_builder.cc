@@ -159,7 +159,7 @@ ConfigBlock::build(const Ldfg &ldfg, const Sdfg &sdfg,
                                        : std::max(1, options.tile_factor);
     if (tiles > 1) {
         if (cfg.inductions.empty()) {
-            warn("ConfigBlock: tiling requested but no induction "
+            logWarn("config", "ConfigBlock: tiling requested but no induction "
                  "register found; disabling tiling");
             tiles = 1;
         }

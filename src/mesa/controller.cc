@@ -175,6 +175,33 @@ MesaController::attachStats(StatsRegistry *registry,
 }
 
 void
+MesaController::attachProfile(prof::AccelProfile *profile)
+{
+    profile_ = profile;
+    accel_.setProfile(profile);
+}
+
+std::array<uint64_t, 3>
+MesaController::profileMark() const
+{
+    if (!profile_)
+        return {};
+    return {profile_->compute_cycles, profile_->noc_stall_cycles,
+            profile_->mem_stall_cycles};
+}
+
+void
+MesaController::profileCapture(const std::array<uint64_t, 3> &mark,
+                               OffloadStats &os) const
+{
+    if (!profile_)
+        return;
+    os.prof_compute_cycles = profile_->compute_cycles - mark[0];
+    os.prof_noc_stall_cycles = profile_->noc_stall_cycles - mark[1];
+    os.prof_mem_stall_cycles = profile_->mem_stall_cycles - mark[2];
+}
+
+void
 MesaController::bumpFallback(FallbackReason reason)
 {
     if (stats_ && live_.fallbacks[int(reason)])
@@ -869,7 +896,9 @@ MesaController::offloadLoop(const std::vector<Instruction> &body,
     if (stats_)
         ++*live_.offloads;
 
+    const auto prof_mark = profileMark();
     runGuarded(prep, state, max_iterations, os);
+    profileCapture(prof_mark, os);
     return os;
 }
 
@@ -1065,7 +1094,9 @@ MesaController::runTransparent(const riscv::Program &program,
         }
         if (stats_)
             ++*live_.offloads;
+        const auto prof_mark = profileMark();
         runGuarded(prep, emu.state(), ~uint64_t(0), os);
+        profileCapture(prof_mark, os);
         cpu_seg_start = tracer.now();
         result.offloads.push_back(os);
         monitor.rearm();

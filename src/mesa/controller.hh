@@ -13,6 +13,7 @@
 #ifndef MESA_MESA_CONTROLLER_HH
 #define MESA_MESA_CONTROLLER_HH
 
+#include <array>
 #include <functional>
 #include <map>
 #include <optional>
@@ -165,6 +166,16 @@ struct OffloadStats
     uint64_t accel_iterations = 0;
     accel::AccelRunResult accel; ///< Aggregated accelerator counters.
 
+    /**
+     * Device-cycle attribution for this offload, captured from the
+     * attached profile (zero when none is attached or the offload was
+     * served by an arbiter). When captured, the three buckets sum to
+     * accel_cycles exactly.
+     */
+    uint64_t prof_compute_cycles = 0;
+    uint64_t prof_noc_stall_cycles = 0;
+    uint64_t prof_mem_stall_cycles = 0;
+
     /** Why this region fell back to the CPU (None = it did not). */
     FallbackReason fallback = FallbackReason::None;
     /** Instructions the CPU re-executed after a rollback (or executed
@@ -310,6 +321,16 @@ class MesaController
                      uint64_t snapshot_iterations = 0);
 
     /**
+     * Attach a cycle-attribution profile (prof/): forwards to the
+     * private accelerator and makes every inline offload capture its
+     * compute / NoC-stall / mem-stall split into OffloadStats. Pass
+     * nullptr to detach; detached profiling costs nothing. The
+     * profile must outlive the controller's runs.
+     */
+    void attachProfile(prof::AccelProfile *profile);
+    prof::AccelProfile *profile() const { return profile_; }
+
+    /**
      * Attach a shared offload arbiter: qualified regions enqueue with
      * it (tagged with this controller's tenant id and priority)
      * instead of running inline. Pass nullptr to detach and return to
@@ -377,6 +398,16 @@ class MesaController
      *  from @p state (the recovery path after a rollback). */
     void cpuReexecute(riscv::ArchState &state, OffloadStats &os);
 
+    /**
+     * Capture the attached profile's device-cycle attribution before
+     * a guarded run (profileMark) and store the growth into the
+     * offload's prof_* fields afterwards (profileCapture). No-ops
+     * without an attached profile.
+     */
+    std::array<uint64_t, 3> profileMark() const;
+    void profileCapture(const std::array<uint64_t, 3> &mark,
+                        OffloadStats &os) const;
+
     /** Post-detection bookkeeping: fallback stats, quarantine strike,
      *  cache invalidation, and the self test -> PE retirement path. */
     void onFaultDetected(OffloadStats &os);
@@ -437,6 +468,7 @@ class MesaController
     ConfigCache config_cache_;
 
     StatsRegistry *stats_ = nullptr;
+    prof::AccelProfile *profile_ = nullptr;
     LiveStats live_;
     std::map<std::string, Counter *> verify_rule_counters_;
     uint64_t snapshot_iterations_ = 0;

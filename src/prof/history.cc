@@ -1,0 +1,163 @@
+#include "prof/history.hh"
+
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <sys/utsname.h>
+
+#include "util/json.hh"
+#include "util/json_parse.hh"
+
+namespace mesa::prof
+{
+
+namespace
+{
+
+std::string
+trimmed(std::string s)
+{
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r' ||
+                          s.back() == ' '))
+        s.pop_back();
+    return s;
+}
+
+std::string
+readFirstLine(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return {};
+    std::string line;
+    std::getline(in, line);
+    return trimmed(line);
+}
+
+} // namespace
+
+std::string
+gitRevision(const std::string &dir)
+{
+    // Walk up a few levels looking for .git/HEAD; follow one level of
+    // "ref: refs/..." indirection (loose ref, then packed-refs).
+    std::string base = dir;
+    for (int depth = 0; depth < 6; ++depth, base += "/..") {
+        const std::string head = readFirstLine(base + "/.git/HEAD");
+        if (head.empty())
+            continue;
+        if (head.rfind("ref: ", 0) != 0)
+            return head; // detached HEAD: the hash itself
+        const std::string ref = head.substr(5);
+        const std::string loose = readFirstLine(base + "/.git/" + ref);
+        if (!loose.empty())
+            return loose;
+        std::ifstream packed(base + "/.git/packed-refs");
+        std::string line;
+        while (std::getline(packed, line)) {
+            if (line.size() > ref.size() + 41 &&
+                line.compare(41, ref.size(), ref) == 0) {
+                return line.substr(0, 40);
+            }
+        }
+        return {};
+    }
+    return {};
+}
+
+HistoryRecord
+makeHistoryRecord(const std::string &tool)
+{
+    HistoryRecord rec;
+    rec.tool = tool;
+
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    rec.timestamp = buf;
+
+    rec.git_rev = gitRevision();
+
+    struct utsname un{};
+    if (uname(&un) == 0) {
+        rec.host = un.nodename;
+        rec.os = std::string(un.sysname) + " " + un.release;
+        rec.machine = un.machine;
+    }
+    rec.hardware_concurrency = std::thread::hardware_concurrency();
+    return rec;
+}
+
+std::string
+historyRecordJson(const HistoryRecord &rec)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("tool", rec.tool);
+    w.field("timestamp", rec.timestamp);
+    w.field("git_rev", rec.git_rev);
+    w.field("host", rec.host);
+    w.field("os", rec.os);
+    w.field("machine", rec.machine);
+    w.field("hardware_concurrency", rec.hardware_concurrency);
+    w.key("metrics").beginObject();
+    for (const auto &[name, value] : rec.metrics)
+        w.field(name, value);
+    w.end();
+    w.end();
+    return w.str();
+}
+
+bool
+appendHistory(const std::string &path, const HistoryRecord &rec)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        return false;
+    out << historyRecordJson(rec) << "\n";
+    return bool(out);
+}
+
+std::vector<HistoryRecord>
+readHistory(const std::string &path)
+{
+    std::vector<HistoryRecord> records;
+    std::ifstream in(path);
+    if (!in)
+        return records;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        auto doc = parseJson(line);
+        if (!doc || !doc->isObject())
+            continue; // tolerate partial/corrupt lines
+        HistoryRecord rec;
+        auto str = [&](const char *key) {
+            const JsonValue *v = doc->find(key);
+            return v ? v->asString() : std::string{};
+        };
+        rec.tool = str("tool");
+        rec.timestamp = str("timestamp");
+        rec.git_rev = str("git_rev");
+        rec.host = str("host");
+        rec.os = str("os");
+        rec.machine = str("machine");
+        if (const JsonValue *v = doc->find("hardware_concurrency"))
+            rec.hardware_concurrency = unsigned(v->asNumber());
+        if (const JsonValue *m = doc->find("metrics");
+            m && m->isObject()) {
+            for (const auto &[name, value] : m->members)
+                if (value.isNumber())
+                    rec.metrics[name] = value.number;
+        }
+        records.push_back(std::move(rec));
+    }
+    return records;
+}
+
+} // namespace mesa::prof

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The persistent perf-history pipeline (ROADMAP item 5): bench_perf
+ * and mesa_prof append one JSONL record per run — timestamp, git
+ * revision, host identity, hardware_concurrency, and the run's
+ * metrics — to BENCH_history.jsonl instead of overwriting a single
+ * report. A speedup number is only interpretable next to the machine
+ * that produced it; the history keeps the trajectory comparable
+ * across commits and hosts.
+ *
+ * Record schema (one JSON object per line):
+ *   {"tool": "...", "timestamp": "2026-08-08T12:34:56Z",
+ *    "git_rev": "...", "host": "...", "os": "...", "machine": "...",
+ *    "hardware_concurrency": N, "metrics": {"<name>": <number>, ...}}
+ */
+
+#ifndef MESA_PROF_HISTORY_HH
+#define MESA_PROF_HISTORY_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mesa::prof
+{
+
+/** One perf-history datapoint. */
+struct HistoryRecord
+{
+    std::string tool;      ///< "bench_perf", "mesa_prof", ...
+    std::string timestamp; ///< ISO-8601 UTC.
+    std::string git_rev;   ///< HEAD commit hash ("" when unknown).
+    std::string host;      ///< Node name.
+    std::string os;        ///< Kernel name + release.
+    std::string machine;   ///< Hardware identifier (e.g. x86_64).
+    unsigned hardware_concurrency = 0;
+    std::map<std::string, double> metrics;
+};
+
+/** A record pre-filled with the current environment (no metrics). */
+HistoryRecord makeHistoryRecord(const std::string &tool);
+
+/** Serialize one record to its single-line JSON form. */
+std::string historyRecordJson(const HistoryRecord &rec);
+
+/** Append @p rec to the JSONL file at @p path (created if absent).
+ *  @return false when the file cannot be opened for append. */
+bool appendHistory(const std::string &path, const HistoryRecord &rec);
+
+/** Read every parseable record from a JSONL history file. */
+std::vector<HistoryRecord> readHistory(const std::string &path);
+
+/** HEAD commit hash, walking up from @p dir to find .git ("" =
+ *  not a repository / unreadable). */
+std::string gitRevision(const std::string &dir = ".");
+
+} // namespace mesa::prof
+
+#endif // MESA_PROF_HISTORY_HH

@@ -1,0 +1,101 @@
+#include "prof/profile.hh"
+
+#include "util/logging.hh"
+
+namespace mesa::prof
+{
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::MonitorDetect: return "monitor_detect";
+      case Phase::Encode: return "encode";
+      case Phase::Map: return "map";
+      case Phase::ConfigGen: return "config_gen";
+      case Phase::VerifyGate: return "verify_gate";
+      case Phase::ConfigStream: return "config_stream";
+      case Phase::Compute: return "compute";
+      case Phase::NocStall: return "noc_stall";
+      case Phase::MemStall: return "mem_stall";
+      case Phase::SchedWait: return "sched_wait";
+      case Phase::FaultRecovery: return "fault_recovery";
+    }
+    return "?";
+}
+
+const char *
+phaseLabel(Phase p)
+{
+    switch (p) {
+      case Phase::MonitorDetect: return "monitor/detect";
+      case Phase::Encode: return "LDFG encode";
+      case Phase::Map: return "spatial map";
+      case Phase::ConfigGen: return "config gen";
+      case Phase::VerifyGate: return "verify gate";
+      case Phase::ConfigStream: return "config stream";
+      case Phase::Compute: return "compute";
+      case Phase::NocStall: return "NoC stall";
+      case Phase::MemStall: return "mem stall";
+      case Phase::SchedWait: return "sched wait";
+      case Phase::FaultRecovery: return "fault recovery";
+    }
+    return "?";
+}
+
+void
+AccelProfile::merge(const AccelProfile &other)
+{
+    if (rows_ == 0 && cols_ == 0 && other.rows_ > 0)
+        resize(other.rows_, other.cols_);
+    MESA_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+                "AccelProfile::merge: grid shape mismatch");
+    compute_cycles += other.compute_cycles;
+    noc_stall_cycles += other.noc_stall_cycles;
+    mem_stall_cycles += other.mem_stall_cycles;
+    for (size_t i = 0; i < pe_busy.size(); ++i) {
+        pe_busy[i] += other.pe_busy[i];
+        pe_wait[i] += other.pe_wait[i];
+        pe_ops[i] += other.pe_ops[i];
+        pe_traffic[i] += other.pe_traffic[i];
+    }
+    for (const auto &[bus, stats] : other.links) {
+        links[bus].transfers += stats.transfers;
+        links[bus].wait_cycles += stats.wait_cycles;
+    }
+    for (const auto &[bus, coord] : other.link_coords)
+        link_coords.emplace(bus, coord);
+    port_wait_cycles += other.port_wait_cycles;
+    fallback_transfers += other.fallback_transfers;
+}
+
+void
+SuiteProfile::add(KernelProfile kp)
+{
+    phases.accumulate(kp.phases);
+    total_offload_cycles += kp.total_offload_cycles;
+    invariant_ok = invariant_ok && kp.invariant_ok;
+    kernels.push_back(std::move(kp));
+}
+
+std::map<std::string, double>
+flattenProfile(const SuiteProfile &suite)
+{
+    std::map<std::string, double> flat;
+    auto put = [&flat](const std::string &prefix, const PhaseBreakdown &pb,
+                       uint64_t total) {
+        for (size_t i = 0; i < PhaseCount; ++i) {
+            flat[prefix + "." + phaseName(Phase(i))] =
+                double(pb.cycles[i]);
+        }
+        flat[prefix + ".total_offload_cycles"] = double(total);
+    };
+    for (const auto &kp : suite.kernels) {
+        put(kp.kernel, kp.phases, kp.total_offload_cycles);
+        flat[kp.kernel + ".total_cycles"] = double(kp.total_cycles);
+    }
+    put("suite", suite.phases, suite.total_offload_cycles);
+    return flat;
+}
+
+} // namespace mesa::prof

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Cycle-attribution profile types (ROADMAP items 2 and 5: a bottleneck
+ * signal per kernel, not just end-to-end speedup). An offload's wall
+ * cycles are decomposed into a fixed taxonomy whose buckets sum to the
+ * total *exactly* — the invariant every report checks — plus spatial
+ * per-PE and per-NoC-link counters rendered as heatmaps.
+ *
+ * Attribution model. The controller's timing composes an offload as
+ *
+ *   total = encode + map + (config stream + reconfig) + sched wait
+ *         + device cycles + fault re-execution
+ *
+ * so the translation, streaming, scheduling, and recovery buckets are
+ * read directly off OffloadStats. The device-cycle term is decomposed
+ * by the accelerator: for each iteration of the critical (slowest)
+ * instance, the exposed wall window since that instance's previous
+ * iteration end is walked backwards along the binding chain of the
+ * latest-finishing slot — PE service segments count as compute (or
+ * memory stall for loads), shared-bus waits and NoC hop latencies as
+ * NoC stall, and in-order store-commit drain as memory stall — tiling
+ * the window with no gaps or overlaps. Cycles the DRAM bandwidth floor
+ * adds on top of the dataflow schedule are memory stall.
+ *
+ * Buckets that are structurally concurrent with CPU progress in this
+ * timing model (monitor/detect, config generation, the verify gate)
+ * are kept in the taxonomy at zero cost so the sum stays exact and the
+ * taxonomy stays stable as the timing model grows costs for them;
+ * their *activity* is reported separately in the overlapped section.
+ *
+ * Everything here is core-free (plain integers, no accelerator types)
+ * so mesa_util-level tools can link it without dragging in the
+ * simulator; the runner that produces profiles lives in prof/runner.
+ */
+
+#ifndef MESA_PROF_PROFILE_HH
+#define MESA_PROF_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mesa::prof
+{
+
+/** The attribution taxonomy. Order is the canonical report order. */
+enum class Phase
+{
+    MonitorDetect = 0, ///< Loop detection / hotness monitoring.
+    Encode,            ///< LDFG encoding (translation stage 1).
+    Map,               ///< imap spatial mapping (translation stage 2).
+    ConfigGen,         ///< Bitstream build (translation stage 3).
+    VerifyGate,        ///< Static verifier gate before offload.
+    ConfigStream,      ///< Config streaming + reconfigurations.
+    Compute,           ///< PE busy + operand forwarding on the fabric.
+    NocStall,          ///< Shared-bus contention + NoC hop latency.
+    MemStall,          ///< Load/store service + port + commit drain.
+    SchedWait,         ///< Multi-tenant scheduler queueing.
+    FaultRecovery,     ///< CPU re-execution after guard rejection.
+};
+
+constexpr size_t PhaseCount = 11;
+
+/** Stable lower-case identifier ("noc_stall") for reports/metrics. */
+const char *phaseName(Phase p);
+
+/** Short human label ("NoC stall") for tables. */
+const char *phaseLabel(Phase p);
+
+/** Cycles per taxonomy bucket; sums exactly to the attributed total. */
+struct PhaseBreakdown
+{
+    std::array<uint64_t, PhaseCount> cycles{};
+
+    uint64_t &operator[](Phase p) { return cycles[size_t(p)]; }
+    uint64_t operator[](Phase p) const { return cycles[size_t(p)]; }
+
+    uint64_t
+    total() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t c : cycles)
+            sum += c;
+        return sum;
+    }
+
+    void
+    accumulate(const PhaseBreakdown &other)
+    {
+        for (size_t i = 0; i < PhaseCount; ++i)
+            cycles[i] += other.cycles[i];
+    }
+};
+
+/** Per-shared-bus (NoC segment) traffic and contention. */
+struct LinkStats
+{
+    uint64_t transfers = 0;   ///< Transfers that crossed this bus.
+    uint64_t wait_cycles = 0; ///< Cycles transfers queued for it.
+};
+
+/**
+ * Accumulators the accelerator engine feeds while a profile is
+ * attached: the device-cycle attribution split plus the spatial
+ * per-PE / per-link counters. One AccelProfile spans a whole kernel
+ * run (all offloads and epochs).
+ */
+class AccelProfile
+{
+  public:
+    AccelProfile() = default;
+    AccelProfile(int rows, int cols) { resize(rows, cols); }
+
+    void
+    resize(int rows, int cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        const size_t n = size_t(rows) * size_t(cols);
+        pe_busy.assign(n, 0);
+        pe_wait.assign(n, 0);
+        pe_ops.assign(n, 0);
+        pe_traffic.assign(n, 0);
+    }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    size_t
+    index(int r, int c) const
+    {
+        return size_t(r) * size_t(cols_) + size_t(c);
+    }
+
+    bool
+    inGrid(int r, int c) const
+    {
+        return r >= 0 && c >= 0 && r < rows_ && c < cols_;
+    }
+
+    /** Device-cycle attribution (critical-instance decomposition). */
+    uint64_t compute_cycles = 0;
+    uint64_t noc_stall_cycles = 0;
+    uint64_t mem_stall_cycles = 0;
+
+    uint64_t
+    attributedTotal() const
+    {
+        return compute_cycles + noc_stall_cycles + mem_stall_cycles;
+    }
+
+    // Spatial counters, row-major over the physical grid.
+    std::vector<uint64_t> pe_busy;    ///< Cycles executing an op.
+    std::vector<uint64_t> pe_wait;    ///< Cycles stalled for operands.
+    std::vector<uint64_t> pe_ops;     ///< Dynamic operations executed.
+    std::vector<uint64_t> pe_traffic; ///< Transfers terminating here.
+
+    /** Shared-bus counters keyed by interconnect bus id. */
+    std::map<int, LinkStats> links;
+
+    /** Bus id -> grid anchor, for rendering links onto the heatmap. */
+    std::map<int, std::pair<int, int>> link_coords;
+
+    /** Memory-port contention wait (informational; inside MemStall). */
+    uint64_t port_wait_cycles = 0;
+
+    /** Transfers that fell back to the global bus (invalid position). */
+    uint64_t fallback_transfers = 0;
+
+    void merge(const AccelProfile &other);
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+};
+
+/** One offload region's attributed cycles. */
+struct OffloadRow
+{
+    uint32_t region_pc = 0;   ///< Loop head PC of the offloaded region.
+    PhaseBreakdown phases;
+    uint64_t total_cycles = 0; ///< Measured wall cycles of the offload.
+    bool fallback = false;     ///< Region rejected; ran on the CPU.
+};
+
+/**
+ * Activity concurrent with CPU progress under the current timing
+ * model: real work, zero attributed wall cycles (see file comment).
+ */
+struct OverlappedActivity
+{
+    uint64_t monitor_iterations = 0; ///< Loop iterations run while
+                                     ///< translation was in flight.
+    uint64_t verify_checks = 0;      ///< Verifier gate invocations.
+    uint64_t config_builds = 0;      ///< Bitstream generations.
+};
+
+/** A kernel's full profile: attribution + spatial + run context. */
+struct KernelProfile
+{
+    std::string kernel;
+
+    PhaseBreakdown phases;             ///< Sum over offloads.
+    uint64_t total_offload_cycles = 0; ///< Measured; == phases.total().
+    bool invariant_ok = false;         ///< Sum check result.
+
+    std::vector<OffloadRow> offloads;
+    OverlappedActivity overlapped;
+    AccelProfile spatial;
+
+    // Run context (informational).
+    uint64_t total_cycles = 0; ///< Whole-run wall cycles.
+    uint64_t cpu_cycles = 0;   ///< Cycles attributed to the CPU side.
+    uint64_t accel_cycles = 0; ///< Device + reconfig cycles, as
+                               ///< TransparentRunResult reports them.
+    uint64_t iterations = 0;   ///< Loop iterations completed on device.
+    uint64_t cache_hits = 0;   ///< Config-cache hits.
+    uint64_t fallbacks = 0;    ///< Rejected offload attempts.
+
+    /** Fraction of total offload cycles in bucket p (0 when idle). */
+    double
+    share(Phase p) const
+    {
+        if (total_offload_cycles == 0)
+            return 0.0;
+        return double(phases[p]) / double(total_offload_cycles);
+    }
+};
+
+/** A whole-suite profile: per-kernel profiles plus the folded sums. */
+struct SuiteProfile
+{
+    std::vector<KernelProfile> kernels;
+
+    PhaseBreakdown phases;             ///< Sum over kernels.
+    uint64_t total_offload_cycles = 0;
+    bool invariant_ok = true;
+
+    /** Fold a kernel into the suite totals. */
+    void add(KernelProfile kp);
+};
+
+/**
+ * Flatten a suite profile to "kernel.metric" -> value pairs, the
+ * representation --baseline diffs and the history pipeline use.
+ */
+std::map<std::string, double> flattenProfile(const SuiteProfile &suite);
+
+} // namespace mesa::prof
+
+#endif // MESA_PROF_PROFILE_HH

@@ -1,0 +1,302 @@
+#include "prof/report.hh"
+
+#include <algorithm>
+
+#include "util/json.hh"
+#include "util/table.hh"
+
+namespace mesa::prof
+{
+
+namespace
+{
+
+/** Phases that can carry cost under the current timing model. */
+constexpr Phase kTablePhases[] = {
+    Phase::Encode,    Phase::Map,      Phase::ConfigStream,
+    Phase::Compute,   Phase::NocStall, Phase::MemStall,
+    Phase::SchedWait, Phase::FaultRecovery,
+};
+
+std::string
+percent(uint64_t part, uint64_t total)
+{
+    if (total == 0)
+        return "-";
+    return TextTable::num(100.0 * double(part) / double(total), 1) + "%";
+}
+
+void
+writePhases(const PhaseBreakdown &pb, JsonWriter &w)
+{
+    w.beginObject();
+    for (size_t i = 0; i < PhaseCount; ++i)
+        w.field(phaseName(Phase(i)), pb.cycles[i]);
+    w.end();
+}
+
+} // namespace
+
+void
+printProfileTable(const SuiteProfile &suite, std::ostream &os)
+{
+    TextTable t;
+    std::vector<std::string> head{"kernel", "offload cyc"};
+    for (Phase p : kTablePhases)
+        head.push_back(phaseLabel(p));
+    head.push_back("sum ok");
+    t.header(head);
+
+    auto addRow = [&t](const std::string &name, const PhaseBreakdown &pb,
+                       uint64_t total, bool ok) {
+        std::vector<std::string> cells{name, std::to_string(total)};
+        for (Phase p : kTablePhases)
+            cells.push_back(percent(pb[p], total));
+        cells.push_back(ok ? "yes" : "NO");
+        t.row(cells);
+    };
+    for (const auto &kp : suite.kernels) {
+        addRow(kp.kernel, kp.phases, kp.total_offload_cycles,
+               kp.invariant_ok);
+    }
+    addRow("suite", suite.phases, suite.total_offload_cycles,
+           suite.invariant_ok);
+    t.print(os);
+    os << "(monitor/detect, config-gen and the verify gate run "
+          "concurrently with the CPU in this timing model; their "
+          "activity is in the JSON report's 'overlapped' section)\n";
+}
+
+void
+writeHeatmapJson(const std::vector<uint64_t> &grid, int rows, int cols,
+                 JsonWriter &w)
+{
+    w.beginObject();
+    w.field("rows", rows);
+    w.field("cols", cols);
+    w.key("data").beginArray();
+    for (uint64_t v : grid)
+        w.value(v);
+    w.end();
+    w.end();
+}
+
+void
+writeProfileJson(const SuiteProfile &suite, const ReportMeta &meta,
+                 JsonWriter &w)
+{
+    w.beginObject();
+    w.field("schema", "mesa-prof-1");
+    w.key("meta")
+        .beginObject()
+        .field("accel", meta.accel)
+        .field("scale", meta.scale)
+        .end();
+
+    w.key("kernels").beginArray();
+    for (const auto &kp : suite.kernels) {
+        w.beginObject();
+        w.field("name", kp.kernel);
+        w.field("total_offload_cycles", kp.total_offload_cycles);
+        w.field("invariant_ok", kp.invariant_ok);
+        w.key("phases");
+        writePhases(kp.phases, w);
+
+        w.key("offloads").beginArray();
+        for (const auto &row : kp.offloads) {
+            w.beginObject();
+            w.field("region_pc", uint64_t(row.region_pc));
+            w.field("total_cycles", row.total_cycles);
+            w.field("fallback", row.fallback);
+            w.key("phases");
+            writePhases(row.phases, w);
+            w.end();
+        }
+        w.end();
+
+        w.key("overlapped")
+            .beginObject()
+            .field("monitor_iterations", kp.overlapped.monitor_iterations)
+            .field("verify_checks", kp.overlapped.verify_checks)
+            .field("config_builds", kp.overlapped.config_builds)
+            .end();
+
+        w.key("context")
+            .beginObject()
+            .field("total_cycles", kp.total_cycles)
+            .field("cpu_cycles", kp.cpu_cycles)
+            .field("accel_cycles", kp.accel_cycles)
+            .field("iterations", kp.iterations)
+            .field("cache_hits", kp.cache_hits)
+            .field("fallbacks", kp.fallbacks)
+            .end();
+
+        const AccelProfile &sp = kp.spatial;
+        w.key("spatial").beginObject();
+        w.field("rows", sp.rows());
+        w.field("cols", sp.cols());
+        w.key("attribution")
+            .beginObject()
+            .field("compute", sp.compute_cycles)
+            .field("noc_stall", sp.noc_stall_cycles)
+            .field("mem_stall", sp.mem_stall_cycles)
+            .end();
+        w.key("pe_busy");
+        writeHeatmapJson(sp.pe_busy, sp.rows(), sp.cols(), w);
+        w.key("pe_wait");
+        writeHeatmapJson(sp.pe_wait, sp.rows(), sp.cols(), w);
+        w.key("pe_ops");
+        writeHeatmapJson(sp.pe_ops, sp.rows(), sp.cols(), w);
+        w.key("pe_traffic");
+        writeHeatmapJson(sp.pe_traffic, sp.rows(), sp.cols(), w);
+        w.key("links").beginArray();
+        for (const auto &[bus, stats] : sp.links) {
+            int lr = -1, lc = -1;
+            if (auto it = sp.link_coords.find(bus);
+                it != sp.link_coords.end()) {
+                lr = it->second.first;
+                lc = it->second.second;
+            }
+            w.beginObject()
+                .field("bus", bus)
+                .field("row", lr)
+                .field("col", lc)
+                .field("transfers", stats.transfers)
+                .field("wait_cycles", stats.wait_cycles)
+                .end();
+        }
+        w.end();
+        w.field("port_wait_cycles", sp.port_wait_cycles);
+        w.field("fallback_transfers", sp.fallback_transfers);
+        w.end(); // spatial
+
+        w.end(); // kernel
+    }
+    w.end(); // kernels
+
+    w.key("suite")
+        .beginObject()
+        .field("total_offload_cycles", suite.total_offload_cycles)
+        .field("invariant_ok", suite.invariant_ok);
+    w.key("phases");
+    writePhases(suite.phases, w);
+    w.end();
+
+    w.end(); // root
+}
+
+void
+printHeatmaps(const KernelProfile &kp, std::ostream &os)
+{
+    const AccelProfile &sp = kp.spatial;
+    static const char ramp[] = " .:-=+*#%@";
+    auto draw = [&](const char *title,
+                    const std::vector<uint64_t> &grid) {
+        uint64_t max = 0;
+        for (uint64_t v : grid)
+            max = std::max(max, v);
+        os << kp.kernel << " " << title << " (max " << max << ")\n";
+        for (int r = 0; r < sp.rows(); ++r) {
+            os << "  ";
+            for (int c = 0; c < sp.cols(); ++c) {
+                const uint64_t v = grid[sp.index(r, c)];
+                size_t shade = 0;
+                if (max > 0 && v > 0)
+                    shade = 1 + size_t(v * 8 / max);
+                os << ramp[std::min<size_t>(shade, 9)];
+            }
+            os << "\n";
+        }
+    };
+    draw("PE busy cycles", sp.pe_busy);
+    draw("PE operand-wait cycles", sp.pe_wait);
+    draw("PE inbound traffic", sp.pe_traffic);
+
+    if (!sp.links.empty()) {
+        TextTable t;
+        t.header({"bus", "anchor", "transfers", "wait cyc"});
+        for (const auto &[bus, stats] : sp.links) {
+            std::string anchor = "-";
+            if (auto it = sp.link_coords.find(bus);
+                it != sp.link_coords.end()) {
+                anchor = "(" + std::to_string(it->second.first) + "," +
+                         std::to_string(it->second.second) + ")";
+            }
+            t.row({std::to_string(bus), anchor,
+                   std::to_string(stats.transfers),
+                   std::to_string(stats.wait_cycles)});
+        }
+        os << kp.kernel << " NoC bus contention\n";
+        t.print(os);
+    }
+}
+
+void
+writeCounterTrace(const SuiteProfile &suite, std::ostream &os)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+    uint64_t ts = 0;
+    for (const auto &kp : suite.kernels) {
+        // A labeled instant marks the kernel position on the x-axis...
+        w.beginObject()
+            .field("name", kp.kernel)
+            .field("ph", "i")
+            .field("ts", ts)
+            .field("pid", 0)
+            .field("tid", 0)
+            .field("s", "g")
+            .end();
+        // ...and one counter sample per taxonomy bucket stacks there.
+        w.beginObject()
+            .field("name", "offload cycle attribution")
+            .field("ph", "C")
+            .field("ts", ts)
+            .field("pid", 0)
+            .key("args")
+            .beginObject();
+        for (size_t i = 0; i < PhaseCount; ++i)
+            w.field(phaseName(Phase(i)), kp.phases.cycles[i]);
+        w.end().end();
+        ts += 1000;
+    }
+    w.end().end();
+    os << w.str() << "\n";
+}
+
+void
+writePrometheus(const SuiteProfile &suite, const ReportMeta &meta,
+                std::ostream &os)
+{
+    os << "# HELP mesa_prof_phase_cycles Attributed offload cycles per "
+          "taxonomy bucket.\n";
+    os << "# TYPE mesa_prof_phase_cycles gauge\n";
+    for (const auto &kp : suite.kernels) {
+        for (size_t i = 0; i < PhaseCount; ++i) {
+            os << "mesa_prof_phase_cycles{kernel=\"" << kp.kernel
+               << "\",phase=\"" << phaseName(Phase(i)) << "\",accel=\""
+               << meta.accel << "\"} " << kp.phases.cycles[i] << "\n";
+        }
+    }
+    os << "# HELP mesa_prof_offload_cycles Total attributed offload "
+          "cycles per kernel.\n";
+    os << "# TYPE mesa_prof_offload_cycles gauge\n";
+    for (const auto &kp : suite.kernels) {
+        os << "mesa_prof_offload_cycles{kernel=\"" << kp.kernel
+           << "\"} " << kp.total_offload_cycles << "\n";
+    }
+    os << "# HELP mesa_prof_invariant_ok 1 when the attribution sum "
+          "matches the measured offload cycles exactly.\n";
+    os << "# TYPE mesa_prof_invariant_ok gauge\n";
+    for (const auto &kp : suite.kernels) {
+        os << "mesa_prof_invariant_ok{kernel=\"" << kp.kernel << "\"} "
+           << (kp.invariant_ok ? 1 : 0) << "\n";
+    }
+    os << "# HELP mesa_prof_suite_offload_cycles Suite total.\n";
+    os << "# TYPE mesa_prof_suite_offload_cycles gauge\n";
+    os << "mesa_prof_suite_offload_cycles "
+       << suite.total_offload_cycles << "\n";
+}
+
+} // namespace mesa::prof

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Report renderers for cycle-attribution profiles: the human table,
+ * the machine JSON report (the schema CI's invariant check and the
+ * --baseline diff consume), ASCII/JSON spatial heatmaps, Chrome-trace
+ * counter tracks (chrome://tracing "ph":"C" events, one track per
+ * taxonomy bucket across kernels), and a Prometheus text exposition
+ * for the future service layer to scrape (ROADMAP item 1).
+ */
+
+#ifndef MESA_PROF_REPORT_HH
+#define MESA_PROF_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "prof/profile.hh"
+
+namespace mesa
+{
+class JsonWriter;
+}
+
+namespace mesa::prof
+{
+
+/** Run context stamped on reports (not on baselines — see history). */
+struct ReportMeta
+{
+    std::string accel;  ///< Accelerator preset name.
+    uint64_t scale = 0; ///< Suite iteration scale.
+};
+
+/** Per-kernel attribution table with a suite summary row. */
+void printProfileTable(const SuiteProfile &suite, std::ostream &os);
+
+/**
+ * The machine-readable report. Deliberately excludes timestamps,
+ * host data, and job counts so that two runs of the same code are
+ * byte-identical and baseline diffs stay exact; run provenance lives
+ * in the history records instead.
+ */
+void writeProfileJson(const SuiteProfile &suite, const ReportMeta &meta,
+                      JsonWriter &w);
+
+/**
+ * ASCII heatmaps of the spatial profile over the PE grid: busy
+ * cycles, operand-wait cycles, and transfer traffic, shaded with the
+ * " .:-=+*#%@" ramp, plus the per-link contention table.
+ */
+void printHeatmaps(const KernelProfile &kp, std::ostream &os);
+
+/** One spatial metric as a JSON heatmap {rows, cols, data[]}. */
+void writeHeatmapJson(const std::vector<uint64_t> &grid, int rows,
+                      int cols, JsonWriter &w);
+
+/**
+ * Chrome-trace counter tracks: one counter event per kernel (x-axis
+ * position = kernel index) carrying every taxonomy bucket, loadable
+ * in chrome://tracing / Perfetto alongside Tracer exports.
+ */
+void writeCounterTrace(const SuiteProfile &suite, std::ostream &os);
+
+/**
+ * Prometheus text exposition (one gauge per bucket, labeled by
+ * kernel and phase; plus totals and the invariant flag).
+ */
+void writePrometheus(const SuiteProfile &suite, const ReportMeta &meta,
+                     std::ostream &os);
+
+} // namespace mesa::prof
+
+#endif // MESA_PROF_REPORT_HH

@@ -1,0 +1,112 @@
+#include "prof/runner.hh"
+
+#include "util/parallel.hh"
+#include "util/stats_registry.hh"
+
+namespace mesa::prof
+{
+
+uint64_t
+offloadWallCycles(const core::OffloadStats &os)
+{
+    return os.totalConfigCycles() + os.reconfig_cycles +
+           os.sched_wait_cycles + os.accel_cycles +
+           os.cpu_reexec_instructions;
+}
+
+OffloadRow
+attributeOffload(const core::OffloadStats &os)
+{
+    OffloadRow row;
+    row.region_pc = os.region_start;
+    row.fallback = os.fallback != core::FallbackReason::None;
+    row.total_cycles = offloadWallCycles(os);
+
+    row.phases[Phase::Encode] = os.encode_cycles;
+    row.phases[Phase::Map] = os.mapping_cycles;
+    row.phases[Phase::ConfigStream] =
+        os.config_cycles + os.reconfig_cycles;
+    row.phases[Phase::SchedWait] = os.sched_wait_cycles;
+    row.phases[Phase::FaultRecovery] = os.cpu_reexec_instructions;
+
+    // Device-cycle split from the attached profile. Offloads served by
+    // a shared arbiter (or run unprofiled) carry zero prof_* fields;
+    // the device term then stays one undivided compute bucket so the
+    // sum invariant holds either way.
+    const uint64_t prof_sum = os.prof_compute_cycles +
+                              os.prof_noc_stall_cycles +
+                              os.prof_mem_stall_cycles;
+    if (prof_sum == os.accel_cycles) {
+        row.phases[Phase::Compute] = os.prof_compute_cycles;
+        row.phases[Phase::NocStall] = os.prof_noc_stall_cycles;
+        row.phases[Phase::MemStall] = os.prof_mem_stall_cycles;
+    } else {
+        row.phases[Phase::Compute] = os.accel_cycles;
+    }
+    return row;
+}
+
+KernelProfile
+profileKernel(const workloads::Kernel &kernel,
+              const core::MesaParams &params)
+{
+    // Fully private system per call (the ShardContext ownership rule):
+    // fresh memory with the kernel's data planted, a controller bound
+    // to it, and a local registry — safe from any worker shard, and
+    // byte-identical at any job count.
+    mem::MainMemory memory;
+    kernel.init_data(memory);
+    core::MesaController mesa(params, memory);
+
+    StatsRegistry stats;
+    mesa.attachStats(&stats);
+
+    AccelProfile profile;
+    mesa.attachProfile(&profile);
+
+    const core::TransparentRunResult result = mesa.runTransparent(
+        kernel.program, kernel.fullRange(), kernel.parallel);
+
+    KernelProfile kp;
+    kp.kernel = kernel.name;
+    for (const auto &os : result.offloads) {
+        OffloadRow row = attributeOffload(os);
+        kp.phases.accumulate(row.phases);
+        kp.total_offload_cycles += row.total_cycles;
+        kp.overlapped.monitor_iterations += os.cpu_overlap_iterations;
+        kp.overlapped.config_builds +=
+            (os.config_cache_hit ? 0 : 1) + os.reconfigurations;
+        kp.cache_hits += os.config_cache_hit ? 1 : 0;
+        kp.fallbacks += row.fallback ? 1 : 0;
+        kp.offloads.push_back(std::move(row));
+    }
+    kp.invariant_ok = kp.phases.total() == kp.total_offload_cycles;
+    kp.overlapped.verify_checks =
+        uint64_t(stats.value("mesa.verify.configs_checked"));
+
+    kp.total_cycles = result.total_cycles;
+    kp.cpu_cycles = result.cpu_cycles;
+    kp.accel_cycles = result.accel_cycles;
+    kp.iterations = result.acceleratedIterations();
+    kp.spatial = profile;
+
+    mesa.attachProfile(nullptr);
+    mesa.attachStats(nullptr);
+    return kp;
+}
+
+SuiteProfile
+profileSuite(const std::vector<workloads::Kernel> &kernels,
+             const core::MesaParams &params, int jobs)
+{
+    auto rows = parallelMapOrdered<KernelProfile>(
+        kernels.size(), jobs,
+        [&](size_t i) { return profileKernel(kernels[i], params); });
+
+    SuiteProfile suite;
+    for (auto &kp : rows)
+        suite.add(std::move(kp));
+    return suite;
+}
+
+} // namespace mesa::prof

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Profile runner: builds a private MESA system per kernel, attaches
+ * an AccelProfile, runs the kernel transparently, and folds the
+ * controller's OffloadStats into a KernelProfile whose taxonomy
+ * buckets sum exactly to the measured offload cycles. Suite runs
+ * shard kernel-by-kernel over util/parallel.hh with fully private
+ * per-shard state, so every counter is byte-identical at any --jobs.
+ *
+ * Shared by the mesa_prof CLI and tests/test_prof.cc.
+ */
+
+#ifndef MESA_PROF_RUNNER_HH
+#define MESA_PROF_RUNNER_HH
+
+#include <vector>
+
+#include "mesa/controller.hh"
+#include "prof/profile.hh"
+#include "workloads/kernel.hh"
+
+namespace mesa::prof
+{
+
+/**
+ * Per-offload wall cycles as the controller's timing model composes
+ * them: translation + streaming/reconfig + scheduler wait + device
+ * cycles + CPU fault re-execution. The profiled taxonomy must sum to
+ * exactly this.
+ */
+uint64_t offloadWallCycles(const core::OffloadStats &os);
+
+/** Fold one offload's stats into taxonomy buckets. */
+OffloadRow attributeOffload(const core::OffloadStats &os);
+
+/** Run one kernel under a fresh profiled system. */
+KernelProfile profileKernel(const workloads::Kernel &kernel,
+                            const core::MesaParams &params);
+
+/** Profile a set of kernels, sharded over the thread pool. */
+SuiteProfile profileSuite(const std::vector<workloads::Kernel> &kernels,
+                          const core::MesaParams &params, int jobs);
+
+} // namespace mesa::prof
+
+#endif // MESA_PROF_RUNNER_HH

@@ -54,7 +54,7 @@ runShared(const SharedRunParams &params, mem::MainMemory &memory,
             emu->step();
         }
         if (emu->halted() || emu->state().pc != kernel.loop_start) {
-            warn("runShared: thread ", t,
+            logWarn("sched", "runShared: thread ", t,
                  " never reached the loop entry; skipping");
             continue;
         }
@@ -66,7 +66,7 @@ runShared(const SharedRunParams &params, mem::MainMemory &memory,
                                         kernel.parallel,
                                         ~uint64_t(0), prio);
         if (id < 0) {
-            warn("runShared: thread ", t, " refused (", body.size(),
+            logWarn("sched", "runShared: thread ", t, " refused (", body.size(),
                  " instructions vs partition capacity ",
                  scheduler.partitionCapacity(),
                  " — fewer ways fit larger regions)");

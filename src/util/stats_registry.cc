@@ -8,6 +8,59 @@
 namespace mesa
 {
 
+StatsDiff
+diffStatValues(const std::map<std::string, double> &before,
+               const std::map<std::string, double> &after,
+               double rel_tolerance)
+{
+    StatsDiff diff;
+    auto withinTolerance = [rel_tolerance](double a, double b) {
+        if (a == b)
+            return true;
+        if (a == 0.0) // no relative scale; any move is a change
+            return false;
+        double rel = (b - a) / a;
+        return (rel < 0 ? -rel : rel) <= rel_tolerance;
+    };
+    for (const auto &[path, old_value] : before) {
+        auto it = after.find(path);
+        if (it == after.end()) {
+            diff.removed.push_back(path);
+            continue;
+        }
+        if (!withinTolerance(old_value, it->second))
+            diff.changed.push_back({path, old_value, it->second});
+    }
+    for (const auto &[path, value] : after) {
+        (void)value;
+        if (!before.count(path))
+            diff.added.push_back(path);
+    }
+    return diff;
+}
+
+const std::string &
+StatsRegistry::snapshotLabel(size_t i) const
+{
+    MESA_ASSERT(i < snapshots_.size(), "snapshot index out of range");
+    return snapshots_[i].label;
+}
+
+const std::map<std::string, double> &
+StatsRegistry::snapshotValues(size_t i) const
+{
+    MESA_ASSERT(i < snapshots_.size(), "snapshot index out of range");
+    return snapshots_[i].values;
+}
+
+StatsDiff
+StatsRegistry::diffSnapshots(size_t before, size_t after,
+                             double rel_tolerance) const
+{
+    return diffStatValues(snapshotValues(before), snapshotValues(after),
+                          rel_tolerance);
+}
+
 void
 StatsRegistry::checkInsertable(const std::string &path) const
 {

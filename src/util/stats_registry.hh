@@ -30,6 +30,48 @@ namespace mesa
 
 class JsonWriter;
 
+/**
+ * Difference between two flattened stat maps (snapshots, registries,
+ * or loaded baseline reports): which paths appeared, which vanished,
+ * and which values moved by more than a relative tolerance.
+ */
+struct StatsDiff
+{
+    struct Change
+    {
+        std::string path;
+        double before = 0.0;
+        double after = 0.0;
+
+        /** Relative delta vs before (absolute delta if before == 0). */
+        double
+        relDelta() const
+        {
+            if (before == 0.0)
+                return after;
+            return (after - before) / before;
+        }
+    };
+
+    std::vector<std::string> added;   ///< In after only.
+    std::vector<std::string> removed; ///< In before only.
+    std::vector<Change> changed;      ///< Value moved beyond tolerance.
+
+    bool
+    empty() const
+    {
+        return added.empty() && removed.empty() && changed.empty();
+    }
+};
+
+/**
+ * Diff two stat maps. A path counts as changed when the relative delta
+ * exceeds rel_tolerance (exact inequality when the tolerance is 0).
+ */
+StatsDiff diffStatValues(const std::map<std::string, double> &before,
+                         const std::map<std::string, double> &after,
+                         double rel_tolerance = 0.0);
+
 /** The registry. Not copyable (linked stats reference live objects). */
 class StatsRegistry
 {
@@ -81,6 +123,14 @@ class StatsRegistry
     /** Record a labeled snapshot of every stat's scalar view. */
     void snapshot(const std::string &label);
     size_t snapshotCount() const { return snapshots_.size(); }
+
+    /** A snapshot's label / flattened values, by recording order. */
+    const std::string &snapshotLabel(size_t i) const;
+    const std::map<std::string, double> &snapshotValues(size_t i) const;
+
+    /** Diff two recorded snapshots (by index, panics out of range). */
+    StatsDiff diffSnapshots(size_t before, size_t after,
+                            double rel_tolerance = 0.0) const;
 
     /**
      * Copy every externally linked stat into registry-owned storage,
