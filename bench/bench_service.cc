@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Service-layer benchmark and determinism gate. Runs a grid of
+ * open-loop traffic cells (Poisson and bursty arrivals under
+ * different dispatch policies) against a multi-backend pool, plus a
+ * closed-loop cross-check that the functional digest is identical
+ * with 1 backend and with N backends — the multi-backend sharding
+ * soundness gate.
+ *
+ *   ./build/bench/bench_service --tenants 200 --min-rate 50000
+ *
+ * Emits BENCH_service.json (fully deterministic: same seed → byte-
+ * identical file, no wall-clock fields) and appends wall-timing
+ * metrics to BENCH_history.jsonl. Exit 1 if any cell reports an
+ * SLO-accounting invariant violation, if the closed-loop digests
+ * differ, or if sustained simulated throughput drops below
+ * --min-rate offloads/sec.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "prof/history.hh"
+#include "service/service.hh"
+#include "util/crc32.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+using namespace mesa;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "bench_service — offload-as-a-service load benchmark\n"
+        "  --tenants <n>     tenant sessions per cell (default 200)\n"
+        "  --duration <cyc>  open-loop arrival horizon (default\n"
+        "                    1500000)\n"
+        "  --arrival <cyc>   mean inter-arrival per tenant (default\n"
+        "                    60000)\n"
+        "  --backends <n>    pool size for the open-loop cells\n"
+        "                    (default 2)\n"
+        "  --seed <n>        traffic seed (default 1)\n"
+        "  --jobs <n>        host worker threads for the cell grid\n"
+        "  --min-rate <r>    exit 1 unless every cell sustains >= r\n"
+        "                    offloads/sec of simulated time\n"
+        "  --out <file>      report path (default BENCH_service.json)\n"
+        "  --history <file>  perf-history JSONL path (default\n"
+        "                    BENCH_history.jsonl)\n"
+        "  --no-history      skip the history append\n"
+        "  --json            also print the report to stdout\n";
+}
+
+struct Cell
+{
+    const char *name;
+    service::TrafficProfile profile;
+    service::DispatchPolicy policy;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int tenants = 200;
+    uint64_t duration = 1'500'000;
+    double arrival = 60'000.0;
+    int backends = 2;
+    uint64_t seed = 1;
+    int jobs = defaultJobs();
+    double min_rate = 0.0;
+    std::string out_path = "BENCH_service.json";
+    std::string history_path = "BENCH_history.jsonl";
+    bool no_history = false;
+    bool print_json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--tenants")
+            tenants = int(std::strtol(next(), nullptr, 10));
+        else if (arg == "--duration")
+            duration = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--arrival")
+            arrival = std::strtod(next(), nullptr);
+        else if (arg == "--backends")
+            backends = int(std::strtol(next(), nullptr, 10));
+        else if (arg == "--seed")
+            seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--jobs")
+            jobs = resolveJobs(int(std::strtol(next(), nullptr, 10)));
+        else if (arg == "--min-rate")
+            min_rate = std::strtod(next(), nullptr);
+        else if (arg == "--out")
+            out_path = next();
+        else if (arg == "--history")
+            history_path = next();
+        else if (arg == "--no-history")
+            no_history = true;
+        else if (arg == "--json")
+            print_json = true;
+        else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    const std::vector<Cell> cells = {
+        {"poisson/least-loaded", service::TrafficProfile::Poisson,
+         service::DispatchPolicy::LeastLoaded},
+        {"poisson/qos-strict", service::TrafficProfile::Poisson,
+         service::DispatchPolicy::QosStrict},
+        {"bursty/least-loaded", service::TrafficProfile::Bursty,
+         service::DispatchPolicy::LeastLoaded},
+        {"bursty/kernel-affinity", service::TrafficProfile::Bursty,
+         service::DispatchPolicy::KernelAffinity},
+    };
+
+    auto cellParams = [&](const Cell &cell) {
+        service::ServiceParams p;
+        p.traffic.profile = cell.profile;
+        p.traffic.seed = seed;
+        p.traffic.tenants = tenants;
+        p.traffic.horizon_cycles = duration;
+        p.traffic.mean_interarrival = arrival;
+        p.policy = cell.policy;
+        p.backends = backends;
+        return p;
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<service::ServiceResult> results =
+        parallelMapOrdered<service::ServiceResult>(
+            cells.size(), jobs, [&](size_t i) {
+                return service::runService(cellParams(cells[i]));
+            });
+    const double cells_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    // Closed-loop cross-check: 1 backend vs N backends must produce
+    // the identical functional digest (kernel, size, and final
+    // state/memory CRCs per (tenant, seq)).
+    auto closedParams = [&](int n) {
+        service::ServiceParams p;
+        p.traffic.profile = service::TrafficProfile::ClosedLoop;
+        p.traffic.seed = seed;
+        p.traffic.tenants = std::min(tenants, 48);
+        p.traffic.jobs_per_tenant = 3;
+        p.backends = n;
+        return p;
+    };
+    const service::ServiceResult closed_1 =
+        service::runService(closedParams(1));
+    const service::ServiceResult closed_n =
+        service::runService(closedParams(std::max(2, backends)));
+    const std::string digest_1 = service::closedLoopDigest(closed_1);
+    const std::string digest_n = service::closedLoopDigest(closed_n);
+    const bool closed_identical = digest_1 == digest_n;
+    Crc32 digest_crc;
+    digest_crc.addBytes(
+        reinterpret_cast<const uint8_t *>(digest_1.data()),
+        digest_1.size());
+
+    uint64_t invariant_violations = 0;
+    double worst_rate = -1.0;
+    uint64_t total_completed = 0;
+    for (const auto &r : results) {
+        invariant_violations += r.invariant_violations;
+        total_completed += r.completed;
+        const double rate = r.offloadsPerSecondSim();
+        if (worst_rate < 0.0 || rate < worst_rate)
+            worst_rate = rate;
+    }
+    invariant_violations += closed_1.invariant_violations;
+    invariant_violations += closed_n.invariant_violations;
+
+    JsonWriter report;
+    report.beginObject();
+    report.field("bench", "service");
+    report.field("seed", seed);
+    report.field("tenants", uint64_t(tenants));
+    report.field("duration_cycles", duration);
+    report.field("mean_interarrival", arrival);
+    report.field("backends", uint64_t(backends));
+    report.key("cells");
+    report.beginArray();
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const auto &r = results[i];
+        report.beginObject();
+        report.field("name", cells[i].name);
+        report.field("submitted", r.submitted);
+        report.field("accepted", r.accepted);
+        report.field("completed", r.completed);
+        report.field("rejected", r.rejectedTotal());
+        report.field("horizon_cycles", r.horizon_cycles);
+        report.field("offloads_per_second_sim",
+                     r.offloadsPerSecondSim());
+        report.field("fairness_jain", r.slo.jainFairness());
+        report.field("invariant_violations", r.invariant_violations);
+        report.key("qos");
+        report.beginArray();
+        for (int c = 0; c < service::QosClassCount; ++c) {
+            const service::ClassSlo s =
+                r.slo.classSummary(service::QosClass(c));
+            report.beginObject();
+            report.field("qos",
+                         service::qosName(service::QosClass(c)));
+            report.field("jobs", s.jobs);
+            report.field("violations", s.violations);
+            report.field("latency_p50", s.p50);
+            report.field("latency_p99", s.p99);
+            report.field("latency_p999", s.p999);
+            report.field("wait_mean", s.mean_wait);
+            report.end();
+        }
+        report.end();
+        report.end();
+    }
+    report.end();
+    report.key("closed_loop");
+    report.beginObject();
+    report.field("jobs", closed_1.completed);
+    report.field("digest_crc", uint64_t(digest_crc.value()));
+    report.field("identical_across_backend_counts",
+                 closed_identical);
+    report.end();
+    report.field("invariant_violations", invariant_violations);
+    report.end();
+
+    std::ofstream f(out_path);
+    if (!f)
+        fatal("cannot open report output file ", out_path);
+    f << report.str() << "\n";
+    if (print_json)
+        std::cout << report.str() << "\n";
+
+    std::cout << "bench_service: " << total_completed
+              << " offloads across " << cells.size()
+              << " cells, worst sustained rate "
+              << uint64_t(worst_rate) << " offloads/s (sim), "
+              << "closed-loop digests "
+              << (closed_identical ? "identical" : "DIVERGENT")
+              << ", " << invariant_violations
+              << " invariant violations\n";
+
+    if (!no_history) {
+        prof::HistoryRecord rec =
+            prof::makeHistoryRecord("bench_service");
+        rec.metrics["cells_wall_seconds"] = cells_seconds;
+        rec.metrics["completed"] = double(total_completed);
+        rec.metrics["worst_rate_sim"] = worst_rate;
+        rec.metrics["offloads_per_wall_second"] =
+            cells_seconds > 0.0 ? double(total_completed) /
+                                      cells_seconds
+                                : 0.0;
+        rec.metrics["invariant_violations"] =
+            double(invariant_violations);
+        rec.metrics["closed_loop_identical"] =
+            closed_identical ? 1.0 : 0.0;
+        if (!prof::appendHistory(history_path, rec))
+            logWarn("bench", "cannot append history to ",
+                    history_path);
+    }
+
+    int exit_code = 0;
+    if (invariant_violations != 0) {
+        std::cerr << "FAIL: SLO accounting invariant violations\n";
+        exit_code = 1;
+    }
+    if (!closed_identical) {
+        std::cerr << "FAIL: closed-loop digest differs across "
+                     "backend counts\n";
+        exit_code = 1;
+    }
+    if (min_rate > 0.0 && worst_rate < min_rate) {
+        std::cerr << "FAIL: sustained rate " << worst_rate
+                  << " below gate " << min_rate << "\n";
+        exit_code = 1;
+    }
+    if (total_completed == 0) {
+        std::cerr << "FAIL: no offloads completed\n";
+        exit_code = 1;
+    }
+    return exit_code;
+}

@@ -98,12 +98,7 @@ main(int argc, char **argv)
         }
     }
 
-    if (accel_name == "M-64")
-        params.accel = accel::AccelParams::m64();
-    else if (accel_name == "M-512")
-        params.accel = accel::AccelParams::m512();
-    else
-        params.accel = accel::AccelParams::m128();
+    params.accel = accel::AccelParams::byName(accel_name);
 
     const fault::CampaignResult result = fault::runCampaign(params);
 

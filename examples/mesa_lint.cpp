@@ -26,6 +26,7 @@
 #include "util/table.hh"
 #include "verify/verifier.hh"
 #include "workloads/kernel.hh"
+#include "workloads/suite.hh"
 
 using namespace mesa;
 
@@ -206,8 +207,7 @@ main(int argc, char **argv)
             printRuleCatalog();
             return 0;
         } else if (arg == "--list") {
-            for (const auto &k : workloads::rodiniaSuite({64}))
-                std::cout << k.name << "\n";
+            workloads::listKernels(std::cout);
             return 0;
         } else {
             usage();
@@ -215,20 +215,13 @@ main(int argc, char **argv)
         }
     }
 
-    accel::AccelParams accel;
-    if (accel_name == "M-64")
-        accel = accel::AccelParams::m64();
-    else if (accel_name == "M-512")
-        accel = accel::AccelParams::m512();
-    else
-        accel = accel::AccelParams::m128();
+    const accel::AccelParams accel = accel::AccelParams::byName(accel_name);
 
     std::vector<workloads::Kernel> kernels;
     if (kernel_name.empty())
-        kernels = workloads::rodiniaSuite({scale});
+        kernels = workloads::selectKernels({}, {scale});
     else
-        kernels.push_back(workloads::kernelByName(kernel_name,
-                                                  {scale}));
+        kernels = workloads::selectKernels({kernel_name}, {scale});
 
     // Suite-wide lint shards by kernel: every lintKernel call builds
     // its own pipeline state, and results commit in suite order, so

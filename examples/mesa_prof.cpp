@@ -29,6 +29,7 @@
 #include "util/stats_registry.hh"
 #include "util/table.hh"
 #include "workloads/kernel.hh"
+#include "workloads/suite.hh"
 
 using namespace mesa;
 
@@ -158,8 +159,7 @@ main(int argc, char **argv)
                 fatal("unknown log level ", name);
             Logger::global().setLevel(*level);
         } else if (arg == "--list") {
-            for (const auto &k : workloads::rodiniaSuite({64}))
-                std::cout << k.name << "\n";
+            workloads::listKernels(std::cout);
             return 0;
         } else {
             usage();
@@ -168,20 +168,10 @@ main(int argc, char **argv)
     }
 
     core::MesaParams params;
-    if (accel_name == "M-64")
-        params.accel = accel::AccelParams::m64();
-    else if (accel_name == "M-512")
-        params.accel = accel::AccelParams::m512();
-    else
-        params.accel = accel::AccelParams::m128();
+    params.accel = accel::AccelParams::byName(accel_name);
 
-    std::vector<workloads::Kernel> kernels;
-    if (all || kernel_names.empty()) {
-        kernels = workloads::rodiniaSuite({scale});
-    } else {
-        for (const auto &name : kernel_names)
-            kernels.push_back(workloads::kernelByName(name, {scale}));
-    }
+    std::vector<workloads::Kernel> kernels = workloads::selectKernels(
+        all ? std::vector<std::string>{} : kernel_names, {scale});
 
     const prof::SuiteProfile suite =
         prof::profileSuite(kernels, params, jobs);

@@ -17,6 +17,7 @@
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
+#include "workloads/suite.hh"
 #include <iostream>
 
 #include "common.hh"
@@ -148,8 +149,7 @@ main(int argc, char **argv)
                 fatal("unknown log level ", name);
             Logger::global().setLevel(*level);
         } else if (arg == "--list") {
-            for (const auto &k : workloads::rodiniaSuite({64}))
-                std::cout << k.name << "\n";
+            workloads::listKernels(std::cout);
             return 0;
         } else {
             usage();
@@ -157,12 +157,7 @@ main(int argc, char **argv)
         }
     }
 
-    if (accel_name == "M-64")
-        params.accel = accel::AccelParams::m64();
-    else if (accel_name == "M-512")
-        params.accel = accel::AccelParams::m512();
-    else
-        params.accel = accel::AccelParams::m128();
+    params.accel = accel::AccelParams::byName(accel_name);
 
     const auto kernel = workloads::kernelByName(kernel_name, {scale});
 

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Offload-as-a-service front end: drives a pool of fabric backends
+ * with deterministic synthetic tenant traffic through the admission
+ * queue, then reports per-QoS SLO attainment, tail latency, and the
+ * queue-wait/service split.
+ *
+ *   ./build/examples/mesa_serve --backends 2 --tenants 64
+ *   ./build/examples/mesa_serve --profile bursty --policy qos-strict
+ *   ./build/examples/mesa_serve --profile closed-loop --digest
+ *   ./build/examples/mesa_serve --json --out serve.json
+ *
+ * SIGINT/SIGTERM trigger a graceful drain: admission closes (pending
+ * arrivals are shed as "draining"), in-flight and queued jobs run to
+ * completion, and every report/metrics/history output is still
+ * written with exact accounting.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "prof/history.hh"
+#include "service/service.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/stats_registry.hh"
+#include "util/table.hh"
+#include "workloads/suite.hh"
+
+using namespace mesa;
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    // First signal: drain gracefully. A second one kills us the
+    // hard way (default disposition restored below).
+    g_stop.store(true, std::memory_order_relaxed);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+}
+
+void
+usage()
+{
+    std::cout <<
+        "mesa_serve — offload-as-a-service front end\n"
+        "  --backends <n>       fabric instances in the pool (2)\n"
+        "  --ways <n>           spatial ways per backend; >1\n"
+        "                       co-schedules same-kernel batches (1)\n"
+        "  --policy <p>         least-loaded | kernel-affinity |\n"
+        "                       qos-strict (least-loaded)\n"
+        "  --profile <p>        poisson | bursty | diurnal |\n"
+        "                       closed-loop (poisson)\n"
+        "  --tenants <n>        tenant sessions (64)\n"
+        "  --arrival <cyc>      mean inter-arrival per tenant (50000)\n"
+        "  --duration <cyc>     open-loop arrival horizon (2000000)\n"
+        "  --jobs-per-tenant <n> closed-loop session length (4)\n"
+        "  --think <cyc>        closed-loop mean think time (10000)\n"
+        "  --depth <n>          admission queue depth (256)\n"
+        "  --tenant-inflight <n> per-tenant in-flight cap (8)\n"
+        "  --kernel <name>      restrict the roster (repeatable)\n"
+        "  --accel <cfg>        M-64 | M-128 | M-512 (M-128)\n"
+        "  --seed <n>           traffic seed (1)\n"
+        "  --json               print the full JSON report\n"
+        "  --out <file>         write the JSON report to a file\n"
+        "  --digest             print the closed-loop functional\n"
+        "                       digest (backend-count invariant)\n"
+        "  --metrics-out <file> Prometheus text exposition\n"
+        "  --stats-json <file>  stats-registry JSON dump\n"
+        "  --history <file>     perf-history JSONL path\n"
+        "                       (default BENCH_history.jsonl)\n"
+        "  --no-history         skip the history append\n"
+        "  --log-level <lvl>    error | warn | info | debug\n"
+        "  --list               list available kernels\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::ServiceParams params;
+    std::string out_path, metrics_out, stats_json;
+    std::string history_path = "BENCH_history.jsonl";
+    bool json = false;
+    bool digest = false;
+    bool no_history = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--backends") {
+            params.backends = int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--ways") {
+            params.backend.sched_ways =
+                int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--policy") {
+            params.policy = service::dispatchPolicyByName(next());
+        } else if (arg == "--profile") {
+            params.traffic.profile =
+                service::trafficProfileByName(next());
+        } else if (arg == "--tenants") {
+            params.traffic.tenants =
+                int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--arrival") {
+            params.traffic.mean_interarrival =
+                std::strtod(next(), nullptr);
+        } else if (arg == "--duration") {
+            params.traffic.horizon_cycles =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--jobs-per-tenant") {
+            params.traffic.jobs_per_tenant =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--think") {
+            params.traffic.think_cycles = std::strtod(next(), nullptr);
+        } else if (arg == "--depth") {
+            params.admission.max_depth =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--tenant-inflight") {
+            params.admission.max_tenant_inflight =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--kernel") {
+            params.traffic.kernels.push_back(next());
+        } else if (arg == "--accel") {
+            params.backend.mesa.accel =
+                accel::AccelParams::byName(next());
+        } else if (arg == "--seed") {
+            params.traffic.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--digest") {
+            digest = true;
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
+        } else if (arg == "--stats-json") {
+            stats_json = next();
+        } else if (arg == "--history") {
+            history_path = next();
+        } else if (arg == "--no-history") {
+            no_history = true;
+        } else if (arg == "--log-level") {
+            const std::string name = next();
+            auto level = logLevelByName(name);
+            if (!level)
+                fatal("unknown log level ", name);
+            Logger::global().setLevel(*level);
+        } else if (arg == "--list") {
+            workloads::listKernels(std::cout);
+            return 0;
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    params.stop = &g_stop;
+    if (!json) {
+        params.progress_every = 256;
+        params.progress = [](const service::ServiceProgress &p) {
+            std::cerr << "  ... " << p.completed << " completed / "
+                      << p.submitted << " submitted / " << p.rejected
+                      << " shed @ cycle " << p.now_cycle << "\n";
+        };
+    }
+
+    const service::ServiceResult result = service::runService(params);
+
+    JsonWriter report;
+    service::writeServiceJson(params, result, report);
+
+    if (json) {
+        std::cout << report.str() << "\n";
+    } else {
+        std::cout << "mesa_serve: " << result.completed
+                  << " offloads across " << params.backends
+                  << " backend(s), policy "
+                  << service::dispatchPolicyName(params.policy)
+                  << ", profile "
+                  << service::trafficProfileName(
+                         params.traffic.profile)
+                  << (result.stopped ? " [drained after stop]" : "")
+                  << "\n";
+        TextTable table;
+        table.header({"qos", "jobs", "rejects", "viol", "p50", "p99",
+                      "p99.9", "wait_mean"});
+        for (int c = 0; c < service::QosClassCount; ++c) {
+            const service::ClassSlo s =
+                result.slo.classSummary(service::QosClass(c));
+            table.row({service::qosName(service::QosClass(c)),
+                       std::to_string(s.jobs),
+                       std::to_string(s.rejects),
+                       std::to_string(s.violations),
+                       TextTable::num(s.p50, 0),
+                       TextTable::num(s.p99, 0),
+                       TextTable::num(s.p999, 0),
+                       TextTable::num(s.mean_wait, 0)});
+        }
+        table.print(std::cout);
+        std::cout << "  throughput " <<
+            TextTable::num(result.offloadsPerSecondSim(), 1)
+                  << " offloads/s (simulated), fairness "
+                  << TextTable::num(result.slo.jainFairness(), 4)
+                  << ", " << result.rejectedTotal() << " shed, "
+                  << result.invariant_violations
+                  << " invariant violations\n";
+    }
+    if (digest)
+        std::cout << service::closedLoopDigest(result) << "\n";
+
+    if (!out_path.empty()) {
+        std::ofstream f(out_path);
+        if (!f)
+            fatal("cannot open report output file ", out_path);
+        f << report.str() << "\n";
+    }
+    if (!metrics_out.empty()) {
+        std::ofstream f(metrics_out);
+        if (!f)
+            fatal("cannot open metrics output file ", metrics_out);
+        result.slo.writePrometheus(f);
+    }
+    if (!stats_json.empty()) {
+        StatsRegistry registry;
+        result.slo.exportInto(registry, "service.");
+        JsonWriter stats;
+        registry.toJson(stats);
+        std::ofstream f(stats_json);
+        if (!f)
+            fatal("cannot open stats output file ", stats_json);
+        f << stats.str() << "\n";
+    }
+    if (!no_history) {
+        prof::HistoryRecord rec =
+            prof::makeHistoryRecord("mesa_serve");
+        rec.metrics["submitted"] = double(result.submitted);
+        rec.metrics["accepted"] = double(result.accepted);
+        rec.metrics["completed"] = double(result.completed);
+        rec.metrics["rejected"] = double(result.rejectedTotal());
+        rec.metrics["offloads_per_second_sim"] =
+            result.offloadsPerSecondSim();
+        rec.metrics["fairness_jain"] = result.slo.jainFairness();
+        rec.metrics["invariant_violations"] =
+            double(result.invariant_violations);
+        for (int c = 0; c < service::QosClassCount; ++c) {
+            const service::ClassSlo s =
+                result.slo.classSummary(service::QosClass(c));
+            const std::string base =
+                std::string(service::qosName(service::QosClass(c)));
+            rec.metrics[base + ".p50"] = s.p50;
+            rec.metrics[base + ".p99"] = s.p99;
+            rec.metrics[base + ".violations"] = double(s.violations);
+        }
+        if (!prof::appendHistory(history_path, rec))
+            logWarn("serve", "cannot append history to ",
+                    history_path);
+    }
+
+    return result.invariant_violations == 0 ? 0 : 1;
+}

@@ -41,7 +41,7 @@ AccelRunResult::accumulate(const AccelRunResult &epoch)
 Accelerator::Accelerator(const AccelParams &params,
                          mem::MainMemory &memory,
                          const mem::HierarchyParams &mem_params)
-    : params_(params), memory_(memory), hierarchy_(mem_params),
+    : params_(params), memory_(&memory), hierarchy_(mem_params),
       ports_(params.ideal_memory ? 4096u : params.mem_ports),
       ic_(std::make_unique<ic::AccelNocInterconnect>(
           params.rows, params.cols, params.noc_slice_width))
@@ -67,7 +67,7 @@ Accelerator::configure(const AcceleratorConfig &config)
     instances_.clear();
     instances_.resize(config_.instances.size());
     for (auto &inst : instances_) {
-        inst.lsu = std::make_unique<mem::LoadStoreUnit>(memory_,
+        inst.lsu = std::make_unique<mem::LoadStoreUnit>(*memory_,
                                                         hierarchy_, ports_);
     }
     // Flat per-PE busy table: mapped slots key by virtual position,

@@ -111,6 +111,16 @@ class Accelerator
     mem::MemHierarchy &hierarchy() { return hierarchy_; }
 
     /**
+     * Re-point the fabric's load/store path at a different main
+     * memory. Takes effect at the next configure() (which rebuilds
+     * every instance's load/store unit); never call it mid-run. This
+     * is the service-layer decoupling: one persistent fabric instance
+     * (warm hierarchy tags, fault plane, latency counters) serves a
+     * stream of jobs that each bring their own memory image.
+     */
+    void rebindMemory(mem::MainMemory &memory) { memory_ = &memory; }
+
+    /**
      * Timeline track this device emits its tile spans on. A scheduler
      * running several sub-array partitions concurrently gives each
      * its own track so their slices do not interleave on "accel".
@@ -217,7 +227,7 @@ class Accelerator
     ic::Coord physicalPos(ic::Coord pos, size_t inst_index) const;
 
     const AccelParams params_;
-    mem::MainMemory &memory_;
+    mem::MainMemory *memory_; ///< Rebindable (see rebindMemory).
     mem::MemHierarchy hierarchy_;
     mem::PortPool ports_;
     std::unique_ptr<ic::Interconnect> ic_;

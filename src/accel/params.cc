@@ -78,6 +78,19 @@ AccelParams::m512()
 }
 
 AccelParams
+AccelParams::byName(const std::string &name)
+{
+    if (name == "M-64")
+        return m64();
+    if (name == "M-128")
+        return m128();
+    if (name == "M-512")
+        return m512();
+    fatal("AccelParams::byName: unknown preset '", name,
+          "' (known: M-64 M-128 M-512)");
+}
+
+AccelParams
 AccelParams::subArray(int origin_row, int sub_rows) const
 {
     if (origin_row < 0 || sub_rows < 1 || origin_row + sub_rows > rows)

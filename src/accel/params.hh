@@ -88,6 +88,12 @@ struct AccelParams
     static AccelParams m128();  ///< 16x8, 128 PEs
     static AccelParams m512();  ///< 64x8, 512 PEs
 
+    /**
+     * Preset by CLI name ("M-64" | "M-128" | "M-512"); fatal on an
+     * unknown name. Shared by every tool's --accel flag.
+     */
+    static AccelParams byName(const std::string &name);
+
     /** Arbitrary PE count with the default aspect ratio (Fig. 15). */
     static AccelParams withPeCount(int pes);
 

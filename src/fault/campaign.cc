@@ -10,6 +10,7 @@
 #include "util/json.hh"
 #include "util/parallel.hh"
 #include "util/stats_registry.hh"
+#include "workloads/suite.hh"
 
 namespace mesa::fault
 {
@@ -307,14 +308,8 @@ runCampaign(const CampaignParams &params)
     CampaignResult result;
     result.params = params;
 
-    std::vector<workloads::Kernel> kernels;
-    if (params.kernels.empty()) {
-        kernels = workloads::rodiniaSuite(params.scale);
-    } else {
-        for (const auto &name : params.kernels)
-            kernels.push_back(
-                workloads::kernelByName(name, params.scale));
-    }
+    std::vector<workloads::Kernel> kernels =
+        workloads::selectKernels(params.kernels, params.scale);
 
     for (size_t ki = 0; ki < kernels.size(); ++ki) {
         const workloads::Kernel &kernel = kernels[ki];

@@ -29,36 +29,50 @@ class ConfigCache
   public:
     explicit ConfigCache(size_t capacity = 8) : capacity_(capacity) {}
 
-    /** Find a configuration for the region starting at this pc. */
+    /**
+     * Find a configuration for the region starting at this pc whose
+     * body tag matches. The tag (a CRC over the region's instruction
+     * encodings) guards shared backends: different programs assembled
+     * at the same base address collide on pc alone, and serving a
+     * stale config would silently compute the wrong kernel. A
+     * pc-present/tag-mismatch probe counts as a miss (and a recorded
+     * conflict); the subsequent insert replaces the stale entry.
+     */
     const accel::AcceleratorConfig *
-    lookup(uint32_t region_start)
+    lookup(uint32_t region_start, uint32_t body_tag = 0)
     {
         auto idx = index_.find(region_start);
         if (idx == index_.end()) {
             ++misses_;
             return nullptr;
         }
+        if (idx->second->tag != body_tag) {
+            ++misses_;
+            ++tag_conflicts_;
+            return nullptr;
+        }
         entries_.splice(entries_.begin(), entries_, idx->second);
         idx->second = entries_.begin();
         ++hits_;
-        return &entries_.front().second;
+        return &entries_.front().config;
     }
 
     /** Insert (or replace in place) the configuration for its region. */
     void
-    insert(accel::AcceleratorConfig config)
+    insert(accel::AcceleratorConfig config, uint32_t body_tag = 0)
     {
         const uint32_t key = config.region_start;
         if (auto idx = index_.find(key); idx != index_.end()) {
-            idx->second->second = std::move(config);
+            idx->second->tag = body_tag;
+            idx->second->config = std::move(config);
             entries_.splice(entries_.begin(), entries_, idx->second);
             idx->second = entries_.begin();
             return;
         }
-        entries_.emplace_front(key, std::move(config));
+        entries_.push_front(Entry{key, body_tag, std::move(config)});
         index_[key] = entries_.begin();
         if (entries_.size() > capacity_) {
-            index_.erase(entries_.back().first);
+            index_.erase(entries_.back().key);
             entries_.pop_back();
             ++evictions_;
         }
@@ -92,16 +106,23 @@ class ConfigCache
         registry.linkCounter(prefix + "hits", hits_);
         registry.linkCounter(prefix + "misses", misses_);
         registry.linkCounter(prefix + "evictions", evictions_);
+        registry.linkCounter(prefix + "tag_conflicts", tag_conflicts_);
     }
 
     size_t size() const { return entries_.size(); }
     uint64_t hits() const { return hits_.value(); }
     uint64_t misses() const { return misses_.value(); }
     uint64_t evictions() const { return evictions_.value(); }
+    uint64_t tagConflicts() const { return tag_conflicts_.value(); }
 
   private:
-    using EntryList =
-        std::list<std::pair<uint32_t, accel::AcceleratorConfig>>;
+    struct Entry
+    {
+        uint32_t key;
+        uint32_t tag;
+        accel::AcceleratorConfig config;
+    };
+    using EntryList = std::list<Entry>;
 
     size_t capacity_;
     EntryList entries_; ///< MRU first; back is the eviction victim.
@@ -109,6 +130,7 @@ class ConfigCache
     Counter hits_{"hits"};
     Counter misses_{"misses"};
     Counter evictions_{"evictions"};
+    Counter tag_conflicts_{"tag_conflicts"};
 };
 
 } // namespace mesa::core

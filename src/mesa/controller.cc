@@ -4,6 +4,7 @@
 
 #include "dfg/unroll.hh"
 #include "fault/checkpoint.hh"
+#include "util/crc32.hh"
 #include "util/debug.hh"
 #include "interconnect/folded.hh"
 #include "util/logging.hh"
@@ -18,6 +19,29 @@ using cpu::RegionMonitor;
 using dfg::Ldfg;
 using riscv::Instruction;
 using riscv::TraceEntry;
+
+namespace
+{
+
+/**
+ * Config-cache key guard: a CRC over the region body's addresses and
+ * instruction encodings. Two different programs loaded at the same
+ * base address (routine on service backends, where every kernel
+ * assembles to the same base) collide on the loop-head pc; the tag
+ * keeps a cached config from being served for the wrong code.
+ */
+uint32_t
+bodyTag(const std::vector<Instruction> &body)
+{
+    Crc32 crc;
+    for (const Instruction &inst : body) {
+        crc.add32(inst.pc);
+        crc.add32(inst.raw);
+    }
+    return crc.value();
+}
+
+} // namespace
 
 const char *
 fallbackReasonName(FallbackReason reason)
@@ -301,7 +325,7 @@ MesaController::tracePreparePhases(const Prepared &prep,
 
 MesaController::MesaController(const MesaParams &params,
                                mem::MainMemory &memory)
-    : params_(params), memory_(memory),
+    : params_(params), memory_(&memory),
       accel_(params.accel, memory, params.accel_mem),
       mapper_(accel_.params(), accel_.interconnect(), params.mapper),
       config_block_(accel_.params())
@@ -323,6 +347,7 @@ MesaController::prepare(const std::vector<Instruction> &body,
                         uint32_t region_end)
 {
     last_prepare_fallback_ = FallbackReason::Structural;
+    const uint32_t region_tag = bodyTag(body);
     const size_t capacity = params_.accel.capacity();
     const int max_tm =
         params_.enable_time_multiplexing
@@ -366,6 +391,7 @@ MesaController::prepare(const std::vector<Instruction> &body,
 
     Prepared prep;
     prep.ldfg = std::move(*ldfg);
+    prep.body_tag = region_tag;
     // The frontend renames one instruction per cycle while building
     // the LDFG from the trace cache.
     prep.encode_cycles = working.size();
@@ -564,7 +590,7 @@ MesaController::runWithOptimization(Prepared &prep,
                 os.region_start, os.region_end);
             prep.config.model_latency = os.model_latency;
             accel_.configure(prep.config);
-            config_cache_.insert(prep.config);
+            config_cache_.insert(prep.config, prep.body_tag);
             ++os.reconfigurations;
             // With a shadow plane the bitstream streams during the
             // previous epoch; only the swap stalls the array.
@@ -606,7 +632,7 @@ MesaController::runWithOptimization(Prepared &prep,
                 os.region_start, os.region_end);
             prep.config.model_latency = outcome.new_model_latency;
             accel_.configure(prep.config);
-            config_cache_.insert(prep.config);
+            config_cache_.insert(prep.config, prep.body_tag);
             ++os.reconfigurations;
             // Mapping runs on MESA concurrently with execution; the
             // charged cost is the bitstream write (or the shadow
@@ -648,7 +674,7 @@ MesaController::runWithOptimization(Prepared &prep,
 void
 MesaController::cpuReexecute(riscv::ArchState &state, OffloadStats &os)
 {
-    riscv::Emulator cpu(memory_);
+    riscv::Emulator cpu(*memory_);
     cpu.reset(state.pc);
     cpu.state() = state;
     const uint64_t steps = cpu.runWhileInRegion(
@@ -744,12 +770,12 @@ MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
             cpuReexecute(state, os);
             return;
         }
-        config_cache_.insert(prep.config);
+        config_cache_.insert(prep.config, prep.body_tag);
     }
 
     // Checkpoint before handing control to the fabric.
     const fault::Checkpoint ckpt =
-        fault::Checkpoint::capture(state, memory_);
+        fault::Checkpoint::capture(state, *memory_);
 
     runWithOptimization(prep, state, max_iterations, os,
                         fp.watchdog_cycles);
@@ -770,7 +796,7 @@ MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
                            {{"pc", uint64_t(os.region_start)}});
         }
         os.fallback = FallbackReason::Watchdog;
-        ckpt.restore(state, memory_);
+        ckpt.restore(state, *memory_);
         cpuReexecute(state, os);
         faulted = true;
     } else if (fp.checked_mode && os.accel.completed) {
@@ -780,9 +806,9 @@ MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
         if (stats_ && live_.fault_checked_runs)
             ++*live_.fault_checked_runs;
         const riscv::ArchState accel_state = state;
-        const fault::MemSnapshot accel_pages = memory_.snapshot();
-        ckpt.restore(state, memory_);
-        riscv::Emulator golden(memory_);
+        const fault::MemSnapshot accel_pages = memory_->snapshot();
+        ckpt.restore(state, *memory_);
+        riscv::Emulator golden(*memory_);
         golden.reset(state.pc);
         golden.state() = state;
         const uint64_t steps = golden.runWhileInRegion(
@@ -793,7 +819,7 @@ MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
             *live_.fault_cpu_reexec += steps;
         const bool match =
             state == accel_state &&
-            fault::memorySnapshotsEqual(memory_.snapshot(),
+            fault::memorySnapshotsEqual(memory_->snapshot(),
                                         accel_pages);
         if (!match) {
             // state/memory already hold the golden result: detection
@@ -857,7 +883,8 @@ MesaController::offloadLoop(const std::vector<Instruction> &body,
     }
 
     Prepared prep;
-    if (const auto *cached = config_cache_.lookup(region_start)) {
+    if (const auto *cached =
+            config_cache_.lookup(region_start, bodyTag(body))) {
         // Re-encountered region: reuse the stored configuration; only
         // the bitstream write is paid again.
         os.config_cache_hit = true;
@@ -883,7 +910,7 @@ MesaController::offloadLoop(const std::vector<Instruction> &body,
         os.mapping_cycles = prep.map.mapping_cycles;
         os.config_cycles = config_block_.configCycles(prep.config);
         os.unmapped = prep.map.unmapped.size();
-        config_cache_.insert(prep.config);
+        config_cache_.insert(prep.config, prep.body_tag);
     }
 
     // In the lower-level entry there is no CPU to overlap with: the
@@ -909,12 +936,12 @@ MesaController::runTransparent(const riscv::Program &program,
 {
     TransparentRunResult result;
 
-    cpu::loadProgram(memory_, program);
+    cpu::loadProgram(*memory_, program);
     mem::MemHierarchy cpu_mem(params_.cpu_mem);
     cpu::OooCore core(params_.host_core, cpu_mem);
     RegionMonitor monitor(params_.monitor);
 
-    riscv::Emulator emu(memory_);
+    riscv::Emulator emu(*memory_);
     emu.reset(program.base_pc);
     if (init)
         init(emu.state());
@@ -961,7 +988,7 @@ MesaController::runTransparent(const riscv::Program &program,
 
         // --- Qualified: state.pc is at the loop entry. ---
         const cpu::LoopInfo loop = decision->loop;
-        monitor.traceCache().backfill(memory_);
+        monitor.traceCache().backfill(*memory_);
         const std::vector<Instruction> body = monitor.traceCache().body();
 
         if (params_.fault.enabled &&
@@ -1007,7 +1034,8 @@ MesaController::runTransparent(const riscv::Program &program,
 
         Prepared prep;
         bool prepared = false;
-        if (const auto *cached = config_cache_.lookup(loop.start)) {
+        if (const auto *cached =
+                config_cache_.lookup(loop.start, bodyTag(body))) {
             auto fresh = prepare(body, parallel_hint, loop.start,
                                  loop.end);
             if (fresh) {
@@ -1026,7 +1054,7 @@ MesaController::runTransparent(const riscv::Program &program,
             os.mapping_cycles = prep.map.mapping_cycles;
             os.config_cycles = config_block_.configCycles(prep.config);
             os.unmapped = prep.map.unmapped.size();
-            config_cache_.insert(prep.config);
+            config_cache_.insert(prep.config, prep.body_tag);
             prepared = true;
         }
         if (!prepared) {

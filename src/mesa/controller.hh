@@ -285,6 +285,21 @@ class MesaController
     ConfigCache &configCache() { return config_cache_; }
 
     /**
+     * Re-point the controller (and its accelerator) at a different
+     * main memory. The service layer's enabling decoupling: one
+     * controller per fabric backend persists across jobs — keeping
+     * its config cache warm, its quarantine ledger, retired-PE map,
+     * and stats — while every job binds its own fresh memory image.
+     * Only call between runs (never with an offload in flight).
+     */
+    void
+    rebindMemory(mem::MainMemory &memory)
+    {
+        memory_ = &memory;
+        accel_.rebindMemory(memory);
+    }
+
+    /**
      * Campaign hook (fault mode): called on the prepared configuration
      * right before the CRC gate, modeling an SEU in the stored
      * bitstream. The hook mutates the config in place; the controller
@@ -364,6 +379,7 @@ class MesaController
         ConfigOptions options;
         uint64_t encode_cycles = 0;
         int max_tiles = 1; ///< Grid-supported tile factor ceiling.
+        uint32_t body_tag = 0; ///< Config-cache key guard (body CRC).
     };
     std::optional<Prepared> prepare(
         const std::vector<riscv::Instruction> &body, bool parallel_hint,
@@ -461,7 +477,7 @@ class MesaController
     Counter &verifyRuleCounter(const std::string &rule);
 
     MesaParams params_;
-    mem::MainMemory &memory_;
+    mem::MainMemory *memory_; ///< Rebindable (see rebindMemory).
     accel::Accelerator accel_;
     InstructionMapper mapper_;
     ConfigBlock config_block_;

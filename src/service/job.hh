@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Offload-as-a-service job model (ROADMAP item 1): the unit of work
+ * tenants submit to the shared fabric pool — a suite kernel, a
+ * dataset size, a QoS class, and the tenant that owns it — plus the
+ * completed-job record the SLO accounting consumes. Time throughout
+ * the service layer is virtual device cycles (the simulator's
+ * deterministic clock), converted to seconds only at the reporting
+ * edge via clock_ghz.
+ */
+
+#ifndef MESA_SERVICE_JOB_HH
+#define MESA_SERVICE_JOB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "prof/profile.hh"
+
+namespace mesa::service
+{
+
+/** Quality-of-service class, strictest first. */
+enum class QosClass
+{
+    Interactive = 0, ///< Tight tail-latency target.
+    Standard = 1,    ///< Default class.
+    Batch = 2,       ///< Throughput-oriented; loose target.
+};
+
+constexpr int QosClassCount = 3;
+
+/** Stable lower-case identifier ("interactive"). */
+const char *qosName(QosClass qos);
+
+/** Why admission control refused a job. */
+enum class RejectReason
+{
+    None = 0,
+    QueueFull,    ///< Global pending-depth limit hit.
+    TenantLimit,  ///< Per-tenant in-flight limit hit.
+    Draining,     ///< Admission closed (graceful shutdown).
+};
+
+constexpr int RejectReasonCount = 4;
+
+/** Stable lower-case identifier ("queue_full"). */
+const char *rejectReasonName(RejectReason reason);
+
+/** One offload request as submitted by a tenant session. */
+struct OffloadJob
+{
+    uint64_t id = 0;        ///< Global submission order (set on offer).
+    int tenant = 0;
+    uint64_t seq = 0;       ///< Tenant-local job index.
+    QosClass qos = QosClass::Standard;
+    std::string kernel;     ///< Suite roster name (workloads/suite.hh).
+    uint64_t iterations = 0; ///< Dataset size: hot-loop trip count.
+    uint64_t arrival_cycle = 0;
+};
+
+/** Outcome of one admitted, completed job. */
+struct JobRecord
+{
+    OffloadJob job;
+    int backend = -1;
+    uint64_t dispatch_cycle = 0;
+    uint64_t completion_cycle = 0;
+    uint64_t queue_wait_cycles = 0; ///< dispatch - arrival.
+    uint64_t service_cycles = 0;    ///< completion - dispatch.
+
+    /**
+     * Service-time split in the src/prof taxonomy. Invariant (the
+     * CI gate): phases.total() == service_cycles exactly. CPU-side
+     * execution (fallbacks, re-execution after a guard rejection)
+     * is charged to FaultRecovery at one cycle per instruction.
+     */
+    prof::PhaseBreakdown phases;
+
+    bool offloaded = false;        ///< Ran on the fabric (no fallback).
+    bool config_cache_hit = false;
+    uint64_t accel_iterations = 0; ///< Loop iterations on the device.
+
+    /** Functional digests (the multi-backend cross-check): CRCs of
+     *  the final architectural state and memory image. */
+    uint64_t state_digest = 0;
+    uint64_t mem_digest = 0;
+
+    uint64_t latency() const { return queue_wait_cycles + service_cycles; }
+};
+
+} // namespace mesa::service
+
+#endif // MESA_SERVICE_JOB_HH

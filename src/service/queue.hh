@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Bounded admission queue with backpressure. Admission control is
+ * two-tier: a global pending-depth cap (queue backpressure) and a
+ * per-tenant in-flight cap (one hog cannot fill the queue), plus a
+ * draining state that refuses everything once graceful shutdown
+ * begins. Every refusal is counted by reason — load shedding is only
+ * useful if the operator can see what was shed.
+ */
+
+#ifndef MESA_SERVICE_QUEUE_HH
+#define MESA_SERVICE_QUEUE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "service/job.hh"
+
+namespace mesa::service
+{
+
+/** Admission-control limits. */
+struct AdmissionParams
+{
+    size_t max_depth = 256;         ///< Pending jobs, all tenants.
+    size_t max_tenant_inflight = 8; ///< Pending + executing per tenant.
+};
+
+/** FIFO of admitted jobs awaiting dispatch, plus the admission gate. */
+class OffloadQueue
+{
+  public:
+    explicit OffloadQueue(const AdmissionParams &params)
+        : params_(params)
+    {
+    }
+
+    /**
+     * Admission gate: enqueue the job (stamping its global id) or
+     * refuse it with a counted reason. A tenant's in-flight count
+     * covers queued and executing jobs; it drops at onComplete.
+     */
+    RejectReason
+    offer(const OffloadJob &job)
+    {
+        ++submitted_;
+        RejectReason reason = RejectReason::None;
+        if (draining_)
+            reason = RejectReason::Draining;
+        else if (pending_.size() >= params_.max_depth)
+            reason = RejectReason::QueueFull;
+        else if (inflight_[job.tenant] >= params_.max_tenant_inflight)
+            reason = RejectReason::TenantLimit;
+        if (reason != RejectReason::None) {
+            ++rejected_[size_t(reason)];
+            return reason;
+        }
+        pending_.push_back(job);
+        pending_.back().id = next_id_++;
+        ++inflight_[job.tenant];
+        ++accepted_;
+        return RejectReason::None;
+    }
+
+    /** Remove and return the pending job at @p index (dispatch). The
+     *  tenant stays in-flight until onComplete. */
+    OffloadJob
+    take(size_t index)
+    {
+        OffloadJob job = pending_[index];
+        pending_.erase(pending_.begin() +
+                       std::deque<OffloadJob>::difference_type(index));
+        return job;
+    }
+
+    /** A dispatched job finished: release its tenant slot. */
+    void
+    onComplete(const OffloadJob &job)
+    {
+        auto it = inflight_.find(job.tenant);
+        if (it != inflight_.end() && it->second > 0)
+            --it->second;
+    }
+
+    /** Close admission (graceful drain): every offer → Draining. */
+    void stopAdmission() { draining_ = true; }
+    bool draining() const { return draining_; }
+
+    bool empty() const { return pending_.empty(); }
+    size_t depth() const { return pending_.size(); }
+    const std::deque<OffloadJob> &pending() const { return pending_; }
+
+    uint64_t submitted() const { return submitted_; }
+    uint64_t accepted() const { return accepted_; }
+    uint64_t rejected(RejectReason r) const
+    {
+        return rejected_[size_t(r)];
+    }
+    uint64_t
+    rejectedTotal() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t r : rejected_)
+            sum += r;
+        return sum;
+    }
+
+  private:
+    AdmissionParams params_;
+    std::deque<OffloadJob> pending_;
+    std::unordered_map<int, size_t> inflight_;
+    bool draining_ = false;
+    uint64_t next_id_ = 0;
+    uint64_t submitted_ = 0;
+    uint64_t accepted_ = 0;
+    std::array<uint64_t, RejectReasonCount> rejected_{};
+};
+
+} // namespace mesa::service
+
+#endif // MESA_SERVICE_QUEUE_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Offload-as-a-service orchestration: a deterministic virtual-time
+ * event loop drains one shared admission queue across a pool of N
+ * fabric backends under a pluggable dispatch policy. Events are job
+ * arrivals (from the traffic generator) and backend completions;
+ * ties are broken (completions first, then arrival order) so a run
+ * is a pure function of its parameters — the same seed replays
+ * byte-identically, and in closed-loop direct mode the functional
+ * digests are identical for any backend count.
+ */
+
+#ifndef MESA_SERVICE_SERVICE_HH
+#define MESA_SERVICE_SERVICE_HH
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "service/backend.hh"
+#include "service/job.hh"
+#include "service/queue.hh"
+#include "service/slo.hh"
+#include "service/traffic.hh"
+#include "util/json.hh"
+
+namespace mesa::service
+{
+
+/** How the pool picks a backend (and a job) at dispatch time. */
+enum class DispatchPolicy
+{
+    LeastLoaded = 0, ///< FIFO job → idle backend with least lifetime
+                     ///< busy time (ties: lowest id).
+    KernelAffinity,  ///< Prefer each job's home backend (kernel-hash
+                     ///< sharding, warm config caches); falls back to
+                     ///< least-loaded so it stays work-conserving.
+    QosStrict,       ///< Strictest-QoS job first (FIFO within class).
+};
+
+const char *dispatchPolicyName(DispatchPolicy policy);
+
+/** Parse a policy name ("least-loaded"); fatal on unknown. */
+DispatchPolicy dispatchPolicyByName(const std::string &name);
+
+/** Periodic progress snapshot (drives CLIs and shutdown tests). */
+struct ServiceProgress
+{
+    uint64_t completed = 0;
+    uint64_t submitted = 0;
+    uint64_t rejected = 0;
+    uint64_t now_cycle = 0;
+};
+
+/** Full configuration of one service run. */
+struct ServiceParams
+{
+    TrafficParams traffic;
+    AdmissionParams admission;
+    BackendParams backend; ///< Every backend gets this config.
+    int backends = 2;
+    DispatchPolicy policy = DispatchPolicy::LeastLoaded;
+    SloParams slo;
+
+    /**
+     * Graceful-shutdown flag (e.g. set from a SIGINT handler): once
+     * observed true, admission closes — not-yet-arrived jobs are
+     * shed as Draining — while queued and in-flight jobs drain to
+     * completion and all accounting stays exact.
+     */
+    const std::atomic<bool> *stop = nullptr;
+
+    /** Called every @p progress_every completions (0 = never). */
+    std::function<void(const ServiceProgress &)> progress;
+    uint64_t progress_every = 0;
+};
+
+/** Per-backend lifetime summary. */
+struct BackendSummary
+{
+    int id = 0;
+    uint64_t jobs = 0;
+    uint64_t batches = 0;
+    uint64_t busy_cycles = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_tag_conflicts = 0;
+};
+
+/** Outcome of one service run. */
+struct ServiceResult
+{
+    uint64_t submitted = 0;
+    uint64_t accepted = 0;
+    uint64_t completed = 0;
+    std::array<uint64_t, RejectReasonCount> rejects{};
+    uint64_t horizon_cycles = 0; ///< Last event (virtual cycles).
+    bool stopped = false;        ///< Graceful shutdown was taken.
+
+    std::vector<JobRecord> records; ///< Dispatch order.
+    SloAccounting slo;
+    std::vector<BackendSummary> backends;
+
+    /** slo invariants + global conservation (submitted == accepted +
+     *  rejected, accepted == completed). CI gates this to zero. */
+    uint64_t invariant_violations = 0;
+
+    double clock_ghz = 2.0;
+
+    uint64_t
+    rejectedTotal() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t r : rejects)
+            sum += r;
+        return sum;
+    }
+
+    /** Sustained offload completion rate in simulated time — a
+     *  deterministic throughput figure (jobs per simulated second),
+     *  independent of host speed. */
+    double
+    offloadsPerSecondSim() const
+    {
+        if (horizon_cycles == 0)
+            return 0.0;
+        return double(completed) /
+               (double(horizon_cycles) / (clock_ghz * 1e9));
+    }
+};
+
+/** Run one service campaign to completion (or drained shutdown). */
+ServiceResult runService(const ServiceParams &params);
+
+/**
+ * Deterministic full report (no wall-clock, no host info): the same
+ * parameters produce a byte-identical report on every run.
+ */
+void writeServiceJson(const ServiceParams &params,
+                      const ServiceResult &result, JsonWriter &json);
+
+/**
+ * Functional digest of a closed-loop run, sorted by (tenant, seq):
+ * kernel, size, QoS, and the final architectural-state and memory
+ * CRCs of every job — no timing, no backend ids. In direct mode
+ * (sched_ways == 1) this string is identical for ANY backend count:
+ * the multi-backend sharding cross-check.
+ */
+std::string closedLoopDigest(const ServiceResult &result);
+
+} // namespace mesa::service
+
+#endif // MESA_SERVICE_SERVICE_HH

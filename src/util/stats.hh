@@ -9,6 +9,7 @@
 #define MESA_UTIL_STATS_HH
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -106,6 +107,43 @@ class Histogram
         else
             ++buckets_[idx];
     }
+
+    /**
+     * Nearest-rank quantile estimate from the bucketed distribution,
+     * q in [0, 1]. Returns the upper edge of the bucket holding the
+     * ceil(q * samples)-th smallest sample (clamped to the observed
+     * max), so the estimate never under-reports: it sits within one
+     * bucket width above the exact sorted-sample quantile. Ranks that
+     * land in the underflow bucket report the true minimum, ranks in
+     * the overflow bucket the true maximum; 0 before any sample.
+     */
+    double
+    percentile(double q) const
+    {
+        if (samples_ == 0)
+            return 0.0;
+        if (q < 0.0) q = 0.0;
+        if (q > 1.0) q = 1.0;
+        uint64_t rank =
+            static_cast<uint64_t>(std::ceil(q * double(samples_)));
+        if (rank == 0)
+            rank = 1;
+        if (rank > samples_)
+            rank = samples_;
+        if (rank <= underflow_)
+            return min_;
+        uint64_t cumulative = underflow_;
+        for (size_t i = 0; i < buckets_.size(); ++i) {
+            cumulative += buckets_[i];
+            if (cumulative >= rank)
+                return std::min(max_, double(i + 1) * width_);
+        }
+        return max_; // Rank falls in the overflow bucket.
+    }
+
+    double p50() const { return percentile(0.50); }
+    double p99() const { return percentile(0.99); }
+    double p999() const { return percentile(0.999); }
 
     uint64_t samples() const { return samples_; }
     double mean() const { return samples_ ? sum_ / samples_ : 0.0; }

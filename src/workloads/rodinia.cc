@@ -856,27 +856,6 @@ makeHotspot3d(uint64_t n)
     return k;
 }
 
-std::vector<Kernel>
-rodiniaSuite(const SuiteScale &scale)
-{
-    const uint64_t n = scale.n;
-    return {
-        makeBackprop(n), makeBfs(n),          makeBtree(n / 4),
-        makeCfd(n),      makeGaussian(n),     makeHeartwall(n),
-        makeHotspot(n),  makeHotspot3d(n),    makeKmeans(n),
-        makeLavaMd(n),   makeLeukocyte(n),    makeLud(n),
-        makeNn(n),       makePathfinder(n),   makeSrad(n),
-        makeStreamcluster(n),
-    };
-}
-
-Kernel
-kernelByName(const std::string &name, const SuiteScale &scale)
-{
-    for (auto &k : rodiniaSuite(scale))
-        if (k.name == name)
-            return k;
-    fatal("kernelByName: unknown kernel '", name, "'");
-}
+// rodiniaSuite / kernelByName live in suite.cc on the roster registry.
 
 } // namespace mesa::workloads

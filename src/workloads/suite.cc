@@ -1,0 +1,91 @@
+#include "workloads/suite.hh"
+
+#include "util/logging.hh"
+
+namespace mesa::workloads
+{
+
+const std::vector<SuiteEntry> &
+suiteRegistry()
+{
+    static const std::vector<SuiteEntry> registry = {
+        {"backprop", makeBackprop, 1},
+        {"bfs", makeBfs, 1},
+        {"b+tree", makeBtree, 4},
+        {"cfd", makeCfd, 1},
+        {"gaussian", makeGaussian, 1},
+        {"heartwall", makeHeartwall, 1},
+        {"hotspot", makeHotspot, 1},
+        {"hotspot3D", makeHotspot3d, 1},
+        {"kmeans", makeKmeans, 1},
+        {"lavaMD", makeLavaMd, 1},
+        {"leukocyte", makeLeukocyte, 1},
+        {"lud", makeLud, 1},
+        {"nn", makeNn, 1},
+        {"pathfinder", makePathfinder, 1},
+        {"srad", makeSrad, 1},
+        {"streamcluster", makeStreamcluster, 1},
+    };
+    return registry;
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &entry : suiteRegistry())
+            out.emplace_back(entry.name);
+        return out;
+    }();
+    return names;
+}
+
+Kernel
+buildEntry(const SuiteEntry &entry, const SuiteScale &scale)
+{
+    return entry.make(scale.n / entry.scale_divisor);
+}
+
+std::vector<Kernel>
+selectKernels(const std::vector<std::string> &names,
+              const SuiteScale &scale)
+{
+    std::vector<Kernel> out;
+    if (names.empty()) {
+        for (const auto &entry : suiteRegistry())
+            out.push_back(buildEntry(entry, scale));
+        return out;
+    }
+    for (const auto &name : names)
+        out.push_back(kernelByName(name, scale));
+    return out;
+}
+
+void
+listKernels(std::ostream &os)
+{
+    for (const auto &name : suiteNames())
+        os << "  " << name << "\n";
+}
+
+std::vector<Kernel>
+rodiniaSuite(const SuiteScale &scale)
+{
+    return selectKernels({}, scale);
+}
+
+Kernel
+kernelByName(const std::string &name, const SuiteScale &scale)
+{
+    for (const auto &entry : suiteRegistry())
+        if (name == entry.name)
+            return buildEntry(entry, scale);
+    std::string known;
+    for (const auto &n : suiteNames())
+        known += " " + n;
+    fatal("kernelByName: unknown kernel '", name, "' (known:", known,
+          ")");
+}
+
+} // namespace mesa::workloads

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Canonical workload-suite registry. Every CLI and bench used to
+ * enumerate the 16 Rodinia kernels by hand (and each copy drifted on
+ * details like b+tree's reduced scale); this registry is the single
+ * source of truth for the suite roster, its per-kernel scale rules,
+ * and name-based selection.
+ */
+
+#ifndef MESA_WORKLOADS_SUITE_HH
+#define MESA_WORKLOADS_SUITE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "workloads/kernel.hh"
+
+namespace mesa::workloads
+{
+
+/** One suite roster entry. */
+struct SuiteEntry
+{
+    const char *name;         ///< Canonical kernel name ("nn").
+    Kernel (*make)(uint64_t); ///< Builder taking the iteration count.
+    uint64_t scale_divisor;   ///< Suite scale n is divided by this
+                              ///< (b+tree runs at n/4: every search
+                              ///< walks a whole tree level per probe).
+};
+
+/** The full roster in canonical (alphabetical) order. */
+const std::vector<SuiteEntry> &suiteRegistry();
+
+/** Canonical kernel names, in roster order. */
+const std::vector<std::string> &suiteNames();
+
+/** Build one roster entry at the given suite scale. */
+Kernel buildEntry(const SuiteEntry &entry, const SuiteScale &scale);
+
+/**
+ * Select kernels by name at the given scale. An empty name list
+ * selects the whole suite; an unknown name is fatal (listing the
+ * valid names). Duplicate names build duplicate kernels, which lets
+ * callers weight a workload mix.
+ */
+std::vector<Kernel> selectKernels(const std::vector<std::string> &names,
+                                  const SuiteScale &scale = {});
+
+/** Print one kernel name per line (the CLIs' --list). */
+void listKernels(std::ostream &os);
+
+} // namespace mesa::workloads
+
+#endif // MESA_WORKLOADS_SUITE_HH

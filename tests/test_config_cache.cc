@@ -114,3 +114,44 @@ TEST(ConfigCacheDetail, CountersFlowIntoStatsRegistry)
     EXPECT_EQ(cache.misses(), 1u);
     EXPECT_EQ(cache.evictions(), 1u);
 }
+
+TEST(ConfigCacheDetail, BodyTagMismatchIsACountedConflictMiss)
+{
+    // Two different loop bodies assembled at the same base pc (the
+    // service layer's shared-backend case): the pc alone matches but
+    // the body CRC tag does not — the lookup must miss, count a tag
+    // conflict, and let the subsequent insert replace the entry.
+    ConfigCache cache(4);
+    cache.insert(cfg(0x100), /*body_tag=*/0xAAAA);
+    EXPECT_NE(cache.lookup(0x100, 0xAAAA), nullptr);
+    EXPECT_EQ(cache.lookup(0x100, 0xBBBB), nullptr);
+    EXPECT_EQ(cache.tagConflicts(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    cache.insert(cfg(0x100, 7), 0xBBBB); // Replace with the new body.
+    EXPECT_EQ(cache.size(), 1u);
+    const auto *hit = cache.lookup(0x100, 0xBBBB);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->config_words, 7u);
+    // The old tag's config is gone.
+    EXPECT_EQ(cache.lookup(0x100, 0xAAAA), nullptr);
+    EXPECT_EQ(cache.tagConflicts(), 2u);
+}
+
+TEST(ConfigCacheDetail, DefaultTagPreservesUntaggedBehavior)
+{
+    ConfigCache cache(2);
+    cache.insert(cfg(0x100));
+    EXPECT_NE(cache.lookup(0x100), nullptr);
+    EXPECT_EQ(cache.tagConflicts(), 0u);
+}
+
+TEST(ConfigCacheDetail, TagConflictsFlowIntoStatsRegistry)
+{
+    ConfigCache cache(2);
+    StatsRegistry stats;
+    cache.registerStats(stats, "cc.");
+    cache.insert(cfg(0x100), 1);
+    cache.lookup(0x100, 2);
+    EXPECT_EQ(stats.value("cc.tag_conflicts"), 1.0);
+}

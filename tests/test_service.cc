@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Service-layer tests: traffic-generator determinism and substream
+ * purity, admission-control backpressure accounting, SLO bookkeeping
+ * against hand-computed values, graceful-drain semantics, and the two
+ * headline guarantees — same-seed runs are byte-identical, and in
+ * closed-loop direct mode the functional digest is identical for any
+ * backend count (multi-backend sharding is functionally transparent).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+
+#include "service/backend.hh"
+#include "service/job.hh"
+#include "service/queue.hh"
+#include "service/service.hh"
+#include "service/slo.hh"
+#include "service/traffic.hh"
+#include "util/json.hh"
+
+using namespace mesa;
+using namespace mesa::service;
+
+namespace
+{
+
+TrafficParams
+smallOpenLoop()
+{
+    TrafficParams p;
+    p.tenants = 8;
+    p.horizon_cycles = 200'000;
+    p.mean_interarrival = 20'000.0;
+    p.seed = 7;
+    return p;
+}
+
+ServiceParams
+smallClosedLoop(int backends)
+{
+    ServiceParams p;
+    p.traffic.profile = TrafficProfile::ClosedLoop;
+    p.traffic.tenants = 10;
+    p.traffic.jobs_per_tenant = 3;
+    p.traffic.seed = 11;
+    p.backends = backends;
+    return p;
+}
+
+/** A synthetic, internally consistent job record. */
+JobRecord
+record(int tenant, QosClass qos, uint64_t arrival, uint64_t wait,
+       uint64_t service)
+{
+    JobRecord rec;
+    rec.job.tenant = tenant;
+    rec.job.qos = qos;
+    rec.job.arrival_cycle = arrival;
+    rec.dispatch_cycle = arrival + wait;
+    rec.queue_wait_cycles = wait;
+    rec.service_cycles = service;
+    rec.completion_cycle = rec.dispatch_cycle + service;
+    rec.phases[prof::Phase::Compute] = service;
+    return rec;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Traffic generator.
+// ---------------------------------------------------------------------
+
+TEST(ServiceTraffic, SameSeedReplaysIdentically)
+{
+    const TrafficGenerator a(smallOpenLoop());
+    const TrafficGenerator b(smallOpenLoop());
+    const auto ja = a.openLoopArrivals();
+    const auto jb = b.openLoopArrivals();
+    ASSERT_FALSE(ja.empty());
+    ASSERT_EQ(ja.size(), jb.size());
+    for (size_t i = 0; i < ja.size(); ++i) {
+        EXPECT_EQ(ja[i].arrival_cycle, jb[i].arrival_cycle);
+        EXPECT_EQ(ja[i].tenant, jb[i].tenant);
+        EXPECT_EQ(ja[i].seq, jb[i].seq);
+        EXPECT_EQ(ja[i].kernel, jb[i].kernel);
+        EXPECT_EQ(ja[i].iterations, jb[i].iterations);
+        EXPECT_EQ(int(ja[i].qos), int(jb[i].qos));
+    }
+
+    TrafficParams other = smallOpenLoop();
+    other.seed = 8;
+    const auto jc = TrafficGenerator(other).openLoopArrivals();
+    bool differs = jc.size() != ja.size();
+    for (size_t i = 0; !differs && i < ja.size(); ++i)
+        differs = ja[i].arrival_cycle != jc[i].arrival_cycle ||
+                  ja[i].kernel != jc[i].kernel;
+    EXPECT_TRUE(differs);
+}
+
+TEST(ServiceTraffic, ArrivalsAreSortedAndContentIsWellFormed)
+{
+    TrafficParams p = smallOpenLoop();
+    p.min_iterations = 32;
+    p.max_iterations = 256;
+    const TrafficGenerator gen(p);
+    const auto jobs = gen.openLoopArrivals();
+    ASSERT_FALSE(jobs.empty());
+    const std::set<std::string> roster(gen.kernels().begin(),
+                                       gen.kernels().end());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (i > 0) {
+            EXPECT_GE(jobs[i].arrival_cycle,
+                      jobs[i - 1].arrival_cycle);
+        }
+        EXPECT_LT(jobs[i].arrival_cycle, p.horizon_cycles);
+        EXPECT_TRUE(roster.count(jobs[i].kernel));
+        // Power-of-two size inside the configured range.
+        EXPECT_GE(jobs[i].iterations, p.min_iterations);
+        EXPECT_LE(jobs[i].iterations, p.max_iterations);
+        EXPECT_EQ(jobs[i].iterations & (jobs[i].iterations - 1), 0u);
+        // QoS is a session property: constant per tenant.
+        EXPECT_EQ(int(jobs[i].qos), int(gen.tenantQos(jobs[i].tenant)));
+    }
+}
+
+TEST(ServiceTraffic, JobContentIsPureInTenantAndSeq)
+{
+    // Content must not depend on when the job is asked for — the
+    // closed-loop backend-count invariance rests on this.
+    TrafficParams p = smallOpenLoop();
+    p.profile = TrafficProfile::ClosedLoop;
+    const TrafficGenerator gen(p);
+    const auto early = gen.closedLoopJob(3, 2, 100);
+    const auto late = gen.closedLoopJob(3, 2, 987'654);
+    ASSERT_TRUE(early && late);
+    EXPECT_EQ(early->kernel, late->kernel);
+    EXPECT_EQ(early->iterations, late->iterations);
+    EXPECT_EQ(int(early->qos), int(late->qos));
+    // The think gap is the same draw, applied to a different base.
+    EXPECT_EQ(early->arrival_cycle - 100,
+              late->arrival_cycle - 987'654);
+    // Session ends after jobs_per_tenant.
+    EXPECT_FALSE(gen.closedLoopJob(3, p.jobs_per_tenant, 0));
+}
+
+TEST(ServiceTraffic, BurstyAndDiurnalProfilesGenerate)
+{
+    for (TrafficProfile profile :
+         {TrafficProfile::Bursty, TrafficProfile::Diurnal}) {
+        TrafficParams p = smallOpenLoop();
+        p.profile = profile;
+        p.horizon_cycles = 500'000;
+        const auto jobs = TrafficGenerator(p).openLoopArrivals();
+        EXPECT_FALSE(jobs.empty())
+            << trafficProfileName(profile);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission queue backpressure.
+// ---------------------------------------------------------------------
+
+TEST(ServiceQueue, DepthLimitShedsWithCountedReason)
+{
+    AdmissionParams limits;
+    limits.max_depth = 3;
+    limits.max_tenant_inflight = 100;
+    OffloadQueue queue(limits);
+    OffloadJob job;
+    for (int i = 0; i < 5; ++i) {
+        job.tenant = i; // Distinct tenants: only depth can refuse.
+        const RejectReason r = queue.offer(job);
+        EXPECT_EQ(int(r), int(i < 3 ? RejectReason::None
+                                    : RejectReason::QueueFull));
+    }
+    EXPECT_EQ(queue.depth(), 3u);
+    EXPECT_EQ(queue.submitted(), 5u);
+    EXPECT_EQ(queue.accepted(), 3u);
+    EXPECT_EQ(queue.rejected(RejectReason::QueueFull), 2u);
+    EXPECT_EQ(queue.accepted() + queue.rejectedTotal(),
+              queue.submitted());
+}
+
+TEST(ServiceQueue, TenantInflightLimitCoversExecutingJobs)
+{
+    AdmissionParams limits;
+    limits.max_depth = 100;
+    limits.max_tenant_inflight = 2;
+    OffloadQueue queue(limits);
+    OffloadJob job;
+    job.tenant = 4;
+    EXPECT_EQ(int(queue.offer(job)), int(RejectReason::None));
+    EXPECT_EQ(int(queue.offer(job)), int(RejectReason::None));
+    EXPECT_EQ(int(queue.offer(job)), int(RejectReason::TenantLimit));
+
+    // Dispatch does NOT free the slot — the job is still in flight.
+    const OffloadJob taken = queue.take(0);
+    EXPECT_EQ(int(queue.offer(job)), int(RejectReason::TenantLimit));
+    // Completion does.
+    queue.onComplete(taken);
+    EXPECT_EQ(int(queue.offer(job)), int(RejectReason::None));
+    // Another tenant was never affected.
+    OffloadJob other;
+    other.tenant = 9;
+    EXPECT_EQ(int(queue.offer(other)), int(RejectReason::None));
+}
+
+TEST(ServiceQueue, DrainingRefusesEverythingAndIdsStayOrdered)
+{
+    OffloadQueue queue(AdmissionParams{});
+    OffloadJob job;
+    EXPECT_EQ(int(queue.offer(job)), int(RejectReason::None));
+    EXPECT_EQ(int(queue.offer(job)), int(RejectReason::None));
+    EXPECT_EQ(queue.pending()[0].id, 0u);
+    EXPECT_EQ(queue.pending()[1].id, 1u);
+    queue.stopAdmission();
+    EXPECT_EQ(int(queue.offer(job)), int(RejectReason::Draining));
+    EXPECT_EQ(queue.rejected(RejectReason::Draining), 1u);
+    EXPECT_EQ(queue.depth(), 2u); // Already-admitted jobs remain.
+}
+
+// ---------------------------------------------------------------------
+// SLO accounting vs hand-computed values.
+// ---------------------------------------------------------------------
+
+TEST(ServiceSlo, PerClassBookkeepingMatchesHandComputation)
+{
+    SloParams params;
+    params.latency_target_cycles = {100, 1000, 10'000};
+    SloAccounting slo(params);
+
+    // Interactive: latencies 40, 80, 150 (one violation, target 100).
+    slo.record(record(0, QosClass::Interactive, 0, 10, 30));
+    slo.record(record(0, QosClass::Interactive, 100, 0, 80));
+    slo.record(record(1, QosClass::Interactive, 200, 100, 50));
+    // Batch: latency 600, no violation against 10000.
+    slo.record(record(2, QosClass::Batch, 0, 0, 600));
+
+    const ClassSlo inter = slo.classSummary(QosClass::Interactive);
+    EXPECT_EQ(inter.jobs, 3u);
+    EXPECT_EQ(inter.violations, 1u);
+    EXPECT_DOUBLE_EQ(inter.mean_latency, (40.0 + 80.0 + 150.0) / 3.0);
+    EXPECT_DOUBLE_EQ(inter.max_latency, 150.0);
+    EXPECT_DOUBLE_EQ(inter.mean_wait, (10.0 + 0.0 + 100.0) / 3.0);
+    EXPECT_DOUBLE_EQ(inter.mean_service, (30.0 + 80.0 + 50.0) / 3.0);
+    // p50 of {40, 80, 150}: exact 80; estimate within one bucket
+    // width above (width = target/32).
+    const double width = 100.0 / 32.0;
+    EXPECT_GE(inter.p50, 80.0);
+    EXPECT_LE(inter.p50, 80.0 + width);
+
+    const ClassSlo batch = slo.classSummary(QosClass::Batch);
+    EXPECT_EQ(batch.jobs, 1u);
+    EXPECT_EQ(batch.violations, 0u);
+
+    EXPECT_EQ(slo.jobs(), 4u);
+    EXPECT_EQ(slo.violations(), 1u);
+    EXPECT_EQ(slo.invariantViolations(), 0u);
+    // Phase totals: everything was charged to Compute.
+    EXPECT_EQ(slo.phaseTotals()[prof::Phase::Compute],
+              30u + 80u + 50u + 600u);
+    EXPECT_EQ(slo.phaseTotals().total(), 760u);
+}
+
+TEST(ServiceSlo, JainFairnessHandComputed)
+{
+    SloAccounting slo{SloParams{}};
+    // Tenants receive service 100, 100, 200 cycles.
+    slo.record(record(0, QosClass::Standard, 0, 0, 100));
+    slo.record(record(1, QosClass::Standard, 0, 0, 100));
+    slo.record(record(2, QosClass::Standard, 0, 0, 200));
+    // J = (400)^2 / (3 * (100^2 + 100^2 + 200^2)) = 160000/180000.
+    EXPECT_NEAR(slo.jainFairness(), 160000.0 / 180000.0, 1e-12);
+    EXPECT_EQ(slo.activeTenants(), 3u);
+
+    SloAccounting even{SloParams{}};
+    even.record(record(0, QosClass::Standard, 0, 0, 50));
+    even.record(record(1, QosClass::Standard, 0, 0, 50));
+    EXPECT_DOUBLE_EQ(even.jainFairness(), 1.0);
+}
+
+TEST(ServiceSlo, BrokenBookkeepingIsCountedNotHidden)
+{
+    SloAccounting slo{SloParams{}};
+    // Phase split that does not sum to the service time.
+    JobRecord bad = record(0, QosClass::Standard, 0, 5, 100);
+    bad.phases[prof::Phase::Compute] = 99;
+    slo.record(bad);
+    EXPECT_EQ(slo.invariantViolations(), 1u);
+
+    // Wait + service inconsistent with completion - arrival.
+    JobRecord torn = record(1, QosClass::Standard, 50, 5, 100);
+    torn.completion_cycle += 1;
+    slo.record(torn);
+    // Both the conservation check and completion==dispatch+service
+    // trip on the same record.
+    EXPECT_EQ(slo.invariantViolations(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end service runs.
+// ---------------------------------------------------------------------
+
+TEST(ServiceRun, SameSeedProducesByteIdenticalReports)
+{
+    ServiceParams params;
+    params.traffic = smallOpenLoop();
+    params.backends = 2;
+    const ServiceResult a = runService(params);
+    const ServiceResult b = runService(params);
+    JsonWriter ja, jb;
+    writeServiceJson(params, a, ja);
+    writeServiceJson(params, b, jb);
+    EXPECT_GT(a.completed, 0u);
+    EXPECT_EQ(ja.str(), jb.str());
+    EXPECT_EQ(a.invariant_violations, 0u);
+}
+
+TEST(ServiceRun, ClosedLoopDigestInvariantAcrossBackendCounts)
+{
+    const ServiceResult one = runService(smallClosedLoop(1));
+    const ServiceResult three = runService(smallClosedLoop(3));
+    EXPECT_EQ(one.completed, 30u);   // 10 tenants x 3 jobs.
+    EXPECT_EQ(three.completed, 30u);
+    EXPECT_EQ(closedLoopDigest(one), closedLoopDigest(three));
+    EXPECT_EQ(one.invariant_violations, 0u);
+    EXPECT_EQ(three.invariant_violations, 0u);
+
+    // The cross-check has teeth: per-(tenant, seq) final memory and
+    // architectural state agree between pool sizes.
+    std::map<std::pair<int, uint64_t>, std::pair<uint64_t, uint64_t>>
+        ref;
+    for (const JobRecord &rec : one.records)
+        ref[{rec.job.tenant, rec.job.seq}] = {rec.state_digest,
+                                              rec.mem_digest};
+    ASSERT_EQ(ref.size(), three.records.size());
+    for (const JobRecord &rec : three.records) {
+        const auto &expect = ref.at({rec.job.tenant, rec.job.seq});
+        EXPECT_EQ(rec.state_digest, expect.first);
+        EXPECT_EQ(rec.mem_digest, expect.second);
+    }
+    // With three backends the work actually spread out.
+    std::set<int> used;
+    for (const JobRecord &rec : three.records)
+        used.insert(rec.backend);
+    EXPECT_GT(used.size(), 1u);
+}
+
+TEST(ServiceRun, KernelSwitchingOnSharedBackendStaysSound)
+{
+    // One backend executes an interleaved kernel stream; every job's
+    // functional digest must match a fresh, never-contaminated
+    // backend running the same job alone. This is the config-cache
+    // body-tag guarantee end to end (all kernels share a base pc).
+    BackendParams bp;
+    ServiceBackend shared(0, bp);
+    const char *names[] = {"nn", "kmeans", "nn", "hotspot", "kmeans",
+                           "nn"};
+    for (uint64_t i = 0; i < 6; ++i) {
+        OffloadJob job;
+        job.tenant = int(i);
+        job.kernel = names[i];
+        job.iterations = 64;
+        const JobRecord got = shared.execute(job, 1000);
+        ServiceBackend fresh(1, bp);
+        const JobRecord want = fresh.execute(job, 1000);
+        EXPECT_EQ(got.state_digest, want.state_digest) << names[i];
+        EXPECT_EQ(got.mem_digest, want.mem_digest) << names[i];
+        EXPECT_EQ(got.offloaded, want.offloaded) << names[i];
+    }
+    // The interleaved stream re-prepared on every kernel switch.
+    EXPECT_GT(shared.cacheTagConflicts(), 0u);
+}
+
+TEST(ServiceRun, BackpressureAccountingStaysConserved)
+{
+    ServiceParams params;
+    params.traffic = smallOpenLoop();
+    params.traffic.tenants = 12;
+    params.traffic.mean_interarrival = 4'000.0;
+    params.admission.max_depth = 4;
+    params.admission.max_tenant_inflight = 2;
+    params.backends = 1;
+    const ServiceResult r = runService(params);
+    EXPECT_GT(r.rejectedTotal(), 0u);
+    EXPECT_EQ(r.submitted, r.accepted + r.rejectedTotal());
+    EXPECT_EQ(r.accepted, r.completed);
+    EXPECT_EQ(r.invariant_violations, 0u);
+    // Shed jobs are attributed to reasons, not a lump.
+    EXPECT_EQ(r.rejectedTotal(),
+              r.rejects[size_t(RejectReason::QueueFull)] +
+                  r.rejects[size_t(RejectReason::TenantLimit)] +
+                  r.rejects[size_t(RejectReason::Draining)]);
+}
+
+TEST(ServiceRun, QosStrictPolicyFavorsInteractiveTails)
+{
+    ServiceParams params;
+    params.traffic = smallOpenLoop();
+    params.traffic.tenants = 16;
+    params.traffic.mean_interarrival = 3'000.0; // Saturating.
+    params.backends = 1;
+    params.policy = DispatchPolicy::QosStrict;
+    const ServiceResult strict = runService(params);
+    ASSERT_GT(strict.completed, 0u);
+    EXPECT_EQ(strict.invariant_violations, 0u);
+    const ClassSlo inter =
+        strict.slo.classSummary(QosClass::Interactive);
+    const ClassSlo batch = strict.slo.classSummary(QosClass::Batch);
+    if (inter.jobs > 0 && batch.jobs > 0) {
+        EXPECT_LE(inter.mean_wait, batch.mean_wait + 1.0);
+    }
+}
+
+TEST(ServiceRun, CoScheduledBatchesStayExact)
+{
+    ServiceParams params;
+    params.traffic = smallOpenLoop();
+    params.traffic.tenants = 10;
+    params.traffic.mean_interarrival = 2'000.0; // Deep queue.
+    params.traffic.kernels = {"nn", "kmeans"};  // Batchable mix.
+    params.backends = 1;
+    params.backend.sched_ways = 2;
+    const ServiceResult r = runService(params);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_EQ(r.accepted, r.completed);
+    EXPECT_EQ(r.invariant_violations, 0u);
+    EXPECT_GT(r.backends.at(0).batches, 0u);
+}
+
+TEST(ServiceRun, GracefulDrainCompletesInFlightAndShedsTheRest)
+{
+    std::atomic<bool> stop{false};
+    ServiceParams params;
+    params.traffic = smallOpenLoop();
+    params.traffic.tenants = 12;
+    params.traffic.mean_interarrival = 5'000.0;
+    params.backends = 2;
+    params.stop = &stop;
+    params.progress_every = 1;
+    uint64_t at_stop = 0;
+    params.progress = [&](const ServiceProgress &p) {
+        if (p.completed >= 20 && !stop.load()) {
+            at_stop = p.completed;
+            stop.store(true);
+        }
+    };
+    const ServiceResult r = runService(params);
+    ASSERT_TRUE(r.stopped);
+    EXPECT_GE(r.completed, at_stop);
+    // Everything admitted before the stop still completed...
+    EXPECT_EQ(r.accepted, r.completed);
+    // ...the rest was shed as Draining, and nothing went missing.
+    EXPECT_GT(r.rejects[size_t(RejectReason::Draining)], 0u);
+    EXPECT_EQ(r.submitted, r.accepted + r.rejectedTotal());
+    EXPECT_EQ(r.invariant_violations, 0u);
+
+    // The same workload without the stop completes strictly more.
+    ServiceParams full = params;
+    full.stop = nullptr;
+    full.progress = nullptr;
+    const ServiceResult all = runService(full);
+    EXPECT_GT(all.completed, r.completed);
+    EXPECT_FALSE(all.stopped);
+}

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <sstream>
+#include <vector>
 
 #include "util/debug.hh"
 #include "util/json.hh"
@@ -178,6 +181,80 @@ TEST(Stats, HistogramTracksTrueMinMax)
     EXPECT_EQ(h.underflow(), 0u);
     EXPECT_DOUBLE_EQ(h.min(), 0.0);
     EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+namespace
+{
+
+/** Exact nearest-rank quantile over a sorted sample vector. */
+double
+exactQuantile(std::vector<double> sorted, double q)
+{
+    std::sort(sorted.begin(), sorted.end());
+    size_t rank = size_t(std::ceil(q * double(sorted.size())));
+    if (rank == 0)
+        rank = 1;
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+TEST(Stats, PercentilesMatchExactQuantilesWithinOneBucket)
+{
+    // Deterministic pseudo-random-ish spread across the bucket range.
+    Histogram h(64, 8.0); // range [0, 512)
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = double((i * 37 + 11) % 500);
+        samples.push_back(v);
+        h.sample(v);
+    }
+    for (double q : {0.50, 0.90, 0.99, 0.999}) {
+        const double exact = exactQuantile(samples, q);
+        const double est = h.percentile(q);
+        // The estimate is the upper edge of the containing bucket:
+        // never below the exact quantile, within one width above.
+        EXPECT_GE(est, exact) << "q=" << q;
+        EXPECT_LE(est, exact + h.bucketWidth()) << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(h.p50(), h.percentile(0.50));
+    EXPECT_DOUBLE_EQ(h.p99(), h.percentile(0.99));
+    EXPECT_DOUBLE_EQ(h.p999(), h.percentile(0.999));
+}
+
+TEST(Stats, PercentileEdgeCases)
+{
+    Histogram empty(4, 10.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+    // A single sample is every percentile.
+    Histogram one(4, 10.0);
+    one.sample(7.0);
+    // Upper bucket edge would be 10; clamped to the true max.
+    EXPECT_DOUBLE_EQ(one.p50(), 7.0);
+    EXPECT_DOUBLE_EQ(one.p999(), 7.0);
+
+    // Overflow samples report the tracked true max, underflow the
+    // true min; out-of-range q is clamped.
+    Histogram h(4, 10.0); // range [0, 40)
+    h.sample(-5.0);
+    h.sample(15.0);
+    h.sample(1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), -5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-3.0), -5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 20.0); // Bucket [10,20) edge.
+}
+
+TEST(Stats, PercentileAllSamplesOneBucket)
+{
+    Histogram h(8, 100.0);
+    for (int i = 0; i < 50; ++i)
+        h.sample(42.0);
+    // Upper edge would be 100, but the estimate clamps to the max.
+    EXPECT_DOUBLE_EQ(h.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 42.0);
 }
 
 TEST(Stats, HistogramRejectsBadGeometry)
