@@ -14,10 +14,12 @@
  *   ./build/examples/mesa_faultsim --json
  */
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 
 #include "fault/campaign.hh"
+#include "prof/history.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -42,7 +44,27 @@ usage()
         "                    (default = hardware concurrency; results\n"
         "                    are byte-identical at any job count)\n"
         "  --log-level <lvl> error | warn | info | debug\n"
-        "  --json            machine-readable report\n";
+        "  --json            machine-readable report\n"
+        "  --certify         certificate-gated checked mode: run the\n"
+        "                    campaign twice (baseline, then with\n"
+        "                    abstract-interpretation certificates\n"
+        "                    skipping proven-safe snapshot compares)\n"
+        "                    and append the measured speedup to the\n"
+        "                    perf history\n"
+        "  --history <path>  perf-history JSONL for --certify\n"
+        "                    (default BENCH_history.jsonl)\n"
+        "  --no-history      skip the history append\n";
+}
+
+/** Wall-clock a campaign run in milliseconds. */
+double
+timedCampaign(const fault::CampaignParams &params,
+              fault::CampaignResult &result)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    result = fault::runCampaign(params);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 } // namespace
@@ -54,6 +76,9 @@ main(int argc, char **argv)
     params.jobs = defaultJobs(); // CLI default: use every core
     std::string accel_name = "M-128";
     bool json = false;
+    bool certify = false;
+    bool append_history = true;
+    std::string history_path = "BENCH_history.jsonl";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -92,6 +117,12 @@ main(int argc, char **argv)
             Logger::global().setLevel(*level);
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--certify") {
+            certify = true;
+        } else if (arg == "--history") {
+            history_path = next();
+        } else if (arg == "--no-history") {
+            append_history = false;
         } else {
             usage();
             return arg == "--help" ? 0 : 1;
@@ -100,12 +131,56 @@ main(int argc, char **argv)
 
     params.accel = accel::AccelParams::byName(accel_name);
 
-    const fault::CampaignResult result = fault::runCampaign(params);
+    if (!certify) {
+        const fault::CampaignResult result = fault::runCampaign(params);
+        if (json)
+            fault::writeCampaignJson(result, std::cout);
+        else
+            fault::printCampaignTable(result, std::cout);
+        return result.clean() ? 0 : 1;
+    }
 
-    if (json)
-        fault::writeCampaignJson(result, std::cout);
-    else
-        fault::printCampaignTable(result, std::cout);
+    // Certificate-gated mode: measure the same campaign with and
+    // without certificate gating. Both must be CLEAN — the snapshot
+    // skip is only admissible if it costs zero detection quality on
+    // the silent/corrupted gate.
+    fault::CampaignParams baseline = params;
+    baseline.certify = false;
+    fault::CampaignResult base_result;
+    const double base_ms = timedCampaign(baseline, base_result);
 
-    return result.clean() ? 0 : 1;
+    fault::CampaignParams certified = params;
+    certified.certify = true;
+    fault::CampaignResult cert_result;
+    const double cert_ms = timedCampaign(certified, cert_result);
+
+    const double speedup = cert_ms > 0.0 ? base_ms / cert_ms : 0.0;
+    if (json) {
+        fault::writeCampaignJson(cert_result, std::cout);
+    } else {
+        fault::printCampaignTable(cert_result, std::cout);
+        std::cout << "certify timing: baseline " << base_ms
+                  << " ms, certified " << cert_ms << " ms, speedup "
+                  << speedup << "x\n";
+    }
+
+    if (append_history) {
+        prof::HistoryRecord rec =
+            prof::makeHistoryRecord("mesa_faultsim");
+        rec.metrics["baseline_ms"] = base_ms;
+        rec.metrics["certified_ms"] = cert_ms;
+        rec.metrics["certify_speedup"] = speedup;
+        rec.metrics["injections"] =
+            double(cert_result.totalInjections());
+        rec.metrics["certified_offloads"] =
+            double(cert_result.totalCertified());
+        rec.metrics["snapshot_skips"] =
+            double(cert_result.totalSnapshotSkips());
+        rec.metrics["silent"] = double(cert_result.totalSilent());
+        rec.metrics["corrupted"] = double(cert_result.totalCorrupted());
+        if (!prof::appendHistory(history_path, rec))
+            logWarn("fault", "cannot append history to ", history_path);
+    }
+
+    return base_result.clean() && cert_result.clean() ? 0 : 1;
 }

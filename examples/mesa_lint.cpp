@@ -14,13 +14,17 @@
 
 #include <cstring>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "absint/certificate.hh"
+#include "cpu/system.hh"
 #include "dfg/analysis.hh"
 #include "interconnect/folded.hh"
 #include "mesa/config_builder.hh"
 #include "mesa/mapper.hh"
+#include "riscv/emulator.hh"
 #include "util/json.hh"
 #include "util/parallel.hh"
 #include "util/table.hh"
@@ -48,7 +52,14 @@ usage()
         "                   bytes are identical at any job count)\n"
         "  --werror         exit 1 on warnings too\n"
         "  --json           machine-readable report\n"
-        "  --rules          print the rule catalog and exit\n"
+        "  --absint         run the abstract-interpretation certifier\n"
+        "                   (footprint + trip-count certificates, AI1xx\n"
+        "                   rules) on every linted kernel\n"
+        "  --rules [spec]   with no spec: print the rule catalog and\n"
+        "                   exit. With a comma-separated spec of rule\n"
+        "                   ids or trailing-* prefix globs (AI*, map.*):\n"
+        "                   keep only matching diagnostics. Unknown\n"
+        "                   ids/globs are a hard error (exit 2)\n"
         "  --list           list available kernels\n";
 }
 
@@ -63,11 +74,42 @@ struct LintResult
     bool skipped = false;
     std::string skip_reason;
     verify::Report report;
+
+    // --absint artifacts.
+    bool certified = false;
+    absint::BodyCertificate cert;
+    absint::CertificateInstance inst;
+    uint64_t watchdog_budget = 0;
 };
+
+/**
+ * Set up the kernel's dataset, load its program, and emulate the
+ * preamble to the hot-loop entry -- the concrete entry state the
+ * certificate instantiates against (mirrors the monitor's view at
+ * offload time).
+ */
+bool
+advanceToLoop(const workloads::Kernel &kernel, mem::MainMemory &memory,
+              riscv::Emulator &emu)
+{
+    if (kernel.init_data)
+        kernel.init_data(memory);
+    cpu::loadProgram(memory, kernel.program);
+    emu.reset(kernel.program.base_pc);
+    kernel.fullRange()(emu.state());
+    uint64_t steps = 0;
+    while (!emu.halted() && emu.state().pc != kernel.loop_start &&
+           steps < 1'000'000) {
+        emu.step();
+        ++steps;
+    }
+    return emu.state().pc == kernel.loop_start;
+}
 
 LintResult
 lintKernel(const workloads::Kernel &kernel,
-           const accel::AccelParams &accel, bool allow_timemux)
+           const accel::AccelParams &accel, bool allow_timemux,
+           bool run_absint)
 {
     LintResult out;
     out.kernel = kernel.name;
@@ -153,6 +195,39 @@ lintKernel(const workloads::Kernel &kernel,
                                             map.unmapped, config,
                                             accel, noc);
     }
+
+    if (run_absint) {
+        mem::MainMemory memory;
+        riscv::Emulator emu(memory);
+        if (advanceToLoop(kernel, memory, emu)) {
+            out.cert = absint::analyze(*ldfg);
+            out.inst = absint::instantiate(
+                out.cert, emu.state(), absint::residentRegion(memory));
+            out.certified =
+                out.inst.footprint == absint::RegionClass::ProvenIn &&
+                out.inst.trips_finite;
+            if (out.inst.trips_finite)
+                out.watchdog_budget = absint::watchdogBudget(
+                    out.cert, out.inst.trips, tm);
+            absint::reportCertificate(out.cert, &out.inst, out.report);
+        } else {
+            out.report.warn("AI102", "preamble",
+                            "loop entry unreachable in preamble "
+                            "emulation; certificate not instantiated");
+        }
+    }
+    return out;
+}
+
+/** Keep only diagnostics whose rule id is in @p allowed. */
+verify::Report
+filterReport(const verify::Report &in,
+             const std::set<std::string> &allowed)
+{
+    verify::Report out;
+    for (const auto &d : in.diagnostics())
+        if (allowed.count(d.rule))
+            out.add(d.severity, d.rule, d.where, d.message);
     return out;
 }
 
@@ -179,6 +254,9 @@ main(int argc, char **argv)
     bool allow_timemux = false;
     bool werror = false;
     bool json = false;
+    bool run_absint = false;
+    bool print_rules = false;
+    std::string rules_spec;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -203,15 +281,44 @@ main(int argc, char **argv)
             werror = true;
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--absint") {
+            run_absint = true;
         } else if (arg == "--rules") {
-            printRuleCatalog();
-            return 0;
+            // Optional value: a filter spec; bare --rules prints the
+            // catalog.
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                rules_spec = argv[++i];
+            else
+                print_rules = true;
         } else if (arg == "--list") {
             workloads::listKernels(std::cout);
             return 0;
         } else {
             usage();
             return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    if (print_rules) {
+        printRuleCatalog();
+        return 0;
+    }
+
+    // Expand the rule filter up front: an unknown id or glob is a
+    // hard error, never a silent no-match filter.
+    std::set<std::string> allowed_rules;
+    bool filter_rules = false;
+    if (!rules_spec.empty()) {
+        filter_rules = true;
+        std::vector<std::string> unknown;
+        for (const auto &id :
+             verify::expandRulePatterns(rules_spec, &unknown))
+            allowed_rules.insert(id);
+        if (!unknown.empty()) {
+            for (const auto &pat : unknown)
+                std::cerr << "mesa_lint: unknown rule or pattern '"
+                          << pat << "'\n";
+            return 2;
         }
     }
 
@@ -226,15 +333,25 @@ main(int argc, char **argv)
     // Suite-wide lint shards by kernel: every lintKernel call builds
     // its own pipeline state, and results commit in suite order, so
     // the report is identical at any --jobs value.
-    const std::vector<LintResult> results = parallelMapOrdered<LintResult>(
+    std::vector<LintResult> results = parallelMapOrdered<LintResult>(
         kernels.size(), jobs, [&](size_t i) {
-            return lintKernel(kernels[i], accel, allow_timemux);
+            return lintKernel(kernels[i], accel, allow_timemux,
+                              run_absint);
         });
+    if (filter_rules)
+        for (auto &r : results)
+            r.report = filterReport(r.report, allowed_rules);
+
     size_t errors = 0, warnings = 0, notes = 0;
+    size_t certified = 0, proven_out = 0;
     for (const auto &r : results) {
         errors += r.report.errorCount();
         warnings += r.report.warnCount();
         notes += r.report.noteCount();
+        certified += r.certified;
+        proven_out +=
+            run_absint && !r.skipped &&
+            r.inst.footprint == absint::RegionClass::ProvenOut;
     }
     const bool failed = errors > 0 || (werror && warnings > 0);
 
@@ -245,8 +362,11 @@ main(int argc, char **argv)
             .field("errors", uint64_t(errors))
             .field("warnings", uint64_t(warnings))
             .field("notes", uint64_t(notes))
-            .field("ok", !failed)
-            .key("kernels")
+            .field("ok", !failed);
+        if (run_absint)
+            w.field("certified", uint64_t(certified))
+                .field("proven_out", uint64_t(proven_out));
+        w.key("kernels")
             .beginArray();
         for (const auto &r : results) {
             w.beginObject()
@@ -259,6 +379,14 @@ main(int argc, char **argv)
                     .field("unmapped", uint64_t(r.unmapped))
                     .field("tiles", r.tiles)
                     .field("time_multiplex", r.time_multiplex);
+                if (run_absint) {
+                    w.field("certified", r.certified)
+                        .field("watchdog_budget", r.watchdog_budget);
+                    w.key("certificate");
+                    r.cert.toJson(w);
+                    w.key("instance");
+                    r.inst.toJson(w);
+                }
                 w.key("report");
                 r.report.toJson(w);
             }
@@ -270,16 +398,35 @@ main(int argc, char **argv)
     }
 
     TextTable table;
-    table.header({"kernel", "nodes", "unmapped", "tiles", "result"});
+    if (run_absint)
+        table.header({"kernel", "nodes", "footprint", "trips",
+                      "watchdog", "result"});
+    else
+        table.header({"kernel", "nodes", "unmapped", "tiles", "result"});
     for (const auto &r : results) {
         if (r.skipped) {
-            table.row({r.kernel, "-", "-", "-",
-                       "skipped (" + r.skip_reason + ")"});
+            std::vector<std::string> row = {r.kernel, "-", "-", "-",
+                                            "skipped (" + r.skip_reason +
+                                                ")"};
+            if (run_absint)
+                row.insert(row.end() - 1, "-");
+            table.row(row);
             continue;
         }
-        table.row({r.kernel, std::to_string(r.nodes),
-                   std::to_string(r.unmapped),
-                   std::to_string(r.tiles), r.report.summary()});
+        if (run_absint) {
+            table.row({r.kernel, std::to_string(r.nodes),
+                       absint::regionClassName(r.inst.footprint),
+                       r.inst.trips_finite ? std::to_string(r.inst.trips)
+                                           : "unbounded",
+                       r.watchdog_budget
+                           ? std::to_string(r.watchdog_budget)
+                           : "-",
+                       r.report.summary()});
+        } else {
+            table.row({r.kernel, std::to_string(r.nodes),
+                       std::to_string(r.unmapped),
+                       std::to_string(r.tiles), r.report.summary()});
+        }
     }
     table.print(std::cout);
 

@@ -68,6 +68,10 @@ usage()
         "  --think <cyc>        closed-loop mean think time (10000)\n"
         "  --depth <n>          admission queue depth (256)\n"
         "  --tenant-inflight <n> per-tenant in-flight cap (8)\n"
+        "  --certify-admission  statically certify kernel footprints\n"
+        "                       and shed provably-out-of-region jobs\n"
+        "                       at admission (reject reason\n"
+        "                       out_of_region)\n"
         "  --kernel <name>      restrict the roster (repeatable)\n"
         "  --accel <cfg>        M-64 | M-128 | M-512 (M-128)\n"
         "  --seed <n>           traffic seed (1)\n"
@@ -95,6 +99,7 @@ main(int argc, char **argv)
     bool json = false;
     bool digest = false;
     bool no_history = false;
+    bool certify_admission = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -142,6 +147,8 @@ main(int argc, char **argv)
                 accel::AccelParams::byName(next());
         } else if (arg == "--seed") {
             params.traffic.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--certify-admission") {
+            certify_admission = true;
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--out") {
@@ -174,6 +181,9 @@ main(int argc, char **argv)
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
     params.stop = &g_stop;
+    if (certify_admission)
+        params.admission.out_of_region =
+            service::makeCertificateGate(params.backend.mesa.accel);
     if (!json) {
         params.progress_every = 256;
         params.progress = [](const service::ServiceProgress &p) {

@@ -1,0 +1,644 @@
+#include "absint/certificate.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "riscv/alu.hh"
+#include "util/json.hh"
+
+namespace mesa::absint
+{
+
+namespace
+{
+
+constexpr int64_t Machine = int64_t(1) << 32;
+
+/** Abstract register file at a loop-iteration boundary. */
+struct Env
+{
+    std::array<AbsVal, riscv::NumUnifiedRegs> reg;
+};
+
+Env
+entryEnv()
+{
+    Env e;
+    for (int r = 0; r < riscv::NumUnifiedRegs; ++r)
+        e.reg[size_t(r)] = AbsVal::entryReg(r);
+    return e;
+}
+
+/** Abstract value consumed from operand @p n of @p node. */
+AbsVal
+operandVal(const dfg::Ldfg &ldfg, const std::vector<AbsVal> &consumed,
+           const Env &env, dfg::NodeId id, int n)
+{
+    const dfg::LdfgNode &node = ldfg.node(id);
+    const dfg::NodeId src = n == 0 ? node.src1 : node.src2;
+    if (src != dfg::NoNode)
+        return consumed[size_t(src)];
+    const int li = n == 0 ? node.live_in1 : node.live_in2;
+    if (li >= 0)
+        return env.reg[size_t(li)];
+    return AbsVal::constant(0); // absent operand or hardwired x0
+}
+
+/**
+ * Abstractly execute one body iteration from entry environment
+ * @p env (mutated to the exit environment). Returns the value each
+ * node forwards to its consumers: for a guarded node this is the join
+ * with the previous destination value, mirroring the PE that forwards
+ * the old word when its guard disables it.
+ */
+std::vector<AbsVal>
+evalBody(const dfg::Ldfg &ldfg, Env &env)
+{
+    std::vector<AbsVal> consumed(ldfg.size());
+    for (size_t i = 0; i < ldfg.size(); ++i) {
+        const dfg::LdfgNode &node = ldfg.node(dfg::NodeId(i));
+        const AbsVal a = operandVal(ldfg, consumed, env, dfg::NodeId(i), 0);
+        const AbsVal b = operandVal(ldfg, consumed, env, dfg::NodeId(i), 1);
+        AbsVal out = transfer(node.inst.op, node.inst.imm, node.inst.pc, a, b);
+        const int dest = node.inst.unifiedDest();
+        if (dest >= 0) {
+            if (node.isGuarded())
+                out = joinVal(out, env.reg[size_t(dest)]);
+            env.reg[size_t(dest)] = out;
+        }
+        consumed[i] = out;
+    }
+    return consumed;
+}
+
+/** Exact per-iteration delta of each register, from the first-pass
+ *  exit environment (valid only for self-affine registers). */
+struct Deltas
+{
+    std::array<bool, riscv::NumUnifiedRegs> valid{};
+    std::array<int64_t, riscv::NumUnifiedRegs> step{};
+};
+
+Deltas
+exitDeltas(const Env &exit1)
+{
+    Deltas d;
+    for (int r = 0; r < riscv::NumUnifiedRegs; ++r) {
+        const AbsVal &v = exit1.reg[size_t(r)];
+        if (!v.is_top && v.base == r && v.off.isConst()) {
+            d.valid[size_t(r)] = true;
+            d.step[size_t(r)] = v.off.lo;
+        }
+    }
+    return d;
+}
+
+uint8_t
+accessBytes(riscv::Op op)
+{
+    using riscv::Op;
+    switch (op) {
+      case Op::Lb:
+      case Op::Lbu:
+      case Op::Sb:
+        return 1;
+      case Op::Lh:
+      case Op::Lhu:
+      case Op::Sh:
+        return 2;
+      default:
+        return 4;
+    }
+}
+
+FootprintEntry
+footprintOf(const dfg::Ldfg &ldfg, dfg::NodeId id,
+            const std::vector<AbsVal> &consumed1, const Env &entry0,
+            const Deltas &deltas, const std::vector<AbsVal> &consumedF,
+            const Env &envF, bool converged)
+{
+    const dfg::LdfgNode &node = ldfg.node(id);
+    FootprintEntry e;
+    e.node = id;
+    e.pc = node.inst.pc;
+    e.op = node.inst.op;
+    e.is_store = node.inst.isStore();
+    e.size = accessBytes(node.inst.op);
+    const int64_t imm = node.inst.imm;
+
+    // Flavor A — exact affine-in-iteration address: the base operand
+    // is (entry value of a self-affine register) + constant at every
+    // iteration, so addresses march by the register's step.
+    const AbsVal v1 = operandVal(ldfg, consumed1, entry0, id, 0);
+    if (!v1.is_top && v1.off.isConst() &&
+        (v1.base < 0 || deltas.valid[size_t(v1.base)])) {
+        e.known = true;
+        e.base = v1.base;
+        e.lo = v1.off.lo + imm;
+        e.hi = v1.off.lo + imm + e.size - 1;
+        e.step = v1.base < 0 ? 0 : deltas.step[size_t(v1.base)];
+        const Stride s = v1.stride.add(Stride::constant(imm));
+        e.stride_mod = s.mod;
+        e.stride_rem = s.rem;
+        return e;
+    }
+
+    // Flavor B — the widened fixpoint proved a finite offset range
+    // covering every iteration (loop-invariant or bounded drift).
+    const AbsVal vf = operandVal(ldfg, consumedF, envF, id, 0);
+    if (converged && !vf.is_top && vf.off.finite()) {
+        e.known = true;
+        e.base = vf.base;
+        e.lo = vf.off.lo + imm;
+        e.hi = vf.off.hi + imm + e.size - 1;
+        e.step = 0;
+        const Stride s = vf.stride.add(Stride::constant(imm));
+        e.stride_mod = s.mod;
+        e.stride_rem = s.rem;
+        return e;
+    }
+
+    e.known = false;
+    return e;
+}
+
+bool
+isCondBranch(riscv::Op op)
+{
+    using riscv::Op;
+    return op == Op::Beq || op == Op::Bne || op == Op::Blt ||
+           op == Op::Bge || op == Op::Bltu || op == Op::Bgeu;
+}
+
+TripBound
+tripOf(const dfg::Ldfg &ldfg, const std::vector<AbsVal> &consumed1,
+       const Env &entry0, const Deltas &deltas)
+{
+    TripBound t;
+    const dfg::NodeId br = ldfg.backBranch();
+    const dfg::LdfgNode &node = ldfg.node(br);
+    if (!isCondBranch(node.inst.op) || node.isGuarded())
+        return t;
+
+    const AbsVal va = operandVal(ldfg, consumed1, entry0, br, 0);
+    const AbsVal vb = operandVal(ldfg, consumed1, entry0, br, 1);
+
+    // An operand is usable when it is (entry register + exact const)
+    // with a known per-iteration step; invariant means step 0 or an
+    // absolute constant.
+    auto usable = [&](const AbsVal &v, int64_t &step) {
+        if (v.is_top || !v.off.isConst())
+            return false;
+        if (v.base < 0) {
+            step = 0;
+            return true;
+        }
+        if (!deltas.valid[size_t(v.base)])
+            return false;
+        step = deltas.step[size_t(v.base)];
+        return true;
+    };
+    int64_t step_a = 0;
+    int64_t step_b = 0;
+    if (!usable(va, step_a) || !usable(vb, step_b))
+        return t;
+    // Exactly one side may drift; the other is the invariant bound.
+    if (step_a != 0 && step_b != 0)
+        return t;
+
+    const bool ind_lhs = step_a != 0 || step_b == 0;
+    const AbsVal &ind = ind_lhs ? va : vb;
+    const AbsVal &bound = ind_lhs ? vb : va;
+    t.valid = true;
+    t.op = node.inst.op;
+    t.ind_is_lhs = ind_lhs;
+    t.ind_base = ind.base;
+    t.first = ind.off.lo;
+    t.step = ind_lhs ? step_a : step_b;
+    t.bound_base = bound.base;
+    t.bound_off = bound.off.lo;
+    return t;
+}
+
+uint64_t
+perIterCycleBound(const dfg::Ldfg &ldfg)
+{
+    // Generous static bound: every node serialized at its annotated
+    // latency, plus slack for NoC hops and worst-case memory.
+    uint64_t cycles = 0;
+    for (size_t i = 0; i < ldfg.size(); ++i) {
+        const dfg::LdfgNode &node = ldfg.node(dfg::NodeId(i));
+        cycles += uint64_t(std::ceil(std::max(node.op_latency, 1.0)));
+        cycles += node.inst.isMem() ? 512 : 0;
+        cycles += 32;
+    }
+    return cycles;
+}
+
+int64_t
+wrap32(int64_t v)
+{
+    int64_t r = v % Machine;
+    if (r < 0)
+        r += Machine;
+    return r;
+}
+
+int64_t
+toSigned32(int64_t machine_word)
+{
+    return int64_t(int32_t(uint32_t(uint64_t(machine_word))));
+}
+
+bool
+takenAt(riscv::Op op, bool ind_is_lhs, int64_t v, int64_t bound)
+{
+    const int64_t lhs = ind_is_lhs ? v : bound;
+    const int64_t rhs = ind_is_lhs ? bound : v;
+    using riscv::Op;
+    switch (op) {
+      case Op::Beq: return lhs == rhs;
+      case Op::Bne: return lhs != rhs;
+      case Op::Blt:
+      case Op::Bltu: return lhs < rhs;
+      case Op::Bge:
+      case Op::Bgeu: return lhs >= rhs;
+      default: return false;
+    }
+}
+
+/**
+ * Proven max trip count from the back-branch closed form, or 0 when
+ * no finite bound follows. Values are exact in int64 as long as the
+ * induction stays inside its interpretation domain, which the
+ * endpoint range checks enforce; anything that could wrap is reported
+ * as unbounded.
+ */
+uint64_t
+resolveTrips(const TripBound &t, const riscv::ArchState &state)
+{
+    if (!t.valid)
+        return 0;
+    auto regval = [&](int r) -> int64_t {
+        return r < riscv::NumIntRegs
+                   ? int64_t(state.x[size_t(r)])
+                   : int64_t(state.f[size_t(r - riscv::NumIntRegs)]);
+    };
+    const int64_t v1m = wrap32((t.ind_base >= 0 ? regval(t.ind_base) : 0) +
+                               t.first);
+    const int64_t bm = wrap32((t.bound_base >= 0 ? regval(t.bound_base) : 0) +
+                              t.bound_off);
+
+    using riscv::Op;
+    const bool is_signed = t.op == Op::Blt || t.op == Op::Bge;
+    const int64_t v1 = is_signed ? toSigned32(v1m) : v1m;
+    const int64_t bound = is_signed ? toSigned32(bm) : bm;
+    const int64_t dom_lo = is_signed ? INT32_MIN : 0;
+    const int64_t dom_hi = is_signed ? INT32_MAX : Machine - 1;
+    const int64_t step = t.step;
+
+    auto taken = [&](int64_t k) {
+        return takenAt(t.op, t.ind_is_lhs, v1 + (k - 1) * step, bound);
+    };
+    if (!taken(1))
+        return 1;
+    if (step == 0)
+        return 0; // condition never changes: unbounded
+
+    if (t.op == Op::Beq)
+        return 2; // v2 = v1 + step != v1 == bound (mod 2^32, step small)
+
+    if (t.op == Op::Bne) {
+        const int64_t d = bound - v1;
+        if (d == 0 || (d > 0) != (step > 0) || d % step != 0)
+            return 0; // math never meets the bound: unbounded
+        return uint64_t(1 + d / step); // endpoints in domain by monotonicity
+    }
+
+    // Inequality branches: the continue condition is monotone in k, so
+    // the first failing iteration is a binary search away.
+    if (step > (int64_t(1) << 26) || step < -(int64_t(1) << 26))
+        return 0;
+    const int64_t k_max = int64_t(1) << 36;
+    if (taken(k_max))
+        return 0; // never provably exits (or exits only after a wrap)
+    int64_t lo = 1; // taken
+    int64_t hi = k_max; // not taken
+    while (hi - lo > 1) {
+        const int64_t mid = lo + (hi - lo) / 2;
+        (taken(mid) ? lo : hi) = mid;
+    }
+    const int64_t v_exit = v1 + (hi - 1) * step;
+    if (v_exit < dom_lo || v_exit > dom_hi)
+        return 0; // induction leaves its domain first: machine wraps
+    return uint64_t(hi);
+}
+
+RegionClass
+classifyRange(const NodeRange &r, const MemRegion &region)
+{
+    if (!r.known || !r.bounded)
+        return RegionClass::Unknown;
+    if (r.hi >= uint64_t(Machine))
+        return RegionClass::Unknown; // address arithmetic could wrap
+    if (r.lo >= region.lo && r.hi < region.hi)
+        return RegionClass::ProvenIn;
+    if (r.hi < region.lo || r.lo >= region.hi)
+        return RegionClass::ProvenOut;
+    return RegionClass::Unknown;
+}
+
+} // namespace
+
+const char *
+regionClassName(RegionClass cls)
+{
+    switch (cls) {
+      case RegionClass::ProvenIn: return "proven-in-region";
+      case RegionClass::ProvenOut: return "proven-out-of-region";
+      case RegionClass::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+std::string
+FootprintEntry::strideClass() const
+{
+    if (!known)
+        return "unknown";
+    if (step == 0 && lo == hi - (size - 1))
+        return "const";
+    if (step != 0)
+        return "affine+" + std::to_string(step);
+    return "range";
+}
+
+bool
+BodyCertificate::allKnown() const
+{
+    return std::all_of(footprint.begin(), footprint.end(),
+                       [](const FootprintEntry &e) { return e.known; });
+}
+
+BodyCertificate
+analyze(const dfg::Ldfg &ldfg)
+{
+    BodyCertificate cert;
+    cert.nodes = ldfg.size();
+    if (ldfg.size() == 0)
+        return cert;
+
+    // Pass 1 — exact symbolic execution of iteration 1: no joins over
+    // the back edge, so affine offsets stay exact and per-register
+    // deltas fall out of the exit environment.
+    const Env entry0 = entryEnv();
+    Env exit1 = entry0;
+    const std::vector<AbsVal> consumed1 = evalBody(ldfg, exit1);
+    const Deltas deltas = exitDeltas(exit1);
+
+    // Pass 2 — Kleene iteration with widening over the loop-carried
+    // registers. The widened environment is a post-fixpoint, so its
+    // node values cover every iteration.
+    constexpr int WidenAfter = 3;
+    constexpr int MaxRounds = 2 * riscv::NumUnifiedRegs + 8;
+    Env in = entry0;
+    for (int round = 0; round < MaxRounds && !cert.converged; ++round) {
+        Env exit = in;
+        evalBody(ldfg, exit);
+        bool changed = false;
+        for (const int r : ldfg.writtenRegs()) {
+            const AbsVal j =
+                joinVal(entry0.reg[size_t(r)], exit.reg[size_t(r)]);
+            const AbsVal next = round >= WidenAfter
+                                    ? widenVal(in.reg[size_t(r)], j)
+                                    : joinVal(in.reg[size_t(r)], j);
+            if (!(next == in.reg[size_t(r)])) {
+                in.reg[size_t(r)] = next;
+                changed = true;
+            }
+        }
+        cert.fixpoint_rounds = round + 1;
+        cert.converged = !changed;
+    }
+    Env env_f = in;
+    const std::vector<AbsVal> consumed_f = evalBody(ldfg, env_f);
+
+    for (size_t i = 0; i < ldfg.size(); ++i) {
+        if (!ldfg.node(dfg::NodeId(i)).inst.isMem())
+            continue;
+        cert.footprint.push_back(footprintOf(ldfg, dfg::NodeId(i), consumed1,
+                                             entry0, deltas, consumed_f, in,
+                                             cert.converged));
+    }
+    cert.mem_nodes = cert.footprint.size();
+    cert.trip = tripOf(ldfg, consumed1, entry0, deltas);
+    cert.per_iter_cycle_bound = perIterCycleBound(ldfg);
+    return cert;
+}
+
+MemRegion
+residentRegion(const mem::MainMemory &memory)
+{
+    const auto [lo, hi] = memory.residentSpan();
+    return {lo, hi};
+}
+
+CertificateInstance
+instantiate(const BodyCertificate &cert, const riscv::ArchState &state,
+            const MemRegion &region)
+{
+    CertificateInstance inst;
+    const uint64_t trips = resolveTrips(cert.trip, state);
+    inst.trips_finite = trips > 0;
+    inst.trips = trips;
+
+    auto regval = [&](int r) -> int64_t {
+        return r < riscv::NumIntRegs
+                   ? int64_t(state.x[size_t(r)])
+                   : int64_t(state.f[size_t(r - riscv::NumIntRegs)]);
+    };
+
+    bool any_out = false;
+    bool all_in = true;
+    bool have_union = false;
+    uint64_t u_lo = 0;
+    uint64_t u_hi = 0;
+    for (const FootprintEntry &e : cert.footprint) {
+        NodeRange r;
+        r.node = e.node;
+        r.known = e.known && cert.converged;
+        if (r.known) {
+            int64_t lo = (e.base >= 0 ? regval(e.base) : 0) + e.lo;
+            int64_t hi = (e.base >= 0 ? regval(e.base) : 0) + e.hi;
+            r.bounded = e.step == 0 || inst.trips_finite;
+            if (e.step != 0 && inst.trips_finite) {
+                const int64_t drift = e.step * int64_t(inst.trips - 1);
+                (e.step > 0 ? hi : lo) += drift;
+            }
+            if (r.bounded && lo >= 0) {
+                r.lo = uint64_t(lo);
+                r.hi = uint64_t(hi);
+            } else {
+                r.bounded = false;
+            }
+        }
+        r.cls = classifyRange(r, region);
+        if (r.cls == RegionClass::ProvenOut)
+            any_out = true;
+        if (r.cls != RegionClass::ProvenIn)
+            all_in = false;
+        if (r.cls == RegionClass::ProvenIn) {
+            u_lo = have_union ? std::min(u_lo, r.lo) : r.lo;
+            u_hi = have_union ? std::max(u_hi, r.hi) : r.hi;
+            have_union = true;
+        }
+        inst.ranges.push_back(r);
+    }
+    inst.footprint = any_out ? RegionClass::ProvenOut
+                     : all_in ? RegionClass::ProvenIn
+                              : RegionClass::Unknown;
+    if (inst.footprint == RegionClass::ProvenIn && have_union) {
+        inst.addr_lo = u_lo;
+        inst.addr_hi = u_hi;
+    }
+    return inst;
+}
+
+uint64_t
+watchdogBudget(const BodyCertificate &cert, uint64_t iterations,
+               int time_multiplex)
+{
+    if (iterations == 0 || cert.per_iter_cycle_bound == 0)
+        return 0;
+    const uint64_t tm = uint64_t(std::max(time_multiplex, 1));
+    const uint64_t per = cert.per_iter_cycle_bound;
+    // budget = iterations * per * tm * 4 + 4096, saturating to "no
+    // budget" instead of overflowing.
+    constexpr uint64_t Cap = uint64_t(1) << 62;
+    if (per > Cap / tm / 4 || iterations > Cap / (per * tm * 4))
+        return 0;
+    return iterations * per * tm * 4 + 4096;
+}
+
+void
+BodyCertificate::toJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("nodes", uint64_t(nodes));
+    w.field("mem_nodes", uint64_t(mem_nodes));
+    w.field("converged", converged);
+    w.field("fixpoint_rounds", fixpoint_rounds);
+    w.field("per_iter_cycle_bound", per_iter_cycle_bound);
+    w.key("trip").beginObject();
+    w.field("valid", trip.valid);
+    if (trip.valid) {
+        w.field("op", riscv::opName(trip.op));
+        w.field("ind_is_lhs", trip.ind_is_lhs);
+        w.field("ind_base", trip.ind_base);
+        w.field("first", trip.first);
+        w.field("step", trip.step);
+        w.field("bound_base", trip.bound_base);
+        w.field("bound_off", trip.bound_off);
+    }
+    w.end();
+    w.key("footprint").beginArray();
+    for (const FootprintEntry &e : footprint) {
+        w.beginObject();
+        w.field("node", e.node);
+        w.field("op", riscv::opName(e.op));
+        w.field("store", e.is_store);
+        w.field("size", unsigned(e.size));
+        w.field("known", e.known);
+        if (e.known) {
+            w.field("base", e.base);
+            w.field("lo", e.lo);
+            w.field("hi", e.hi);
+            w.field("step", e.step);
+            w.field("stride_mod", e.stride_mod);
+            w.field("stride_rem", e.stride_rem);
+            w.field("stride_class", e.strideClass());
+        }
+        w.end();
+    }
+    w.end();
+    w.end();
+}
+
+void
+CertificateInstance::toJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("footprint", regionClassName(footprint));
+    w.field("trips_finite", trips_finite);
+    if (trips_finite)
+        w.field("trips", trips);
+    if (footprint == RegionClass::ProvenIn) {
+        w.field("addr_lo", addr_lo);
+        w.field("addr_hi", addr_hi);
+    }
+    w.key("ranges").beginArray();
+    for (const NodeRange &r : ranges) {
+        w.beginObject();
+        w.field("node", r.node);
+        w.field("class", regionClassName(r.cls));
+        if (r.known && r.bounded) {
+            w.field("lo", r.lo);
+            w.field("hi", r.hi);
+        }
+        w.end();
+    }
+    w.end();
+    w.end();
+}
+
+void
+reportCertificate(const BodyCertificate &cert,
+                  const CertificateInstance *inst, verify::Report &report)
+{
+    if (!cert.converged && cert.nodes > 0) {
+        report.error("AI106", "fixpoint",
+                     "widening fixpoint did not converge after " +
+                         std::to_string(cert.fixpoint_rounds) + " rounds");
+        return;
+    }
+
+    auto where = [](const FootprintEntry &e) {
+        return "node " + std::to_string(e.node) + " (" +
+               riscv::opName(e.op) + ")";
+    };
+    for (size_t i = 0; i < cert.footprint.size(); ++i) {
+        const FootprintEntry &e = cert.footprint[i];
+        if (!e.known) {
+            report.warn("AI102", where(e),
+                        "address range not provable (footprint unknown)");
+            continue;
+        }
+        if (inst && i < inst->ranges.size() &&
+            inst->ranges[i].cls == RegionClass::ProvenOut) {
+            const NodeRange &r = inst->ranges[i];
+            report.error("AI101", where(e),
+                         "access range [" + std::to_string(r.lo) + ", " +
+                             std::to_string(r.hi) +
+                             "] provably outside the offload region");
+        }
+    }
+    if (inst && inst->footprint == RegionClass::ProvenIn) {
+        std::ostringstream msg;
+        msg << cert.mem_nodes << " memory node(s) proven within ["
+            << inst->addr_lo << ", " << inst->addr_hi << "]";
+        report.note("AI103", "footprint", msg.str());
+    }
+
+    if (!cert.trip.valid || (inst && !inst->trips_finite)) {
+        report.warn("AI104", "trip",
+                    "trip count not provable (no finite bound)");
+    } else if (inst) {
+        report.note("AI105", "trip",
+                    "proven max " + std::to_string(inst->trips) +
+                        " iteration(s)");
+    }
+}
+
+} // namespace mesa::absint

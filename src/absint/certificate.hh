@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Static certificates over an LDFG loop body, derived by abstract
+ * interpretation (interval + stride/congruence domains, widening over
+ * the loop-carried edges):
+ *
+ *  - a **memory-footprint certificate**: for every load/store node,
+ *    proven byte bounds relative to a live-in base register plus a
+ *    per-iteration drift, so the concrete address range over N
+ *    iterations is computable at offload time and classifiable
+ *    against the offload's memory region;
+ *  - a **trip-count certificate**: a closed-form description of the
+ *    back branch (induction register, per-iteration step, invariant
+ *    bound) from which the proven max iteration count — and a
+ *    per-offload watchdog budget — follows once concrete registers
+ *    are known.
+ *
+ * A BodyCertificate is a pure function of the loop body (no machine
+ * state), so the controller caches it next to the AcceleratorConfig
+ * keyed by body CRC; `instantiate()` binds it to a concrete ArchState
+ * and region at offload time.
+ */
+
+#ifndef MESA_ABSINT_CERTIFICATE_HH
+#define MESA_ABSINT_CERTIFICATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "absint/domain.hh"
+#include "dfg/ldfg.hh"
+#include "mem/memory.hh"
+#include "riscv/emulator.hh"
+#include "verify/diagnostics.hh"
+
+namespace mesa
+{
+class JsonWriter;
+}
+
+namespace mesa::absint
+{
+
+/** Classification of a footprint against the offload region. */
+enum class RegionClass
+{
+    ProvenIn = 0,   ///< Every access provably inside the region.
+    ProvenOut,      ///< Some access provably outside the region.
+    Unknown,        ///< Bounds not provable.
+};
+
+const char *regionClassName(RegionClass cls);
+
+/** Proven address form of one load/store node. */
+struct FootprintEntry
+{
+    dfg::NodeId node = dfg::NoNode;
+    uint32_t pc = 0;
+    riscv::Op op = riscv::Op::Invalid;
+    bool is_store = false;
+    uint8_t size = 4; ///< Access width in bytes.
+
+    /**
+     * When known: byte addresses of iteration i (0-based) fall in
+     * [R0[base] + lo + i*step, R0[base] + hi + i*step], where base ==
+     * -1 means an absolute address (R0 term = 0). lo/hi fold in the
+     * immediate and the access width (hi includes size - 1).
+     */
+    bool known = false;
+    int base = -1;
+    int64_t lo = 0;
+    int64_t hi = 0;
+    int64_t step = 0;
+
+    /** Congruence of the first-iteration byte address (relative to
+     *  base): addr == stride_rem (mod stride_mod); mod 0 = exact,
+     *  mod 1 = unconstrained. */
+    int64_t stride_mod = 1;
+    int64_t stride_rem = 0;
+
+    /** Human-readable stride class for reports. */
+    std::string strideClass() const;
+};
+
+/** Closed-form description of the loop back branch. */
+struct TripBound
+{
+    bool valid = false;
+    riscv::Op op = riscv::Op::Invalid;
+    bool ind_is_lhs = true; ///< Induction operand on the rs1 side.
+    int ind_base = -1;      ///< Unified live-in register of the induction.
+    int64_t first = 0;      ///< Operand offset from R0[ind_base] at iter 1.
+    int64_t step = 0;       ///< Exact per-iteration operand delta.
+    int bound_base = -1;    ///< Register of the invariant bound, -1 = const.
+    int64_t bound_off = 0;  ///< Offset from R0[bound_base] (or the const).
+};
+
+/** The cacheable, machine-state-free analysis result for one body. */
+struct BodyCertificate
+{
+    size_t nodes = 0;
+    size_t mem_nodes = 0;
+    bool converged = false; ///< Widening fixpoint reached (engine invariant).
+    int fixpoint_rounds = 0;
+    std::vector<FootprintEntry> footprint; ///< One per mem node, node order.
+    TripBound trip;
+    /** Static per-iteration cycle upper bound used for watchdog
+     *  budgets (sum of op latencies + generous NoC/memory slack). */
+    uint64_t per_iter_cycle_bound = 0;
+
+    bool allKnown() const;
+
+    /** Canonical JSON rendering (drives the determinism gates). */
+    void toJson(JsonWriter &w) const;
+};
+
+/**
+ * Run the two-pass analysis (exact first-iteration symbolic pass +
+ * widening fixpoint over loop-carried registers) over @p ldfg.
+ */
+BodyCertificate analyze(const dfg::Ldfg &ldfg);
+
+/** Half-open byte region [lo, hi) the offload is allowed to touch. */
+struct MemRegion
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    bool empty() const { return hi <= lo; }
+};
+
+/** Bounding box of the resident pages of @p memory — the natural
+ *  offload region: program, inputs, and outputs all live there. */
+MemRegion residentRegion(const mem::MainMemory &memory);
+
+/** Instantiated concrete address range of one footprint entry. */
+struct NodeRange
+{
+    dfg::NodeId node = dfg::NoNode;
+    bool known = false;
+    bool bounded = false; ///< Upper end finite (trip bound or step 0).
+    uint64_t lo = 0;
+    uint64_t hi = 0; ///< Inclusive; only meaningful when bounded.
+    RegionClass cls = RegionClass::Unknown;
+};
+
+/** A certificate bound to concrete registers and a region. */
+struct CertificateInstance
+{
+    bool trips_finite = false;
+    uint64_t trips = 0; ///< Proven max iterations (when finite).
+    RegionClass footprint = RegionClass::Unknown;
+    uint64_t addr_lo = 0; ///< Union of proven ranges (when all bounded).
+    uint64_t addr_hi = 0; ///< Inclusive.
+    std::vector<NodeRange> ranges;
+
+    void toJson(JsonWriter &w) const;
+};
+
+/**
+ * Bind @p cert to the loop-entry architectural state and the offload
+ * region: resolves the proven trip count via the back-branch closed
+ * form (validated by evaluating the branch at the boundary) and
+ * classifies every footprint entry.
+ */
+CertificateInstance instantiate(const BodyCertificate &cert,
+                                const riscv::ArchState &state,
+                                const MemRegion &region);
+
+/**
+ * Watchdog cycle budget for an offload proven to run at most
+ * @p iterations iterations: proven trips x the static per-iteration
+ * bound x the time-multiplex factor, plus slack. Returns 0 (no
+ * budget derivable) when the certificate has no finite bound.
+ */
+uint64_t watchdogBudget(const BodyCertificate &cert, uint64_t iterations,
+                        int time_multiplex);
+
+/**
+ * Emit the AI1xx rule family for one analyzed body into @p report:
+ * AI101 (error) proven-out-of-region access, AI102 (warn) unprovable
+ * footprint, AI103 (note) footprint summary, AI104 (warn) unprovable
+ * trip count, AI105 (note) trip/watchdog summary, AI106 (error)
+ * fixpoint divergence.
+ */
+void reportCertificate(const BodyCertificate &cert,
+                       const CertificateInstance *inst,
+                       verify::Report &report);
+
+} // namespace mesa::absint
+
+#endif // MESA_ABSINT_CERTIFICATE_HH

@@ -1,0 +1,437 @@
+#include "absint/domain.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "riscv/alu.hh"
+
+namespace mesa::absint
+{
+
+namespace
+{
+
+constexpr int64_t Machine = int64_t(1) << 32; ///< 2^32, exclusive top.
+
+/** Saturating add of a bound with an offset (inf stays inf). */
+int64_t
+satAdd(int64_t a, int64_t b)
+{
+    if (a == Interval::NegInf || a == Interval::PosInf)
+        return a;
+    if (b == Interval::NegInf || b == Interval::PosInf)
+        return b;
+    if (b > 0 && a > Interval::PosInf - b)
+        return Interval::PosInf;
+    if (b < 0 && a < Interval::NegInf - b)
+        return Interval::NegInf;
+    return a + b;
+}
+
+int64_t
+satNeg(int64_t a)
+{
+    if (a == Interval::NegInf)
+        return Interval::PosInf;
+    if (a == Interval::PosInf)
+        return Interval::NegInf;
+    return -a;
+}
+
+/** Saturating multiply of two bounds (used only on finite inputs). */
+int64_t
+satMul(int64_t a, int64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const bool neg = (a < 0) != (b < 0);
+    // Work in unsigned magnitudes to dodge INT64_MIN edge cases.
+    const uint64_t ua = a < 0 ? uint64_t(0) - uint64_t(a) : uint64_t(a);
+    const uint64_t ub = b < 0 ? uint64_t(0) - uint64_t(b) : uint64_t(b);
+    if (ua > uint64_t(Interval::PosInf) / ub)
+        return neg ? Interval::NegInf : Interval::PosInf;
+    const uint64_t m = ua * ub;
+    return neg ? -int64_t(m) : int64_t(m);
+}
+
+int64_t
+gcd64(int64_t a, int64_t b)
+{
+    a = a < 0 ? -a : a;
+    b = b < 0 ? -b : b;
+    while (b) {
+        const int64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+} // namespace
+
+Interval
+Interval::add(const Interval &o) const
+{
+    return {satAdd(lo, o.lo), satAdd(hi, o.hi)};
+}
+
+Interval
+Interval::sub(const Interval &o) const
+{
+    return {satAdd(lo, satNeg(o.hi)), satAdd(hi, satNeg(o.lo))};
+}
+
+Interval
+Interval::mul(const Interval &o) const
+{
+    if (!finite() || !o.finite())
+        return top();
+    const int64_t c[4] = {satMul(lo, o.lo), satMul(lo, o.hi),
+                          satMul(hi, o.lo), satMul(hi, o.hi)};
+    return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Interval
+Interval::shiftLeft(int sh) const
+{
+    if (sh < 0 || sh >= 63 || !finite())
+        return top();
+    return mul(constant(int64_t(1) << sh));
+}
+
+Interval
+Interval::shiftRightU(int sh) const
+{
+    if (sh < 0 || sh >= 63 || !finite() || lo < 0)
+        return top();
+    return {lo >> sh, hi >> sh};
+}
+
+Interval
+Interval::join(const Interval &o) const
+{
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+Interval
+Interval::widen(const Interval &next) const
+{
+    return {next.lo < lo ? NegInf : lo, next.hi > hi ? PosInf : hi};
+}
+
+Stride
+normalizeStride(int64_t mod, int64_t rem)
+{
+    if (mod < 0)
+        mod = -mod;
+    if (mod == 1)
+        return Stride::top();
+    if (mod == 0)
+        return {0, rem};
+    rem %= mod;
+    if (rem < 0)
+        rem += mod;
+    return {mod, rem};
+}
+
+bool
+Stride::contains(int64_t v) const
+{
+    if (isTop())
+        return true;
+    if (isConst())
+        return v == rem;
+    int64_t r = v % mod;
+    if (r < 0)
+        r += mod;
+    return r == rem;
+}
+
+Stride
+Stride::add(const Stride &o) const
+{
+    if (isConst() && o.isConst())
+        return constant(rem + o.rem);
+    return normalizeStride(gcd64(mod, o.mod), rem + o.rem);
+}
+
+Stride
+Stride::sub(const Stride &o) const
+{
+    if (isConst() && o.isConst())
+        return constant(rem - o.rem);
+    return normalizeStride(gcd64(mod, o.mod), rem - o.rem);
+}
+
+Stride
+Stride::mulConst(int64_t c) const
+{
+    if (c == 0)
+        return constant(0);
+    const auto wide = [](int64_t x, int64_t y) {
+        return __int128(x) * __int128(y);
+    };
+    const __int128 m = wide(mod, c);
+    const __int128 r = wide(rem, c);
+    const __int128 lim = __int128(Interval::PosInf);
+    if (m > lim || m < -lim || r > lim || r < -lim)
+        return top();
+    if (isConst())
+        return constant(int64_t(r));
+    return normalizeStride(int64_t(m), int64_t(r));
+}
+
+Stride
+Stride::join(const Stride &o) const
+{
+    // Smallest congruence containing both: gcd of the moduli and of
+    // the residue difference.
+    const int64_t g = gcd64(gcd64(mod, o.mod), rem - o.rem);
+    return normalizeStride(g, rem);
+}
+
+AbsVal
+AbsVal::constant(int64_t v)
+{
+    return {false, -1, Interval::constant(v), Stride::constant(v)};
+}
+
+AbsVal
+AbsVal::entryReg(int reg)
+{
+    return {false, reg, Interval::constant(0), Stride::constant(0)};
+}
+
+std::string
+AbsVal::toString() const
+{
+    if (is_top)
+        return "T";
+    std::ostringstream os;
+    if (base >= 0)
+        os << "r" << base << "+";
+    auto bound = [](int64_t b) {
+        if (b == Interval::NegInf)
+            return std::string("-inf");
+        if (b == Interval::PosInf)
+            return std::string("+inf");
+        return std::to_string(b);
+    };
+    os << "[" << bound(off.lo) << "," << bound(off.hi) << "]";
+    if (!stride.isTop() && !off.isConst())
+        os << "{" << stride.mod << "k+" << stride.rem << "}";
+    return os.str();
+}
+
+AbsVal
+joinVal(const AbsVal &a, const AbsVal &b)
+{
+    if (a.is_top || b.is_top || a.base != b.base)
+        return AbsVal::top();
+    return {false, a.base, a.off.join(b.off), a.stride.join(b.stride)};
+}
+
+AbsVal
+widenVal(const AbsVal &prev, const AbsVal &next)
+{
+    if (prev.is_top || next.is_top || prev.base != next.base)
+        return AbsVal::top();
+    return {false, prev.base, prev.off.widen(prev.off.join(next.off)),
+            prev.stride.join(next.stride)};
+}
+
+namespace
+{
+
+/**
+ * Enforce the absolute-value invariant: an absolute (base == -1)
+ * result must describe the machine word exactly, so any finite range
+ * that could wrap out of [0, 2^32) degrades to Top.
+ */
+AbsVal
+clampAbsolute(AbsVal v)
+{
+    if (v.is_top || v.base >= 0)
+        return v;
+    if (!v.off.finite() || v.off.lo < 0 || v.off.hi >= Machine)
+        return AbsVal::top();
+    return v;
+}
+
+bool
+foldableAlu(riscv::Op op)
+{
+    using riscv::Op;
+    switch (op) {
+      case Op::Lui:
+      case Op::Auipc:
+      case Op::Addi:
+      case Op::Slti:
+      case Op::Sltiu:
+      case Op::Xori:
+      case Op::Ori:
+      case Op::Andi:
+      case Op::Slli:
+      case Op::Srli:
+      case Op::Srai:
+      case Op::Add:
+      case Op::Sub:
+      case Op::Sll:
+      case Op::Slt:
+      case Op::Sltu:
+      case Op::Xor:
+      case Op::Srl:
+      case Op::Sra:
+      case Op::Or:
+      case Op::And:
+      case Op::Mulh:
+      case Op::Mulhsu:
+      case Op::Mulhu:
+      case Op::Div:
+      case Op::Divu:
+      case Op::Rem:
+      case Op::Remu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+AbsVal
+addOffset(const AbsVal &a, int64_t c)
+{
+    if (a.is_top)
+        return AbsVal::top();
+    AbsVal r = a;
+    r.off = r.off.add(Interval::constant(c));
+    r.stride = r.stride.add(Stride::constant(c));
+    return clampAbsolute(r);
+}
+
+} // namespace
+
+AbsVal
+transfer(riscv::Op op, int32_t imm, uint32_t pc, const AbsVal &a,
+         const AbsVal &b)
+{
+    using riscv::Op;
+
+    // Exact machine folding when every consumed operand is a known
+    // constant word.
+    if (foldableAlu(op)) {
+        const bool need_b = op >= Op::Add; // register-register forms
+        if (a.isConst() && (!need_b || b.isConst()))
+            return AbsVal::constant(int64_t(riscv::aluEval(
+                op, uint32_t(uint64_t(a.off.lo)),
+                need_b ? uint32_t(uint64_t(b.off.lo)) : 0, imm, pc)));
+    }
+
+    switch (op) {
+      case Op::Lui:
+        return AbsVal::constant(int64_t(uint32_t(imm)));
+      case Op::Auipc:
+        return AbsVal::constant(int64_t(pc + uint32_t(imm)));
+      case Op::Jal:
+      case Op::Jalr:
+        return AbsVal::constant(int64_t(uint32_t(pc + 4)));
+
+      case Op::Addi:
+        return addOffset(a, imm);
+
+      case Op::Add: {
+        if (a.is_top || b.is_top)
+            return AbsVal::top();
+        if (a.base >= 0 && b.base >= 0)
+            return AbsVal::top(); // two symbolic bases do not compose
+        AbsVal r;
+        r.is_top = false;
+        r.base = a.base >= 0 ? a.base : b.base;
+        r.off = a.off.add(b.off);
+        r.stride = a.stride.add(b.stride);
+        return clampAbsolute(r);
+      }
+
+      case Op::Sub: {
+        if (a.is_top || b.is_top)
+            return AbsVal::top();
+        // (R + x) - (R + y) == x - y mod 2^32; also covers both
+        // operands absolute. A symbolic rhs with a different base
+        // cannot be expressed.
+        if (a.base == b.base) {
+            AbsVal r;
+            r.is_top = false;
+            r.base = -1;
+            r.off = a.off.sub(b.off);
+            r.stride = a.stride.sub(b.stride);
+            return clampAbsolute(r);
+        }
+        if (b.base == -1) {
+            AbsVal r = a;
+            r.off = r.off.sub(b.off);
+            r.stride = r.stride.sub(b.stride);
+            return clampAbsolute(r);
+        }
+        return AbsVal::top();
+      }
+
+      case Op::Slli: {
+        if (a.is_top || a.base >= 0)
+            return AbsVal::top();
+        const int sh = imm & 0x1F;
+        AbsVal r;
+        r.is_top = false;
+        r.base = -1;
+        r.off = a.off.shiftLeft(sh);
+        r.stride = a.stride.mulConst(int64_t(1) << sh);
+        return clampAbsolute(r);
+      }
+
+      case Op::Srli: {
+        if (a.is_top || a.base >= 0)
+            return AbsVal::top();
+        const int sh = imm & 0x1F;
+        AbsVal r;
+        r.is_top = false;
+        r.base = -1;
+        r.off = a.off.shiftRightU(sh);
+        r.stride = Stride::top();
+        return clampAbsolute(r);
+      }
+
+      case Op::Mul: {
+        if (a.is_top || b.is_top || a.base >= 0 || b.base >= 0)
+            return AbsVal::top();
+        AbsVal r;
+        r.is_top = false;
+        r.base = -1;
+        r.off = a.off.mul(b.off);
+        if (a.off.isConst())
+            r.stride = b.stride.mulConst(a.off.lo);
+        else if (b.off.isConst())
+            r.stride = a.stride.mulConst(b.off.lo);
+        else
+            r.stride = Stride::top();
+        return clampAbsolute(r);
+      }
+
+      case Op::Slti:
+      case Op::Sltiu:
+      case Op::Slt:
+      case Op::Sltu: {
+        AbsVal r;
+        r.is_top = false;
+        r.base = -1;
+        r.off = Interval::range(0, 1);
+        r.stride = Stride::top();
+        return r;
+      }
+
+      default:
+        // Loads, FP compute, logic on unknowns, division: outside the
+        // affine fragment.
+        return AbsVal::top();
+    }
+}
+
+} // namespace mesa::absint

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Abstract domains for the LDFG certifier: an integer interval domain
+ * with +/-infinity sentinels, a stride/congruence domain (value == rem
+ * mod mod), and their product lifted to a symbolic affine value
+ *
+ *     AbsVal = Top | { base, off, stride }
+ *
+ * meaning "machine value == (R0[base] + off) mod 2^32" where R0[base]
+ * is the (unknown) loop-entry value of unified register `base`, or an
+ * absolute value when base == -1. Keeping offsets symbolic makes the
+ * whole analysis a pure function of the loop body, so certificates can
+ * be cached by body CRC and instantiated with concrete registers at
+ * offload time.
+ *
+ * Soundness contract for absolute values (base == -1): the interval
+ * describes the machine value *exactly* (no wrap), which transfer
+ * functions maintain by degrading any result that could leave
+ * [0, 2^32) to Top. Symbolic values need no such guard: RV32
+ * arithmetic is a ring mod 2^32, so affine offsets compose exactly and
+ * the wrap check is deferred to certificate instantiation, where
+ * R0[base] is known.
+ */
+
+#ifndef MESA_ABSINT_DOMAIN_HH
+#define MESA_ABSINT_DOMAIN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "riscv/isa.hh"
+
+namespace mesa::absint
+{
+
+/** Closed integer interval [lo, hi] with infinity sentinels. */
+struct Interval
+{
+    static constexpr int64_t NegInf = INT64_MIN;
+    static constexpr int64_t PosInf = INT64_MAX;
+
+    int64_t lo = NegInf;
+    int64_t hi = PosInf;
+
+    static Interval top() { return {}; }
+    static Interval constant(int64_t v) { return {v, v}; }
+    static Interval range(int64_t lo, int64_t hi) { return {lo, hi}; }
+
+    bool isTop() const { return lo == NegInf && hi == PosInf; }
+    bool isConst() const { return lo == hi && lo != NegInf && hi != PosInf; }
+    bool finite() const { return lo != NegInf && hi != PosInf; }
+    bool contains(int64_t v) const { return lo <= v && v <= hi; }
+
+    Interval add(const Interval &o) const;
+    Interval sub(const Interval &o) const;
+    Interval mul(const Interval &o) const;
+    Interval shiftLeft(int sh) const;  ///< Multiply by 2^sh.
+    Interval shiftRightU(int sh) const; ///< Unsigned >>, needs lo >= 0.
+    Interval join(const Interval &o) const;
+    /** Standard widening: any bound that moved escapes to infinity. */
+    Interval widen(const Interval &next) const;
+
+    bool operator==(const Interval &o) const = default;
+};
+
+/**
+ * Congruence domain: the set { v : v == rem (mod mod) }. mod == 0
+ * denotes the singleton {rem}; mod == 1 denotes all integers (top).
+ * rem is normalized into [0, mod) for mod > 1.
+ */
+struct Stride
+{
+    int64_t mod = 1;
+    int64_t rem = 0;
+
+    static Stride top() { return {1, 0}; }
+    static Stride constant(int64_t v) { return {0, v}; }
+
+    bool isTop() const { return mod == 1; }
+    bool isConst() const { return mod == 0; }
+    bool contains(int64_t v) const;
+
+    Stride add(const Stride &o) const;
+    Stride sub(const Stride &o) const;
+    Stride mulConst(int64_t c) const;
+    Stride join(const Stride &o) const;
+
+    bool operator==(const Stride &o) const = default;
+};
+
+/** Normalize rem into [0, mod) for mod > 1. */
+Stride normalizeStride(int64_t mod, int64_t rem);
+
+/**
+ * Symbolic affine abstract value: machine value ==
+ * (R0[base] + off) mod 2^32, with off constrained by the interval and
+ * congruence. base == -1 means absolute (off is the machine value
+ * itself, kept exactly within [0, 2^32)).
+ */
+struct AbsVal
+{
+    bool is_top = true;
+    int base = -1; ///< Unified live-in register, or -1 = absolute.
+    Interval off;
+    Stride stride;
+
+    static AbsVal top() { return {}; }
+    static AbsVal constant(int64_t v);
+    static AbsVal entryReg(int reg);
+
+    bool isConst() const
+    {
+        return !is_top && base == -1 && off.isConst();
+    }
+
+    bool operator==(const AbsVal &o) const
+    {
+        if (is_top != o.is_top)
+            return false;
+        if (is_top)
+            return true;
+        return base == o.base && off == o.off && stride == o.stride;
+    }
+
+    std::string toString() const;
+};
+
+AbsVal joinVal(const AbsVal &a, const AbsVal &b);
+AbsVal widenVal(const AbsVal &prev, const AbsVal &next);
+
+/**
+ * Abstract transfer function for one instruction. @p a and @p b are
+ * the abstract values of source operands 1 and 2 (absent operands and
+ * x0 are the constant 0). Loads, FP compute, and anything the domain
+ * cannot express precisely return Top.
+ */
+AbsVal transfer(riscv::Op op, int32_t imm, uint32_t pc, const AbsVal &a,
+                const AbsVal &b);
+
+} // namespace mesa::absint
+
+#endif // MESA_ABSINT_DOMAIN_HH

@@ -150,6 +150,24 @@ CampaignResult::totalRemapClean() const
     return n;
 }
 
+int
+CampaignResult::totalCertified() const
+{
+    int n = 0;
+    for (const auto &k : kernels)
+        n += k.certified;
+    return n;
+}
+
+int
+CampaignResult::totalSnapshotSkips() const
+{
+    int n = 0;
+    for (const auto &k : kernels)
+        n += k.snapshot_skips;
+    return n;
+}
+
 std::map<std::string, double>
 CampaignResult::statsSnapshot() const
 {
@@ -164,6 +182,8 @@ CampaignResult::statsSnapshot() const
         out[p + "silent"] = k.silent;
         out[p + "remap_checks"] = k.remap_checks;
         out[p + "remap_clean"] = k.remap_clean;
+        out[p + "certified"] = k.certified;
+        out[p + "snapshot_skips"] = k.snapshot_skips;
         for (int i = 0; i < FaultKindCount; ++i)
             out[p + "kind." + faultKindName(FaultKind(i))] =
                 k.by_kind[i];
@@ -174,6 +194,8 @@ CampaignResult::statsSnapshot() const
     out["total.benign"] = totalBenign();
     out["total.corrupted"] = totalCorrupted();
     out["total.silent"] = totalSilent();
+    out["total.certified"] = totalCertified();
+    out["total.snapshot_skips"] = totalSnapshotSkips();
     return out;
 }
 
@@ -190,6 +212,8 @@ struct InjectionOutcome
     bool match = false;
     bool remap_checked = false;
     bool remap_clean = false;
+    bool certified = false;
+    bool snapshot_skipped = false;
 };
 
 /**
@@ -221,6 +245,7 @@ runInjection(const CampaignParams &params,
     mp.fault.enabled = true;
     mp.fault.checked_mode = params.checked;
     mp.fault.watchdog_cycles = params.watchdog_cycles;
+    mp.fault.certificate_gating = params.certify;
     mp.fault.seed = params.seed;
     core::MesaController mesa(mp, memory);
     StatsRegistry reg;
@@ -268,6 +293,8 @@ runInjection(const CampaignParams &params,
     InjectionOutcome out;
     out.kind = kind;
     out.offloaded = os.has_value();
+    out.certified = os && os->certified;
+    out.snapshot_skipped = os && os->snapshot_skipped;
     out.detected = reg.value("mesa.fault.crc_failures") +
                        reg.value("mesa.fault.watchdog_trips") +
                        reg.value("mesa.fault.mismatches") >
@@ -352,6 +379,8 @@ runCampaign(const CampaignParams &params)
                     ++kr.silent;
                 kr.remap_checks += o.remap_checked ? 1 : 0;
                 kr.remap_clean += o.remap_clean ? 1 : 0;
+                kr.certified += o.certified ? 1 : 0;
+                kr.snapshot_skips += o.snapshot_skipped ? 1 : 0;
             });
         kr.offloadable = any_offload;
         result.kernels.push_back(std::move(kr));
@@ -392,6 +421,10 @@ printCampaignTable(const CampaignResult &result, std::ostream &os)
        << " corrupted=" << result.totalCorrupted()
        << " remap=" << result.totalRemapClean() << "/"
        << result.totalRemapChecks() << ")\n";
+    if (result.params.certify)
+        os << "certify: " << result.totalCertified()
+           << " certified offloads, " << result.totalSnapshotSkips()
+           << " snapshot compares skipped\n";
 }
 
 void
@@ -403,6 +436,7 @@ writeCampaignJson(const CampaignResult &result, std::ostream &os)
     w.field("injections_per_kernel",
             result.params.injections_per_kernel);
     w.field("checked", result.params.checked);
+    w.field("certify", result.params.certify);
     w.field("watchdog_cycles", result.params.watchdog_cycles);
     w.key("kernels").beginArray();
     for (const auto &k : result.kernels) {
@@ -417,6 +451,8 @@ writeCampaignJson(const CampaignResult &result, std::ostream &os)
         w.field("silent", k.silent);
         w.field("remap_checks", k.remap_checks);
         w.field("remap_clean", k.remap_clean);
+        w.field("certified", k.certified);
+        w.field("snapshot_skips", k.snapshot_skips);
         w.key("by_kind").beginObject();
         for (int i = 0; i < FaultKindCount; ++i)
             w.field(faultKindName(FaultKind(i)), k.by_kind[i]);
@@ -433,6 +469,8 @@ writeCampaignJson(const CampaignResult &result, std::ostream &os)
     w.field("silent", result.totalSilent());
     w.field("remap_checks", result.totalRemapChecks());
     w.field("remap_clean", result.totalRemapClean());
+    w.field("certified", result.totalCertified());
+    w.field("snapshot_skips", result.totalSnapshotSkips());
     w.end();
     w.field("clean", result.clean());
     w.end();

@@ -49,6 +49,15 @@ struct CampaignParams
     bool checked = true;
     /** Per-offload fault watchdog budget (cycles). */
     uint64_t watchdog_cycles = 50'000;
+    /**
+     * Certificate gating: run the abstract-interpretation certifier
+     * on every offload; footprint-certified offloads skip the checked-
+     * mode memory-snapshot comparison (state compare and golden
+     * re-execution remain), and proven trip counts derive tighter
+     * watchdog budgets. The zero-silent-corruption gate must hold
+     * unchanged.
+     */
+    bool certify = false;
     accel::AccelParams accel = accel::AccelParams::m128();
     /**
      * Worker threads for the injection loop (<= 0 = hardware
@@ -76,6 +85,10 @@ struct KernelCampaignResult
     /** Permanent-fault remap verification. */
     int remap_checks = 0;
     int remap_clean = 0;
+    /** Certificate gating (params.certify): injections whose offload
+     *  was footprint-certified / skipped the memory-snapshot compare. */
+    int certified = 0;
+    int snapshot_skips = 0;
 };
 
 /** Whole-campaign outcome. */
@@ -92,6 +105,8 @@ struct CampaignResult
     int totalSilent() const;
     int totalRemapChecks() const;
     int totalRemapClean() const;
+    int totalCertified() const;
+    int totalSnapshotSkips() const;
 
     /** The CI gate: no silent corruption, no failed recovery, and
      *  every remap check placed off the quarantined PEs. */

@@ -45,6 +45,19 @@ struct FaultToleranceParams
     uint64_t max_golden_steps = 50'000'000;
 
     /**
+     * Use abstract-interpretation certificates (src/absint) to gate
+     * the runtime checks. Offloads whose memory footprint is proven
+     * inside the resident region skip the golden-model memory-snapshot
+     * comparison in checked mode (architectural state is still
+     * compared byte-exactly; the golden model still re-executes, so
+     * memory always ends at the golden result -- the skip can never
+     * admit a silent corruption). Offloads with a proven trip count
+     * run under a certificate-derived watchdog budget, tightening
+     * watchdog_cycles when the proof allows.
+     */
+    bool certificate_gating = false;
+
+    /**
      * Run the fabric's BIST after a detected fault to distinguish
      * permanent defects (quarantine the PEs, remap around them) from
      * transients (back off the region, retry later).

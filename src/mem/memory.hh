@@ -8,12 +8,14 @@
 #ifndef MESA_MEM_MEMORY_HH
 #define MESA_MEM_MEMORY_HH
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace mesa::mem
@@ -101,6 +103,27 @@ class MainMemory
 
     /** Number of resident (touched) pages. */
     size_t residentPages() const { return pages_.size(); }
+
+    /**
+     * Bounding byte span [lo, hi) over all resident pages ({0, 0}
+     * when nothing is resident). Program, inputs, and outputs of a
+     * loaded workload all fall inside this box, which makes it the
+     * natural memory region to certify offloads against.
+     */
+    std::pair<uint64_t, uint64_t>
+    residentSpan() const
+    {
+        if (pages_.empty())
+            return {0, 0};
+        uint32_t min_pn = UINT32_MAX;
+        uint32_t max_pn = 0;
+        for (const auto &[pn, pg] : pages_) {
+            min_pn = std::min(min_pn, pn);
+            max_pn = std::max(max_pn, pn);
+        }
+        return {uint64_t(min_pn) << PageShift,
+                (uint64_t(max_pn) + 1) << PageShift};
+    }
 
     /** Drop all contents. */
     void clear() { pages_.clear(); }

@@ -13,12 +13,18 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
 #include "accel/config_types.hh"
 #include "util/stats.hh"
 #include "util/stats_registry.hh"
+
+namespace mesa::absint
+{
+struct BodyCertificate;
+}
 
 namespace mesa::core
 {
@@ -57,25 +63,53 @@ class ConfigCache
         return &entries_.front().config;
     }
 
-    /** Insert (or replace in place) the configuration for its region. */
+    /**
+     * Insert (or replace in place) the configuration for its region,
+     * optionally with the body's abstract-interpretation certificate.
+     * The certificate is pure function of the body (keyed by the same
+     * CRC tag), so a cache hit also revives the static proof without
+     * re-running the fixpoint.
+     */
     void
-    insert(accel::AcceleratorConfig config, uint32_t body_tag = 0)
+    insert(accel::AcceleratorConfig config, uint32_t body_tag = 0,
+           std::shared_ptr<const absint::BodyCertificate> cert = nullptr)
     {
         const uint32_t key = config.region_start;
         if (auto idx = index_.find(key); idx != index_.end()) {
+            // A tag change means a different body now owns the region:
+            // any stored certificate proves the old body, drop it.
+            if (cert || idx->second->tag != body_tag)
+                idx->second->cert = std::move(cert);
             idx->second->tag = body_tag;
             idx->second->config = std::move(config);
             entries_.splice(entries_.begin(), entries_, idx->second);
             idx->second = entries_.begin();
             return;
         }
-        entries_.push_front(Entry{key, body_tag, std::move(config)});
+        entries_.push_front(
+            Entry{key, body_tag, std::move(config), std::move(cert)});
         index_[key] = entries_.begin();
         if (entries_.size() > capacity_) {
             index_.erase(entries_.back().key);
             entries_.pop_back();
             ++evictions_;
         }
+    }
+
+    /**
+     * Peek at the stored certificate for a region without disturbing
+     * the LRU order or the hit/miss counters (callers probe this
+     * right after a lookup() already accounted the access). Null when
+     * the region is absent, the tag mismatches, or no certificate was
+     * stored.
+     */
+    std::shared_ptr<const absint::BodyCertificate>
+    certificate(uint32_t region_start, uint32_t body_tag = 0) const
+    {
+        auto idx = index_.find(region_start);
+        if (idx == index_.end() || idx->second->tag != body_tag)
+            return nullptr;
+        return idx->second->cert;
     }
 
     /** Drop every entry (e.g., after PEs were quarantined: any cached
@@ -121,6 +155,7 @@ class ConfigCache
         uint32_t key;
         uint32_t tag;
         accel::AcceleratorConfig config;
+        std::shared_ptr<const absint::BodyCertificate> cert;
     };
     using EntryList = std::list<Entry>;
 

@@ -195,6 +195,16 @@ MesaController::attachStats(StatsRegistry *registry,
             &stats_->counter("mesa.fault.self_tests");
         live_.fault_quarantined_pes =
             &stats_->counter("mesa.fault.quarantined_pes");
+        if (params_.fault.certificate_gating) {
+            live_.absint_certified =
+                &stats_->counter("mesa.absint.certified");
+            live_.absint_snapshot_skips =
+                &stats_->counter("mesa.absint.snapshot_skips");
+            live_.absint_budget_tightened =
+                &stats_->counter("mesa.absint.budget_tightened");
+            live_.absint_trip_watchdogs =
+                &stats_->counter("mesa.absint.trip_watchdogs");
+        }
     }
 }
 
@@ -471,6 +481,21 @@ MesaController::prepare(const std::vector<Instruction> &body,
                                       prep.options, region_start,
                                       region_end);
     prep.config.model_latency = prep.map.model_latency;
+
+    // Abstract-interpretation certificate (footprint + trip bounds).
+    // Only meaningful for the natural body: an unrolled pass resumes
+    // mid-region, so its per-entry trip/footprint closed forms do not
+    // describe the original loop. The certificate is a pure function
+    // of the body (keyed by the same CRC as the config), so a cached
+    // one is revived instead of re-running the fixpoint.
+    if (params_.fault.enabled && params_.fault.certificate_gating &&
+        resume_pc == 0) {
+        prep.cert = config_cache_.certificate(region_start, region_tag);
+        if (!prep.cert)
+            prep.cert = std::make_shared<const absint::BodyCertificate>(
+                absint::analyze(prep.ldfg));
+    }
+
     if (params_.verify_before_offload && !verifyPrepared(prep)) {
         last_prepare_fallback_ = FallbackReason::VerifyDirty;
         return std::nullopt;
@@ -590,7 +615,7 @@ MesaController::runWithOptimization(Prepared &prep,
                 os.region_start, os.region_end);
             prep.config.model_latency = os.model_latency;
             accel_.configure(prep.config);
-            config_cache_.insert(prep.config, prep.body_tag);
+            config_cache_.insert(prep.config, prep.body_tag, prep.cert);
             ++os.reconfigurations;
             // With a shadow plane the bitstream streams during the
             // previous epoch; only the swap stalls the array.
@@ -632,7 +657,7 @@ MesaController::runWithOptimization(Prepared &prep,
                 os.region_start, os.region_end);
             prep.config.model_latency = outcome.new_model_latency;
             accel_.configure(prep.config);
-            config_cache_.insert(prep.config, prep.body_tag);
+            config_cache_.insert(prep.config, prep.body_tag, prep.cert);
             ++os.reconfigurations;
             // Mapping runs on MESA concurrently with execution; the
             // charged cost is the bitstream write (or the shadow
@@ -770,15 +795,81 @@ MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
             cpuReexecute(state, os);
             return;
         }
-        config_cache_.insert(prep.config, prep.body_tag);
+        config_cache_.insert(prep.config, prep.body_tag, prep.cert);
+    }
+
+    // Certificate gate: bind the static proof to this entry state
+    // and the currently-resident memory region. A proven-in-region
+    // footprint licenses skipping the golden memory-snapshot compare
+    // below; a finite trip proof derives a per-offload watchdog
+    // budget that can only tighten the configured one.
+    bool mem_proven_in = false;
+    uint64_t watchdog_budget = fp.watchdog_cycles;
+    uint64_t effective_max = max_iterations;
+    bool trip_cap_armed = false;
+    if (fp.certificate_gating && prep.cert && prep.cert->converged) {
+        const absint::CertificateInstance inst = absint::instantiate(
+            *prep.cert, state, absint::residentRegion(*memory_));
+        mem_proven_in =
+            inst.footprint == absint::RegionClass::ProvenIn;
+        os.certified = mem_proven_in;
+        if (inst.trips_finite) {
+            const uint64_t derived = absint::watchdogBudget(
+                *prep.cert, inst.trips, prep.options.time_multiplex);
+            if (derived > 0) {
+                os.cert_watchdog_budget = derived;
+                watchdog_budget =
+                    fp.watchdog_cycles
+                        ? std::min(fp.watchdog_cycles, derived)
+                        : derived;
+                if (stats_ && live_.absint_budget_tightened &&
+                    watchdog_budget == derived)
+                    ++*live_.absint_budget_tightened;
+            }
+            // Iteration watchdog: a clean run provably exits within
+            // inst.trips iterations from this entry state, so the
+            // fabric never needs more. Capping here turns a runaway
+            // loop (corrupted exit condition) into a detection after
+            // at most the proven trip count instead of letting it
+            // burn the whole cycle budget.
+            if (inst.trips > 0 && inst.trips < max_iterations) {
+                effective_max = inst.trips;
+                trip_cap_armed = true;
+            }
+        }
+        if (mem_proven_in && stats_ && live_.absint_certified)
+            ++*live_.absint_certified;
+        if (Tracer::active())
+            tracer.instant(
+                "mesa.absint", "certificate", tracer.now(),
+                {{"pc", uint64_t(os.region_start)},
+                 {"proven_in", mem_proven_in ? 1 : 0},
+                 {"trips", inst.trips_finite ? inst.trips : 0}});
     }
 
     // Checkpoint before handing control to the fabric.
     const fault::Checkpoint ckpt =
         fault::Checkpoint::capture(state, *memory_);
 
-    runWithOptimization(prep, state, max_iterations, os,
-                        fp.watchdog_cycles);
+    runWithOptimization(prep, state, effective_max, os,
+                        watchdog_budget);
+
+    if (trip_cap_armed && !os.accel.completed &&
+        !os.accel.watchdog_tripped &&
+        os.accel_iterations >= effective_max) {
+        // The proven trip budget is exhausted without the loop exit
+        // firing — impossible for a clean run; treat it exactly like
+        // a cycle-watchdog trip (rollback + CPU re-execution below).
+        os.trip_watchdog = true;
+        os.accel.watchdog_tripped = true;
+        if (stats_ && live_.absint_trip_watchdogs)
+            ++*live_.absint_trip_watchdogs;
+        if (Tracer::active())
+            tracer.instant("mesa.absint", "trip-watchdog",
+                           tracer.now(),
+                           {{"pc", uint64_t(os.region_start)},
+                            {"trips", effective_max}});
+    }
 
     bool faulted = false;
     if (os.accel.watchdog_tripped) {
@@ -806,7 +897,16 @@ MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
         if (stats_ && live_.fault_checked_runs)
             ++*live_.fault_checked_runs;
         const riscv::ArchState accel_state = state;
-        const fault::MemSnapshot accel_pages = memory_->snapshot();
+        // A proven-in-region footprint makes the page-by-page memory
+        // diff redundant as a recovery mechanism: restore + golden
+        // re-execution below always leaves memory at the golden
+        // result, so skipping the compare can never admit a silent
+        // corruption -- it only forgoes counting a memory-only
+        // mismatch as a detected fault.
+        const bool skip_snapshot = mem_proven_in;
+        fault::MemSnapshot accel_pages;
+        if (!skip_snapshot)
+            accel_pages = memory_->snapshot();
         ckpt.restore(state, *memory_);
         riscv::Emulator golden(*memory_);
         golden.reset(state.pc);
@@ -817,10 +917,16 @@ MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
         os.cpu_reexec_instructions += steps;
         if (stats_ && live_.fault_cpu_reexec)
             *live_.fault_cpu_reexec += steps;
-        const bool match =
-            state == accel_state &&
-            fault::memorySnapshotsEqual(memory_->snapshot(),
-                                        accel_pages);
+        bool match = state == accel_state;
+        if (skip_snapshot) {
+            os.snapshot_skipped = true;
+            if (stats_ && live_.absint_snapshot_skips)
+                ++*live_.absint_snapshot_skips;
+        } else {
+            match = match &&
+                    fault::memorySnapshotsEqual(memory_->snapshot(),
+                                                accel_pages);
+        }
         if (!match) {
             // state/memory already hold the golden result: detection
             // and recovery coincide on this path.
@@ -910,7 +1016,7 @@ MesaController::offloadLoop(const std::vector<Instruction> &body,
         os.mapping_cycles = prep.map.mapping_cycles;
         os.config_cycles = config_block_.configCycles(prep.config);
         os.unmapped = prep.map.unmapped.size();
-        config_cache_.insert(prep.config, prep.body_tag);
+        config_cache_.insert(prep.config, prep.body_tag, prep.cert);
     }
 
     // In the lower-level entry there is no CPU to overlap with: the
@@ -1054,7 +1160,7 @@ MesaController::runTransparent(const riscv::Program &program,
             os.mapping_cycles = prep.map.mapping_cycles;
             os.config_cycles = config_block_.configCycles(prep.config);
             os.unmapped = prep.map.unmapped.size();
-            config_cache_.insert(prep.config, prep.body_tag);
+            config_cache_.insert(prep.config, prep.body_tag, prep.cert);
             prepared = true;
         }
         if (!prepared) {

@@ -16,10 +16,12 @@
 #include <array>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "absint/certificate.hh"
 #include "accel/accelerator.hh"
 #include "cpu/monitor.hh"
 #include "cpu/system.hh"
@@ -175,6 +177,21 @@ struct OffloadStats
     uint64_t prof_compute_cycles = 0;
     uint64_t prof_noc_stall_cycles = 0;
     uint64_t prof_mem_stall_cycles = 0;
+
+    /**
+     * Certificate gating (fault.certificate_gating): the offload's
+     * memory footprint was statically proven inside the resident
+     * region for this entry state, the checked-mode memory-snapshot
+     * comparison was skipped on that proof, and the watchdog ran
+     * under the certificate-derived budget (0 = no finite trip proof).
+     */
+    bool certified = false;
+    bool snapshot_skipped = false;
+    uint64_t cert_watchdog_budget = 0;
+    /** The iteration watchdog fired: the fabric consumed the proven
+     *  trip count without reaching the loop exit — impossible for a
+     *  clean run, so the offload was rolled back as faulty. */
+    bool trip_watchdog = false;
 
     /** Why this region fell back to the CPU (None = it did not). */
     FallbackReason fallback = FallbackReason::None;
@@ -380,6 +397,10 @@ class MesaController
         uint64_t encode_cycles = 0;
         int max_tiles = 1; ///< Grid-supported tile factor ceiling.
         uint32_t body_tag = 0; ///< Config-cache key guard (body CRC).
+        /** Abstract-interpretation certificate for the (non-unrolled)
+         *  body, when fault.certificate_gating is on. Shared with the
+         *  config cache so re-encountered regions skip the fixpoint. */
+        std::shared_ptr<const absint::BodyCertificate> cert;
     };
     std::optional<Prepared> prepare(
         const std::vector<riscv::Instruction> &body, bool parallel_hint,
@@ -471,6 +492,10 @@ class MesaController
         Counter *fault_cpu_reexec = nullptr;
         Counter *fault_self_tests = nullptr;
         Counter *fault_quarantined_pes = nullptr;
+        Counter *absint_certified = nullptr;
+        Counter *absint_snapshot_skips = nullptr;
+        Counter *absint_budget_tightened = nullptr;
+        Counter *absint_trip_watchdogs = nullptr;
     };
 
     /** Per-rule verify counters, created on first finding. */

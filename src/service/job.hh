@@ -40,9 +40,11 @@ enum class RejectReason
     QueueFull,    ///< Global pending-depth limit hit.
     TenantLimit,  ///< Per-tenant in-flight limit hit.
     Draining,     ///< Admission closed (graceful shutdown).
+    OutOfRegion,  ///< Static footprint proof places an access outside
+                  ///< the job's memory region (absint certifier).
 };
 
-constexpr int RejectReasonCount = 4;
+constexpr int RejectReasonCount = 5;
 
 /** Stable lower-case identifier ("queue_full"). */
 const char *rejectReasonName(RejectReason reason);

@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 
 #include "service/job.hh"
@@ -26,6 +27,14 @@ struct AdmissionParams
 {
     size_t max_depth = 256;         ///< Pending jobs, all tenants.
     size_t max_tenant_inflight = 8; ///< Pending + executing per tenant.
+    /**
+     * Optional static-certification gate (absint certifier): return
+     * true when the job's kernel body is proven to access memory
+     * outside its offload region, in which case admission refuses it
+     * with OutOfRegion before it consumes queue depth. Unset = no
+     * certificate gating.
+     */
+    std::function<bool(const OffloadJob &)> out_of_region;
 };
 
 /** FIFO of admitted jobs awaiting dispatch, plus the admission gate. */
@@ -49,6 +58,8 @@ class OffloadQueue
         RejectReason reason = RejectReason::None;
         if (draining_)
             reason = RejectReason::Draining;
+        else if (params_.out_of_region && params_.out_of_region(job))
+            reason = RejectReason::OutOfRegion;
         else if (pending_.size() >= params_.max_depth)
             reason = RejectReason::QueueFull;
         else if (inflight_[job.tenant] >= params_.max_tenant_inflight)

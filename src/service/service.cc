@@ -1,9 +1,15 @@
 #include "service/service.hh"
 
 #include <algorithm>
+#include <map>
 #include <queue>
 
+#include "absint/certificate.hh"
+#include "cpu/system.hh"
+#include "dfg/ldfg.hh"
+#include "riscv/emulator.hh"
 #include "util/logging.hh"
+#include "workloads/suite.hh"
 
 namespace mesa::service
 {
@@ -340,6 +346,62 @@ struct Engine
 };
 
 } // namespace
+
+std::function<bool(const OffloadJob &)>
+makeCertificateGate(const accel::AccelParams &accel)
+{
+    // Shared across copies of the returned predicate: the verdict is
+    // a pure function of (kernel, iterations), so every job of the
+    // same shape reuses one analysis.
+    auto verdicts = std::make_shared<
+        std::map<std::pair<std::string, uint64_t>, bool>>();
+    return [accel, verdicts](const OffloadJob &job) -> bool {
+        const auto key = std::make_pair(job.kernel, job.iterations);
+        if (auto it = verdicts->find(key); it != verdicts->end())
+            return it->second;
+        bool out_of_region = false;
+        for (const auto &entry : workloads::suiteRegistry()) {
+            if (job.kernel != entry.name)
+                continue;
+            const workloads::Kernel kernel = entry.make(job.iterations);
+            const auto body = kernel.loopBody();
+            if (!kernel.mesa_supported || body.empty())
+                break;
+            dfg::BuildError err = dfg::BuildError::None;
+            const auto ldfg = dfg::Ldfg::build(
+                body, accel.op_latency, 4 * accel.capacity(), &err);
+            if (!ldfg)
+                break; // Not encodable: the backend monitor's call.
+            // Bind the proof to the job's own memory image at loop
+            // entry, exactly as the backend would execute it.
+            mem::MainMemory memory;
+            kernel.init_data(memory);
+            cpu::loadProgram(memory, kernel.program);
+            riscv::Emulator emu(memory);
+            emu.reset(kernel.program.base_pc);
+            kernel.fullRange()(emu.state());
+            uint64_t steps = 0;
+            while (!emu.halted() &&
+                   emu.state().pc != kernel.loop_start &&
+                   steps < 1'000'000) {
+                emu.step();
+                ++steps;
+            }
+            if (emu.state().pc != kernel.loop_start)
+                break; // Loop entry unreachable: nothing to certify.
+            const absint::BodyCertificate cert =
+                absint::analyze(*ldfg);
+            const absint::CertificateInstance inst =
+                absint::instantiate(cert, emu.state(),
+                                    absint::residentRegion(memory));
+            out_of_region =
+                inst.footprint == absint::RegionClass::ProvenOut;
+            break;
+        }
+        (*verdicts)[key] = out_of_region;
+        return out_of_region;
+    };
+}
 
 const char *
 dispatchPolicyName(DispatchPolicy policy)

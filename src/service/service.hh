@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "accel/params.hh"
 #include "service/backend.hh"
 #include "service/job.hh"
 #include "service/queue.hh"
@@ -130,6 +131,20 @@ struct ServiceResult
                (double(horizon_cycles) / (clock_ghz * 1e9));
     }
 };
+
+/**
+ * Build an admission gate backed by the abstract-interpretation
+ * certifier (src/absint): returns a predicate for
+ * AdmissionParams::out_of_region that refuses jobs whose kernel body
+ * is statically proven to access memory outside the job's own
+ * offload region. Verdicts are memoized per (kernel, iterations) —
+ * the certificate is a pure function of the body and dataset shape,
+ * so one analysis covers every job of that shape. Kernels that are
+ * not encodable, not offloadable, or whose footprint is merely
+ * unknown are admitted (the runtime guards own those).
+ */
+std::function<bool(const OffloadJob &)>
+makeCertificateGate(const accel::AccelParams &accel);
 
 /** Run one service campaign to completion (or drained shutdown). */
 ServiceResult runService(const ServiceParams &params);

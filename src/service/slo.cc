@@ -32,6 +32,8 @@ rejectReasonName(RejectReason reason)
         return "tenant_limit";
       case RejectReason::Draining:
         return "draining";
+      case RejectReason::OutOfRegion:
+        return "out_of_region";
     }
     return "?";
 }

@@ -143,8 +143,77 @@ ruleCatalog()
          "immediate overrides must reference valid nodes"},
         {"cfg.region", Severity::Warn, "cfg",
          "region pc range must be ordered and contain resume_pc"},
+
+        // --- Abstract-interpretation certificates (src/absint) ---
+        {"AI101", Severity::Error, "absint",
+         "load/store proven to access memory outside the offload's "
+         "region"},
+        {"AI102", Severity::Warn, "absint",
+         "memory footprint unknown (data-dependent or unbounded "
+         "address)"},
+        {"AI103", Severity::Note, "absint",
+         "memory-footprint certificate summary (proven byte bounds)"},
+        {"AI104", Severity::Warn, "absint",
+         "trip count unprovable; watchdog falls back to the global "
+         "budget"},
+        {"AI105", Severity::Note, "absint",
+         "trip-count certificate summary (proven max iterations)"},
+        {"AI106", Severity::Error, "absint",
+         "abstract-interpretation fixpoint failed to converge"},
     };
     return catalog;
+}
+
+std::vector<std::string>
+expandRulePatterns(const std::string &spec,
+                   std::vector<std::string> *unknown)
+{
+    std::vector<std::string> patterns;
+    std::string cur;
+    for (const char c : spec + ",") {
+        if (c == ',') {
+            if (!cur.empty())
+                patterns.push_back(cur);
+            cur.clear();
+        } else if (c != ' ') {
+            cur += c;
+        }
+    }
+
+    std::vector<std::string> out;
+    std::set<std::string> seen;
+    for (const auto &pat : patterns) {
+        const bool glob = !pat.empty() && pat.back() == '*';
+        const std::string prefix =
+            glob ? pat.substr(0, pat.size() - 1) : pat;
+        bool matched = false;
+        for (const auto &rule : ruleCatalog()) {
+            const std::string id = rule.id;
+            const bool hit =
+                glob ? id.compare(0, prefix.size(), prefix) == 0
+                     : id == pat;
+            if (!hit)
+                continue;
+            matched = true;
+            if (seen.insert(id).second)
+                out.push_back(id);
+        }
+        if (!matched && unknown)
+            unknown->push_back(pat);
+    }
+    // Catalog order, not pattern order.
+    std::sort(out.begin(), out.end(),
+              [](const std::string &a, const std::string &b) {
+                  auto pos = [](const std::string &id) {
+                      const auto &cat = ruleCatalog();
+                      for (size_t i = 0; i < cat.size(); ++i)
+                          if (id == cat[i].id)
+                              return i;
+                      return cat.size();
+                  };
+                  return pos(a) < pos(b);
+              });
+    return out;
 }
 
 // ---------------------------------------------------------------------

@@ -67,6 +67,19 @@ struct RuleInfo
 const std::vector<RuleInfo> &ruleCatalog();
 
 /**
+ * Expand a comma-separated rule filter against the catalog. Each
+ * element is either an exact rule id ("dfg.node-id", "AI101") or a
+ * prefix glob with a trailing '*' ("AI*", "map.*", "M1*" -- the
+ * prefix compares against the raw id text). Matching ids return in
+ * catalog order, deduplicated. Elements matching no catalog rule are
+ * appended to @p unknown; callers treat those as hard errors so typos
+ * never silently filter everything out.
+ */
+std::vector<std::string>
+expandRulePatterns(const std::string &spec,
+                   std::vector<std::string> *unknown = nullptr);
+
+/**
  * Pass 1 — DFG well-formedness: dataflow edges acyclic modulo the
  * loop-carried back-edge (every edge references an earlier node),
  * producer edges consistent with a rename-table replay of the body,

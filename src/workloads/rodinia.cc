@@ -57,6 +57,23 @@ fillFloats(mem::MainMemory &m, uint32_t base, uint64_t count,
         m.writeFloat(base + uint32_t(4 * i), frand(s, lo, hi));
 }
 
+/**
+ * Reserve an output buffer by touching its pages with zeroes. Real
+ * offload regions include pre-allocated output arrays; making them
+ * resident up front keeps the workload's memory region honest for
+ * static footprint certification without changing observable data
+ * (absent pages read as zero anyway).
+ */
+void
+reserveBytes(mem::MainMemory &m, uint32_t base, uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    for (uint64_t off = 0; off < bytes; off += mem::MainMemory::PageSize)
+        m.write8(base + uint32_t(off), 0);
+    m.write8(base + uint32_t(bytes - 1), 0);
+}
+
 void
 setF(riscv::ArchState &st, int fr, float v)
 {
@@ -106,6 +123,7 @@ makeNn(uint64_t n)
     k.init_data = [n](mem::MainMemory &m) {
         fillFloats(m, ArrA, n, 1, -90.0f, 90.0f);
         fillFloats(m, ArrB, n, 2, -180.0f, 180.0f);
+        reserveBytes(m, ArrC, 4 * n); // dist[] output
     };
     k.init_range = [](riscv::ArchState &st, uint64_t b, uint64_t e) {
         st.x[a0] = ArrA + uint32_t(4 * b);
@@ -156,6 +174,7 @@ makeKmeans(uint64_t n)
 
     k.init_data = [n](mem::MainMemory &m) {
         fillFloats(m, ArrA, 4 * n, 3, 0.0f, 10.0f);
+        reserveBytes(m, ArrC, 4 * n); // membership distance output
     };
     k.init_range = [](riscv::ArchState &st, uint64_t b, uint64_t e) {
         st.x[a0] = ArrA + uint32_t(16 * b);
@@ -204,6 +223,7 @@ makeHotspot(uint64_t n)
     k.init_data = [n](mem::MainMemory &m) {
         fillFloats(m, ArrA, n + 2, 4, 20.0f, 90.0f); // t (padded)
         fillFloats(m, ArrB, n + 2, 5, 0.0f, 2.0f);   // power
+        reserveBytes(m, ArrC, 4 * (n + 2)); // t_next output
     };
     k.init_range = [](riscv::ArchState &st, uint64_t b, uint64_t e) {
         st.x[a0] = ArrA + uint32_t(4 * (b + 1)); // interior points
@@ -256,6 +276,7 @@ makeCfd(uint64_t n)
 
     k.init_data = [n](mem::MainMemory &m) {
         fillFloats(m, ArrA, 4 * n, 6, 0.5f, 1.5f);
+        reserveBytes(m, ArrC, 16 * n); // flux output (16B stride)
     };
     k.init_range = [](riscv::ArchState &st, uint64_t b, uint64_t e) {
         st.x[a0] = ArrA + uint32_t(16 * b);
@@ -412,6 +433,7 @@ makeSrad(uint64_t n)
         fillFloats(m, ArrA, n + 8, 10, 0.1f, 1.0f);
         fillFloats(m, ArrB, n + 8, 11, 0.1f, 1.0f);
         fillFloats(m, ArrC, n + 8, 12, 0.1f, 1.0f);
+        reserveBytes(m, ArrD, 4 * (n + 8)); // diffused image output
     };
     k.init_range = [](riscv::ArchState &st, uint64_t b, uint64_t e) {
         st.x[a0] = ArrA + uint32_t(16 * b + 4);
@@ -507,6 +529,7 @@ makePathfinder(uint64_t n)
             m.write32(ArrA + uint32_t(4 * i), lcg(s) % 1000);
         for (uint64_t i = 0; i < n; ++i)
             m.write32(ArrB + uint32_t(4 * i), lcg(s) % 10);
+        reserveBytes(m, ArrC, 4 * n); // dst[] output row
     };
     k.init_range = [](riscv::ArchState &st, uint64_t b, uint64_t e) {
         st.x[a0] = ArrA + uint32_t(4 * b);
@@ -556,6 +579,7 @@ makeBtree(uint64_t n)
         // Sorted key array: 16 ascending keys spanning the range.
         for (uint32_t i = 0; i < KeysPerNode; ++i)
             m.write32(ArrB + 4 * i, (i + 1) * 256);
+        reserveBytes(m, ArrC, 4 * n); // found-index output
     };
     k.init_range = [](riscv::ArchState &st, uint64_t b, uint64_t e) {
         st.x[a0] = ArrA + uint32_t(4 * b);
@@ -604,6 +628,7 @@ makeStreamcluster(uint64_t n)
     k.init_data = [n](mem::MainMemory &m) {
         fillFloats(m, ArrA, 8 * n, 17, 0.0f, 4.0f);
         fillFloats(m, ArrB, n, 18, 0.5f, 2.0f);
+        reserveBytes(m, ArrC, 4 * n); // weighted-distance output
     };
     k.init_range = [](riscv::ArchState &st, uint64_t b, uint64_t e) {
         st.x[a0] = ArrA + uint32_t(32 * b);
@@ -739,6 +764,7 @@ makeHeartwall(uint64_t n)
     k.init_data = [n](mem::MainMemory &m) {
         fillFloats(m, ArrA, n, 23, 0.0f, 255.0f);
         fillFloats(m, ArrB, n, 24, 0.0f, 255.0f);
+        reserveBytes(m, ArrC, 4 * n); // correlation output
     };
     k.init_range = [](riscv::ArchState &st, uint64_t b, uint64_t e) {
         st.x[a0] = ArrA + uint32_t(4 * b);
@@ -786,6 +812,7 @@ makeLeukocyte(uint64_t n)
     k.init_data = [n](mem::MainMemory &m) {
         fillFloats(m, ArrA, 2 * n, 25, -8.0f, 8.0f);
         fillFloats(m, ArrB, 2 * n, 26, -1.0f, 1.0f);
+        reserveBytes(m, ArrC, 8 * n); // derivative + variance output
     };
     k.init_range = [](riscv::ArchState &st, uint64_t b, uint64_t e) {
         st.x[a0] = ArrA + uint32_t(8 * b);
@@ -841,6 +868,7 @@ makeHotspot3d(uint64_t n)
         fillFloats(m, ArrA, n + 2 * Plane + 8, 27, 20.0f, 90.0f);
         fillFloats(m, ArrB, n + 8, 28, 20.0f, 90.0f);
         fillFloats(m, ArrC, n + 8, 29, 20.0f, 90.0f);
+        reserveBytes(m, ArrD, 4 * (n + 8)); // t_next output
     };
     k.init_range = [](riscv::ArchState &st, uint64_t b, uint64_t e) {
         // a0 points into the middle plane (offset by one plane).

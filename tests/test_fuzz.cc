@@ -15,6 +15,7 @@
 #include <random>
 #include <sstream>
 
+#include "absint/certificate.hh"
 #include "dfg/analysis.hh"
 #include "dfg/unroll.hh"
 #include "helpers.hh"
@@ -22,6 +23,7 @@
 #include "mesa/config_builder.hh"
 #include "mesa/mapper.hh"
 #include "riscv/assembler.hh"
+#include "util/json.hh"
 #include "util/parallel.hh"
 #include "verify/verifier.hh"
 
@@ -169,6 +171,13 @@ generate(uint32_t seed)
         std::mt19937 r(seed ^ 0x5A5A5A5A);
         for (uint32_t i = 0; i < 4096; i += 4)
             m.write32(ArrIn + i, uint32_t(r()));
+        // Make the output stream resident too (zero pages compare
+        // equal to absent ones, so this is observationally neutral):
+        // the absint footprint certifier classifies store targets
+        // against the resident region, and an honest in-region
+        // verdict needs the outputs inside it.
+        for (uint32_t i = 0; i < 2 * mem::MainMemory::PageSize; i += 4)
+            m.write32(ArrOut + i, 0);
     };
     const uint32_t out_step = [&] {
         // Recover the a1 step from the assembled body (penultimate
@@ -271,6 +280,8 @@ struct VerifierFuzzOutcome
     bool skipped = false;
     std::string skip_reason;
     std::string error; ///< Empty = verified clean.
+    /** Serialized absint certificate (the determinism cross-check). */
+    std::string cert_json;
 };
 
 std::string
@@ -382,6 +393,36 @@ verifierFuzzCase(uint32_t seed, int axis)
            << " tm " << tm << " tiles " << config.tileCount() << "\n"
            << render(report);
         out.error = os.str();
+        return out;
+    }
+
+    // Abstract interpretation over the same accepted body: the
+    // widening fixpoint must terminate (converged), and since the
+    // generator makes both streams resident, a proven-out-of-region
+    // verdict on any node is a false positive by construction.
+    const absint::BodyCertificate cert = absint::analyze(*ldfg);
+    if (!cert.converged) {
+        out.error = "absint fixpoint diverged";
+        return out;
+    }
+    JsonWriter w;
+    cert.toJson(w);
+    out.cert_json = w.str();
+
+    mem::MainMemory memory;
+    gen.kernel.init_data(memory);
+    cpu::loadProgram(memory, gen.kernel.program);
+    riscv::Emulator emu(memory);
+    emu.reset(gen.kernel.program.base_pc);
+    gen.kernel.fullRange()(emu.state());
+    // Fuzz programs start at the loop head: no preamble to run.
+    const absint::CertificateInstance inst = absint::instantiate(
+        cert, emu.state(), absint::residentRegion(memory));
+    if (inst.footprint == absint::RegionClass::ProvenOut) {
+        std::ostringstream os;
+        os << "false proven-out: nodes " << ldfg->size() << " span ["
+           << inst.addr_lo << ", " << inst.addr_hi << ")";
+        out.error = os.str();
     }
     return out;
 }
@@ -413,6 +454,22 @@ TEST(VerifierFuzz, AcceptedBodiesVerifyWithZeroErrors)
     // The generator is tuned so most bodies are encodable; a sudden
     // jump in skips means the fuzzer stopped testing anything.
     EXPECT_LT(skipped, n / 2) << "fuzzer skipped too many cases";
+
+    // Certificates must not depend on the worker count: recompute a
+    // spread of cases single-threaded and compare the serialized
+    // certificate byte-for-byte against the parallel run above.
+    size_t compared = 0;
+    for (size_t i = 0; i < n; i += 5) {
+        if (outcomes[i].skipped)
+            continue;
+        const auto serial = verifierFuzzCase(uint32_t(1 + i / Axes),
+                                             int(i % Axes));
+        EXPECT_EQ(outcomes[i].cert_json, serial.cert_json)
+            << "certificate differs across job counts at seed "
+            << (1 + i / Axes) << " axis " << (i % Axes);
+        ++compared;
+    }
+    EXPECT_GT(compared, 0u);
 }
 
 } // namespace

@@ -223,6 +223,56 @@ TEST(ServiceQueue, DrainingRefusesEverythingAndIdsStayOrdered)
     EXPECT_EQ(queue.depth(), 2u); // Already-admitted jobs remain.
 }
 
+TEST(ServiceQueue, OutOfRegionGateShedsBeforeQueueDepth)
+{
+    AdmissionParams limits;
+    limits.max_depth = 1;
+    limits.out_of_region = [](const OffloadJob &job) {
+        return job.kernel == "evil";
+    };
+    OffloadQueue queue(limits);
+
+    OffloadJob bad;
+    bad.kernel = "evil";
+    EXPECT_EQ(int(queue.offer(bad)), int(RejectReason::OutOfRegion));
+    EXPECT_EQ(queue.rejected(RejectReason::OutOfRegion), 1u);
+    EXPECT_EQ(queue.depth(), 0u); // Shed jobs consume no depth.
+
+    OffloadJob good;
+    good.kernel = "nn";
+    EXPECT_EQ(int(queue.offer(good)), int(RejectReason::None));
+    // The depth limit still applies after the gate.
+    good.tenant = 1;
+    EXPECT_EQ(int(queue.offer(good)), int(RejectReason::QueueFull));
+    // Draining outranks the gate.
+    queue.stopAdmission();
+    EXPECT_EQ(int(queue.offer(bad)), int(RejectReason::Draining));
+    EXPECT_EQ(queue.rejected(RejectReason::OutOfRegion), 1u);
+
+    EXPECT_STREQ(rejectReasonName(RejectReason::OutOfRegion),
+                 "out_of_region");
+}
+
+TEST(ServiceQueue, CertificateGateAdmitsSuiteKernels)
+{
+    // The real absint-backed gate: every suite kernel's footprint is
+    // proven inside (or at worst unknown within) its own region, so
+    // nothing legitimate is shed.
+    const auto gate =
+        makeCertificateGate(accel::AccelParams::m128());
+    OffloadJob job;
+    job.iterations = 64;
+    for (const char *name : {"nn", "kmeans", "bfs", "srad"}) {
+        job.kernel = name;
+        EXPECT_FALSE(gate(job)) << name;
+        EXPECT_FALSE(gate(job)) << name << " (memoized)";
+    }
+    // Unknown kernels are not the gate's call: admit and let the
+    // backend reject.
+    job.kernel = "no-such-kernel";
+    EXPECT_FALSE(gate(job));
+}
+
 // ---------------------------------------------------------------------
 // SLO accounting vs hand-computed values.
 // ---------------------------------------------------------------------

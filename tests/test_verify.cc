@@ -11,6 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
 #include <sstream>
 
 #include "interconnect/interconnect.hh"
@@ -571,6 +575,98 @@ TEST(VerifyReport, JsonAndCountsRoundTrip)
     const std::string json = w.str();
     EXPECT_NE(json.find("\"dfg.latency\""), std::string::npos);
     EXPECT_NE(json.find("\"errors\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Rule catalog: completeness against the source tree and pattern
+// expansion (mesa_lint --rules).
+// ---------------------------------------------------------------------
+
+/** Every rule id passed to Report::error/warn/note in @p dir. */
+std::set<std::string>
+emittedRuleIds(const std::filesystem::path &dir)
+{
+    std::set<std::string> ids;
+    // Calls may break the line between the method name and the rule
+    // string, so match across whitespace on the whole file text.
+    const std::regex call(R"((error|warn|note)\(\s*"([^"]+)\")");
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        const auto path = entry.path();
+        if (path.extension() != ".cc" && path.extension() != ".hh")
+            continue;
+        std::ifstream in(path);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const std::string text = buf.str();
+        for (auto it = std::sregex_iterator(text.begin(), text.end(),
+                                            call);
+             it != std::sregex_iterator(); ++it)
+            ids.insert((*it)[2].str());
+    }
+    return ids;
+}
+
+TEST(VerifyCatalog, CoversEveryEmittedRule)
+{
+    std::set<std::string> catalog;
+    for (const auto &info : verify::ruleCatalog()) {
+        EXPECT_TRUE(catalog.insert(info.id).second)
+            << "duplicate catalog id " << info.id;
+        EXPECT_NE(std::string(info.summary), "")
+            << "empty summary for " << info.id;
+        EXPECT_NE(std::string(info.pass), "")
+            << "empty pass for " << info.id;
+    }
+
+    const std::filesystem::path src(MESA_SOURCE_DIR);
+    std::set<std::string> emitted = emittedRuleIds(src / "src/verify");
+    for (const auto &id : emittedRuleIds(src / "src/absint"))
+        emitted.insert(id);
+    ASSERT_FALSE(emitted.empty())
+        << "source scan found no rule emissions — pattern rot?";
+    for (const auto &id : emitted)
+        EXPECT_TRUE(catalog.count(id))
+            << "rule " << id
+            << " is emitted but missing from ruleCatalog()";
+}
+
+TEST(VerifyCatalog, ExpandRulePatterns)
+{
+    // Exact ids pass through; result follows catalog order.
+    std::vector<std::string> unknown;
+    auto ids =
+        verify::expandRulePatterns("AI101,dfg.latency", &unknown);
+    EXPECT_TRUE(unknown.empty());
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], "dfg.latency"); // Catalog order, not spec order.
+    EXPECT_EQ(ids[1], "AI101");
+
+    // Prefix glob: AI* covers the whole absint family.
+    ids = verify::expandRulePatterns("AI*", &unknown);
+    EXPECT_TRUE(unknown.empty());
+    ASSERT_EQ(ids.size(), 6u);
+    for (const auto &id : ids)
+        EXPECT_EQ(id.rfind("AI", 0), 0u) << id;
+
+    // Pass-prefix glob over the dotted families.
+    ids = verify::expandRulePatterns("dfg.*", &unknown);
+    EXPECT_TRUE(unknown.empty());
+    EXPECT_GE(ids.size(), 3u);
+    for (const auto &id : ids)
+        EXPECT_EQ(id.rfind("dfg.", 0), 0u) << id;
+
+    // Duplicates collapse; spaces are tolerated.
+    ids = verify::expandRulePatterns(" AI101 , AI1* ", &unknown);
+    EXPECT_TRUE(unknown.empty());
+    EXPECT_EQ(ids.size(), 6u);
+
+    // Unknown ids and non-matching globs are reported, matches kept.
+    ids = verify::expandRulePatterns("ZZ999,ZZ*,AI101", &unknown);
+    ASSERT_EQ(unknown.size(), 2u);
+    EXPECT_EQ(unknown[0], "ZZ999");
+    EXPECT_EQ(unknown[1], "ZZ*");
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids[0], "AI101");
 }
 
 } // namespace
