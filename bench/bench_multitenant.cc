@@ -18,11 +18,13 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "prof/history.hh"
 #include "sched/multicore.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -58,8 +60,20 @@ usage()
         "                      hardware concurrency; forced to 1 when\n"
         "                      tracing)\n"
         "  --shadow-config     single-cycle context switches\n"
+        "  --skew <s>          Zipf-skewed per-tenant loads (weight\n"
+        "                      1/(t+1)^s): runs the static AND the\n"
+        "                      elastic partitioned schedule (tiling on\n"
+        "                      for both — the merged band must be able\n"
+        "                      to spread the solo tenant) and appends\n"
+        "                      the comparison to the perf history\n"
+        "  --elastic           elastic repartitioning on the\n"
+        "                      partitioned run (implied by --skew)\n"
+        "  --history <path>    perf-history JSONL for --skew\n"
+        "                      (default BENCH_history.jsonl)\n"
+        "  --no-history        skip the history append\n"
         "  --smoke             assert >= 1.2x over serialized; exit 1\n"
-        "                      otherwise\n"
+        "                      otherwise (with --skew: assert elastic\n"
+        "                      beats static on throughput AND Jain)\n"
         "  --json              machine-readable output\n"
         "  --trace-out <file>  Chrome trace of the partitioned run\n"
         "  --stats-json <file> scheduler stats registry as JSON\n";
@@ -68,13 +82,15 @@ usage()
 sched::SharedRunResult
 run(const sched::SchedParams &base, const workloads::Kernel &kernel,
     int tenants, int ways, uint64_t epoch,
-    const std::vector<int> &priorities)
+    const std::vector<int> &priorities,
+    const std::vector<double> &weights = {})
 {
     sched::SharedRunParams params;
     params.sched = base;
     params.sched.spatial_ways = ways;
     params.sched.epoch_iterations = epoch;
     params.priorities = priorities;
+    params.weights = weights;
     mem::MainMemory memory;
     return sched::runShared(params, memory, kernel, tenants);
 }
@@ -95,6 +111,10 @@ main(int argc, char **argv)
     int jobs = defaultJobs();
     bool smoke = false;
     bool json = false;
+    double skew = 0.0;
+    bool elastic = false;
+    bool append_history = true;
+    std::string history_path = "BENCH_history.jsonl";
     sched::SchedParams base;
 
     for (int i = 1; i < argc; ++i) {
@@ -130,6 +150,14 @@ main(int argc, char **argv)
             jobs = resolveJobs(int(std::strtol(next(), nullptr, 10)));
         } else if (arg == "--shadow-config") {
             base.shadow_config = true;
+        } else if (arg == "--skew") {
+            skew = std::strtod(next(), nullptr);
+        } else if (arg == "--elastic") {
+            elastic = true;
+        } else if (arg == "--history") {
+            history_path = next();
+        } else if (arg == "--no-history") {
+            append_history = false;
         } else if (arg == "--smoke") {
             smoke = true;
         } else if (arg == "--json") {
@@ -165,6 +193,145 @@ main(int argc, char **argv)
         for (int t = 0; t < tenants; ++t)
             priorities.push_back(int(rng.below(uint64_t(tenants))));
     }
+
+    // Skewed-load cell: Zipf per-tenant weights, static vs elastic
+    // partitioned schedules. Tiling is ON for all three runs here —
+    // the elastic win comes from the merged band spreading the solo
+    // heavy tenant, and the static run must be allowed the same
+    // optimization within its band for the comparison to be fair.
+    if (skew > 0.0) {
+        base.enable_tiling = true;
+        std::vector<double> weights;
+        for (int t = 0; t < tenants; ++t)
+            weights.push_back(1.0 / std::pow(double(t + 1), skew));
+
+        sched::SchedParams elas = base;
+        elas.elastic = true;
+
+        sched::SharedRunResult serial, spart, epart;
+        if (trace_out.empty()) {
+            parallelForOrdered(3, std::min(jobs, 3), [&](size_t i) {
+                if (i == 0)
+                    serial = run(base, kernel, tenants, 1, 0,
+                                 priorities, weights);
+                else if (i == 1)
+                    spart = run(base, kernel, tenants, ways, epoch,
+                                priorities, weights);
+                else
+                    epart = run(elas, kernel, tenants, ways, epoch,
+                                priorities, weights);
+            });
+        } else {
+            serial =
+                run(base, kernel, tenants, 1, 0, priorities, weights);
+            spart = run(base, kernel, tenants, ways, epoch, priorities,
+                        weights);
+            Tracer::global().clear();
+            Tracer::global().enable();
+            epart = run(elas, kernel, tenants, ways, epoch, priorities,
+                        weights);
+            Tracer &tracer = Tracer::global();
+            tracer.enable(false);
+            std::ofstream f(trace_out);
+            if (!f)
+                fatal("cannot open trace output file ", trace_out);
+            tracer.exportJson(f);
+        }
+
+        const double elastic_speedup =
+            epart.makespan_cycles
+                ? double(spart.makespan_cycles) /
+                      double(epart.makespan_cycles)
+                : 0.0;
+        const double jain_static = spart.sched.fairnessJain();
+        const double jain_elastic = epart.sched.fairnessJain();
+
+        if (json) {
+            JsonWriter w;
+            w.beginObject()
+                .field("kernel", kernel.name)
+                .field("tenants", tenants)
+                .field("ways", epart.sched.ways)
+                .field("skew", skew)
+                .field("serialized_cycles", serial.makespan_cycles)
+                .field("static_cycles", spart.makespan_cycles)
+                .field("elastic_cycles", epart.makespan_cycles)
+                .field("elastic_speedup", elastic_speedup)
+                .field("static_jain", jain_static)
+                .field("elastic_jain", jain_elastic)
+                .field("migrations", epart.sched.migrations)
+                .field("migration_warm", epart.sched.migration_warm)
+                .field("migration_translate_cycles",
+                       epart.sched.migration_translate_cycles)
+                .field("migration_stream_cycles",
+                       epart.sched.migration_stream_cycles)
+                .field("all_completed", spart.all_completed &&
+                                            epart.all_completed)
+                .end();
+            std::cout << w.str() << "\n";
+        } else {
+            std::cout << "kernel " << kernel.name << ": " << tenants
+                      << " tenants, " << epart.sched.ways
+                      << " ways, skew " << skew
+                      << " (Zipf weights, tiling on)\n\n"
+                      << "serialized : " << serial.makespan_cycles
+                      << " cycles\n"
+                      << "static     : " << spart.makespan_cycles
+                      << " cycles, Jain "
+                      << TextTable::num(jain_static) << "\n"
+                      << "elastic    : " << epart.makespan_cycles
+                      << " cycles, Jain "
+                      << TextTable::num(jain_elastic) << " ("
+                      << epart.sched.migrations << " migrations, "
+                      << epart.sched.migration_warm << " warm, "
+                      << epart.sched.migration_translate_cycles
+                      << " translate + "
+                      << epart.sched.migration_stream_cycles
+                      << " stream cycles)\n"
+                      << "elastic vs static: "
+                      << TextTable::num(elastic_speedup)
+                      << "x throughput\n";
+            if (!spart.all_completed || !epart.all_completed)
+                std::cout << "WARNING: not every tenant completed\n";
+        }
+
+        if (append_history) {
+            prof::HistoryRecord rec =
+                prof::makeHistoryRecord("bench_multitenant");
+            rec.metrics["skew"] = skew;
+            rec.metrics["tenants"] = double(tenants);
+            rec.metrics["static_cycles"] =
+                double(spart.makespan_cycles);
+            rec.metrics["elastic_cycles"] =
+                double(epart.makespan_cycles);
+            rec.metrics["elastic_speedup"] = elastic_speedup;
+            rec.metrics["static_jain"] = jain_static;
+            rec.metrics["elastic_jain"] = jain_elastic;
+            rec.metrics["migrations"] =
+                double(epart.sched.migrations);
+            if (!prof::appendHistory(history_path, rec))
+                logWarn("sched", "cannot append history to ",
+                        history_path);
+        }
+
+        if (smoke) {
+            const bool ok = spart.all_completed &&
+                            epart.all_completed &&
+                            elastic_speedup > 1.0 &&
+                            jain_elastic > jain_static;
+            std::cout << "\nsmoke: " << (ok ? "PASS" : "FAIL")
+                      << " (elastic "
+                      << TextTable::num(elastic_speedup)
+                      << "x static, Jain "
+                      << TextTable::num(jain_elastic) << " vs "
+                      << TextTable::num(jain_static)
+                      << "; need >1x and higher Jain)\n";
+            return ok ? 0 : 1;
+        }
+        return 0;
+    }
+
+    base.elastic = elastic;
 
     // Serialized baseline (one way, no preemption — each tenant runs
     // to completion on the full array before the next configures) and

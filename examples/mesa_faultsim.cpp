@@ -45,6 +45,15 @@ usage()
         "                    are byte-identical at any job count)\n"
         "  --log-level <lvl> error | warn | info | debug\n"
         "  --json            machine-readable report\n"
+        "  --migrate         drain-and-relocate: a watchdog trip\n"
+        "                    live-migrates the checkpointed offload\n"
+        "                    onto the degraded fabric (blocked PEs\n"
+        "                    routed around) before any CPU fallback;\n"
+        "                    the report adds migration cost vs\n"
+        "                    re-translation cost per kernel\n"
+        "  --q-max-strikes <n>  quarantine strike cap (default 16)\n"
+        "  --q-forgive <n>   clean runs to decay one strike\n"
+        "                    (default 2)\n"
         "  --certify         certificate-gated checked mode: run the\n"
         "                    campaign twice (baseline, then with\n"
         "                    abstract-interpretation certificates\n"
@@ -117,6 +126,14 @@ main(int argc, char **argv)
             Logger::global().setLevel(*level);
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--migrate") {
+            params.migrate = true;
+        } else if (arg == "--q-max-strikes") {
+            params.quarantine.max_strikes =
+                int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--q-forgive") {
+            params.quarantine.forgive_successes =
+                int(std::strtol(next(), nullptr, 10));
         } else if (arg == "--certify") {
             certify = true;
         } else if (arg == "--history") {

@@ -49,6 +49,12 @@ usage()
         "                      comparison after every offload\n"
         "  --faults <n>        inject n seeded transient datapath\n"
         "                      SEUs into the fabric before the run\n"
+        "  --migrate           drain-and-relocate: live-migrate a\n"
+        "                      tripped offload onto the degraded\n"
+        "                      fabric (implies --fault-tolerance)\n"
+        "  --q-max-strikes <n> quarantine strike cap (default 16)\n"
+        "  --q-forgive <n>     clean runs to decay one strike\n"
+        "                      (default 2)\n"
         "  --seed <n>          RNG seed for fault injection\n"
         "                      (default 1)\n"
         "  --tenants <n>       split the iteration space across n\n"
@@ -119,6 +125,15 @@ main(int argc, char **argv)
             params.fault.checked_mode = true;
         } else if (arg == "--faults") {
             inject_faults = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--migrate") {
+            params.fault.enabled = true;
+            params.fault.migrate_on_fault = true;
+        } else if (arg == "--q-max-strikes") {
+            params.fault.quarantine.max_strikes =
+                int(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--q-forgive") {
+            params.fault.quarantine.forgive_successes =
+                int(std::strtol(next(), nullptr, 10));
         } else if (arg == "--seed") {
             seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--tenants") {

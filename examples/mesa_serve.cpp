@@ -248,6 +248,7 @@ main(int argc, char **argv)
         if (!f)
             fatal("cannot open metrics output file ", metrics_out);
         result.slo.writePrometheus(f);
+        service::writeFabricHealthPrometheus(result, f);
     }
     if (!stats_json.empty()) {
         StatsRegistry registry;

@@ -168,6 +168,42 @@ CampaignResult::totalSnapshotSkips() const
     return n;
 }
 
+int
+CampaignResult::totalRelocations() const
+{
+    int n = 0;
+    for (const auto &k : kernels)
+        n += k.relocations;
+    return n;
+}
+
+int
+CampaignResult::totalRelocationSuccess() const
+{
+    int n = 0;
+    for (const auto &k : kernels)
+        n += k.relocation_success;
+    return n;
+}
+
+uint64_t
+CampaignResult::totalMigrateTranslateCycles() const
+{
+    uint64_t n = 0;
+    for (const auto &k : kernels)
+        n += k.migrate_translate_cycles;
+    return n;
+}
+
+uint64_t
+CampaignResult::totalMigrateStreamCycles() const
+{
+    uint64_t n = 0;
+    for (const auto &k : kernels)
+        n += k.migrate_stream_cycles;
+    return n;
+}
+
 std::map<std::string, double>
 CampaignResult::statsSnapshot() const
 {
@@ -184,6 +220,12 @@ CampaignResult::statsSnapshot() const
         out[p + "remap_clean"] = k.remap_clean;
         out[p + "certified"] = k.certified;
         out[p + "snapshot_skips"] = k.snapshot_skips;
+        out[p + "relocations"] = double(k.relocations);
+        out[p + "relocation_success"] = double(k.relocation_success);
+        out[p + "migrate_translate_cycles"] =
+            double(k.migrate_translate_cycles);
+        out[p + "migrate_stream_cycles"] =
+            double(k.migrate_stream_cycles);
         for (int i = 0; i < FaultKindCount; ++i)
             out[p + "kind." + faultKindName(FaultKind(i))] =
                 k.by_kind[i];
@@ -196,6 +238,12 @@ CampaignResult::statsSnapshot() const
     out["total.silent"] = totalSilent();
     out["total.certified"] = totalCertified();
     out["total.snapshot_skips"] = totalSnapshotSkips();
+    out["total.relocations"] = totalRelocations();
+    out["total.relocation_success"] = totalRelocationSuccess();
+    out["total.migrate_translate_cycles"] =
+        double(totalMigrateTranslateCycles());
+    out["total.migrate_stream_cycles"] =
+        double(totalMigrateStreamCycles());
     return out;
 }
 
@@ -214,6 +262,10 @@ struct InjectionOutcome
     bool remap_clean = false;
     bool certified = false;
     bool snapshot_skipped = false;
+    uint64_t relocations = 0;
+    uint64_t relocation_success = 0;
+    uint64_t migrate_translate_cycles = 0;
+    uint64_t migrate_stream_cycles = 0;
 };
 
 /**
@@ -246,6 +298,8 @@ runInjection(const CampaignParams &params,
     mp.fault.checked_mode = params.checked;
     mp.fault.watchdog_cycles = params.watchdog_cycles;
     mp.fault.certificate_gating = params.certify;
+    mp.fault.migrate_on_fault = params.migrate;
+    mp.fault.quarantine = params.quarantine;
     mp.fault.seed = params.seed;
     core::MesaController mesa(mp, memory);
     StatsRegistry reg;
@@ -302,6 +356,15 @@ runInjection(const CampaignParams &params,
     out.match =
         emu.state() == golden.state &&
         memorySnapshotsEqual(memory.snapshot(), golden.memory);
+    // Registry reads return 0.0 when migrate-on-fault never armed.
+    out.relocations =
+        uint64_t(reg.value("mesa.migrate.relocations"));
+    out.relocation_success =
+        uint64_t(reg.value("mesa.migrate.relocation_success"));
+    out.migrate_translate_cycles =
+        uint64_t(reg.value("mesa.migrate.translate_cycles"));
+    out.migrate_stream_cycles =
+        uint64_t(reg.value("mesa.migrate.stream_cycles"));
 
     // Permanent faults: offload the region again on the same
     // (now degraded) controller and verify the remap avoids
@@ -381,6 +444,11 @@ runCampaign(const CampaignParams &params)
                 kr.remap_clean += o.remap_clean ? 1 : 0;
                 kr.certified += o.certified ? 1 : 0;
                 kr.snapshot_skips += o.snapshot_skipped ? 1 : 0;
+                kr.relocations += int(o.relocations);
+                kr.relocation_success += int(o.relocation_success);
+                kr.migrate_translate_cycles +=
+                    o.migrate_translate_cycles;
+                kr.migrate_stream_cycles += o.migrate_stream_cycles;
             });
         kr.offloadable = any_offload;
         result.kernels.push_back(std::move(kr));
@@ -425,6 +493,21 @@ printCampaignTable(const CampaignResult &result, std::ostream &os)
         os << "certify: " << result.totalCertified()
            << " certified offloads, " << result.totalSnapshotSkips()
            << " snapshot compares skipped\n";
+    if (result.params.migrate) {
+        os << "migrate: " << result.totalRelocationSuccess() << "/"
+           << result.totalRelocations()
+           << " relocations resumed on the fabric\n";
+        os << "migrate cost per kernel (translate+stream cycles):\n";
+        for (const auto &k : result.kernels) {
+            if (k.relocations == 0)
+                continue;
+            os << "  " << std::left << std::setw(14) << k.name
+               << std::right << " translate="
+               << k.migrate_translate_cycles
+               << " stream=" << k.migrate_stream_cycles << " over "
+               << k.relocations << " relocations\n";
+        }
+    }
 }
 
 void
@@ -437,6 +520,7 @@ writeCampaignJson(const CampaignResult &result, std::ostream &os)
             result.params.injections_per_kernel);
     w.field("checked", result.params.checked);
     w.field("certify", result.params.certify);
+    w.field("migrate", result.params.migrate);
     w.field("watchdog_cycles", result.params.watchdog_cycles);
     w.key("kernels").beginArray();
     for (const auto &k : result.kernels) {
@@ -453,6 +537,10 @@ writeCampaignJson(const CampaignResult &result, std::ostream &os)
         w.field("remap_clean", k.remap_clean);
         w.field("certified", k.certified);
         w.field("snapshot_skips", k.snapshot_skips);
+        w.field("relocations", k.relocations);
+        w.field("relocation_success", k.relocation_success);
+        w.field("migrate_translate_cycles", k.migrate_translate_cycles);
+        w.field("migrate_stream_cycles", k.migrate_stream_cycles);
         w.key("by_kind").beginObject();
         for (int i = 0; i < FaultKindCount; ++i)
             w.field(faultKindName(FaultKind(i)), k.by_kind[i]);
@@ -471,6 +559,12 @@ writeCampaignJson(const CampaignResult &result, std::ostream &os)
     w.field("remap_clean", result.totalRemapClean());
     w.field("certified", result.totalCertified());
     w.field("snapshot_skips", result.totalSnapshotSkips());
+    w.field("migrations", result.totalRelocations());
+    w.field("migration_success", result.totalRelocationSuccess());
+    w.field("migrate_translate_cycles",
+            result.totalMigrateTranslateCycles());
+    w.field("migrate_stream_cycles",
+            result.totalMigrateStreamCycles());
     w.end();
     w.field("clean", result.clean());
     w.end();

@@ -31,6 +31,7 @@
 
 #include "accel/params.hh"
 #include "fault/injector.hh"
+#include "fault/params.hh"
 #include "workloads/kernel.hh"
 
 namespace mesa::fault
@@ -58,6 +59,17 @@ struct CampaignParams
      * unchanged.
      */
     bool certify = false;
+    /**
+     * Drain-and-relocate (mesa_faultsim --migrate): after a watchdog
+     * trip the controller live-migrates the checkpointed offload onto
+     * the degraded fabric (blocked PEs routed around) instead of
+     * falling straight back to the CPU. The zero-silent-corruption
+     * gate must hold with faults landing mid-migration, and the
+     * report adds migration cost vs re-translation cost.
+     */
+    bool migrate = false;
+    /** Quarantine backoff/decay knobs threaded to every controller. */
+    QuarantineParams quarantine;
     accel::AccelParams accel = accel::AccelParams::m128();
     /**
      * Worker threads for the injection loop (<= 0 = hardware
@@ -89,6 +101,13 @@ struct KernelCampaignResult
      *  was footprint-certified / skipped the memory-snapshot compare. */
     int certified = 0;
     int snapshot_skips = 0;
+    /** Drain-and-relocate (params.migrate): relocation attempts after
+     *  watchdog trips, how many resumed on the fabric, and the cycle
+     *  split between re-translation and bitstream streaming. */
+    int relocations = 0;
+    int relocation_success = 0;
+    uint64_t migrate_translate_cycles = 0;
+    uint64_t migrate_stream_cycles = 0;
 };
 
 /** Whole-campaign outcome. */
@@ -107,6 +126,10 @@ struct CampaignResult
     int totalRemapClean() const;
     int totalCertified() const;
     int totalSnapshotSkips() const;
+    int totalRelocations() const;
+    int totalRelocationSuccess() const;
+    uint64_t totalMigrateTranslateCycles() const;
+    uint64_t totalMigrateStreamCycles() const;
 
     /** The CI gate: no silent corruption, no failed recovery, and
      *  every remap check placed off the quarantined PEs. */

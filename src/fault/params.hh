@@ -15,6 +15,21 @@
 namespace mesa::fault
 {
 
+/**
+ * Backoff/decay tuning for the region quarantine blacklist. The
+ * defaults reproduce the original hard-coded behaviour: strikes cap
+ * at 16 (so the skip sentence saturates at 2^15 encounters) and two
+ * consecutive clean offloads forgive one strike.
+ */
+struct QuarantineParams
+{
+    /** Strike ceiling; the skip sentence is 2^(strikes-1). */
+    int max_strikes = 16;
+
+    /** Consecutive clean offloads that forgive one strike. */
+    int forgive_successes = 2;
+};
+
 /** Controller-side fault tolerance configuration. */
 struct FaultToleranceParams
 {
@@ -63,6 +78,19 @@ struct FaultToleranceParams
      * transients (back off the region, retry later).
      */
     bool self_test_on_fault = true;
+
+    /**
+     * Drain-and-relocate instead of degrade-in-place: after a
+     * watchdog-detected fault retires PEs, re-map the interrupted
+     * region around the blocked set and resume it from the restored
+     * checkpoint on the repaired placement (one attempt; a second
+     * fault falls back to CPU re-execution as before). Counted under
+     * mesa.migrate.* in the stats registry.
+     */
+    bool migrate_on_fault = false;
+
+    /** Region-quarantine backoff/decay tuning. */
+    QuarantineParams quarantine;
 
     /** Seed for in-situ injection hooks (CLI --seed). */
     uint64_t seed = 0;

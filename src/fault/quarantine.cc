@@ -19,27 +19,32 @@ RegionQuarantine::shouldOffload(uint32_t pc)
     return true;
 }
 
-void
+bool
 RegionQuarantine::onFault(uint32_t pc)
 {
     Entry &e = entries_[pc];
-    e.strikes = std::min(e.strikes + 1, MaxStrikes);
+    bool entered = e.skip_left == 0;
+    e.strikes = std::min(e.strikes + 1, params_.max_strikes);
     e.skip_left = uint64_t(1) << (e.strikes - 1);
     e.successes = 0;
+    return entered;
 }
 
-void
+bool
 RegionQuarantine::onSuccess(uint32_t pc)
 {
     auto it = entries_.find(pc);
     if (it == entries_.end())
-        return;
+        return false;
     Entry &e = it->second;
-    if (++e.successes < 2)
-        return;
+    if (++e.successes < params_.forgive_successes)
+        return false;
     e.successes = 0;
-    if (--e.strikes <= 0)
+    if (--e.strikes <= 0) {
         entries_.erase(it);
+        return true;
+    }
+    return false;
 }
 
 void

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/params.hh"
 #include "interconnect/interconnect.hh"
 
 namespace mesa::fault
@@ -27,6 +28,10 @@ namespace mesa::fault
 class RegionQuarantine
 {
   public:
+    RegionQuarantine(const QuarantineParams &params = {})
+        : params_(params)
+    {}
+
     /**
      * Ask whether the region starting at @p pc may offload now. Each
      * call counts as one encounter: while quarantined it consumes one
@@ -35,11 +40,14 @@ class RegionQuarantine
     bool shouldOffload(uint32_t pc);
 
     /** Record a detected fault: strike, back off 2^(strikes-1) next
-     *  encounters (capped). */
-    void onFault(uint32_t pc);
+     *  encounters (capped). Returns true when the region entered
+     *  quarantine (it had no pending skip sentence before). */
+    bool onFault(uint32_t pc);
 
-    /** Record a clean offload; two in a row forgive one strike. */
-    void onSuccess(uint32_t pc);
+    /** Record a clean offload; forgive_successes in a row forgive one
+     *  strike. Returns true when the region was fully rehabilitated
+     *  (its entry erased). */
+    bool onSuccess(uint32_t pc);
 
     /** Forget the region entirely (e.g., root cause was a permanent
      *  PE defect that has since been mapped around). */
@@ -58,8 +66,7 @@ class RegionQuarantine
         int successes = 0;
     };
 
-    static constexpr int MaxStrikes = 16;
-
+    QuarantineParams params_;
     std::unordered_map<uint32_t, Entry> entries_;
 };
 

@@ -195,6 +195,19 @@ MesaController::attachStats(StatsRegistry *registry,
             &stats_->counter("mesa.fault.self_tests");
         live_.fault_quarantined_pes =
             &stats_->counter("mesa.fault.quarantined_pes");
+        // Live gauges: current quarantine/retirement state (scalars,
+        // overwritten in place at every transition).
+        updateFaultGauges();
+        if (params_.fault.migrate_on_fault) {
+            live_.migrate_relocations =
+                &stats_->counter("mesa.migrate.relocations");
+            live_.migrate_relocation_success =
+                &stats_->counter("mesa.migrate.relocation_success");
+            live_.migrate_translate_cycles =
+                &stats_->counter("mesa.migrate.translate_cycles");
+            live_.migrate_stream_cycles =
+                &stats_->counter("mesa.migrate.stream_cycles");
+        }
         if (params_.fault.certificate_gating) {
             live_.absint_certified =
                 &stats_->counter("mesa.absint.certified");
@@ -338,7 +351,7 @@ MesaController::MesaController(const MesaParams &params,
     : params_(params), memory_(&memory),
       accel_(params.accel, memory, params.accel_mem),
       mapper_(accel_.params(), accel_.interconnect(), params.mapper),
-      config_block_(accel_.params())
+      config_block_(accel_.params()), quarantine_(params.fault.quarantine)
 {
     // C1's size bound is the accelerator's instruction capacity
     // (times the fold factor when time-multiplexing is enabled).
@@ -714,18 +727,29 @@ void
 MesaController::onFaultDetected(OffloadStats &os)
 {
     bumpFallback(os.fallback);
-    quarantine_.onFault(os.region_start);
+    const bool entered = quarantine_.onFault(os.region_start);
+    if (entered && Tracer::active())
+        Tracer::global().instant(
+            "mesa.fault", "region-quarantine-enter",
+            Tracer::global().now(),
+            {{"pc", uint64_t(os.region_start)},
+             {"strikes",
+              uint64_t(quarantine_.strikes(os.region_start))}});
     config_cache_.invalidate(os.region_start);
-    if (!params_.fault.self_test_on_fault)
+    if (!params_.fault.self_test_on_fault) {
+        updateFaultGauges();
         return;
+    }
     if (stats_ && live_.fault_self_tests)
         ++*live_.fault_self_tests;
     const std::vector<ic::Coord> bad = accel_.selfTest();
     size_t newly = 0;
     for (const ic::Coord pos : bad)
         newly += faulty_pes_.add(pos) ? 1 : 0;
-    if (newly == 0)
+    if (newly == 0) {
+        updateFaultGauges();
         return;
+    }
     // Permanent defects localized: retire the PEs from the mapper's
     // free matrix, flush every cached placement (any of them may
     // route through the dead hardware), and lift the region's
@@ -744,11 +768,73 @@ MesaController::onFaultDetected(OffloadStats &os)
             "mesa.fault", "pe-quarantine", Tracer::global().now(),
             {{"new_pes", uint64_t(newly)},
              {"total_pes", uint64_t(faulty_pes_.size())}});
+    updateFaultGauges();
+}
+
+void
+MesaController::updateFaultGauges()
+{
+    if (!stats_ || !params_.fault.enabled)
+        return;
+    stats_->scalar("mesa.fault.quarantined_regions",
+                   double(quarantine_.quarantinedCount()));
+    stats_->scalar("mesa.fault.retired_pes", double(faulty_pes_.size()));
+}
+
+bool
+MesaController::relocatePrepared(Prepared &prep,
+                                 const std::vector<Instruction> &body,
+                                 bool parallel_hint, OffloadStats &os)
+{
+    if (body.empty())
+        return false;
+    if (stats_ && live_.migrate_relocations)
+        ++*live_.migrate_relocations;
+    // Re-translate around whatever the self test retired. When BIST
+    // localized nothing (transients and stuck control lines are not
+    // reproducible under it), this degenerates to a checkpoint-retry
+    // on a fresh translation — the region still never runs degraded,
+    // and a second trip falls back to the CPU.
+    auto fresh = prepare(body, parallel_hint, os.region_start,
+                         os.region_end);
+    if (!fresh)
+        return false;
+    prep = std::move(*fresh);
+    config_cache_.insert(prep.config, prep.body_tag, prep.cert);
+    const uint64_t stream = config_block_.configCycles(prep.config);
+    // The re-translation and the new bitstream write are charged to
+    // the offload like any reconfiguration.
+    os.encode_cycles += prep.encode_cycles;
+    os.mapping_cycles += prep.map.mapping_cycles;
+    os.config_cycles += stream;
+    if (stats_) {
+        if (live_.migrate_translate_cycles)
+            *live_.migrate_translate_cycles +=
+                prep.encode_cycles + prep.map.mapping_cycles;
+        if (live_.migrate_stream_cycles)
+            *live_.migrate_stream_cycles += stream;
+        *live_.encode_cycles += prep.encode_cycles;
+        *live_.mapping_cycles += prep.map.mapping_cycles;
+        *live_.config_cycles += stream;
+    }
+    if (Tracer::active())
+        Tracer::global().span(
+            "mesa.ctrl", "relocate", Tracer::global().now(),
+            prep.encode_cycles + prep.map.mapping_cycles + stream,
+            {{"pc", uint64_t(os.region_start)},
+             {"blocked_pes", uint64_t(faulty_pes_.size())}});
+    DTRACE("controller", "relocated region 0x"
+                             << std::hex << os.region_start << std::dec
+                             << " around " << faulty_pes_.size()
+                             << " retired PE(s)");
+    return true;
 }
 
 void
 MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
-                           uint64_t max_iterations, OffloadStats &os)
+                           uint64_t max_iterations, OffloadStats &os,
+                           const std::vector<Instruction> &body,
+                           bool parallel_hint)
 {
     const fault::FaultToleranceParams &fp = params_.fault;
     if (!fp.enabled) {
@@ -847,16 +933,25 @@ MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
                  {"trips", inst.trips_finite ? inst.trips : 0}});
     }
 
-    // Checkpoint before handing control to the fabric.
+    // Checkpoint before handing control to the fabric. The same
+    // snapshot serves rollback AND relocation: a drained offload
+    // resumes from it on the re-translated placement.
     const fault::Checkpoint ckpt =
         fault::Checkpoint::capture(state, *memory_);
 
+    const int max_attempts =
+        fp.migrate_on_fault && !body.empty() ? 2 : 1;
+    bool faulted = false;
+    bool relocated = false;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+
+    const uint64_t iters_before = os.accel_iterations;
     runWithOptimization(prep, state, effective_max, os,
                         watchdog_budget);
 
     if (trip_cap_armed && !os.accel.completed &&
         !os.accel.watchdog_tripped &&
-        os.accel_iterations >= effective_max) {
+        os.accel_iterations - iters_before >= effective_max) {
         // The proven trip budget is exhausted without the loop exit
         // firing — impossible for a clean run; treat it exactly like
         // a cycle-watchdog trip (rollback + CPU re-execution below).
@@ -871,10 +966,11 @@ MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
                             {"trips", effective_max}});
     }
 
-    bool faulted = false;
     if (os.accel.watchdog_tripped) {
         // Detection point 2: the offload hung (stuck control line) or
-        // overran its budget. Roll back and re-execute on the CPU.
+        // overran its budget. Roll back; then either drain-and-
+        // relocate (migrate_on_fault, first attempt) or re-execute on
+        // the CPU.
         if (stats_ && live_.fault_watchdog_trips)
             ++*live_.fault_watchdog_trips;
         if (stats_ && live_.fault_rollbacks)
@@ -888,6 +984,18 @@ MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
         }
         os.fallback = FallbackReason::Watchdog;
         ckpt.restore(state, *memory_);
+        if (attempt + 1 < max_attempts) {
+            // Quarantine strike + BIST first (retiring the root cause
+            // blocks it in the mapper), then re-translate and resume
+            // from the restored checkpoint on the new placement.
+            onFaultDetected(os);
+            if (relocatePrepared(prep, body, parallel_hint, os)) {
+                os.accel.watchdog_tripped = false;
+                os.trip_watchdog = false;
+                relocated = true;
+                continue;
+            }
+        }
         cpuReexecute(state, os);
         faulted = true;
     } else if (fp.checked_mode && os.accel.completed) {
@@ -943,10 +1051,22 @@ MesaController::runGuarded(Prepared &prep, riscv::ArchState &state,
         }
     }
 
-    if (faulted)
+    break;
+    } // attempt loop
+
+    if (faulted) {
         onFaultDetected(os);
-    else
-        quarantine_.onSuccess(os.region_start);
+    } else {
+        const bool rehabilitated =
+            quarantine_.onSuccess(os.region_start);
+        if (rehabilitated && Tracer::active())
+            tracer.instant("mesa.fault", "region-quarantine-exit",
+                           tracer.now(),
+                           {{"pc", uint64_t(os.region_start)}});
+        if (relocated && stats_ && live_.migrate_relocation_success)
+            ++*live_.migrate_relocation_success;
+    }
+    updateFaultGauges();
 }
 
 std::optional<OffloadStats>
@@ -983,6 +1103,7 @@ MesaController::offloadLoop(const std::vector<Instruction> &body,
         // Serving a backoff sentence: the region executes on the CPU.
         os.fallback = FallbackReason::Quarantined;
         bumpFallback(os.fallback);
+        updateFaultGauges();
         state.pc = region_start;
         cpuReexecute(state, os);
         return os;
@@ -1030,7 +1151,7 @@ MesaController::offloadLoop(const std::vector<Instruction> &body,
         ++*live_.offloads;
 
     const auto prof_mark = profileMark();
-    runGuarded(prep, state, max_iterations, os);
+    runGuarded(prep, state, max_iterations, os, body, parallel_hint);
     profileCapture(prof_mark, os);
     return os;
 }
@@ -1102,6 +1223,7 @@ MesaController::runTransparent(const riscv::Program &program,
             // Region serving a backoff sentence: skip the offload and
             // let the CPU keep executing the loop naturally.
             bumpFallback(FallbackReason::Quarantined);
+            updateFaultGauges();
             monitor.rearm();
             continue;
         }
@@ -1229,7 +1351,8 @@ MesaController::runTransparent(const riscv::Program &program,
         if (stats_)
             ++*live_.offloads;
         const auto prof_mark = profileMark();
-        runGuarded(prep, emu.state(), ~uint64_t(0), os);
+        runGuarded(prep, emu.state(), ~uint64_t(0), os, body,
+                   parallel_hint);
         profileCapture(prof_mark, os);
         cpu_seg_start = tracer.now();
         result.offloads.push_back(os);

@@ -429,7 +429,21 @@ class MesaController
      * state. Plain runWithOptimization when fault mode is off.
      */
     void runGuarded(Prepared &prep, riscv::ArchState &state,
-                    uint64_t max_iterations, OffloadStats &os);
+                    uint64_t max_iterations, OffloadStats &os,
+                    const std::vector<riscv::Instruction> &body = {},
+                    bool parallel_hint = false);
+
+    /**
+     * Drain-and-relocate (fault.migrate_on_fault): after a watchdog
+     * trip retired PEs, re-translate @p body around the blocked set
+     * and swap the relocated placement into @p prep, charging the
+     * re-translation to @p os and the mesa.migrate.* counters.
+     * @return true when a relocated placement was installed (the
+     *         caller re-runs from the restored checkpoint)
+     */
+    bool relocatePrepared(Prepared &prep,
+                          const std::vector<riscv::Instruction> &body,
+                          bool parallel_hint, OffloadStats &os);
 
     /** Execute [region_start, region_end) on the functional emulator
      *  from @p state (the recovery path after a rollback). */
@@ -448,6 +462,10 @@ class MesaController
     /** Post-detection bookkeeping: fallback stats, quarantine strike,
      *  cache invalidation, and the self test -> PE retirement path. */
     void onFaultDetected(OffloadStats &os);
+
+    /** Refresh the live quarantine/retirement gauges
+     *  (mesa.fault.quarantined_regions, mesa.fault.retired_pes). */
+    void updateFaultGauges();
 
     /** Bump the mesa.fallback.* counter for a reason. */
     void bumpFallback(FallbackReason reason);
@@ -492,6 +510,11 @@ class MesaController
         Counter *fault_cpu_reexec = nullptr;
         Counter *fault_self_tests = nullptr;
         Counter *fault_quarantined_pes = nullptr;
+        /** Drain-and-relocate path (fault.migrate_on_fault). */
+        Counter *migrate_relocations = nullptr;
+        Counter *migrate_relocation_success = nullptr;
+        Counter *migrate_translate_cycles = nullptr;
+        Counter *migrate_stream_cycles = nullptr;
         Counter *absint_certified = nullptr;
         Counter *absint_snapshot_skips = nullptr;
         Counter *absint_budget_tightened = nullptr;

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Live offload migration for the virtualized fabric (following
+ * Mestra's checkpoint/remap/resume flow on virtualized CGRAs): a
+ * running offload is checkpointed at a round boundary, its
+ * configuration is re-instantiated on a different sub-array — reusing
+ * the source bitstream when the target geometry matches, otherwise
+ * re-translating through the mapper (with virtual-row folding and
+ * blocked-PE avoidance) — and execution resumes bit-exactly.
+ *
+ * The round boundary is what makes this sound: Accelerator::run()
+ * latches live-ins from the architectural state at entry and writes
+ * live-outs back when it returns, so N iterations on fabric A
+ * followed by M iterations on fabric B from the written-back state is
+ * the same computation as N+M iterations on either fabric alone.
+ * Memory is shared (the fabrics address the same MainMemory), so the
+ * checkpoint hand-off carries only architectural state; the captured
+ * page snapshot exists for rollback when the resume itself faults.
+ */
+
+#ifndef MESA_MIGRATE_MIGRATE_HH
+#define MESA_MIGRATE_MIGRATE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "accel/config_types.hh"
+#include "accel/params.hh"
+#include "interconnect/interconnect.hh"
+#include "mesa/config_cache.hh"
+#include "mesa/mapper.hh"
+#include "riscv/emulator.hh"
+
+namespace mesa::migrate
+{
+
+/** Config-cache key guard: CRC over the body's pcs and encodings
+ *  (the same tag the controller derives for its ConfigCache). */
+uint32_t bodyCrc(const std::vector<riscv::Instruction> &body);
+
+/** Cycle decomposition of one migration. */
+struct MigrationCost
+{
+    /** Architectural-state hand-off (register file drain/refill). */
+    uint64_t checkpoint_cycles = 0;
+    /** LDFG rebuild on re-translation (0 on a warm move). */
+    uint64_t encode_cycles = 0;
+    /** imap FSM time on re-translation (0 on a warm move). */
+    uint64_t mapping_cycles = 0;
+    /** Bitstream streaming into the target (always paid). */
+    uint64_t config_cycles = 0;
+
+    uint64_t
+    total() const
+    {
+        return checkpoint_cycles + encode_cycles + mapping_cycles +
+               config_cycles;
+    }
+};
+
+/** How a body lands on the target sub-array. */
+struct MigrationPlan
+{
+    accel::AcceleratorConfig config;
+
+    /** The source bitstream was reused verbatim (geometry matched and
+     *  no blocked PE intersects it); false = re-translated. */
+    bool warm = false;
+
+    /** Virtual-fold factor of the target placement. */
+    int time_multiplex = 1;
+
+    MigrationCost cost;
+};
+
+/**
+ * Can @p config run unchanged on a @p target sub-array? True when the
+ * virtual grid it was placed on is exactly the target's (same columns,
+ * same physical rows after unfolding time_multiplex) and no blocked
+ * PE exists. Sub-array coordinates are band-local, so a config moves
+ * between equal-height bands without rewriting any slot position.
+ */
+bool configFits(const accel::AcceleratorConfig &config,
+                const accel::AccelParams &target,
+                const std::vector<ic::Coord> &blocked);
+
+/**
+ * Translate @p body onto @p target from scratch: encode the LDFG, map
+ * it (folding onto a virtual grid of up to @p max_time_multiplex rows
+ * per PE when the body exceeds the sub-array's capacity, and routing
+ * around @p blocked physical PEs), and lower the configuration.
+ *
+ * @param parallel_hint permit tiling (capped by the grid; disabled
+ *        when the body has unknown-address stores, register-carried
+ *        recurrences, a fold, or blocked PEs — the same safety rules
+ *        the controller applies)
+ * @param pipelined overlap successive iterations on one instance
+ * @return nullopt when the body cannot be encoded or placed
+ */
+std::optional<MigrationPlan>
+translateBody(const std::vector<riscv::Instruction> &body,
+              const accel::AccelParams &target,
+              const core::MapperParams &mapper_params,
+              const std::vector<ic::Coord> &blocked,
+              bool parallel_hint = false, bool pipelined = true,
+              int max_time_multiplex = 4);
+
+/**
+ * Plan a migration of a running offload (currently configured as
+ * @p source) onto @p target. Warm path: the source config fits the
+ * target geometry, so only the bitstream write is paid — the
+ * ConfigCache (when given) resolves this by body CRC exactly like the
+ * controller's re-encounter path. Cold path: re-translate via
+ * translateBody. A translated config is inserted into @p cache so
+ * the next migration to this geometry is warm.
+ */
+std::optional<MigrationPlan>
+planMigration(const std::vector<riscv::Instruction> &body,
+              const accel::AcceleratorConfig &source,
+              const accel::AccelParams &target,
+              const core::MapperParams &mapper_params,
+              const std::vector<ic::Coord> &blocked,
+              bool parallel_hint = false,
+              core::ConfigCache *cache = nullptr);
+
+/** Outcome of one live migration. */
+struct MigrationOutcome
+{
+    /** The offload resumed on the target. false = the resumed run
+     *  tripped the watchdog; state and memory were rolled back to the
+     *  pre-migration checkpoint (the caller recovers, e.g. on CPU). */
+    bool resumed = false;
+
+    bool warm = false;
+    MigrationCost cost;
+
+    /** The target-side run (zero-initialized when !resumed). */
+    accel::AccelRunResult run;
+};
+
+/**
+ * Migrate a running offload onto @p target and resume it: plan (warm
+ * or re-translate), checkpoint @p state and @p memory, configure the
+ * target, and run up to @p max_iterations more iterations. A
+ * watchdog trip on the target restores the checkpoint byte-exactly,
+ * so a faulted migration is never observable.
+ *
+ * Call at a round boundary only: @p state must hold the live-outs the
+ * source fabric wrote back from its last run() (that is what run()
+ * leaves in @p state whenever it returns).
+ *
+ * @return nullopt when no placement exists on the target (state is
+ *         untouched); otherwise the outcome, with resumed == false
+ *         when the target run faulted and was rolled back
+ */
+std::optional<MigrationOutcome>
+migrateOffload(const std::vector<riscv::Instruction> &body,
+               const accel::AcceleratorConfig &source,
+               riscv::ArchState &state, mem::MainMemory &memory,
+               accel::Accelerator &target,
+               const core::MapperParams &mapper_params,
+               const std::vector<ic::Coord> &blocked = {},
+               bool parallel_hint = false,
+               uint64_t max_iterations = ~uint64_t(0),
+               core::ConfigCache *cache = nullptr);
+
+} // namespace mesa::migrate
+
+#endif // MESA_MIGRATE_MIGRATE_HH

@@ -35,7 +35,10 @@ runShared(const SharedRunParams &params, mem::MainMemory &memory,
 
     MultiTenantScheduler scheduler(params.sched, memory);
     const auto body = kernel.loopBody();
-    const auto chunks = kernel.chunks(std::max(1, tenants));
+    const auto chunks =
+        params.weights.empty()
+            ? kernel.chunks(std::max(1, tenants))
+            : kernel.chunksWeighted(params.weights);
 
     // Functional contexts must outlive runAll(): the scheduler holds
     // ArchState pointers in its context table.

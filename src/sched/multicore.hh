@@ -31,6 +31,10 @@ struct SharedRunParams
     /** Per-tenant priorities (index = tenant; empty = all zero). */
     std::vector<int> priorities;
 
+    /** Per-tenant iteration-space weights (skewed load); empty =
+     *  even split. Tenant count follows the weight vector when set. */
+    std::vector<double> weights;
+
     /** Functional-emulation guards. */
     uint64_t max_preamble_steps = 1'000'000;
     uint64_t max_resume_steps = 50'000'000;

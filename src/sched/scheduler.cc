@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "dfg/ldfg.hh"
+#include "migrate/migrate.hh"
+#include "riscv/isa.hh"
 #include "util/debug.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
@@ -78,6 +80,11 @@ ScheduleResult::registerInto(StatsRegistry &registry,
     set("verify.configs_checked", double(verify_checked));
     set("verify.rejects", double(verify_rejects));
     set("degraded_ways", double(degraded_ways));
+    set("migrations", double(migrations));
+    set("migration_warm", double(migration_warm));
+    set("migration_translate_cycles",
+        double(migration_translate_cycles));
+    set("migration_stream_cycles", double(migration_stream_cycles));
     for (const auto &t : tenants) {
         // Relative to @p prefix: set() prepends it.
         const std::string p =
@@ -207,6 +214,7 @@ MultiTenantScheduler::submit(
     t.encode_cycles = body.size();
     t.mapping_cycles = map.mapping_cycles;
     t.parallel_hint = parallel_hint;
+    t.body = body;
 
     uint64_t now = partitions_.front().clock;
     for (const auto &p : partitions_)
@@ -278,9 +286,182 @@ MultiTenantScheduler::pickNext(uint64_t now)
     return -1;
 }
 
+bool
+MultiTenantScheduler::soloRunnable(int t, uint64_t now) const
+{
+    for (size_t j = 0; j < tenants_.size(); ++j) {
+        if (int(j) == t || tenants_[j].done)
+            continue;
+        if (tenants_[j].busy_until <= now)
+            return false;
+    }
+    return true;
+}
+
+bool
+MultiTenantScheduler::tryElasticSlice(int t, size_t pk, uint64_t now,
+                                      uint64_t batch_start,
+                                      uint64_t trace_t0,
+                                      ScheduleResult &result,
+                                      uint64_t &batch_end)
+{
+    Tenant &T = tenants_[size_t(t)];
+    if (T.remaining < params_.elastic_min_remaining)
+        return false;
+    if (!soloRunnable(t, now))
+        return false;
+
+    // Merged band: the maximal contiguous run of healthy ways, all
+    // free at @p now, containing the arbitrating way.
+    auto free_now = [&](size_t k) {
+        return !partitions_[k].degraded && partitions_[k].clock <= now;
+    };
+    size_t lo = pk, hi = pk;
+    while (lo > 0 && free_now(lo - 1))
+        --lo;
+    while (hi + 1 < partitions_.size() && free_now(hi + 1))
+        ++hi;
+    const int m = int(hi - lo + 1);
+    if (m < 2)
+        return false;
+
+    const int origin = geometry_[lo].origin_row;
+    int rows = 0;
+    for (size_t k = lo; k <= hi; ++k)
+        rows += geometry_[k].rows;
+
+    MergedBand &mb = merged_[{int(lo), m}];
+    if (!mb.accel) {
+        mb.accel = std::make_unique<accel::Accelerator>(
+            params_.accel.subArray(origin, rows), memory_,
+            params_.accel_mem);
+        mb.accel->setTraceTrack("sched.m" + std::to_string(lo) + "x" +
+                                std::to_string(m) + ".accel");
+    }
+
+    // Per-geometry config: re-translate the first time this tenant
+    // lands on a band this tall (tiling can now spread across the
+    // merged rows), reuse it warm afterwards.
+    uint64_t switch_cost = 0;
+    bool warm = true;
+    auto it = T.geo_configs.find(rows);
+    if (it == T.geo_configs.end()) {
+        auto plan = migrate::translateBody(
+            T.body, mb.accel->params(), params_.mapper, {},
+            T.parallel_hint && params_.enable_tiling,
+            params_.enable_pipelining);
+        if (!plan)
+            return false;
+        warm = false;
+        it = T.geo_configs.emplace(rows, plan->config).first;
+        T.geo_stream_cycles[rows] = plan->cost.config_cycles;
+        const uint64_t translate =
+            plan->cost.encode_cycles + plan->cost.mapping_cycles;
+        switch_cost += translate;
+        migration_translate_cycles_ += translate;
+    }
+
+    T.stats.wait_cycles += now - std::min(now, T.runnable_at);
+    if (!T.started) {
+        T.started = true;
+        T.stats.first_run_cycle = now;
+    }
+
+    // The migration itself: register-file hand-off at the round
+    // boundary plus the bitstream stream into the merged plane.
+    const bool switched = mb.resident != t;
+    if (switched) {
+        const uint64_t stream = params_.shadow_config
+                                    ? 1
+                                    : T.geo_stream_cycles[rows];
+        switch_cost += stream + riscv::NumUnifiedRegs;
+        mb.accel->configure(it->second);
+        mb.resident = t;
+        ++migrations_;
+        if (warm)
+            ++migration_warm_;
+        migration_stream_cycles_ += stream;
+        ++T.stats.switches;
+        T.stats.switch_cycles += switch_cost;
+        ++result.total_switches;
+        result.total_switch_cycles += switch_cost;
+    }
+    // The merge clobbers every constituent plane, and overlapping
+    // merged bands share rows with this one.
+    for (auto &[key, band] : merged_) {
+        if (&band != &mb && key.first <= int(hi) &&
+            key.first + key.second > int(lo))
+            band.resident = -1;
+    }
+
+    bool unchallenged = true;
+    for (size_t j = 0; j < tenants_.size(); ++j)
+        if (int(j) != t && !tenants_[j].done)
+            unchallenged = false;
+    const uint64_t slice =
+        unchallenged || params_.epoch_iterations == 0
+            ? T.remaining
+            : std::min(T.remaining, params_.epoch_iterations);
+
+    const uint64_t run_start = now + switch_cost;
+    Tracer &tracer = Tracer::global();
+    if (Tracer::active())
+        tracer.setBase(trace_t0 + (run_start - batch_start));
+    AccelRunResult res = mb.accel->run(*T.state, slice);
+
+    T.stats.accel.accumulate(res);
+    T.stats.run_cycles += res.cycles;
+    T.stats.iterations += res.iterations;
+    ++T.stats.slices;
+    T.remaining -= std::min(T.remaining, res.iterations);
+
+    const uint64_t end = run_start + res.cycles;
+    for (size_t k = lo; k <= hi; ++k) {
+        partitions_[k].clock = end;
+        partitions_[k].busy += switch_cost + res.cycles;
+        partitions_[k].resident = -1;
+    }
+    result.busy_cycles += uint64_t(m) * (switch_cost + res.cycles);
+    result.total_iterations += res.iterations;
+    T.busy_until = end;
+    T.runnable_at = end;
+    batch_end = std::max(batch_end, end);
+
+    if (res.completed || T.remaining == 0 || res.iterations == 0) {
+        T.done = true;
+        T.stats.completed = res.completed;
+        T.stats.finish_cycle = end;
+    }
+    result.timeline.push_back({int(lo), t, now,
+                               switch_cost + res.cycles,
+                               res.iterations, switched});
+
+    if (Tracer::active()) {
+        const std::string ptrack = "sched.m" + std::to_string(lo) +
+                                   "x" + std::to_string(m);
+        const uint64_t tstart = trace_t0 + (now - batch_start);
+        if (switched)
+            tracer.span(ptrack, "migrate-in", tstart, switch_cost,
+                        {{"tenant", t}, {"warm", warm ? 1 : 0}});
+        tracer.span(ptrack, "tenant" + std::to_string(t),
+                    tstart + switch_cost, res.cycles,
+                    {{"iterations", res.iterations}, {"ways", m}});
+        tracer.span("sched.tenant" + std::to_string(t), "run",
+                    tstart + switch_cost, res.cycles,
+                    {{"merged_ways", m},
+                     {"iterations", res.iterations}});
+    }
+    return true;
+}
+
 ScheduleResult
 MultiTenantScheduler::runAll()
 {
+    migrations_ = 0;
+    migration_warm_ = 0;
+    migration_translate_cycles_ = 0;
+    migration_stream_cycles_ = 0;
+
     ScheduleResult result;
     result.ways = ways();
     result.verify_checked = verify_checked_;
@@ -301,12 +482,16 @@ MultiTenantScheduler::runAll()
     for (const auto &p : partitions_)
         batch_start = std::min(batch_start, p.clock);
     uint64_t batch_end = batch_start;
-    const uint64_t dram_before = [&] {
+    const auto dram_total = [&] {
         uint64_t total = 0;
         for (const auto &p : partitions_)
             total += p.accel->hierarchy().dramAccesses();
+        for (const auto &[key, band] : merged_)
+            if (band.accel)
+                total += band.accel->hierarchy().dramAccesses();
         return total;
-    }();
+    };
+    const uint64_t dram_before = dram_total();
 
     while (anyPending()) {
         // The healthy partition that frees up first arbitrates next.
@@ -337,6 +522,13 @@ MultiTenantScheduler::runAll()
             continue;
         }
         Tenant &T = tenants_[size_t(t)];
+
+        // Elastic repartitioning: a solo tenant with enough work left
+        // is live-migrated onto the merged band of idle healthy ways.
+        if (params_.elastic &&
+            tryElasticSlice(t, pk, p->clock, batch_start, trace_t0,
+                            result, batch_end))
+            continue;
 
         // Residency affinity: if the picked tenant's config is still
         // installed on another way that is free at the same instant,
@@ -440,6 +632,12 @@ MultiTenantScheduler::runAll()
                                    switch_cost + res.cycles,
                                    res.iterations, switched});
 
+        // This way's plane now holds the tenant's band config; any
+        // merged band sharing its rows lost residency.
+        for (auto &[key, band] : merged_)
+            if (key.first <= int(pk) && key.first + key.second > int(pk))
+                band.resident = -1;
+
         if (Tracer::active()) {
             const std::string ptrack =
                 "sched.p" + std::to_string(pk);
@@ -461,12 +659,13 @@ MultiTenantScheduler::runAll()
     }
 
     result.makespan_cycles = batch_end - batch_start;
+    result.migrations = migrations_;
+    result.migration_warm = migration_warm_;
+    result.migration_translate_cycles = migration_translate_cycles_;
+    result.migration_stream_cycles = migration_stream_cycles_;
     // Shared DRAM bandwidth floor: every partition's fills contend on
     // the same channels the full-array device would use.
-    uint64_t dram_after = 0;
-    for (const auto &p : partitions_)
-        dram_after += p.accel->hierarchy().dramAccesses();
-    result.dram_accesses = dram_after - dram_before;
+    result.dram_accesses = dram_total() - dram_before;
     if (!params_.accel.ideal_memory && result.dram_accesses > 0) {
         const uint64_t floor = uint64_t(
             std::ceil(double(result.dram_accesses) /

@@ -19,9 +19,11 @@
 #ifndef MESA_SCHED_SCHEDULER_HH
 #define MESA_SCHED_SCHEDULER_HH
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accel/accelerator.hh"
@@ -72,6 +74,22 @@ struct SchedParams
     bool enable_forwarding = true;
     bool enable_vectorization = true;
     bool enable_prefetch = true;
+
+    /**
+     * Elastic repartitioning (the virtualized-fabric extension): when
+     * the arbitrating way's tenant is the only runnable one and
+     * adjacent healthy ways sit idle, live-migrate it onto the merged
+     * row band (checkpoint at the round boundary, re-translate via
+     * src/migrate for the larger sub-array, resume) instead of
+     * leaving the idle bands dark. The band shrinks back implicitly:
+     * as soon as another tenant is runnable the merge criterion
+     * fails and slices return to single-way granularity.
+     */
+    bool elastic = false;
+
+    /** Iterations a tenant must still owe before a migration is
+     *  worth its translation + streaming cost. */
+    uint64_t elastic_min_remaining = 256;
 
     /** Mapping failures tolerated before a request is refused. */
     double max_unmapped_frac = 0.25;
@@ -155,6 +173,17 @@ struct ScheduleResult
     /** Ways retired from arbitration (quarantined PEs in their row
      *  band); tenants are steered onto the healthy ways. */
     uint64_t degraded_ways = 0;
+
+    // ----- elastic repartitioning (SchedParams::elastic) -----
+    /** Live migrations onto a merged row band. */
+    uint64_t migrations = 0;
+    /** Migrations served by a cached per-geometry config (only the
+     *  bitstream write was paid). */
+    uint64_t migration_warm = 0;
+    /** Re-translation cost (encode + imap) of cold migrations. */
+    uint64_t migration_translate_cycles = 0;
+    /** Bitstream-streaming cost of every migration. */
+    uint64_t migration_stream_cycles = 0;
 
     std::vector<TenantStats> tenants;
     std::vector<ScheduleSlice> timeline;
@@ -263,6 +292,23 @@ class MultiTenantScheduler final : public core::OffloadArbiter
         uint64_t busy_until = 0;   ///< Running on some way until then.
         uint64_t runnable_at = 0;  ///< When it last became runnable.
         TenantStats stats;
+
+        /** Loop body, kept so elastic migration can re-translate the
+         *  region for a merged row band (SchedParams::elastic). */
+        std::vector<riscv::Instruction> body;
+        /** Per-geometry configs from past migrations, keyed by the
+         *  band's physical row count (a warm migration pays only the
+         *  stream cost recorded alongside). */
+        std::map<int, accel::AcceleratorConfig> geo_configs;
+        std::map<int, uint64_t> geo_stream_cycles;
+    };
+
+    /** A merged row band the elastic policy migrates solo tenants
+     *  onto: the contiguous ways [first_way, first_way + ways). */
+    struct MergedBand
+    {
+        std::unique_ptr<accel::Accelerator> accel;
+        int resident = -1; ///< Tenant whose config is installed.
     };
 
     /** Policy pick among runnable tenants at partition time @p now;
@@ -270,6 +316,21 @@ class MultiTenantScheduler final : public core::OffloadArbiter
     int pickNext(uint64_t now);
 
     bool anyPending() const;
+
+    /** True when tenant @p t is the only one runnable at @p now
+     *  (everyone else is done or mid-slice on another way). */
+    bool soloRunnable(int t, uint64_t now) const;
+
+    /**
+     * Elastic fast path: try to run tenant @p t's next slice on the
+     * merged band of contiguous healthy ways that are all free at
+     * @p now and contain way @p pk. Returns true when the slice ran
+     * there (all constituent clocks advanced); false falls back to
+     * the single-way path.
+     */
+    bool tryElasticSlice(int t, size_t pk, uint64_t now,
+                         uint64_t batch_start, uint64_t trace_t0,
+                         ScheduleResult &result, uint64_t &batch_end);
 
     SchedParams params_;
     mem::MainMemory &memory_;
@@ -285,6 +346,16 @@ class MultiTenantScheduler final : public core::OffloadArbiter
     std::vector<Partition> partitions_;
     std::vector<Tenant> tenants_; ///< The context table.
     size_t rr_next_ = 0;
+
+    /** Merged-band devices, keyed by (first_way, ways). Persist
+     *  across batches so their DRAM counters keep accumulating. */
+    std::map<std::pair<int, int>, MergedBand> merged_;
+
+    // Elastic migration counters for the current batch.
+    uint64_t migrations_ = 0;
+    uint64_t migration_warm_ = 0;
+    uint64_t migration_translate_cycles_ = 0;
+    uint64_t migration_stream_cycles_ = 0;
 
     uint64_t verify_checked_ = 0;
     uint64_t verify_rejects_ = 0;

@@ -101,6 +101,20 @@ class ServiceBackend
         return controller_->configCache().tagConflicts();
     }
 
+    // Fabric health (the pool's quarantine-drain path steers work
+    // away from degraded backends).
+    uint64_t
+    quarantinedRegions() const
+    {
+        return controller_->quarantine().quarantinedCount();
+    }
+    uint64_t retiredPes() const { return controller_->faultyPes().size(); }
+    bool
+    degraded() const
+    {
+        return quarantinedRegions() > 0 || retiredPes() > 0;
+    }
+
     core::MesaController &controller() { return *controller_; }
 
   private:

@@ -42,9 +42,12 @@ enum class RejectReason
     Draining,     ///< Admission closed (graceful shutdown).
     OutOfRegion,  ///< Static footprint proof places an access outside
                   ///< the job's memory region (absint certifier).
+    FabricDrained, ///< Every backend is degraded (quarantined regions
+                   ///< or retired PEs): new work is shed instead of
+                   ///< admitted onto faulty fabric.
 };
 
-constexpr int RejectReasonCount = 5;
+constexpr int RejectReasonCount = 6;
 
 /** Stable lower-case identifier ("queue_full"). */
 const char *rejectReasonName(RejectReason reason);

@@ -58,6 +58,8 @@ class OffloadQueue
         RejectReason reason = RejectReason::None;
         if (draining_)
             reason = RejectReason::Draining;
+        else if (fabric_drained_ && fabric_drained_())
+            reason = RejectReason::FabricDrained;
         else if (params_.out_of_region && params_.out_of_region(job))
             reason = RejectReason::OutOfRegion;
         else if (pending_.size() >= params_.max_depth)
@@ -99,6 +101,15 @@ class OffloadQueue
     void stopAdmission() { draining_ = true; }
     bool draining() const { return draining_; }
 
+    /** Fabric-health gate: when set and true at offer time, the job
+     *  is shed as FabricDrained (every backend degraded). Installed
+     *  by the pool after its backends exist. */
+    void
+    setFabricDrainedGate(std::function<bool()> gate)
+    {
+        fabric_drained_ = std::move(gate);
+    }
+
     bool empty() const { return pending_.empty(); }
     size_t depth() const { return pending_.size(); }
     const std::deque<OffloadJob> &pending() const { return pending_; }
@@ -120,6 +131,7 @@ class OffloadQueue
 
   private:
     AdmissionParams params_;
+    std::function<bool()> fabric_drained_;
     std::deque<OffloadJob> pending_;
     std::unordered_map<int, size_t> inflight_;
     bool draining_ = false;

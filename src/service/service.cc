@@ -92,6 +92,16 @@ struct Engine
             backends.push_back(
                 std::make_unique<ServiceBackend>(b, p.backend));
         busy_until.assign(size_t(p.backends), 0);
+        // Quarantine draining, last line of defense: when every
+        // backend has degraded (quarantined regions / retired PEs),
+        // new offers are shed as FabricDrained instead of being
+        // admitted onto faulty fabric.
+        queue.setFabricDrainedGate([this] {
+            for (const auto &be : backends)
+                if (!be->degraded())
+                    return false;
+            return true;
+        });
         if (gen.closedLoop()) {
             for (int t = 0; t < p.traffic.tenants; ++t)
                 if (auto job = gen.closedLoopJob(t, 0, 0))
@@ -184,6 +194,29 @@ struct Engine
         }
     }
 
+    bool
+    anyHealthy() const
+    {
+        for (const auto &be : backends)
+            if (!be->degraded())
+                return true;
+        return false;
+    }
+
+    /** Can backend @p b take new work at @p now? Quarantine draining:
+     *  a degraded backend takes none while any healthy one exists —
+     *  queued jobs wait for (or steer to) healthy fabric instead of
+     *  running degraded. With the whole pool degraded the gate lifts
+     *  so already-admitted work still drains (the controller's own
+     *  relocate/CPU-fallback path owns correctness there). */
+    bool
+    dispatchable(size_t b, uint64_t now) const
+    {
+        if (busy_until[b] > now)
+            return false;
+        return !backends[b]->degraded() || !anyHealthy();
+    }
+
     /** Idle backend chosen for a plain dispatch: least lifetime busy
      *  cycles, ties to the lowest id. */
     int
@@ -191,7 +224,7 @@ struct Engine
     {
         int best = -1;
         for (size_t b = 0; b < backends.size(); ++b) {
-            if (busy_until[b] > now)
+            if (!dispatchable(b, now))
                 continue;
             if (best < 0 || backends[b]->busyCycles() <
                                 backends[size_t(best)]->busyCycles())
@@ -225,7 +258,7 @@ struct Engine
             for (size_t i = 0; i < pending.size(); ++i) {
                 const int home = int(
                     kernelShard(pending[i].kernel, backends.size()));
-                if (busy_until[size_t(home)] <= now)
+                if (dispatchable(size_t(home), now))
                     return {i, home};
             }
             return {0, leastLoadedIdle(now)};
@@ -240,8 +273,19 @@ struct Engine
         while (!queue.empty()) {
             const auto [index, backend] = pickDispatch(now);
             if (backend < 0)
-                return; // Every backend is busy.
+                return; // Every backend is busy (or drain-gated).
             ServiceBackend &be = *backends[size_t(backend)];
+            // Drain accounting: this dispatch passed over at least
+            // one idle degraded backend for a healthy one.
+            if (!be.degraded()) {
+                for (size_t b = 0; b < backends.size(); ++b) {
+                    if (busy_until[b] <= now &&
+                        backends[b]->degraded()) {
+                        ++result.drain_steers;
+                        break;
+                    }
+                }
+            }
 
             std::vector<OffloadJob> batch;
             batch.push_back(queue.take(index));
@@ -335,11 +379,11 @@ struct Engine
             ++result.invariant_violations;
 
         for (const auto &be : backends)
-            result.backends.push_back({be->id(), be->jobs(),
-                                       be->batches(), be->busyCycles(),
-                                       be->cacheHits(),
-                                       be->cacheMisses(),
-                                       be->cacheTagConflicts()});
+            result.backends.push_back(
+                {be->id(), be->jobs(), be->batches(), be->busyCycles(),
+                 be->cacheHits(), be->cacheMisses(),
+                 be->cacheTagConflicts(), be->quarantinedRegions(),
+                 be->retiredPes()});
         result.slo = std::move(slo);
         return std::move(result);
     }
@@ -474,6 +518,7 @@ writeServiceJson(const ServiceParams &params,
     json.field("horizon_cycles", result.horizon_cycles);
     json.field("offloads_per_second_sim",
                result.offloadsPerSecondSim());
+    json.field("drain_steers", result.drain_steers);
     json.field("invariant_violations", result.invariant_violations);
 
     json.key("slo");
@@ -491,10 +536,37 @@ writeServiceJson(const ServiceParams &params,
         json.field("config_cache_misses", be.cache_misses);
         json.field("config_cache_tag_conflicts",
                    be.cache_tag_conflicts);
+        json.field("quarantined_regions", be.quarantined_regions);
+        json.field("retired_pes", be.retired_pes);
         json.end();
     }
     json.end();
     json.end();
+}
+
+void
+writeFabricHealthPrometheus(const ServiceResult &result,
+                            std::ostream &os)
+{
+    os << "# HELP mesa_fault_quarantined_regions Loop regions "
+          "currently quarantined on this backend.\n"
+       << "# TYPE mesa_fault_quarantined_regions gauge\n";
+    for (const BackendSummary &be : result.backends)
+        os << "mesa_fault_quarantined_regions{backend=\"" << be.id
+           << "\"} " << be.quarantined_regions << "\n";
+
+    os << "# HELP mesa_fault_retired_pes PEs retired after BIST "
+          "fault localization on this backend.\n"
+       << "# TYPE mesa_fault_retired_pes gauge\n";
+    for (const BackendSummary &be : result.backends)
+        os << "mesa_fault_retired_pes{backend=\"" << be.id << "\"} "
+           << be.retired_pes << "\n";
+
+    os << "# HELP mesa_service_drain_steers_total Dispatches steered "
+          "onto a healthy backend past an idle degraded one.\n"
+       << "# TYPE mesa_service_drain_steers_total counter\n"
+       << "mesa_service_drain_steers_total " << result.drain_steers
+       << "\n";
 }
 
 std::string

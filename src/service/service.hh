@@ -16,6 +16,7 @@
 #include <array>
 #include <atomic>
 #include <functional>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,9 @@ struct BackendSummary
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
     uint64_t cache_tag_conflicts = 0;
+    /** Fabric health at the end of the run (live gauges). */
+    uint64_t quarantined_regions = 0;
+    uint64_t retired_pes = 0;
 };
 
 /** Outcome of one service run. */
@@ -103,6 +107,10 @@ struct ServiceResult
     std::vector<JobRecord> records; ///< Dispatch order.
     SloAccounting slo;
     std::vector<BackendSummary> backends;
+
+    /** Quarantine draining: dispatches steered onto a healthy backend
+     *  while an idle degraded one was passed over. */
+    uint64_t drain_steers = 0;
 
     /** slo invariants + global conservation (submitted == accepted +
      *  rejected, accepted == completed). CI gates this to zero. */
@@ -148,6 +156,15 @@ makeCertificateGate(const accel::AccelParams &accel);
 
 /** Run one service campaign to completion (or drained shutdown). */
 ServiceResult runService(const ServiceParams &params);
+
+/**
+ * Prometheus gauges for the pool's fabric health (appended to the
+ * mesa_serve --metrics-out exposition): per-backend
+ * mesa_fault_quarantined_regions / mesa_fault_retired_pes, plus the
+ * pool-level mesa_service_drain_steers_total counter.
+ */
+void writeFabricHealthPrometheus(const ServiceResult &result,
+                                 std::ostream &os);
 
 /**
  * Deterministic full report (no wall-clock, no host info): the same

@@ -34,6 +34,8 @@ rejectReasonName(RejectReason reason)
         return "draining";
       case RejectReason::OutOfRegion:
         return "out_of_region";
+      case RejectReason::FabricDrained:
+        return "fabric_drained";
     }
     return "?";
 }

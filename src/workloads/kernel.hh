@@ -10,6 +10,7 @@
 #ifndef MESA_WORKLOADS_KERNEL_HH
 #define MESA_WORKLOADS_KERNEL_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -80,6 +81,53 @@ struct Kernel
             out.push_back([setup, begin, end](riscv::ArchState &state) {
                 setup(state, begin, end);
             });
+        }
+        return out;
+    }
+
+    /**
+     * Split the iteration space into contiguous chunks proportional
+     * to @p weights (one per tenant; zero- or negative-weight tenants
+     * get nothing). The remainder lands on the heaviest tenant, so
+     * the split is exact and deterministic.
+     */
+    std::vector<cpu::ThreadInit>
+    chunksWeighted(const std::vector<double> &weights) const
+    {
+        double total = 0.0;
+        size_t heaviest = 0;
+        for (size_t t = 0; t < weights.size(); ++t) {
+            if (weights[t] > weights[heaviest])
+                heaviest = t;
+            total += std::max(0.0, weights[t]);
+        }
+        std::vector<cpu::ThreadInit> out;
+        if (total <= 0.0)
+            return out;
+        // Fix every share except the heaviest, which absorbs the
+        // rounding remainder.
+        std::vector<uint64_t> share(weights.size(), 0);
+        uint64_t assigned = 0;
+        for (size_t t = 0; t < weights.size(); ++t) {
+            if (t == heaviest)
+                continue;
+            share[t] = uint64_t(double(iterations) *
+                                std::max(0.0, weights[t]) / total);
+            assigned += share[t];
+        }
+        share[heaviest] = iterations - std::min(iterations, assigned);
+        uint64_t begin = 0;
+        for (size_t t = 0; t < weights.size(); ++t) {
+            const uint64_t end = begin + share[t];
+            if (end > begin) {
+                auto setup = init_range;
+                const uint64_t b = begin, e = end;
+                out.push_back(
+                    [setup, b, e](riscv::ArchState &state) {
+                        setup(state, b, e);
+                    });
+            }
+            begin = end;
         }
         return out;
     }

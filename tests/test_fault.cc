@@ -259,6 +259,56 @@ TEST(Quarantine, BackoffDoublesAndDecaysAfterSuccesses)
     EXPECT_TRUE(q.shouldOffload(0x200));
 }
 
+TEST(Quarantine, KnobsBoundStrikesAndForgiveness)
+{
+    // max_strikes caps the backoff exponent; forgive_successes sets
+    // how many consecutive clean offloads shed one strike.
+    fault::QuarantineParams qp;
+    qp.max_strikes = 2;
+    qp.forgive_successes = 1;
+    fault::RegionQuarantine q(qp);
+
+    q.onFault(0x100);
+    q.onFault(0x100);
+    q.onFault(0x100); // capped: strikes stay at max_strikes
+    EXPECT_EQ(q.strikes(0x100), 2);
+
+    // Drain the pending skip sentence, then every single clean
+    // offload forgives one strike (forgive_successes == 1).
+    while (!q.shouldOffload(0x100)) {
+    }
+    q.onSuccess(0x100);
+    EXPECT_EQ(q.strikes(0x100), 1);
+    EXPECT_TRUE(q.onSuccess(0x100)); // fully rehabilitated
+    EXPECT_EQ(q.strikes(0x100), 0);
+}
+
+TEST(Quarantine, ControllerExportsLiveFabricHealthGauges)
+{
+    const Kernel kernel = kernelByName("hotspot", {128});
+    core::MesaParams params;
+    params.fault.enabled = true;
+    params.fault.checked_mode = false;
+    params.fault.watchdog_cycles = 20'000;
+
+    StatsRegistry stats;
+    auto run = park(kernel, params, &stats);
+    EXPECT_EQ(stats.value("mesa.fault.quarantined_regions"), 0.0);
+    EXPECT_EQ(stats.value("mesa.fault.retired_pes"), 0.0);
+
+    accel::FaultPlane plane;
+    plane.stuck_branches.push_back({4});
+    run.mesa->accelerator().injectFaults(plane);
+    auto os = run.mesa->offloadLoop(kernel.loopBody(),
+                                    run.emu->state(), kernel.parallel);
+    ASSERT_TRUE(os.has_value());
+
+    // The hang struck the region: the quarantine gauge went live.
+    EXPECT_GE(stats.value("mesa.fault.quarantined_regions"), 1.0);
+    EXPECT_EQ(double(run.mesa->quarantine().quarantinedCount()),
+              stats.value("mesa.fault.quarantined_regions"));
+}
+
 TEST(Quarantine, FaultyPeMapDeduplicates)
 {
     fault::FaultyPeMap map;
