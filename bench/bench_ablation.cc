@@ -31,6 +31,7 @@ int
 main(int argc, char **argv)
 {
     const int jobs = parseJobs(argc, argv);
+    applyCacheDir(argc, argv);
     const char *names[] = {"nn", "kmeans", "hotspot", "cfd",
                            "pathfinder", "gaussian"};
 

@@ -16,6 +16,7 @@ int
 main(int argc, char **argv)
 {
     const int jobs = parseJobs(argc, argv);
+    applyCacheDir(argc, argv);
     const workloads::SuiteScale scale{16384};
     const auto suite = workloads::rodiniaSuite(scale);
 

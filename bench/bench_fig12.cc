@@ -61,6 +61,7 @@ int
 main(int argc, char **argv)
 {
     const int jobs = parseJobs(argc, argv);
+    applyCacheDir(argc, argv);
     // The eight OpenCGRA-compatible benchmarks (paper §6.2).
     const char *names[] = {"nn",       "kmeans",       "hotspot",
                            "cfd",      "gaussian",     "lavaMD",

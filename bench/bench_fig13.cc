@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     const int jobs = parseJobs(argc, argv);
+    applyCacheDir(argc, argv);
     const auto accel = accel::AccelParams::m128();
     power::PowerModel pm(accel);
 

@@ -41,6 +41,7 @@ int
 main(int argc, char **argv)
 {
     const int jobs = parseJobs(argc, argv);
+    applyCacheDir(argc, argv);
     // The benchmarks shared with the DynaSpAM evaluation.
     const char *names[] = {"backprop", "bfs",  "hotspot",
                            "kmeans",   "lud",  "nn",

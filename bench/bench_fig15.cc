@@ -41,6 +41,7 @@ int
 main(int argc, char **argv)
 {
     const int jobs = parseJobs(argc, argv);
+    applyCacheDir(argc, argv);
     const auto kernel = workloads::makeNn(16384);
     const int pe_counts[] = {16, 32, 64, 128, 256, 512};
     const size_t n = std::size(pe_counts);

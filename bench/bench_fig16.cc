@@ -16,6 +16,7 @@ int
 main(int argc, char **argv)
 {
     const int jobs = parseJobs(argc, argv);
+    applyCacheDir(argc, argv);
     const auto kernel = workloads::makeNn(4096);
     core::MesaParams params;
     params.accel = accel::AccelParams::m128();

@@ -34,6 +34,8 @@
 #include "util/trace.hh"
 #include "workloads/kernel.hh"
 
+#include "common.hh"
+
 using namespace mesa;
 
 namespace
@@ -100,6 +102,7 @@ run(const sched::SchedParams &base, const workloads::Kernel &kernel,
 int
 main(int argc, char **argv)
 {
+    bench::applyCacheDir(argc, argv);
     std::string kernel_name = "nn";
     std::string trace_out;
     std::string stats_json;

@@ -1,10 +1,13 @@
 /**
  * @file
- * Parallel-engine performance gate. Times the fault campaign and the
+ * Simulator performance gate. Times the fault campaign and the
  * benchmark suite harness serially (--jobs 1) and sharded (--jobs N),
  * verifies the two campaign runs produce byte-identical JSON (the
- * determinism guarantee), and emits BENCH_parallel.json with wall
- * seconds, speedup, and the host's hardware concurrency.
+ * determinism guarantee), measures raw emulator throughput with the
+ * decoded-basic-block cache on and off, measures cold-vs-warm
+ * translation wall time against the persistent on-disk store, and
+ * emits BENCH_parallel.json with wall seconds, speedups, and the
+ * host's hardware concurrency.
  *
  *   ./build/bench/bench_perf --jobs 4 --min-speedup 1.5 --json
  *
@@ -20,12 +23,15 @@
 
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <unistd.h>
 
 #include "fault/campaign.hh"
 #include "prof/history.hh"
+#include "riscv/emulator.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -48,6 +54,12 @@ usage()
         "                     (default 16)\n"
         "  --scale <n>        campaign workload scale (default 128)\n"
         "  --min-speedup <x>  exit 1 unless campaign speedup >= x\n"
+        "  --min-warm-speedup <x>  exit 1 unless the warm-start\n"
+        "                     (disk-cached) translation beats cold\n"
+        "                     translation by >= x\n"
+        "  --cache-dir <dir>  persistent translation cache for the\n"
+        "                     campaign/suite sections (bit-identical\n"
+        "                     results with or without it)\n"
         "  --out <file>       JSON report path (default\n"
         "                     BENCH_parallel.json)\n"
         "  --history <file>   perf-history JSONL path (default\n"
@@ -73,6 +85,85 @@ campaignJson(const fault::CampaignResult &result)
     return os.str();
 }
 
+/**
+ * Run one kernel start-to-halt on the functional emulator and report
+ * wall seconds plus retired instructions — the single-simulation
+ * datapoint behind the decoded-basic-block cache.
+ */
+double
+emulatorRun(const workloads::Kernel &kernel, bool decode_cache,
+            uint64_t &instret)
+{
+    mem::MainMemory memory;
+    kernel.init_data(memory);
+    cpu::loadProgram(memory, kernel.program);
+
+    riscv::Emulator emu(memory);
+    emu.setDecodeCache(decode_cache);
+    emu.reset(kernel.program.base_pc);
+    kernel.fullRange()(emu.state());
+    const double s = seconds([&] { emu.run(500'000'000); });
+    instret = emu.instret();
+    return s;
+}
+
+/**
+ * One kernel held at its loop entry with a live controller: the
+ * reusable fixture for the cold-vs-warm translation measurement. All
+ * setup cost (memory image, emulator warm-up, controller build) is
+ * paid here, outside the timed section.
+ */
+struct TranslationContext
+{
+    workloads::Kernel kernel;
+    mem::MainMemory memory;
+    std::unique_ptr<core::MesaController> mesa;
+    riscv::ArchState loop_state;
+    std::vector<riscv::Instruction> body;
+};
+
+std::vector<std::unique_ptr<TranslationContext>>
+makeTranslationContexts(const std::vector<workloads::Kernel> &suite)
+{
+    std::vector<std::unique_ptr<TranslationContext>> out;
+    for (const auto &kernel : suite) {
+        auto ctx = std::make_unique<TranslationContext>();
+        ctx->kernel = kernel;
+        ctx->kernel.init_data(ctx->memory);
+        cpu::loadProgram(ctx->memory, ctx->kernel.program);
+
+        riscv::Emulator emu(ctx->memory);
+        emu.reset(ctx->kernel.program.base_pc);
+        ctx->kernel.fullRange()(emu.state());
+        uint64_t steps = 0;
+        while (!emu.halted() &&
+               emu.state().pc != ctx->kernel.loop_start &&
+               steps++ < 1'000'000)
+            emu.step();
+        ctx->loop_state = emu.state();
+        ctx->body = ctx->kernel.loopBody();
+
+        core::MesaParams params;
+        ctx->mesa =
+            std::make_unique<core::MesaController>(params, ctx->memory);
+        out.push_back(std::move(ctx));
+    }
+    return out;
+}
+
+/**
+ * Translate one context's hot loop through the translation-only
+ * entry (no fabric configure/run). translateOnly never consults the
+ * per-controller ConfigCache, so the only reuse path is the
+ * persistent on-disk store — exactly the cold-vs-warm axis being
+ * measured.
+ */
+void
+translateOnce(TranslationContext &ctx)
+{
+    ctx.mesa->translateOnly(ctx.body, ctx.kernel.parallel);
+}
+
 } // namespace
 
 int
@@ -82,6 +173,7 @@ main(int argc, char **argv)
     int injections = 16;
     uint64_t scale = 128;
     double min_speedup = 0.0;
+    double min_warm_speedup = 0.0;
     std::string out_path = "BENCH_parallel.json";
     std::string history_path = "BENCH_history.jsonl";
     bool no_history = false;
@@ -104,6 +196,10 @@ main(int argc, char **argv)
             scale = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--min-speedup") {
             min_speedup = std::strtod(next(), nullptr);
+        } else if (arg == "--min-warm-speedup") {
+            min_warm_speedup = std::strtod(next(), nullptr);
+        } else if (arg == "--cache-dir") {
+            core::TranslationStore::global().setDirectory(next());
         } else if (arg == "--out") {
             out_path = next();
         } else if (arg == "--history") {
@@ -156,6 +252,65 @@ main(int argc, char **argv)
         suite_parallel_s > 0 ? suite_serial_s / suite_parallel_s : 0.0;
     const bool suite_deterministic = suite_serial == suite_parallel;
 
+    // --- Emulator throughput: decoded-block cache on vs off. ---
+    // Same kernel, same inputs; the cache is pure memoization, so
+    // retired-instruction counts must match exactly.
+    const auto emu_kernel = workloads::makeNn(262144);
+    uint64_t emu_instret_cached = 0, emu_instret_uncached = 0;
+    const double emu_cached_s =
+        emulatorRun(emu_kernel, true, emu_instret_cached);
+    const double emu_uncached_s =
+        emulatorRun(emu_kernel, false, emu_instret_uncached);
+    const bool emu_deterministic =
+        emu_instret_cached == emu_instret_uncached;
+    const double emu_mips_cached =
+        emu_cached_s > 0 ? double(emu_instret_cached) / emu_cached_s / 1e6
+                         : 0.0;
+    const double emu_mips_uncached =
+        emu_uncached_s > 0
+            ? double(emu_instret_uncached) / emu_uncached_s / 1e6
+            : 0.0;
+    const double emu_decode_speedup =
+        emu_cached_s > 0 ? emu_uncached_s / emu_cached_s : 0.0;
+
+    // --- Translation: cold (full encode+map+config every time) vs
+    // warm (served from a freshly populated on-disk store). Runs
+    // last so it can commandeer the process-global store; the
+    // caller's --cache-dir choice is restored afterwards. ---
+    auto &tstore = core::TranslationStore::global();
+    const std::string prev_cache_dir = tstore.directory();
+    const auto contexts =
+        makeTranslationContexts(workloads::rodiniaSuite({64}));
+    const int trans_reps = 20;
+
+    tstore.setDirectory(""); // cold: no persistence at all
+    const double translation_cold_s = seconds([&] {
+        for (int r = 0; r < trans_reps; ++r)
+            for (const auto &ctx : contexts)
+                translateOnce(*ctx);
+    });
+
+    const auto warm_dir =
+        std::filesystem::temp_directory_path() /
+        ("mesa_bench_perf_cache_" + std::to_string(::getpid()));
+    tstore.setDirectory(warm_dir.string());
+    for (const auto &ctx : contexts) // populate pass (stores)
+        translateOnce(*ctx);
+    for (const auto &ctx : contexts) // prime: first probe pays the
+        translateOnce(*ctx);         // one-time disk parse per region
+    const double translation_warm_s = seconds([&] {
+        for (int r = 0; r < trans_reps; ++r)
+            for (const auto &ctx : contexts)
+                translateOnce(*ctx);
+    });
+    tstore.setDirectory(prev_cache_dir);
+    std::error_code cleanup_ec;
+    std::filesystem::remove_all(warm_dir, cleanup_ec);
+
+    const double warm_speedup =
+        translation_warm_s > 0 ? translation_cold_s / translation_warm_s
+                               : 0.0;
+
     // One environment capture feeds both the report's provenance
     // block and the history append below.
     prof::HistoryRecord rec = prof::makeHistoryRecord("bench_perf");
@@ -167,6 +322,12 @@ main(int argc, char **argv)
         {"suite_serial_seconds", suite_serial_s},
         {"suite_parallel_seconds", suite_parallel_s},
         {"suite_speedup", suite_speedup},
+        {"emu_mips_cached", emu_mips_cached},
+        {"emu_mips_uncached", emu_mips_uncached},
+        {"emu_decode_speedup", emu_decode_speedup},
+        {"translation_cold_seconds", translation_cold_s},
+        {"translation_warm_seconds", translation_warm_s},
+        {"translation_warm_speedup", warm_speedup},
     };
 
     JsonWriter w;
@@ -188,7 +349,15 @@ main(int argc, char **argv)
         .field("suite_parallel_seconds", suite_parallel_s)
         .field("suite_speedup", suite_speedup)
         .field("suite_deterministic", suite_deterministic)
+        .field("emu_mips_cached", emu_mips_cached)
+        .field("emu_mips_uncached", emu_mips_uncached)
+        .field("emu_decode_speedup", emu_decode_speedup)
+        .field("emu_deterministic", emu_deterministic)
+        .field("translation_cold_seconds", translation_cold_s)
+        .field("translation_warm_seconds", translation_warm_s)
+        .field("translation_warm_speedup", warm_speedup)
         .field("min_speedup", min_speedup)
+        .field("min_warm_speedup", min_warm_speedup)
         .end();
 
     std::ofstream f(out_path);
@@ -214,15 +383,29 @@ main(int argc, char **argv)
                   << (suite_deterministic ? "identical"
                                           : "NON-DETERMINISTIC")
                   << ")\n"
+                  << "emulate : " << emu_mips_cached
+                  << " MIPS with decode cache, " << emu_mips_uncached
+                  << " MIPS without (" << emu_decode_speedup << "x, "
+                  << (emu_deterministic ? "identical"
+                                        : "NON-DETERMINISTIC")
+                  << ")\n"
+                  << "translate: " << translation_cold_s
+                  << "s cold, " << translation_warm_s
+                  << "s warm from disk (" << warm_speedup << "x)\n"
                   << "report  : " << out_path << "\n";
 
-    if (!deterministic || !suite_deterministic) {
+    if (!deterministic || !suite_deterministic || !emu_deterministic) {
         std::cerr << "FAIL: parallel run diverged from serial\n";
         return 1;
     }
     if (min_speedup > 0 && campaign_speedup < min_speedup) {
         std::cerr << "FAIL: campaign speedup " << campaign_speedup
                   << "x below required " << min_speedup << "x\n";
+        return 1;
+    }
+    if (min_warm_speedup > 0 && warm_speedup < min_warm_speedup) {
+        std::cerr << "FAIL: warm translation speedup " << warm_speedup
+                  << "x below required " << min_warm_speedup << "x\n";
         return 1;
     }
     return 0;

@@ -31,6 +31,8 @@
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
+#include "common.hh"
+
 using namespace mesa;
 
 namespace
@@ -71,6 +73,7 @@ struct Cell
 int
 main(int argc, char **argv)
 {
+    bench::applyCacheDir(argc, argv);
     int tenants = 200;
     uint64_t duration = 1'500'000;
     double arrival = 60'000.0;

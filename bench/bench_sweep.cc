@@ -43,6 +43,7 @@ int
 main(int argc, char **argv)
 {
     const int jobs = parseJobs(argc, argv);
+    applyCacheDir(argc, argv);
     const char *fp_kernel = "kmeans";
     const char *mem_kernel = "bfs";
 

@@ -18,6 +18,7 @@
 
 #include "cpu/system.hh"
 #include "mesa/controller.hh"
+#include "mesa/translation_store.hh"
 #include "power/energy_model.hh"
 #include "util/parallel.hh"
 #include "util/table.hh"
@@ -86,6 +87,21 @@ parseJobs(int argc, char **argv)
             return resolveJobs(int(std::strtol(argv[i + 1], nullptr,
                                                10)));
     return defaultJobs();
+}
+
+/**
+ * Shared --cache-dir flag: scans argv (consuming nothing, same
+ * convention as parseJobs) and points the process-global persistent
+ * translation store at the directory, so every bench warm-starts its
+ * translations across runs. Results are bit-identical either way —
+ * the store memoizes simulator work, not modeled hardware time.
+ */
+inline void
+applyCacheDir(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--cache-dir")
+            core::TranslationStore::global().setDirectory(argv[i + 1]);
 }
 
 /** A CPU baseline run with its modeled energy. */

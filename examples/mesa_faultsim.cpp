@@ -19,6 +19,7 @@
 #include <iostream>
 
 #include "fault/campaign.hh"
+#include "mesa/translation_store.hh"
 #include "prof/history.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -62,7 +63,10 @@ usage()
         "                    perf history\n"
         "  --history <path>  perf-history JSONL for --certify\n"
         "                    (default BENCH_history.jsonl)\n"
-        "  --no-history      skip the history append\n";
+        "  --no-history      skip the history append\n"
+        "  --cache-dir <dir> persistent translation cache shared by\n"
+        "                    all campaign shards (bit-identical\n"
+        "                    results with or without it)\n";
 }
 
 /** Wall-clock a campaign run in milliseconds. */
@@ -140,6 +144,8 @@ main(int argc, char **argv)
             history_path = next();
         } else if (arg == "--no-history") {
             append_history = false;
+        } else if (arg == "--cache-dir") {
+            core::TranslationStore::global().setDirectory(next());
         } else {
             usage();
             return arg == "--help" ? 0 : 1;

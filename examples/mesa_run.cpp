@@ -13,6 +13,7 @@
 #include <fstream>
 
 #include "fault/injector.hh"
+#include "mesa/translation_store.hh"
 #include "sched/multicore.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -64,6 +65,9 @@ usage()
         "  --sched-ways <n>    spatial partitions (default = tenants)\n"
         "  --sched-epoch <n>   preemption slice iterations (default 256)\n"
         "  --json              machine-readable output\n"
+        "  --cache-dir <dir>   persistent translation cache: warm\n"
+        "                      starts skip encode/map/config-gen;\n"
+        "                      results are bit-identical either way\n"
         "  --trace-out <file>  write a Chrome trace-event timeline of\n"
         "                      the MESA run (load in Perfetto)\n"
         "  --stats-json <file> write the full stats registry as JSON\n"
@@ -151,6 +155,8 @@ main(int argc, char **argv)
                 std::strtoull(next(), nullptr, 10);
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--cache-dir") {
+            core::TranslationStore::global().setDirectory(next());
         } else if (arg == "--trace-out") {
             trace_out = next();
         } else if (arg == "--stats-json") {

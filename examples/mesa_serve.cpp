@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "mesa/translation_store.hh"
 #include "prof/history.hh"
 #include "service/service.hh"
 #include "util/json.hh"
@@ -84,6 +85,9 @@ usage()
         "  --history <file>     perf-history JSONL path\n"
         "                       (default BENCH_history.jsonl)\n"
         "  --no-history         skip the history append\n"
+        "  --cache-dir <dir>    persistent translation cache: the\n"
+        "                       config cache survives service\n"
+        "                       restarts via warm starts from disk\n"
         "  --log-level <lvl>    error | warn | info | debug\n"
         "  --list               list available kernels\n";
 }
@@ -163,6 +167,8 @@ main(int argc, char **argv)
             history_path = next();
         } else if (arg == "--no-history") {
             no_history = true;
+        } else if (arg == "--cache-dir") {
+            core::TranslationStore::global().setDirectory(next());
         } else if (arg == "--log-level") {
             const std::string name = next();
             auto level = logLevelByName(name);

@@ -85,6 +85,14 @@ Accelerator::configure(const AcceleratorConfig &config)
     iter_out_.assign(config_.slots.size(), 0);
     iter_done_.assign(config_.slots.size(), 0);
     iter_taken_.assign(config_.slots.size(), 0);
+    slot_imm_.resize(config_.slots.size());
+    for (size_t i = 0; i < config_.slots.size(); ++i) {
+        const PeSlot &slot = config_.slots[i];
+        auto ov = config_.imm_overrides.find(slot.node);
+        slot_imm_[i] =
+            ov != config_.imm_overrides.end() ? ov->second
+                                              : slot.inst.imm;
+    }
     iter_group_done_.clear();
     if (prof_)
         prof_slot_.assign(config_.slots.size(), ProfSlot{});
@@ -276,7 +284,9 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
         const int bus = ic_->busId(from, slot.pos);
         uint64_t start = t0;
         if (bus >= 0) {
-            uint64_t &free = inst.bus_free[bus];
+            if (size_t(bus) >= inst.bus_free.size())
+                inst.bus_free.resize(size_t(bus) + 64, 0);
+            uint64_t &free = inst.bus_free[size_t(bus)];
             start = std::max(t0, free);
             free = start + 1;
             ++result.noc_transfers;
@@ -416,11 +426,7 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
         uint64_t &pe_next = pe_free[pe_key];
         ready = std::max(ready, pe_next);
 
-        int32_t imm = slot.inst.imm;
-        if (auto it = config_.imm_overrides.find(slot.node);
-            it != config_.imm_overrides.end()) {
-            imm = it->second;
-        }
+        const int32_t imm = slot_imm_[i];
 
         switch (slot.inst.cls()) {
           case OpClass::Branch:
@@ -471,8 +477,8 @@ Accelerator::runIteration(Instance &inst, AccelRunResult &result)
                 if (lr.invalidated)
                     ++result.load_invalidations;
                 if (slot.vector_group >= 0 && slot.vector_leader) {
-                    if (uint64_t *gd = groupDone(slot.vector_group))
-                        *gd = lr.done_cycle;
+                    if (uint64_t *lead = groupDone(slot.vector_group))
+                        *lead = lr.done_cycle;
                     else
                         iter_group_done_.emplace_back(
                             slot.vector_group, lr.done_cycle);
@@ -659,7 +665,7 @@ Accelerator::run(riscv::ArchState &state, uint64_t max_iterations,
              config_.instances[k].reg_offsets) {
             inst.regs[size_t(reg)] += uint32_t(offset);
         }
-        inst.bus_free.clear();
+        std::fill(inst.bus_free.begin(), inst.bus_free.end(), 0);
         inst.next_floor = 0;
         inst.last_end = 0;
         inst.iterations = 0;

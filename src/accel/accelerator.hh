@@ -176,7 +176,9 @@ class Accelerator
         std::array<uint32_t, riscv::NumUnifiedRegs> regs{};
         std::array<uint64_t, riscv::NumUnifiedRegs> reg_avail{};
         std::unique_ptr<mem::LoadStoreUnit> lsu;
-        std::map<int, uint64_t> bus_free;
+        /** Next-free cycle per NoC bus id, grown on first use; a
+         *  dense array probed once per transfer in the hot loop. */
+        std::vector<uint64_t> bus_free;
         uint64_t next_floor = 0;
         uint64_t last_end = 0;
         uint64_t iterations = 0;
@@ -245,6 +247,9 @@ class Accelerator
      *  keys for unmapped nodes. */
     std::vector<std::vector<uint64_t>> pe_free_; // [instance][key]
     size_t pe_invalid_base_ = 0;
+    /** Per-slot effective immediate (imm_overrides pre-resolved at
+     *  configure time so the hot loop skips the map lookup). */
+    std::vector<int32_t> slot_imm_;
 
     // Per-iteration scratch, sized once in configure() and reused so
     // the per-cycle loop performs no heap allocation.

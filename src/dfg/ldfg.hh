@@ -146,6 +146,24 @@ class Ldfg
         const OpLatencyConfig &lat_cfg = {}, size_t max_nodes = 0,
         BuildError *error = nullptr);
 
+    /**
+     * Reassemble a graph from its serialized parts (the persistent
+     * translation store's deserializer). The caller is responsible
+     * for the parts being a build() result — no renaming or edge
+     * derivation is re-run here.
+     */
+    static Ldfg
+    fromParts(std::vector<LdfgNode> nodes, std::set<int> live_ins,
+              std::set<int> written, const RenameTable &rename)
+    {
+        Ldfg g;
+        g.nodes_ = std::move(nodes);
+        g.live_ins_ = std::move(live_ins);
+        g.written_ = std::move(written);
+        g.rename_ = rename;
+        return g;
+    }
+
     size_t size() const { return nodes_.size(); }
     bool empty() const { return nodes_.empty(); }
     const LdfgNode &node(NodeId id) const { return nodes_[size_t(id)]; }

@@ -36,6 +36,17 @@ void
 LoadStoreUnit::beginIteration()
 {
     store_buffer_.clear();
+    store_index_.clear();
+    store_lo_ = UINT32_MAX;
+    store_hi_ = 0;
+}
+
+Average &
+LoadStoreUnit::amatFor(unsigned seq)
+{
+    if (seq >= entry_amat_.size())
+        entry_amat_.resize(size_t(seq) + 1);
+    return entry_amat_[seq];
 }
 
 uint32_t
@@ -86,13 +97,20 @@ LoadStoreUnit::load(unsigned seq, uint32_t addr, Op op,
     ++loads_;
     LoadResult result;
 
-    // Store->load forwarding: scan older buffered stores (program
-    // order, i.e., lower seq) for an exact address match of compatible
-    // width. The youngest matching store wins.
+    // Store->load forwarding: find the youngest older buffered store
+    // (program order, i.e., lower seq) with an exact address match.
+    // The index holds buffer positions in push order, so the backward
+    // scan returns exactly what a full buffer walk taking the last
+    // match would.
     const PendingStore *hit = nullptr;
-    for (const auto &st : store_buffer_) {
-        if (st.seq < seq && st.addr == addr)
-            hit = &st;
+    if (auto idx = store_index_.find(addr); idx != store_index_.end()) {
+        const auto &positions = idx->second;
+        for (auto it = positions.rbegin(); it != positions.rend(); ++it) {
+            if (store_buffer_[*it].seq < seq) {
+                hit = &store_buffer_[*it];
+                break;
+            }
+        }
     }
 
     if (hit && (op == Op::Lw || op == Op::Flw) &&
@@ -107,7 +125,7 @@ LoadStoreUnit::load(unsigned seq, uint32_t addr, Op op,
         if (ready_cycle < hit->ready_cycle)
             ++invalidations_, result.invalidated = true;
         result.done_cycle = std::max(ready_cycle, hit->ready_cycle) + 1;
-        entry_amat_[seq].sample(double(result.done_cycle - ready_cycle));
+        amatFor(seq).sample(double(result.done_cycle - ready_cycle));
         return result;
     }
 
@@ -135,7 +153,7 @@ LoadStoreUnit::load(unsigned seq, uint32_t addr, Op op,
     }
     result.value = value;
     result.done_cycle = issue + latency;
-    entry_amat_[seq].sample(double(result.done_cycle - ready_cycle));
+    amatFor(seq).sample(double(result.done_cycle - ready_cycle));
     return result;
 }
 
@@ -145,6 +163,12 @@ LoadStoreUnit::peek(unsigned seq, uint32_t addr, Op op) const
     // Memory patched with older buffered stores, so program-order
     // semantics hold even though commit is deferred to iteration end.
     const uint32_t base = addr & ~3u;
+    // Range reject: when the buffered-store footprint cannot reach
+    // [base, base+8) no store can match, so the patch scan (linear in
+    // the buffer, once per peeked load) is skipped entirely.
+    if (store_buffer_.empty() || store_hi_ < base ||
+        store_lo_ >= base + 8)
+        return readMem(addr, op);
     bool patched = false;
     for (const auto &st : store_buffer_) {
         if (st.seq < seq && st.addr >= base && st.addr < base + 8) {
@@ -189,8 +213,13 @@ LoadStoreUnit::store(unsigned seq, uint32_t addr, uint32_t value, Op op,
                      uint64_t ready_cycle)
 {
     ++stores_;
+    store_index_[addr].push_back(uint32_t(store_buffer_.size()));
     store_buffer_.push_back({seq, addr, value, op, ready_cycle});
-    entry_amat_[seq].sample(1.0);
+    const unsigned width =
+        (op == Op::Sb) ? 1 : (op == Op::Sh) ? 2 : 4;
+    store_lo_ = std::min(store_lo_, addr);
+    store_hi_ = std::max(store_hi_, addr + width - 1);
+    amatFor(seq).sample(1.0);
 }
 
 uint64_t
@@ -213,14 +242,18 @@ LoadStoreUnit::commitStores()
         last = std::max(last, issue + latency);
     }
     store_buffer_.clear();
+    store_index_.clear();
+    store_lo_ = UINT32_MAX;
+    store_hi_ = 0;
     return last;
 }
 
 double
 LoadStoreUnit::entryAmat(unsigned seq) const
 {
-    auto it = entry_amat_.find(seq);
-    return it == entry_amat_.end() ? 0.0 : it->second.mean();
+    // An entry that never sampled reports 0.0, exactly as the absent
+    // key did in the former keyed map.
+    return seq < entry_amat_.size() ? entry_amat_[seq].mean() : 0.0;
 }
 
 double
@@ -228,7 +261,7 @@ LoadStoreUnit::overallAmat() const
 {
     double sum = 0.0;
     uint64_t n = 0;
-    for (const auto &[seq, avg] : entry_amat_) {
+    for (const auto &avg : entry_amat_) {
         sum += avg.sum();
         n += avg.count();
     }
@@ -243,7 +276,6 @@ LoadStoreUnit::resetStats()
     forwards_.reset();
     invalidations_.reset();
     entry_amat_.clear();
-
 }
 
 } // namespace mesa::mem

@@ -12,7 +12,7 @@
 #define MESA_MEM_LSQ_HH
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/cache.hh"
@@ -151,7 +151,20 @@ class LoadStoreUnit
     MemHierarchy &hierarchy_;
     PortPool &ports_;
     std::vector<PendingStore> store_buffer_;
-    std::map<unsigned, Average> entry_amat_;
+    /**
+     * addr -> indices into store_buffer_ in buffer (push) order, so
+     * forwarding finds the newest matching store with one hash probe
+     * instead of walking every buffered store per load.
+     */
+    std::unordered_map<uint32_t, std::vector<uint32_t>> store_index_;
+    /** Tight [min, max] byte range covered by buffered stores; lets
+     *  peek() skip the patch scan when the load cannot overlap. */
+    uint32_t store_lo_ = UINT32_MAX;
+    uint32_t store_hi_ = 0;
+    /** Per-entry latency averages indexed by LDFG seq (dense, small). */
+    std::vector<Average> entry_amat_;
+
+    Average &amatFor(unsigned seq);
 
     Counter loads_{"loads"};
     Counter stores_{"stores"};

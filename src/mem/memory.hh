@@ -3,6 +3,13 @@
  * Flat sparse byte-addressable main memory backing both the CPU
  * emulator and the accelerator's load/store entries. Pages are
  * allocated lazily so large address spaces cost nothing until touched.
+ *
+ * Every page carries a monotonically increasing write-generation
+ * counter so consumers that cache derived views of memory (the
+ * emulator's decoded basic-block cache) can validate with one integer
+ * compare instead of re-reading the bytes. clear() bumps a separate
+ * epoch counter, which is the signal that any cached page pointer is
+ * dead (pages are otherwise never deallocated).
  */
 
 #ifndef MESA_MEM_MEMORY_HH
@@ -32,13 +39,15 @@ class MainMemory
     read8(uint32_t addr) const
     {
         const Page *p = findPage(addr);
-        return p ? (*p)[addr & (PageSize - 1)] : 0;
+        return p ? p->bytes[addr & (PageSize - 1)] : 0;
     }
 
     void
     write8(uint32_t addr, uint8_t v)
     {
-        page(addr)[addr & (PageSize - 1)] = v;
+        Page &p = page(addr);
+        ++p.gen;
+        p.bytes[addr & (PageSize - 1)] = v;
     }
 
     uint16_t
@@ -63,7 +72,7 @@ class MainMemory
             if (!p)
                 return 0;
             uint32_t v;
-            std::memcpy(&v, p->data() + (addr & (PageSize - 1)), 4);
+            std::memcpy(&v, p->bytes.data() + (addr & (PageSize - 1)), 4);
             return v;
         }
         return uint32_t(read16(addr)) | (uint32_t(read16(addr + 2)) << 16);
@@ -73,7 +82,9 @@ class MainMemory
     write32(uint32_t addr, uint32_t v)
     {
         if ((addr & 3) == 0) {
-            std::memcpy(page(addr).data() + (addr & (PageSize - 1)), &v, 4);
+            Page &p = page(addr);
+            ++p.gen;
+            std::memcpy(p.bytes.data() + (addr & (PageSize - 1)), &v, 4);
             return;
         }
         write16(addr, uint16_t(v));
@@ -125,8 +136,33 @@ class MainMemory
                 (uint64_t(max_pn) + 1) << PageShift};
     }
 
-    /** Drop all contents. */
-    void clear() { pages_.clear(); }
+    /** Drop all contents. Invalidates every cached page pointer. */
+    void
+    clear()
+    {
+        pages_.clear();
+        ++epoch_;
+    }
+
+    /**
+     * Epoch counter, bumped by clear(). A consumer holding pointers
+     * into pages (see pageGenPtr) must drop them when this changes.
+     */
+    uint64_t epoch() const { return epoch_; }
+
+    /**
+     * Stable pointer to the write-generation counter of the page
+     * holding @p addr, or nullptr when the page is not resident. The
+     * pointer stays valid until clear() (pages are never individually
+     * freed and unordered_map nodes do not move on rehash); revalidate
+     * against epoch() before dereferencing across calls to clear().
+     */
+    const uint64_t *
+    pageGenPtr(uint32_t addr) const
+    {
+        const Page *p = findPage(addr);
+        return p ? &p->gen : nullptr;
+    }
 
     /**
      * Deep snapshot for golden-model comparisons: returns a copy of all
@@ -137,12 +173,17 @@ class MainMemory
     {
         std::unordered_map<uint32_t, std::vector<uint8_t>> s;
         for (const auto &[pn, pg] : pages_)
-            s.emplace(pn, std::vector<uint8_t>(pg->begin(), pg->end()));
+            s.emplace(pn, std::vector<uint8_t>(pg->bytes.begin(),
+                                               pg->bytes.end()));
         return s;
     }
 
   private:
-    using Page = std::array<uint8_t, PageSize>;
+    struct Page
+    {
+        std::array<uint8_t, PageSize> bytes;
+        uint64_t gen = 0; ///< Bumped on every write to the page.
+    };
 
     Page &
     page(uint32_t addr)
@@ -151,7 +192,7 @@ class MainMemory
         auto it = pages_.find(pn);
         if (it == pages_.end()) {
             auto p = std::make_unique<Page>();
-            p->fill(0);
+            p->bytes.fill(0);
             it = pages_.emplace(pn, std::move(p)).first;
         }
         return *it->second;
@@ -165,6 +206,7 @@ class MainMemory
     }
 
     std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+    uint64_t epoch_ = 0;
 };
 
 } // namespace mesa::mem

@@ -4,6 +4,7 @@
 
 #include "dfg/unroll.hh"
 #include "fault/checkpoint.hh"
+#include "mesa/translation_store.hh"
 #include "util/crc32.hh"
 #include "util/debug.hh"
 #include "interconnect/folded.hh"
@@ -172,6 +173,25 @@ MesaController::attachStats(StatsRegistry *registry,
             &stats_->counter("mesa.verify.violations");
         live_.verify_fallbacks =
             &stats_->counter("mesa.verify.fallbacks");
+    }
+    // Persistent translation-store counters exist only when a cache
+    // directory is configured, so runs without one keep their stats
+    // output byte-identical to builds without the store.
+    if (TranslationStore::global().enabled()) {
+        live_.persist_hits =
+            &stats_->counter("mesa.cache.persist_hits");
+        live_.persist_misses =
+            &stats_->counter("mesa.cache.persist_misses");
+        live_.persist_corrupt =
+            &stats_->counter("mesa.cache.persist_corrupt");
+        live_.persist_version_skew =
+            &stats_->counter("mesa.cache.persist_version_skew");
+        live_.persist_key_mismatch =
+            &stats_->counter("mesa.cache.persist_key_mismatch");
+        live_.persist_stores =
+            &stats_->counter("mesa.cache.persist_stores");
+        live_.persist_store_failures =
+            &stats_->counter("mesa.cache.persist_store_failures");
     }
     // The unified fallback taxonomy is always registered: structural
     // and verify fallbacks happen in any mode.
@@ -362,6 +382,46 @@ MesaController::MesaController(const MesaParams &params,
              : 1);
     params_.monitor.max_instructions =
         std::min(params_.monitor.max_instructions, effective);
+    // Persistent translation-store key component; params_ is fixed
+    // from here on, so the fingerprint is computed once.
+    params_crc_ = paramsFingerprint(params_);
+}
+
+void
+MesaController::bumpPersist(PersistOutcome outcome)
+{
+    if (!stats_)
+        return;
+    Counter *c = nullptr;
+    switch (outcome) {
+      case PersistOutcome::Hit: c = live_.persist_hits; break;
+      case PersistOutcome::Miss: c = live_.persist_misses; break;
+      case PersistOutcome::Corrupt: c = live_.persist_corrupt; break;
+      case PersistOutcome::VersionSkew:
+        c = live_.persist_version_skew;
+        break;
+      case PersistOutcome::KeyMismatch:
+        c = live_.persist_key_mismatch;
+        break;
+      case PersistOutcome::Stored: c = live_.persist_stores; break;
+      case PersistOutcome::StoreFailed:
+        c = live_.persist_store_failures;
+        break;
+      case PersistOutcome::Disabled: break;
+    }
+    if (c)
+        ++*c;
+}
+
+bool
+MesaController::translateOnly(const std::vector<Instruction> &body,
+                              bool parallel_hint)
+{
+    if (body.empty())
+        return false;
+    return prepare(body, parallel_hint, body.front().pc,
+                   body.back().pc + 4)
+        .has_value();
 }
 
 std::optional<MesaController::Prepared>
@@ -371,6 +431,37 @@ MesaController::prepare(const std::vector<Instruction> &body,
 {
     last_prepare_fallback_ = FallbackReason::Structural;
     const uint32_t region_tag = bodyTag(body);
+
+    // Persistent translation store (--cache-dir): a warm start skips
+    // LDFG encode, mapping, and config generation entirely. The entry
+    // is pure simulator-side memoization — the modeled phase cycles
+    // travel inside it — so results are bit-identical either way.
+    TranslationStore &tstore = TranslationStore::global();
+    TranslationKey tkey;
+    if (tstore.enabled()) {
+        tkey = TranslationKey{region_start, region_end, region_tag,
+                              params_crc_,
+                              blockedPeDigest(faulty_pes_.coords()),
+                              parallel_hint};
+        Prepared warm;
+        const PersistOutcome outcome = tstore.load(tkey, warm);
+        bumpPersist(outcome);
+        if (outcome == PersistOutcome::Hit) {
+            // Replay the verify gate so mesa.verify.* counters (and a
+            // potential veto) match a cold translation exactly.
+            if (params_.verify_before_offload &&
+                !verifyPrepared(warm)) {
+                last_prepare_fallback_ = FallbackReason::VerifyDirty;
+                return std::nullopt;
+            }
+            DTRACE("controller",
+                   "persisted translation hit for region 0x"
+                       << std::hex << region_start << std::dec << " ("
+                       << warm.ldfg.size() << " nodes)");
+            return warm;
+        }
+    }
+
     const size_t capacity = params_.accel.capacity();
     const int max_tm =
         params_.enable_time_multiplexing
@@ -522,6 +613,11 @@ MesaController::prepare(const std::vector<Instruction> &body,
                                 << prep.options.time_multiplex
                                 << ", model "
                                 << prep.map.model_latency);
+    // Persist the finished translation (after the verify gate, so
+    // only offloadable entries ever land on disk). A corrupt or
+    // version-skewed file is overwritten here, self-healing the store.
+    if (tstore.enabled())
+        bumpPersist(tstore.store(tkey, prep));
     return prep;
 }
 

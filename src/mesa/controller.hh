@@ -134,6 +134,46 @@ constexpr int FallbackReasonCount = 6;
 
 const char *fallbackReasonName(FallbackReason reason);
 
+/**
+ * Outcome of one persistent translation-store probe or store (see
+ * mesa/translation_store.hh). The controller folds these into the
+ * "mesa.cache.persist_*" counters when a store is enabled.
+ */
+enum class PersistOutcome
+{
+    Disabled = 0,  ///< No cache directory configured.
+    Hit,           ///< Entry deserialized and integrity-checked.
+    Miss,          ///< No entry on disk for the key.
+    Corrupt,       ///< Truncated file or CRC mismatch; ignored.
+    VersionSkew,   ///< Other format version; ignored.
+    KeyMismatch,   ///< File's embedded key differs; ignored.
+    Stored,        ///< Entry written to disk.
+    StoreFailed,   ///< Write failed (permissions, disk full).
+};
+
+/**
+ * A fully translated region: the encoded LDFG (T1), its placement
+ * (T2), and the built accelerator configuration (T3), plus the
+ * options and bookkeeping the controller derived along the way. A
+ * pure function of (body, parallel hint, region bounds, MESA params,
+ * blocked-PE set) — which is what makes it safe to memoize across
+ * processes in the persistent translation store.
+ */
+struct PreparedRegion
+{
+    dfg::Ldfg ldfg;
+    MapResult map;
+    accel::AcceleratorConfig config;
+    ConfigOptions options;
+    uint64_t encode_cycles = 0;
+    int max_tiles = 1; ///< Grid-supported tile factor ceiling.
+    uint32_t body_tag = 0; ///< Config-cache key guard (body CRC).
+    /** Abstract-interpretation certificate for the (non-unrolled)
+     *  body, when fault.certificate_gating is on. Shared with the
+     *  config cache so re-encountered regions skip the fixpoint. */
+    std::shared_ptr<const absint::BodyCertificate> cert;
+};
+
 /** Per-offload statistics. */
 struct OffloadStats
 {
@@ -297,6 +337,17 @@ class MesaController
         riscv::ArchState &state, bool parallel_hint,
         uint64_t max_iterations = ~uint64_t(0));
 
+    /**
+     * Translation-only entry: probe the persistent store and run the
+     * encode/map/config pipeline (or a warm load) for an extracted
+     * body, without configuring or running the fabric. Lets benches
+     * time cold-vs-warm translation in isolation.
+     *
+     * @return true if the body translated (or warm-loaded)
+     */
+    bool translateOnly(const std::vector<riscv::Instruction> &body,
+                       bool parallel_hint);
+
     accel::Accelerator &accelerator() { return accel_; }
     const MesaParams &params() const { return params_; }
     ConfigCache &configCache() { return config_cache_; }
@@ -388,20 +439,7 @@ class MesaController
 
   private:
     /** Encode+map+build for a body; nullopt on failure. */
-    struct Prepared
-    {
-        dfg::Ldfg ldfg;
-        MapResult map;
-        accel::AcceleratorConfig config;
-        ConfigOptions options;
-        uint64_t encode_cycles = 0;
-        int max_tiles = 1; ///< Grid-supported tile factor ceiling.
-        uint32_t body_tag = 0; ///< Config-cache key guard (body CRC).
-        /** Abstract-interpretation certificate for the (non-unrolled)
-         *  body, when fault.certificate_gating is on. Shared with the
-         *  config cache so re-encountered regions skip the fixpoint. */
-        std::shared_ptr<const absint::BodyCertificate> cert;
-    };
+    using Prepared = PreparedRegion;
     std::optional<Prepared> prepare(
         const std::vector<riscv::Instruction> &body, bool parallel_hint,
         uint32_t region_start, uint32_t region_end);
@@ -519,7 +557,20 @@ class MesaController
         Counter *absint_snapshot_skips = nullptr;
         Counter *absint_budget_tightened = nullptr;
         Counter *absint_trip_watchdogs = nullptr;
+        /** Persistent translation store (registered only when a cache
+         *  directory is configured, so stats output without one is
+         *  byte-identical to a build without the store). */
+        Counter *persist_hits = nullptr;
+        Counter *persist_misses = nullptr;
+        Counter *persist_corrupt = nullptr;
+        Counter *persist_version_skew = nullptr;
+        Counter *persist_key_mismatch = nullptr;
+        Counter *persist_stores = nullptr;
+        Counter *persist_store_failures = nullptr;
     };
+
+    /** Fold a translation-store outcome into the persist counters. */
+    void bumpPersist(PersistOutcome outcome);
 
     /** Per-rule verify counters, created on first finding. */
     Counter &verifyRuleCounter(const std::string &rule);
@@ -541,6 +592,10 @@ class MesaController
     OffloadArbiter *arbiter_ = nullptr;
     int tenant_id_ = 0;
     int tenant_priority_ = 0;
+
+    /** Fingerprint of every prepare()-relevant parameter, part of the
+     *  persistent translation-store key (computed once at build). */
+    uint32_t params_crc_ = 0;
 
     // ----- fault tolerance state -----
     fault::RegionQuarantine quarantine_;

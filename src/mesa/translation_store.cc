@@ -1,0 +1,757 @@
+#include "mesa/translation_store.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "util/archive.hh"
+#include "util/crc32.hh"
+#include "util/logging.hh"
+
+namespace mesa::core
+{
+
+namespace fs = std::filesystem;
+using riscv::Instruction;
+
+namespace
+{
+
+/** File format version; bump on any layout change. */
+constexpr uint32_t StoreMagic = 0x4354534d; // "MSTC"
+constexpr uint32_t StoreVersion = 1;
+
+/** Sanity cap on entry files: a translated region is a few KB; far
+ *  larger files are garbage regardless of their CRC. */
+constexpr uint64_t MaxEntryBytes = 64u << 20;
+
+/** In-process memo bound: distinct translated regions per run are
+ *  typically in the dozens; past this the memo simply restarts. */
+constexpr size_t MaxMemoEntries = 256;
+
+// ----- writers -----
+
+void
+putInst(BinaryWriter &w, const Instruction &inst)
+{
+    w.u32(uint32_t(inst.op));
+    w.u8(inst.rd);
+    w.u8(inst.rs1);
+    w.u8(inst.rs2);
+    w.u8(inst.rs3);
+    w.i32(inst.imm);
+    w.u32(inst.raw);
+    w.u32(inst.pc);
+}
+
+void
+putIdVec(BinaryWriter &w, const std::vector<dfg::NodeId> &v)
+{
+    w.u64(v.size());
+    for (dfg::NodeId id : v)
+        w.i32(id);
+}
+
+void
+putIntMap(BinaryWriter &w, const std::map<int, int32_t> &m)
+{
+    w.u64(m.size());
+    for (const auto &[k, v] : m) {
+        w.i32(k);
+        w.i32(v);
+    }
+}
+
+void
+putLdfg(BinaryWriter &w, const dfg::Ldfg &g)
+{
+    w.u64(g.size());
+    for (const dfg::LdfgNode &n : g.nodes()) {
+        putInst(w, n.inst);
+        w.i32(n.id);
+        w.i32(n.src1);
+        w.i32(n.src2);
+        w.i32(n.live_in1);
+        w.i32(n.live_in2);
+        w.i32(n.prev_dest_writer);
+        w.i32(n.prev_dest_live_in);
+        putIdVec(w, n.guards);
+        putIdVec(w, n.consumers);
+        w.f64(n.op_latency);
+        w.f64(n.edge_lat1);
+        w.f64(n.edge_lat2);
+    }
+    w.u64(g.liveIns().size());
+    for (int reg : g.liveIns())
+        w.i32(reg);
+    w.u64(g.writtenRegs().size());
+    for (int reg : g.writtenRegs())
+        w.i32(reg);
+    for (int reg = 0; reg < int(riscv::NumUnifiedRegs); ++reg)
+        w.i32(g.finalRename().lookup(reg));
+}
+
+void
+putMap(BinaryWriter &w, const MapResult &m)
+{
+    w.i32(m.sdfg.rows());
+    w.i32(m.sdfg.cols());
+    w.u64(m.sdfg.placedCount());
+    for (int r = 0; r < m.sdfg.rows(); ++r) {
+        for (int c = 0; c < m.sdfg.cols(); ++c) {
+            const dfg::NodeId id = m.sdfg.at({r, c});
+            if (id == dfg::NoNode)
+                continue;
+            w.i32(id);
+            w.i32(r);
+            w.i32(c);
+        }
+    }
+    putIdVec(w, m.unmapped);
+    w.u64(m.completion.size());
+    for (double v : m.completion)
+        w.f64(v);
+    w.f64(m.model_latency);
+    w.u64(m.mapping_cycles);
+    w.u64(m.imap_trace.size());
+    for (const ImapTraceEntry &e : m.imap_trace) {
+        w.i32(e.instruction);
+        for (uint32_t cycles : e.stage_cycles)
+            w.u32(cycles);
+        w.u32(e.total);
+    }
+}
+
+void
+putConfig(BinaryWriter &w, const accel::AcceleratorConfig &cfg)
+{
+    w.u32(cfg.region_start);
+    w.u32(cfg.region_end);
+    w.u32(cfg.resume_pc);
+    w.i32(cfg.rows);
+    w.i32(cfg.cols);
+    w.u64(cfg.slots.size());
+    for (const accel::PeSlot &s : cfg.slots) {
+        w.i32(s.node);
+        putInst(w, s.inst);
+        w.i32(s.pos.r);
+        w.i32(s.pos.c);
+        w.i32(s.src1);
+        w.i32(s.src2);
+        w.i32(s.live_in1);
+        w.i32(s.live_in2);
+        putIdVec(w, s.guards);
+        w.i32(s.prev_dest_writer);
+        w.i32(s.prev_dest_live_in);
+        w.f64(s.op_latency);
+        w.i32(s.forward_from_store);
+        w.i32(s.vector_group);
+        w.boolean(s.vector_leader);
+        w.boolean(s.prefetch);
+        w.i32(s.prefetch_stride);
+    }
+    w.u64(cfg.live_ins.size());
+    for (int reg : cfg.live_ins)
+        w.i32(reg);
+    w.u64(cfg.live_outs.size());
+    for (const auto &[reg, node] : cfg.live_outs) {
+        w.i32(reg);
+        w.i32(node);
+    }
+    w.u64(cfg.inductions.size());
+    for (const dfg::InductionReg &ind : cfg.inductions) {
+        w.i32(ind.unified_reg);
+        w.i32(ind.update_node);
+        w.i32(ind.step);
+    }
+    w.u64(cfg.imm_overrides.size());
+    for (const auto &[node, imm] : cfg.imm_overrides) {
+        w.i32(node);
+        w.i32(imm);
+    }
+    w.u64(cfg.instances.size());
+    for (const accel::TileInstance &t : cfg.instances) {
+        w.i32(t.origin.r);
+        w.i32(t.origin.c);
+        putIntMap(w, t.reg_offsets);
+    }
+    w.boolean(cfg.pipelined);
+    w.i32(cfg.time_multiplex);
+    w.u64(cfg.config_words);
+    w.f64(cfg.model_latency);
+    w.u32(cfg.crc);
+}
+
+void
+putCert(BinaryWriter &w, const absint::BodyCertificate &cert)
+{
+    w.u64(cert.nodes);
+    w.u64(cert.mem_nodes);
+    w.boolean(cert.converged);
+    w.i32(cert.fixpoint_rounds);
+    w.u64(cert.footprint.size());
+    for (const absint::FootprintEntry &f : cert.footprint) {
+        w.i32(f.node);
+        w.u32(f.pc);
+        w.u32(uint32_t(f.op));
+        w.boolean(f.is_store);
+        w.u8(f.size);
+        w.boolean(f.known);
+        w.i32(f.base);
+        w.i64(f.lo);
+        w.i64(f.hi);
+        w.i64(f.step);
+        w.i64(f.stride_mod);
+        w.i64(f.stride_rem);
+    }
+    const absint::TripBound &t = cert.trip;
+    w.boolean(t.valid);
+    w.u32(uint32_t(t.op));
+    w.boolean(t.ind_is_lhs);
+    w.i32(t.ind_base);
+    w.i64(t.first);
+    w.i64(t.step);
+    w.i32(t.bound_base);
+    w.i64(t.bound_off);
+    w.u64(cert.per_iter_cycle_bound);
+}
+
+void
+putPrepared(BinaryWriter &w, const PreparedRegion &prep)
+{
+    putLdfg(w, prep.ldfg);
+    putMap(w, prep.map);
+    putConfig(w, prep.config);
+    const ConfigOptions &o = prep.options;
+    w.boolean(o.enable_forwarding);
+    w.boolean(o.enable_vectorization);
+    w.boolean(o.enable_prefetch);
+    w.i32(o.tile_factor);
+    w.boolean(o.pipelined);
+    w.i32(o.time_multiplex);
+    putIntMap(w, o.live_in_adjustments);
+    w.u32(o.resume_pc);
+    w.u64(prep.encode_cycles);
+    w.i32(prep.max_tiles);
+    w.u32(prep.body_tag);
+    w.boolean(prep.cert != nullptr);
+    if (prep.cert)
+        putCert(w, *prep.cert);
+}
+
+// ----- readers (every count validated against remaining bytes) -----
+
+bool
+getCount(BinaryReader &r, size_t min_elem, size_t &out)
+{
+    const uint64_t n = r.u64();
+    if (!r.ok() || n > r.remaining() / min_elem)
+        return false;
+    out = size_t(n);
+    return true;
+}
+
+Instruction
+getInst(BinaryReader &r)
+{
+    Instruction inst;
+    inst.op = riscv::Op(r.u32());
+    inst.rd = r.u8();
+    inst.rs1 = r.u8();
+    inst.rs2 = r.u8();
+    inst.rs3 = r.u8();
+    inst.imm = r.i32();
+    inst.raw = r.u32();
+    inst.pc = r.u32();
+    return inst;
+}
+
+bool
+getIdVec(BinaryReader &r, std::vector<dfg::NodeId> &out)
+{
+    size_t n = 0;
+    if (!getCount(r, 4, n))
+        return false;
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = r.i32();
+    return r.ok();
+}
+
+bool
+getIntMap(BinaryReader &r, std::map<int, int32_t> &out)
+{
+    size_t n = 0;
+    if (!getCount(r, 8, n))
+        return false;
+    for (size_t i = 0; i < n; ++i) {
+        const int k = r.i32();
+        out[k] = r.i32();
+    }
+    return r.ok();
+}
+
+bool
+getIntSet(BinaryReader &r, std::set<int> &out)
+{
+    size_t n = 0;
+    if (!getCount(r, 4, n))
+        return false;
+    for (size_t i = 0; i < n; ++i)
+        out.insert(r.i32());
+    return r.ok();
+}
+
+bool
+getLdfg(BinaryReader &r, dfg::Ldfg &out)
+{
+    size_t n = 0;
+    if (!getCount(r, 16, n))
+        return false;
+    std::vector<dfg::LdfgNode> nodes(n);
+    for (dfg::LdfgNode &node : nodes) {
+        node.inst = getInst(r);
+        node.id = r.i32();
+        node.src1 = r.i32();
+        node.src2 = r.i32();
+        node.live_in1 = r.i32();
+        node.live_in2 = r.i32();
+        node.prev_dest_writer = r.i32();
+        node.prev_dest_live_in = r.i32();
+        if (!getIdVec(r, node.guards) ||
+            !getIdVec(r, node.consumers))
+            return false;
+        node.op_latency = r.f64();
+        node.edge_lat1 = r.f64();
+        node.edge_lat2 = r.f64();
+    }
+    std::set<int> live_ins, written;
+    if (!getIntSet(r, live_ins) || !getIntSet(r, written))
+        return false;
+    dfg::RenameTable rename;
+    for (int reg = 0; reg < int(riscv::NumUnifiedRegs); ++reg)
+        rename.update(reg, r.i32());
+    if (!r.ok())
+        return false;
+    out = dfg::Ldfg::fromParts(std::move(nodes), std::move(live_ins),
+                               std::move(written), rename);
+    return true;
+}
+
+bool
+getMap(BinaryReader &r, MapResult &out)
+{
+    const int rows = r.i32();
+    const int cols = r.i32();
+    if (!r.ok() || rows < 0 || cols < 0 || rows > (1 << 16) ||
+        cols > (1 << 16))
+        return false;
+    out.sdfg = dfg::Sdfg(rows, cols);
+    size_t placed = 0;
+    if (!getCount(r, 12, placed))
+        return false;
+    for (size_t i = 0; i < placed; ++i) {
+        const dfg::NodeId id = r.i32();
+        const int pr = r.i32();
+        const int pc = r.i32();
+        if (!r.ok() || id < 0 || !out.sdfg.place(id, {pr, pc}))
+            return false;
+    }
+    if (!getIdVec(r, out.unmapped))
+        return false;
+    size_t n = 0;
+    if (!getCount(r, 8, n))
+        return false;
+    out.completion.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        out.completion[i] = r.f64();
+    out.model_latency = r.f64();
+    out.mapping_cycles = r.u64();
+    if (!getCount(r, 8, n))
+        return false;
+    out.imap_trace.resize(n);
+    for (ImapTraceEntry &e : out.imap_trace) {
+        e.instruction = r.i32();
+        for (uint32_t &cycles : e.stage_cycles)
+            cycles = r.u32();
+        e.total = r.u32();
+    }
+    return r.ok();
+}
+
+bool
+getConfig(BinaryReader &r, accel::AcceleratorConfig &cfg)
+{
+    cfg.region_start = r.u32();
+    cfg.region_end = r.u32();
+    cfg.resume_pc = r.u32();
+    cfg.rows = r.i32();
+    cfg.cols = r.i32();
+    size_t n = 0;
+    if (!getCount(r, 32, n))
+        return false;
+    cfg.slots.resize(n);
+    for (accel::PeSlot &s : cfg.slots) {
+        s.node = r.i32();
+        s.inst = getInst(r);
+        s.pos.r = r.i32();
+        s.pos.c = r.i32();
+        s.src1 = r.i32();
+        s.src2 = r.i32();
+        s.live_in1 = r.i32();
+        s.live_in2 = r.i32();
+        if (!getIdVec(r, s.guards))
+            return false;
+        s.prev_dest_writer = r.i32();
+        s.prev_dest_live_in = r.i32();
+        s.op_latency = r.f64();
+        s.forward_from_store = r.i32();
+        s.vector_group = r.i32();
+        s.vector_leader = r.boolean();
+        s.prefetch = r.boolean();
+        s.prefetch_stride = r.i32();
+    }
+    if (!getIntSet(r, cfg.live_ins))
+        return false;
+    if (!getCount(r, 8, n))
+        return false;
+    for (size_t i = 0; i < n; ++i) {
+        const int reg = r.i32();
+        cfg.live_outs[reg] = r.i32();
+    }
+    if (!getCount(r, 12, n))
+        return false;
+    cfg.inductions.resize(n);
+    for (dfg::InductionReg &ind : cfg.inductions) {
+        ind.unified_reg = r.i32();
+        ind.update_node = r.i32();
+        ind.step = r.i32();
+    }
+    if (!getCount(r, 8, n))
+        return false;
+    for (size_t i = 0; i < n; ++i) {
+        const dfg::NodeId node = r.i32();
+        cfg.imm_overrides[node] = r.i32();
+    }
+    if (!getCount(r, 16, n))
+        return false;
+    cfg.instances.resize(n);
+    for (accel::TileInstance &t : cfg.instances) {
+        t.origin.r = r.i32();
+        t.origin.c = r.i32();
+        if (!getIntMap(r, t.reg_offsets))
+            return false;
+    }
+    cfg.pipelined = r.boolean();
+    cfg.time_multiplex = r.i32();
+    cfg.config_words = size_t(r.u64());
+    cfg.model_latency = r.f64();
+    cfg.crc = r.u32();
+    return r.ok();
+}
+
+bool
+getCert(BinaryReader &r, absint::BodyCertificate &cert)
+{
+    cert.nodes = size_t(r.u64());
+    cert.mem_nodes = size_t(r.u64());
+    cert.converged = r.boolean();
+    cert.fixpoint_rounds = r.i32();
+    size_t n = 0;
+    if (!getCount(r, 32, n))
+        return false;
+    cert.footprint.resize(n);
+    for (absint::FootprintEntry &f : cert.footprint) {
+        f.node = r.i32();
+        f.pc = r.u32();
+        f.op = riscv::Op(r.u32());
+        f.is_store = r.boolean();
+        f.size = r.u8();
+        f.known = r.boolean();
+        f.base = r.i32();
+        f.lo = r.i64();
+        f.hi = r.i64();
+        f.step = r.i64();
+        f.stride_mod = r.i64();
+        f.stride_rem = r.i64();
+    }
+    absint::TripBound &t = cert.trip;
+    t.valid = r.boolean();
+    t.op = riscv::Op(r.u32());
+    t.ind_is_lhs = r.boolean();
+    t.ind_base = r.i32();
+    t.first = r.i64();
+    t.step = r.i64();
+    t.bound_base = r.i32();
+    t.bound_off = r.i64();
+    cert.per_iter_cycle_bound = r.u64();
+    return r.ok();
+}
+
+bool
+getPrepared(BinaryReader &r, PreparedRegion &prep)
+{
+    if (!getLdfg(r, prep.ldfg) || !getMap(r, prep.map) ||
+        !getConfig(r, prep.config))
+        return false;
+    ConfigOptions &o = prep.options;
+    o.enable_forwarding = r.boolean();
+    o.enable_vectorization = r.boolean();
+    o.enable_prefetch = r.boolean();
+    o.tile_factor = r.i32();
+    o.pipelined = r.boolean();
+    o.time_multiplex = r.i32();
+    if (!getIntMap(r, o.live_in_adjustments))
+        return false;
+    o.resume_pc = r.u32();
+    prep.encode_cycles = r.u64();
+    prep.max_tiles = r.i32();
+    prep.body_tag = r.u32();
+    const bool has_cert = r.boolean();
+    if (has_cert) {
+        auto cert = std::make_shared<absint::BodyCertificate>();
+        if (!getCert(r, *cert))
+            return false;
+        prep.cert = std::move(cert);
+    }
+    return r.ok();
+}
+
+void
+putKey(BinaryWriter &w, const TranslationKey &key)
+{
+    w.u32(key.region_start);
+    w.u32(key.region_end);
+    w.u32(key.body_tag);
+    w.u32(key.params_crc);
+    w.u32(key.blocked_crc);
+    w.boolean(key.parallel_hint);
+}
+
+bool
+keyMatches(BinaryReader &r, const TranslationKey &key)
+{
+    const bool match = r.u32() == key.region_start &&
+                       r.u32() == key.region_end &&
+                       r.u32() == key.body_tag &&
+                       r.u32() == key.params_crc &&
+                       r.u32() == key.blocked_crc &&
+                       r.boolean() == key.parallel_hint;
+    return match && r.ok();
+}
+
+/** Unique temp-file suffix per writer (atomic publish via rename). */
+std::atomic<uint64_t> temp_seq{0};
+
+} // namespace
+
+uint32_t
+paramsFingerprint(const MesaParams &p)
+{
+    Crc32 crc;
+    // Accelerator geometry and timing.
+    crc.add32(uint32_t(p.accel.rows));
+    crc.add32(uint32_t(p.accel.cols));
+    crc.add32(p.accel.mem_ports);
+    crc.add32(p.accel.pe_issue_interval);
+    crc.addByte(p.accel.ideal_memory);
+    crc.add64(std::bit_cast<uint64_t>(p.accel.dram_accesses_per_cycle));
+    crc.addByte(p.accel.fp_slices);
+    crc.add32(uint32_t(p.accel.noc_slice_width));
+    crc.add64(std::bit_cast<uint64_t>(p.accel.fallback_bus_latency));
+    const dfg::OpLatencyConfig &lat = p.accel.op_latency;
+    for (double d : {lat.int_alu, lat.int_mul, lat.int_div, lat.fp_alu,
+                     lat.fp_mul, lat.fp_div, lat.load, lat.store,
+                     lat.branch, lat.jump})
+        crc.add64(std::bit_cast<uint64_t>(d));
+    crc.add32(p.accel.config_words_per_cycle);
+    crc.add64(p.accel.watchdog_cycles);
+    // Mapper window.
+    crc.add32(uint32_t(p.mapper.cand_rows));
+    crc.add32(uint32_t(p.mapper.cand_cols));
+    crc.add64(std::bit_cast<uint64_t>(p.mapper.fallback_bus_latency));
+    crc.addByte(p.mapper.allow_rescan);
+    // Optimization switches that steer prepare().
+    crc.addByte(p.enable_tiling);
+    crc.addByte(p.enable_pipelining);
+    crc.addByte(p.enable_vectorization);
+    crc.addByte(p.enable_forwarding);
+    crc.addByte(p.enable_prefetch);
+    crc.addByte(p.enable_time_multiplexing);
+    crc.add32(uint32_t(p.max_time_multiplex));
+    crc.addByte(p.enable_unrolling);
+    crc.add32(uint32_t(p.unroll_factor));
+    crc.addByte(p.verify_before_offload);
+    crc.add64(std::bit_cast<uint64_t>(p.max_unmapped_frac));
+    // Fault-mode switches that change what prepare() produces.
+    crc.addByte(p.fault.enabled);
+    crc.addByte(p.fault.checked_mode);
+    crc.addByte(p.fault.certificate_gating);
+    return crc.value();
+}
+
+uint32_t
+blockedPeDigest(const std::vector<ic::Coord> &coords)
+{
+    std::vector<ic::Coord> sorted = coords;
+    std::sort(sorted.begin(), sorted.end(),
+              [](ic::Coord a, ic::Coord b) {
+                  return a.r != b.r ? a.r < b.r : a.c < b.c;
+              });
+    Crc32 crc;
+    for (ic::Coord pos : sorted) {
+        crc.add32(uint32_t(pos.r));
+        crc.add32(uint32_t(pos.c));
+    }
+    return crc.value();
+}
+
+TranslationStore &
+TranslationStore::global()
+{
+    static TranslationStore store;
+    return store;
+}
+
+void
+TranslationStore::setDirectory(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    dir_ = dir;
+    memo_.clear(); // a different directory is a different store
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        logWarn("mesa", "cannot create cache directory ", dir_, ": ",
+                ec.message(), " — persistent cache disabled");
+        dir_.clear();
+    }
+}
+
+std::string
+TranslationStore::entryPath(const TranslationKey &key) const
+{
+    char name[96];
+    std::snprintf(name, sizeof(name),
+                  "r%08x_b%08x_p%08x_f%08x_%c.mesatc",
+                  key.region_start, key.body_tag, key.params_crc,
+                  key.blocked_crc, key.parallel_hint ? 'p' : 's');
+    return (fs::path(dir_) / name).string();
+}
+
+PersistOutcome
+TranslationStore::load(const TranslationKey &key,
+                       PreparedRegion &out) const
+{
+    if (!enabled())
+        return PersistOutcome::Disabled;
+
+    const std::string path = entryPath(key);
+    {
+        // In-process memo: the same entry is never re-parsed. The
+        // shared_ptr is copied under the lock; the (heavier) object
+        // copy happens outside it.
+        std::shared_ptr<const PreparedRegion> hit;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = memo_.find(path);
+            if (it != memo_.end())
+                hit = it->second;
+        }
+        if (hit) {
+            out = *hit;
+            return PersistOutcome::Hit;
+        }
+    }
+
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return PersistOutcome::Miss;
+    std::string bytes((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+    // Header (magic + version + key echo) + whole-file CRC minimum.
+    constexpr size_t MinBytes = 4 + 4 + 21 + 4;
+    if (!f.good() || bytes.size() < MinBytes ||
+        bytes.size() > MaxEntryBytes)
+        return PersistOutcome::Corrupt;
+
+    // Whole-file CRC over everything before the trailing CRC word.
+    const size_t body_len = bytes.size() - 4;
+    BinaryReader tail(bytes.data() + body_len, 4);
+    if (crc32(bytes.data(), body_len) != tail.u32())
+        return PersistOutcome::Corrupt;
+
+    BinaryReader r(bytes.data(), body_len);
+    if (r.u32() != StoreMagic)
+        return PersistOutcome::Corrupt;
+    if (r.u32() != StoreVersion)
+        return PersistOutcome::VersionSkew;
+    if (!keyMatches(r, key))
+        return PersistOutcome::KeyMismatch;
+
+    PreparedRegion prep;
+    if (!getPrepared(r, prep) || r.remaining() != 0)
+        return PersistOutcome::Corrupt;
+    // Belt and braces: the config's own semantic CRC must re-derive,
+    // the same gate the controller applies before streaming. A wrong
+    // configuration can never be served from disk.
+    if (accel::configCrc(prep.config) != prep.config.crc ||
+        prep.body_tag != key.body_tag)
+        return PersistOutcome::Corrupt;
+    out = prep;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (memo_.size() >= MaxMemoEntries)
+            memo_.clear(); // crude but bounded; entries are small
+        memo_.emplace(path,
+                      std::make_shared<const PreparedRegion>(
+                          std::move(prep)));
+    }
+    return PersistOutcome::Hit;
+}
+
+PersistOutcome
+TranslationStore::store(const TranslationKey &key,
+                        const PreparedRegion &prep) const
+{
+    if (!enabled())
+        return PersistOutcome::Disabled;
+
+    BinaryWriter w;
+    w.u32(StoreMagic);
+    w.u32(StoreVersion);
+    putKey(w, key);
+    putPrepared(w, prep);
+    const uint32_t crc = crc32(w.data().data(), w.size());
+
+    const std::string path = entryPath(key);
+    const std::string tmp =
+        path + ".tmp" +
+        std::to_string(temp_seq.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f)
+            return PersistOutcome::StoreFailed;
+        f.write(w.data().data(), std::streamsize(w.size()));
+        const char tail[4] = {char(crc), char(crc >> 8),
+                              char(crc >> 16), char(crc >> 24)};
+        f.write(tail, 4);
+        if (!f.good())
+            return PersistOutcome::StoreFailed;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return PersistOutcome::StoreFailed;
+    }
+    return PersistOutcome::Stored;
+}
+
+} // namespace mesa::core

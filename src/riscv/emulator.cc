@@ -21,8 +21,7 @@ Emulator::step()
 {
     if (halted_)
         return false;
-    const uint32_t word = mem_.read32(state_.pc);
-    const Instruction inst = decode(word, state_.pc);
+    const Instruction &inst = *fetch(state_.pc);
     if (inst.op == Op::Invalid || inst.op == Op::Ecall ||
         inst.op == Op::Ebreak) {
         halted_ = true;
@@ -31,6 +30,82 @@ Emulator::step()
     execute(inst);
     ++instret_;
     return !halted_;
+}
+
+const Instruction *
+Emulator::fetch(uint32_t pc)
+{
+    if (!decode_cache_enabled_) {
+        scratch_ = decode(mem_.read32(pc), pc);
+        return &scratch_;
+    }
+    // clear() deallocated every page: all cached gen pointers are
+    // dangling and must be dropped before any compare.
+    if (mem_.epoch() != mem_epoch_) {
+        flushDecodeCache();
+        mem_epoch_ = mem_.epoch();
+    }
+    // Cursor fast path: the common case is falling through to the
+    // next instruction of the current block. The generation compare
+    // re-validates on every step so a store by the previous
+    // instruction into this code page (self-modifying code) is seen
+    // immediately.
+    if (cur_block_ && *cur_block_->gen_ptr == cur_block_->gen) {
+        const auto &insts = cur_block_->insts;
+        if (cur_idx_ + 1 < insts.size() &&
+            insts[cur_idx_ + 1].pc == pc) {
+            ++cur_idx_;
+            return &insts[cur_idx_];
+        }
+    }
+    auto it = blocks_.find(pc);
+    if (it != blocks_.end()) {
+        if (*it->second.gen_ptr == it->second.gen) {
+            cur_block_ = &it->second;
+            cur_idx_ = 0;
+            return &cur_block_->insts.front();
+        }
+        // Stale block: the page was written since decode.
+        if (cur_block_ == &it->second)
+            cur_block_ = nullptr;
+        blocks_.erase(it);
+    }
+    return decodeBlock(pc);
+}
+
+const Instruction *
+Emulator::decodeBlock(uint32_t pc)
+{
+    const uint64_t *gen_ptr = mem_.pageGenPtr(pc);
+    // Never decode into the cache from a non-resident page (reads
+    // must not allocate: residentSpan()/snapshot() feed the absint
+    // certifier and golden-model compares) or from a misaligned pc
+    // (a straight-line walk could cross the page edge mid-word).
+    if (!gen_ptr || (pc & 3) != 0) {
+        cur_block_ = nullptr;
+        scratch_ = decode(mem_.read32(pc), pc);
+        return &scratch_;
+    }
+    DecodedBlock blk;
+    blk.gen_ptr = gen_ptr;
+    blk.gen = *gen_ptr;
+    const uint64_t page_end =
+        (uint64_t(pc) & ~uint64_t(mem::MainMemory::PageSize - 1)) +
+        mem::MainMemory::PageSize;
+    for (uint64_t p = pc; p + 4 <= page_end; p += 4) {
+        const Instruction inst =
+            decode(mem_.read32(uint32_t(p)), uint32_t(p));
+        blk.insts.push_back(inst);
+        if (inst.isControl() || inst.isSystem() ||
+            inst.op == Op::Invalid)
+            break;
+    }
+    if (blocks_.size() >= MaxCachedBlocks)
+        flushDecodeCache();
+    auto [it, inserted] = blocks_.emplace(pc, std::move(blk));
+    cur_block_ = &it->second;
+    cur_idx_ = 0;
+    return &cur_block_->insts.front();
 }
 
 uint64_t
@@ -50,7 +125,11 @@ Emulator::runWhileInRegion(uint32_t lo, uint32_t hi, uint64_t max_steps)
 {
     uint64_t n = 0;
     while (n < max_steps && !halted_ && state_.pc >= lo && state_.pc < hi) {
-        step();
+        // A failed step executed nothing (ecall/ebreak/invalid word
+        // halts before commit): counting it would make a halt on the
+        // region boundary indistinguishable from a region exit.
+        if (!step())
+            break;
         ++n;
     }
     return n;

@@ -12,6 +12,8 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
+#include <vector>
 
 #include "mem/memory.hh"
 #include "riscv/instruction.hh"
@@ -48,6 +50,17 @@ struct TraceEntry
 /**
  * Single-stepping functional emulator over MainMemory. ECALL and
  * EBREAK halt execution (treated as the program's exit).
+ *
+ * Instructions are decoded once per basic block and cached: a block is
+ * a run of straight-line instructions starting at its entry pc and
+ * ending at the first control-flow or system instruction (or the page
+ * boundary). Each cached block records the write-generation of the
+ * page it was decoded from; any store to that page (self-modifying
+ * code, program reload) makes the generation compare fail and the
+ * block is re-decoded. MainMemory::clear() bumps the memory epoch,
+ * which drops the whole cache (page pointers died). The cache is
+ * purely a speedup: architectural state, instret, halt behavior, and
+ * the observer stream are bit-identical with the cache disabled.
  */
 class Emulator
 {
@@ -94,14 +107,57 @@ class Emulator
     uint64_t instret() const { return instret_; }
     mem::MainMemory &memory() { return mem_; }
 
+    /**
+     * Enable or disable the decoded basic-block cache (default on).
+     * Disabling also drops all cached blocks; used by equivalence
+     * tests and the decode microbenchmark.
+     */
+    void
+    setDecodeCache(bool enabled)
+    {
+        decode_cache_enabled_ = enabled;
+        flushDecodeCache();
+    }
+
+    /** Drop every cached decoded block. */
+    void
+    flushDecodeCache()
+    {
+        blocks_.clear();
+        cur_block_ = nullptr;
+    }
+
+    /** Number of decoded blocks currently cached. */
+    size_t decodedBlocks() const { return blocks_.size(); }
+
   private:
+    /** One decoded straight-line run, valid while its page gen holds. */
+    struct DecodedBlock
+    {
+        std::vector<Instruction> insts;
+        const uint64_t *gen_ptr = nullptr; ///< Page write-generation.
+        uint64_t gen = 0;                  ///< Value at decode time.
+    };
+
+    /** Blocks kept before the cache is wholesale reset. */
+    static constexpr size_t MaxCachedBlocks = 4096;
+
     void execute(const Instruction &inst);
+    const Instruction *fetch(uint32_t pc);
+    const Instruction *decodeBlock(uint32_t pc);
 
     mem::MainMemory &mem_;
     ArchState state_;
     bool halted_ = false;
     uint64_t instret_ = 0;
     Observer observer_;
+
+    bool decode_cache_enabled_ = true;
+    uint64_t mem_epoch_ = 0;
+    std::unordered_map<uint32_t, DecodedBlock> blocks_;
+    const DecodedBlock *cur_block_ = nullptr; ///< Cursor fast path.
+    size_t cur_idx_ = 0;
+    Instruction scratch_; ///< Un-cached decode (disabled/absent page).
 };
 
 } // namespace mesa::riscv

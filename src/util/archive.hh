@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Minimal binary archive: a byte-appending writer and a bounds-checked
+ * reader used by the persistent translation store to serialize
+ * translated regions. The encoding is explicit little-endian with
+ * doubles carried as IEEE-754 bit patterns, so files written on one
+ * host parse identically on any other and byte-compare across runs.
+ *
+ * The reader is fail-sticky: any read past the end sets a sticky
+ * error flag and returns zero, so deserializers can run a straight-
+ * line sequence of reads and test ok() once at the end instead of
+ * checking every call. Container counts must still be validated
+ * against remaining() before reserving memory (see readCount in the
+ * translation store) so a corrupt length cannot drive an allocation.
+ */
+
+#ifndef MESA_UTIL_ARCHIVE_HH
+#define MESA_UTIL_ARCHIVE_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace mesa
+{
+
+/** Append-only little-endian byte stream. */
+class BinaryWriter
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        data_.push_back(char(v));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        u8(uint8_t(v));
+        u8(uint8_t(v >> 8));
+        u8(uint8_t(v >> 16));
+        u8(uint8_t(v >> 24));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        u32(uint32_t(v));
+        u32(uint32_t(v >> 32));
+    }
+
+    void i32(int32_t v) { u32(uint32_t(v)); }
+    void i64(int64_t v) { u64(uint64_t(v)); }
+    void f64(double v) { u64(std::bit_cast<uint64_t>(v)); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    const std::string &data() const { return data_; }
+    size_t size() const { return data_.size(); }
+
+  private:
+    std::string data_;
+};
+
+/** Bounds-checked little-endian reader over a byte buffer. */
+class BinaryReader
+{
+  public:
+    BinaryReader(const void *data, size_t size)
+        : data_(static_cast<const uint8_t *>(data)), size_(size)
+    {}
+
+    uint8_t
+    u8()
+    {
+        if (pos_ + 1 > size_) {
+            fail_ = true;
+            return 0;
+        }
+        return data_[pos_++];
+    }
+
+    uint32_t
+    u32()
+    {
+        if (pos_ + 4 > size_) {
+            fail_ = true;
+            pos_ = size_;
+            return 0;
+        }
+        uint32_t v = 0;
+        std::memcpy(&v, data_ + pos_, 4);
+        pos_ += 4;
+        if constexpr (std::endian::native == std::endian::big)
+            v = __builtin_bswap32(v);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        const uint64_t lo = u32();
+        const uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+
+    int32_t i32() { return int32_t(u32()); }
+    int64_t i64() { return int64_t(u64()); }
+    double f64() { return std::bit_cast<double>(u64()); }
+    bool boolean() { return u8() != 0; }
+
+    bool ok() const { return !fail_; }
+    size_t remaining() const { return size_ - pos_; }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+    bool fail_ = false;
+};
+
+} // namespace mesa
+
+#endif // MESA_UTIL_ARCHIVE_HH

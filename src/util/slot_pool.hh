@@ -11,7 +11,7 @@
 #define MESA_UTIL_SLOT_POOL_HH
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 
 namespace mesa
 {
@@ -77,19 +77,23 @@ class SlotPool
     {
         // Requests are approximately monotone; bookkeeping far behind
         // the current horizon can be dropped. The guard band keeps
-        // occasional out-of-order requests accurate.
+        // occasional out-of-order requests accurate. The predicate
+        // erase drops exactly the keys the old ordered-map range
+        // erase did, without paying red-black-tree rebalancing on
+        // every acquire().
         if (used_.size() < 65536)
             return;
         const uint64_t floor = ready > 16384 ? ready - 16384 : 0;
-        used_.erase(used_.begin(), used_.lower_bound(floor));
-        next_free_.erase(next_free_.begin(),
-                         next_free_.lower_bound(floor));
+        std::erase_if(used_,
+                      [floor](const auto &kv) { return kv.first < floor; });
+        std::erase_if(next_free_,
+                      [floor](const auto &kv) { return kv.first < floor; });
     }
 
     unsigned capacity_;
-    std::map<uint64_t, unsigned> used_;
+    std::unordered_map<uint64_t, unsigned> used_;
     /** cycle -> next possibly-free cycle, for fully booked cycles. */
-    std::map<uint64_t, uint64_t> next_free_;
+    std::unordered_map<uint64_t, uint64_t> next_free_;
 };
 
 } // namespace mesa

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Persistent translation-store tests: warm starts from disk must be
+ * indistinguishable from cold translation (state, memory, offload
+ * stats), and every corruption mode — truncation, flipped bytes,
+ * version skew, key mismatch — must fall back to cold translation
+ * with the right mesa.cache.persist_* counter bumped, never serve a
+ * wrong config.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "mesa/translation_store.hh"
+#include "util/crc32.hh"
+#include "util/stats_registry.hh"
+
+#include "helpers.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace mesa;
+
+/** One offload run with live persist counters captured. */
+struct PersistRun
+{
+    test::OffloadRun run;
+    std::map<std::string, double> stats;
+};
+
+PersistRun
+runOnce(const workloads::Kernel &kernel, const core::MesaParams &params)
+{
+    mem::MainMemory memory;
+    kernel.init_data(memory);
+    cpu::loadProgram(memory, kernel.program);
+
+    core::MesaController mesa(params, memory);
+    StatsRegistry reg;
+    mesa.attachStats(&reg);
+
+    riscv::Emulator emu(memory);
+    emu.reset(kernel.program.base_pc);
+    kernel.fullRange()(emu.state());
+    test::advanceToLoop(emu, kernel);
+
+    PersistRun out;
+    out.run.stats = mesa.offloadLoop(kernel.loopBody(), emu.state(),
+                                     kernel.parallel);
+    emu.run(50'000'000);
+
+    mesa.attachStats(nullptr);
+    reg.materialize();
+    out.run.state = emu.state();
+    out.run.memory = memory.snapshot();
+    out.stats = reg.flatValues();
+    return out;
+}
+
+/** The runs must be indistinguishable in every observable. */
+void
+expectSameRun(const test::OffloadRun &a, const test::OffloadRun &b)
+{
+    ASSERT_EQ(a.stats.has_value(), b.stats.has_value());
+    if (a.stats) {
+        EXPECT_EQ(a.stats->encode_cycles, b.stats->encode_cycles);
+        EXPECT_EQ(a.stats->mapping_cycles, b.stats->mapping_cycles);
+        EXPECT_EQ(a.stats->config_cycles, b.stats->config_cycles);
+        EXPECT_EQ(a.stats->accel_cycles, b.stats->accel_cycles);
+        EXPECT_EQ(a.stats->accel_iterations, b.stats->accel_iterations);
+        EXPECT_EQ(a.stats->tile_factor, b.stats->tile_factor);
+        EXPECT_EQ(a.stats->pipelined, b.stats->pipelined);
+        EXPECT_EQ(a.stats->model_latency, b.stats->model_latency);
+    }
+    EXPECT_EQ(a.state.pc, b.state.pc);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(a.state.x[size_t(i)], b.state.x[size_t(i)]) << "x" << i;
+        EXPECT_EQ(a.state.f[size_t(i)], b.state.f[size_t(i)]) << "f" << i;
+    }
+    EXPECT_TRUE(test::sameMemory(a.memory, b.memory));
+}
+
+/** Every test gets a private store directory; the global store is
+ *  always disabled again on the way out. */
+class PersistTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::temp_directory_path() /
+               ("mesa_persist_" + std::string(info->name()) + "_" +
+                std::to_string(::getpid()));
+        fs::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        core::TranslationStore::global().setDirectory("");
+        fs::remove_all(dir_);
+    }
+
+    void
+    enableStore()
+    {
+        core::TranslationStore::global().setDirectory(dir_.string());
+    }
+
+    std::vector<fs::path>
+    cacheFiles() const
+    {
+        std::vector<fs::path> out;
+        if (!fs::exists(dir_))
+            return out;
+        for (const auto &e : fs::directory_iterator(dir_))
+            if (e.path().extension() == ".mesatc")
+                out.push_back(e.path());
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    static std::string
+    readFile(const fs::path &p)
+    {
+        std::ifstream f(p, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+    }
+
+    static void
+    writeFile(const fs::path &p, const std::string &bytes)
+    {
+        std::ofstream f(p, std::ios::binary | std::ios::trunc);
+        f.write(bytes.data(), std::streamsize(bytes.size()));
+    }
+
+    /** Recompute the trailing whole-file CRC after tampering, so the
+     *  tampered field (not the checksum) is what load() rejects. */
+    static void
+    refreshCrc(std::string &bytes)
+    {
+        ASSERT_GE(bytes.size(), 4u);
+        const uint32_t crc = crc32(bytes.data(), bytes.size() - 4);
+        bytes[bytes.size() - 4] = char(crc);
+        bytes[bytes.size() - 3] = char(crc >> 8);
+        bytes[bytes.size() - 2] = char(crc >> 16);
+        bytes[bytes.size() - 1] = char(crc >> 24);
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(PersistTest, WarmRunMatchesColdAndUncached)
+{
+    const auto kernel = workloads::makeNn(256);
+    core::MesaParams params;
+
+    const PersistRun plain = runOnce(kernel, params); // no store
+    enableStore();
+    const PersistRun cold = runOnce(kernel, params); // miss + store
+    const PersistRun warm = runOnce(kernel, params); // disk hit
+
+    ASSERT_TRUE(plain.run.stats.has_value());
+    expectSameRun(plain.run, cold.run);
+    expectSameRun(plain.run, warm.run);
+
+    EXPECT_EQ(cold.stats.at("mesa.cache.persist_misses"), 1.0);
+    EXPECT_EQ(cold.stats.at("mesa.cache.persist_stores"), 1.0);
+    EXPECT_EQ(cold.stats.at("mesa.cache.persist_hits"), 0.0);
+    EXPECT_EQ(warm.stats.at("mesa.cache.persist_hits"), 1.0);
+    EXPECT_EQ(warm.stats.at("mesa.cache.persist_stores"), 0.0);
+    EXPECT_EQ(cacheFiles().size(), 1u);
+
+    // Without a store directory the persist counters are not even
+    // registered — the stats surface is byte-identical to before.
+    EXPECT_EQ(plain.stats.count("mesa.cache.persist_hits"), 0u);
+}
+
+TEST_F(PersistTest, TruncatedFileFallsBackColdAndHeals)
+{
+    const auto kernel = workloads::makeNn(256);
+    core::MesaParams params;
+    enableStore();
+    const PersistRun cold = runOnce(kernel, params);
+
+    const auto files = cacheFiles();
+    ASSERT_EQ(files.size(), 1u);
+    const std::string full = readFile(files[0]);
+    writeFile(files[0], full.substr(0, full.size() / 2));
+
+    const PersistRun recovered = runOnce(kernel, params);
+    expectSameRun(cold.run, recovered.run);
+    EXPECT_EQ(recovered.stats.at("mesa.cache.persist_corrupt"), 1.0);
+    EXPECT_EQ(recovered.stats.at("mesa.cache.persist_hits"), 0.0);
+    // Self-healing: the cold fallback re-stored a good entry.
+    EXPECT_EQ(recovered.stats.at("mesa.cache.persist_stores"), 1.0);
+    const PersistRun healed = runOnce(kernel, params);
+    EXPECT_EQ(healed.stats.at("mesa.cache.persist_hits"), 1.0);
+    expectSameRun(cold.run, healed.run);
+}
+
+TEST_F(PersistTest, FlippedPayloadByteFallsBackCold)
+{
+    const auto kernel = workloads::makeNn(256);
+    core::MesaParams params;
+    enableStore();
+    const PersistRun cold = runOnce(kernel, params);
+
+    const auto files = cacheFiles();
+    ASSERT_EQ(files.size(), 1u);
+    std::string bytes = readFile(files[0]);
+    ASSERT_GT(bytes.size(), 64u);
+    bytes[bytes.size() / 2] ^= 0x40; // payload bit flip, stale CRC
+    writeFile(files[0], bytes);
+
+    const PersistRun recovered = runOnce(kernel, params);
+    expectSameRun(cold.run, recovered.run);
+    EXPECT_EQ(recovered.stats.at("mesa.cache.persist_corrupt"), 1.0);
+    EXPECT_EQ(recovered.stats.at("mesa.cache.persist_hits"), 0.0);
+}
+
+TEST_F(PersistTest, VersionSkewFallsBackCold)
+{
+    const auto kernel = workloads::makeNn(256);
+    core::MesaParams params;
+    enableStore();
+    const PersistRun cold = runOnce(kernel, params);
+
+    const auto files = cacheFiles();
+    ASSERT_EQ(files.size(), 1u);
+    std::string bytes = readFile(files[0]);
+    bytes[4] = char(0x7f); // version field (offset 4), CRC refreshed
+    refreshCrc(bytes);
+    writeFile(files[0], bytes);
+
+    const PersistRun recovered = runOnce(kernel, params);
+    expectSameRun(cold.run, recovered.run);
+    EXPECT_EQ(recovered.stats.at("mesa.cache.persist_version_skew"),
+              1.0);
+    EXPECT_EQ(recovered.stats.at("mesa.cache.persist_hits"), 0.0);
+}
+
+TEST_F(PersistTest, KeyEchoMismatchFallsBackCold)
+{
+    const auto kernel = workloads::makeNn(256);
+    core::MesaParams params;
+    enableStore();
+    const PersistRun cold = runOnce(kernel, params);
+
+    const auto files = cacheFiles();
+    ASSERT_EQ(files.size(), 1u);
+    std::string bytes = readFile(files[0]);
+    bytes[8] ^= 0x01; // region_start echo (offset 8), CRC refreshed
+    refreshCrc(bytes);
+    writeFile(files[0], bytes);
+
+    const PersistRun recovered = runOnce(kernel, params);
+    expectSameRun(cold.run, recovered.run);
+    EXPECT_EQ(recovered.stats.at("mesa.cache.persist_key_mismatch"),
+              1.0);
+    EXPECT_EQ(recovered.stats.at("mesa.cache.persist_hits"), 0.0);
+}
+
+TEST_F(PersistTest, GeometryMismatchIsAMissNotAWrongConfig)
+{
+    const auto kernel = workloads::makeNn(256);
+    core::MesaParams m128;
+    enableStore();
+    const PersistRun big = runOnce(kernel, m128);
+    ASSERT_EQ(cacheFiles().size(), 1u);
+
+    // A different fabric geometry keys a different entry: the M-64
+    // run must miss (never load the M-128 config) and store its own.
+    core::MesaParams m64;
+    m64.accel = accel::AccelParams::byName("M-64");
+    const PersistRun small = runOnce(kernel, m64);
+    EXPECT_EQ(small.stats.at("mesa.cache.persist_hits"), 0.0);
+    EXPECT_EQ(small.stats.at("mesa.cache.persist_misses"), 1.0);
+    EXPECT_EQ(cacheFiles().size(), 2u);
+
+    core::TranslationStore::global().setDirectory("");
+    const PersistRun small_plain = runOnce(kernel, m64);
+    expectSameRun(small_plain.run, small.run);
+    (void)big;
+}
+
+TEST_F(PersistTest, BlockedPeSetChangesTheKey)
+{
+    // Quarantined-PE sets are part of the key: a config mapped around
+    // blocked PEs must never be served to a healthy fabric or vice
+    // versa.
+    const uint32_t none = core::blockedPeDigest({});
+    const uint32_t one = core::blockedPeDigest({{1, 2}});
+    const uint32_t other = core::blockedPeDigest({{2, 1}});
+    EXPECT_NE(none, one);
+    EXPECT_NE(one, other);
+
+    core::TranslationKey a;
+    a.blocked_crc = one;
+    core::TranslationKey b;
+    b.blocked_crc = other;
+    const auto &store = core::TranslationStore::global();
+    EXPECT_NE(store.entryPath(a), store.entryPath(b));
+}
+
+TEST_F(PersistTest, ParamsFingerprintSeesPrepareRelevantKnobs)
+{
+    core::MesaParams base;
+    const uint32_t fp = core::paramsFingerprint(base);
+
+    core::MesaParams geom = base;
+    geom.accel = accel::AccelParams::byName("M-64");
+    EXPECT_NE(core::paramsFingerprint(geom), fp);
+
+    core::MesaParams tiling = base;
+    tiling.enable_tiling = !tiling.enable_tiling;
+    EXPECT_NE(core::paramsFingerprint(tiling), fp);
+
+    core::MesaParams unroll = base;
+    unroll.unroll_factor += 1;
+    EXPECT_NE(core::paramsFingerprint(unroll), fp);
+}
+
+} // namespace
